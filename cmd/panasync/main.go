@@ -1,0 +1,181 @@
+// Command panasync is a file-copy dependency tracker in the style of the
+// PANASYNC toolset, the system in which the paper's version stamps first
+// shipped (paper §7). It tracks copies of single files with version-stamp
+// sidecars and answers, with no server and no global configuration, how any
+// two copies relate:
+//
+//	$ panasync -root ~/docs init report.txt
+//	$ panasync -root ~/docs copy report.txt backup/report.txt
+//	$ ... edit report.txt ...
+//	$ panasync -root ~/docs edit report.txt
+//	$ panasync -root ~/docs compare report.txt backup/report.txt
+//	after
+//	$ panasync -root ~/docs sync report.txt backup/report.txt
+//	$ panasync -root ~/docs list
+package main
+
+import (
+	"errors"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"versionstamp/internal/panasync"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "panasync:", err)
+		os.Exit(1)
+	}
+}
+
+const usage = `usage: panasync -root <dir> <command> [arguments]
+
+commands:
+  init <file>            start tracking a file (it becomes the seed copy)
+  copy <src> <dst>       duplicate a tracked file; the stamp forks
+  edit <file>            record that the file's content was changed
+  status <file>          print the stamp and whether edits are unrecorded
+  compare <a> <b>        print equal | before | after | concurrent
+  sync <a> <b>           reconcile two copies (conflicts need -merge)
+  forget <file>          stop tracking a file
+  list                   list all tracked copies
+
+flags:
+  -root <dir>   workspace root (default ".")
+  -merge        on conflicting sync, concatenate both contents with a marker
+`
+
+func run(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("panasync", flag.ContinueOnError)
+	fs.SetOutput(io.Discard)
+	root := fs.String("root", ".", "workspace root directory")
+	merge := fs.Bool("merge", false, "resolve conflicting syncs by concatenation")
+	if err := fs.Parse(args); err != nil {
+		fmt.Fprint(out, usage)
+		return err
+	}
+	rest := fs.Args()
+	if len(rest) == 0 {
+		fmt.Fprint(out, usage)
+		return errors.New("missing command")
+	}
+	dirFS, err := panasync.NewDirFS(*root)
+	if err != nil {
+		return err
+	}
+	ws := panasync.NewWorkspace(dirFS)
+
+	cmd, rest := rest[0], rest[1:]
+	switch cmd {
+	case "help":
+		fmt.Fprint(out, usage)
+		return nil
+	case "init":
+		if len(rest) != 1 {
+			return errors.New("init takes one file")
+		}
+		if err := ws.Init(rest[0]); err != nil {
+			return err
+		}
+		fmt.Fprintf(out, "tracking %s\n", rest[0])
+		return nil
+	case "copy":
+		if len(rest) != 2 {
+			return errors.New("copy takes source and destination")
+		}
+		if err := ws.Copy(rest[0], rest[1]); err != nil {
+			return err
+		}
+		fmt.Fprintf(out, "copied %s -> %s (identities forked)\n", rest[0], rest[1])
+		return nil
+	case "edit":
+		if len(rest) != 1 {
+			return errors.New("edit takes one file")
+		}
+		if err := ws.Edit(rest[0]); err != nil {
+			return err
+		}
+		fmt.Fprintf(out, "recorded update on %s\n", rest[0])
+		return nil
+	case "status":
+		if len(rest) != 1 {
+			return errors.New("status takes one file")
+		}
+		st, err := ws.Stat(rest[0])
+		if err != nil {
+			return err
+		}
+		printStatus(out, st)
+		return nil
+	case "compare":
+		if len(rest) != 2 {
+			return errors.New("compare takes two files")
+		}
+		rel, err := ws.Compare(rest[0], rest[1])
+		if err != nil {
+			return err
+		}
+		fmt.Fprintln(out, rel)
+		return nil
+	case "sync":
+		if len(rest) != 2 {
+			return errors.New("sync takes two files")
+		}
+		var resolver panasync.Resolver
+		if *merge {
+			resolver = concatResolver
+		}
+		if err := ws.Sync(rest[0], rest[1], resolver); err != nil {
+			return err
+		}
+		fmt.Fprintf(out, "synchronized %s and %s\n", rest[0], rest[1])
+		return nil
+	case "forget":
+		if len(rest) != 1 {
+			return errors.New("forget takes one file")
+		}
+		if err := ws.Forget(rest[0]); err != nil {
+			return err
+		}
+		fmt.Fprintf(out, "forgot %s\n", rest[0])
+		return nil
+	case "list":
+		if len(rest) != 0 {
+			return errors.New("list takes no arguments")
+		}
+		statuses, err := ws.Tracked()
+		if err != nil {
+			return err
+		}
+		for _, st := range statuses {
+			printStatus(out, st)
+		}
+		return nil
+	default:
+		fmt.Fprint(out, usage)
+		return fmt.Errorf("unknown command %q", cmd)
+	}
+}
+
+func printStatus(out io.Writer, st panasync.Status) {
+	dirty := ""
+	if st.Dirty {
+		dirty = "  (edited since last record — run `panasync edit`)"
+	}
+	fmt.Fprintf(out, "%-30s %s%s\n", st.Path, st.Stamp, dirty)
+}
+
+// concatResolver merges conflicting copies by concatenating both contents
+// under conflict markers, leaving the real merge to the user's editor.
+func concatResolver(pathA, pathB string, a, b []byte) ([]byte, error) {
+	var buf []byte
+	buf = append(buf, []byte(fmt.Sprintf("<<<<<<< %s\n", pathA))...)
+	buf = append(buf, a...)
+	buf = append(buf, []byte(fmt.Sprintf("\n======= %s\n", pathB))...)
+	buf = append(buf, b...)
+	buf = append(buf, []byte("\n>>>>>>>\n")...)
+	return buf, nil
+}

@@ -1,0 +1,159 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func runIn(t *testing.T, root string, args ...string) (string, error) {
+	t.Helper()
+	var sb strings.Builder
+	err := run(append([]string{"-root", root}, args...), &sb)
+	return sb.String(), err
+}
+
+func write(t *testing.T, root, rel, content string) {
+	t.Helper()
+	full := filepath.Join(root, rel)
+	if err := os.MkdirAll(filepath.Dir(full), 0o755); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(full, []byte(content), 0o644); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFullWorkflow(t *testing.T) {
+	root := t.TempDir()
+	write(t, root, "report.txt", "v1")
+
+	out, err := runIn(t, root, "init", "report.txt")
+	if err != nil {
+		t.Fatalf("init: %v", err)
+	}
+	if !strings.Contains(out, "tracking report.txt") {
+		t.Errorf("init output: %q", out)
+	}
+
+	if _, err := runIn(t, root, "copy", "report.txt", "backup/report.txt"); err != nil {
+		t.Fatalf("copy: %v", err)
+	}
+
+	// Edit the original and record it.
+	write(t, root, "report.txt", "v2")
+	out, _ = runIn(t, root, "status", "report.txt")
+	if !strings.Contains(out, "edited since last record") {
+		t.Errorf("status should flag dirty file: %q", out)
+	}
+	if _, err := runIn(t, root, "edit", "report.txt"); err != nil {
+		t.Fatalf("edit: %v", err)
+	}
+
+	out, err = runIn(t, root, "compare", "report.txt", "backup/report.txt")
+	if err != nil {
+		t.Fatalf("compare: %v", err)
+	}
+	if strings.TrimSpace(out) != "after" {
+		t.Errorf("compare = %q, want after", out)
+	}
+
+	if _, err := runIn(t, root, "sync", "report.txt", "backup/report.txt"); err != nil {
+		t.Fatalf("sync: %v", err)
+	}
+	data, err := os.ReadFile(filepath.Join(root, "backup/report.txt"))
+	if err != nil || string(data) != "v2" {
+		t.Fatalf("backup content after sync = %q, %v", data, err)
+	}
+
+	out, err = runIn(t, root, "list")
+	if err != nil {
+		t.Fatalf("list: %v", err)
+	}
+	if !strings.Contains(out, "report.txt") || !strings.Contains(out, "backup/report.txt") {
+		t.Errorf("list output: %q", out)
+	}
+
+	if _, err := runIn(t, root, "forget", "backup/report.txt"); err != nil {
+		t.Fatalf("forget: %v", err)
+	}
+	out, _ = runIn(t, root, "list")
+	if strings.Contains(out, "backup/report.txt") {
+		t.Errorf("forgot file still listed: %q", out)
+	}
+}
+
+func TestConflictNeedsMergeFlag(t *testing.T) {
+	root := t.TempDir()
+	write(t, root, "a.txt", "base")
+	if _, err := runIn(t, root, "init", "a.txt"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := runIn(t, root, "copy", "a.txt", "b.txt"); err != nil {
+		t.Fatal(err)
+	}
+	write(t, root, "a.txt", "A")
+	write(t, root, "b.txt", "B")
+	if _, err := runIn(t, root, "edit", "a.txt"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := runIn(t, root, "edit", "b.txt"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := runIn(t, root, "sync", "a.txt", "b.txt"); err == nil {
+		t.Fatal("conflicting sync without -merge must fail")
+	}
+	if _, err := runIn(t, root, "-merge", "sync", "a.txt", "b.txt"); err != nil {
+		t.Fatalf("sync -merge: %v", err)
+	}
+	data, _ := os.ReadFile(filepath.Join(root, "a.txt"))
+	if !strings.Contains(string(data), "<<<<<<<") || !strings.Contains(string(data), "B") {
+		t.Errorf("merged content = %q", data)
+	}
+	out, _ := runIn(t, root, "compare", "a.txt", "b.txt")
+	if strings.TrimSpace(out) != "equal" {
+		t.Errorf("post-merge compare = %q", out)
+	}
+}
+
+func TestErrorsPanasyncCLI(t *testing.T) {
+	root := t.TempDir()
+	write(t, root, "f", "x")
+	cases := [][]string{
+		{},                      // no command
+		{"bogus"},               // unknown command
+		{"init"},                // missing file
+		{"init", "missing.txt"}, // nonexistent file
+		{"copy", "f"},           // missing dst
+		{"edit", "f"},           // untracked
+		{"status", "f"},         // untracked
+		{"compare", "f"},        // one file
+		{"sync", "f"},           // one file
+		{"forget", "f"},         // untracked
+		{"list", "extra"},       // extra args
+	}
+	for _, args := range cases {
+		if _, err := runIn(t, root, args...); err == nil {
+			t.Errorf("run(%v) succeeded, want error", args)
+		}
+	}
+	var sb strings.Builder
+	if err := run([]string{"-root", "/definitely/not/a/dir", "list"}, &sb); err == nil {
+		t.Error("bad root accepted")
+	}
+	if err := run([]string{"-notaflag"}, &sb); err == nil {
+		t.Error("unknown flag accepted")
+	}
+}
+
+func TestHelpPanasync(t *testing.T) {
+	root := t.TempDir()
+	out, err := runIn(t, root, "help")
+	if err != nil {
+		t.Fatalf("help: %v", err)
+	}
+	if !strings.Contains(out, "usage: panasync") {
+		t.Errorf("help = %q", out)
+	}
+}

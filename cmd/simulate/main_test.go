@@ -1,0 +1,48 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestRunWorkloads(t *testing.T) {
+	// Sync-pattern workloads (fixedN, star, partitioned) run fewer ops:
+	// rotating pairwise syncs grow stamps multiplicatively (see E5).
+	ops := map[string]string{
+		"balanced": "120", "forkheavy": "120", "syncheavy": "120",
+		"updateheavy": "120", "fixedN": "30", "star": "30", "partitioned": "40",
+	}
+	for _, wl := range []string{"balanced", "forkheavy", "syncheavy", "updateheavy", "fixedN", "star", "partitioned"} {
+		var sb strings.Builder
+		err := run([]string{"-workload", wl, "-ops", ops[wl], "-seed", "3", "-sizes"}, &sb)
+		if err != nil {
+			t.Fatalf("%s: %v", wl, err)
+		}
+		if !strings.Contains(sb.String(), "0 disagreements") {
+			t.Errorf("%s output:\n%s", wl, sb.String())
+		}
+		if !strings.Contains(sb.String(), "stamps") {
+			t.Errorf("%s missing size table:\n%s", wl, sb.String())
+		}
+	}
+}
+
+func TestRunSubsets(t *testing.T) {
+	var sb strings.Builder
+	if err := run([]string{"-ops", "80", "-subsets"}, &sb); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	if strings.Contains(sb.String(), " 0 subset queries") {
+		t.Errorf("subset queries not performed:\n%s", sb.String())
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	var sb strings.Builder
+	if err := run([]string{"-workload", "bogus"}, &sb); err == nil {
+		t.Error("unknown workload accepted")
+	}
+	if err := run([]string{"-notaflag"}, &sb); err == nil {
+		t.Error("unknown flag accepted")
+	}
+}

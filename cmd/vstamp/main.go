@@ -1,0 +1,168 @@
+// Command vstamp manipulates version stamps in the paper's text notation —
+// the PANASYNC-style command-line interface to the library. Stamps pass
+// through stdin/argv as "[update|id]" strings, so shell pipelines can drive
+// full fork/update/join workflows:
+//
+//	$ vstamp seed
+//	[ε|ε]
+//	$ vstamp fork '[ε|ε]'
+//	[ε|0]
+//	[ε|1]
+//	$ vstamp update '[ε|0]'
+//	[0|0]
+//	$ vstamp compare '[0|0]' '[ε|1]'
+//	after
+//	$ vstamp join '[0|0]' '[ε|1]'
+//	[ε|ε]
+package main
+
+import (
+	"errors"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"versionstamp"
+	"versionstamp/internal/core"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "vstamp:", err)
+		os.Exit(1)
+	}
+}
+
+const usage = `usage: vstamp <command> [arguments]
+
+commands:
+  seed                       print the initial stamp [ε|ε]
+  update <stamp>             record an update
+  fork <stamp>               split into two stamps (one per line)
+  join [-noreduce] <a> <b>   merge two stamps
+  sync <a> <b>               synchronize: join then fork (one per line)
+  compare <a> <b>            print equal | before | after | concurrent
+  reduce <stamp>             print the stamp's normal form
+  encode <stamp>             print binary encoding (hex) and size
+  help                       print this text
+`
+
+func run(args []string, out io.Writer) error {
+	if len(args) == 0 {
+		fmt.Fprint(out, usage)
+		return errors.New("missing command")
+	}
+	cmd, rest := args[0], args[1:]
+	switch cmd {
+	case "help", "-h", "--help":
+		fmt.Fprint(out, usage)
+		return nil
+	case "seed":
+		if len(rest) != 0 {
+			return errors.New("seed takes no arguments")
+		}
+		fmt.Fprintln(out, versionstamp.Seed())
+		return nil
+	case "update":
+		s, err := oneStamp(rest)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintln(out, s.Update())
+		return nil
+	case "fork":
+		s, err := oneStamp(rest)
+		if err != nil {
+			return err
+		}
+		a, b := s.Fork()
+		fmt.Fprintln(out, a)
+		fmt.Fprintln(out, b)
+		return nil
+	case "join":
+		fs := flag.NewFlagSet("join", flag.ContinueOnError)
+		noReduce := fs.Bool("noreduce", false, "skip the Section 6 reduction")
+		fs.SetOutput(io.Discard)
+		if err := fs.Parse(rest); err != nil {
+			return err
+		}
+		a, b, err := twoStamps(fs.Args())
+		if err != nil {
+			return err
+		}
+		var joined versionstamp.Stamp
+		if *noReduce {
+			joined, err = core.JoinNoReduce(a, b)
+		} else {
+			joined, err = versionstamp.Join(a, b)
+		}
+		if err != nil {
+			return err
+		}
+		fmt.Fprintln(out, joined)
+		return nil
+	case "sync":
+		a, b, err := twoStamps(rest)
+		if err != nil {
+			return err
+		}
+		sa, sb, err := versionstamp.Sync(a, b)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintln(out, sa)
+		fmt.Fprintln(out, sb)
+		return nil
+	case "compare":
+		a, b, err := twoStamps(rest)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintln(out, versionstamp.Compare(a, b))
+		return nil
+	case "reduce":
+		s, err := oneStamp(rest)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintln(out, s.Reduce())
+		return nil
+	case "encode":
+		s, err := oneStamp(rest)
+		if err != nil {
+			return err
+		}
+		data, err := s.MarshalBinary()
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(out, "%x (%d bytes)\n", data, len(data))
+		return nil
+	default:
+		fmt.Fprint(out, usage)
+		return fmt.Errorf("unknown command %q", cmd)
+	}
+}
+
+func oneStamp(args []string) (versionstamp.Stamp, error) {
+	if len(args) != 1 {
+		return versionstamp.Stamp{}, errors.New("expected exactly one stamp argument")
+	}
+	return versionstamp.Parse(args[0])
+}
+
+func twoStamps(args []string) (versionstamp.Stamp, versionstamp.Stamp, error) {
+	if len(args) != 2 {
+		return versionstamp.Stamp{}, versionstamp.Stamp{}, errors.New("expected exactly two stamp arguments")
+	}
+	a, err := versionstamp.Parse(args[0])
+	if err != nil {
+		return versionstamp.Stamp{}, versionstamp.Stamp{}, err
+	}
+	b, err := versionstamp.Parse(args[1])
+	if err != nil {
+		return versionstamp.Stamp{}, versionstamp.Stamp{}, err
+	}
+	return a, b, nil
+}

@@ -1,0 +1,74 @@
+package versionstamp_test
+
+import (
+	"fmt"
+
+	"versionstamp"
+)
+
+// The full replica lifecycle: fork offline, update, compare, reconcile.
+func Example() {
+	doc := versionstamp.Seed()
+	laptop, phone := doc.Fork() // no coordination needed
+	laptop = laptop.Update()
+
+	fmt.Println(versionstamp.Compare(phone, laptop))
+
+	phone = phone.Update()
+	fmt.Println(versionstamp.Compare(phone, laptop))
+
+	laptop, phone, _ = versionstamp.Sync(laptop, phone)
+	fmt.Println(versionstamp.Compare(phone, laptop))
+	// Output:
+	// before
+	// concurrent
+	// equal
+}
+
+func ExampleSeed() {
+	fmt.Println(versionstamp.Seed())
+	// Output: [ε|ε]
+}
+
+func ExampleStamp_Fork() {
+	a, b := versionstamp.Seed().Fork()
+	fmt.Println(a, b)
+	// Output: [ε|0] [ε|1]
+}
+
+func ExampleStamp_Update() {
+	a, _ := versionstamp.Seed().Fork()
+	fmt.Println(a.Update())
+	// Output: [0|0]
+}
+
+func ExampleJoin() {
+	a, b := versionstamp.Seed().Fork()
+	a = a.Update()
+	merged, _ := versionstamp.Join(a, b)
+	fmt.Println(merged) // reduction restores the seed's identity
+	// Output: [ε|ε]
+}
+
+func ExampleCompare() {
+	a, b := versionstamp.Seed().Fork()
+	a = a.Update()
+	fmt.Println(versionstamp.Compare(a, b))
+	fmt.Println(versionstamp.Compare(b, a))
+	// Output:
+	// after
+	// before
+}
+
+func ExampleParse() {
+	s, err := versionstamp.Parse("[1|0+1]")
+	fmt.Println(s, err)
+	// Output: [1|0+1] <nil>
+}
+
+func ExampleStamp_MarshalBinary() {
+	data, _ := versionstamp.Seed().MarshalBinary()
+	back, n, _ := versionstamp.Decode(data)
+	fmt.Printf("%d bytes -> %v\n", n, back)
+	// Output: 5 bytes -> [ε|ε]
+}

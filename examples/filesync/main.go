@@ -1,0 +1,99 @@
+// Filesync: the PANASYNC scenario from the paper's own deployment —
+// dependency tracking among file copies carried across disconnected
+// machines, with conflict detection and reconciliation.
+//
+//	go run ./examples/filesync
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"versionstamp/internal/panasync"
+)
+
+func main() {
+	if err := run(); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run() error {
+	fs := panasync.NewMemFS()
+	ws := panasync.NewWorkspace(fs)
+
+	// A report lives on the office desktop.
+	if err := fs.WriteFile("office/report.txt", []byte("draft v1")); err != nil {
+		return err
+	}
+	if err := ws.Init("office/report.txt"); err != nil {
+		return err
+	}
+	fmt.Println("tracked office/report.txt")
+
+	// Copy it to a laptop before travelling (fork — no server consulted).
+	if err := ws.Copy("office/report.txt", "laptop/report.txt"); err != nil {
+		return err
+	}
+	// On the plane, the laptop copy spawns a phone copy. Still no network.
+	if err := ws.Copy("laptop/report.txt", "phone/report.txt"); err != nil {
+		return err
+	}
+	fmt.Println("copied to laptop and phone (offline)")
+
+	// Independent edits while partitioned.
+	if err := fs.WriteFile("laptop/report.txt", []byte("draft v2 (laptop)")); err != nil {
+		return err
+	}
+	if err := ws.Edit("laptop/report.txt"); err != nil {
+		return err
+	}
+	if err := fs.WriteFile("office/report.txt", []byte("draft v2 (office)")); err != nil {
+		return err
+	}
+	if err := ws.Edit("office/report.txt"); err != nil {
+		return err
+	}
+
+	// Back online: how do the copies relate?
+	show := func(a, b string) {
+		rel, err := ws.Compare(a, b)
+		if err != nil {
+			fmt.Printf("  %-22s vs %-22s: %v\n", a, b, err)
+			return
+		}
+		fmt.Printf("  %-22s vs %-22s: %v\n", a, b, rel)
+	}
+	fmt.Println("relations after the trip:")
+	show("phone/report.txt", "laptop/report.txt")  // before: phone is stale
+	show("laptop/report.txt", "office/report.txt") // concurrent: true conflict
+
+	// Stale copy refreshes automatically.
+	if err := ws.Sync("phone/report.txt", "laptop/report.txt", nil); err != nil {
+		return err
+	}
+	fmt.Println("phone refreshed from laptop")
+
+	// The real conflict needs a merge; the merge counts as a new update.
+	merge := func(_, _ string, a, b []byte) ([]byte, error) {
+		return []byte(fmt.Sprintf("merged: %q + %q", a, b)), nil
+	}
+	if err := ws.Sync("laptop/report.txt", "office/report.txt", merge); err != nil {
+		return err
+	}
+	content, err := fs.ReadFile("office/report.txt")
+	if err != nil {
+		return err
+	}
+	fmt.Printf("office content after merge: %s\n", content)
+
+	fmt.Println("final state of all copies:")
+	tracked, err := ws.Tracked()
+	if err != nil {
+		return err
+	}
+	for _, st := range tracked {
+		fmt.Printf("  %-22s stamp %v\n", st.Path, st.Stamp)
+	}
+	return nil
+}

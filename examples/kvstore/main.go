@@ -1,0 +1,93 @@
+// Kvstore: an optimistically replicated shopping-cart store. Each key's
+// copies carry version stamps; synchronization transfers missing keys,
+// fast-forwards stale ones, and surfaces true conflicts to a merge
+// function — the Dynamo-style pattern, with stamps instead of version
+// vectors, so replicas can be cloned with no identifier assignment.
+//
+//	go run ./examples/kvstore
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"versionstamp/internal/kvstore"
+)
+
+func main() {
+	if err := run(); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run() error {
+	// The store starts on one node; a second node is cloned from it (every
+	// key's stamp forks — replica creation without coordination).
+	nodeA := kvstore.NewReplica("node-a")
+	nodeA.Put("cart:42", []byte("2×book"))
+	nodeA.Put("cart:77", []byte("1×pen"))
+	nodeB := nodeA.Clone("node-b")
+	fmt.Println("node-b cloned from node-a")
+
+	// Writes land on different nodes (optimistic replication).
+	nodeA.Put("cart:42", []byte("2×book,1×lamp")) // customer adds a lamp via A
+	nodeB.Delete("cart:77")                       // cart 77 checked out via B
+	nodeB.Put("cart:90", []byte("3×mug"))         // new cart via B
+
+	// Anti-entropy: causality decides everything automatically here.
+	res, err := kvstore.Sync(nodeA, nodeB, nil)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("sync #1: %d transferred, %d reconciled, %d conflicts\n",
+		res.Transferred, res.Reconciled, len(res.Conflicts))
+	dump("node-a", nodeA)
+	dump("node-b", nodeB)
+
+	// Concurrent edits to the same cart: a real conflict.
+	nodeA.Put("cart:42", []byte("2×book,1×lamp,1×rug"))
+	nodeB.Put("cart:42", []byte("2×book,1×lamp,6×candle"))
+	res, err = kvstore.Sync(nodeA, nodeB, nil)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("sync #2 without resolver: conflicts on %v (left untouched)\n", res.Conflicts)
+
+	// Resolve with a merge function (here: keep both order lines).
+	res, err = kvstore.Sync(nodeA, nodeB, kvstore.KeepBoth([]byte(" & ")))
+	if err != nil {
+		return err
+	}
+	fmt.Printf("sync #3 with resolver: %d merged\n", res.Merged)
+	dump("node-a", nodeA)
+	dump("node-b", nodeB)
+
+	// Crash/restart: stamps survive serialization.
+	snap, err := nodeB.Snapshot()
+	if err != nil {
+		return err
+	}
+	restored, err := kvstore.Restore(snap)
+	if err != nil {
+		return err
+	}
+	nodeA.Put("cart:90", []byte("3×mug,1×spoon"))
+	res, err = kvstore.Sync(nodeA, restored, nil)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("after node-b restart, sync reconciled %d keys\n", res.Reconciled)
+	dump("restored", restored)
+	return nil
+}
+
+func dump(label string, r *kvstore.Replica) {
+	fmt.Printf("  [%s]\n", label)
+	for _, k := range r.Keys() {
+		if v, ok := r.Get(k); ok {
+			fmt.Printf("    %-8s = %s\n", k, v)
+		} else {
+			fmt.Printf("    %-8s = (deleted)\n", k)
+		}
+	}
+}

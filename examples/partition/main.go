@@ -1,0 +1,89 @@
+// Partition: the paper's motivating failure. A fleet of field devices needs
+// new replicas while disconnected from headquarters. Dynamic version
+// vectors stall — no unique replica identifier can be minted across the
+// partition — while version stamps fork locally and keep tracking causality.
+//
+//	go run ./examples/partition
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"versionstamp"
+	"versionstamp/internal/vv"
+)
+
+func main() {
+	if err := run(); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run() error {
+	fmt.Println("== dynamic version vectors with a central identifier server ==")
+	server := vv.NewCentralServer()
+	id0, err := server.NewID()
+	if err != nil {
+		return err
+	}
+	truck := vv.NewDynamic(id0)
+	truck = truck.Update()
+	fmt.Printf("truck replica online: %v\n", truck)
+
+	// The truck drives out of coverage.
+	server.SetPartitioned(true)
+	fmt.Println("truck enters a dead zone (identifier server unreachable)")
+
+	// A field engineer wants a copy on a handheld. The vector needs a fresh
+	// globally unique id — and cannot get one.
+	if _, err := server.NewID(); err != nil {
+		fmt.Printf("handheld replica creation FAILED: %v\n", err)
+	}
+
+	fmt.Println()
+	fmt.Println("== version stamps: identity is derived by forking, locally ==")
+	truckStamp := versionstamp.Seed().Update()
+	fmt.Printf("truck stamp: %v\n", truckStamp)
+
+	// Same dead zone; forking needs nothing but the stamp itself.
+	truckStamp, handheld := truckStamp.Fork()
+	fmt.Printf("handheld created offline: truck %v, handheld %v\n", truckStamp, handheld)
+
+	// The handheld forks again for a second engineer. Still offline.
+	handheld, spare := handheld.Fork()
+	fmt.Printf("second handheld created offline: %v\n", spare)
+
+	// Work happens on the devices.
+	handheld = handheld.Update()
+	spare = spare.Update()
+	fmt.Printf("after field edits: handheld %v, spare %v\n", handheld, spare)
+	fmt.Printf("handheld vs spare: %v (both edited: conflict is detected)\n",
+		versionstamp.Compare(handheld, spare))
+	fmt.Printf("truck vs handheld: %v (truck is stale)\n",
+		versionstamp.Compare(truckStamp, handheld))
+
+	// Back in coverage: reconcile pairwise, retire the spare.
+	handheld, spare, err = versionstamp.Sync(handheld, spare)
+	if err != nil {
+		return err
+	}
+	merged, err := versionstamp.Join(handheld, spare)
+	if err != nil {
+		return err
+	}
+	truckStamp, err = versionstamp.Join(truckStamp, merged)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("everything merged back into the truck: %v\n", truckStamp)
+
+	fmt.Println()
+	fmt.Println("== probabilistic identifiers are the usual workaround — and a gamble ==")
+	for _, n := range []int{1 << 16, 1 << 24, 1 << 32} {
+		fmt.Printf("  %11d random 64-bit ids -> P(collision) = %.3g\n",
+			n, vv.CollisionProbability(n, 64))
+	}
+	fmt.Println("version stamps make the gamble unnecessary.")
+	return nil
+}

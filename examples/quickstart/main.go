@@ -1,0 +1,71 @@
+// Quickstart: the version-stamp lifecycle on the public API — fork replicas
+// with no coordination, update them, detect dominance and conflicts, and
+// merge back.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"versionstamp"
+)
+
+func main() {
+	if err := run(); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run() error {
+	// One replica owns the whole document.
+	doc := versionstamp.Seed()
+	fmt.Println("seed:                ", doc)
+
+	// Replicate — entirely offline, no identifier service involved.
+	laptop, phone := doc.Fork()
+	fmt.Println("fork -> laptop:      ", laptop)
+	fmt.Println("fork -> phone:       ", phone)
+
+	// Edit on the laptop.
+	laptop = laptop.Update()
+	fmt.Println("laptop after update: ", laptop)
+	fmt.Println("phone vs laptop:     ", versionstamp.Compare(phone, laptop)) // before
+
+	// Edit on the phone too: now the copies conflict.
+	phone = phone.Update()
+	fmt.Println("phone after update:  ", phone)
+	fmt.Println("phone vs laptop:     ", versionstamp.Compare(phone, laptop)) // concurrent
+
+	// Reconcile: synchronize both replicas (join + fork). Afterwards they
+	// are equivalent and both dominate the old copies.
+	var err error
+	laptop, phone, err = versionstamp.Sync(laptop, phone)
+	if err != nil {
+		return err
+	}
+	fmt.Println("after sync, laptop:  ", laptop)
+	fmt.Println("after sync, phone:   ", phone)
+	fmt.Println("phone vs laptop:     ", versionstamp.Compare(phone, laptop)) // equal
+
+	// Retire the phone replica into the laptop: the identity space
+	// collapses back to the seed's.
+	merged, err := versionstamp.Join(laptop, phone)
+	if err != nil {
+		return err
+	}
+	fmt.Println("retire phone -> doc: ", merged) // [ε|ε]
+
+	// Stamps serialize for storage or network transfer.
+	wire, err := merged.MarshalBinary()
+	if err != nil {
+		return err
+	}
+	back, _, err := versionstamp.Decode(wire)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("wire format:          %x -> %v\n", wire, back)
+	return nil
+}

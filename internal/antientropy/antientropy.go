@@ -1,0 +1,196 @@
+// Package antientropy synchronizes kvstore replicas pairwise over TCP — the
+// communication pattern of the weakly connected systems the paper targets:
+// any two replicas that happen to find connectivity exchange state; no
+// membership, no coordinator, no identifier service.
+//
+// The protocol is a single round trip of newline-delimited JSON:
+//
+//	client -> server: {"v":1,"snapshot":<client snapshot>}
+//	server -> client: {"v":1,"snapshot":<merged snapshot>,"result":{...}}
+//
+// The server restores the client's snapshot into a shadow replica, runs one
+// kvstore.Sync between its own replica and the shadow (exactly the
+// in-process semantics: transfers fork stamps, dominance reconciles,
+// conflicts use the server's resolver or are skipped), and returns the
+// shadow's merged state, which the client adopts. Stamps do all causality
+// work; the transport carries only opaque snapshots.
+package antientropy
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+	"time"
+
+	"versionstamp/internal/kvstore"
+)
+
+// protocolVersion guards against skew between endpoints.
+const protocolVersion = 1
+
+// defaultTimeout bounds each network round trip.
+const defaultTimeout = 10 * time.Second
+
+// ErrProtocol is returned for malformed or version-skewed messages.
+var ErrProtocol = errors.New("antientropy: protocol error")
+
+// request is the client's opening message.
+type request struct {
+	V        int             `json:"v"`
+	Snapshot json.RawMessage `json:"snapshot"`
+}
+
+// response is the server's reply.
+type response struct {
+	V        int                `json:"v"`
+	Snapshot json.RawMessage    `json:"snapshot"`
+	Result   kvstore.SyncResult `json:"result"`
+	Error    string             `json:"error,omitempty"`
+}
+
+// Server exposes a replica for anti-entropy over TCP.
+type Server struct {
+	replica *kvstore.Replica
+	resolve kvstore.Resolver
+
+	mu       sync.Mutex
+	listener net.Listener
+	wg       sync.WaitGroup
+	closed   bool
+}
+
+// NewServer wraps a replica. The resolver handles conflicting keys during
+// syncs initiated by peers; nil skips conflicts (they stay reported on the
+// client side).
+func NewServer(replica *kvstore.Replica, resolve kvstore.Resolver) *Server {
+	return &Server{replica: replica, resolve: resolve}
+}
+
+// Listen starts accepting connections on addr (e.g. "127.0.0.1:0") and
+// returns the bound address. Serve loops run in background goroutines until
+// Close.
+func (s *Server) Listen(addr string) (string, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return "", fmt.Errorf("antientropy: %w", err)
+	}
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		_ = ln.Close()
+		return "", errors.New("antientropy: server closed")
+	}
+	s.listener = ln
+	s.mu.Unlock()
+
+	s.wg.Add(1)
+	go s.acceptLoop(ln)
+	return ln.Addr().String(), nil
+}
+
+func (s *Server) acceptLoop(ln net.Listener) {
+	defer s.wg.Done()
+	for {
+		conn, err := ln.Accept()
+		if err != nil {
+			return // listener closed
+		}
+		s.wg.Add(1)
+		go func() {
+			defer s.wg.Done()
+			s.handle(conn)
+		}()
+	}
+}
+
+func (s *Server) handle(conn net.Conn) {
+	defer conn.Close()
+	_ = conn.SetDeadline(time.Now().Add(defaultTimeout))
+	dec := json.NewDecoder(conn)
+	enc := json.NewEncoder(conn)
+
+	var req request
+	if err := dec.Decode(&req); err != nil {
+		_ = enc.Encode(response{V: protocolVersion, Error: "bad request: " + err.Error()})
+		return
+	}
+	if req.V != protocolVersion {
+		_ = enc.Encode(response{V: protocolVersion,
+			Error: fmt.Sprintf("version skew: got %d, want %d", req.V, protocolVersion)})
+		return
+	}
+	shadow, err := kvstore.Restore(req.Snapshot)
+	if err != nil {
+		_ = enc.Encode(response{V: protocolVersion, Error: "bad snapshot: " + err.Error()})
+		return
+	}
+	result, err := kvstore.Sync(s.replica, shadow, s.resolve)
+	if err != nil {
+		_ = enc.Encode(response{V: protocolVersion, Error: "sync: " + err.Error()})
+		return
+	}
+	merged, err := shadow.Snapshot()
+	if err != nil {
+		_ = enc.Encode(response{V: protocolVersion, Error: "snapshot: " + err.Error()})
+		return
+	}
+	_ = enc.Encode(response{V: protocolVersion, Snapshot: merged, Result: result})
+}
+
+// Close stops the listener and waits for in-flight syncs to finish.
+func (s *Server) Close() error {
+	s.mu.Lock()
+	s.closed = true
+	ln := s.listener
+	s.listener = nil
+	s.mu.Unlock()
+	var err error
+	if ln != nil {
+		err = ln.Close()
+	}
+	s.wg.Wait()
+	return err
+}
+
+// SyncWith performs one anti-entropy round between the local replica and
+// the server at addr: the local replica adopts the merged state. The
+// returned SyncResult is from the server's perspective of the pair
+// (transfers count both directions).
+func SyncWith(addr string, local *kvstore.Replica) (kvstore.SyncResult, error) {
+	return syncWith(addr, local, defaultTimeout)
+}
+
+func syncWith(addr string, local *kvstore.Replica, timeout time.Duration) (kvstore.SyncResult, error) {
+	snap, err := local.Snapshot()
+	if err != nil {
+		return kvstore.SyncResult{}, fmt.Errorf("antientropy: %w", err)
+	}
+	conn, err := net.DialTimeout("tcp", addr, timeout)
+	if err != nil {
+		return kvstore.SyncResult{}, fmt.Errorf("antientropy: dial %s: %w", addr, err)
+	}
+	defer conn.Close()
+	_ = conn.SetDeadline(time.Now().Add(timeout))
+
+	enc := json.NewEncoder(conn)
+	dec := json.NewDecoder(conn)
+	if err := enc.Encode(request{V: protocolVersion, Snapshot: snap}); err != nil {
+		return kvstore.SyncResult{}, fmt.Errorf("antientropy: send: %w", err)
+	}
+	var resp response
+	if err := dec.Decode(&resp); err != nil {
+		return kvstore.SyncResult{}, fmt.Errorf("antientropy: receive: %w", err)
+	}
+	if resp.Error != "" {
+		return kvstore.SyncResult{}, fmt.Errorf("%w: %s", ErrProtocol, resp.Error)
+	}
+	if resp.V != protocolVersion {
+		return kvstore.SyncResult{}, fmt.Errorf("%w: version skew %d", ErrProtocol, resp.V)
+	}
+	if err := local.Adopt(resp.Snapshot); err != nil {
+		return kvstore.SyncResult{}, fmt.Errorf("antientropy: adopt merged state: %w", err)
+	}
+	return resp.Result, nil
+}

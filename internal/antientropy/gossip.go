@@ -1,0 +1,165 @@
+package antientropy
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+
+	"versionstamp/internal/kvstore"
+)
+
+// Cluster manages a set of replicas that gossip over TCP: each node runs a
+// Server, and gossip rounds pick random pairs to synchronize — the
+// opportunistic, coordinator-free communication pattern of weakly connected
+// systems. Partitions can be injected to model the paper's operating
+// environment: gossip simply never selects pairs that cannot reach each
+// other, and convergence resumes when the partition heals.
+type Cluster struct {
+	replicas []*kvstore.Replica
+	servers  []*Server
+	addrs    []string
+	// group assigns each node to a partition group; nodes in different
+	// groups cannot gossip. All zero = fully connected.
+	group []int
+	rng   *rand.Rand
+}
+
+// NewCluster starts n replicas with servers on loopback ports. The resolver
+// is shared by all servers. Close the cluster to release the listeners.
+func NewCluster(n int, resolve kvstore.Resolver, seed int64) (*Cluster, error) {
+	if n < 2 {
+		return nil, fmt.Errorf("antientropy: cluster needs >= 2 nodes, got %d", n)
+	}
+	c := &Cluster{
+		group: make([]int, n),
+		rng:   rand.New(rand.NewSource(seed)),
+	}
+	for i := 0; i < n; i++ {
+		r := kvstore.NewReplica(fmt.Sprintf("node-%d", i))
+		srv := NewServer(r, resolve)
+		addr, err := srv.Listen("127.0.0.1:0")
+		if err != nil {
+			_ = c.Close()
+			return nil, err
+		}
+		c.replicas = append(c.replicas, r)
+		c.servers = append(c.servers, srv)
+		c.addrs = append(c.addrs, addr)
+	}
+	return c, nil
+}
+
+// Close shuts down every server.
+func (c *Cluster) Close() error {
+	var firstErr error
+	for _, s := range c.servers {
+		if err := s.Close(); err != nil && firstErr == nil {
+			firstErr = err
+		}
+	}
+	return firstErr
+}
+
+// Size returns the number of nodes.
+func (c *Cluster) Size() int { return len(c.replicas) }
+
+// Replica returns node i's store for reads and writes.
+func (c *Cluster) Replica(i int) (*kvstore.Replica, error) {
+	if i < 0 || i >= len(c.replicas) {
+		return nil, fmt.Errorf("antientropy: node %d out of range", i)
+	}
+	return c.replicas[i], nil
+}
+
+// Partition assigns nodes to connectivity groups; nodes gossip only within
+// their group. Pass all zeros (or call Heal) to reconnect everyone.
+func (c *Cluster) Partition(groups []int) error {
+	if len(groups) != len(c.replicas) {
+		return fmt.Errorf("antientropy: %d group assignments for %d nodes",
+			len(groups), len(c.replicas))
+	}
+	copy(c.group, groups)
+	return nil
+}
+
+// Heal removes all partitions.
+func (c *Cluster) Heal() {
+	for i := range c.group {
+		c.group[i] = 0
+	}
+}
+
+// GossipRound performs up to `pairs` random pairwise syncs among currently
+// reachable pairs, returning how many syncs ran. Unreachable pairs (across
+// partition groups) are skipped — gossip does not fail, it just cannot
+// happen, exactly like mobile nodes out of range.
+func (c *Cluster) GossipRound(pairs int) (int, error) {
+	ran := 0
+	for p := 0; p < pairs; p++ {
+		i := c.rng.Intn(len(c.replicas))
+		j := c.rng.Intn(len(c.replicas) - 1)
+		if j >= i {
+			j++
+		}
+		if c.group[i] != c.group[j] {
+			continue // partitioned pair: no contact
+		}
+		if _, err := SyncWith(c.addrs[j], c.replicas[i]); err != nil {
+			return ran, fmt.Errorf("antientropy: gossip %d->%d: %w", i, j, err)
+		}
+		ran++
+	}
+	return ran, nil
+}
+
+// ErrNotConverged is returned by GossipUntilConverged when the budget runs
+// out before all reachable nodes agree.
+var ErrNotConverged = errors.New("antientropy: cluster did not converge")
+
+// GossipUntilConverged runs gossip rounds until every pair of nodes in the
+// same partition group stores identical live contents, or maxRounds is
+// exhausted. It returns the number of rounds used.
+func (c *Cluster) GossipUntilConverged(maxRounds int) (int, error) {
+	for round := 1; round <= maxRounds; round++ {
+		if _, err := c.GossipRound(len(c.replicas)); err != nil {
+			return round, err
+		}
+		if c.converged() {
+			return round, nil
+		}
+	}
+	return maxRounds, ErrNotConverged
+}
+
+// converged reports whether all same-group pairs agree on live contents.
+func (c *Cluster) converged() bool {
+	for i := 0; i < len(c.replicas); i++ {
+		for j := i + 1; j < len(c.replicas); j++ {
+			if c.group[i] != c.group[j] {
+				continue
+			}
+			if !sameContents(c.replicas[i], c.replicas[j]) {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+func sameContents(a, b *kvstore.Replica) bool {
+	keys := map[string]bool{}
+	for _, k := range a.Keys() {
+		keys[k] = true
+	}
+	for _, k := range b.Keys() {
+		keys[k] = true
+	}
+	for k := range keys {
+		va, okA := a.Get(k)
+		vb, okB := b.Get(k)
+		if okA != okB || string(va) != string(vb) {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,132 @@
+package antientropy
+
+import (
+	"errors"
+	"fmt"
+	"testing"
+
+	"versionstamp/internal/kvstore"
+)
+
+func newCluster(t *testing.T, n int) *Cluster {
+	t.Helper()
+	c, err := NewCluster(n, kvstore.KeepBoth([]byte("|")), 7)
+	if err != nil {
+		t.Fatalf("NewCluster: %v", err)
+	}
+	t.Cleanup(func() { _ = c.Close() })
+	return c
+}
+
+func TestClusterBasics(t *testing.T) {
+	c := newCluster(t, 3)
+	if c.Size() != 3 {
+		t.Errorf("Size = %d", c.Size())
+	}
+	if _, err := c.Replica(3); err == nil {
+		t.Error("out-of-range replica accepted")
+	}
+	if _, err := NewCluster(1, nil, 1); err == nil {
+		t.Error("1-node cluster accepted")
+	}
+	if err := c.Partition([]int{0}); err == nil {
+		t.Error("wrong-length partition accepted")
+	}
+}
+
+func TestGossipConvergence(t *testing.T) {
+	c := newCluster(t, 4)
+	// Each node writes its own key.
+	for i := 0; i < c.Size(); i++ {
+		r, err := c.Replica(i)
+		if err != nil {
+			t.Fatal(err)
+		}
+		r.Put(fmt.Sprintf("key-%d", i), []byte(fmt.Sprintf("from-%d", i)))
+	}
+	rounds, err := c.GossipUntilConverged(40)
+	if err != nil {
+		t.Fatalf("convergence: %v", err)
+	}
+	t.Logf("converged in %d rounds", rounds)
+	// Every node has every key.
+	for i := 0; i < c.Size(); i++ {
+		r, _ := c.Replica(i)
+		for j := 0; j < c.Size(); j++ {
+			if _, ok := r.Get(fmt.Sprintf("key-%d", j)); !ok {
+				t.Errorf("node %d missing key-%d", i, j)
+			}
+		}
+	}
+}
+
+func TestGossipUnderPartition(t *testing.T) {
+	c := newCluster(t, 4)
+	r0, _ := c.Replica(0)
+	r0.Put("shared", []byte("v1"))
+	if _, err := c.GossipUntilConverged(40); err != nil {
+		t.Fatalf("initial convergence: %v", err)
+	}
+
+	// Split {0,1} | {2,3}; each side writes independently.
+	if err := c.Partition([]int{0, 0, 1, 1}); err != nil {
+		t.Fatal(err)
+	}
+	r0.Put("shared", []byte("left"))
+	r2, _ := c.Replica(2)
+	r2.Put("shared", []byte("right"))
+	if _, err := c.GossipUntilConverged(40); err != nil {
+		t.Fatalf("within-partition convergence: %v", err)
+	}
+	// Sides converged internally but to different values.
+	r1, _ := c.Replica(1)
+	r3, _ := c.Replica(3)
+	v1, _ := r1.Get("shared")
+	v3, _ := r3.Get("shared")
+	if string(v1) != "left" || string(v3) != "right" {
+		t.Fatalf("partition values: %q / %q", v1, v3)
+	}
+
+	// Heal: the concurrent writes are detected and merged by the resolver.
+	c.Heal()
+	if _, err := c.GossipUntilConverged(60); err != nil {
+		t.Fatalf("post-heal convergence: %v", err)
+	}
+	va, _ := r1.Get("shared")
+	vb, _ := r3.Get("shared")
+	if string(va) != string(vb) {
+		t.Fatalf("post-heal divergence: %q vs %q", va, vb)
+	}
+	if string(va) != "left|right" && string(va) != "right|left" {
+		t.Errorf("merged value = %q", va)
+	}
+}
+
+func TestGossipRoundSkipsPartitionedPairs(t *testing.T) {
+	c := newCluster(t, 2)
+	if err := c.Partition([]int{0, 1}); err != nil {
+		t.Fatal(err)
+	}
+	ran, err := c.GossipRound(10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ran != 0 {
+		t.Errorf("%d syncs ran across a full partition", ran)
+	}
+	// Convergence across the partition is impossible; within groups of one
+	// it is trivially true.
+	if _, err := c.GossipUntilConverged(3); err != nil {
+		t.Fatalf("per-group convergence: %v", err)
+	}
+}
+
+func TestGossipNonConvergenceBudget(t *testing.T) {
+	c := newCluster(t, 3)
+	r0, _ := c.Replica(0)
+	r0.Put("k", []byte("v"))
+	// Zero rounds cannot converge a dirty cluster.
+	if _, err := c.GossipUntilConverged(0); !errors.Is(err, ErrNotConverged) {
+		t.Errorf("want ErrNotConverged, got %v", err)
+	}
+}

@@ -1,0 +1,189 @@
+// Package bitstr implements finite binary strings over the alphabet {0,1}
+// together with the prefix partial order used throughout the version-stamp
+// construction (Almeida, Baquero, Fonte: "Version Stamps — Decentralized
+// Version Vectors", ICDCS 2002, Section 4).
+//
+// A binary string r is below another string s, written r ⊑ s, exactly when r
+// is a prefix of s. The empty string ε is the bottom of this order. Two
+// strings with no prefix relation in either direction are incomparable,
+// written r ∥ s.
+//
+// Strings are represented as Go strings containing only the bytes '0' and
+// '1'. The representation is immutable and can be compared, hashed and
+// sorted with the built-in string operations; lexicographic order groups
+// every string's extensions into a contiguous run, which package name
+// exploits for binary-search domination checks.
+package bitstr
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Bits is a finite binary string: a sequence of the bytes '0' and '1'.
+// The zero value is the empty string ε, the bottom of the prefix order.
+//
+// Not every Go string is a valid Bits; use Parse to validate external
+// input, or construct values with Append0, Append1 and Concat which
+// preserve validity.
+type Bits string
+
+// Epsilon is the empty binary string ε, the bottom of the prefix order.
+const Epsilon Bits = ""
+
+// Bit values accepted by AppendBit.
+const (
+	Zero byte = '0'
+	One  byte = '1'
+)
+
+// Valid reports whether b contains only the bytes '0' and '1'.
+func (b Bits) Valid() bool {
+	for i := 0; i < len(b); i++ {
+		if b[i] != Zero && b[i] != One {
+			return false
+		}
+	}
+	return true
+}
+
+// Parse validates s as a binary string. It accepts the conventional
+// spellings of the empty string: "", "ε" and "e".
+func Parse(s string) (Bits, error) {
+	switch s {
+	case "", "ε", "e":
+		return Epsilon, nil
+	}
+	b := Bits(s)
+	if !b.Valid() {
+		return Epsilon, fmt.Errorf("bitstr: parse %q: not a binary string", s)
+	}
+	return b, nil
+}
+
+// String renders b, spelling the empty string as "ε".
+func (b Bits) String() string {
+	if len(b) == 0 {
+		return "ε"
+	}
+	return string(b)
+}
+
+// Len returns the length (depth) of b in bits.
+func (b Bits) Len() int { return len(b) }
+
+// IsEpsilon reports whether b is the empty string.
+func (b Bits) IsEpsilon() bool { return len(b) == 0 }
+
+// PrefixOf reports b ⊑ c: b is a (not necessarily proper) prefix of c.
+func (b Bits) PrefixOf(c Bits) bool {
+	return strings.HasPrefix(string(c), string(b))
+}
+
+// StrictPrefixOf reports b ⊏ c: b is a proper prefix of c.
+func (b Bits) StrictPrefixOf(c Bits) bool {
+	return len(b) < len(c) && b.PrefixOf(c)
+}
+
+// ComparableTo reports whether b and c are related by the prefix order in
+// either direction (b ⊑ c or c ⊑ b).
+func (b Bits) ComparableTo(c Bits) bool {
+	if len(b) <= len(c) {
+		return b.PrefixOf(c)
+	}
+	return c.PrefixOf(b)
+}
+
+// IncomparableTo reports b ∥ c: neither string is a prefix of the other.
+// Invariant I2 of the paper states that all id strings across a frontier
+// are pairwise incomparable.
+func (b Bits) IncomparableTo(c Bits) bool { return !b.ComparableTo(c) }
+
+// Append0 returns b·0, the left fork of b.
+func (b Bits) Append0() Bits { return b + Bits([]byte{Zero}) }
+
+// Append1 returns b·1, the right fork of b.
+func (b Bits) Append1() Bits { return b + Bits([]byte{One}) }
+
+// AppendBit returns b·bit. The bit must be Zero or One; any other byte
+// returns b unchanged and ok=false.
+func (b Bits) AppendBit(bit byte) (Bits, bool) {
+	if bit != Zero && bit != One {
+		return b, false
+	}
+	return b + Bits([]byte{bit}), true
+}
+
+// Concat returns b·c, the concatenation of the two strings.
+func (b Bits) Concat(c Bits) Bits { return b + c }
+
+// Parent returns b without its final bit, together with that bit.
+// ok is false when b is the empty string, which has no parent.
+func (b Bits) Parent() (parent Bits, lastBit byte, ok bool) {
+	if len(b) == 0 {
+		return Epsilon, 0, false
+	}
+	return b[:len(b)-1], b[len(b)-1], true
+}
+
+// Sibling returns the string that differs from b only in the final bit
+// (the other child of b's parent). ok is false for the empty string.
+//
+// The reduction rule of Section 6 collapses a sibling pair {s·0, s·1}
+// present in an id back into s.
+func (b Bits) Sibling() (Bits, bool) {
+	parent, last, ok := b.Parent()
+	if !ok {
+		return Epsilon, false
+	}
+	if last == Zero {
+		return parent.Append1(), true
+	}
+	return parent.Append0(), true
+}
+
+// Bit returns the i-th bit of b as Zero or One. It reports ok=false when i
+// is out of range.
+func (b Bits) Bit(i int) (byte, bool) {
+	if i < 0 || i >= len(b) {
+		return 0, false
+	}
+	return b[i], true
+}
+
+// CommonPrefix returns the longest common prefix of b and c.
+func (b Bits) CommonPrefix(c Bits) Bits {
+	n := min(len(b), len(c))
+	i := 0
+	for i < n && b[i] == c[i] {
+		i++
+	}
+	return b[:i]
+}
+
+// Compare orders b and c lexicographically (NOT the prefix order): it
+// returns -1, 0 or +1. Lexicographic order is a linear extension used for
+// canonical sorted storage of antichains; a string always sorts immediately
+// before all of its proper extensions.
+func (b Bits) Compare(c Bits) int {
+	return strings.Compare(string(b), string(c))
+}
+
+// UpperBoundForPrefix returns the smallest string (in lexicographic order)
+// that is greater than every extension of b, and ok=false if no such string
+// exists within the binary alphabet (this happens only for b consisting
+// entirely of '1' bits, including ε, whose extensions are unbounded above).
+//
+// The half-open lexicographic interval [b, UpperBoundForPrefix(b)) contains
+// exactly the strings that have b as a prefix, which lets sorted containers
+// answer domination queries with binary search.
+func (b Bits) UpperBoundForPrefix() (Bits, bool) {
+	// Increment the last '0' bit to '1' and truncate: e.g. 0110 -> 0111,
+	// but 011 -> 1 (drop trailing ones, bump).
+	for i := len(b) - 1; i >= 0; i-- {
+		if b[i] == Zero {
+			return b[:i] + Bits([]byte{One}), true
+		}
+	}
+	return Epsilon, false
+}

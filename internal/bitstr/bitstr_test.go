@@ -1,0 +1,378 @@
+package bitstr
+
+import (
+	"math/rand"
+	"sort"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+// randBits produces an arbitrary valid binary string of length <= maxLen.
+func randBits(rng *rand.Rand, maxLen int) Bits {
+	n := rng.Intn(maxLen + 1)
+	var sb strings.Builder
+	sb.Grow(n)
+	for i := 0; i < n; i++ {
+		if rng.Intn(2) == 0 {
+			sb.WriteByte(Zero)
+		} else {
+			sb.WriteByte(One)
+		}
+	}
+	return Bits(sb.String())
+}
+
+func TestValid(t *testing.T) {
+	tests := []struct {
+		in   string
+		want bool
+	}{
+		{"", true},
+		{"0", true},
+		{"1", true},
+		{"0101101", true},
+		{"2", false},
+		{"01a", false},
+		{"ε", false}, // the epsilon glyph itself is not a raw bit string
+		{" 01", false},
+	}
+	for _, tt := range tests {
+		if got := Bits(tt.in).Valid(); got != tt.want {
+			t.Errorf("Bits(%q).Valid() = %v, want %v", tt.in, got, tt.want)
+		}
+	}
+}
+
+func TestParse(t *testing.T) {
+	tests := []struct {
+		in      string
+		want    Bits
+		wantErr bool
+	}{
+		{"", Epsilon, false},
+		{"ε", Epsilon, false},
+		{"e", Epsilon, false},
+		{"0", Bits("0"), false},
+		{"0110", Bits("0110"), false},
+		{"01x0", Epsilon, true},
+		{"eps", Epsilon, true},
+	}
+	for _, tt := range tests {
+		got, err := Parse(tt.in)
+		if (err != nil) != tt.wantErr {
+			t.Errorf("Parse(%q) error = %v, wantErr %v", tt.in, err, tt.wantErr)
+			continue
+		}
+		if !tt.wantErr && got != tt.want {
+			t.Errorf("Parse(%q) = %q, want %q", tt.in, got, tt.want)
+		}
+	}
+}
+
+func TestStringRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for i := 0; i < 200; i++ {
+		b := randBits(rng, 12)
+		got, err := Parse(b.String())
+		if err != nil {
+			t.Fatalf("Parse(%q): %v", b.String(), err)
+		}
+		if got != b {
+			t.Fatalf("round trip %q -> %q", b, got)
+		}
+	}
+}
+
+func TestPrefixOf(t *testing.T) {
+	tests := []struct {
+		b, c string
+		want bool
+	}{
+		{"", "", true},
+		{"", "0", true},
+		{"", "11010", true},
+		{"0", "", false},
+		{"0", "0", true},
+		{"01", "011", true}, // example from the paper: 01 ⊑ 011
+		{"01", "00", false}, // example from the paper: 01 ∥ 00
+		{"00", "01", false},
+		{"011", "01", false},
+		{"1", "01", false},
+	}
+	for _, tt := range tests {
+		if got := Bits(tt.b).PrefixOf(Bits(tt.c)); got != tt.want {
+			t.Errorf("(%q).PrefixOf(%q) = %v, want %v", tt.b, tt.c, got, tt.want)
+		}
+	}
+}
+
+func TestStrictPrefixOf(t *testing.T) {
+	if Bits("01").StrictPrefixOf(Bits("01")) {
+		t.Error("a string must not be a strict prefix of itself")
+	}
+	if !Bits("01").StrictPrefixOf(Bits("010")) {
+		t.Error("01 should be a strict prefix of 010")
+	}
+	if Bits("010").StrictPrefixOf(Bits("01")) {
+		t.Error("010 is not a prefix of 01")
+	}
+}
+
+func TestOrderIsPartialOrder(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	for i := 0; i < 500; i++ {
+		a, b, c := randBits(rng, 8), randBits(rng, 8), randBits(rng, 8)
+		// Reflexivity.
+		if !a.PrefixOf(a) {
+			t.Fatalf("reflexivity violated for %q", a)
+		}
+		// Antisymmetry.
+		if a.PrefixOf(b) && b.PrefixOf(a) && a != b {
+			t.Fatalf("antisymmetry violated for %q, %q", a, b)
+		}
+		// Transitivity.
+		if a.PrefixOf(b) && b.PrefixOf(c) && !a.PrefixOf(c) {
+			t.Fatalf("transitivity violated for %q ⊑ %q ⊑ %q", a, b, c)
+		}
+	}
+}
+
+func TestEpsilonIsBottom(t *testing.T) {
+	err := quick.Check(func(raw []bool) bool {
+		b := Epsilon
+		for _, bit := range raw {
+			if bit {
+				b = b.Append1()
+			} else {
+				b = b.Append0()
+			}
+		}
+		return Epsilon.PrefixOf(b)
+	}, nil)
+	if err != nil {
+		t.Error(err)
+	}
+}
+
+func TestComparableIncomparable(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	for i := 0; i < 500; i++ {
+		a, b := randBits(rng, 8), randBits(rng, 8)
+		comp := a.PrefixOf(b) || b.PrefixOf(a)
+		if got := a.ComparableTo(b); got != comp {
+			t.Fatalf("ComparableTo(%q, %q) = %v, want %v", a, b, got, comp)
+		}
+		if got := a.IncomparableTo(b); got == comp {
+			t.Fatalf("IncomparableTo(%q, %q) = %v, want %v", a, b, got, !comp)
+		}
+	}
+}
+
+func TestAppendAndParent(t *testing.T) {
+	b := Epsilon
+	b = b.Append0() // 0
+	b = b.Append1() // 01
+	if b != Bits("01") {
+		t.Fatalf("appends produced %q, want 01", b)
+	}
+	parent, last, ok := b.Parent()
+	if !ok || parent != Bits("0") || last != One {
+		t.Fatalf("Parent(01) = %q,%c,%v", parent, last, ok)
+	}
+	if _, _, ok := Epsilon.Parent(); ok {
+		t.Fatal("ε must not have a parent")
+	}
+}
+
+func TestAppendBit(t *testing.T) {
+	if got, ok := Bits("1").AppendBit(Zero); !ok || got != Bits("10") {
+		t.Errorf("AppendBit('0') = %q,%v", got, ok)
+	}
+	if got, ok := Bits("1").AppendBit(One); !ok || got != Bits("11") {
+		t.Errorf("AppendBit('1') = %q,%v", got, ok)
+	}
+	if _, ok := Bits("1").AppendBit('x'); ok {
+		t.Error("AppendBit('x') must fail")
+	}
+}
+
+func TestSibling(t *testing.T) {
+	tests := []struct {
+		in, want string
+	}{
+		{"0", "1"},
+		{"1", "0"},
+		{"010", "011"},
+		{"011", "010"},
+	}
+	for _, tt := range tests {
+		got, ok := Bits(tt.in).Sibling()
+		if !ok || got != Bits(tt.want) {
+			t.Errorf("Sibling(%q) = %q,%v want %q", tt.in, got, ok, tt.want)
+		}
+	}
+	if _, ok := Epsilon.Sibling(); ok {
+		t.Error("ε must not have a sibling")
+	}
+}
+
+func TestSiblingInvolution(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	for i := 0; i < 300; i++ {
+		b := randBits(rng, 10)
+		if b.IsEpsilon() {
+			continue
+		}
+		sib, ok := b.Sibling()
+		if !ok {
+			t.Fatalf("Sibling(%q) failed", b)
+		}
+		back, ok := sib.Sibling()
+		if !ok || back != b {
+			t.Fatalf("Sibling is not an involution on %q: got %q", b, back)
+		}
+		if !sib.IncomparableTo(b) {
+			t.Fatalf("siblings must be incomparable: %q vs %q", b, sib)
+		}
+	}
+}
+
+func TestBit(t *testing.T) {
+	b := Bits("010")
+	wantBits := []byte{Zero, One, Zero}
+	for i, want := range wantBits {
+		got, ok := b.Bit(i)
+		if !ok || got != want {
+			t.Errorf("Bit(%d) = %c,%v want %c", i, got, ok, want)
+		}
+	}
+	if _, ok := b.Bit(3); ok {
+		t.Error("Bit(3) out of range must fail")
+	}
+	if _, ok := b.Bit(-1); ok {
+		t.Error("Bit(-1) out of range must fail")
+	}
+}
+
+func TestCommonPrefix(t *testing.T) {
+	tests := []struct {
+		a, b, want string
+	}{
+		{"", "", ""},
+		{"0", "1", ""},
+		{"01", "00", "0"},
+		{"0110", "0111", "011"},
+		{"01", "0110", "01"},
+	}
+	for _, tt := range tests {
+		if got := Bits(tt.a).CommonPrefix(Bits(tt.b)); got != Bits(tt.want) {
+			t.Errorf("CommonPrefix(%q,%q) = %q, want %q", tt.a, tt.b, got, tt.want)
+		}
+	}
+}
+
+func TestCommonPrefixLaws(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	for i := 0; i < 300; i++ {
+		a, b := randBits(rng, 10), randBits(rng, 10)
+		p := a.CommonPrefix(b)
+		if !p.PrefixOf(a) || !p.PrefixOf(b) {
+			t.Fatalf("CommonPrefix(%q,%q)=%q is not a common prefix", a, b, p)
+		}
+		if p != b.CommonPrefix(a) {
+			t.Fatalf("CommonPrefix not symmetric on %q,%q", a, b)
+		}
+		// Maximality: extending p by the next bit of a must not prefix b
+		// (unless p equals a or b entirely).
+		if len(p) < len(a) && len(p) < len(b) && a[len(p)] == b[len(p)] {
+			t.Fatalf("CommonPrefix(%q,%q)=%q is not maximal", a, b, p)
+		}
+	}
+}
+
+func TestUpperBoundForPrefix(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	for i := 0; i < 400; i++ {
+		b := randBits(rng, 8)
+		hi, ok := b.UpperBoundForPrefix()
+		ext := randBits(rng, 6)
+		full := b.Concat(ext) // an arbitrary extension of b
+		if ok {
+			if full.Compare(hi) >= 0 {
+				t.Fatalf("extension %q of %q not below bound %q", full, b, hi)
+			}
+			if full.Compare(b) < 0 {
+				t.Fatalf("extension %q of %q sorts below it", full, b)
+			}
+			// hi itself must not be an extension of b.
+			if b.PrefixOf(hi) {
+				t.Fatalf("bound %q is an extension of %q", hi, b)
+			}
+		} else {
+			// Only all-ones strings (and ε) lack an upper bound.
+			for j := 0; j < len(b); j++ {
+				if b[j] != One {
+					t.Fatalf("UpperBoundForPrefix(%q) = not-ok but string has a 0", b)
+				}
+			}
+		}
+	}
+}
+
+func TestLexOrderGroupsExtensions(t *testing.T) {
+	// Property: in a sorted list, the extensions of any string b form a
+	// contiguous run beginning at the first element >= b.
+	rng := rand.New(rand.NewSource(7))
+	for iter := 0; iter < 100; iter++ {
+		n := 1 + rng.Intn(30)
+		list := make([]Bits, n)
+		for i := range list {
+			list[i] = randBits(rng, 6)
+		}
+		sort.Slice(list, func(i, j int) bool { return list[i].Compare(list[j]) < 0 })
+		b := randBits(rng, 4)
+		lo := sort.Search(len(list), func(i int) bool { return list[i].Compare(b) >= 0 })
+		seenNonExt := false
+		for i := lo; i < len(list); i++ {
+			isExt := b.PrefixOf(list[i])
+			if isExt && seenNonExt {
+				t.Fatalf("extensions of %q are not contiguous in %v", b, list)
+			}
+			if !isExt {
+				seenNonExt = true
+			}
+		}
+		for i := 0; i < lo; i++ {
+			if b.PrefixOf(list[i]) {
+				t.Fatalf("extension %q of %q sorts below it", list[i], b)
+			}
+		}
+	}
+}
+
+func TestConcatMonotone(t *testing.T) {
+	// Iterated concatenation cannot revert ∥ (used in the I2 proof):
+	// t ∥ v implies t·x ∥ v for any x.
+	rng := rand.New(rand.NewSource(8))
+	for i := 0; i < 500; i++ {
+		a, b := randBits(rng, 8), randBits(rng, 8)
+		if !a.IncomparableTo(b) {
+			continue
+		}
+		ext := randBits(rng, 5)
+		if !a.Concat(ext).IncomparableTo(b) {
+			t.Fatalf("concatenation reverted incomparability: %q∥%q but %q ⋢∥ %q",
+				a, b, a.Concat(ext), b)
+		}
+	}
+}
+
+func TestLen(t *testing.T) {
+	if Epsilon.Len() != 0 {
+		t.Error("len(ε) must be 0")
+	}
+	if Bits("0101").Len() != 4 {
+		t.Error("len(0101) must be 4")
+	}
+}

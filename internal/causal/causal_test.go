@@ -1,0 +1,246 @@
+package causal
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestInitialConfiguration(t *testing.T) {
+	s, a := NewSystem()
+	if s.Size() != 1 {
+		t.Fatalf("initial frontier size = %d, want 1", s.Size())
+	}
+	h, err := s.History(a)
+	if err != nil {
+		t.Fatalf("History: %v", err)
+	}
+	if h.Len() != 0 {
+		t.Errorf("initial history = %v, want {}", h)
+	}
+	if h.String() != "{}" {
+		t.Errorf("String = %q", h.String())
+	}
+}
+
+func TestUpdateAddsFreshEvent(t *testing.T) {
+	s, a := NewSystem()
+	a1, err := s.Update(a)
+	if err != nil {
+		t.Fatalf("Update: %v", err)
+	}
+	if _, err := s.History(a); err == nil {
+		t.Error("old element must leave the frontier")
+	}
+	h1, _ := s.History(a1)
+	if h1.Len() != 1 {
+		t.Fatalf("history after update = %v", h1)
+	}
+	a2, _ := s.Update(a1)
+	h2, _ := s.History(a2)
+	if h2.Len() != 2 {
+		t.Fatalf("history after two updates = %v", h2)
+	}
+	if !h1.SubsetOf(h2) || h2.SubsetOf(h1) {
+		t.Error("updates must strictly grow the history")
+	}
+	if s.TotalEvents() != 2 {
+		t.Errorf("TotalEvents = %d, want 2", s.TotalEvents())
+	}
+}
+
+func TestForkSharesHistory(t *testing.T) {
+	s, a := NewSystem()
+	a, _ = s.Update(a)
+	b, c, err := s.Fork(a)
+	if err != nil {
+		t.Fatalf("Fork: %v", err)
+	}
+	hb, _ := s.History(b)
+	hc, _ := s.History(c)
+	if !hb.Equal(hc) {
+		t.Errorf("fork results differ: %v vs %v", hb, hc)
+	}
+	if s.Size() != 2 {
+		t.Errorf("frontier size = %d, want 2", s.Size())
+	}
+}
+
+func TestJoinUnionsHistories(t *testing.T) {
+	s, a := NewSystem()
+	b, c, _ := s.Fork(a)
+	b, _ = s.Update(b)
+	c, _ = s.Update(c)
+	j, err := s.Join(b, c)
+	if err != nil {
+		t.Fatalf("Join: %v", err)
+	}
+	hj, _ := s.History(j)
+	if hj.Len() != 2 {
+		t.Errorf("joined history = %v, want two events", hj)
+	}
+	if s.Size() != 1 {
+		t.Errorf("frontier size = %d, want 1", s.Size())
+	}
+}
+
+func TestJoinSelfRejected(t *testing.T) {
+	s, a := NewSystem()
+	if _, err := s.Join(a, a); err == nil {
+		t.Error("join of an element with itself must fail")
+	}
+}
+
+func TestStaleHandlesRejected(t *testing.T) {
+	s, a := NewSystem()
+	a1, _ := s.Update(a)
+	if _, err := s.Update(a); err == nil {
+		t.Error("stale update must fail")
+	}
+	if _, _, err := s.Fork(a); err == nil {
+		t.Error("stale fork must fail")
+	}
+	if _, err := s.Join(a, a1); err == nil {
+		t.Error("stale join must fail")
+	}
+	if _, err := s.Compare(a, a1); err == nil {
+		t.Error("stale compare must fail")
+	}
+	if _, err := s.SubsetOfUnion(a, []Elem{a1}); err == nil {
+		t.Error("stale subset query must fail")
+	}
+}
+
+func TestCompareScenarios(t *testing.T) {
+	s, a := NewSystem()
+	b, c, _ := s.Fork(a)
+	// Same histories: equal.
+	if o, _ := s.Compare(b, c); o != Equal {
+		t.Errorf("fresh siblings: %v, want equal", o)
+	}
+	// One update: strict dominance.
+	b1, _ := s.Update(b)
+	if o, _ := s.Compare(c, b1); o != Before {
+		t.Errorf("stale vs updated: %v, want before", o)
+	}
+	if o, _ := s.Compare(b1, c); o != After {
+		t.Errorf("updated vs stale: %v, want after", o)
+	}
+	// Updates on both sides: mutual inconsistency.
+	c1, _ := s.Update(c)
+	if o, _ := s.Compare(b1, c1); o != Concurrent {
+		t.Errorf("independent updates: %v, want concurrent", o)
+	}
+}
+
+func TestSubsetOfUnion(t *testing.T) {
+	s, a := NewSystem()
+	b, c, _ := s.Fork(a)
+	c, cc, _ := s.Fork(c)
+	b, _ = s.Update(b)
+	c, _ = s.Update(c)
+	// b's event is not in c ∪ cc.
+	ok, err := s.SubsetOfUnion(b, []Elem{c, cc})
+	if err != nil {
+		t.Fatalf("SubsetOfUnion: %v", err)
+	}
+	if ok {
+		t.Error("b ⊆ c∪cc must be false")
+	}
+	// cc (empty history) is inside anything.
+	ok, _ = s.SubsetOfUnion(cc, []Elem{b})
+	if !ok {
+		t.Error("{} ⊆ C(b) must hold")
+	}
+	// After joining b and c, the union covers both histories.
+	j, _ := s.Join(b, c)
+	ok, _ = s.SubsetOfUnion(j, []Elem{j})
+	if !ok {
+		t.Error("reflexive subset must hold")
+	}
+}
+
+func TestRandomTraceMaintainsFrontier(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	s, a := NewSystem()
+	live := []Elem{a}
+	for k := 0; k < 500; k++ {
+		switch op := rng.Intn(3); {
+		case op == 0:
+			i := rng.Intn(len(live))
+			e, err := s.Update(live[i])
+			if err != nil {
+				t.Fatalf("update: %v", err)
+			}
+			live[i] = e
+		case op == 1 || len(live) == 1:
+			i := rng.Intn(len(live))
+			x, y, err := s.Fork(live[i])
+			if err != nil {
+				t.Fatalf("fork: %v", err)
+			}
+			live[i] = x
+			live = append(live, y)
+		default:
+			i, j := rng.Intn(len(live)), rng.Intn(len(live))
+			if i == j {
+				continue
+			}
+			e, err := s.Join(live[i], live[j])
+			if err != nil {
+				t.Fatalf("join: %v", err)
+			}
+			live[i] = e
+			live = append(live[:j], live[j+1:]...)
+		}
+		if s.Size() != len(live) {
+			t.Fatalf("frontier size mismatch: system %d, trace %d", s.Size(), len(live))
+		}
+	}
+	// Elems() agrees with our live set.
+	got := s.Elems()
+	if len(got) != len(live) {
+		t.Fatalf("Elems() length %d, want %d", len(got), len(live))
+	}
+	seen := make(map[Elem]bool, len(live))
+	for _, e := range live {
+		seen[e] = true
+	}
+	for _, e := range got {
+		if !seen[e] {
+			t.Fatalf("Elems() returned unknown element %d", e)
+		}
+	}
+}
+
+func TestHistoryEventsSortedAndContains(t *testing.T) {
+	s, a := NewSystem()
+	for i := 0; i < 5; i++ {
+		a, _ = s.Update(a)
+	}
+	h, _ := s.History(a)
+	evs := h.Events()
+	if len(evs) != 5 {
+		t.Fatalf("Events() = %v", evs)
+	}
+	for i := 1; i < len(evs); i++ {
+		if evs[i-1] >= evs[i] {
+			t.Fatalf("Events() not sorted: %v", evs)
+		}
+	}
+	for _, e := range evs {
+		if !h.Contains(e) {
+			t.Fatalf("Contains(%d) = false", e)
+		}
+	}
+	if h.Contains(Event(999)) {
+		t.Error("Contains(999) = true")
+	}
+}
+
+func TestOrderingString(t *testing.T) {
+	if Equal.String() != "equal" || Before.String() != "before" ||
+		After.String() != "after" || Concurrent.String() != "concurrent" ||
+		Ordering(0).String() != "invalid" {
+		t.Error("Ordering.String incorrect")
+	}
+}

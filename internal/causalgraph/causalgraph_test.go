@@ -1,0 +1,320 @@
+package causalgraph
+
+import (
+	"math/rand"
+	"testing"
+
+	"versionstamp/internal/causal"
+)
+
+// buildFigure2 records the execution of the paper's Figure 2 and returns
+// the named elements.
+func buildFigure2(t *testing.T) (*Recorder, map[string]ElemID) {
+	t.Helper()
+	r, a1 := New()
+	must := func(id ElemID, err error) ElemID {
+		t.Helper()
+		if err != nil {
+			t.Fatal(err)
+		}
+		return id
+	}
+	a2 := must(r.Update(a1))
+	b1, c1, err := r.Fork(a2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d1, e1, err := r.Fork(b1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c2 := must(r.Update(c1))
+	c3 := must(r.Update(c2))
+	f1 := must(r.Join(e1, c3))
+	g1 := must(r.Join(d1, f1))
+	return r, map[string]ElemID{
+		"a1": a1, "a2": a2, "b1": b1, "c1": c1, "d1": d1,
+		"e1": e1, "c2": c2, "c3": c3, "f1": f1, "g1": g1,
+	}
+}
+
+// TestPaperSection12Query reproduces the paper's example query: "one may
+// want to inquire how c2 and a1 relate and determine that a1 is in the past
+// of c2" — even though a1 and c2 never coexist.
+func TestPaperSection12Query(t *testing.T) {
+	r, e := buildFigure2(t)
+	rel, err := r.Relation(e["a1"], e["c2"])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rel != Ancestor {
+		t.Errorf("a1 vs c2 = %v, want ancestor", rel)
+	}
+	// And such a pair can never share a frontier.
+	ok, err := r.CoexistencePossible(e["a1"], e["c2"])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ok {
+		t.Error("a1 and c2 must not be able to coexist")
+	}
+	// d1 and c2 are unrelated: they CAN coexist (they do, in Figure 2's
+	// double-dotted frontier).
+	ok, _ = r.CoexistencePossible(e["d1"], e["c2"])
+	if !ok {
+		t.Error("d1 and c2 should be able to coexist")
+	}
+}
+
+func TestFigure2Relations(t *testing.T) {
+	r, e := buildFigure2(t)
+	tests := []struct {
+		x, y string
+		want Relation
+	}{
+		{"a1", "a1", Same},
+		{"a1", "g1", Ancestor},
+		{"g1", "a1", Descendant},
+		{"b1", "c1", Unrelated},
+		{"d1", "e1", Unrelated},
+		{"e1", "f1", Ancestor},
+		{"c3", "f1", Ancestor},
+		{"c3", "d1", Unrelated},
+		{"b1", "f1", Ancestor}, // via e1
+		{"d1", "g1", Ancestor},
+	}
+	for _, tt := range tests {
+		got, err := r.Relation(e[tt.x], e[tt.y])
+		if err != nil {
+			t.Fatalf("Relation(%s,%s): %v", tt.x, tt.y, err)
+		}
+		if got != tt.want {
+			t.Errorf("Relation(%s,%s) = %v, want %v", tt.x, tt.y, got, tt.want)
+		}
+	}
+}
+
+func TestFigure2Histories(t *testing.T) {
+	r, e := buildFigure2(t)
+	// d1 has seen one update (a1->a2); c3 has seen three (a, c, c).
+	hd, _ := r.History(e["d1"])
+	hc, _ := r.History(e["c3"])
+	if len(hd) != 1 || len(hc) != 3 {
+		t.Fatalf("histories: d1=%v c3=%v", hd, hc)
+	}
+	// History ordering: d1 before c3 (its single update is the shared one).
+	o, err := r.CompareHistories(e["d1"], e["c3"])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if o != Before {
+		t.Errorf("d1 vs c3 = %v, want before", o)
+	}
+	// g1 has seen everything.
+	hg, _ := r.History(e["g1"])
+	if len(hg) != 3 {
+		t.Errorf("g1 history = %v", hg)
+	}
+	// g1 merges d1 and f1, which between them saw exactly the updates c3
+	// saw — so their histories are equal even though g1 is c3's descendant.
+	if o, _ := r.CompareHistories(e["c3"], e["g1"]); o != Equal {
+		t.Errorf("c3 vs g1 = %v, want equal", o)
+	}
+	if o, _ := r.CompareHistories(e["g1"], e["g1"]); o != Equal {
+		t.Errorf("g1 vs g1 = %v, want equal", o)
+	}
+}
+
+func TestLifecycleErrors(t *testing.T) {
+	r, a := New()
+	b, err := r.Update(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Operating on a retired element fails.
+	if _, err := r.Update(a); err == nil {
+		t.Error("update of past element accepted")
+	}
+	if _, _, err := r.Fork(a); err == nil {
+		t.Error("fork of past element accepted")
+	}
+	if _, err := r.Join(a, b); err == nil {
+		t.Error("join with past element accepted")
+	}
+	if _, err := r.Join(b, b); err == nil {
+		t.Error("self join accepted")
+	}
+	// Unknown ids fail, but queries on past elements succeed.
+	if _, err := r.Relation(a, ElemID(99)); err == nil {
+		t.Error("unknown element accepted")
+	}
+	if _, err := r.History(ElemID(99)); err == nil {
+		t.Error("unknown element accepted")
+	}
+	if _, err := r.CompareHistories(a, ElemID(99)); err == nil {
+		t.Error("unknown element accepted")
+	}
+	if _, err := r.CoexistencePossible(ElemID(99), a); err == nil {
+		t.Error("unknown element accepted")
+	}
+	if rel, err := r.Relation(a, b); err != nil || rel != Ancestor {
+		t.Errorf("Relation on past element = %v, %v", rel, err)
+	}
+}
+
+func TestCounts(t *testing.T) {
+	r, a := New()
+	if r.Size() != 1 || r.LiveCount() != 1 {
+		t.Fatalf("initial: size=%d live=%d", r.Size(), r.LiveCount())
+	}
+	x, y, _ := r.Fork(a)
+	if r.Size() != 3 || r.LiveCount() != 2 {
+		t.Fatalf("after fork: size=%d live=%d", r.Size(), r.LiveCount())
+	}
+	if _, err := r.Join(x, y); err != nil {
+		t.Fatal(err)
+	}
+	if r.Size() != 4 || r.LiveCount() != 1 {
+		t.Fatalf("after join: size=%d live=%d", r.Size(), r.LiveCount())
+	}
+	live := r.Live()
+	if len(live) != 1 || live[0] != ElemID(3) {
+		t.Fatalf("Live() = %v", live)
+	}
+}
+
+// TestHistoryOrderingMatchesCausalOracle runs random traces in lockstep
+// with the causal-history model: for live pairs, CompareHistories must give
+// exactly the oracle's answer.
+func TestHistoryOrderingMatchesCausalOracle(t *testing.T) {
+	for seed := int64(0); seed < 10; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		rec, a := New()
+		sys, ca := causal.NewSystem()
+		recLive := []ElemID{a}
+		sysLive := []causal.Elem{ca}
+		for step := 0; step < 150; step++ {
+			switch op := rng.Intn(3); {
+			case op == 0:
+				i := rng.Intn(len(recLive))
+				ne, err := rec.Update(recLive[i])
+				if err != nil {
+					t.Fatal(err)
+				}
+				ce, err := sys.Update(sysLive[i])
+				if err != nil {
+					t.Fatal(err)
+				}
+				recLive[i], sysLive[i] = ne, ce
+			case op == 1 || len(recLive) == 1:
+				i := rng.Intn(len(recLive))
+				n1, n2, err := rec.Fork(recLive[i])
+				if err != nil {
+					t.Fatal(err)
+				}
+				c1, c2, err := sys.Fork(sysLive[i])
+				if err != nil {
+					t.Fatal(err)
+				}
+				recLive[i], sysLive[i] = n1, c1
+				recLive = append(recLive, n2)
+				sysLive = append(sysLive, c2)
+			default:
+				i, j := rng.Intn(len(recLive)), rng.Intn(len(recLive))
+				if i == j {
+					continue
+				}
+				ne, err := rec.Join(recLive[i], recLive[j])
+				if err != nil {
+					t.Fatal(err)
+				}
+				ce, err := sys.Join(sysLive[i], sysLive[j])
+				if err != nil {
+					t.Fatal(err)
+				}
+				recLive[i], sysLive[i] = ne, ce
+				recLive = append(recLive[:j], recLive[j+1:]...)
+				sysLive = append(sysLive[:j], sysLive[j+1:]...)
+			}
+			// Pairwise agreement on the live frontier.
+			for x := 0; x < len(recLive); x++ {
+				for y := x + 1; y < len(recLive); y++ {
+					want, err := sys.Compare(sysLive[x], sysLive[y])
+					if err != nil {
+						t.Fatal(err)
+					}
+					got, err := rec.CompareHistories(recLive[x], recLive[y])
+					if err != nil {
+						t.Fatal(err)
+					}
+					if Ordering(want) != got {
+						t.Fatalf("seed %d step %d: recorder %v, oracle %v", seed, step, got, want)
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestRelationConsistency: path relation Ancestor implies history ⊆, and
+// history-concurrency implies path-unrelatedness.
+func TestRelationConsistency(t *testing.T) {
+	for seed := int64(20); seed < 25; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		rec, a := New()
+		live := []ElemID{a}
+		for step := 0; step < 80; step++ {
+			switch op := rng.Intn(3); {
+			case op == 0:
+				i := rng.Intn(len(live))
+				ne, _ := rec.Update(live[i])
+				live[i] = ne
+			case op == 1 || len(live) == 1:
+				i := rng.Intn(len(live))
+				n1, n2, _ := rec.Fork(live[i])
+				live[i] = n1
+				live = append(live, n2)
+			default:
+				i, j := rng.Intn(len(live)), rng.Intn(len(live))
+				if i == j {
+					continue
+				}
+				ne, _ := rec.Join(live[i], live[j])
+				live[i] = ne
+				live = append(live[:j], live[j+1:]...)
+			}
+		}
+		n := rec.Size()
+		for x := 0; x < n; x++ {
+			for y := 0; y < n; y++ {
+				rel, err := rec.Relation(ElemID(x), ElemID(y))
+				if err != nil {
+					t.Fatal(err)
+				}
+				ord, err := rec.CompareHistories(ElemID(x), ElemID(y))
+				if err != nil {
+					t.Fatal(err)
+				}
+				if rel == Ancestor && !(ord == Before || ord == Equal) {
+					t.Fatalf("seed %d: %d ancestor-of %d but histories %v", seed, x, y, ord)
+				}
+				if ord == Concurrent && rel != Unrelated {
+					t.Fatalf("seed %d: %d/%d history-concurrent but path %v", seed, x, y, rel)
+				}
+			}
+		}
+	}
+}
+
+func TestStringers(t *testing.T) {
+	if Same.String() != "same" || Ancestor.String() != "ancestor" ||
+		Descendant.String() != "descendant" || Unrelated.String() != "unrelated" ||
+		Relation(0).String() != "invalid" {
+		t.Error("Relation.String incorrect")
+	}
+	if Equal.String() != "equal" || Before.String() != "before" ||
+		After.String() != "after" || Concurrent.String() != "concurrent" ||
+		Ordering(0).String() != "invalid" {
+		t.Error("Ordering.String incorrect")
+	}
+}

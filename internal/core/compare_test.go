@@ -1,0 +1,162 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestOrderingString(t *testing.T) {
+	tests := []struct {
+		o    Ordering
+		want string
+	}{
+		{Equal, "equal"},
+		{Before, "before"},
+		{After, "after"},
+		{Concurrent, "concurrent"},
+		{Ordering(0), "invalid"},
+		{Ordering(99), "invalid"},
+	}
+	for _, tt := range tests {
+		if got := tt.o.String(); got != tt.want {
+			t.Errorf("Ordering(%d).String() = %q, want %q", tt.o, got, tt.want)
+		}
+	}
+}
+
+func TestCompareBasic(t *testing.T) {
+	a, b := Seed().Fork()
+	if got := Compare(a, b); got != Equal {
+		t.Errorf("fresh fork siblings: %v, want equal", got)
+	}
+	ua := a.Update()
+	if got := Compare(ua, b); got != After {
+		t.Errorf("updated vs stale: %v, want after", got)
+	}
+	if got := Compare(b, ua); got != Before {
+		t.Errorf("stale vs updated: %v, want before", got)
+	}
+	ub := b.Update()
+	if got := Compare(ua, ub); got != Concurrent {
+		t.Errorf("independent updates: %v, want concurrent", got)
+	}
+}
+
+func TestComparePredicatesAgree(t *testing.T) {
+	rng := rand.New(rand.NewSource(40))
+	for seed := 0; seed < 10; seed++ {
+		frontier := randomFrontier(t, rng, 50)
+		for i := range frontier {
+			for j := range frontier {
+				a, b := frontier[i], frontier[j]
+				o := Compare(a, b)
+				if a.Equivalent(b) != (o == Equal) {
+					t.Fatalf("Equivalent disagrees with Compare on %v, %v", a, b)
+				}
+				if a.ObsoleteRelativeTo(b) != (o == Before) {
+					t.Fatalf("ObsoleteRelativeTo disagrees on %v, %v", a, b)
+				}
+				if a.Dominates(b) != (o == After) {
+					t.Fatalf("Dominates disagrees on %v, %v", a, b)
+				}
+				if a.ConcurrentWith(b) != (o == Concurrent) {
+					t.Fatalf("ConcurrentWith disagrees on %v, %v", a, b)
+				}
+				if a.Leq(b) != (o == Equal || o == Before) {
+					t.Fatalf("Leq disagrees on %v, %v", a, b)
+				}
+			}
+		}
+	}
+}
+
+func TestCompareAntisymmetric(t *testing.T) {
+	rng := rand.New(rand.NewSource(41))
+	for seed := 0; seed < 10; seed++ {
+		frontier := randomFrontier(t, rng, 50)
+		for i := range frontier {
+			for j := range frontier {
+				o1, o2 := Compare(frontier[i], frontier[j]), Compare(frontier[j], frontier[i])
+				var want Ordering
+				switch o1 {
+				case Equal:
+					want = Equal
+				case Before:
+					want = After
+				case After:
+					want = Before
+				case Concurrent:
+					want = Concurrent
+				}
+				if o2 != want {
+					t.Fatalf("Compare not antisymmetric: %v/%v for %v, %v",
+						o1, o2, frontier[i], frontier[j])
+				}
+			}
+		}
+	}
+}
+
+func TestCompareIsPreorderOnFrontier(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	frontier := randomFrontier(t, rng, 80)
+	leq := func(a, b Stamp) bool { o := Compare(a, b); return o == Equal || o == Before }
+	for i := range frontier {
+		if !leq(frontier[i], frontier[i]) {
+			t.Fatalf("reflexivity violated at %v", frontier[i])
+		}
+		for j := range frontier {
+			for k := range frontier {
+				if leq(frontier[i], frontier[j]) && leq(frontier[j], frontier[k]) &&
+					!leq(frontier[i], frontier[k]) {
+					t.Fatalf("transitivity violated: %v ≤ %v ≤ %v",
+						frontier[i], frontier[j], frontier[k])
+				}
+			}
+		}
+	}
+}
+
+func TestEqualVsEquivalent(t *testing.T) {
+	a, b := Seed().Fork()
+	if !a.Equivalent(b) {
+		t.Error("fork siblings are equivalent")
+	}
+	if a.Equal(b) {
+		t.Error("fork siblings carry different ids: not Equal")
+	}
+	if !a.Equal(a) {
+		t.Error("Equal must be reflexive")
+	}
+}
+
+// TestFreshUpdateNeverDominated checks the scenario motivating Invariant I3
+// (Section 4): if a ∥ b and an update occurs on a, then b ⊑ a' must not
+// newly hold unless b ⊑ a already held.
+func TestFreshUpdateNeverDominated(t *testing.T) {
+	rng := rand.New(rand.NewSource(43))
+	for seed := 0; seed < 20; seed++ {
+		frontier := randomFrontier(t, rng, 40)
+		if len(frontier) < 2 {
+			continue
+		}
+		i := rng.Intn(len(frontier))
+		j := rng.Intn(len(frontier))
+		if i == j {
+			continue
+		}
+		before := Compare(frontier[j], frontier[i])
+		after := Compare(frontier[j], frontier[i].Update())
+		// j ⊑ update(i) requires j ⊑ i beforehand.
+		if (after == Before || after == Equal) && !(before == Before || before == Equal) {
+			t.Fatalf("update created spurious domination: before=%v after=%v", before, after)
+		}
+		// And the updated element must strictly dominate or stay concurrent;
+		// it can never become dominated by j or merely equal unless j
+		// already dominated it... the key guarantee: update(i) is never
+		// obsolete relative to a concurrent j.
+		if before == Concurrent && after != Concurrent {
+			t.Fatalf("update changed concurrency with a third element: %v -> %v", before, after)
+		}
+	}
+}

@@ -1,0 +1,80 @@
+package core
+
+import (
+	"fmt"
+)
+
+// This file implements checkers for the three invariants that characterize
+// reachable configurations of version stamps (paper Section 4). They are
+// exported because the simulator (internal/sim) re-verifies them after every
+// operation of every randomized trace, turning the paper's inductive proofs
+// into executable checks.
+
+// CheckI1 verifies Invariant I1 on a single stamp: u ⊑ i. The update
+// component is always dominated by the id; this guarantees that no obsolete
+// information lingers in u when id simplifications become possible.
+func CheckI1(s Stamp) error {
+	if err := s.u.Validate(); err != nil {
+		return fmt.Errorf("core: I1: update component: %w", err)
+	}
+	if err := s.i.Validate(); err != nil {
+		return fmt.Errorf("core: I1: id component: %w", err)
+	}
+	if !s.u.Leq(s.i) {
+		return fmt.Errorf("core: I1 violated: u = %v ⋢ i = %v", s.u, s.i)
+	}
+	return nil
+}
+
+// CheckI2 verifies Invariant I2 on a frontier: for any two distinct elements
+// x and y, every string in ix is incomparable to every string in iy. Ids
+// therefore denote non-intersecting parts of "the whole".
+func CheckI2(frontier []Stamp) error {
+	for x := 0; x < len(frontier); x++ {
+		for y := x + 1; y < len(frontier); y++ {
+			if !frontier[x].i.IncomparableTo(frontier[y].i) {
+				return fmt.Errorf("core: I2 violated between elements %d (i=%v) and %d (i=%v)",
+					x, frontier[x].i, y, frontier[y].i)
+			}
+		}
+	}
+	return nil
+}
+
+// CheckI3 verifies Invariant I3 on a frontier: for any two elements x and y
+// and any string r ∈ ux, {r} ⊑ iy implies {r} ⊑ uy. Intuitively: if x's
+// update knowledge overlaps y's identity, then y itself already knows those
+// updates — which is what keeps a fresh update on one element from being
+// spuriously dominated by another.
+func CheckI3(frontier []Stamp) error {
+	for x := 0; x < len(frontier); x++ {
+		for y := 0; y < len(frontier); y++ {
+			if x == y {
+				continue
+			}
+			ux := frontier[x].u
+			for _, r := range ux.Bits() {
+				if frontier[y].i.Covers(r) && !frontier[y].u.Covers(r) {
+					return fmt.Errorf(
+						"core: I3 violated: r = %v ∈ u%d, {r} ⊑ i%d = %v but {r} ⋢ u%d = %v",
+						r, x, y, frontier[y].i, y, frontier[y].u)
+				}
+			}
+		}
+	}
+	return nil
+}
+
+// CheckFrontier runs all invariant checks applicable to a frontier of
+// coexisting stamps: I1 on every stamp, then I2 and I3 across the frontier.
+func CheckFrontier(frontier []Stamp) error {
+	for idx, s := range frontier {
+		if err := CheckI1(s); err != nil {
+			return fmt.Errorf("element %d: %w", idx, err)
+		}
+	}
+	if err := CheckI2(frontier); err != nil {
+		return err
+	}
+	return CheckI3(frontier)
+}

@@ -1,0 +1,160 @@
+package core
+
+import (
+	"bytes"
+	"encoding"
+	"math/rand"
+	"testing"
+)
+
+var (
+	_ encoding.BinaryMarshaler   = Stamp{}
+	_ encoding.BinaryUnmarshaler = (*Stamp)(nil)
+	_ encoding.TextMarshaler     = Stamp{}
+	_ encoding.TextUnmarshaler   = (*Stamp)(nil)
+)
+
+func TestParseExamples(t *testing.T) {
+	tests := []struct {
+		in, want string
+	}{
+		{"[ε|ε]", "[ε|ε]"},
+		{"[|ε]", "[∅|ε]"},
+		{"[ 1 | 0+1 ]", "[1|0+1]"},
+		{"[1|01+1]", "[1|01+1]"},
+	}
+	for _, tt := range tests {
+		s, err := Parse(tt.in)
+		if err != nil {
+			t.Errorf("Parse(%q): %v", tt.in, err)
+			continue
+		}
+		if s.String() != tt.want {
+			t.Errorf("Parse(%q) = %v, want %v", tt.in, s, tt.want)
+		}
+	}
+}
+
+func TestParseRejects(t *testing.T) {
+	bad := []string{
+		"",
+		"1|0",
+		"[1|0",
+		"1|0]",
+		"[1]",
+		"[1|0|1]",
+		"[x|0]",
+		"[0+01|0+01]", // components not antichains
+		"[1|0]",       // violates I1: {1} ⋢ {0}
+	}
+	for _, in := range bad {
+		if _, err := Parse(in); err == nil {
+			t.Errorf("Parse(%q) accepted invalid input", in)
+		}
+	}
+}
+
+func TestBinaryRoundTripStamp(t *testing.T) {
+	rng := rand.New(rand.NewSource(50))
+	for seed := 0; seed < 10; seed++ {
+		frontier := randomFrontier(t, rng, 60)
+		for _, s := range frontier {
+			data, err := s.MarshalBinary()
+			if err != nil {
+				t.Fatalf("MarshalBinary(%v): %v", s, err)
+			}
+			if len(data) != s.EncodedSize() {
+				t.Fatalf("EncodedSize(%v) = %d, actual %d", s, s.EncodedSize(), len(data))
+			}
+			var back Stamp
+			if err := back.UnmarshalBinary(data); err != nil {
+				t.Fatalf("UnmarshalBinary(%v): %v", s, err)
+			}
+			if !back.Equal(s) {
+				t.Fatalf("binary round trip %v -> %v", s, back)
+			}
+		}
+	}
+}
+
+func TestBinaryCanonicalStamp(t *testing.T) {
+	a := MustParse("[1|0+1]")
+	b := MustParse("[ 1 | 1+0 ]")
+	da, _ := a.MarshalBinary()
+	db, _ := b.MarshalBinary()
+	if !bytes.Equal(da, db) {
+		t.Errorf("equal stamps encoded differently: %x vs %x", da, db)
+	}
+}
+
+func TestTextRoundTripStamp(t *testing.T) {
+	rng := rand.New(rand.NewSource(51))
+	frontier := randomFrontier(t, rng, 60)
+	for _, s := range frontier {
+		text, err := s.MarshalText()
+		if err != nil {
+			t.Fatalf("MarshalText: %v", err)
+		}
+		var back Stamp
+		if err := back.UnmarshalText(text); err != nil {
+			t.Fatalf("UnmarshalText(%s): %v", text, err)
+		}
+		if !back.Equal(s) {
+			t.Fatalf("text round trip %v -> %v", s, back)
+		}
+	}
+}
+
+func TestDecodeBinaryRejects(t *testing.T) {
+	cases := [][]byte{
+		nil,
+		{0x02},           // unknown format
+		{formatV1},       // truncated update
+		{formatV1, 0x01}, // truncated string header
+		{formatV1, 0x00}, // missing id component
+		{formatV1, 0x01, 0x01, 0x80, 0x01, 0x01, 0x00}, // u={1}, i={0}: I1 violated
+	}
+	for _, data := range cases {
+		if _, _, err := DecodeBinary(data); err == nil {
+			t.Errorf("DecodeBinary(%x) accepted invalid input", data)
+		}
+	}
+}
+
+func TestUnmarshalBinaryRejectsTrailingStamp(t *testing.T) {
+	data, _ := Seed().MarshalBinary()
+	data = append(data, 0x00)
+	var s Stamp
+	if err := s.UnmarshalBinary(data); err == nil {
+		t.Error("trailing bytes must be rejected")
+	}
+}
+
+func TestDecodeBinaryStreamStamps(t *testing.T) {
+	stamps := []Stamp{Seed(), MustParse("[1|0+1]"), MustParse("[ε|00]")}
+	var buf []byte
+	for _, s := range stamps {
+		buf = s.AppendBinary(buf)
+	}
+	off := 0
+	for i, want := range stamps {
+		got, used, err := DecodeBinary(buf[off:])
+		if err != nil {
+			t.Fatalf("decode #%d: %v", i, err)
+		}
+		if !got.Equal(want) {
+			t.Fatalf("decode #%d = %v, want %v", i, got, want)
+		}
+		off += used
+	}
+	if off != len(buf) {
+		t.Fatalf("stream not fully consumed")
+	}
+}
+
+func TestSeedEncodedSize(t *testing.T) {
+	// ({ε},{ε}) encodes to 1 (format) + 2 (count=1, len=0) * 2 = 5 bytes.
+	if got := Seed().EncodedSize(); got != 5 {
+		t.Errorf("Seed().EncodedSize() = %d, want 5", got)
+	}
+}

@@ -1,0 +1,233 @@
+package core
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+	"testing/quick"
+)
+
+// genFrontier is a quick.Generator producing reachable frontiers: the
+// result of a random fork/update/join trace from the seed, so every
+// generated configuration satisfies I1–I3 by construction (and the checks
+// re-verify it).
+type genFrontier struct{ Stamps []Stamp }
+
+var _ quick.Generator = genFrontier{}
+
+// Generate implements quick.Generator.
+func (genFrontier) Generate(rng *rand.Rand, size int) reflect.Value {
+	ops := 10 + rng.Intn(40)
+	frontier := []Stamp{Seed()}
+	for k := 0; k < ops; k++ {
+		switch op := rng.Intn(3); {
+		case op == 0:
+			i := rng.Intn(len(frontier))
+			frontier[i] = frontier[i].Update()
+		case op == 1 || len(frontier) == 1:
+			i := rng.Intn(len(frontier))
+			a, b := frontier[i].Fork()
+			frontier[i] = a
+			frontier = append(frontier, b)
+		default:
+			i, j := rng.Intn(len(frontier)), rng.Intn(len(frontier))
+			if i == j {
+				continue
+			}
+			joined, err := Join(frontier[i], frontier[j])
+			if err != nil {
+				continue
+			}
+			frontier[i] = joined
+			frontier = append(frontier[:j], frontier[j+1:]...)
+		}
+	}
+	return reflect.ValueOf(genFrontier{Stamps: frontier})
+}
+
+func quickCfg() *quick.Config {
+	return &quick.Config{MaxCount: 150}
+}
+
+func TestQuickFrontierInvariants(t *testing.T) {
+	if err := quick.Check(func(f genFrontier) bool {
+		return CheckFrontier(f.Stamps) == nil
+	}, quickCfg()); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuickForkJoinIdentity(t *testing.T) {
+	if err := quick.Check(func(f genFrontier) bool {
+		for _, s := range f.Stamps {
+			a, b := s.Fork()
+			back, err := Join(a, b)
+			if err != nil || !back.Equal(s.Reduce()) {
+				return false
+			}
+		}
+		return true
+	}, quickCfg()); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuickUpdateIdempotentOnStamps(t *testing.T) {
+	if err := quick.Check(func(f genFrontier) bool {
+		for _, s := range f.Stamps {
+			u := s.Update()
+			if !u.Update().Equal(u) {
+				return false
+			}
+		}
+		return true
+	}, quickCfg()); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuickCompareTotalOnFrontier(t *testing.T) {
+	// Compare always yields one of the four outcomes and is antisymmetric.
+	if err := quick.Check(func(f genFrontier) bool {
+		for i := range f.Stamps {
+			for j := range f.Stamps {
+				o1, o2 := Compare(f.Stamps[i], f.Stamps[j]), Compare(f.Stamps[j], f.Stamps[i])
+				switch o1 {
+				case Equal:
+					if o2 != Equal {
+						return false
+					}
+				case Before:
+					if o2 != After {
+						return false
+					}
+				case After:
+					if o2 != Before {
+						return false
+					}
+				case Concurrent:
+					if o2 != Concurrent {
+						return false
+					}
+				default:
+					return false
+				}
+			}
+		}
+		return true
+	}, quickCfg()); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuickReduceIdempotentAndOrderPreserving(t *testing.T) {
+	if err := quick.Check(func(f genFrontier) bool {
+		for i := range f.Stamps {
+			r := f.Stamps[i].Reduce()
+			if !r.Reduce().Equal(r) || !r.IsReduced() {
+				return false
+			}
+			// Reduction never changes how an element compares to the rest
+			// of its frontier.
+			for j := range f.Stamps {
+				if i == j {
+					continue
+				}
+				reduced := make([]Stamp, len(f.Stamps))
+				copy(reduced, f.Stamps)
+				reduced[i] = r
+				if Compare(reduced[i], reduced[j]) != Compare(f.Stamps[i], f.Stamps[j]) {
+					return false
+				}
+			}
+		}
+		return true
+	}, quickCfg()); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuickBinaryRoundTripStamps(t *testing.T) {
+	if err := quick.Check(func(f genFrontier) bool {
+		for _, s := range f.Stamps {
+			data, err := s.MarshalBinary()
+			if err != nil {
+				return false
+			}
+			var back Stamp
+			if err := back.UnmarshalBinary(data); err != nil || !back.Equal(s) {
+				return false
+			}
+			text, err := s.MarshalText()
+			if err != nil {
+				return false
+			}
+			var back2 Stamp
+			if err := back2.UnmarshalText(text); err != nil || !back2.Equal(s) {
+				return false
+			}
+		}
+		return true
+	}, quickCfg()); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuickSyncMakesEquivalent(t *testing.T) {
+	if err := quick.Check(func(f genFrontier) bool {
+		if len(f.Stamps) < 2 {
+			return true
+		}
+		a, b, err := Sync(f.Stamps[0], f.Stamps[1])
+		if err != nil {
+			return false
+		}
+		if Compare(a, b) != Equal {
+			return false
+		}
+		// The synced pair forms a valid frontier with the rest.
+		rest := append([]Stamp{a, b}, f.Stamps[2:]...)
+		if CheckFrontier(rest) != nil {
+			return false
+		}
+		// The synced replicas dominate-or-equal every OTHER surviving
+		// element that their ancestors dominated. (Comparing them with
+		// their own ancestors is NOT asserted: ancestor and descendant
+		// never coexist, and frontier ordering is only defined for
+		// coexisting elements — see TestCrossFrontierComparisonUndefined.)
+		for _, other := range f.Stamps[2:] {
+			if Compare(other, f.Stamps[0]) == Before && Compare(other, a) == After {
+				return false
+			}
+		}
+		return true
+	}, quickCfg()); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestCrossFrontierComparisonUndefined documents the boundary of the
+// mechanism's contract (paper §1.2): stamps order only COEXISTING elements.
+// An element and its own descendant never coexist, and comparing their
+// stamps can give answers that contradict causal history — deliberately,
+// because reduction discards exactly the information that cannot matter
+// within any one frontier.
+func TestCrossFrontierComparisonUndefined(t *testing.T) {
+	a, b := Seed().Fork()
+	a, b = a.Update(), b.Update() // [0|0], [1|1]
+	sa, sb, err := Sync(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Causally, sa has seen strictly more than a. But a's stamp compares
+	// AFTER its descendant's: the join reduced [0+1|0+1] to [ε|ε] because
+	// within the new frontier no element can ever need the distinction.
+	if got := Compare(a, sa); got != After {
+		t.Errorf("cross-frontier comparison = %v (this test documents the "+
+			"undefined-ness; update it if reduction semantics change)", got)
+	}
+	// Within the new frontier everything is consistent.
+	if Compare(sa, sb) != Equal {
+		t.Error("synced pair must be equal")
+	}
+}

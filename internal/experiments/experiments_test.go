@@ -1,0 +1,129 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestRegistryComplete(t *testing.T) {
+	ids := IDs()
+	want := []string{"e1", "e2", "e3", "e4", "e5", "e6", "e7", "e8"}
+	if len(ids) != len(want) {
+		t.Fatalf("IDs = %v", ids)
+	}
+	for i, id := range want {
+		if ids[i] != id {
+			t.Fatalf("IDs = %v", ids)
+		}
+	}
+}
+
+func TestE1MatchesPaper(t *testing.T) {
+	out, err := E1()
+	if err != nil {
+		t.Fatalf("E1: %v", err)
+	}
+	if !strings.Contains(out, "measured matches: true") {
+		t.Errorf("E1 does not match Figure 1:\n%s", out)
+	}
+	for _, vec := range []string{"[2,0,0]", "[1,0,1]"} {
+		if !strings.Contains(out, vec) {
+			t.Errorf("E1 missing vector %s:\n%s", vec, out)
+		}
+	}
+}
+
+func TestE2MatchesPaper(t *testing.T) {
+	out, err := E2()
+	if err != nil {
+		t.Fatalf("E2: %v", err)
+	}
+	if !strings.Contains(out, "all stamps match the paper: true") {
+		t.Errorf("E2 does not match Figure 4:\n%s", out)
+	}
+	for _, stamp := range []string{"[1|01+1]", "[1|00+01+1]", "[1|0+1]"} {
+		if !strings.Contains(out, stamp) {
+			t.Errorf("E2 missing stamp %s:\n%s", stamp, out)
+		}
+	}
+}
+
+func TestE3NoDisagreements(t *testing.T) {
+	out, err := E3()
+	if err != nil {
+		t.Fatalf("E3: %v", err)
+	}
+	if !strings.Contains(out, "0 disagreements") {
+		t.Errorf("E3 output:\n%s", out)
+	}
+}
+
+func TestE4RunsChecks(t *testing.T) {
+	out, err := E4()
+	if err != nil {
+		t.Fatalf("E4: %v", err)
+	}
+	if !strings.Contains(out, "0 disagreements") {
+		t.Errorf("E4 output:\n%s", out)
+	}
+	for _, wl := range []string{"balanced", "forkheavy", "syncheavy"} {
+		if !strings.Contains(out, wl) {
+			t.Errorf("E4 missing workload %s", wl)
+		}
+	}
+}
+
+func TestE5Reports(t *testing.T) {
+	out, err := E5()
+	if err != nil {
+		t.Fatalf("E5: %v", err)
+	}
+	for _, wl := range []string{"forkheavy", "syncheavy", "partitioned", "fixedN=6"} {
+		if !strings.Contains(out, wl) {
+			t.Errorf("E5 missing workload %s:\n%s", wl, out)
+		}
+	}
+}
+
+func TestE6Reports(t *testing.T) {
+	out, err := E6()
+	if err != nil {
+		t.Fatalf("E6: %v", err)
+	}
+	if !strings.Contains(out, "replicas-created") {
+		t.Errorf("E6 output:\n%s", out)
+	}
+}
+
+func TestE7Reports(t *testing.T) {
+	out, err := E7()
+	if err != nil {
+		t.Fatalf("E7: %v", err)
+	}
+	if !strings.Contains(out, "itc") {
+		t.Errorf("E7 output:\n%s", out)
+	}
+}
+
+func TestE8Reports(t *testing.T) {
+	out, err := E8()
+	if err != nil {
+		t.Fatalf("E8: %v", err)
+	}
+	if !strings.Contains(out, "dynamic-vv 10/10 failed, stamps 0/10 failed") {
+		t.Errorf("E8 output:\n%s", out)
+	}
+}
+
+func TestAllExperimentsViaRegistry(t *testing.T) {
+	for id, fn := range Registry() {
+		out, err := fn()
+		if err != nil {
+			t.Errorf("%s: %v", id, err)
+			continue
+		}
+		if len(out) == 0 {
+			t.Errorf("%s: empty output", id)
+		}
+	}
+}

@@ -1,0 +1,270 @@
+package itc
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+)
+
+// Bit-level wire format for ITC stamps, in the spirit of the encoding
+// sketched in the ITC paper. The stream is framed by a uvarint bit count
+// and padded to a byte boundary.
+//
+//	id:     "00" leaf 0 | "01" leaf 1 | "1" enc(left) enc(right)
+//	event:  "1" num(n)                        leaf n
+//	        "00" enc(left) enc(right)         branch, base 0
+//	        "01" num(n) enc(left) enc(right)  branch, base n
+//	num:    chunks of 3 bits, most significant first, each preceded by a
+//	        continuation bit (1 = more chunks follow)
+//
+// The decoder re-validates normalization, so corrupt input cannot produce
+// an ill-formed stamp.
+
+// errCorruptITC is returned for syntactically invalid encodings.
+var errCorruptITC = errors.New("itc: corrupt encoding")
+
+// maxEncodedBits bounds decoder work on adversarial input.
+const maxEncodedBits = 1 << 26
+
+type bitWriter struct {
+	buf  []byte
+	nbit int
+}
+
+func (w *bitWriter) writeBit(b bool) {
+	if w.nbit%8 == 0 {
+		w.buf = append(w.buf, 0)
+	}
+	if b {
+		w.buf[len(w.buf)-1] |= 1 << (7 - uint(w.nbit%8))
+	}
+	w.nbit++
+}
+
+func (w *bitWriter) writeNum(v uint64) {
+	// Split into 3-bit chunks, most significant first.
+	var chunks []byte
+	for {
+		chunks = append(chunks, byte(v&7))
+		v >>= 3
+		if v == 0 {
+			break
+		}
+	}
+	for i := len(chunks) - 1; i >= 0; i-- {
+		w.writeBit(i != 0) // continuation
+		w.writeBit(chunks[i]&4 != 0)
+		w.writeBit(chunks[i]&2 != 0)
+		w.writeBit(chunks[i]&1 != 0)
+	}
+}
+
+type bitReader struct {
+	buf  []byte
+	pos  int
+	nbit int
+}
+
+func (r *bitReader) readBit() (bool, error) {
+	if r.pos >= r.nbit || r.pos/8 >= len(r.buf) {
+		return false, errCorruptITC
+	}
+	bit := r.buf[r.pos/8]&(1<<(7-uint(r.pos%8))) != 0
+	r.pos++
+	return bit, nil
+}
+
+func (r *bitReader) readNum() (uint64, error) {
+	var v uint64
+	for chunk := 0; ; chunk++ {
+		if chunk > 21 { // 22 chunks of 3 bits exceed 64 bits: corrupt
+			return 0, errCorruptITC
+		}
+		more, err := r.readBit()
+		if err != nil {
+			return 0, err
+		}
+		var c uint64
+		for i := 0; i < 3; i++ {
+			b, err := r.readBit()
+			if err != nil {
+				return 0, err
+			}
+			c = c<<1 | boolBit(b)
+		}
+		v = v<<3 | c
+		if !more {
+			return v, nil
+		}
+	}
+}
+
+func boolBit(b bool) uint64 {
+	if b {
+		return 1
+	}
+	return 0
+}
+
+func encodeID(w *bitWriter, i *ID) {
+	if i.IsLeaf() {
+		w.writeBit(false)
+		w.writeBit(i.full)
+		return
+	}
+	w.writeBit(true)
+	encodeID(w, i.left)
+	encodeID(w, i.right)
+}
+
+func decodeID(r *bitReader) (*ID, error) {
+	isBranch, err := r.readBit()
+	if err != nil {
+		return nil, err
+	}
+	if !isBranch {
+		full, err := r.readBit()
+		if err != nil {
+			return nil, err
+		}
+		if full {
+			return idOne, nil
+		}
+		return idZero, nil
+	}
+	l, err := decodeID(r)
+	if err != nil {
+		return nil, err
+	}
+	rt, err := decodeID(r)
+	if err != nil {
+		return nil, err
+	}
+	// Construct without normalizing: Validate rejects unnormalized input,
+	// keeping the format canonical (matching decodeEvent's strictness).
+	return &ID{left: l, right: rt}, nil
+}
+
+func encodeEvent(w *bitWriter, e *Event) {
+	if e.IsLeaf() {
+		w.writeBit(true)
+		w.writeNum(e.n)
+		return
+	}
+	w.writeBit(false)
+	w.writeBit(e.n != 0)
+	if e.n != 0 {
+		w.writeNum(e.n)
+	}
+	encodeEvent(w, e.left)
+	encodeEvent(w, e.right)
+}
+
+func decodeEvent(r *bitReader) (*Event, error) {
+	isLeaf, err := r.readBit()
+	if err != nil {
+		return nil, err
+	}
+	if isLeaf {
+		n, err := r.readNum()
+		if err != nil {
+			return nil, err
+		}
+		return &Event{n: n}, nil
+	}
+	hasBase, err := r.readBit()
+	if err != nil {
+		return nil, err
+	}
+	var n uint64
+	if hasBase {
+		n, err = r.readNum()
+		if err != nil {
+			return nil, err
+		}
+	}
+	l, err := decodeEvent(r)
+	if err != nil {
+		return nil, err
+	}
+	rt, err := decodeEvent(r)
+	if err != nil {
+		return nil, err
+	}
+	return &Event{n: n, left: l, right: rt}, nil
+}
+
+// MarshalBinary implements encoding.BinaryMarshaler: uvarint bit count
+// followed by the padded bit stream of id then event tree.
+func (s Stamp) MarshalBinary() ([]byte, error) {
+	if s.IsZero() {
+		return nil, errors.New("itc: marshal of zero stamp")
+	}
+	var w bitWriter
+	encodeID(&w, s.id)
+	encodeEvent(&w, s.ev)
+	out := binary.AppendUvarint(nil, uint64(w.nbit))
+	return append(out, w.buf...), nil
+}
+
+// EncodedSize returns the exact byte length of MarshalBinary's output.
+func (s Stamp) EncodedSize() int {
+	if s.IsZero() {
+		return 0
+	}
+	var w bitWriter
+	encodeID(&w, s.id)
+	encodeEvent(&w, s.ev)
+	frame := 1
+	for v := uint64(w.nbit); v >= 0x80; v >>= 7 {
+		frame++
+	}
+	return frame + (w.nbit+7)/8
+}
+
+// DecodeBinary reads one stamp from the front of src, returning the bytes
+// consumed. The result is validated against the normalization invariants.
+func DecodeBinary(src []byte) (Stamp, int, error) {
+	nbit, off := binary.Uvarint(src)
+	if off <= 0 {
+		return Stamp{}, 0, errCorruptITC
+	}
+	if nbit > maxEncodedBits {
+		return Stamp{}, 0, fmt.Errorf("itc: implausible encoding of %d bits", nbit)
+	}
+	nbytes := (int(nbit) + 7) / 8
+	if off+nbytes > len(src) {
+		return Stamp{}, 0, errCorruptITC
+	}
+	r := &bitReader{buf: src[off : off+nbytes], nbit: int(nbit)}
+	id, err := decodeID(r)
+	if err != nil {
+		return Stamp{}, 0, err
+	}
+	ev, err := decodeEvent(r)
+	if err != nil {
+		return Stamp{}, 0, err
+	}
+	if r.pos != r.nbit {
+		return Stamp{}, 0, fmt.Errorf("itc: %d unread bits", r.nbit-r.pos)
+	}
+	s := Stamp{id: id, ev: ev}
+	if err := s.Validate(); err != nil {
+		return Stamp{}, 0, err
+	}
+	return s, off + nbytes, nil
+}
+
+// UnmarshalBinary implements encoding.BinaryUnmarshaler; the input must
+// contain exactly one encoded stamp.
+func (s *Stamp) UnmarshalBinary(data []byte) error {
+	decoded, used, err := DecodeBinary(data)
+	if err != nil {
+		return err
+	}
+	if used != len(data) {
+		return fmt.Errorf("itc: %d trailing bytes after encoded stamp", len(data)-used)
+	}
+	*s = decoded
+	return nil
+}

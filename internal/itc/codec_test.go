@@ -1,0 +1,152 @@
+package itc
+
+import (
+	"bytes"
+	"encoding"
+	"math/rand"
+	"testing"
+)
+
+var (
+	_ encoding.BinaryMarshaler   = Stamp{}
+	_ encoding.BinaryUnmarshaler = (*Stamp)(nil)
+)
+
+func TestCodecRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(10))
+	for iter := 0; iter < 40; iter++ {
+		frontier := randomStampTrace(t, rng, 60)
+		for _, s := range frontier {
+			data, err := s.MarshalBinary()
+			if err != nil {
+				t.Fatalf("MarshalBinary(%v): %v", s, err)
+			}
+			if len(data) != s.EncodedSize() {
+				t.Fatalf("EncodedSize(%v) = %d, actual %d", s, s.EncodedSize(), len(data))
+			}
+			var back Stamp
+			if err := back.UnmarshalBinary(data); err != nil {
+				t.Fatalf("UnmarshalBinary(%v): %v", s, err)
+			}
+			if !back.ID().Equal(s.ID()) || !back.EventTree().Equal(s.EventTree()) {
+				t.Fatalf("round trip %v -> %v", s, back)
+			}
+		}
+	}
+}
+
+func TestCodecKnownSizes(t *testing.T) {
+	// Seed (1; 0): id leaf-one = 2 bits, event leaf 0 = 1+4 bits = 7 bits
+	// total -> 1 frame byte + 1 payload byte.
+	if got := Seed().EncodedSize(); got != 2 {
+		t.Errorf("Seed().EncodedSize() = %d, want 2", got)
+	}
+	data, _ := Seed().MarshalBinary()
+	if len(data) != 2 {
+		t.Errorf("len = %d", len(data))
+	}
+}
+
+func TestCodecLargeCounters(t *testing.T) {
+	// Event counters beyond one chunk round-trip.
+	s := Seed()
+	var err error
+	for i := 0; i < 100; i++ {
+		s, err = s.Event()
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	data, err := s.MarshalBinary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back Stamp
+	if err := back.UnmarshalBinary(data); err != nil {
+		t.Fatal(err)
+	}
+	if back.EventTree().maxVal() != 100 {
+		t.Errorf("counter = %d, want 100", back.EventTree().maxVal())
+	}
+}
+
+func TestCodecStream(t *testing.T) {
+	a, b := Seed().Fork()
+	a1, _ := a.Event()
+	var buf []byte
+	for _, s := range []Stamp{a1, b} {
+		data, err := s.MarshalBinary()
+		if err != nil {
+			t.Fatal(err)
+		}
+		buf = append(buf, data...)
+	}
+	first, used, err := DecodeBinary(buf)
+	if err != nil {
+		t.Fatalf("decode 1: %v", err)
+	}
+	if Compare(first, a1) != Equal || !first.ID().Equal(a1.ID()) {
+		t.Errorf("decode 1 = %v", first)
+	}
+	second, used2, err := DecodeBinary(buf[used:])
+	if err != nil {
+		t.Fatalf("decode 2: %v", err)
+	}
+	if !second.ID().Equal(b.ID()) {
+		t.Errorf("decode 2 = %v", second)
+	}
+	if used+used2 != len(buf) {
+		t.Error("stream not fully consumed")
+	}
+}
+
+func TestCodecRejectsGarbage(t *testing.T) {
+	cases := [][]byte{
+		nil,
+		{0x07},       // 7 bits claimed, no payload
+		{0x01, 0x80}, // id branch then nothing
+		{0x02, 0x00}, // id leaf zero then missing event
+		{0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0x7f}, // huge
+	}
+	for _, data := range cases {
+		if _, _, err := DecodeBinary(data); err == nil {
+			t.Errorf("DecodeBinary(%x) accepted garbage", data)
+		}
+	}
+	// Trailing bytes rejected by UnmarshalBinary.
+	good, _ := Seed().MarshalBinary()
+	var s Stamp
+	if err := s.UnmarshalBinary(append(good, 0x00)); err == nil {
+		t.Error("trailing bytes accepted")
+	}
+	// Marshal of the zero stamp fails cleanly.
+	if _, err := (Stamp{}).MarshalBinary(); err == nil {
+		t.Error("zero stamp marshal accepted")
+	}
+	if (Stamp{}).EncodedSize() != 0 {
+		t.Error("zero stamp size must be 0")
+	}
+}
+
+func TestCodecCanonical(t *testing.T) {
+	// Equal stamps from the same derivation encode identically.
+	a1, b1 := Seed().Fork()
+	a2, b2 := Seed().Fork()
+	_ = b1
+	_ = b2
+	d1, _ := a1.MarshalBinary()
+	d2, _ := a2.MarshalBinary()
+	if !bytes.Equal(d1, d2) {
+		t.Error("identical stamps encoded differently")
+	}
+}
+
+func TestCodecRejectsUnnormalized(t *testing.T) {
+	// Hand-craft an encoding of the unnormalized id (0,0): bits
+	// "1" (branch) "00" (leaf0) "00" (leaf0) + event leaf 0 "1 0000".
+	// Bits: 1 00 00 1 0000 -> 10 bits: 1000 0100 00...
+	data := []byte{0x0A, 0b10000100, 0b00000000}
+	if _, _, err := DecodeBinary(data); err == nil {
+		t.Error("unnormalized id accepted")
+	}
+}

@@ -1,0 +1,236 @@
+package itc
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Event is an event tree: a piecewise-constant non-negative integer function
+// over the interval [0,1), counting the events known in each part.
+//
+//	leaf n:          the constant n over this subinterval
+//	branch(n, l, r): n plus the functions described by l and r over the
+//	                 two halves
+//
+// Event trees are kept normalized: children share no common positive base
+// (the minimum of each branch's children is zero after lifting into the
+// parent) and a branch of two equal leaves collapses.
+type Event struct {
+	n           uint64
+	left, right *Event // both nil for a leaf, both non-nil for a branch
+}
+
+// LeafEvent returns the constant event tree n.
+func LeafEvent(n uint64) *Event { return &Event{n: n} }
+
+// zeroEvent is the all-zero event function, the seed stamp's event tree.
+var zeroEvent = &Event{}
+
+// IsLeaf reports whether e is a constant function.
+func (e *Event) IsLeaf() bool { return e.left == nil }
+
+// Value returns the constant of a leaf; for a branch it returns the base n.
+func (e *Event) Value() uint64 { return e.n }
+
+// lift returns e with m added to its base.
+func (e *Event) lift(m uint64) *Event {
+	if m == 0 {
+		return e
+	}
+	return &Event{n: e.n + m, left: e.left, right: e.right}
+}
+
+// sink returns e with m subtracted from its base; callers guarantee m <= n.
+func (e *Event) sink(m uint64) *Event {
+	if m == 0 {
+		return e
+	}
+	return &Event{n: e.n - m, left: e.left, right: e.right}
+}
+
+// minVal returns the minimum of the function.
+func (e *Event) minVal() uint64 {
+	if e.IsLeaf() {
+		return e.n
+	}
+	return e.n + min(e.left.minVal(), e.right.minVal())
+}
+
+// maxVal returns the maximum of the function.
+func (e *Event) maxVal() uint64 {
+	if e.IsLeaf() {
+		return e.n
+	}
+	return e.n + max(e.left.maxVal(), e.right.maxVal())
+}
+
+// branchEvent builds the normalized branch (n, l, r).
+func branchEvent(n uint64, l, r *Event) *Event {
+	if l.IsLeaf() && r.IsLeaf() && l.n == r.n {
+		return &Event{n: n + l.n}
+	}
+	m := min(l.minVal(), r.minVal())
+	return &Event{n: n + m, left: l.sink(m), right: r.sink(m)}
+}
+
+// norm returns the normal form of e.
+func (e *Event) norm() *Event {
+	if e.IsLeaf() {
+		return e
+	}
+	return branchEvent(e.n, e.left.norm(), e.right.norm())
+}
+
+// Leq reports e ≤ f pointwise: every subinterval of e counts no more events
+// than f does.
+func Leq(e, f *Event) bool {
+	return leqAt(e, 0, f, 0)
+}
+
+// leqAt compares with accumulated bases be and bf.
+func leqAt(e *Event, be uint64, f *Event, bf uint64) bool {
+	ve, vf := be+e.n, bf+f.n
+	if e.IsLeaf() {
+		if f.IsLeaf() {
+			return ve <= vf
+		}
+		// Constant ve vs f: compare against f's minimum.
+		return ve <= vf+min(f.left.minVal(), f.right.minVal())
+	}
+	if f.IsLeaf() {
+		return ve+max(e.left.maxVal(), e.right.maxVal()) <= vf
+	}
+	return leqAt(e.left, ve, f.left, vf) && leqAt(e.right, ve, f.right, vf)
+}
+
+// JoinEvents returns the pointwise maximum of e and f, normalized.
+func JoinEvents(e, f *Event) *Event {
+	return joinAt(e, 0, f, 0).norm()
+}
+
+func joinAt(e *Event, be uint64, f *Event, bf uint64) *Event {
+	ve, vf := be+e.n, bf+f.n
+	if e.IsLeaf() && f.IsLeaf() {
+		return &Event{n: max(ve, vf)}
+	}
+	if e.IsLeaf() {
+		e = &Event{n: e.n, left: zeroEvent, right: zeroEvent}
+	}
+	if f.IsLeaf() {
+		f = &Event{n: f.n, left: zeroEvent, right: zeroEvent}
+	}
+	l := joinAt(e.left, ve, f.left, vf)
+	r := joinAt(e.right, ve, f.right, vf)
+	// Children computed with absolute bases; rebase under 0.
+	return &Event{n: 0, left: l, right: r}
+}
+
+// Equal reports pointwise equality of the functions.
+func (e *Event) Equal(f *Event) bool {
+	return Leq(e, f) && Leq(f, e)
+}
+
+// Nodes returns the number of tree nodes, a size measure.
+func (e *Event) Nodes() int {
+	if e.IsLeaf() {
+		return 1
+	}
+	return 1 + e.left.Nodes() + e.right.Nodes()
+}
+
+// String renders the event tree: "n" or "(n,l,r)".
+func (e *Event) String() string {
+	if e.IsLeaf() {
+		return fmt.Sprintf("%d", e.n)
+	}
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "(%d,", e.n)
+	sb.WriteString(e.left.String())
+	sb.WriteByte(',')
+	sb.WriteString(e.right.String())
+	sb.WriteByte(')')
+	return sb.String()
+}
+
+// Validate checks structural sanity and normalization.
+func (e *Event) Validate() error {
+	if e.IsLeaf() {
+		if e.right != nil {
+			return fmt.Errorf("itc: half-branch event node")
+		}
+		return nil
+	}
+	if e.right == nil {
+		return fmt.Errorf("itc: half-branch event node")
+	}
+	if e.left.IsLeaf() && e.right.IsLeaf() && e.left.n == e.right.n {
+		return fmt.Errorf("itc: unnormalized event branch")
+	}
+	if min(e.left.minVal(), e.right.minVal()) != 0 {
+		return fmt.Errorf("itc: unnormalized event base")
+	}
+	if err := e.left.Validate(); err != nil {
+		return err
+	}
+	return e.right.Validate()
+}
+
+// fill inflates the event tree to max out the subintervals owned by id i,
+// without growing the tree (the cheap half of an event; see Stamp.Event).
+func fill(i *ID, e *Event) *Event {
+	switch {
+	case i.IsZero():
+		return e
+	case i.IsOne():
+		return &Event{n: e.maxVal()}
+	case e.IsLeaf():
+		return e
+	case i.left.IsOne():
+		er := fill(i.right, e.right)
+		l := &Event{n: max(e.left.maxVal(), er.minVal())}
+		return branchEvent(e.n, l, er)
+	case i.right.IsOne():
+		el := fill(i.left, e.left)
+		r := &Event{n: max(e.right.maxVal(), el.minVal())}
+		return branchEvent(e.n, el, r)
+	default:
+		return branchEvent(e.n, fill(i.left, e.left), fill(i.right, e.right))
+	}
+}
+
+// growCostRoot is the per-level cost bias making grow prefer shallow
+// expansion over deepening the tree.
+const growCostRoot = 1 << 20
+
+// grow inflates the event tree by one event inside the interval owned by i,
+// choosing the cheapest spot (the expensive half of an event).
+func grow(i *ID, e *Event) (*Event, uint64) {
+	if e.IsLeaf() {
+		if i.IsOne() {
+			return &Event{n: e.n + 1}, 0
+		}
+		ne, cost := grow(i, &Event{n: e.n, left: zeroEvent, right: zeroEvent})
+		return ne, cost + growCostRoot
+	}
+	switch {
+	case i.IsZero():
+		// Cannot grow anywhere in an unowned interval; callers prevent this.
+		return e, 1 << 62
+	case i.IsOne():
+		// Owns everything below: bump the base.
+		return &Event{n: e.n + 1, left: e.left, right: e.right}, 0
+	case i.left.IsZero():
+		r, cost := grow(i.right, e.right)
+		return branchEvent(e.n, e.left, r), cost + 1
+	case i.right.IsZero():
+		l, cost := grow(i.left, e.left)
+		return branchEvent(e.n, l, e.right), cost + 1
+	default:
+		l, cl := grow(i.left, e.left)
+		r, cr := grow(i.right, e.right)
+		if cl <= cr {
+			return branchEvent(e.n, l, e.right), cl + 1
+		}
+		return branchEvent(e.n, e.left, r), cr + 1
+	}
+}

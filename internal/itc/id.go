@@ -1,0 +1,179 @@
+// Package itc implements Interval Tree Clocks (Almeida, Baquero, Fonte,
+// OPODIS 2008), the successor design that the version-stamps paper's
+// conclusion anticipates ("the design of decentralized vector clocks, by
+// exploring autonomous identifiers").
+//
+// Like version stamps, ITC works in the fork-event-join model with no
+// global identifiers: a stamp is a pair (id, event) of binary trees. The id
+// tree describes which interval of [0,1) the replica owns (forking splits
+// the interval, joining reunites it); the event tree is a piecewise-constant
+// integer function over [0,1) counting known events.
+//
+// The package exists as experiment E7: the simulator verifies that ITC
+// induces the same frontier ordering as causal histories and version
+// stamps, and the benchmarks compare stamp sizes. Unlike version stamps,
+// ITC events inflate counters, so repeated updates keep growing the event
+// tree where version stamps stay constant; conversely ITC ids can be leaner
+// after heavy churn.
+package itc
+
+import (
+	"fmt"
+	"strings"
+)
+
+// ID is an identity tree: ownership of a subinterval of [0,1).
+//
+//	leaf 0:      owns nothing (anonymous)
+//	leaf 1:      owns the whole subinterval
+//	branch(l,r): left half described by l, right half by r
+//
+// IDs are kept normalized: (0,0) is represented as leaf 0 and (1,1) as
+// leaf 1. The zero value of ID is not valid; use Zero, One or the
+// operations.
+type ID struct {
+	// For a leaf, left and right are nil and full records ownership.
+	// For a branch, left and right are both non-nil.
+	full        bool
+	left, right *ID
+}
+
+var (
+	idZero = &ID{full: false}
+	idOne  = &ID{full: true}
+)
+
+// Zero returns the anonymous id (owns nothing).
+func Zero() *ID { return idZero }
+
+// One returns the full id (owns everything) — the seed replica's identity.
+func One() *ID { return idOne }
+
+// branchID builds a normalized branch.
+func branchID(l, r *ID) *ID {
+	if l.IsLeaf() && r.IsLeaf() {
+		if !l.full && !r.full {
+			return idZero
+		}
+		if l.full && r.full {
+			return idOne
+		}
+	}
+	return &ID{left: l, right: r}
+}
+
+// IsLeaf reports whether i is a leaf (0 or 1).
+func (i *ID) IsLeaf() bool { return i.left == nil }
+
+// IsZero reports whether i is the anonymous id.
+func (i *ID) IsZero() bool { return i.IsLeaf() && !i.full }
+
+// IsOne reports whether i owns the whole interval.
+func (i *ID) IsOne() bool { return i.IsLeaf() && i.full }
+
+// Split divides the id into two disjoint non-empty halves (when i is
+// non-zero); forking a stamp gives one half to each descendant.
+func (i *ID) Split() (*ID, *ID) {
+	switch {
+	case i.IsZero():
+		return idZero, idZero
+	case i.IsOne():
+		return branchID(idOne, idZero), branchID(idZero, idOne)
+	case i.left.IsZero():
+		r1, r2 := i.right.Split()
+		return branchID(idZero, r1), branchID(idZero, r2)
+	case i.right.IsZero():
+		l1, l2 := i.left.Split()
+		return branchID(l1, idZero), branchID(l2, idZero)
+	default:
+		return branchID(i.left, idZero), branchID(idZero, i.right)
+	}
+}
+
+// Sum reunites two disjoint ids (the join of identities). It returns an
+// error when the ids overlap, which cannot happen for stamps of one
+// frontier.
+func Sum(a, b *ID) (*ID, error) {
+	switch {
+	case a.IsZero():
+		return b, nil
+	case b.IsZero():
+		return a, nil
+	case a.IsLeaf() || b.IsLeaf():
+		// One side owns this whole subinterval and the other is non-zero.
+		return nil, fmt.Errorf("itc: overlapping ids %v and %v", a, b)
+	default:
+		l, err := Sum(a.left, b.left)
+		if err != nil {
+			return nil, err
+		}
+		r, err := Sum(a.right, b.right)
+		if err != nil {
+			return nil, err
+		}
+		return branchID(l, r), nil
+	}
+}
+
+// Disjoint reports whether a and b own non-overlapping intervals.
+func Disjoint(a, b *ID) bool {
+	switch {
+	case a.IsZero() || b.IsZero():
+		return true
+	case a.IsLeaf() || b.IsLeaf():
+		return false
+	default:
+		return Disjoint(a.left, b.left) && Disjoint(a.right, b.right)
+	}
+}
+
+// Equal reports structural equality (normal forms make this semantic).
+func (i *ID) Equal(j *ID) bool {
+	if i.IsLeaf() || j.IsLeaf() {
+		return i.IsLeaf() && j.IsLeaf() && i.full == j.full
+	}
+	return i.left.Equal(j.left) && i.right.Equal(j.right)
+}
+
+// Nodes returns the number of tree nodes, a size measure.
+func (i *ID) Nodes() int {
+	if i.IsLeaf() {
+		return 1
+	}
+	return 1 + i.left.Nodes() + i.right.Nodes()
+}
+
+// String renders the id: "0", "1" or "(l,r)".
+func (i *ID) String() string {
+	if i.IsLeaf() {
+		if i.full {
+			return "1"
+		}
+		return "0"
+	}
+	var sb strings.Builder
+	sb.WriteByte('(')
+	sb.WriteString(i.left.String())
+	sb.WriteByte(',')
+	sb.WriteString(i.right.String())
+	sb.WriteByte(')')
+	return sb.String()
+}
+
+// Validate checks the normalization invariant: no branch of two equal
+// leaves.
+func (i *ID) Validate() error {
+	if i.IsLeaf() {
+		return nil
+	}
+	if i.left == nil || i.right == nil {
+		return fmt.Errorf("itc: half-branch id node")
+	}
+	if i.left.IsLeaf() && i.right.IsLeaf() && i.left.full == i.right.full {
+		return fmt.Errorf("itc: unnormalized id branch (%v,%v)", i.left, i.right)
+	}
+	if err := i.left.Validate(); err != nil {
+		return err
+	}
+	return i.right.Validate()
+}

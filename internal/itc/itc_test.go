@@ -1,0 +1,425 @@
+package itc
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestSeed(t *testing.T) {
+	s := Seed()
+	if s.String() != "(1; 0)" {
+		t.Errorf("Seed = %v", s)
+	}
+	if err := s.Validate(); err != nil {
+		t.Errorf("Seed invalid: %v", err)
+	}
+	if s.IsZero() {
+		t.Error("Seed must not be zero")
+	}
+	if !(Stamp{}).IsZero() {
+		t.Error("zero Stamp must report IsZero")
+	}
+}
+
+func TestSeedEventAndFork(t *testing.T) {
+	// (1,0) -event-> (1,1)
+	s, err := Seed().Event()
+	if err != nil {
+		t.Fatalf("Event: %v", err)
+	}
+	if s.String() != "(1; 1)" {
+		t.Errorf("after event: %v, want (1; 1)", s)
+	}
+	// fork: ids (1,0) and (0,1)
+	a, b := s.Fork()
+	if a.String() != "((1,0); 1)" || b.String() != "((0,1); 1)" {
+		t.Errorf("fork = %v, %v", a, b)
+	}
+	// event on the left: classic ITC growth (1 -> (1,1,0)).
+	a2, err := a.Event()
+	if err != nil {
+		t.Fatalf("Event: %v", err)
+	}
+	if a2.String() != "((1,0); (1,1,0))" {
+		t.Errorf("a after event = %v, want ((1,0); (1,1,0))", a2)
+	}
+	if err := a2.Validate(); err != nil {
+		t.Errorf("invalid: %v", err)
+	}
+}
+
+func TestForkJoinRestoresSeedShape(t *testing.T) {
+	a, b := Seed().Fork()
+	j, err := Join(a, b)
+	if err != nil {
+		t.Fatalf("Join: %v", err)
+	}
+	if !j.ID().IsOne() {
+		t.Errorf("rejoined id = %v, want 1", j.ID())
+	}
+	if j.EventTree().maxVal() != 0 {
+		t.Errorf("rejoined events = %v, want 0", j.EventTree())
+	}
+}
+
+func TestIDSplitProperties(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	ids := []*ID{One()}
+	for iter := 0; iter < 400; iter++ {
+		i := ids[rng.Intn(len(ids))]
+		if i.IsZero() {
+			continue
+		}
+		l, r := i.Split()
+		if l.IsZero() || r.IsZero() {
+			t.Fatalf("Split(%v) produced an empty half: %v, %v", i, l, r)
+		}
+		if !Disjoint(l, r) {
+			t.Fatalf("Split(%v) halves overlap: %v, %v", i, l, r)
+		}
+		back, err := Sum(l, r)
+		if err != nil {
+			t.Fatalf("Sum(Split(%v)): %v", i, err)
+		}
+		if !back.Equal(i) {
+			t.Fatalf("Sum(Split(%v)) = %v", i, back)
+		}
+		if err := l.Validate(); err != nil {
+			t.Fatalf("invalid split half: %v", err)
+		}
+		if rng.Intn(2) == 0 {
+			ids = append(ids, l, r)
+		}
+	}
+}
+
+func TestSumRejectsOverlap(t *testing.T) {
+	if _, err := Sum(One(), One()); err == nil {
+		t.Error("Sum(1,1) must fail")
+	}
+	l, _ := One().Split()
+	if _, err := Sum(l, l); err == nil {
+		t.Error("Sum of a half with itself must fail")
+	}
+	if _, err := Join(Seed(), Seed()); err == nil {
+		t.Error("Join of two seeds must fail")
+	}
+}
+
+func TestEventOnAnonymous(t *testing.T) {
+	anon := Seed().Peek()
+	if !anon.ID().IsZero() {
+		t.Fatal("Peek must be anonymous")
+	}
+	if _, err := anon.Event(); err == nil {
+		t.Error("Event on an anonymous stamp must fail")
+	}
+}
+
+func TestPeekCarriesKnowledge(t *testing.T) {
+	s, _ := Seed().Event()
+	msg := s.Peek()
+	if Compare(msg, s) != Equal {
+		t.Errorf("peeked stamp must compare equal to its source")
+	}
+}
+
+// evalAt samples the event function at the dyadic point addressed by path
+// (each byte 0 or 1 selects a half), descending depth levels.
+func evalAt(e *Event, path []byte) uint64 {
+	total := uint64(0)
+	for _, p := range path {
+		total += e.n
+		if e.IsLeaf() {
+			return total
+		}
+		if p == 0 {
+			e = e.left
+		} else {
+			e = e.right
+		}
+	}
+	// Remaining subtree: the value at this point is base plus wherever the
+	// deeper structure goes; for sampling purposes descend left.
+	for !e.IsLeaf() {
+		total += e.n
+		e = e.left
+	}
+	return total + e.n
+}
+
+// depth returns the height of the event tree.
+func depth(e *Event) int {
+	if e.IsLeaf() {
+		return 0
+	}
+	return 1 + max(depth(e.left), depth(e.right))
+}
+
+// allPaths enumerates the 2^d paths of depth d.
+func allPaths(d int) [][]byte {
+	if d == 0 {
+		return [][]byte{{}}
+	}
+	sub := allPaths(d - 1)
+	out := make([][]byte, 0, 2*len(sub))
+	for _, s := range sub {
+		out = append(out, append([]byte{0}, s...), append([]byte{1}, s...))
+	}
+	return out
+}
+
+// randomStampTrace runs random fork/event/join ops and returns the frontier.
+func randomStampTrace(t *testing.T, rng *rand.Rand, ops int) []Stamp {
+	t.Helper()
+	frontier := []Stamp{Seed()}
+	for k := 0; k < ops; k++ {
+		switch op := rng.Intn(3); {
+		case op == 0:
+			i := rng.Intn(len(frontier))
+			s, err := frontier[i].Event()
+			if err != nil {
+				t.Fatalf("event: %v", err)
+			}
+			frontier[i] = s
+		case op == 1 || len(frontier) == 1:
+			i := rng.Intn(len(frontier))
+			a, b := frontier[i].Fork()
+			frontier[i] = a
+			frontier = append(frontier, b)
+		default:
+			i, j := rng.Intn(len(frontier)), rng.Intn(len(frontier))
+			if i == j {
+				continue
+			}
+			joined, err := Join(frontier[i], frontier[j])
+			if err != nil {
+				t.Fatalf("join: %v", err)
+			}
+			frontier[i] = joined
+			frontier = append(frontier[:j], frontier[j+1:]...)
+		}
+		for _, s := range frontier {
+			if err := s.Validate(); err != nil {
+				t.Fatalf("invalid stamp after %d ops: %v (%v)", k+1, err, s)
+			}
+		}
+	}
+	return frontier
+}
+
+func TestLeqMatchesPointwise(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	for iter := 0; iter < 40; iter++ {
+		frontier := randomStampTrace(t, rng, 40)
+		for i := range frontier {
+			for j := range frontier {
+				e, f := frontier[i].EventTree(), frontier[j].EventTree()
+				paths := allPaths(max(depth(e), depth(f)))
+				want := true
+				for _, p := range paths {
+					if evalAt(e, p) > evalAt(f, p) {
+						want = false
+						break
+					}
+				}
+				if got := Leq(e, f); got != want {
+					t.Fatalf("Leq(%v, %v) = %v, want %v", e, f, got, want)
+				}
+			}
+		}
+	}
+}
+
+func TestJoinEventsIsPointwiseMax(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	for iter := 0; iter < 40; iter++ {
+		frontier := randomStampTrace(t, rng, 30)
+		if len(frontier) < 2 {
+			continue
+		}
+		e, f := frontier[0].EventTree(), frontier[1].EventTree()
+		j := JoinEvents(e, f)
+		if err := j.Validate(); err != nil {
+			t.Fatalf("JoinEvents produced unnormalized tree: %v", err)
+		}
+		for _, p := range allPaths(max(depth(e), max(depth(f), depth(j)))) {
+			want := max(evalAt(e, p), evalAt(f, p))
+			if got := evalAt(j, p); got != want {
+				t.Fatalf("join(%v,%v) at %v = %d, want %d", e, f, p, got, want)
+			}
+		}
+	}
+}
+
+func TestNormPreservesFunction(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	// Random denormalized trees.
+	var build func(depth int) *Event
+	build = func(depth int) *Event {
+		if depth == 0 || rng.Intn(3) == 0 {
+			return &Event{n: uint64(rng.Intn(5))}
+		}
+		return &Event{n: uint64(rng.Intn(5)), left: build(depth - 1), right: build(depth - 1)}
+	}
+	for iter := 0; iter < 300; iter++ {
+		e := build(4)
+		n := e.norm()
+		if err := n.Validate(); err != nil {
+			t.Fatalf("norm produced invalid tree: %v (%v)", err, n)
+		}
+		for _, p := range allPaths(5) {
+			if evalAt(e, p) != evalAt(n, p) {
+				t.Fatalf("norm changed the function of %v at %v: %v", e, p, n)
+			}
+		}
+	}
+}
+
+func TestEventStrictlyInflates(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	for iter := 0; iter < 30; iter++ {
+		frontier := randomStampTrace(t, rng, 30)
+		i := rng.Intn(len(frontier))
+		before := frontier[i]
+		after, err := before.Event()
+		if err != nil {
+			t.Fatalf("event: %v", err)
+		}
+		if !Leq(before.EventTree(), after.EventTree()) {
+			t.Fatalf("event not inflationary: %v -> %v", before, after)
+		}
+		if Leq(after.EventTree(), before.EventTree()) {
+			t.Fatalf("event not strict: %v -> %v", before, after)
+		}
+	}
+}
+
+func TestCompareScenarios(t *testing.T) {
+	a, b := Seed().Fork()
+	if Compare(a, b) != Equal {
+		t.Error("fresh siblings must be equal")
+	}
+	a1, _ := a.Event()
+	if Compare(b, a1) != Before || Compare(a1, b) != After {
+		t.Error("dominance after one-sided event")
+	}
+	b1, _ := b.Event()
+	if Compare(a1, b1) != Concurrent {
+		t.Error("independent events must be concurrent")
+	}
+	if !LeqStamp(b, a1) || LeqStamp(a1, b) {
+		t.Error("LeqStamp inconsistent")
+	}
+}
+
+// TestAgreementWithSetOracle runs random traces in lockstep with an explicit
+// event-set model (the causal-history ground truth) and checks ITC induces
+// the identical frontier ordering — the E7 claim inside this package.
+func TestAgreementWithSetOracle(t *testing.T) {
+	type elem struct {
+		st   Stamp
+		hist map[int]bool
+	}
+	copySet := func(m map[int]bool) map[int]bool {
+		out := make(map[int]bool, len(m))
+		for k := range m {
+			out[k] = true
+		}
+		return out
+	}
+	subset := func(a, b map[int]bool) bool {
+		for k := range a {
+			if !b[k] {
+				return false
+			}
+		}
+		return true
+	}
+	for seed := int64(0); seed < 25; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		nextEvent := 0
+		frontier := []elem{{st: Seed(), hist: map[int]bool{}}}
+		for k := 0; k < 120; k++ {
+			switch op := rng.Intn(3); {
+			case op == 0:
+				i := rng.Intn(len(frontier))
+				st, err := frontier[i].st.Event()
+				if err != nil {
+					t.Fatalf("event: %v", err)
+				}
+				h := copySet(frontier[i].hist)
+				h[nextEvent] = true
+				nextEvent++
+				frontier[i] = elem{st: st, hist: h}
+			case op == 1 || len(frontier) == 1:
+				i := rng.Intn(len(frontier))
+				a, b := frontier[i].st.Fork()
+				frontier = append(frontier, elem{st: b, hist: copySet(frontier[i].hist)})
+				frontier[i] = elem{st: a, hist: frontier[i].hist}
+			default:
+				i, j := rng.Intn(len(frontier)), rng.Intn(len(frontier))
+				if i == j {
+					continue
+				}
+				st, err := Join(frontier[i].st, frontier[j].st)
+				if err != nil {
+					t.Fatalf("join: %v", err)
+				}
+				h := copySet(frontier[i].hist)
+				for e := range frontier[j].hist {
+					h[e] = true
+				}
+				frontier[i] = elem{st: st, hist: h}
+				frontier = append(frontier[:j], frontier[j+1:]...)
+			}
+			// Pairwise agreement.
+			for x := range frontier {
+				for y := range frontier {
+					if x == y {
+						continue
+					}
+					wantLeq := subset(frontier[x].hist, frontier[y].hist)
+					gotLeq := LeqStamp(frontier[x].st, frontier[y].st)
+					if wantLeq != gotLeq {
+						t.Fatalf("seed %d step %d: ITC leq(%d,%d)=%v, oracle %v\n%v\n%v",
+							seed, k, x, y, gotLeq, wantLeq, frontier[x].st, frontier[y].st)
+					}
+				}
+			}
+		}
+	}
+}
+
+func TestSync(t *testing.T) {
+	a, b := Seed().Fork()
+	a1, _ := a.Event()
+	sa, sb, err := Sync(a1, b)
+	if err != nil {
+		t.Fatalf("Sync: %v", err)
+	}
+	if Compare(sa, sb) != Equal {
+		t.Error("after sync both replicas must be equal")
+	}
+}
+
+func TestNodesAndStrings(t *testing.T) {
+	s := Seed()
+	if s.Nodes() != 2 {
+		t.Errorf("Seed nodes = %d, want 2", s.Nodes())
+	}
+	if (Stamp{}).Nodes() != 0 {
+		t.Error("zero stamp nodes must be 0")
+	}
+	if (Stamp{}).String() != "(invalid)" {
+		t.Error("zero stamp String incorrect")
+	}
+	if (Stamp{}).Validate() == nil {
+		t.Error("zero stamp must not validate")
+	}
+	if Equal.String() != "equal" || Before.String() != "before" ||
+		After.String() != "after" || Concurrent.String() != "concurrent" ||
+		Ordering(0).String() != "invalid" {
+		t.Error("Ordering.String incorrect")
+	}
+}

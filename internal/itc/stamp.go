@@ -1,0 +1,151 @@
+package itc
+
+import (
+	"errors"
+	"fmt"
+)
+
+// Stamp is an interval tree clock: an identity tree paired with an event
+// tree. The zero value is not valid; histories start from Seed().
+type Stamp struct {
+	id *ID
+	ev *Event
+}
+
+// ErrAnonymous is returned when recording an event on a stamp whose id owns
+// nothing (id = 0): anonymous stamps can compare but not update.
+var ErrAnonymous = errors.New("itc: event on an anonymous stamp")
+
+// Seed returns the initial stamp (1, 0): full ownership, no events.
+func Seed() Stamp {
+	return Stamp{id: One(), ev: zeroEvent}
+}
+
+// ID returns the identity tree.
+func (s Stamp) ID() *ID { return s.id }
+
+// EventTree returns the event tree.
+func (s Stamp) EventTree() *Event { return s.ev }
+
+// IsZero reports an uninitialized stamp.
+func (s Stamp) IsZero() bool { return s.id == nil || s.ev == nil }
+
+// Fork splits the stamp in two: the id divides, the event tree is shared.
+func (s Stamp) Fork() (Stamp, Stamp) {
+	l, r := s.id.Split()
+	return Stamp{id: l, ev: s.ev}, Stamp{id: r, ev: s.ev}
+}
+
+// Peek returns an anonymous stamp carrying s's causal knowledge (id 0),
+// usable as a message timestamp, plus the original stamp unchanged.
+func (s Stamp) Peek() Stamp {
+	return Stamp{id: Zero(), ev: s.ev}
+}
+
+// Event records a new event: the event tree inflates inside the stamp's own
+// interval, preferring inflations that do not grow the tree (fill) and
+// otherwise growing at the cheapest spot (grow).
+func (s Stamp) Event() (Stamp, error) {
+	if s.id.IsZero() {
+		return Stamp{}, ErrAnonymous
+	}
+	filled := fill(s.id, s.ev)
+	if !filled.Equal(s.ev) {
+		return Stamp{id: s.id, ev: filled.norm()}, nil
+	}
+	grown, _ := grow(s.id, s.ev)
+	return Stamp{id: s.id, ev: grown.norm()}, nil
+}
+
+// Join merges two stamps: ids reunite (they must be disjoint), event trees
+// take their pointwise maximum.
+func Join(a, b Stamp) (Stamp, error) {
+	id, err := Sum(a.id, b.id)
+	if err != nil {
+		return Stamp{}, err
+	}
+	return Stamp{id: id, ev: JoinEvents(a.ev, b.ev)}, nil
+}
+
+// Sync is join followed by fork: both replicas survive with merged
+// knowledge.
+func Sync(a, b Stamp) (Stamp, Stamp, error) {
+	j, err := Join(a, b)
+	if err != nil {
+		return Stamp{}, Stamp{}, err
+	}
+	l, r := j.Fork()
+	return l, r, nil
+}
+
+// Ordering mirrors core.Ordering for the four-way comparison outcome.
+type Ordering int
+
+// Ordering values; see package core for the replication-level meaning.
+const (
+	Equal Ordering = iota + 1
+	Before
+	After
+	Concurrent
+)
+
+// String returns a human-readable rendering of the ordering.
+func (o Ordering) String() string {
+	switch o {
+	case Equal:
+		return "equal"
+	case Before:
+		return "before"
+	case After:
+		return "after"
+	case Concurrent:
+		return "concurrent"
+	default:
+		return "invalid"
+	}
+}
+
+// Compare relates two stamps by their event trees.
+func Compare(a, b Stamp) Ordering {
+	ab, ba := Leq(a.ev, b.ev), Leq(b.ev, a.ev)
+	switch {
+	case ab && ba:
+		return Equal
+	case ab:
+		return Before
+	case ba:
+		return After
+	default:
+		return Concurrent
+	}
+}
+
+// LeqStamp reports a ≤ b: b's event tree dominates a's pointwise.
+func LeqStamp(a, b Stamp) bool { return Leq(a.ev, b.ev) }
+
+// Nodes returns the total tree nodes of the stamp, the E7 size measure.
+func (s Stamp) Nodes() int {
+	if s.IsZero() {
+		return 0
+	}
+	return s.id.Nodes() + s.ev.Nodes()
+}
+
+// String renders the stamp as "(id; ev)".
+func (s Stamp) String() string {
+	if s.IsZero() {
+		return "(invalid)"
+	}
+	return fmt.Sprintf("(%v; %v)", s.id, s.ev)
+}
+
+// Validate checks both trees' structural invariants.
+func (s Stamp) Validate() error {
+	if s.IsZero() {
+		return errors.New("itc: zero stamp")
+	}
+	if err := s.id.Validate(); err != nil {
+		return err
+	}
+	return s.ev.Validate()
+}

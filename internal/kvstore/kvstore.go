@@ -1,0 +1,453 @@
+// Package kvstore implements an optimistically replicated key-value store
+// that uses version stamps for per-key causality tracking — the kind of
+// system the paper's introduction motivates: replicas synchronize pairwise
+// whenever connectivity allows, updates happen anywhere anytime, and new
+// replicas appear under partition with no identifier coordination.
+//
+// Every stored copy of a key is one element of that key's fork-join
+// frontier: the first write seeds a stamp, local writes update it,
+// transferring a key to another replica forks it, and synchronization joins
+// and re-forks. Comparing two replicas' stamps for a key classifies the
+// copies as equivalent, obsolete or conflicting, exactly as Section 2 of
+// the paper prescribes; deletions are tombstones so removal also propagates
+// causally.
+//
+// Causal ordering is defined only among copies descending from one seed:
+// originate each key at a single replica and let Sync/Clone propagate it.
+// Keys created independently at two replicas share no causal ancestor;
+// Sync detects this (their stamp ids overlap, which Invariant I2 rules out
+// within one system), reconciles by value and restarts the key's stamp
+// system — sound for a two-replica deployment, best-effort beyond that
+// (see reconcileIndependent).
+package kvstore
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"sort"
+	"sync"
+
+	"versionstamp/internal/core"
+)
+
+// Versioned is one replica's copy of a key: the value, a deletion marker,
+// and the version stamp tracking the copy's causal history.
+type Versioned struct {
+	// Value is the stored bytes (nil for tombstones).
+	Value []byte
+	// Deleted marks a tombstone: the key was deleted at or after the
+	// updates recorded in Stamp.
+	Deleted bool
+	// Stamp is this copy's version stamp within the key's frontier.
+	Stamp core.Stamp
+}
+
+// Resolver merges two conflicting copies of a key during Sync, returning
+// the merged value (merged deletions are expressed by returning
+// deleted=true).
+type Resolver func(key string, a, b Versioned) (value []byte, deleted bool, err error)
+
+// KeepBoth is a Resolver that concatenates both values with a separator —
+// a simple deterministic merge for demonstration and tests. Deletion loses
+// against a concurrent write.
+func KeepBoth(sep []byte) Resolver {
+	return func(_ string, a, b Versioned) ([]byte, bool, error) {
+		switch {
+		case a.Deleted && b.Deleted:
+			return nil, true, nil
+		case a.Deleted:
+			return b.Value, false, nil
+		case b.Deleted:
+			return a.Value, false, nil
+		default:
+			merged := make([]byte, 0, len(a.Value)+len(sep)+len(b.Value))
+			merged = append(merged, a.Value...)
+			merged = append(merged, sep...)
+			merged = append(merged, b.Value...)
+			return merged, false, nil
+		}
+	}
+}
+
+// Replica is one store replica. The label is purely cosmetic — replicas
+// have no identity beyond their stamps, which is the point of the paper.
+// Replica is safe for concurrent use.
+type Replica struct {
+	mu    sync.RWMutex
+	label string
+	data  map[string]Versioned
+}
+
+// NewReplica creates an empty replica with a cosmetic label.
+func NewReplica(label string) *Replica {
+	return &Replica{label: label, data: make(map[string]Versioned)}
+}
+
+// Label returns the cosmetic label.
+func (r *Replica) Label() string { return r.label }
+
+// Clone forks a full new replica from r: every key's stamp forks, the new
+// replica receiving one descendant. This is replica creation under
+// partition: no identifiers are requested from anywhere.
+func (r *Replica) Clone(label string) *Replica {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	clone := NewReplica(label)
+	for k, v := range r.data {
+		mine, theirs := v.Stamp.Fork()
+		v.Stamp = mine
+		r.data[k] = v
+		cv := v
+		cv.Stamp = theirs
+		cv.Value = append([]byte(nil), v.Value...)
+		clone.data[k] = cv
+	}
+	return clone
+}
+
+// Get returns the value of key. Tombstoned and missing keys report ok=false.
+func (r *Replica) Get(key string) (value []byte, ok bool) {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	v, found := r.data[key]
+	if !found || v.Deleted {
+		return nil, false
+	}
+	return append([]byte(nil), v.Value...), true
+}
+
+// Put writes a value, recording an update on the key's stamp (seeding the
+// stamp on first write at this replica).
+func (r *Replica) Put(key string, value []byte) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	v, found := r.data[key]
+	if !found {
+		v = Versioned{Stamp: core.Seed()}
+	}
+	v.Value = append([]byte(nil), value...)
+	v.Deleted = false
+	v.Stamp = v.Stamp.Update()
+	r.data[key] = v
+}
+
+// Delete tombstones a key. Deleting a key never seen at this replica is a
+// no-op returning false.
+func (r *Replica) Delete(key string) bool {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	v, found := r.data[key]
+	if !found || v.Deleted {
+		return false
+	}
+	v.Value = nil
+	v.Deleted = true
+	v.Stamp = v.Stamp.Update()
+	r.data[key] = v
+	return true
+}
+
+// Version returns the stored copy of a key including its stamp and
+// tombstone state.
+func (r *Replica) Version(key string) (Versioned, bool) {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	v, found := r.data[key]
+	if !found {
+		return Versioned{}, false
+	}
+	v.Value = append([]byte(nil), v.Value...)
+	return v, true
+}
+
+// Keys returns all keys with stored state (including tombstones), sorted.
+func (r *Replica) Keys() []string {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	out := make([]string, 0, len(r.data))
+	for k := range r.data {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Len returns the number of live (non-tombstoned) keys.
+func (r *Replica) Len() int {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	n := 0
+	for _, v := range r.data {
+		if !v.Deleted {
+			n++
+		}
+	}
+	return n
+}
+
+// SyncResult reports the outcome of one Sync.
+type SyncResult struct {
+	// Transferred counts keys copied to a replica that lacked them.
+	Transferred int
+	// Reconciled counts keys where one side dominated.
+	Reconciled int
+	// Merged counts conflicting keys merged by the resolver.
+	Merged int
+	// Conflicts lists conflicting keys left untouched (nil resolver).
+	Conflicts []string
+}
+
+// Sync performs pairwise anti-entropy between two replicas: every key known
+// to either side converges on both, except conflicting keys when resolve is
+// nil, which are reported in SyncResult.Conflicts and left for a later sync
+// with a resolver. Sync locks both replicas in address order, so concurrent
+// syncs of overlapping pairs cannot deadlock.
+func Sync(a, b *Replica, resolve Resolver) (SyncResult, error) {
+	if a == b {
+		return SyncResult{}, fmt.Errorf("kvstore: sync of a replica with itself")
+	}
+	first, second := a, b
+	if fmt.Sprintf("%p", a) > fmt.Sprintf("%p", b) {
+		first, second = b, a
+	}
+	first.mu.Lock()
+	defer first.mu.Unlock()
+	second.mu.Lock()
+	defer second.mu.Unlock()
+
+	var res SyncResult
+	keys := make(map[string]struct{}, len(a.data)+len(b.data))
+	for k := range a.data {
+		keys[k] = struct{}{}
+	}
+	for k := range b.data {
+		keys[k] = struct{}{}
+	}
+	sorted := make([]string, 0, len(keys))
+	for k := range keys {
+		sorted = append(sorted, k)
+	}
+	sort.Strings(sorted)
+
+	for _, k := range sorted {
+		va, hasA := a.data[k]
+		vb, hasB := b.data[k]
+		switch {
+		case hasA && !hasB:
+			mine, theirs := va.Stamp.Fork()
+			va.Stamp = mine
+			a.data[k] = va
+			b.data[k] = Versioned{
+				Value:   append([]byte(nil), va.Value...),
+				Deleted: va.Deleted,
+				Stamp:   theirs,
+			}
+			res.Transferred++
+		case hasB && !hasA:
+			mine, theirs := vb.Stamp.Fork()
+			vb.Stamp = mine
+			b.data[k] = vb
+			a.data[k] = Versioned{
+				Value:   append([]byte(nil), vb.Value...),
+				Deleted: vb.Deleted,
+				Stamp:   theirs,
+			}
+			res.Transferred++
+		default:
+			outcome, err := reconcileKey(k, &va, &vb, resolve)
+			if err != nil {
+				return res, err
+			}
+			switch outcome {
+			case outcomeConflictSkipped:
+				res.Conflicts = append(res.Conflicts, k)
+				continue
+			case outcomeReconciled:
+				res.Reconciled++
+			case outcomeMerged:
+				res.Merged++
+			case outcomeNoop:
+			}
+			a.data[k] = va
+			b.data[k] = vb
+		}
+	}
+	return res, nil
+}
+
+type reconcileOutcome int
+
+const (
+	outcomeNoop reconcileOutcome = iota + 1
+	outcomeReconciled
+	outcomeMerged
+	outcomeConflictSkipped
+)
+
+// reconcileKey merges two existing copies in place.
+func reconcileKey(key string, va, vb *Versioned, resolve Resolver) (reconcileOutcome, error) {
+	if !va.Stamp.IDName().IncomparableTo(vb.Stamp.IDName()) {
+		// Overlapping ids mean the copies do NOT descend from a common seed:
+		// the key was created independently at two replicas. Version stamps
+		// order only elements of one fork-join system (Invariant I2
+		// guarantees same-frontier ids never overlap), so no causal order
+		// exists between these copies. Treat them as conflicting and restart
+		// the key's stamp system from a fresh seed after merging.
+		return reconcileIndependent(key, va, vb, resolve)
+	}
+	rel := core.Compare(va.Stamp, vb.Stamp)
+	outcome := outcomeNoop
+
+	var value []byte
+	var deleted bool
+	switch rel {
+	case core.Equal:
+		// Already equivalent: leave both stamps untouched. Joining and
+		// re-forking here would be correct but would grow the merged id on
+		// every idle sync — the known growth weakness of version stamps
+		// under rotating sync partners (addressed by the ITC successor
+		// design); skipping idle churn keeps ids proportional to actual
+		// data flow.
+		return outcomeNoop, nil
+	case core.Before:
+		value, deleted = vb.Value, vb.Deleted
+		outcome = outcomeReconciled
+	case core.After:
+		value, deleted = va.Value, va.Deleted
+		outcome = outcomeReconciled
+	case core.Concurrent:
+		if resolve == nil {
+			return outcomeConflictSkipped, nil
+		}
+		var err error
+		value, deleted, err = resolve(key, *va, *vb)
+		if err != nil {
+			return 0, fmt.Errorf("kvstore: resolve %q: %w", key, err)
+		}
+		outcome = outcomeMerged
+	}
+
+	joined, err := core.Join(va.Stamp, vb.Stamp)
+	if err != nil {
+		return 0, fmt.Errorf("kvstore: join stamps for %q: %w", key, err)
+	}
+	if outcome == outcomeMerged {
+		// The merge is a new update dominating both inputs.
+		joined = joined.Update()
+	}
+	sa, sb := joined.Fork()
+	*va = Versioned{Value: append([]byte(nil), value...), Deleted: deleted, Stamp: sa}
+	*vb = Versioned{Value: append([]byte(nil), value...), Deleted: deleted, Stamp: sb}
+	return outcome, nil
+}
+
+// reconcileIndependent merges two copies with no common seed. Identical
+// contents merge silently; different contents need the resolver. Either way
+// the key's stamp system restarts from a fresh seed, updated so the merged
+// copy dominates any future copy forked from it.
+//
+// CONTRACT: restarting the stamp system is sound only while these two
+// replicas hold the key's only copies. If a third replica also created the
+// key independently, its copy can later compare as causally related to the
+// reseeded stamps while holding unrelated data — without globally unique
+// identifiers there is no way to causally order copies that share no common
+// ancestor (this is inherent to identifier-free operation, not a bug of
+// this implementation). Deployments should originate each key at one
+// replica and propagate it by Sync/Clone, as the fork-join model assumes;
+// see the package comment.
+func reconcileIndependent(key string, va, vb *Versioned, resolve Resolver) (reconcileOutcome, error) {
+	var (
+		value   []byte
+		deleted bool
+		outcome reconcileOutcome
+	)
+	if va.Deleted == vb.Deleted && bytes.Equal(va.Value, vb.Value) {
+		value, deleted = va.Value, va.Deleted
+		outcome = outcomeReconciled
+	} else {
+		if resolve == nil {
+			return outcomeConflictSkipped, nil
+		}
+		var err error
+		value, deleted, err = resolve(key, *va, *vb)
+		if err != nil {
+			return 0, fmt.Errorf("kvstore: resolve %q: %w", key, err)
+		}
+		outcome = outcomeMerged
+	}
+	sa, sb := core.Seed().Update().Fork()
+	*va = Versioned{Value: append([]byte(nil), value...), Deleted: deleted, Stamp: sa}
+	*vb = Versioned{Value: append([]byte(nil), value...), Deleted: deleted, Stamp: sb}
+	return outcome, nil
+}
+
+// snapshotEntry is the JSON form of one key's state.
+type snapshotEntry struct {
+	Key     string `json:"key"`
+	Value   []byte `json:"value,omitempty"`
+	Deleted bool   `json:"deleted,omitempty"`
+	Stamp   string `json:"stamp"`
+}
+
+// Snapshot serializes the replica (label and all entries including
+// tombstones) for durable storage; Restore loads it back. Together they
+// support crash/restart testing.
+func (r *Replica) Snapshot() ([]byte, error) {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	entries := make([]snapshotEntry, 0, len(r.data))
+	for _, k := range r.keysLocked() {
+		v := r.data[k]
+		entries = append(entries, snapshotEntry{
+			Key: k, Value: v.Value, Deleted: v.Deleted, Stamp: v.Stamp.String(),
+		})
+	}
+	return json.Marshal(struct {
+		Label   string          `json:"label"`
+		Entries []snapshotEntry `json:"entries"`
+	}{Label: r.label, Entries: entries})
+}
+
+func (r *Replica) keysLocked() []string {
+	out := make([]string, 0, len(r.data))
+	for k := range r.data {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Adopt replaces this replica's entire contents with the snapshot's,
+// keeping the replica pointer (and label) stable. It is used by the
+// anti-entropy client to take over the merged state returned by a peer.
+func (r *Replica) Adopt(snapshot []byte) error {
+	restored, err := Restore(snapshot)
+	if err != nil {
+		return err
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.data = restored.data
+	return nil
+}
+
+// Restore deserializes a snapshot into a fresh replica.
+func Restore(data []byte) (*Replica, error) {
+	var snap struct {
+		Label   string          `json:"label"`
+		Entries []snapshotEntry `json:"entries"`
+	}
+	if err := json.Unmarshal(data, &snap); err != nil {
+		return nil, fmt.Errorf("kvstore: restore: %w", err)
+	}
+	r := NewReplica(snap.Label)
+	for _, e := range snap.Entries {
+		st, err := core.Parse(e.Stamp)
+		if err != nil {
+			return nil, fmt.Errorf("kvstore: restore %q: %w", e.Key, err)
+		}
+		r.data[e.Key] = Versioned{Value: e.Value, Deleted: e.Deleted, Stamp: st}
+	}
+	return r, nil
+}

@@ -1,0 +1,33 @@
+package name
+
+import (
+	"versionstamp/internal/bitstr"
+)
+
+// Meet returns n ⊓ m, the greatest lower bound of two names.
+//
+// Proposition 4.2's proof observes that N is isomorphic to the down-sets of
+// binary strings ordered by inclusion — a complete lattice, not merely a
+// join semilattice. The meet corresponds to intersection of down-sets: a
+// string lies below both names exactly when it is a prefix of a member of
+// each, so the meet's members are the maximal common prefixes
+//
+//	n ⊓ m = max{ cp(r, s) | r ∈ n, s ∈ m }
+//
+// where cp is the longest common prefix (cp(r,s) = r when r ⊑ s).
+//
+// The version-stamp operations need only the join; Meet exists because the
+// lattice structure is useful to systems built on names — e.g. computing
+// the identity fragment two replicas' knowledge has in common.
+func Meet(n, m Name) Name {
+	if n.IsEmpty() || m.IsEmpty() {
+		return Empty()
+	}
+	candidates := make([]bitstr.Bits, 0, len(n.ss)*len(m.ss))
+	for _, r := range n.ss {
+		for _, s := range m.ss {
+			candidates = append(candidates, r.CommonPrefix(s))
+		}
+	}
+	return MaxOf(candidates...)
+}

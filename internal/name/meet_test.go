@@ -1,0 +1,116 @@
+package name
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"versionstamp/internal/bitstr"
+)
+
+func TestMeetExamples(t *testing.T) {
+	tests := []struct {
+		a, b, want string
+	}{
+		{"∅", "0+1", "∅"},
+		{"ε", "ε", "ε"},
+		{"ε", "0", "ε"},
+		{"0", "1", "ε"},   // disjoint halves share only ε
+		{"00", "01", "0"}, // siblings share their parent
+		{"00+011", "000+011+1", "00+011"},
+		{"00+10", "000+011+1", "00+1"},
+		{"0110", "0111", "011"},
+	}
+	for _, tt := range tests {
+		got := Meet(MustParse(tt.a), MustParse(tt.b))
+		if err := got.Validate(); err != nil {
+			t.Fatalf("Meet(%s,%s) invalid: %v", tt.a, tt.b, err)
+		}
+		if got.String() != tt.want {
+			t.Errorf("Meet(%s,%s) = %v, want %s", tt.a, tt.b, got, tt.want)
+		}
+	}
+}
+
+func TestMeetIsGlb(t *testing.T) {
+	if err := quick.Check(func(a, b, l genName) bool {
+		m := Meet(a.Name, b.Name)
+		if !m.Leq(a.Name) || !m.Leq(b.Name) {
+			return false // lower bound
+		}
+		if l.Leq(a.Name) && l.Leq(b.Name) && !l.Leq(m) {
+			return false // greatest
+		}
+		return true
+	}, quickCfg()); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestMeetLatticeLaws(t *testing.T) {
+	if err := quick.Check(func(a, b, c genName) bool {
+		return Meet(a.Name, a.Name).Equal(a.Name) && // idempotent
+			Meet(a.Name, b.Name).Equal(Meet(b.Name, a.Name)) && // commutative
+			Meet(Meet(a.Name, b.Name), c.Name).Equal(Meet(a.Name, Meet(b.Name, c.Name))) && // associative
+			Meet(a.Name, Empty()).Equal(Empty()) // ∅ is the bottom/zero
+	}, quickCfg()); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestAbsorptionLaws(t *testing.T) {
+	if err := quick.Check(func(a, b genName) bool {
+		return Join(a.Name, Meet(a.Name, b.Name)).Equal(a.Name) &&
+			Meet(a.Name, Join(a.Name, b.Name)).Equal(a.Name)
+	}, quickCfg()); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestDistributivity(t *testing.T) {
+	// Down-set lattices are distributive.
+	if err := quick.Check(func(a, b, c genName) bool {
+		lhs := Meet(a.Name, Join(b.Name, c.Name))
+		rhs := Join(Meet(a.Name, b.Name), Meet(a.Name, c.Name))
+		return lhs.Equal(rhs)
+	}, quickCfg()); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestMeetLeqCharacterization(t *testing.T) {
+	// a ⊑ b ⇔ a ⊓ b = a.
+	if err := quick.Check(func(a, b genName) bool {
+		return a.Leq(b.Name) == Meet(a.Name, b.Name).Equal(a.Name)
+	}, quickCfg()); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestMeetEqualsDownsetIntersection(t *testing.T) {
+	rng := rand.New(rand.NewSource(30))
+	downset := func(n Name) map[bitstr.Bits]bool {
+		d := make(map[bitstr.Bits]bool)
+		for _, s := range n.Bits() {
+			for i := 0; i <= s.Len(); i++ {
+				d[s[:i]] = true
+			}
+		}
+		return d
+	}
+	for i := 0; i < 300; i++ {
+		a, b := randName(rng, 5, 5), randName(rng, 5, 5)
+		m := Meet(a, b)
+		dm, da, db := downset(m), downset(a), downset(b)
+		for s := range dm {
+			if !da[s] || !db[s] {
+				t.Fatalf("↓Meet(%v,%v) has extra %v", a, b, s)
+			}
+		}
+		for s := range da {
+			if db[s] && !dm[s] {
+				t.Fatalf("↓Meet(%v,%v) missing %v", a, b, s)
+			}
+		}
+	}
+}

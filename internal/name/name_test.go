@@ -1,0 +1,533 @@
+package name
+
+import (
+	"math/rand"
+	"testing"
+
+	"versionstamp/internal/bitstr"
+)
+
+// randName builds a random antichain by inserting random strings and keeping
+// only maximal elements.
+func randName(rng *rand.Rand, maxStrings, maxLen int) Name {
+	n := rng.Intn(maxStrings + 1)
+	bits := make([]bitstr.Bits, 0, n)
+	for i := 0; i < n; i++ {
+		l := rng.Intn(maxLen + 1)
+		b := bitstr.Epsilon
+		for j := 0; j < l; j++ {
+			if rng.Intn(2) == 0 {
+				b = b.Append0()
+			} else {
+				b = b.Append1()
+			}
+		}
+		bits = append(bits, b)
+	}
+	return MaxOf(bits...)
+}
+
+func TestNewValidation(t *testing.T) {
+	if _, err := New(bitstr.Bits("0"), bitstr.Bits("01")); err == nil {
+		t.Error("New must reject {0, 01}: 0 ⊑ 01")
+	}
+	if _, err := New(bitstr.Bits("0"), bitstr.Bits("0")); err == nil {
+		t.Error("New must reject duplicates")
+	}
+	n, err := New(bitstr.Bits("00"), bitstr.Bits("011"))
+	if err != nil {
+		t.Fatalf("New({00,011}): %v", err)
+	}
+	if n.Len() != 2 {
+		t.Errorf("Len = %d, want 2", n.Len())
+	}
+}
+
+func TestPaperOrderExamples(t *testing.T) {
+	// From Section 4: {00,011} ⊑ {000,011,1} and {00,10} ⋢ {000,011,1}.
+	a := MustParse("00+011")
+	b := MustParse("000+011+1")
+	c := MustParse("00+10")
+	if !a.Leq(b) {
+		t.Errorf("%v ⊑ %v expected", a, b)
+	}
+	if c.Leq(b) {
+		t.Errorf("%v ⋢ %v expected", c, b)
+	}
+}
+
+func TestPaperJoinExample(t *testing.T) {
+	// From Section 4: {00,011} ⊔ {000,01,1} = {000,011,1}.
+	a := MustParse("00+011")
+	b := MustParse("000+01+1")
+	want := MustParse("000+011+1")
+	if got := Join(a, b); !got.Equal(want) {
+		t.Errorf("Join(%v, %v) = %v, want %v", a, b, got, want)
+	}
+}
+
+func TestMaxOf(t *testing.T) {
+	tests := []struct {
+		in   []string
+		want string
+	}{
+		{nil, "∅"},
+		{[]string{""}, "ε"},
+		{[]string{"", "0"}, "0"},
+		{[]string{"0", "1", "01"}, "01+1"},
+		{[]string{"0", "00", "000"}, "000"},
+		{[]string{"0", "10", "1"}, "0+10"},
+		{[]string{"0", "01", "00"}, "00+01"},
+		{[]string{"11", "0", "11"}, "0+11"},
+		{[]string{"", "0", "1", "00", "01", "10", "11"}, "00+01+10+11"},
+	}
+	for _, tt := range tests {
+		bits := make([]bitstr.Bits, len(tt.in))
+		for i, s := range tt.in {
+			bits[i] = bitstr.Bits(s)
+		}
+		got := MaxOf(bits...)
+		if got.String() != tt.want {
+			t.Errorf("MaxOf(%v) = %v, want %v", tt.in, got, tt.want)
+		}
+		if err := got.Validate(); err != nil {
+			t.Errorf("MaxOf(%v) invalid: %v", tt.in, err)
+		}
+	}
+}
+
+func TestMaxOfAlwaysValid(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for i := 0; i < 500; i++ {
+		n := randName(rng, 10, 6)
+		if err := n.Validate(); err != nil {
+			t.Fatalf("randName produced invalid name: %v", err)
+		}
+	}
+}
+
+func TestParseString(t *testing.T) {
+	tests := []struct {
+		in, want string
+	}{
+		{"∅", "∅"},
+		{"", "∅"},
+		{"{}", "∅"},
+		{"ε", "ε"},
+		{"0", "0"},
+		{"0+10", "0+10"},
+		{"10 + 0", "0+10"},
+		{"00+01+1", "00+01+1"},
+	}
+	for _, tt := range tests {
+		n, err := Parse(tt.in)
+		if err != nil {
+			t.Errorf("Parse(%q): %v", tt.in, err)
+			continue
+		}
+		if n.String() != tt.want {
+			t.Errorf("Parse(%q).String() = %q, want %q", tt.in, n, tt.want)
+		}
+	}
+	if _, err := Parse("0+01"); err == nil {
+		t.Error("Parse must reject non-antichains")
+	}
+	if _, err := Parse("0+x"); err == nil {
+		t.Error("Parse must reject invalid bit strings")
+	}
+}
+
+func TestStringParseRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	for i := 0; i < 300; i++ {
+		n := randName(rng, 8, 6)
+		back, err := Parse(n.String())
+		if err != nil {
+			t.Fatalf("Parse(%q): %v", n.String(), err)
+		}
+		if !back.Equal(n) {
+			t.Fatalf("round trip %v -> %v", n, back)
+		}
+	}
+}
+
+func TestLeqIsPartialOrder(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	for i := 0; i < 400; i++ {
+		a, b, c := randName(rng, 6, 5), randName(rng, 6, 5), randName(rng, 6, 5)
+		if !a.Leq(a) {
+			t.Fatalf("reflexivity violated: %v", a)
+		}
+		if a.Leq(b) && b.Leq(a) && !a.Equal(b) {
+			t.Fatalf("antisymmetry violated: %v, %v", a, b)
+		}
+		if a.Leq(b) && b.Leq(c) && !a.Leq(c) {
+			t.Fatalf("transitivity violated: %v ⊑ %v ⊑ %v", a, b, c)
+		}
+	}
+}
+
+func TestEmptyIsBottom(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	for i := 0; i < 200; i++ {
+		n := randName(rng, 6, 5)
+		if !Empty().Leq(n) {
+			t.Fatalf("∅ ⊑ %v expected", n)
+		}
+	}
+}
+
+func TestJoinIsLeastUpperBound(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	for i := 0; i < 400; i++ {
+		a, b := randName(rng, 6, 5), randName(rng, 6, 5)
+		j := Join(a, b)
+		if err := j.Validate(); err != nil {
+			t.Fatalf("Join(%v,%v) invalid: %v", a, b, err)
+		}
+		if !a.Leq(j) || !b.Leq(j) {
+			t.Fatalf("Join(%v,%v)=%v is not an upper bound", a, b, j)
+		}
+		// Least: any other upper bound dominates j.
+		u := randName(rng, 8, 5)
+		if a.Leq(u) && b.Leq(u) && !j.Leq(u) {
+			t.Fatalf("Join(%v,%v)=%v not least vs %v", a, b, j, u)
+		}
+	}
+}
+
+func TestJoinSemilatticeLaws(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	for i := 0; i < 400; i++ {
+		a, b, c := randName(rng, 6, 5), randName(rng, 6, 5), randName(rng, 6, 5)
+		if !Join(a, a).Equal(a) {
+			t.Fatalf("idempotence violated: %v", a)
+		}
+		if !Join(a, b).Equal(Join(b, a)) {
+			t.Fatalf("commutativity violated: %v, %v", a, b)
+		}
+		if !Join(Join(a, b), c).Equal(Join(a, Join(b, c))) {
+			t.Fatalf("associativity violated: %v, %v, %v", a, b, c)
+		}
+		if !Join(a, Empty()).Equal(a) {
+			t.Fatalf("∅ is not a unit: %v", a)
+		}
+	}
+}
+
+func TestJoinMatchesNaive(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for i := 0; i < 600; i++ {
+		a, b := randName(rng, 8, 6), randName(rng, 8, 6)
+		fast := Join(a, b)
+		naive := joinNaive(a, b)
+		if !fast.Equal(naive) {
+			t.Fatalf("Join(%v,%v): fast %v != naive %v", a, b, fast, naive)
+		}
+	}
+}
+
+func TestLeqMatchesNaive(t *testing.T) {
+	rng := rand.New(rand.NewSource(8))
+	for i := 0; i < 600; i++ {
+		a, b := randName(rng, 8, 6), randName(rng, 8, 6)
+		if a.Leq(b) != a.leqNaive(b) {
+			t.Fatalf("Leq(%v,%v): fast %v != naive %v", a, b, a.Leq(b), a.leqNaive(b))
+		}
+	}
+}
+
+func TestCoversMatchesNaive(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	for i := 0; i < 600; i++ {
+		n := randName(rng, 8, 6)
+		b := randName(rng, 1, 6)
+		var probe bitstr.Bits
+		if b.Len() == 1 {
+			probe, _ = b.At(0)
+		}
+		if n.Covers(probe) != n.coversNaive(probe) {
+			t.Fatalf("Covers(%v, %v): fast %v != naive %v",
+				n, probe, n.Covers(probe), n.coversNaive(probe))
+		}
+	}
+}
+
+func TestLeqEquivalentToDownsetInclusion(t *testing.T) {
+	// n ⊑ m iff the down-set of n is included in the down-set of m.
+	// Enumerate down-sets explicitly for small names.
+	rng := rand.New(rand.NewSource(10))
+	downset := func(n Name) map[bitstr.Bits]bool {
+		d := make(map[bitstr.Bits]bool)
+		for _, s := range n.Bits() {
+			for i := 0; i <= s.Len(); i++ {
+				d[s[:i]] = true
+			}
+		}
+		return d
+	}
+	for i := 0; i < 300; i++ {
+		a, b := randName(rng, 5, 5), randName(rng, 5, 5)
+		da, db := downset(a), downset(b)
+		included := true
+		for s := range da {
+			if !db[s] {
+				included = false
+				break
+			}
+		}
+		if a.Leq(b) != included {
+			t.Fatalf("Leq(%v,%v)=%v but down-set inclusion=%v", a, b, a.Leq(b), included)
+		}
+	}
+}
+
+func TestJoinEqualsDownsetUnion(t *testing.T) {
+	// The join corresponds to union of down-sets: ↓(a⊔b) = ↓a ∪ ↓b.
+	rng := rand.New(rand.NewSource(11))
+	downset := func(n Name) map[bitstr.Bits]bool {
+		d := make(map[bitstr.Bits]bool)
+		for _, s := range n.Bits() {
+			for i := 0; i <= s.Len(); i++ {
+				d[s[:i]] = true
+			}
+		}
+		return d
+	}
+	for i := 0; i < 300; i++ {
+		a, b := randName(rng, 5, 5), randName(rng, 5, 5)
+		j := Join(a, b)
+		dj, da, db := downset(j), downset(a), downset(b)
+		for s := range da {
+			if !dj[s] {
+				t.Fatalf("↓%v missing %v from ↓%v", j, s, a)
+			}
+		}
+		for s := range db {
+			if !dj[s] {
+				t.Fatalf("↓%v missing %v from ↓%v", j, s, b)
+			}
+		}
+		for s := range dj {
+			if !da[s] && !db[s] {
+				t.Fatalf("↓%v has extra %v", j, s)
+			}
+		}
+	}
+}
+
+func TestAppendBitLifting(t *testing.T) {
+	n := MustParse("0+10")
+	if got := n.Append0().String(); got != "00+100" {
+		t.Errorf("Append0 = %v, want 00+100", got)
+	}
+	if got := n.Append1().String(); got != "01+101" {
+		t.Errorf("Append1 = %v, want 01+101", got)
+	}
+	// Forking ε: the seed id {ε} splits into {0} and {1}.
+	if got := Epsilon().Append0().String(); got != "0" {
+		t.Errorf("ε·0 = %v, want 0", got)
+	}
+}
+
+func TestAppendPreservesValidityAndOrder(t *testing.T) {
+	rng := rand.New(rand.NewSource(12))
+	for i := 0; i < 300; i++ {
+		n := randName(rng, 8, 5)
+		n0, n1 := n.Append0(), n.Append1()
+		if err := n0.Validate(); err != nil {
+			t.Fatalf("Append0(%v) invalid: %v", n, err)
+		}
+		if err := n1.Validate(); err != nil {
+			t.Fatalf("Append1(%v) invalid: %v", n, err)
+		}
+		if !n0.IncomparableTo(n1) && !n.IsEmpty() {
+			t.Fatalf("forked halves of %v are comparable", n)
+		}
+		// Lifting reflects the order: n·0 ⊑ m·0 implies n ⊑ m. (The converse
+		// fails in general: {1} ⊑ {11} but {10} ⋢ {110}.)
+		m := randName(rng, 8, 5)
+		if n.Append0().Leq(m.Append0()) && !n.Leq(m) {
+			t.Fatalf("Append0 does not reflect ⊑ on %v, %v", n, m)
+		}
+		if n.Equal(m) && !n.Append1().Equal(m.Append1()) {
+			t.Fatalf("Append1 does not preserve equality on %v", n)
+		}
+	}
+}
+
+func TestSiblingPairAndCollapse(t *testing.T) {
+	n := MustParse("00+01+1")
+	s, ok := n.SiblingPair()
+	if !ok || s != bitstr.Bits("0") {
+		t.Fatalf("SiblingPair(%v) = %v,%v want 0", n, s, ok)
+	}
+	c, ok := n.CollapseSiblings(s)
+	if !ok || c.String() != "0+1" {
+		t.Fatalf("CollapseSiblings = %v,%v want 0+1", c, ok)
+	}
+	// Collapsing again reaches {ε}.
+	s2, ok := c.SiblingPair()
+	if !ok || s2 != bitstr.Epsilon {
+		t.Fatalf("SiblingPair(%v) = %v,%v want ε", c, s2, ok)
+	}
+	c2, ok := c.CollapseSiblings(s2)
+	if !ok || c2.String() != "ε" {
+		t.Fatalf("CollapseSiblings = %v,%v want ε", c2, ok)
+	}
+	if _, ok := c2.SiblingPair(); ok {
+		t.Error("ε has no sibling pair")
+	}
+}
+
+func TestSiblingPairNone(t *testing.T) {
+	for _, s := range []string{"∅", "ε", "0", "0+10", "00+01", "000+01+1"} {
+		n := MustParse(s)
+		if s == "00+01" || s == "000+01+1" {
+			continue // these do have pairs; covered elsewhere
+		}
+		if p, ok := n.SiblingPair(); ok && s != "00+01" {
+			t.Errorf("SiblingPair(%v) unexpectedly found %v", n, p)
+		}
+	}
+}
+
+func TestCollapseRequiresBothChildren(t *testing.T) {
+	n := MustParse("00+1")
+	if _, ok := n.CollapseSiblings(bitstr.Bits("0")); ok {
+		t.Error("collapse must require both 00 and 01")
+	}
+}
+
+func TestCollapsePreservesDownsetModuloPair(t *testing.T) {
+	// Collapsing {s0,s1}->s strictly shrinks the name w.r.t. ⊑:
+	// result ⊑ original (s ⊑ s0 is false... rather s0,s1 ⋣ s but s ⊏ s0).
+	// Per Section 6: for a rewriting (u,i) -> (u',i'), i' ⊑ i.
+	rng := rand.New(rand.NewSource(13))
+	for i := 0; i < 300; i++ {
+		n := randName(rng, 10, 5)
+		s, ok := n.SiblingPair()
+		if !ok {
+			continue
+		}
+		c, ok := n.CollapseSiblings(s)
+		if !ok {
+			t.Fatalf("collapse of found pair failed on %v", n)
+		}
+		if err := c.Validate(); err != nil {
+			t.Fatalf("collapse produced invalid name: %v", err)
+		}
+		if !c.Leq(n) {
+			t.Fatalf("collapse must shrink: %v ⋢ %v", c, n)
+		}
+	}
+}
+
+func TestAddRemove(t *testing.T) {
+	n := MustParse("0+10")
+	n2, ok := n.Add(bitstr.Bits("11"))
+	if !ok || n2.String() != "0+10+11" {
+		t.Fatalf("Add(11) = %v,%v", n2, ok)
+	}
+	if _, ok := n.Add(bitstr.Bits("1")); ok {
+		t.Error("Add(1) must fail: 1 ⊑ 10")
+	}
+	n3, ok := n2.Remove(bitstr.Bits("10"))
+	if !ok || n3.String() != "0+11" {
+		t.Fatalf("Remove(10) = %v,%v", n3, ok)
+	}
+	if _, ok := n3.Remove(bitstr.Bits("10")); ok {
+		t.Error("Remove of absent member must fail")
+	}
+}
+
+func TestContains(t *testing.T) {
+	n := MustParse("00+01+1")
+	for _, s := range []string{"00", "01", "1"} {
+		if !n.Contains(bitstr.Bits(s)) {
+			t.Errorf("Contains(%s) = false", s)
+		}
+	}
+	for _, s := range []string{"", "0", "10", "000"} {
+		if n.Contains(bitstr.Bits(s)) {
+			t.Errorf("Contains(%s) = true", s)
+		}
+	}
+}
+
+func TestCovers(t *testing.T) {
+	n := MustParse("00+011+1")
+	tests := []struct {
+		probe string
+		want  bool
+	}{
+		{"", true},   // ε ⊑ everything present
+		{"0", true},  // 0 ⊑ 00
+		{"00", true}, // member
+		{"000", false},
+		{"01", true},  // 01 ⊑ 011
+		{"011", true}, // member
+		{"0111", false},
+		{"1", true},
+		{"10", false},
+		{"11", false},
+	}
+	for _, tt := range tests {
+		if got := n.Covers(bitstr.Bits(tt.probe)); got != tt.want {
+			t.Errorf("Covers(%q) = %v, want %v", tt.probe, got, tt.want)
+		}
+	}
+	if Empty().Covers(bitstr.Epsilon) {
+		t.Error("∅ covers nothing")
+	}
+}
+
+func TestIncomparableTo(t *testing.T) {
+	a := MustParse("00+010")
+	b := MustParse("011+1")
+	if !a.IncomparableTo(b) {
+		t.Errorf("%v and %v should be incomparable", a, b)
+	}
+	c := MustParse("0110")
+	if b.IncomparableTo(c) {
+		t.Errorf("%v and %v share comparable strings", b, c)
+	}
+}
+
+func TestSizeMeasures(t *testing.T) {
+	n := MustParse("00+011+1")
+	if n.TotalBits() != 6 {
+		t.Errorf("TotalBits = %d, want 6", n.TotalBits())
+	}
+	if n.MaxDepth() != 3 {
+		t.Errorf("MaxDepth = %d, want 3", n.MaxDepth())
+	}
+	if Empty().TotalBits() != 0 || Empty().MaxDepth() != 0 {
+		t.Error("empty name must measure zero")
+	}
+}
+
+func TestBitsReturnsCopy(t *testing.T) {
+	n := MustParse("0+1")
+	got := n.Bits()
+	got[0] = bitstr.Bits("111")
+	if n.String() != "0+1" {
+		t.Error("mutating Bits() result must not affect the name")
+	}
+}
+
+func TestAt(t *testing.T) {
+	n := MustParse("0+10")
+	if b, ok := n.At(0); !ok || b != bitstr.Bits("0") {
+		t.Errorf("At(0) = %v,%v", b, ok)
+	}
+	if b, ok := n.At(1); !ok || b != bitstr.Bits("10") {
+		t.Errorf("At(1) = %v,%v", b, ok)
+	}
+	if _, ok := n.At(2); ok {
+		t.Error("At(2) must fail")
+	}
+	if _, ok := n.At(-1); ok {
+		t.Error("At(-1) must fail")
+	}
+}

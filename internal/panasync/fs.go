@@ -1,0 +1,204 @@
+// Package panasync re-implements the functionality of PANASYNC, the file
+// replication toolset in which the paper's version stamps were first
+// deployed (paper Section 7, reference [1]): dependency tracking among
+// copies of single files.
+//
+// Each tracked file carries a sidecar (<name>.vstamp) holding its version
+// stamp and a content hash. Copying a file forks its stamp; editing updates
+// it; comparing two copies answers, with no global coordination, whether
+// they are equivalent, one is obsolete, or they conflict; synchronizing two
+// copies joins knowledge and reconciles contents. Copies can be made on
+// disconnected machines indefinitely — exactly the partitioned mode of
+// operation the paper targets — and dependency tracking keeps working.
+package panasync
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"sync"
+)
+
+// FS abstracts the file storage so the library runs identically over the
+// real filesystem (DirFS) and in memory (MemFS, used by tests and the
+// simulated examples).
+type FS interface {
+	// ReadFile returns the content of the named file.
+	ReadFile(path string) ([]byte, error)
+	// WriteFile creates or replaces the named file.
+	WriteFile(path string, data []byte) error
+	// Remove deletes the named file.
+	Remove(path string) error
+	// Exists reports whether the named file exists.
+	Exists(path string) (bool, error)
+	// List returns all file paths in lexical order.
+	List() ([]string, error)
+}
+
+// MemFS is an in-memory FS implementation, safe for concurrent use.
+type MemFS struct {
+	mu    sync.RWMutex
+	files map[string][]byte
+}
+
+var _ FS = (*MemFS)(nil)
+
+// NewMemFS returns an empty in-memory filesystem.
+func NewMemFS() *MemFS {
+	return &MemFS{files: make(map[string][]byte)}
+}
+
+// ReadFile implements FS.
+func (m *MemFS) ReadFile(path string) ([]byte, error) {
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	data, ok := m.files[path]
+	if !ok {
+		return nil, &os.PathError{Op: "open", Path: path, Err: os.ErrNotExist}
+	}
+	out := make([]byte, len(data))
+	copy(out, data)
+	return out, nil
+}
+
+// WriteFile implements FS.
+func (m *MemFS) WriteFile(path string, data []byte) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	cp := make([]byte, len(data))
+	copy(cp, data)
+	m.files[path] = cp
+	return nil
+}
+
+// Remove implements FS.
+func (m *MemFS) Remove(path string) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if _, ok := m.files[path]; !ok {
+		return &os.PathError{Op: "remove", Path: path, Err: os.ErrNotExist}
+	}
+	delete(m.files, path)
+	return nil
+}
+
+// Exists implements FS.
+func (m *MemFS) Exists(path string) (bool, error) {
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	_, ok := m.files[path]
+	return ok, nil
+}
+
+// List implements FS.
+func (m *MemFS) List() ([]string, error) {
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	out := make([]string, 0, len(m.files))
+	for p := range m.files {
+		out = append(out, p)
+	}
+	sort.Strings(out)
+	return out, nil
+}
+
+// DirFS is an FS rooted at a directory of the real filesystem.
+type DirFS struct {
+	root string
+}
+
+var _ FS = (*DirFS)(nil)
+
+// NewDirFS returns an FS rooted at root, which must exist.
+func NewDirFS(root string) (*DirFS, error) {
+	info, err := os.Stat(root)
+	if err != nil {
+		return nil, fmt.Errorf("panasync: %w", err)
+	}
+	if !info.IsDir() {
+		return nil, fmt.Errorf("panasync: %s is not a directory", root)
+	}
+	return &DirFS{root: root}, nil
+}
+
+// resolve maps a slash path inside the root, rejecting escapes.
+func (d *DirFS) resolve(path string) (string, error) {
+	clean := filepath.Clean("/" + filepath.FromSlash(path))
+	full := filepath.Join(d.root, clean)
+	if !strings.HasPrefix(full, filepath.Clean(d.root)+string(os.PathSeparator)) &&
+		full != filepath.Clean(d.root) {
+		return "", fmt.Errorf("panasync: path %q escapes the root", path)
+	}
+	return full, nil
+}
+
+// ReadFile implements FS.
+func (d *DirFS) ReadFile(path string) ([]byte, error) {
+	full, err := d.resolve(path)
+	if err != nil {
+		return nil, err
+	}
+	return os.ReadFile(full)
+}
+
+// WriteFile implements FS.
+func (d *DirFS) WriteFile(path string, data []byte) error {
+	full, err := d.resolve(path)
+	if err != nil {
+		return err
+	}
+	if err := os.MkdirAll(filepath.Dir(full), 0o755); err != nil {
+		return err
+	}
+	return os.WriteFile(full, data, 0o644)
+}
+
+// Remove implements FS.
+func (d *DirFS) Remove(path string) error {
+	full, err := d.resolve(path)
+	if err != nil {
+		return err
+	}
+	return os.Remove(full)
+}
+
+// Exists implements FS.
+func (d *DirFS) Exists(path string) (bool, error) {
+	full, err := d.resolve(path)
+	if err != nil {
+		return false, err
+	}
+	if _, err := os.Stat(full); err != nil {
+		if os.IsNotExist(err) {
+			return false, nil
+		}
+		return false, err
+	}
+	return true, nil
+}
+
+// List implements FS.
+func (d *DirFS) List() ([]string, error) {
+	var out []string
+	err := filepath.Walk(d.root, func(path string, info os.FileInfo, err error) error {
+		if err != nil {
+			return err
+		}
+		if info.IsDir() {
+			return nil
+		}
+		rel, err := filepath.Rel(d.root, path)
+		if err != nil {
+			return err
+		}
+		out = append(out, filepath.ToSlash(rel))
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	sort.Strings(out)
+	return out, nil
+}

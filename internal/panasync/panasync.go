@@ -1,0 +1,282 @@
+package panasync
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"errors"
+	"fmt"
+
+	"versionstamp/internal/core"
+)
+
+// SidecarSuffix is appended to a tracked file's path to form its metadata
+// sidecar path.
+const SidecarSuffix = ".vstamp"
+
+// Errors the caller can match.
+var (
+	// ErrNotTracked is returned for operations on files without a sidecar.
+	ErrNotTracked = errors.New("panasync: file is not tracked")
+	// ErrAlreadyTracked is returned by Init on already-tracked files.
+	ErrAlreadyTracked = errors.New("panasync: file is already tracked")
+	// ErrConflict is returned by Sync when copies are mutually inconsistent
+	// and no Resolver was supplied.
+	ErrConflict = errors.New("panasync: copies conflict")
+	// ErrStaleStamp is returned when a file changed since its last recorded
+	// update; call Edit to record the change first.
+	ErrStaleStamp = errors.New("panasync: file modified since last recorded update")
+)
+
+// sidecar is the JSON sidecar contents.
+type sidecar struct {
+	// Stamp is the version stamp in the paper's text notation.
+	Stamp string `json:"stamp"`
+	// SHA256 is the hex content hash at the last recorded update.
+	SHA256 string `json:"sha256"`
+}
+
+// Status describes a tracked file copy.
+type Status struct {
+	// Path of the file within the workspace FS.
+	Path string
+	// Stamp is the copy's current version stamp.
+	Stamp core.Stamp
+	// Dirty reports content changes not yet recorded with Edit.
+	Dirty bool
+}
+
+// Resolver merges conflicting contents during Sync. It receives both
+// contents and returns the merged content.
+type Resolver func(pathA, pathB string, contentA, contentB []byte) ([]byte, error)
+
+// Workspace tracks file copies over an FS. It is not safe for concurrent
+// use; PANASYNC's tools are single-user commands.
+type Workspace struct {
+	fs FS
+}
+
+// NewWorkspace returns a workspace over the given FS.
+func NewWorkspace(fs FS) *Workspace { return &Workspace{fs: fs} }
+
+func hashContent(data []byte) string {
+	sum := sha256.Sum256(data)
+	return hex.EncodeToString(sum[:])
+}
+
+func (w *Workspace) readSidecar(path string) (core.Stamp, string, error) {
+	data, err := w.fs.ReadFile(path + SidecarSuffix)
+	if err != nil {
+		return core.Stamp{}, "", fmt.Errorf("%w: %s", ErrNotTracked, path)
+	}
+	var sc sidecar
+	if err := json.Unmarshal(data, &sc); err != nil {
+		return core.Stamp{}, "", fmt.Errorf("panasync: corrupt sidecar for %s: %w", path, err)
+	}
+	st, err := core.Parse(sc.Stamp)
+	if err != nil {
+		return core.Stamp{}, "", fmt.Errorf("panasync: corrupt stamp for %s: %w", path, err)
+	}
+	return st, sc.SHA256, nil
+}
+
+func (w *Workspace) writeSidecar(path string, st core.Stamp, hash string) error {
+	data, err := json.Marshal(sidecar{Stamp: st.String(), SHA256: hash})
+	if err != nil {
+		return fmt.Errorf("panasync: %w", err)
+	}
+	return w.fs.WriteFile(path+SidecarSuffix, data)
+}
+
+// Init starts tracking an existing file as the seed copy of a new
+// replicated document.
+func (w *Workspace) Init(path string) error {
+	if ok, err := w.fs.Exists(path + SidecarSuffix); err != nil {
+		return err
+	} else if ok {
+		return fmt.Errorf("%w: %s", ErrAlreadyTracked, path)
+	}
+	content, err := w.fs.ReadFile(path)
+	if err != nil {
+		return fmt.Errorf("panasync: %w", err)
+	}
+	return w.writeSidecar(path, core.Seed(), hashContent(content))
+}
+
+// Copy duplicates a tracked file: contents are copied and the stamp forks,
+// giving each copy its own identity with no coordination. This is the
+// operation that works under arbitrary partitions.
+func (w *Workspace) Copy(src, dst string) error {
+	st, hash, err := w.readSidecar(src)
+	if err != nil {
+		return err
+	}
+	if ok, err := w.fs.Exists(dst + SidecarSuffix); err != nil {
+		return err
+	} else if ok {
+		return fmt.Errorf("%w: %s", ErrAlreadyTracked, dst)
+	}
+	content, err := w.fs.ReadFile(src)
+	if err != nil {
+		return fmt.Errorf("panasync: %w", err)
+	}
+	if err := w.fs.WriteFile(dst, content); err != nil {
+		return fmt.Errorf("panasync: %w", err)
+	}
+	left, right := st.Fork()
+	if err := w.writeSidecar(src, left, hash); err != nil {
+		return err
+	}
+	return w.writeSidecar(dst, right, hashContent(content))
+}
+
+// Edit records an update on the file: call it after changing the content.
+// The stamp's update component absorbs the id, and the content hash is
+// refreshed.
+func (w *Workspace) Edit(path string) error {
+	st, _, err := w.readSidecar(path)
+	if err != nil {
+		return err
+	}
+	content, err := w.fs.ReadFile(path)
+	if err != nil {
+		return fmt.Errorf("panasync: %w", err)
+	}
+	return w.writeSidecar(path, st.Update(), hashContent(content))
+}
+
+// Stat returns the tracking status of a file.
+func (w *Workspace) Stat(path string) (Status, error) {
+	st, hash, err := w.readSidecar(path)
+	if err != nil {
+		return Status{}, err
+	}
+	content, err := w.fs.ReadFile(path)
+	if err != nil {
+		return Status{}, fmt.Errorf("panasync: %w", err)
+	}
+	return Status{Path: path, Stamp: st, Dirty: hashContent(content) != hash}, nil
+}
+
+// Compare relates two tracked copies by their stamps. Both must have their
+// edits recorded (not be Dirty); otherwise the answer would be misleading
+// and ErrStaleStamp is returned.
+func (w *Workspace) Compare(a, b string) (core.Ordering, error) {
+	sa, err := w.Stat(a)
+	if err != nil {
+		return 0, err
+	}
+	sb, err := w.Stat(b)
+	if err != nil {
+		return 0, err
+	}
+	if sa.Dirty {
+		return 0, fmt.Errorf("%w: %s", ErrStaleStamp, a)
+	}
+	if sb.Dirty {
+		return 0, fmt.Errorf("%w: %s", ErrStaleStamp, b)
+	}
+	return core.Compare(sa.Stamp, sb.Stamp), nil
+}
+
+// Sync reconciles two tracked copies:
+//
+//   - equivalent copies merely refresh their stamps;
+//   - if one copy is obsolete it receives the dominant copy's content;
+//   - mutually inconsistent copies are merged by the resolver (nil resolver
+//     returns ErrConflict), and the merged content counts as a new update.
+//
+// In every case the two stamps are joined and re-forked, so afterwards both
+// copies compare equal and dominate their ancestors.
+func (w *Workspace) Sync(a, b string, resolve Resolver) error {
+	rel, err := w.Compare(a, b)
+	if err != nil {
+		return err
+	}
+	sa, _, err := w.readSidecar(a)
+	if err != nil {
+		return err
+	}
+	sb, _, err := w.readSidecar(b)
+	if err != nil {
+		return err
+	}
+	contentA, err := w.fs.ReadFile(a)
+	if err != nil {
+		return fmt.Errorf("panasync: %w", err)
+	}
+	contentB, err := w.fs.ReadFile(b)
+	if err != nil {
+		return fmt.Errorf("panasync: %w", err)
+	}
+
+	joined, err := core.Join(sa, sb)
+	if err != nil {
+		return fmt.Errorf("panasync: %w", err)
+	}
+	var merged []byte
+	switch rel {
+	case core.Equal:
+		merged = contentA
+	case core.Before: // a obsolete: b wins
+		merged = contentB
+	case core.After: // b obsolete: a wins
+		merged = contentA
+	case core.Concurrent:
+		if resolve == nil {
+			return fmt.Errorf("%w: %s vs %s", ErrConflict, a, b)
+		}
+		merged, err = resolve(a, b, contentA, contentB)
+		if err != nil {
+			return fmt.Errorf("panasync: resolver: %w", err)
+		}
+		// The merge itself is a new update event.
+		joined = joined.Update()
+	}
+
+	newA, newB := joined.Fork()
+	hash := hashContent(merged)
+	if err := w.fs.WriteFile(a, merged); err != nil {
+		return fmt.Errorf("panasync: %w", err)
+	}
+	if err := w.fs.WriteFile(b, merged); err != nil {
+		return fmt.Errorf("panasync: %w", err)
+	}
+	if err := w.writeSidecar(a, newA, hash); err != nil {
+		return err
+	}
+	return w.writeSidecar(b, newB, hash)
+}
+
+// Forget stops tracking a file, removing its sidecar and discarding the
+// copy's identity and knowledge. To retire a copy while preserving its
+// knowledge, Sync it into another copy first.
+func (w *Workspace) Forget(path string) error {
+	if ok, err := w.fs.Exists(path + SidecarSuffix); err != nil {
+		return err
+	} else if !ok {
+		return fmt.Errorf("%w: %s", ErrNotTracked, path)
+	}
+	return w.fs.Remove(path + SidecarSuffix)
+}
+
+// Tracked lists the statuses of all tracked files in the workspace.
+func (w *Workspace) Tracked() ([]Status, error) {
+	paths, err := w.fs.List()
+	if err != nil {
+		return nil, err
+	}
+	var out []Status
+	for _, p := range paths {
+		if len(p) <= len(SidecarSuffix) || p[len(p)-len(SidecarSuffix):] != SidecarSuffix {
+			continue
+		}
+		base := p[:len(p)-len(SidecarSuffix)]
+		st, err := w.Stat(base)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, st)
+	}
+	return out, nil
+}

@@ -1,0 +1,377 @@
+package panasync
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"testing"
+
+	"versionstamp/internal/core"
+)
+
+func newWS(t *testing.T) (*Workspace, *MemFS) {
+	t.Helper()
+	fs := NewMemFS()
+	return NewWorkspace(fs), fs
+}
+
+func mustWrite(t *testing.T, fs FS, path, content string) {
+	t.Helper()
+	if err := fs.WriteFile(path, []byte(content)); err != nil {
+		t.Fatalf("write %s: %v", path, err)
+	}
+}
+
+func TestInitAndStat(t *testing.T) {
+	ws, fs := newWS(t)
+	mustWrite(t, fs, "doc.txt", "hello")
+	if err := ws.Init("doc.txt"); err != nil {
+		t.Fatalf("Init: %v", err)
+	}
+	st, err := ws.Stat("doc.txt")
+	if err != nil {
+		t.Fatalf("Stat: %v", err)
+	}
+	if !st.Stamp.Equal(core.Seed()) {
+		t.Errorf("initial stamp = %v, want seed", st.Stamp)
+	}
+	if st.Dirty {
+		t.Error("freshly tracked file must not be dirty")
+	}
+	if err := ws.Init("doc.txt"); !errors.Is(err, ErrAlreadyTracked) {
+		t.Errorf("second Init = %v, want ErrAlreadyTracked", err)
+	}
+	if err := ws.Init("missing.txt"); err == nil {
+		t.Error("Init of a missing file must fail")
+	}
+}
+
+func TestUntrackedOperationsFail(t *testing.T) {
+	ws, fs := newWS(t)
+	mustWrite(t, fs, "a.txt", "x")
+	if _, err := ws.Stat("a.txt"); !errors.Is(err, ErrNotTracked) {
+		t.Errorf("Stat untracked = %v", err)
+	}
+	if err := ws.Edit("a.txt"); !errors.Is(err, ErrNotTracked) {
+		t.Errorf("Edit untracked = %v", err)
+	}
+	if err := ws.Copy("a.txt", "b.txt"); !errors.Is(err, ErrNotTracked) {
+		t.Errorf("Copy untracked = %v", err)
+	}
+	if err := ws.Forget("a.txt"); !errors.Is(err, ErrNotTracked) {
+		t.Errorf("Forget untracked = %v", err)
+	}
+}
+
+func TestCopyForksIdentity(t *testing.T) {
+	ws, fs := newWS(t)
+	mustWrite(t, fs, "a.txt", "v1")
+	if err := ws.Init("a.txt"); err != nil {
+		t.Fatal(err)
+	}
+	if err := ws.Copy("a.txt", "b.txt"); err != nil {
+		t.Fatalf("Copy: %v", err)
+	}
+	data, err := fs.ReadFile("b.txt")
+	if err != nil || string(data) != "v1" {
+		t.Fatalf("copied content = %q, %v", data, err)
+	}
+	sa, _ := ws.Stat("a.txt")
+	sb, _ := ws.Stat("b.txt")
+	if sa.Stamp.String() != "[ε|0]" || sb.Stamp.String() != "[ε|1]" {
+		t.Errorf("fork stamps = %v, %v", sa.Stamp, sb.Stamp)
+	}
+	rel, err := ws.Compare("a.txt", "b.txt")
+	if err != nil {
+		t.Fatalf("Compare: %v", err)
+	}
+	if rel != core.Equal {
+		t.Errorf("fresh copies = %v, want equal", rel)
+	}
+	// Copying onto a tracked destination fails.
+	if err := ws.Copy("a.txt", "b.txt"); !errors.Is(err, ErrAlreadyTracked) {
+		t.Errorf("Copy onto tracked = %v", err)
+	}
+}
+
+func TestEditAndDirtyDetection(t *testing.T) {
+	ws, fs := newWS(t)
+	mustWrite(t, fs, "a.txt", "v1")
+	if err := ws.Init("a.txt"); err != nil {
+		t.Fatal(err)
+	}
+	if err := ws.Copy("a.txt", "b.txt"); err != nil {
+		t.Fatal(err)
+	}
+	// Modify a without recording: Stat reports dirty, Compare refuses.
+	mustWrite(t, fs, "a.txt", "v2")
+	st, _ := ws.Stat("a.txt")
+	if !st.Dirty {
+		t.Error("modified file must be dirty")
+	}
+	if _, err := ws.Compare("a.txt", "b.txt"); !errors.Is(err, ErrStaleStamp) {
+		t.Errorf("Compare with dirty file = %v, want ErrStaleStamp", err)
+	}
+	// Record the edit: now a dominates b.
+	if err := ws.Edit("a.txt"); err != nil {
+		t.Fatalf("Edit: %v", err)
+	}
+	rel, err := ws.Compare("a.txt", "b.txt")
+	if err != nil {
+		t.Fatalf("Compare: %v", err)
+	}
+	if rel != core.After {
+		t.Errorf("edited vs stale = %v, want after", rel)
+	}
+	if rel, _ := ws.Compare("b.txt", "a.txt"); rel != core.Before {
+		t.Errorf("stale vs edited = %v, want before", rel)
+	}
+}
+
+func TestSyncDominance(t *testing.T) {
+	ws, fs := newWS(t)
+	mustWrite(t, fs, "a.txt", "v1")
+	if err := ws.Init("a.txt"); err != nil {
+		t.Fatal(err)
+	}
+	if err := ws.Copy("a.txt", "b.txt"); err != nil {
+		t.Fatal(err)
+	}
+	mustWrite(t, fs, "a.txt", "v2")
+	if err := ws.Edit("a.txt"); err != nil {
+		t.Fatal(err)
+	}
+	if err := ws.Sync("a.txt", "b.txt", nil); err != nil {
+		t.Fatalf("Sync: %v", err)
+	}
+	// b received a's content.
+	data, _ := fs.ReadFile("b.txt")
+	if string(data) != "v2" {
+		t.Errorf("b content = %q, want v2", data)
+	}
+	rel, err := ws.Compare("a.txt", "b.txt")
+	if err != nil {
+		t.Fatalf("Compare: %v", err)
+	}
+	if rel != core.Equal {
+		t.Errorf("after sync = %v, want equal", rel)
+	}
+}
+
+func TestSyncConflict(t *testing.T) {
+	ws, fs := newWS(t)
+	mustWrite(t, fs, "a.txt", "base")
+	if err := ws.Init("a.txt"); err != nil {
+		t.Fatal(err)
+	}
+	if err := ws.Copy("a.txt", "b.txt"); err != nil {
+		t.Fatal(err)
+	}
+	mustWrite(t, fs, "a.txt", "edit-a")
+	mustWrite(t, fs, "b.txt", "edit-b")
+	if err := ws.Edit("a.txt"); err != nil {
+		t.Fatal(err)
+	}
+	if err := ws.Edit("b.txt"); err != nil {
+		t.Fatal(err)
+	}
+	if rel, _ := ws.Compare("a.txt", "b.txt"); rel != core.Concurrent {
+		t.Fatalf("setup: want concurrent, got %v", rel)
+	}
+	// Without a resolver the conflict is surfaced.
+	if err := ws.Sync("a.txt", "b.txt", nil); !errors.Is(err, ErrConflict) {
+		t.Fatalf("Sync without resolver = %v, want ErrConflict", err)
+	}
+	// With a resolver the merge becomes a new dominating update.
+	merge := func(pa, pb string, ca, cb []byte) ([]byte, error) {
+		return []byte(fmt.Sprintf("merged(%s,%s)", ca, cb)), nil
+	}
+	if err := ws.Sync("a.txt", "b.txt", merge); err != nil {
+		t.Fatalf("Sync with resolver: %v", err)
+	}
+	da, _ := fs.ReadFile("a.txt")
+	db, _ := fs.ReadFile("b.txt")
+	if !bytes.Equal(da, db) || string(da) != "merged(edit-a,edit-b)" {
+		t.Errorf("merged contents = %q, %q", da, db)
+	}
+	if rel, _ := ws.Compare("a.txt", "b.txt"); rel != core.Equal {
+		t.Errorf("after merge = %v, want equal", rel)
+	}
+}
+
+func TestSyncResolverError(t *testing.T) {
+	ws, fs := newWS(t)
+	mustWrite(t, fs, "a.txt", "base")
+	_ = ws.Init("a.txt")
+	_ = ws.Copy("a.txt", "b.txt")
+	mustWrite(t, fs, "a.txt", "x")
+	mustWrite(t, fs, "b.txt", "y")
+	_ = ws.Edit("a.txt")
+	_ = ws.Edit("b.txt")
+	boom := errors.New("boom")
+	err := ws.Sync("a.txt", "b.txt", func(_, _ string, _, _ []byte) ([]byte, error) {
+		return nil, boom
+	})
+	if !errors.Is(err, boom) {
+		t.Errorf("Sync = %v, want resolver error", err)
+	}
+}
+
+// TestThreeWayScenario walks the paper's mobile scenario: a document copied
+// across three disconnected machines, edited independently, then reconciled
+// pairwise — all without any central coordination.
+func TestThreeWayScenario(t *testing.T) {
+	ws, fs := newWS(t)
+	mustWrite(t, fs, "doc", "base")
+	if err := ws.Init("doc"); err != nil {
+		t.Fatal(err)
+	}
+	// Laptop and phone take copies (e.g. before a flight).
+	if err := ws.Copy("doc", "laptop/doc"); err != nil {
+		t.Fatal(err)
+	}
+	if err := ws.Copy("doc", "phone/doc"); err != nil {
+		t.Fatal(err)
+	}
+	// While partitioned, the phone copies again (replica creation under
+	// partition — impossible with id-server version vectors).
+	if err := ws.Copy("phone/doc", "tablet/doc"); err != nil {
+		t.Fatal(err)
+	}
+	// Independent edits on laptop and tablet.
+	mustWrite(t, fs, "laptop/doc", "laptop edit")
+	_ = ws.Edit("laptop/doc")
+	mustWrite(t, fs, "tablet/doc", "tablet edit")
+	_ = ws.Edit("tablet/doc")
+
+	// Phone vs tablet: phone is obsolete (tablet forked from it and edited).
+	rel, err := ws.Compare("phone/doc", "tablet/doc")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rel != core.Before {
+		t.Errorf("phone vs tablet = %v, want before", rel)
+	}
+	// Laptop vs tablet: conflict.
+	rel, _ = ws.Compare("laptop/doc", "tablet/doc")
+	if rel != core.Concurrent {
+		t.Errorf("laptop vs tablet = %v, want concurrent", rel)
+	}
+	// Reconcile: tablet syncs into phone (dominance), then laptop and phone
+	// merge the conflict.
+	if err := ws.Sync("phone/doc", "tablet/doc", nil); err != nil {
+		t.Fatal(err)
+	}
+	merge := func(_, _ string, ca, cb []byte) ([]byte, error) {
+		return append(append([]byte{}, ca...), cb...), nil
+	}
+	if err := ws.Sync("laptop/doc", "phone/doc", merge); err != nil {
+		t.Fatal(err)
+	}
+	// Now laptop and phone are equal and dominate the original doc.
+	if rel, _ := ws.Compare("laptop/doc", "phone/doc"); rel != core.Equal {
+		t.Errorf("laptop vs phone after merge = %v", rel)
+	}
+	if rel, _ := ws.Compare("doc", "laptop/doc"); rel != core.Before {
+		t.Errorf("original vs merged = %v, want before", rel)
+	}
+}
+
+func TestTrackedAndForget(t *testing.T) {
+	ws, fs := newWS(t)
+	mustWrite(t, fs, "a", "1")
+	mustWrite(t, fs, "b", "2")
+	mustWrite(t, fs, "untracked", "3")
+	_ = ws.Init("a")
+	_ = ws.Init("b")
+	list, err := ws.Tracked()
+	if err != nil {
+		t.Fatalf("Tracked: %v", err)
+	}
+	if len(list) != 2 || list[0].Path != "a" || list[1].Path != "b" {
+		t.Fatalf("Tracked = %+v", list)
+	}
+	if err := ws.Forget("a"); err != nil {
+		t.Fatalf("Forget: %v", err)
+	}
+	list, _ = ws.Tracked()
+	if len(list) != 1 || list[0].Path != "b" {
+		t.Fatalf("Tracked after Forget = %+v", list)
+	}
+}
+
+func TestCorruptSidecar(t *testing.T) {
+	ws, fs := newWS(t)
+	mustWrite(t, fs, "a", "1")
+	mustWrite(t, fs, "a"+SidecarSuffix, "not json")
+	if _, err := ws.Stat("a"); err == nil {
+		t.Error("corrupt sidecar must fail")
+	}
+	mustWrite(t, fs, "a"+SidecarSuffix, `{"stamp":"[1|0]","sha256":""}`)
+	if _, err := ws.Stat("a"); err == nil {
+		t.Error("I1-violating sidecar stamp must fail")
+	}
+}
+
+func TestDirFS(t *testing.T) {
+	root := t.TempDir()
+	dfs, err := NewDirFS(root)
+	if err != nil {
+		t.Fatalf("NewDirFS: %v", err)
+	}
+	if err := dfs.WriteFile("sub/dir/file.txt", []byte("x")); err != nil {
+		t.Fatalf("WriteFile: %v", err)
+	}
+	data, err := dfs.ReadFile("sub/dir/file.txt")
+	if err != nil || string(data) != "x" {
+		t.Fatalf("ReadFile = %q, %v", data, err)
+	}
+	ok, err := dfs.Exists("sub/dir/file.txt")
+	if err != nil || !ok {
+		t.Fatalf("Exists = %v, %v", ok, err)
+	}
+	list, err := dfs.List()
+	if err != nil || len(list) != 1 || list[0] != "sub/dir/file.txt" {
+		t.Fatalf("List = %v, %v", list, err)
+	}
+	if _, err := dfs.ReadFile("../escape"); err == nil {
+		// Clean("/../escape") = "/escape" stays inside the root, so this
+		// reads a missing file rather than escaping; both are acceptable as
+		// long as nothing outside the root is touched.
+		t.Log("read of ../escape resolved inside root (ok)")
+	}
+	if err := dfs.Remove("sub/dir/file.txt"); err != nil {
+		t.Fatalf("Remove: %v", err)
+	}
+	if ok, _ := dfs.Exists("sub/dir/file.txt"); ok {
+		t.Error("file still exists after Remove")
+	}
+	// Full workspace over the real filesystem.
+	ws := NewWorkspace(dfs)
+	if err := dfs.WriteFile("doc", []byte("hello")); err != nil {
+		t.Fatal(err)
+	}
+	if err := ws.Init("doc"); err != nil {
+		t.Fatalf("Init over DirFS: %v", err)
+	}
+	if err := ws.Copy("doc", "doc2"); err != nil {
+		t.Fatalf("Copy over DirFS: %v", err)
+	}
+	rel, err := ws.Compare("doc", "doc2")
+	if err != nil || rel != core.Equal {
+		t.Fatalf("Compare over DirFS = %v, %v", rel, err)
+	}
+	if _, err := NewDirFS(root + "/definitely-missing"); err == nil {
+		t.Error("NewDirFS of missing dir must fail")
+	}
+}
+
+func TestMemFSErrors(t *testing.T) {
+	fs := NewMemFS()
+	if _, err := fs.ReadFile("nope"); err == nil {
+		t.Error("ReadFile of missing file must fail")
+	}
+	if err := fs.Remove("nope"); err == nil {
+		t.Error("Remove of missing file must fail")
+	}
+}

@@ -1,0 +1,289 @@
+package sim
+
+import (
+	"fmt"
+	"math/rand"
+)
+
+// OpKind enumerates the three operations of the fork-join model.
+type OpKind int
+
+// Operation kinds.
+const (
+	OpUpdate OpKind = iota + 1
+	OpFork
+	OpJoin
+)
+
+// String returns the operation name.
+func (k OpKind) String() string {
+	switch k {
+	case OpUpdate:
+		return "update"
+	case OpFork:
+		return "fork"
+	case OpJoin:
+		return "join"
+	default:
+		return "invalid"
+	}
+}
+
+// Op is one operation of a trace. A and B are slot indices interpreted
+// against the frontier as it exists when the op executes (see Tracker for
+// the slot discipline). B is meaningful only for OpJoin.
+type Op struct {
+	Kind OpKind
+	A, B int
+}
+
+// String renders the op, e.g. "update(3)" or "join(1,4)".
+func (o Op) String() string {
+	if o.Kind == OpJoin {
+		return fmt.Sprintf("%v(%d,%d)", o.Kind, o.A, o.B)
+	}
+	return fmt.Sprintf("%v(%d)", o.Kind, o.A)
+}
+
+// Trace is a deterministic sequence of operations, replayable on any
+// Tracker.
+type Trace []Op
+
+// Validate simulates the width evolution of the trace and reports the first
+// structurally invalid op (bad slot, self-join, join at width 1).
+func (tr Trace) Validate() error {
+	width := 1
+	for i, op := range tr {
+		switch op.Kind {
+		case OpUpdate:
+			if op.A < 0 || op.A >= width {
+				return fmt.Errorf("sim: op %d %v: slot out of range at width %d", i, op, width)
+			}
+		case OpFork:
+			if op.A < 0 || op.A >= width {
+				return fmt.Errorf("sim: op %d %v: slot out of range at width %d", i, op, width)
+			}
+			width++
+		case OpJoin:
+			if op.A < 0 || op.A >= width || op.B < 0 || op.B >= width {
+				return fmt.Errorf("sim: op %d %v: slot out of range at width %d", i, op, width)
+			}
+			if op.A == op.B {
+				return fmt.Errorf("sim: op %d %v: self-join", i, op)
+			}
+			width--
+		default:
+			return fmt.Errorf("sim: op %d: invalid kind %d", i, op.Kind)
+		}
+	}
+	return nil
+}
+
+// FinalWidth returns the frontier width after replaying the trace (assuming
+// it validates).
+func (tr Trace) FinalWidth() int {
+	width := 1
+	for _, op := range tr {
+		switch op.Kind {
+		case OpFork:
+			width++
+		case OpJoin:
+			width--
+		}
+	}
+	return width
+}
+
+// Counts returns the number of updates, forks and joins in the trace.
+func (tr Trace) Counts() (updates, forks, joins int) {
+	for _, op := range tr {
+		switch op.Kind {
+		case OpUpdate:
+			updates++
+		case OpFork:
+			forks++
+		case OpJoin:
+			joins++
+		}
+	}
+	return updates, forks, joins
+}
+
+// Weights biases the random workload generators. The three fields need not
+// sum to anything particular; only ratios matter.
+type Weights struct {
+	Update, Fork, Join int
+}
+
+// Preset workloads for the experiments.
+var (
+	// Balanced exercises all operations evenly (E4 default).
+	Balanced = Weights{Update: 2, Fork: 1, Join: 1}
+	// ForkHeavy grows wide frontiers (E5 worst case for id depth).
+	ForkHeavy = Weights{Update: 2, Fork: 3, Join: 1}
+	// SyncHeavy churns forks and joins in near-equal measure with frequent
+	// updates — the mobile synchronization pattern the paper targets.
+	SyncHeavy = Weights{Update: 4, Fork: 2, Join: 2}
+	// UpdateHeavy rarely changes the frontier shape.
+	UpdateHeavy = Weights{Update: 8, Fork: 1, Join: 1}
+)
+
+// Random generates a structurally valid trace of n operations using the
+// given weights, keeping the frontier width within [1, maxWidth].
+// Determinism: the same seed yields the same trace.
+func Random(seed int64, n int, w Weights, maxWidth int) Trace {
+	if maxWidth < 2 {
+		maxWidth = 2
+	}
+	rng := rand.New(rand.NewSource(seed))
+	total := w.Update + w.Fork + w.Join
+	if total <= 0 {
+		total = 1
+		w = Weights{Update: 1}
+	}
+	tr := make(Trace, 0, n)
+	width := 1
+	for len(tr) < n {
+		roll := rng.Intn(total)
+		switch {
+		case roll < w.Update:
+			tr = append(tr, Op{Kind: OpUpdate, A: rng.Intn(width)})
+		case roll < w.Update+w.Fork:
+			if width >= maxWidth {
+				continue
+			}
+			tr = append(tr, Op{Kind: OpFork, A: rng.Intn(width)})
+			width++
+		default:
+			if width < 2 {
+				continue
+			}
+			a := rng.Intn(width)
+			b := rng.Intn(width - 1)
+			if b >= a {
+				b++
+			}
+			tr = append(tr, Op{Kind: OpJoin, A: a, B: b})
+			width--
+		}
+	}
+	return tr
+}
+
+// SyncRound appends to tr the join+fork pair that synchronizes slots a and b
+// (the paper represents synchronization as joining two replicas and forking
+// the result). Removing slot b shifts higher slots down, so the follow-up
+// fork targets a-1 when b < a. After the round the frontier has the same
+// width; the synced replicas occupy the adjusted slot and the last slot.
+func SyncRound(tr Trace, a, b int) Trace {
+	tr = append(tr, Op{Kind: OpJoin, A: a, B: b})
+	forkAt := a
+	if b < a {
+		forkAt = a - 1
+	}
+	return append(tr, Op{Kind: OpFork, A: forkAt})
+}
+
+// FixedN generates the Figure 3 pattern: a system operating like a classic
+// fixed set of n replicas, encoded under fork-and-join dynamics. The trace
+// first forks the seed into n replicas, then performs rounds of one update
+// at a random replica followed by a synchronization (join+fork) of a random
+// pair. Deterministic in seed.
+func FixedN(seed int64, n, rounds int) Trace {
+	if n < 2 {
+		n = 2
+	}
+	rng := rand.New(rand.NewSource(seed))
+	var tr Trace
+	// Breadth-first fork into n replicas: forking slot k of the current
+	// width-k+1 frontier... forking the same earliest-created slots keeps
+	// ids shallow, mirroring Figure 3's balanced encoding.
+	for width := 1; width < n; width++ {
+		tr = append(tr, Op{Kind: OpFork, A: rng.Intn(width)})
+	}
+	for r := 0; r < rounds; r++ {
+		tr = append(tr, Op{Kind: OpUpdate, A: rng.Intn(n)})
+		a := rng.Intn(n)
+		b := rng.Intn(n - 1)
+		if b >= a {
+			b++
+		}
+		// Sync: join(a,b) shrinks the frontier to n-1, the fork restores
+		// width n.
+		tr = SyncRound(tr, a, b)
+	}
+	return tr
+}
+
+// StarSync generates the hub-and-spoke pattern: replica 0 is a server that
+// spokes synchronize with in round-robin; spokes update between syncs. This
+// is the "well connected" baseline shape.
+func StarSync(seed int64, spokes, rounds int) Trace {
+	if spokes < 1 {
+		spokes = 1
+	}
+	rng := rand.New(rand.NewSource(seed))
+	var tr Trace
+	for width := 1; width < spokes+1; width++ {
+		tr = append(tr, Op{Kind: OpFork, A: 0})
+	}
+	for r := 0; r < rounds; r++ {
+		spoke := 1 + rng.Intn(spokes)
+		tr = append(tr, Op{Kind: OpUpdate, A: spoke})
+		// After the sync the re-forked spoke sits at the last slot; the
+		// pattern only needs "some spoke", so slots stay anonymous.
+		tr = SyncRound(tr, 0, spoke)
+	}
+	return tr
+}
+
+// PartitionedEpochs generates the paper's motivating mobile scenario: the
+// replica set splits into isolated groups; within an epoch only members of
+// the same group exchange data (sync) or spawn new replicas (fork); at epoch
+// boundaries groups re-partition. Width stays within [2, maxWidth].
+func PartitionedEpochs(seed int64, epochs, opsPerEpoch, maxWidth int) Trace {
+	if maxWidth < 4 {
+		maxWidth = 4
+	}
+	rng := rand.New(rand.NewSource(seed))
+	var tr Trace
+	width := 1
+	// Start with two groups of one.
+	tr = append(tr, Op{Kind: OpFork, A: 0})
+	width++
+	for e := 0; e < epochs; e++ {
+		// Partition the current slots into two groups by parity of a random
+		// cut; group membership is re-drawn each epoch.
+		cut := 1 + rng.Intn(width-1)
+		for k := 0; k < opsPerEpoch; k++ {
+			// Choose a group; operate entirely within it.
+			var lo, hi int
+			if rng.Intn(2) == 0 {
+				lo, hi = 0, cut
+			} else {
+				lo, hi = cut, width
+			}
+			size := hi - lo
+			switch roll := rng.Intn(4); {
+			case roll == 0 && width < maxWidth:
+				// The new slot appends at the end, implicitly joining the
+				// right group; group tracking is approximate, which is fine —
+				// the scenario only needs locality of syncs within an epoch.
+				tr = append(tr, Op{Kind: OpFork, A: lo + rng.Intn(size)})
+				width++
+			case roll == 1 && size >= 2:
+				a := lo + rng.Intn(size)
+				b := lo + rng.Intn(size-1)
+				if b >= a {
+					b++
+				}
+				tr = SyncRound(tr, a, b)
+				// Width unchanged; the re-forked replica lands at the end
+				// (right group).
+			default:
+				tr = append(tr, Op{Kind: OpUpdate, A: lo + rng.Intn(size)})
+			}
+		}
+	}
+	return tr
+}

@@ -1,0 +1,94 @@
+package sim
+
+import (
+	"versionstamp/internal/itc"
+)
+
+// ITCTracker runs interval tree clocks (internal/itc) through the lockstep
+// checker — experiment E7: the successor design induces the same frontier
+// ordering as causal histories and version stamps.
+type ITCTracker struct {
+	stamps []itc.Stamp
+}
+
+var (
+	_ Tracker      = (*ITCTracker)(nil)
+	_ SizeReporter = (*ITCTracker)(nil)
+)
+
+// NewITCTracker returns an ITC tracker seeded with a single element.
+func NewITCTracker() *ITCTracker {
+	return &ITCTracker{stamps: []itc.Stamp{itc.Seed()}}
+}
+
+// Name implements Tracker.
+func (t *ITCTracker) Name() string { return "itc" }
+
+// Width implements Tracker.
+func (t *ITCTracker) Width() int { return len(t.stamps) }
+
+// Stamp returns the ITC stamp at slot a.
+func (t *ITCTracker) Stamp(a int) (itc.Stamp, error) {
+	if err := checkSlot(len(t.stamps), a); err != nil {
+		return itc.Stamp{}, err
+	}
+	return t.stamps[a], nil
+}
+
+// Update implements Tracker by recording an ITC event.
+func (t *ITCTracker) Update(a int) error {
+	if err := checkSlot(len(t.stamps), a); err != nil {
+		return err
+	}
+	s, err := t.stamps[a].Event()
+	if err != nil {
+		return err
+	}
+	t.stamps[a] = s
+	return nil
+}
+
+// Fork implements Tracker.
+func (t *ITCTracker) Fork(a int) error {
+	if err := checkSlot(len(t.stamps), a); err != nil {
+		return err
+	}
+	l, r := t.stamps[a].Fork()
+	t.stamps[a] = l
+	t.stamps = append(t.stamps, r)
+	return nil
+}
+
+// Join implements Tracker.
+func (t *ITCTracker) Join(a, b int) error {
+	if err := checkSlots(len(t.stamps), a, b); err != nil {
+		return err
+	}
+	joined, err := itc.Join(t.stamps[a], t.stamps[b])
+	if err != nil {
+		return err
+	}
+	t.stamps[a] = joined
+	t.stamps = append(t.stamps[:b], t.stamps[b+1:]...)
+	return nil
+}
+
+// Compare implements Tracker.
+func (t *ITCTracker) Compare(a, b int) (Relation, error) {
+	if err := checkSlot(len(t.stamps), a); err != nil {
+		return 0, err
+	}
+	if err := checkSlot(len(t.stamps), b); err != nil {
+		return 0, err
+	}
+	return Relation(itc.Compare(t.stamps[a], t.stamps[b])), nil
+}
+
+// SizeOf implements SizeReporter using the exact wire size of the stamp's
+// bit-level binary encoding.
+func (t *ITCTracker) SizeOf(a int) int {
+	if a < 0 || a >= len(t.stamps) {
+		return 0
+	}
+	return t.stamps[a].EncodedSize()
+}

@@ -1,0 +1,174 @@
+package trie
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+)
+
+// Structural bit encoding. Each node costs:
+//
+//	present leaf:   1 bit  ("1")
+//	interior node:  3 bits ("0" + zero-child flag + one-child flag)
+//
+// preceded by one root flag bit (0 = empty set). Strings sharing prefixes
+// share the bits of those prefixes, so bushy names encode smaller than the
+// flat per-string format of package name (compared in the E5 benchmarks).
+// The stream is padded to a byte boundary and framed by a uvarint bit
+// count.
+
+// errCorrupt is returned for syntactically invalid encodings.
+var errCorrupt = errors.New("trie: corrupt encoding")
+
+// maxEncodedBits bounds decoder work against adversarial input.
+const maxEncodedBits = 1 << 26
+
+// bitWriter accumulates MSB-first bits.
+type bitWriter struct {
+	buf  []byte
+	nbit int
+}
+
+func (w *bitWriter) writeBit(b bool) {
+	if w.nbit%8 == 0 {
+		w.buf = append(w.buf, 0)
+	}
+	if b {
+		w.buf[len(w.buf)-1] |= 1 << (7 - uint(w.nbit%8))
+	}
+	w.nbit++
+}
+
+// bitReader consumes MSB-first bits.
+type bitReader struct {
+	buf  []byte
+	pos  int
+	nbit int
+}
+
+func (r *bitReader) readBit() (bool, error) {
+	if r.pos >= r.nbit {
+		return false, errCorrupt
+	}
+	byteIdx := r.pos / 8
+	if byteIdx >= len(r.buf) {
+		return false, errCorrupt
+	}
+	bit := r.buf[byteIdx]&(1<<(7-uint(r.pos%8))) != 0
+	r.pos++
+	return bit, nil
+}
+
+// EncodedBits returns the exact size of the structural encoding in bits
+// (excluding the byte-level framing).
+func (t *Node) EncodedBits() int {
+	return 1 + nodeBits(t)
+}
+
+func nodeBits(t *Node) int {
+	if t == nil {
+		return 0
+	}
+	if t.present {
+		return 1
+	}
+	return 3 + nodeBits(t.zero) + nodeBits(t.one)
+}
+
+// Encode serializes the trie: uvarint bit count followed by the padded bit
+// stream.
+func (t *Node) Encode() []byte {
+	var w bitWriter
+	if t == nil {
+		w.writeBit(false)
+	} else {
+		w.writeBit(true)
+		encodeNode(&w, t)
+	}
+	out := binary.AppendUvarint(nil, uint64(w.nbit))
+	return append(out, w.buf...)
+}
+
+func encodeNode(w *bitWriter, t *Node) {
+	if t.present {
+		w.writeBit(true)
+		return
+	}
+	w.writeBit(false)
+	w.writeBit(t.zero != nil)
+	w.writeBit(t.one != nil)
+	if t.zero != nil {
+		encodeNode(w, t.zero)
+	}
+	if t.one != nil {
+		encodeNode(w, t.one)
+	}
+}
+
+// Decode reads one encoded trie from the front of src and returns the bytes
+// consumed. The result is structurally validated.
+func Decode(src []byte) (*Node, int, error) {
+	nbit, off := binary.Uvarint(src)
+	if off <= 0 {
+		return nil, 0, errCorrupt
+	}
+	if nbit > maxEncodedBits {
+		return nil, 0, fmt.Errorf("trie: implausible encoding of %d bits", nbit)
+	}
+	nbytes := (int(nbit) + 7) / 8
+	if off+nbytes > len(src) {
+		return nil, 0, errCorrupt
+	}
+	r := &bitReader{buf: src[off : off+nbytes], nbit: int(nbit)}
+	rootFlag, err := r.readBit()
+	if err != nil {
+		return nil, 0, err
+	}
+	var root *Node
+	if rootFlag {
+		root, err = decodeNode(r)
+		if err != nil {
+			return nil, 0, err
+		}
+	}
+	if r.pos != r.nbit {
+		return nil, 0, fmt.Errorf("trie: %d unread bits", r.nbit-r.pos)
+	}
+	if err := root.Validate(); err != nil {
+		return nil, 0, err
+	}
+	return root, off + nbytes, nil
+}
+
+func decodeNode(r *bitReader) (*Node, error) {
+	present, err := r.readBit()
+	if err != nil {
+		return nil, err
+	}
+	if present {
+		return leaf, nil
+	}
+	hasZero, err := r.readBit()
+	if err != nil {
+		return nil, err
+	}
+	hasOne, err := r.readBit()
+	if err != nil {
+		return nil, err
+	}
+	if !hasZero && !hasOne {
+		return nil, errCorrupt
+	}
+	var z, o *Node
+	if hasZero {
+		if z, err = decodeNode(r); err != nil {
+			return nil, err
+		}
+	}
+	if hasOne {
+		if o, err = decodeNode(r); err != nil {
+			return nil, err
+		}
+	}
+	return &Node{zero: z, one: o}, nil
+}

@@ -1,0 +1,38 @@
+package trie
+
+import (
+	"bytes"
+	"testing"
+)
+
+// FuzzDecode checks the structural decoder on arbitrary bytes: no panics,
+// only valid tries, canonical re-encoding.
+func FuzzDecode(f *testing.F) {
+	var empty *Node
+	f.Add(empty.Encode())
+	f.Add(Leaf().Encode())
+	f.Add([]byte{0x04, 0b10000000})
+	f.Add([]byte{0xff, 0x01})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		n, used, err := Decode(data)
+		if err != nil {
+			return
+		}
+		if used <= 0 || used > len(data) {
+			t.Fatalf("implausible consumed count %d of %d", used, len(data))
+		}
+		if err := n.Validate(); err != nil {
+			t.Fatalf("decoder accepted invalid trie: %v", err)
+		}
+		re := n.Encode()
+		back, used2, err := Decode(re)
+		if err != nil || used2 != len(re) || !back.Equal(n) {
+			t.Fatalf("re-encode not canonical: %v", err)
+		}
+		// The decoded trie represents a valid name.
+		if err := n.ToName().Validate(); err != nil {
+			t.Fatalf("decoded trie yields invalid name: %v", err)
+		}
+		_ = bytes.Equal(re, data[:used]) // encodings may differ only in frame slack; not asserted
+	})
+}

@@ -1,0 +1,278 @@
+// Package trie provides a binary-trie representation of names (antichains of
+// binary strings), the alternative to package name's sorted-slice
+// representation.
+//
+// A name's strings are the present leaves of a binary trie; the antichain
+// property means a present node never has descendants. The trie view makes
+// two things natural:
+//
+//   - the Section 6 reduction is a local transformation (a node whose two
+//     children are present leaves collapses into a present leaf), and
+//   - a structural bit-level encoding that is denser than the flat string
+//     encoding for deep, bushy ids.
+//
+// The package exists as an ablation (experiment E5/E6 benchmarks compare the
+// two representations) and as an independent implementation whose agreement
+// with package name is property-tested. Interval tree clocks (internal/itc),
+// the successor design, make this representation canonical.
+package trie
+
+import (
+	"fmt"
+	"strings"
+
+	"versionstamp/internal/bitstr"
+	"versionstamp/internal/name"
+)
+
+// Node is a trie over {0,1} paths. The nil *Node is the empty set. A node
+// with present == true is a member leaf and has no children. Interior nodes
+// have at least one non-nil child.
+//
+// Nodes are immutable once built; operations return new structure and may
+// share subtrees with their inputs.
+type Node struct {
+	present   bool
+	zero, one *Node
+}
+
+// leaf is the shared present-leaf node.
+var leaf = &Node{present: true}
+
+// Leaf returns the trie containing exactly the empty string ε (the name {ε}).
+func Leaf() *Node { return leaf }
+
+// FromName converts a sorted-slice name into a trie.
+func FromName(n name.Name) *Node {
+	var root *Node
+	for _, s := range n.Bits() {
+		root = insert(root, s)
+	}
+	return root
+}
+
+// insert adds the string s to the trie. Inputs from valid names never
+// violate the antichain property; insert preserves whatever structure it is
+// given and never overwrites a present leaf.
+func insert(t *Node, s bitstr.Bits) *Node {
+	if s.Len() == 0 {
+		if t == nil {
+			return leaf
+		}
+		// Attempting to insert a prefix of existing members: keep the
+		// deeper structure (maximal elements win).
+		return t
+	}
+	head, _ := s.Bit(0)
+	rest := s[1:]
+	if t != nil && t.present {
+		// Existing member is a prefix of s: maximal element s wins.
+		t = nil
+	}
+	var z, o *Node
+	if t != nil {
+		z, o = t.zero, t.one
+	}
+	if head == bitstr.Zero {
+		z = insert(z, rest)
+	} else {
+		o = insert(o, rest)
+	}
+	return &Node{zero: z, one: o}
+}
+
+// ToName converts the trie back to the sorted-slice representation.
+func (t *Node) ToName() name.Name {
+	var bits []bitstr.Bits
+	collect(t, bitstr.Epsilon, &bits)
+	return name.MaxOf(bits...)
+}
+
+func collect(t *Node, prefix bitstr.Bits, out *[]bitstr.Bits) {
+	if t == nil {
+		return
+	}
+	if t.present {
+		*out = append(*out, prefix)
+		return
+	}
+	collect(t.zero, prefix.Append0(), out)
+	collect(t.one, prefix.Append1(), out)
+}
+
+// IsEmpty reports whether the trie holds no strings.
+func (t *Node) IsEmpty() bool { return t == nil }
+
+// Len returns the number of member strings.
+func (t *Node) Len() int {
+	if t == nil {
+		return 0
+	}
+	if t.present {
+		return 1
+	}
+	return t.zero.Len() + t.one.Len()
+}
+
+// Covers reports {b} ⊑ t: some member extends b.
+func (t *Node) Covers(b bitstr.Bits) bool {
+	for i := 0; i < b.Len(); i++ {
+		if t == nil {
+			return false
+		}
+		if t.present {
+			// A member is a strict prefix of b; members cannot extend b.
+			return false
+		}
+		bit, _ := b.Bit(i)
+		if bit == bitstr.Zero {
+			t = t.zero
+		} else {
+			t = t.one
+		}
+	}
+	return t != nil
+}
+
+// Leq reports the name order t ⊑ u: every member of t has an extension
+// among the members of u.
+func (t *Node) Leq(u *Node) bool {
+	if t == nil {
+		return true
+	}
+	if u == nil {
+		return false
+	}
+	if t.present {
+		// The member ending here needs any member of u at or below this
+		// point; u non-nil guarantees one.
+		return true
+	}
+	if u.present {
+		// u's member is a strict prefix of everything below t here, so it
+		// extends none of t's members.
+		return false
+	}
+	return t.zero.Leq(u.zero) && t.one.Leq(u.one)
+}
+
+// Equal reports set equality.
+func (t *Node) Equal(u *Node) bool {
+	if t == nil || u == nil {
+		return t == nil && u == nil
+	}
+	if t.present != u.present {
+		return false
+	}
+	return t.zero.Equal(u.zero) && t.one.Equal(u.one)
+}
+
+// Join returns the maximal elements of the union of t and u (the name join).
+func Join(t, u *Node) *Node {
+	switch {
+	case t == nil:
+		return u
+	case u == nil:
+		return t
+	case t.present && u.present:
+		return leaf
+	case t.present:
+		// t's member is a prefix of every member of u below here; u's
+		// members are maximal.
+		return u
+	case u.present:
+		return t
+	default:
+		return &Node{zero: Join(t.zero, u.zero), one: Join(t.one, u.one)}
+	}
+}
+
+// Collapse rewrites the trie to the normal form in which no node has two
+// present-leaf children: such pairs merge into a present leaf, cascading
+// upward. This is the id-component half of the Section 6 reduction.
+func (t *Node) Collapse() *Node {
+	if t == nil || t.present {
+		return t
+	}
+	z, o := t.zero.Collapse(), t.one.Collapse()
+	if z != nil && o != nil && z.present && o.present {
+		return leaf
+	}
+	return &Node{zero: z, one: o}
+}
+
+// AppendBit pushes every member one level down: members s become s·bit.
+// It implements the fork digit-append in trie form.
+func (t *Node) AppendBit(bit byte) (*Node, error) {
+	switch bit {
+	case bitstr.Zero, bitstr.One:
+	default:
+		return nil, fmt.Errorf("trie: invalid bit %q", bit)
+	}
+	return appendBit(t, bit), nil
+}
+
+func appendBit(t *Node, bit byte) *Node {
+	if t == nil {
+		return nil
+	}
+	if t.present {
+		if bit == bitstr.Zero {
+			return &Node{zero: leaf}
+		}
+		return &Node{one: leaf}
+	}
+	return &Node{zero: appendBit(t.zero, bit), one: appendBit(t.one, bit)}
+}
+
+// Validate checks structural invariants: present nodes are leaves, interior
+// nodes have at least one child.
+func (t *Node) Validate() error {
+	if t == nil {
+		return nil
+	}
+	if t.present {
+		if t.zero != nil || t.one != nil {
+			return fmt.Errorf("trie: present node with children")
+		}
+		return nil
+	}
+	if t.zero == nil && t.one == nil {
+		return fmt.Errorf("trie: interior node with no children")
+	}
+	if err := t.zero.Validate(); err != nil {
+		return err
+	}
+	return t.one.Validate()
+}
+
+// String renders the trie in the paper's sum notation via ToName.
+func (t *Node) String() string {
+	if t == nil {
+		return "∅"
+	}
+	var sb strings.Builder
+	var walk func(n *Node, prefix string)
+	first := true
+	walk = func(n *Node, prefix string) {
+		if n == nil {
+			return
+		}
+		if n.present {
+			if !first {
+				sb.WriteByte('+')
+			}
+			first = false
+			if prefix == "" {
+				sb.WriteString("ε")
+			} else {
+				sb.WriteString(prefix)
+			}
+			return
+		}
+		walk(n.zero, prefix+"0")
+		walk(n.one, prefix+"1")
+	}
+	walk(t, "")
+	return sb.String()
+}

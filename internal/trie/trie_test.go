@@ -1,0 +1,240 @@
+package trie
+
+import (
+	"math/rand"
+	"testing"
+
+	"versionstamp/internal/bitstr"
+	"versionstamp/internal/name"
+)
+
+func randName(rng *rand.Rand, maxStrings, maxLen int) name.Name {
+	n := rng.Intn(maxStrings + 1)
+	bits := make([]bitstr.Bits, 0, n)
+	for i := 0; i < n; i++ {
+		l := rng.Intn(maxLen + 1)
+		b := bitstr.Epsilon
+		for j := 0; j < l; j++ {
+			if rng.Intn(2) == 0 {
+				b = b.Append0()
+			} else {
+				b = b.Append1()
+			}
+		}
+		bits = append(bits, b)
+	}
+	return name.MaxOf(bits...)
+}
+
+func TestRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for i := 0; i < 500; i++ {
+		n := randName(rng, 10, 8)
+		tr := FromName(n)
+		if err := tr.Validate(); err != nil {
+			t.Fatalf("FromName(%v) invalid: %v", n, err)
+		}
+		back := tr.ToName()
+		if !back.Equal(n) {
+			t.Fatalf("round trip %v -> %v", n, back)
+		}
+	}
+}
+
+func TestEmptyAndLeaf(t *testing.T) {
+	var empty *Node
+	if !empty.IsEmpty() || empty.Len() != 0 {
+		t.Error("nil trie must be empty")
+	}
+	if empty.String() != "∅" {
+		t.Errorf("String(∅) = %q", empty.String())
+	}
+	if Leaf().Len() != 1 || Leaf().String() != "ε" {
+		t.Errorf("Leaf() = %v", Leaf())
+	}
+	if !FromName(name.Empty()).IsEmpty() {
+		t.Error("FromName(∅) must be nil")
+	}
+	if !FromName(name.Epsilon()).Equal(Leaf()) {
+		t.Error("FromName({ε}) must be the leaf")
+	}
+}
+
+func TestLenMatchesName(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	for i := 0; i < 300; i++ {
+		n := randName(rng, 10, 6)
+		if got := FromName(n).Len(); got != n.Len() {
+			t.Fatalf("Len(%v) = %d, want %d", n, got, n.Len())
+		}
+	}
+}
+
+func TestCoversAgreesWithName(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	for i := 0; i < 800; i++ {
+		n := randName(rng, 8, 6)
+		tr := FromName(n)
+		probeName := randName(rng, 1, 6)
+		probe := bitstr.Epsilon
+		if probeName.Len() == 1 {
+			probe, _ = probeName.At(0)
+		}
+		if got, want := tr.Covers(probe), n.Covers(probe); got != want {
+			t.Fatalf("Covers(%v, %v) = %v, want %v", n, probe, got, want)
+		}
+	}
+}
+
+func TestLeqAgreesWithName(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	for i := 0; i < 800; i++ {
+		a, b := randName(rng, 8, 6), randName(rng, 8, 6)
+		if got, want := FromName(a).Leq(FromName(b)), a.Leq(b); got != want {
+			t.Fatalf("Leq(%v, %v) = %v, want %v", a, b, got, want)
+		}
+	}
+}
+
+func TestJoinAgreesWithName(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	for i := 0; i < 800; i++ {
+		a, b := randName(rng, 8, 6), randName(rng, 8, 6)
+		got := Join(FromName(a), FromName(b))
+		if err := got.Validate(); err != nil {
+			t.Fatalf("Join(%v,%v) invalid: %v", a, b, err)
+		}
+		want := name.Join(a, b)
+		if !got.ToName().Equal(want) {
+			t.Fatalf("Join(%v, %v) = %v, want %v", a, b, got.ToName(), want)
+		}
+	}
+}
+
+func TestEqualAgreesWithName(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	for i := 0; i < 500; i++ {
+		a, b := randName(rng, 6, 5), randName(rng, 6, 5)
+		if got, want := FromName(a).Equal(FromName(b)), a.Equal(b); got != want {
+			t.Fatalf("Equal(%v, %v) = %v, want %v", a, b, got, want)
+		}
+	}
+}
+
+func TestCollapse(t *testing.T) {
+	tests := []struct {
+		in, want string
+	}{
+		{"∅", "∅"},
+		{"ε", "ε"},
+		{"0", "0"},
+		{"0+1", "ε"},
+		{"00+01", "0"},
+		{"00+01+1", "ε"},
+		{"00+01+10", "0+10"},
+		{"000+001+01+10+11", "ε"},
+		{"00+011+10", "00+011+10"}, // nothing collapses
+	}
+	for _, tt := range tests {
+		got := FromName(name.MustParse(tt.in)).Collapse()
+		if err := got.Validate(); err != nil {
+			t.Fatalf("Collapse(%s) invalid: %v", tt.in, err)
+		}
+		if got.String() != tt.want {
+			t.Errorf("Collapse(%s) = %v, want %s", tt.in, got, tt.want)
+		}
+	}
+}
+
+func TestCollapseAgreesWithSiblingFixpoint(t *testing.T) {
+	// Collapse must compute exactly the fixpoint of name.CollapseSiblings.
+	rng := rand.New(rand.NewSource(7))
+	for i := 0; i < 500; i++ {
+		n := randName(rng, 10, 6)
+		got := FromName(n).Collapse().ToName()
+		want := n
+		for {
+			s, ok := want.SiblingPair()
+			if !ok {
+				break
+			}
+			want, _ = want.CollapseSiblings(s)
+		}
+		if !got.Equal(want) {
+			t.Fatalf("Collapse(%v) = %v, want fixpoint %v", n, got, want)
+		}
+	}
+}
+
+func TestCollapseIdempotent(t *testing.T) {
+	rng := rand.New(rand.NewSource(8))
+	for i := 0; i < 300; i++ {
+		n := FromName(randName(rng, 10, 6)).Collapse()
+		if !n.Collapse().Equal(n) {
+			t.Fatalf("Collapse not idempotent on %v", n)
+		}
+	}
+}
+
+func TestAppendBit(t *testing.T) {
+	n := name.MustParse("0+10")
+	tr := FromName(n)
+	z, err := tr.AppendBit(bitstr.Zero)
+	if err != nil {
+		t.Fatalf("AppendBit: %v", err)
+	}
+	if !z.ToName().Equal(n.Append0()) {
+		t.Errorf("AppendBit(0) = %v, want %v", z.ToName(), n.Append0())
+	}
+	o, err := tr.AppendBit(bitstr.One)
+	if err != nil {
+		t.Fatalf("AppendBit: %v", err)
+	}
+	if !o.ToName().Equal(n.Append1()) {
+		t.Errorf("AppendBit(1) = %v, want %v", o.ToName(), n.Append1())
+	}
+	if _, err := tr.AppendBit('x'); err == nil {
+		t.Error("AppendBit('x') must fail")
+	}
+	var empty *Node
+	z2, err := empty.AppendBit(bitstr.Zero)
+	if err != nil || z2 != nil {
+		t.Error("AppendBit on empty must stay empty")
+	}
+}
+
+func TestAppendBitAgreesWithName(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	for i := 0; i < 300; i++ {
+		n := randName(rng, 8, 5)
+		tr := FromName(n)
+		z, _ := tr.AppendBit(bitstr.Zero)
+		if !z.ToName().Equal(n.Append0()) {
+			t.Fatalf("AppendBit(0) disagrees on %v", n)
+		}
+	}
+}
+
+func TestImmutability(t *testing.T) {
+	a := name.MustParse("00+01")
+	b := name.MustParse("1")
+	ta, tb := FromName(a), FromName(b)
+	_ = Join(ta, tb)
+	_ = ta.Collapse()
+	if !ta.ToName().Equal(a) || !tb.ToName().Equal(b) {
+		t.Error("operations mutated their inputs")
+	}
+}
+
+func TestStringRendering(t *testing.T) {
+	tests := []struct{ in, want string }{
+		{"∅", "∅"},
+		{"ε", "ε"},
+		{"0+10+111", "0+10+111"},
+	}
+	for _, tt := range tests {
+		if got := FromName(name.MustParse(tt.in)).String(); got != tt.want {
+			t.Errorf("String(%s) = %q, want %q", tt.in, got, tt.want)
+		}
+	}
+}

@@ -1,0 +1,125 @@
+package vv
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"math/rand"
+)
+
+// Allocator produces replica identifiers for dynamic version vectors. The
+// paper's Section 1 observes that every existing scheme needs one of these,
+// and that none of them works under partitioned operation with guaranteed
+// uniqueness:
+//
+//   - a CentralServer cannot be reached from a disconnected partition;
+//   - a SiteCounter only pushes the problem one level up (the site ids
+//     themselves must be allocated uniquely);
+//   - a RandomAllocator avoids coordination but provides only probabilistic
+//     uniqueness, which the paper explicitly rules out.
+//
+// Version stamps need no allocator at all: forking derives new identities
+// locally. Experiment E8 exercises these failure modes.
+type Allocator interface {
+	// NewID returns a fresh replica identifier, or an error when the
+	// allocator cannot currently guarantee uniqueness (e.g. partitioned).
+	NewID() (ReplicaID, error)
+}
+
+// ErrPartitioned is returned by CentralServer while disconnected: no new
+// replica identifiers can be minted, so no replica can be created — the
+// failure that motivates version stamps.
+var ErrPartitioned = errors.New("vv: identifier server unreachable (partitioned)")
+
+// CentralServer models the "request a unique identifier from a server"
+// scheme: a single counter that is reachable only while connected.
+type CentralServer struct {
+	next        ReplicaID
+	partitioned bool
+}
+
+var _ Allocator = (*CentralServer)(nil)
+
+// NewCentralServer returns a connected central identifier server.
+func NewCentralServer() *CentralServer { return &CentralServer{} }
+
+// SetPartitioned simulates losing (true) or regaining (false) connectivity
+// to the server.
+func (c *CentralServer) SetPartitioned(p bool) { c.partitioned = p }
+
+// Partitioned reports whether the server is currently unreachable.
+func (c *CentralServer) Partitioned() bool { return c.partitioned }
+
+// NewID mints the next identifier, failing while partitioned.
+func (c *CentralServer) NewID() (ReplicaID, error) {
+	if c.partitioned {
+		return 0, ErrPartitioned
+	}
+	id := c.next
+	c.next++
+	return id, nil
+}
+
+// SiteCounter models hierarchical allocation: identifiers are (site,
+// sequence) pairs packed into 64 bits. Each site can mint locally — but the
+// site identifier itself must have been allocated uniquely beforehand, so
+// the scheme cannot bootstrap new sites under partition (it merely relocates
+// the identification problem).
+type SiteCounter struct {
+	site ReplicaID
+	next ReplicaID
+}
+
+var _ Allocator = (*SiteCounter)(nil)
+
+// siteShift positions the site number in the identifier's high 32 bits.
+const siteShift = 32
+
+// NewSiteCounter returns an allocator for the given pre-assigned site
+// number. Site numbers must be globally unique; see the package comment.
+func NewSiteCounter(site uint32) *SiteCounter {
+	return &SiteCounter{site: ReplicaID(site)}
+}
+
+// NewID mints the next identifier for this site.
+func (s *SiteCounter) NewID() (ReplicaID, error) {
+	if s.next >= 1<<siteShift {
+		return 0, fmt.Errorf("vv: site %d exhausted its identifier space", uint32(s.site))
+	}
+	id := s.site<<siteShift | s.next
+	s.next++
+	return id, nil
+}
+
+// RandomAllocator models probabilistically unique identifiers: random 64-bit
+// values. It always succeeds, even under partition, but uniqueness is only
+// probabilistic — two replicas that draw the same identifier will silently
+// corrupt causality tracking. The paper's mechanism exists precisely to
+// avoid this compromise ("our work does not rely on probabilistic
+// uniqueness", Section 1).
+type RandomAllocator struct {
+	rng *rand.Rand
+}
+
+var _ Allocator = (*RandomAllocator)(nil)
+
+// NewRandomAllocator returns an allocator drawing from the given seed.
+func NewRandomAllocator(seed int64) *RandomAllocator {
+	return &RandomAllocator{rng: rand.New(rand.NewSource(seed))}
+}
+
+// NewID draws a uniformly random 64-bit identifier.
+func (r *RandomAllocator) NewID() (ReplicaID, error) {
+	return ReplicaID(r.rng.Uint64()), nil
+}
+
+// CollisionProbability returns the birthday-bound estimate of at least one
+// identifier collision after n draws from a space of 2^bits values:
+// 1 - exp(-n(n-1) / 2^(bits+1)).
+func CollisionProbability(n int, bits int) float64 {
+	if n < 2 {
+		return 0
+	}
+	exponent := -float64(n) * float64(n-1) / math.Exp2(float64(bits+1))
+	return 1 - math.Exp(exponent)
+}

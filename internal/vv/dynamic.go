@@ -1,0 +1,139 @@
+package vv
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// ReplicaID is a globally unique replica identifier. Dynamic version vectors
+// are correct only when identifiers never collide; producing them without a
+// global view is the identification problem of the paper.
+type ReplicaID uint64
+
+// Dynamic is a dynamic version vector: a mapping from replica identifiers to
+// update counters, owned by one replica. Unlike fixed vectors, entries are
+// created lazily as replicas appear; unlike version stamps, entries for
+// retired replicas are never garbage-collected without a global protocol,
+// so the vector grows with the number of replicas ever created (compare
+// experiment E6).
+//
+// Dynamic values are immutable; operations return new values.
+type Dynamic struct {
+	id       ReplicaID
+	counters map[ReplicaID]uint64
+}
+
+// NewDynamic creates the vector of a fresh replica with the given id and no
+// recorded updates.
+func NewDynamic(id ReplicaID) Dynamic {
+	return Dynamic{id: id, counters: map[ReplicaID]uint64{}}
+}
+
+// ID returns the identifier of the replica owning this vector.
+func (d Dynamic) ID() ReplicaID { return d.id }
+
+// Counter returns the recorded update count for the given replica.
+func (d Dynamic) Counter(id ReplicaID) uint64 { return d.counters[id] }
+
+// Entries returns the number of (replica, counter) entries held.
+func (d Dynamic) Entries() int { return len(d.counters) }
+
+// clone copies the counter map.
+func (d Dynamic) clone() map[ReplicaID]uint64 {
+	out := make(map[ReplicaID]uint64, len(d.counters)+1)
+	for k, v := range d.counters {
+		out[k] = v
+	}
+	return out
+}
+
+// Update records one update performed at this replica.
+func (d Dynamic) Update() Dynamic {
+	c := d.clone()
+	c[d.id]++
+	return Dynamic{id: d.id, counters: c}
+}
+
+// Fork creates a second replica of this data, carrying the same update
+// knowledge under a newly allocated identifier. The new identifier MUST be
+// globally unique; obtain it from an Allocator. The receiver is returned
+// unchanged as the first result for symmetry with core.Stamp.Fork.
+func (d Dynamic) Fork(newID ReplicaID) (Dynamic, Dynamic, error) {
+	if newID == d.id {
+		return Dynamic{}, Dynamic{}, fmt.Errorf("vv: fork with the parent's own id %d", newID)
+	}
+	return Dynamic{id: d.id, counters: d.clone()},
+		Dynamic{id: newID, counters: d.clone()}, nil
+}
+
+// JoinInto merges other into d: the result keeps d's identity and holds the
+// pointwise maximum of both counter maps. The other replica is retired; its
+// counter entry remains in the map forever (the dynamic-version-vector
+// growth problem).
+func (d Dynamic) JoinInto(other Dynamic) Dynamic {
+	c := d.clone()
+	for k, v := range other.counters {
+		if v > c[k] {
+			c[k] = v
+		}
+	}
+	return Dynamic{id: d.id, counters: c}
+}
+
+// Sync merges knowledge both ways without retiring either replica, the
+// common anti-entropy step: both results hold the pointwise maximum.
+func Sync(a, b Dynamic) (Dynamic, Dynamic) {
+	merged := a.JoinInto(b)
+	return merged, Dynamic{id: b.id, counters: merged.clone()}
+}
+
+// CompareDynamic relates two dynamic vectors pointwise, treating missing
+// entries as zero.
+func CompareDynamic(a, b Dynamic) Ordering {
+	leq, geq := true, true
+	for k, va := range a.counters {
+		vb := b.counters[k]
+		if va > vb {
+			leq = false
+		}
+	}
+	for k, vb := range b.counters {
+		va := a.counters[k]
+		if vb > va {
+			geq = false
+		}
+	}
+	switch {
+	case leq && geq:
+		return Equal
+	case leq:
+		return Before
+	case geq:
+		return After
+	default:
+		return Concurrent
+	}
+}
+
+// EncodedSize estimates the wire size in bytes of the vector: 8 bytes of id
+// plus 8+8 per entry (the size measure used by experiment E6; a varint
+// encoding would shrink constants but not the growth shape).
+func (d Dynamic) EncodedSize() int {
+	return 8 + 16*len(d.counters)
+}
+
+// String renders the vector as id{r1:c1,r2:c2,…} with entries sorted by
+// replica id.
+func (d Dynamic) String() string {
+	ids := make([]ReplicaID, 0, len(d.counters))
+	for k := range d.counters {
+		ids = append(ids, k)
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	parts := make([]string, len(ids))
+	for i, k := range ids {
+		parts[i] = fmt.Sprintf("r%d:%d", k, d.counters[k])
+	}
+	return fmt.Sprintf("r%d{%s}", d.id, strings.Join(parts, ","))
+}

@@ -1,0 +1,210 @@
+package vv
+
+import (
+	"math"
+	"testing"
+)
+
+func TestDynamicBasics(t *testing.T) {
+	d := NewDynamic(7)
+	if d.ID() != 7 {
+		t.Errorf("ID = %d", d.ID())
+	}
+	if d.Entries() != 0 {
+		t.Errorf("fresh vector has %d entries", d.Entries())
+	}
+	d2 := d.Update()
+	if d2.Counter(7) != 1 {
+		t.Errorf("Counter(7) = %d, want 1", d2.Counter(7))
+	}
+	if d.Counter(7) != 0 {
+		t.Error("Update mutated the receiver")
+	}
+	if d2.String() != "r7{r7:1}" {
+		t.Errorf("String = %q", d2.String())
+	}
+}
+
+func TestDynamicFork(t *testing.T) {
+	d := NewDynamic(1).Update()
+	a, b, err := d.Fork(2)
+	if err != nil {
+		t.Fatalf("Fork: %v", err)
+	}
+	if a.ID() != 1 || b.ID() != 2 {
+		t.Errorf("fork ids = %d, %d", a.ID(), b.ID())
+	}
+	if CompareDynamic(a, b) != Equal {
+		t.Error("fork results must compare equal")
+	}
+	if _, _, err := d.Fork(1); err == nil {
+		t.Error("fork with the parent's id must fail")
+	}
+	// Counters are independent copies.
+	a2 := a.Update()
+	if b.Counter(1) != 1 || a2.Counter(1) != 2 {
+		t.Errorf("counters aliased: a2=%v b=%v", a2, b)
+	}
+}
+
+func TestDynamicCompareScenarios(t *testing.T) {
+	a := NewDynamic(1)
+	b, c, _ := a.Update().Fork(2)
+	if CompareDynamic(b, c) != Equal {
+		t.Error("siblings must be equal")
+	}
+	b1 := b.Update()
+	if CompareDynamic(c, b1) != Before {
+		t.Error("stale vs updated must be before")
+	}
+	if CompareDynamic(b1, c) != After {
+		t.Error("updated vs stale must be after")
+	}
+	c1 := c.Update()
+	if CompareDynamic(b1, c1) != Concurrent {
+		t.Error("independent updates must be concurrent")
+	}
+}
+
+func TestDynamicJoinInto(t *testing.T) {
+	a := NewDynamic(1).Update()
+	b, c, _ := a.Fork(2)
+	c = c.Update().Update()
+	j := b.JoinInto(c)
+	if j.ID() != 1 {
+		t.Errorf("join keeps the receiver id; got %d", j.ID())
+	}
+	if j.Counter(1) != 1 || j.Counter(2) != 2 {
+		t.Errorf("join counters = %v", j)
+	}
+	// The retired replica's entry lingers forever.
+	if j.Entries() != 2 {
+		t.Errorf("entries = %d, want 2", j.Entries())
+	}
+}
+
+func TestDynamicSync(t *testing.T) {
+	a := NewDynamic(1).Update()
+	b, c, _ := a.Fork(2)
+	b = b.Update()
+	c = c.Update()
+	sb, sc := Sync(b, c)
+	if CompareDynamic(sb, sc) != Equal {
+		t.Error("after sync both replicas must be equal")
+	}
+	if sb.ID() != 1 || sc.ID() != 2 {
+		t.Errorf("sync must preserve identities: %d, %d", sb.ID(), sc.ID())
+	}
+	if sb.Counter(1) != 2 || sb.Counter(2) != 1 {
+		t.Errorf("sync counters = %v", sb)
+	}
+}
+
+func TestDynamicEntryGrowth(t *testing.T) {
+	// The vector accumulates one entry per replica ever created — the
+	// growth problem version stamps avoid (E6's shape).
+	alloc := NewCentralServer()
+	id, _ := alloc.NewID()
+	cur := NewDynamic(id)
+	for i := 0; i < 50; i++ {
+		nid, err := alloc.NewID()
+		if err != nil {
+			t.Fatalf("NewID: %v", err)
+		}
+		parent, child, err := cur.Fork(nid)
+		if err != nil {
+			t.Fatalf("Fork: %v", err)
+		}
+		child = child.Update()
+		cur = parent.JoinInto(child)
+	}
+	if cur.Entries() != 50 {
+		t.Errorf("entries after 50 fork/update/join cycles = %d, want 50", cur.Entries())
+	}
+	if cur.EncodedSize() != 8+16*50 {
+		t.Errorf("EncodedSize = %d", cur.EncodedSize())
+	}
+}
+
+func TestCentralServerPartition(t *testing.T) {
+	s := NewCentralServer()
+	a, err := s.NewID()
+	if err != nil {
+		t.Fatalf("NewID: %v", err)
+	}
+	b, err := s.NewID()
+	if err != nil {
+		t.Fatalf("NewID: %v", err)
+	}
+	if a == b {
+		t.Error("central server minted duplicate ids")
+	}
+	s.SetPartitioned(true)
+	if !s.Partitioned() {
+		t.Error("Partitioned() = false")
+	}
+	if _, err := s.NewID(); err == nil {
+		t.Error("NewID must fail while partitioned")
+	}
+	s.SetPartitioned(false)
+	if _, err := s.NewID(); err != nil {
+		t.Errorf("NewID after heal: %v", err)
+	}
+}
+
+func TestSiteCounterUniqueAcrossSites(t *testing.T) {
+	s1 := NewSiteCounter(1)
+	s2 := NewSiteCounter(2)
+	seen := make(map[ReplicaID]bool)
+	for i := 0; i < 100; i++ {
+		a, err := s1.NewID()
+		if err != nil {
+			t.Fatalf("site1: %v", err)
+		}
+		b, err := s2.NewID()
+		if err != nil {
+			t.Fatalf("site2: %v", err)
+		}
+		if seen[a] || seen[b] || a == b {
+			t.Fatalf("duplicate id: %d / %d", a, b)
+		}
+		seen[a], seen[b] = true, true
+	}
+}
+
+func TestRandomAllocatorAlwaysSucceeds(t *testing.T) {
+	r := NewRandomAllocator(1)
+	seen := make(map[ReplicaID]bool)
+	for i := 0; i < 1000; i++ {
+		id, err := r.NewID()
+		if err != nil {
+			t.Fatalf("NewID: %v", err)
+		}
+		seen[id] = true
+	}
+	if len(seen) < 999 {
+		t.Errorf("suspiciously many collisions in 1000 draws: %d distinct", len(seen))
+	}
+}
+
+func TestCollisionProbability(t *testing.T) {
+	if got := CollisionProbability(0, 64); got != 0 {
+		t.Errorf("P(0 draws) = %v", got)
+	}
+	if got := CollisionProbability(1, 64); got != 0 {
+		t.Errorf("P(1 draw) = %v", got)
+	}
+	// Birthday paradox sanity: 2^32 draws from 64 bits ≈ 39%.
+	got := CollisionProbability(1<<32, 64)
+	if math.Abs(got-0.393) > 0.01 {
+		t.Errorf("P(2^32 draws, 64 bits) = %v, want ≈0.393", got)
+	}
+	// Monotone in n.
+	if CollisionProbability(10, 16) >= CollisionProbability(1000, 16) {
+		t.Error("collision probability must grow with n")
+	}
+	// Tiny space: near-certain collision.
+	if CollisionProbability(1000, 8) < 0.99 {
+		t.Error("1000 draws from 8 bits must almost surely collide")
+	}
+}

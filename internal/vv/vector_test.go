@@ -1,0 +1,144 @@
+package vv
+
+import (
+	"testing"
+)
+
+// TestFigure1 reproduces Figure 1 of the paper: fixed version vectors
+// tracking updates among three replicas A, B, C.
+//
+//	A: [0,0,0] -u-> [1,0,0] --------> [1,0,0] -u-> [2,0,0]
+//	B: [0,0,0] ----> [1,0,0] (from A) ----> [1,0,1] (sync with C)
+//	C: [0,0,0] -u-> [0,0,1] ----> [1,0,1] (sync with B)
+func TestFigure1(t *testing.T) {
+	mustUpdate := func(v Vector, i int) Vector {
+		t.Helper()
+		out, err := v.Update(i)
+		if err != nil {
+			t.Fatalf("update: %v", err)
+		}
+		return out
+	}
+	mustJoin := func(v, w Vector) Vector {
+		t.Helper()
+		out, err := Join(v, w)
+		if err != nil {
+			t.Fatalf("join: %v", err)
+		}
+		return out
+	}
+
+	a := NewVector(3)
+	b := NewVector(3)
+	c := NewVector(3)
+	if a.String() != "[0,0,0]" {
+		t.Fatalf("initial A = %v", a)
+	}
+
+	// A updates.
+	a = mustUpdate(a, 0)
+	if a.String() != "[1,0,0]" {
+		t.Fatalf("A after update = %v, want [1,0,0]", a)
+	}
+	// B synchronizes with A.
+	b = mustJoin(b, a)
+	if b.String() != "[1,0,0]" {
+		t.Fatalf("B after sync = %v, want [1,0,0]", b)
+	}
+	// C updates.
+	c = mustUpdate(c, 2)
+	if c.String() != "[0,0,1]" {
+		t.Fatalf("C after update = %v, want [0,0,1]", c)
+	}
+	// B and C synchronize: both end at [1,0,1].
+	merged := mustJoin(b, c)
+	b, c = merged.Clone(), merged.Clone()
+	if b.String() != "[1,0,1]" || c.String() != "[1,0,1]" {
+		t.Fatalf("B,C after sync = %v, %v, want [1,0,1]", b, c)
+	}
+	// A updates again.
+	a = mustUpdate(a, 0)
+	if a.String() != "[2,0,0]" {
+		t.Fatalf("A after second update = %v, want [2,0,0]", a)
+	}
+
+	// Relationship checks at the final frontier: B and C are equivalent
+	// ("all replicas that have seen the same updates share the same version
+	// vector value"); A is mutually inconsistent with both.
+	if o, _ := Compare(b, c); o != Equal {
+		t.Errorf("B vs C = %v, want equal", o)
+	}
+	if o, _ := Compare(a, b); o != Concurrent {
+		t.Errorf("A vs B = %v, want concurrent", o)
+	}
+	if o, _ := Compare(a, c); o != Concurrent {
+		t.Errorf("A vs C = %v, want concurrent", o)
+	}
+}
+
+func TestVectorCompare(t *testing.T) {
+	tests := []struct {
+		v, w Vector
+		want Ordering
+	}{
+		{Vector{0, 0}, Vector{0, 0}, Equal},
+		{Vector{1, 0}, Vector{1, 0}, Equal},
+		{Vector{0, 0}, Vector{1, 0}, Before},
+		{Vector{1, 2}, Vector{1, 1}, After},
+		{Vector{1, 0}, Vector{0, 1}, Concurrent},
+	}
+	for _, tt := range tests {
+		got, err := Compare(tt.v, tt.w)
+		if err != nil {
+			t.Fatalf("Compare(%v,%v): %v", tt.v, tt.w, err)
+		}
+		if got != tt.want {
+			t.Errorf("Compare(%v,%v) = %v, want %v", tt.v, tt.w, got, tt.want)
+		}
+	}
+}
+
+func TestVectorLengthMismatch(t *testing.T) {
+	if _, err := Compare(Vector{0}, Vector{0, 0}); err == nil {
+		t.Error("Compare must reject length mismatch")
+	}
+	if _, err := Join(Vector{0}, Vector{0, 0}); err == nil {
+		t.Error("Join must reject length mismatch")
+	}
+}
+
+func TestVectorUpdateOutOfRange(t *testing.T) {
+	v := NewVector(2)
+	if _, err := v.Update(2); err == nil {
+		t.Error("Update(2) on a 2-vector must fail")
+	}
+	if _, err := v.Update(-1); err == nil {
+		t.Error("Update(-1) must fail")
+	}
+}
+
+func TestVectorImmutability(t *testing.T) {
+	v := NewVector(2)
+	w, _ := v.Update(0)
+	if v[0] != 0 {
+		t.Error("Update mutated the receiver")
+	}
+	j, _ := Join(v, w)
+	j[1] = 99
+	if v[1] != 0 || w[1] != 0 {
+		t.Error("Join result aliases an input")
+	}
+	c := v.Clone()
+	c[0] = 7
+	if v[0] != 0 {
+		t.Error("Clone aliases the receiver")
+	}
+}
+
+func TestOrderingStringVV(t *testing.T) {
+	if Equal.String() != "equal" || Before.String() != "before" ||
+		After.String() != "after" || Concurrent.String() != "concurrent" ||
+		Ordering(42).String() != "invalid" {
+		t.Error("Ordering.String incorrect")
+	}
+}

@@ -1,0 +1,129 @@
+// Package versionstamp implements version stamps, the decentralized
+// substitute for version vectors from:
+//
+//	Paulo Sérgio Almeida, Carlos Baquero, Victor Fonte.
+//	"Version Stamps — Decentralized Version Vectors." ICDCS 2002.
+//
+// # Why version stamps
+//
+// Version vectors track updates in optimistic replication systems by
+// mapping globally unique replica identifiers to counters. Creating a
+// replica therefore needs a fresh unique identifier — from a server or a
+// naming protocol — which is exactly what a disconnected device cannot
+// obtain. Version stamps remove the requirement: a replica is created by
+// Fork, locally, with no communication at all, and the stamps still decide,
+// for any two coexisting replicas, whether they are Equal, one is obsolete
+// (Before/After), or they conflict (Concurrent). The decision provably
+// matches causal-history inclusion (paper Prop. 5.1; re-verified
+// mechanically by this repository's simulator).
+//
+// # Model
+//
+// Replicas form a frontier of coexisting elements, transformed by three
+// operations:
+//
+//	Update — the replica's data changed
+//	Fork   — the replica is copied; both copies continue independently
+//	Join   — two replicas merge into one (Sync = Join then Fork)
+//
+// A stamp is a pair [update|id] of names — antichains of binary strings —
+// rendered in the paper's notation by String, e.g. "[1|0+1]". Joins
+// automatically simplify ids (the paper's Section 6 reduction), so stamp
+// size tracks the current number of replicas, not the number ever created.
+//
+// # Quick start
+//
+//	a := versionstamp.Seed()       // first replica: [ε|ε]
+//	a, b := a.Fork()               // replicate (works offline)
+//	a = a.Update()                 // write at a
+//	switch versionstamp.Compare(a, b) {
+//	case versionstamp.After:       // a dominates: propagate a's data to b
+//	case versionstamp.Concurrent:  // conflict: reconcile, then Join
+//	}
+//	merged, _ := versionstamp.Join(a, b) // back to one replica: [ε|ε]
+//
+// Stamps serialize with MarshalBinary/MarshalText (and parse back with
+// Parse), so they embed directly in storage formats and wire protocols.
+//
+// The implementation lives in internal packages (core, name, bitstr); this
+// package is the stable public API. Interval tree clocks — the successor
+// design by the same authors — are available in the same style via the
+// repository's internal/itc package and examples.
+package versionstamp
+
+import (
+	"versionstamp/internal/bitstr"
+	"versionstamp/internal/core"
+	"versionstamp/internal/name"
+)
+
+// Stamp is a version stamp: the pair (update, id) written [update|id].
+// Stamps are immutable values; Update, Fork and Join return new stamps.
+// The zero Stamp is invalid — start from Seed or decode one.
+type Stamp = core.Stamp
+
+// Name is a stamp component: a finite antichain of binary strings ordered
+// by down-set inclusion (the join semilattice N of the paper's Section 4).
+type Name = name.Name
+
+// Bits is a finite binary string, the element type of names.
+type Bits = bitstr.Bits
+
+// Ordering is the outcome of comparing two coexisting replicas.
+type Ordering = core.Ordering
+
+// Comparison outcomes.
+const (
+	// Equal: both replicas have seen exactly the same updates.
+	Equal = core.Equal
+	// Before: the first replica is obsolete relative to the second.
+	Before = core.Before
+	// After: the first replica dominates the second.
+	After = core.After
+	// Concurrent: the replicas are mutually inconsistent (conflict).
+	Concurrent = core.Concurrent
+)
+
+// ErrOverlappingIDs is returned by Join for stamps whose ids overlap —
+// stamps that cannot belong to one frontier (e.g. a stamp joined with
+// itself or with its own ancestor).
+var ErrOverlappingIDs = core.ErrOverlappingIDs
+
+// Seed returns the stamp of a brand-new replicated datum: [ε|ε]. Every
+// other stamp of that datum descends from it via Fork, Update and Join.
+func Seed() Stamp { return core.Seed() }
+
+// Join merges two replicas into one, combining their update knowledge and
+// reuniting their identities (with automatic simplification).
+func Join(a, b Stamp) (Stamp, error) { return core.Join(a, b) }
+
+// Sync synchronizes two replicas in place: equivalent to Join followed by
+// Fork. Both results carry the union of updates seen by either input.
+func Sync(a, b Stamp) (Stamp, Stamp, error) { return core.Sync(a, b) }
+
+// Compare relates two coexisting replicas.
+func Compare(a, b Stamp) Ordering { return core.Compare(a, b) }
+
+// Parse reads a stamp in the paper's notation, e.g. "[1|0+1]" or "[ε|ε]".
+func Parse(text string) (Stamp, error) { return core.Parse(text) }
+
+// MustParse is Parse but panics on error; for tests and examples.
+func MustParse(text string) Stamp { return core.MustParse(text) }
+
+// Decode reads one binary-encoded stamp from the front of data, returning
+// the bytes consumed. Stamps encode with Stamp.MarshalBinary or
+// Stamp.AppendBinary.
+func Decode(data []byte) (Stamp, int, error) { return core.DecodeBinary(data) }
+
+// NewStamp assembles a stamp from explicit components, validating the
+// stamp invariant (update ⊑ id). Normal use derives stamps only through
+// Seed, Update, Fork and Join; NewStamp exists for decoders and tests.
+func NewStamp(update, id Name) (Stamp, error) { return core.New(update, id) }
+
+// ParseName reads a name in the paper's notation, e.g. "0+10" or "ε".
+func ParseName(text string) (Name, error) { return name.Parse(text) }
+
+// CheckFrontier validates the configuration invariants I1–I3 across a set
+// of coexisting stamps; useful as a self-check in tests of systems built on
+// version stamps.
+func CheckFrontier(frontier []Stamp) error { return core.CheckFrontier(frontier) }
