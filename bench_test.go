@@ -11,12 +11,14 @@ package versionstamp_test
 import (
 	"fmt"
 	"math/rand"
+	"sync/atomic"
 	"testing"
 
 	"versionstamp"
 	"versionstamp/internal/core"
 	"versionstamp/internal/encoding"
 	"versionstamp/internal/itc"
+	"versionstamp/internal/kvstore"
 	"versionstamp/internal/name"
 	"versionstamp/internal/sim"
 	"versionstamp/internal/trie"
@@ -397,4 +399,122 @@ func BenchmarkE4LockstepVerification(b *testing.B) {
 			b.Fatal(err)
 		}
 	}
+}
+
+// ---------------------------------------------------------------------------
+// Sharded kvstore: parallel put throughput and pairwise sync versus the
+// seed's single-lock design (shards=1 reproduces it exactly).
+
+func benchKeys(n int) []string {
+	keys := make([]string, n)
+	for i := range keys {
+		keys[i] = fmt.Sprintf("key-%06d", i)
+	}
+	return keys
+}
+
+// BenchmarkShardedPut measures concurrent put throughput at several stripe
+// counts. shards=1 is the single-lock baseline; run with -cpu to see the
+// striped layouts pull ahead as cores are added.
+func BenchmarkShardedPut(b *testing.B) {
+	keys := benchKeys(4096)
+	val := []byte("value-payload-0123456789")
+	for _, shards := range []int{1, 8, 32} {
+		b.Run(fmt.Sprintf("shards=%d", shards), func(b *testing.B) {
+			r := kvstore.NewReplicaShards("bench", shards)
+			var ctr atomic.Int64
+			b.ReportAllocs()
+			b.ResetTimer()
+			b.RunParallel(func(pb *testing.PB) {
+				i := int(ctr.Add(1)) * 7919 // offset goroutines across stripes
+				for pb.Next() {
+					r.Put(keys[i%len(keys)], val)
+					i++
+				}
+			})
+		})
+	}
+}
+
+// BenchmarkShardedGet measures concurrent read throughput under the same
+// layouts.
+func BenchmarkShardedGet(b *testing.B) {
+	keys := benchKeys(4096)
+	val := []byte("value-payload-0123456789")
+	for _, shards := range []int{1, 32} {
+		b.Run(fmt.Sprintf("shards=%d", shards), func(b *testing.B) {
+			r := kvstore.NewReplicaShards("bench", shards)
+			for _, k := range keys {
+				r.Put(k, val)
+			}
+			var ctr atomic.Int64
+			b.ResetTimer()
+			b.RunParallel(func(pb *testing.PB) {
+				i := int(ctr.Add(1)) * 7919
+				for pb.Next() {
+					r.Get(keys[i%len(keys)])
+					i++
+				}
+			})
+		})
+	}
+}
+
+// BenchmarkParallelSync measures one pairwise anti-entropy pass over a
+// populated keyspace with one fresh divergent write per iteration. With
+// equal stripe counts the pass reconciles shard pairs concurrently;
+// shards=1 serializes the keyspace under a single lock pair, which is the
+// seed's behavior.
+func BenchmarkParallelSync(b *testing.B) {
+	keys := benchKeys(2048)
+	val := []byte("value-payload-0123456789")
+	for _, shards := range []int{1, 8, 32} {
+		b.Run(fmt.Sprintf("shards=%d", shards), func(b *testing.B) {
+			a := kvstore.NewReplicaShards("a", shards)
+			entries := make(map[string][]byte, len(keys))
+			for _, k := range keys {
+				entries[k] = val
+			}
+			a.PutBatch(entries)
+			c := kvstore.NewReplicaShards("c", shards)
+			if _, err := kvstore.Sync(a, c, nil); err != nil {
+				b.Fatal(err)
+			}
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				a.Put(keys[i%len(keys)], val)
+				if _, err := kvstore.Sync(a, c, nil); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkBatchPut compares n point puts against one PutBatch of the same
+// keys (one lock acquisition per involved stripe).
+func BenchmarkBatchPut(b *testing.B) {
+	keys := benchKeys(256)
+	val := []byte("value-payload-0123456789")
+	entries := make(map[string][]byte, len(keys))
+	for _, k := range keys {
+		entries[k] = val
+	}
+	b.Run("point", func(b *testing.B) {
+		r := kvstore.NewReplica("bench")
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			for _, k := range keys {
+				r.Put(k, val)
+			}
+		}
+	})
+	b.Run("batch", func(b *testing.B) {
+		r := kvstore.NewReplica("bench")
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			r.PutBatch(entries)
+		}
+	})
 }

@@ -20,7 +20,12 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"os/signal"
+	"syscall"
+	"time"
 
+	"versionstamp/internal/antientropy"
+	"versionstamp/internal/kvstore"
 	"versionstamp/internal/panasync"
 )
 
@@ -42,10 +47,14 @@ commands:
   sync <a> <b>           reconcile two copies (conflicts need -merge)
   forget <file>          stop tracking a file
   list                   list all tracked copies
+  serve                  serve the workspace for network sync (see -listen)
+  netsync <addr>         synchronize the whole workspace with a serving peer
 
 flags:
-  -root <dir>   workspace root (default ".")
-  -merge        on conflicting sync, concatenate both contents with a marker
+  -root <dir>       workspace root (default ".")
+  -merge            on conflicting sync, concatenate both contents with a marker
+  -listen <addr>    serve: listen address (default 127.0.0.1:0)
+  -linger <dur>     serve: stop after this duration (default 0 = forever)
 `
 
 func run(args []string, out io.Writer) error {
@@ -53,6 +62,8 @@ func run(args []string, out io.Writer) error {
 	fs.SetOutput(io.Discard)
 	root := fs.String("root", ".", "workspace root directory")
 	merge := fs.Bool("merge", false, "resolve conflicting syncs by concatenation")
+	listen := fs.String("listen", "127.0.0.1:0", "serve: listen address")
+	linger := fs.Duration("linger", 0, "serve: stop after this duration (0 = forever)")
 	if err := fs.Parse(args); err != nil {
 		fmt.Fprint(out, usage)
 		return err
@@ -142,6 +153,16 @@ func run(args []string, out io.Writer) error {
 		}
 		fmt.Fprintf(out, "forgot %s\n", rest[0])
 		return nil
+	case "serve":
+		if len(rest) != 0 {
+			return errors.New("serve takes no arguments")
+		}
+		return serve(ws, out, *listen, *linger, *merge)
+	case "netsync":
+		if len(rest) != 1 {
+			return errors.New("netsync takes a peer address")
+		}
+		return netsync(ws, out, rest[0])
 	case "list":
 		if len(rest) != 0 {
 			return errors.New("list takes no arguments")
@@ -157,6 +178,103 @@ func run(args []string, out io.Writer) error {
 	default:
 		fmt.Fprint(out, usage)
 		return fmt.Errorf("unknown command %q", cmd)
+	}
+}
+
+// serve exports the workspace as a sharded kvstore replica and serves
+// per-shard anti-entropy rounds to peers running `panasync netsync`. When
+// the server stops — after -linger, or on SIGINT/SIGTERM in the default
+// serve-forever mode — the merged state is written back into the
+// workspace.
+func serve(ws *panasync.Workspace, out io.Writer, listen string, linger time.Duration, merge bool) error {
+	replica, base, err := panasync.ToReplica(ws, "serve")
+	if err != nil {
+		return err
+	}
+	srv := antientropy.NewServer(replica, kvResolver(merge))
+	addr, err := srv.Listen(listen)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(out, "serving workspace on %s (%d files, %d shards)\n",
+		addr, replica.Len(), replica.Shards())
+
+	stop := make(chan os.Signal, 1)
+	signal.Notify(stop, os.Interrupt, syscall.SIGTERM)
+	defer signal.Stop(stop)
+	if linger > 0 {
+		select {
+		case <-time.After(linger):
+		case <-stop:
+		}
+	} else {
+		<-stop // serve until interrupted, then write back
+	}
+	if err := srv.Close(); err != nil {
+		return err
+	}
+	skipped, err := panasync.ApplyReplica(ws, replica, base)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(out, "stopped; workspace updated (%d files)\n", replica.Len())
+	for _, p := range skipped {
+		fmt.Fprintf(out, "kept local edit made during the sync: %s (sync again to reconcile)\n", p)
+	}
+	return nil
+}
+
+// netsync synchronizes the whole workspace with a serving peer: one
+// concurrent per-shard anti-entropy round, then the merged state is written
+// back into the workspace. Conflicts are resolved by the serving side's
+// -merge setting; unresolved ones are reported here.
+func netsync(ws *panasync.Workspace, out io.Writer, addr string) error {
+	replica, base, err := panasync.ToReplica(ws, "netsync")
+	if err != nil {
+		return err
+	}
+	res, err := antientropy.SyncWithSharded(addr, replica)
+	if err != nil {
+		return err
+	}
+	skipped, err := panasync.ApplyReplica(ws, replica, base)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(out, "synchronized with %s: %d transferred, %d reconciled, %d merged\n",
+		addr, res.Transferred, res.Reconciled, res.Merged)
+	for _, k := range res.Conflicts {
+		fmt.Fprintf(out, "conflict left unresolved: %s (serve with -merge to resolve)\n", k)
+	}
+	for _, p := range skipped {
+		fmt.Fprintf(out, "kept local edit made during the sync: %s (sync again to reconcile)\n", p)
+	}
+	return nil
+}
+
+// kvResolver adapts the -merge flag to the store's resolver: conflicting
+// contents are concatenated under conflict markers, leaving the real merge
+// to the user's editor. Without -merge conflicts are skipped and reported.
+func kvResolver(merge bool) kvstore.Resolver {
+	if !merge {
+		return nil
+	}
+	return func(key string, a, b kvstore.Versioned) ([]byte, bool, error) {
+		switch {
+		case a.Deleted && b.Deleted:
+			return nil, true, nil
+		case a.Deleted:
+			return b.Value, false, nil
+		case b.Deleted:
+			return a.Value, false, nil
+		}
+		var buf []byte
+		buf = append(buf, []byte(fmt.Sprintf("<<<<<<< %s (server)\n", key))...)
+		buf = append(buf, a.Value...)
+		buf = append(buf, []byte("\n=======\n")...)
+		buf = append(buf, b.Value...)
+		buf = append(buf, []byte("\n>>>>>>>\n")...)
+		return buf, false, nil
 	}
 }
 

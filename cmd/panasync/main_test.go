@@ -5,6 +5,9 @@ import (
 	"path/filepath"
 	"strings"
 	"testing"
+
+	"versionstamp/internal/antientropy"
+	"versionstamp/internal/panasync"
 )
 
 func runIn(t *testing.T, root string, args ...string) (string, error) {
@@ -155,5 +158,92 @@ func TestHelpPanasync(t *testing.T) {
 	}
 	if !strings.Contains(out, "usage: panasync") {
 		t.Errorf("help = %q", out)
+	}
+}
+
+// TestNetsync drives the network pair end to end: workspace B is served
+// over the antientropy protocol and workspace A runs `netsync` against it.
+func TestNetsync(t *testing.T) {
+	rootA, rootB := t.TempDir(), t.TempDir()
+	write(t, rootA, "doc-a.txt", "from-a")
+	write(t, rootB, "doc-b.txt", "from-b")
+	if _, err := runIn(t, rootA, "init", "doc-a.txt"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := runIn(t, rootB, "init", "doc-b.txt"); err != nil {
+		t.Fatal(err)
+	}
+
+	// Serve workspace B directly through the library (the `serve` command
+	// does exactly this) so the test controls the address.
+	fsB, err := panasync.NewDirFS(rootB)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wsB := panasync.NewWorkspace(fsB)
+	replicaB, baseB, err := panasync.ToReplica(wsB, "b")
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := antientropy.NewServer(replicaB, nil)
+	addr, err := srv.Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+
+	out, err := runIn(t, rootA, "netsync", addr)
+	if err != nil {
+		t.Fatalf("netsync: %v", err)
+	}
+	if !strings.Contains(out, "2 transferred") {
+		t.Errorf("netsync output: %q", out)
+	}
+	// A received B's file, tracked and clean.
+	out, err = runIn(t, rootA, "status", "doc-b.txt")
+	if err != nil {
+		t.Fatalf("status after netsync: %v", err)
+	}
+	if strings.Contains(out, "edited since last record") {
+		t.Errorf("synced file dirty: %q", out)
+	}
+	// The server side replica got A's file too; write it back like `serve`
+	// does on shutdown.
+	if _, err := panasync.ApplyReplica(wsB, replicaB, baseB); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := runIn(t, rootB, "status", "doc-a.txt"); err != nil {
+		t.Fatalf("server workspace missing synced file: %v", err)
+	}
+
+	// netsync with no reachable peer fails cleanly.
+	if _, err := runIn(t, rootA, "netsync", "127.0.0.1:1"); err == nil {
+		t.Error("netsync against a dead peer must fail")
+	}
+	// netsync argument validation.
+	if _, err := runIn(t, rootA, "netsync"); err == nil {
+		t.Error("netsync without address must fail")
+	}
+}
+
+// TestServeLinger exercises the serve command with a bounded lifetime.
+func TestServeLinger(t *testing.T) {
+	root := t.TempDir()
+	write(t, root, "doc.txt", "v1")
+	if _, err := runIn(t, root, "init", "doc.txt"); err != nil {
+		t.Fatal(err)
+	}
+	out, err := runIn(t, root, "-linger", "200ms", "-listen", "127.0.0.1:0", "serve")
+	if err != nil {
+		t.Fatalf("serve: %v", err)
+	}
+	if !strings.Contains(out, "serving workspace on 127.0.0.1:") {
+		t.Errorf("serve output: %q", out)
+	}
+	if !strings.Contains(out, "stopped; workspace updated") {
+		t.Errorf("serve did not report shutdown: %q", out)
+	}
+	if _, err := runIn(t, root, "serve", "extra"); err == nil {
+		t.Error("serve with arguments must fail")
 	}
 }

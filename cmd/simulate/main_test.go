@@ -12,6 +12,14 @@ func TestRunWorkloads(t *testing.T) {
 		"balanced": "120", "forkheavy": "120", "syncheavy": "120",
 		"updateheavy": "120", "fixedN": "30", "star": "30", "partitioned": "40",
 	}
+	if testing.Short() {
+		// Full-size workloads take ~35s; shrunk ones still run every
+		// workload through the same code paths in about a second.
+		ops = map[string]string{
+			"balanced": "40", "forkheavy": "40", "syncheavy": "40",
+			"updateheavy": "40", "fixedN": "12", "star": "12", "partitioned": "16",
+		}
+	}
 	for _, wl := range []string{"balanced", "forkheavy", "syncheavy", "updateheavy", "fixedN", "star", "partitioned"} {
 		var sb strings.Builder
 		err := run([]string{"-workload", wl, "-ops", ops[wl], "-seed", "3", "-sizes"}, &sb)
@@ -28,8 +36,12 @@ func TestRunWorkloads(t *testing.T) {
 }
 
 func TestRunSubsets(t *testing.T) {
+	ops := "80"
+	if testing.Short() {
+		ops = "40" // subset checking is quadratic in frontier size
+	}
 	var sb strings.Builder
-	if err := run([]string{"-ops", "80", "-subsets"}, &sb); err != nil {
+	if err := run([]string{"-ops", ops, "-subsets"}, &sb); err != nil {
 		t.Fatalf("run: %v", err)
 	}
 	if strings.Contains(sb.String(), " 0 subset queries") {

@@ -52,6 +52,16 @@ func run() error {
 	}
 	fmt.Printf("edge-2 <-> hub: %d keys transferred\n", res.Transferred)
 
+	// Heavy-traffic variant: one scoped round per store stripe, all in
+	// flight concurrently — the hub locks only the matching stripe per
+	// request, so this scales with cores instead of serializing.
+	res, err = antientropy.SyncWithSharded(hubAddr, edge2)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("edge-2 <-> hub (per-shard, %d stripes): idle resync, %d reconciled\n",
+		edge2.Shards(), res.Reconciled)
+
 	// edge-2 later meets edge-1 directly (no hub involved).
 	res, err = antientropy.SyncWith(edge1Addr, edge2)
 	if err != nil {

@@ -22,12 +22,17 @@ func main() {
 
 func run() error {
 	// The store starts on one node; a second node is cloned from it (every
-	// key's stamp forks — replica creation without coordination).
+	// key's stamp forks — replica creation without coordination). Each
+	// replica is striped over lock-per-shard partitions, so heavy
+	// concurrent traffic never serializes on a single lock; a batched
+	// write takes each involved shard lock once.
 	nodeA := kvstore.NewReplica("node-a")
-	nodeA.Put("cart:42", []byte("2×book"))
-	nodeA.Put("cart:77", []byte("1×pen"))
+	nodeA.PutBatch(map[string][]byte{
+		"cart:42": []byte("2×book"),
+		"cart:77": []byte("1×pen"),
+	})
 	nodeB := nodeA.Clone("node-b")
-	fmt.Println("node-b cloned from node-a")
+	fmt.Printf("node-b cloned from node-a (%d shards each)\n", nodeB.Shards())
 
 	// Writes land on different nodes (optimistic replication).
 	nodeA.Put("cart:42", []byte("2×book,1×lamp")) // customer adds a lamp via A
@@ -83,8 +88,10 @@ func run() error {
 
 func dump(label string, r *kvstore.Replica) {
 	fmt.Printf("  [%s]\n", label)
-	for _, k := range r.Keys() {
-		if v, ok := r.Get(k); ok {
+	keys := r.Keys()
+	live := r.GetBatch(keys) // one lock acquisition per shard, not per key
+	for _, k := range keys {
+		if v, ok := live[k]; ok {
 			fmt.Printf("    %-8s = %s\n", k, v)
 		} else {
 			fmt.Printf("    %-8s = (deleted)\n", k)

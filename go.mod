@@ -1,0 +1,3 @@
+module versionstamp
+
+go 1.22

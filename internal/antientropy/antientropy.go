@@ -14,6 +14,15 @@
 // conflicts use the server's resolver or are skipped), and returns the
 // shadow's merged state, which the client adopts. Stamps do all causality
 // work; the transport carries only opaque snapshots.
+//
+// A request may instead be scoped to one stripe of the client's sharded
+// store by adding {"shard":i,"of":n}: the snapshot then carries only the
+// keys of client shard i, and the server reconciles exactly the keys that
+// hash to shard i of n (kvstore.SyncShard), locking only the matching
+// stripe of its own store when its layout agrees. SyncWithSharded issues
+// one such scoped round per local stripe concurrently, so two heavily
+// loaded replicas exchange and merge shard deltas in parallel instead of
+// serializing the whole keyspace under one request.
 package antientropy
 
 import (
@@ -21,6 +30,7 @@ import (
 	"errors"
 	"fmt"
 	"net"
+	"sort"
 	"sync"
 	"time"
 
@@ -36,10 +46,14 @@ const defaultTimeout = 10 * time.Second
 // ErrProtocol is returned for malformed or version-skewed messages.
 var ErrProtocol = errors.New("antientropy: protocol error")
 
-// request is the client's opening message.
+// request is the client's opening message. Of > 0 scopes the round to the
+// keys of client shard Shard under a layout of Of stripes; Of == 0 is a
+// whole-replica round.
 type request struct {
 	V        int             `json:"v"`
 	Snapshot json.RawMessage `json:"snapshot"`
+	Shard    int             `json:"shard,omitempty"`
+	Of       int             `json:"of,omitempty"`
 }
 
 // response is the server's reply.
@@ -126,7 +140,12 @@ func (s *Server) handle(conn net.Conn) {
 		_ = enc.Encode(response{V: protocolVersion, Error: "bad snapshot: " + err.Error()})
 		return
 	}
-	result, err := kvstore.Sync(s.replica, shadow, s.resolve)
+	var result kvstore.SyncResult
+	if req.Of > 0 {
+		result, err = kvstore.SyncShard(s.replica, shadow, s.resolve, req.Shard, req.Of)
+	} else {
+		result, err = kvstore.Sync(s.replica, shadow, s.resolve)
+	}
 	if err != nil {
 		_ = enc.Encode(response{V: protocolVersion, Error: "sync: " + err.Error()})
 		return
@@ -167,30 +186,95 @@ func syncWith(addr string, local *kvstore.Replica, timeout time.Duration) (kvsto
 	if err != nil {
 		return kvstore.SyncResult{}, fmt.Errorf("antientropy: %w", err)
 	}
+	resp, err := roundTrip(addr, request{V: protocolVersion, Snapshot: snap}, timeout)
+	if err != nil {
+		return kvstore.SyncResult{}, err
+	}
+	if err := local.Adopt(resp.Snapshot); err != nil {
+		return kvstore.SyncResult{}, fmt.Errorf("antientropy: adopt merged state: %w", err)
+	}
+	return resp.Result, nil
+}
+
+// SyncWithSharded performs one anti-entropy round per local stripe, all
+// rounds in flight concurrently: each carries only that stripe's keys, and
+// the server reconciles each scoped request under the matching stripe lock
+// of its own store. The aggregated SyncResult covers the whole keyspace.
+// On error the successfully completed stripes keep their merged state (the
+// next round converges the rest) and the first error is returned.
+func SyncWithSharded(addr string, local *kvstore.Replica) (kvstore.SyncResult, error) {
+	n := local.Shards()
+	var (
+		mu       sync.Mutex
+		total    kvstore.SyncResult
+		firstErr error
+		wg       sync.WaitGroup
+	)
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			res, err := syncShardWith(addr, local, i, defaultTimeout)
+			mu.Lock()
+			defer mu.Unlock()
+			if err != nil {
+				if firstErr == nil {
+					firstErr = fmt.Errorf("antientropy: shard %d/%d: %w", i, n, err)
+				}
+				return
+			}
+			total.Transferred += res.Transferred
+			total.Reconciled += res.Reconciled
+			total.Merged += res.Merged
+			total.Conflicts = append(total.Conflicts, res.Conflicts...)
+		}(i)
+	}
+	wg.Wait()
+	sort.Strings(total.Conflicts)
+	return total, firstErr
+}
+
+// syncShardWith runs one scoped round for local stripe idx.
+func syncShardWith(addr string, local *kvstore.Replica, idx int, timeout time.Duration) (kvstore.SyncResult, error) {
+	snap, err := local.SnapshotShard(idx)
+	if err != nil {
+		return kvstore.SyncResult{}, fmt.Errorf("antientropy: %w", err)
+	}
+	resp, err := roundTrip(addr, request{
+		V: protocolVersion, Snapshot: snap, Shard: idx, Of: local.Shards(),
+	}, timeout)
+	if err != nil {
+		return kvstore.SyncResult{}, err
+	}
+	if err := local.AdoptShard(idx, resp.Snapshot); err != nil {
+		return kvstore.SyncResult{}, fmt.Errorf("antientropy: adopt merged state: %w", err)
+	}
+	return resp.Result, nil
+}
+
+// roundTrip sends one request and decodes the reply.
+func roundTrip(addr string, req request, timeout time.Duration) (response, error) {
 	conn, err := net.DialTimeout("tcp", addr, timeout)
 	if err != nil {
-		return kvstore.SyncResult{}, fmt.Errorf("antientropy: dial %s: %w", addr, err)
+		return response{}, fmt.Errorf("antientropy: dial %s: %w", addr, err)
 	}
 	defer conn.Close()
 	_ = conn.SetDeadline(time.Now().Add(timeout))
 
 	enc := json.NewEncoder(conn)
 	dec := json.NewDecoder(conn)
-	if err := enc.Encode(request{V: protocolVersion, Snapshot: snap}); err != nil {
-		return kvstore.SyncResult{}, fmt.Errorf("antientropy: send: %w", err)
+	if err := enc.Encode(req); err != nil {
+		return response{}, fmt.Errorf("antientropy: send: %w", err)
 	}
 	var resp response
 	if err := dec.Decode(&resp); err != nil {
-		return kvstore.SyncResult{}, fmt.Errorf("antientropy: receive: %w", err)
+		return response{}, fmt.Errorf("antientropy: receive: %w", err)
 	}
 	if resp.Error != "" {
-		return kvstore.SyncResult{}, fmt.Errorf("%w: %s", ErrProtocol, resp.Error)
+		return response{}, fmt.Errorf("%w: %s", ErrProtocol, resp.Error)
 	}
 	if resp.V != protocolVersion {
-		return kvstore.SyncResult{}, fmt.Errorf("%w: version skew %d", ErrProtocol, resp.V)
+		return response{}, fmt.Errorf("%w: version skew %d", ErrProtocol, resp.V)
 	}
-	if err := local.Adopt(resp.Snapshot); err != nil {
-		return kvstore.SyncResult{}, fmt.Errorf("antientropy: adopt merged state: %w", err)
-	}
-	return resp.Result, nil
+	return resp, nil
 }

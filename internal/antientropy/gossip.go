@@ -104,7 +104,16 @@ func (c *Cluster) GossipRound(pairs int) (int, error) {
 		if c.group[i] != c.group[j] {
 			continue // partitioned pair: no contact
 		}
-		if _, err := SyncWith(c.addrs[j], c.replicas[i]); err != nil {
+		// Heavy keyspaces gossip per shard: the pair exchanges and merges
+		// stripe deltas concurrently instead of serializing everything in
+		// one request. Small keyspaces stick to one round trip — Shards()
+		// connections per pair would cost more than they parallelize.
+		r := c.replicas[i]
+		sync := SyncWith
+		if r.Len() >= 8*r.Shards() {
+			sync = SyncWithSharded
+		}
+		if _, err := sync(c.addrs[j], r); err != nil {
 			return ran, fmt.Errorf("antientropy: gossip %d->%d: %w", i, j, err)
 		}
 		ran++

@@ -1,0 +1,176 @@
+package antientropy
+
+import (
+	"bytes"
+	"fmt"
+	"sync"
+	"testing"
+
+	"versionstamp/internal/kvstore"
+)
+
+func TestShardedSyncConverges(t *testing.T) {
+	server := kvstore.NewReplica("server")
+	for i := 0; i < 40; i++ {
+		server.Put(fmt.Sprintf("s-key-%02d", i), []byte("from-server"))
+	}
+	_, addr := startServer(t, server, nil)
+
+	client := kvstore.NewReplica("client")
+	for i := 0; i < 40; i++ {
+		client.Put(fmt.Sprintf("c-key-%02d", i), []byte("from-client"))
+	}
+	res, err := SyncWithSharded(addr, client)
+	if err != nil {
+		t.Fatalf("SyncWithSharded: %v", err)
+	}
+	if res.Transferred != 80 {
+		t.Errorf("result = %+v", res)
+	}
+	for i := 0; i < 40; i++ {
+		for _, k := range []string{fmt.Sprintf("s-key-%02d", i), fmt.Sprintf("c-key-%02d", i)} {
+			vs, okS := server.Get(k)
+			vc, okC := client.Get(k)
+			if !okS || !okC || !bytes.Equal(vs, vc) {
+				t.Fatalf("diverged on %q: %q/%v vs %q/%v", k, vs, okS, vc, okC)
+			}
+		}
+	}
+	// A repeated sharded round is a no-op.
+	res, err = SyncWithSharded(addr, client)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Transferred != 0 || res.Reconciled != 0 || res.Merged != 0 {
+		t.Errorf("second sharded round not a no-op: %+v", res)
+	}
+}
+
+func TestShardedSyncMatchesWholeSync(t *testing.T) {
+	// Two identical divergence scenarios, one synced per shard, one whole.
+	build := func() (*kvstore.Replica, *kvstore.Replica) {
+		s := kvstore.NewReplica("s")
+		for i := 0; i < 30; i++ {
+			s.Put(fmt.Sprintf("key-%02d", i), []byte("base"))
+		}
+		c := s.Clone("c")
+		for i := 0; i < 30; i += 3 {
+			c.Put(fmt.Sprintf("key-%02d", i), []byte("edited"))
+		}
+		s.Put("key-01", []byte("server-side"))
+		return s, c
+	}
+
+	s1, c1 := build()
+	_, addr1 := startServer(t, s1, nil)
+	resSharded, err := SyncWithSharded(addr1, c1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s2, c2 := build()
+	_, addr2 := startServer(t, s2, nil)
+	resWhole, err := SyncWith(addr2, c2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resSharded.Transferred != resWhole.Transferred ||
+		resSharded.Reconciled != resWhole.Reconciled ||
+		resSharded.Merged != resWhole.Merged {
+		t.Errorf("sharded %+v vs whole %+v", resSharded, resWhole)
+	}
+	for i := 0; i < 30; i++ {
+		k := fmt.Sprintf("key-%02d", i)
+		v1, ok1 := c1.Get(k)
+		v2, ok2 := c2.Get(k)
+		if ok1 != ok2 || !bytes.Equal(v1, v2) {
+			t.Fatalf("per-shard and whole sync disagree on %q: %q/%v vs %q/%v",
+				k, v1, ok1, v2, ok2)
+		}
+	}
+}
+
+func TestShardedSyncConflictsReported(t *testing.T) {
+	server := kvstore.NewReplica("server")
+	server.Put("k", []byte("base"))
+	_, addr := startServer(t, server, nil)
+	client := kvstore.NewReplica("client")
+	if _, err := SyncWithSharded(addr, client); err != nil {
+		t.Fatal(err)
+	}
+	server.Put("k", []byte("S"))
+	client.Put("k", []byte("C"))
+	res, err := SyncWithSharded(addr, client)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Conflicts) != 1 || res.Conflicts[0] != "k" {
+		t.Errorf("result = %+v", res)
+	}
+	if got, _ := client.Get("k"); string(got) != "C" {
+		t.Errorf("client value clobbered: %q", got)
+	}
+}
+
+func TestShardedSyncServerDown(t *testing.T) {
+	client := kvstore.NewReplica("client")
+	client.Put("k", []byte("v"))
+	if _, err := SyncWithSharded("127.0.0.1:1", client); err == nil {
+		t.Error("sharded sync with a dead server must fail")
+	}
+	if got, ok := client.Get("k"); !ok || string(got) != "v" {
+		t.Errorf("client state damaged by failed sync: %q, %v", got, ok)
+	}
+}
+
+func TestShardScopedRequestValidation(t *testing.T) {
+	server := kvstore.NewReplica("server")
+	_, addr := startServer(t, server, nil)
+	client := kvstore.NewReplica("client")
+	// A scoped round with an out-of-range shard index is rejected
+	// server-side and surfaces as a protocol error.
+	snap, err := client.SnapshotShard(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, err = roundTrip(addr, request{
+		V: protocolVersion, Snapshot: snap, Shard: 99, Of: 4,
+	}, defaultTimeout)
+	if err == nil {
+		t.Error("server accepted an out-of-range shard index")
+	}
+}
+
+// TestShardedConcurrentClients: several clients run full per-shard rounds
+// against one server at once; all stripes stay coherent.
+func TestShardedConcurrentClients(t *testing.T) {
+	server := kvstore.NewReplica("server")
+	server.Put("base", []byte("v"))
+	_, addr := startServer(t, server, kvstore.KeepBoth([]byte("|")))
+	var wg sync.WaitGroup
+	errs := make(chan error, 6)
+	for i := 0; i < 6; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			c := kvstore.NewReplica(fmt.Sprintf("c%d", i))
+			for j := 0; j < 10; j++ {
+				c.Put(fmt.Sprintf("k%d-%d", i, j), []byte("x"))
+			}
+			if _, err := SyncWithSharded(addr, c); err != nil {
+				errs <- err
+			}
+		}(i)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Errorf("concurrent sharded sync: %v", err)
+	}
+	for i := 0; i < 6; i++ {
+		for j := 0; j < 10; j++ {
+			if _, ok := server.Get(fmt.Sprintf("k%d-%d", i, j)); !ok {
+				t.Errorf("server missing k%d-%d", i, j)
+			}
+		}
+	}
+}

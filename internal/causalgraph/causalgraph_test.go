@@ -187,7 +187,11 @@ func TestCounts(t *testing.T) {
 // with the causal-history model: for live pairs, CompareHistories must give
 // exactly the oracle's answer.
 func TestHistoryOrderingMatchesCausalOracle(t *testing.T) {
-	for seed := int64(0); seed < 10; seed++ {
+	seeds := int64(10)
+	if testing.Short() {
+		seeds = 4
+	}
+	for seed := int64(0); seed < seeds; seed++ {
 		rng := rand.New(rand.NewSource(seed))
 		rec, a := New()
 		sys, ca := causal.NewSystem()

@@ -59,6 +59,9 @@ func TestE3NoDisagreements(t *testing.T) {
 }
 
 func TestE4RunsChecks(t *testing.T) {
+	if testing.Short() {
+		t.Skip("skipping E4 (~25s of lockstep verification) in -short mode")
+	}
 	out, err := E4()
 	if err != nil {
 		t.Fatalf("E4: %v", err)
@@ -74,6 +77,9 @@ func TestE4RunsChecks(t *testing.T) {
 }
 
 func TestE5Reports(t *testing.T) {
+	if testing.Short() {
+		t.Skip("skipping E5 (~5s of trace replays) in -short mode")
+	}
 	out, err := E5()
 	if err != nil {
 		t.Fatalf("E5: %v", err)
@@ -86,6 +92,9 @@ func TestE5Reports(t *testing.T) {
 }
 
 func TestE6Reports(t *testing.T) {
+	if testing.Short() {
+		t.Skip("skipping E6 (~1s of trace replays) in -short mode")
+	}
 	out, err := E6()
 	if err != nil {
 		t.Fatalf("E6: %v", err)
@@ -96,6 +105,9 @@ func TestE6Reports(t *testing.T) {
 }
 
 func TestE7Reports(t *testing.T) {
+	if testing.Short() {
+		t.Skip("skipping E7 (~1s of trace replays) in -short mode")
+	}
 	out, err := E7()
 	if err != nil {
 		t.Fatalf("E7: %v", err)
@@ -116,6 +128,11 @@ func TestE8Reports(t *testing.T) {
 }
 
 func TestAllExperimentsViaRegistry(t *testing.T) {
+	if testing.Short() {
+		// ~35s: reruns every experiment end to end. The per-experiment
+		// tests above cover the fast ones in short mode.
+		t.Skip("skipping full experiment registry in -short mode")
+	}
 	for id, fn := range Registry() {
 		out, err := fn()
 		if err != nil {

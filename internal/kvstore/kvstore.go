@@ -12,6 +12,22 @@
 // the paper prescribes; deletions are tombstones so removal also propagates
 // causally.
 //
+// # Shard layout
+//
+// A Replica is striped over N lock-per-shard partitions (DefaultShards
+// unless NewReplicaShards says otherwise). Every key is owned by exactly
+// one shard, chosen by ShardIndex — an FNV-1a hash of the key modulo the
+// shard count — and each shard guards its own map with its own
+// sync.RWMutex. Point operations (Put/Get/Delete/Version) therefore
+// contend only with operations on the same shard; batched operations
+// (PutBatch/GetBatch/DeleteBatch) group keys by shard and take each shard
+// lock once; and Sync between two replicas with the same shard count
+// reconciles shard pairs concurrently, one goroutine per stripe, instead
+// of serializing the whole keyspace under a single lock. Because version
+// stamps track causality per key, no cross-shard coordination is ever
+// needed for correctness — sharding changes only the locking granularity,
+// never the fork/update/join semantics.
+//
 // Causal ordering is defined only among copies descending from one seed:
 // originate each key at a single replica and let Sync/Clone propagate it.
 // Keys created independently at two replicas share no causal ancestor;
@@ -25,11 +41,19 @@ import (
 	"bytes"
 	"encoding/json"
 	"fmt"
+	"hash/fnv"
+	"runtime"
 	"sort"
 	"sync"
+	"sync/atomic"
 
 	"versionstamp/internal/core"
 )
+
+// DefaultShards is the stripe count of replicas built with NewReplica.
+// 32 stripes keep lock contention negligible up to several dozen cores
+// while the per-replica overhead stays a few hundred bytes.
+const DefaultShards = 32
 
 // Versioned is one replica's copy of a key: the value, a deletion marker,
 // and the version stamp tracking the copy's causal history.
@@ -70,47 +94,95 @@ func KeepBoth(sep []byte) Resolver {
 	}
 }
 
-// Replica is one store replica. The label is purely cosmetic — replicas
-// have no identity beyond their stamps, which is the point of the paper.
-// Replica is safe for concurrent use.
-type Replica struct {
-	mu    sync.RWMutex
-	label string
-	data  map[string]Versioned
+// shard is one stripe of a replica: an independently locked partition of
+// the keyspace.
+type shard struct {
+	mu   sync.RWMutex
+	data map[string]Versioned
 }
 
-// NewReplica creates an empty replica with a cosmetic label.
+// Replica is one store replica. The label is purely cosmetic — replicas
+// have no identity beyond their stamps, which is the point of the paper.
+// Replica is safe for concurrent use; see the package comment for the
+// shard layout.
+type Replica struct {
+	label  string
+	shards []shard
+}
+
+// NewReplica creates an empty replica with a cosmetic label and
+// DefaultShards stripes.
 func NewReplica(label string) *Replica {
-	return &Replica{label: label, data: make(map[string]Versioned)}
+	return NewReplicaShards(label, DefaultShards)
+}
+
+// NewReplicaShards creates an empty replica striped over n shards
+// (n >= 1). A single shard reproduces the pre-sharding behavior: one lock
+// over one map.
+func NewReplicaShards(label string, n int) *Replica {
+	if n < 1 {
+		n = 1
+	}
+	r := &Replica{label: label, shards: make([]shard, n)}
+	for i := range r.shards {
+		r.shards[i].data = make(map[string]Versioned)
+	}
+	return r
 }
 
 // Label returns the cosmetic label.
 func (r *Replica) Label() string { return r.label }
 
+// Shards returns the stripe count.
+func (r *Replica) Shards() int { return len(r.shards) }
+
+// ShardIndex returns the shard owning key in a replica striped over n
+// shards. It is exported so network layers can scope a sync round to one
+// stripe and compute the same partition on both endpoints.
+func ShardIndex(key string, n int) int {
+	if n <= 1 {
+		return 0
+	}
+	h := fnv.New32a()
+	_, _ = h.Write([]byte(key))
+	return int(h.Sum32() % uint32(n))
+}
+
+// shardFor returns the stripe owning key.
+func (r *Replica) shardFor(key string) *shard {
+	return &r.shards[ShardIndex(key, len(r.shards))]
+}
+
 // Clone forks a full new replica from r: every key's stamp forks, the new
 // replica receiving one descendant. This is replica creation under
-// partition: no identifiers are requested from anywhere.
+// partition: no identifiers are requested from anywhere. The clone has the
+// same shard count. Each stripe is cloned atomically; concurrent writers
+// touching other stripes are not blocked.
 func (r *Replica) Clone(label string) *Replica {
-	r.mu.Lock()
-	defer r.mu.Unlock()
-	clone := NewReplica(label)
-	for k, v := range r.data {
-		mine, theirs := v.Stamp.Fork()
-		v.Stamp = mine
-		r.data[k] = v
-		cv := v
-		cv.Stamp = theirs
-		cv.Value = append([]byte(nil), v.Value...)
-		clone.data[k] = cv
+	clone := NewReplicaShards(label, len(r.shards))
+	for i := range r.shards {
+		sh := &r.shards[i]
+		sh.mu.Lock()
+		for k, v := range sh.data {
+			mine, theirs := v.Stamp.Fork()
+			v.Stamp = mine
+			sh.data[k] = v
+			cv := v
+			cv.Stamp = theirs
+			cv.Value = append([]byte(nil), v.Value...)
+			clone.shards[i].data[k] = cv
+		}
+		sh.mu.Unlock()
 	}
 	return clone
 }
 
 // Get returns the value of key. Tombstoned and missing keys report ok=false.
 func (r *Replica) Get(key string) (value []byte, ok bool) {
-	r.mu.RLock()
-	defer r.mu.RUnlock()
-	v, found := r.data[key]
+	sh := r.shardFor(key)
+	sh.mu.RLock()
+	defer sh.mu.RUnlock()
+	v, found := sh.data[key]
 	if !found || v.Deleted {
 		return nil, false
 	}
@@ -120,40 +192,145 @@ func (r *Replica) Get(key string) (value []byte, ok bool) {
 // Put writes a value, recording an update on the key's stamp (seeding the
 // stamp on first write at this replica).
 func (r *Replica) Put(key string, value []byte) {
-	r.mu.Lock()
-	defer r.mu.Unlock()
-	v, found := r.data[key]
+	sh := r.shardFor(key)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	putLocked(sh.data, key, value)
+}
+
+func putLocked(data map[string]Versioned, key string, value []byte) {
+	v, found := data[key]
 	if !found {
 		v = Versioned{Stamp: core.Seed()}
 	}
 	v.Value = append([]byte(nil), value...)
 	v.Deleted = false
 	v.Stamp = v.Stamp.Update()
-	r.data[key] = v
+	data[key] = v
+}
+
+// PutVersion stores a copy verbatim — value, tombstone flag and stamp —
+// without recording an update. It exists for storage adapters that manage
+// stamps themselves (e.g. the panasync bridge, which keeps stamps in file
+// sidecars); regular writers should use Put.
+func (r *Replica) PutVersion(key string, v Versioned) {
+	sh := r.shardFor(key)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	v.Value = append([]byte(nil), v.Value...)
+	sh.data[key] = v
 }
 
 // Delete tombstones a key. Deleting a key never seen at this replica is a
 // no-op returning false.
 func (r *Replica) Delete(key string) bool {
-	r.mu.Lock()
-	defer r.mu.Unlock()
-	v, found := r.data[key]
+	sh := r.shardFor(key)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	return deleteLocked(sh.data, key)
+}
+
+func deleteLocked(data map[string]Versioned, key string) bool {
+	v, found := data[key]
 	if !found || v.Deleted {
 		return false
 	}
 	v.Value = nil
 	v.Deleted = true
 	v.Stamp = v.Stamp.Update()
-	r.data[key] = v
+	data[key] = v
 	return true
+}
+
+// PutBatch writes every entry, taking each involved shard lock exactly
+// once instead of once per key.
+func (r *Replica) PutBatch(entries map[string][]byte) {
+	if len(entries) == 0 {
+		return
+	}
+	for _, group := range r.groupKeys(keysOf(entries)) {
+		sh := &r.shards[group.shard]
+		sh.mu.Lock()
+		for _, k := range group.keys {
+			putLocked(sh.data, k, entries[k])
+		}
+		sh.mu.Unlock()
+	}
+}
+
+// GetBatch returns the live values of the given keys (missing and
+// tombstoned keys are absent from the result), taking each involved shard
+// lock exactly once.
+func (r *Replica) GetBatch(keys []string) map[string][]byte {
+	out := make(map[string][]byte, len(keys))
+	for _, group := range r.groupKeys(keys) {
+		sh := &r.shards[group.shard]
+		sh.mu.RLock()
+		for _, k := range group.keys {
+			if v, found := sh.data[k]; found && !v.Deleted {
+				out[k] = append([]byte(nil), v.Value...)
+			}
+		}
+		sh.mu.RUnlock()
+	}
+	return out
+}
+
+// DeleteBatch tombstones every given key, returning how many were live,
+// taking each involved shard lock exactly once.
+func (r *Replica) DeleteBatch(keys []string) int {
+	n := 0
+	for _, group := range r.groupKeys(keys) {
+		sh := &r.shards[group.shard]
+		sh.mu.Lock()
+		for _, k := range group.keys {
+			if deleteLocked(sh.data, k) {
+				n++
+			}
+		}
+		sh.mu.Unlock()
+	}
+	return n
+}
+
+// keyGroup is a batch's keys owned by one shard.
+type keyGroup struct {
+	shard int
+	keys  []string
+}
+
+// groupKeys partitions keys by owning shard. Group order is irrelevant:
+// batch operations hold at most one stripe lock at a time, so they cannot
+// deadlock regardless of iteration order.
+func (r *Replica) groupKeys(keys []string) []keyGroup {
+	n := len(r.shards)
+	byShard := make(map[int][]string, n)
+	for _, k := range keys {
+		i := ShardIndex(k, n)
+		byShard[i] = append(byShard[i], k)
+	}
+	out := make([]keyGroup, 0, len(byShard))
+	for i, ks := range byShard {
+		out = append(out, keyGroup{shard: i, keys: ks})
+	}
+	return out
+}
+
+func keysOf(m map[string][]byte) []string {
+	out := make([]string, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	return out
 }
 
 // Version returns the stored copy of a key including its stamp and
 // tombstone state.
 func (r *Replica) Version(key string) (Versioned, bool) {
-	r.mu.RLock()
-	defer r.mu.RUnlock()
-	v, found := r.data[key]
+	sh := r.shardFor(key)
+	sh.mu.RLock()
+	defer sh.mu.RUnlock()
+	v, found := sh.data[key]
 	if !found {
 		return Versioned{}, false
 	}
@@ -163,11 +340,14 @@ func (r *Replica) Version(key string) (Versioned, bool) {
 
 // Keys returns all keys with stored state (including tombstones), sorted.
 func (r *Replica) Keys() []string {
-	r.mu.RLock()
-	defer r.mu.RUnlock()
-	out := make([]string, 0, len(r.data))
-	for k := range r.data {
-		out = append(out, k)
+	var out []string
+	for i := range r.shards {
+		sh := &r.shards[i]
+		sh.mu.RLock()
+		for k := range sh.data {
+			out = append(out, k)
+		}
+		sh.mu.RUnlock()
 	}
 	sort.Strings(out)
 	return out
@@ -175,13 +355,16 @@ func (r *Replica) Keys() []string {
 
 // Len returns the number of live (non-tombstoned) keys.
 func (r *Replica) Len() int {
-	r.mu.RLock()
-	defer r.mu.RUnlock()
 	n := 0
-	for _, v := range r.data {
-		if !v.Deleted {
-			n++
+	for i := range r.shards {
+		sh := &r.shards[i]
+		sh.mu.RLock()
+		for _, v := range sh.data {
+			if !v.Deleted {
+				n++
+			}
 		}
+		sh.mu.RUnlock()
 	}
 	return n
 }
@@ -194,84 +377,267 @@ type SyncResult struct {
 	Reconciled int
 	// Merged counts conflicting keys merged by the resolver.
 	Merged int
-	// Conflicts lists conflicting keys left untouched (nil resolver).
+	// Conflicts lists conflicting keys left untouched (nil resolver),
+	// sorted.
 	Conflicts []string
+}
+
+// add accumulates another partial result.
+func (r *SyncResult) add(o SyncResult) {
+	r.Transferred += o.Transferred
+	r.Reconciled += o.Reconciled
+	r.Merged += o.Merged
+	r.Conflicts = append(r.Conflicts, o.Conflicts...)
+}
+
+// replicaBefore orders two distinct replicas for deadlock-free lock
+// acquisition, as the seed did for its single pair of locks.
+func replicaBefore(a, b *Replica) bool {
+	return fmt.Sprintf("%p", a) < fmt.Sprintf("%p", b)
 }
 
 // Sync performs pairwise anti-entropy between two replicas: every key known
 // to either side converges on both, except conflicting keys when resolve is
 // nil, which are reported in SyncResult.Conflicts and left for a later sync
-// with a resolver. Sync locks both replicas in address order, so concurrent
-// syncs of overlapping pairs cannot deadlock.
+// with a resolver.
+//
+// When both replicas have the same shard count, shard pairs are
+// reconciled concurrently (one worker per stripe, capped at GOMAXPROCS):
+// the keyspace is never serialized under a single lock, and only the two
+// stripes under reconciliation are blocked at any moment. Replicas with
+// different stripe counts fall back to a whole-keyspace pass under all
+// locks. Either way locks are taken in a global order (replica address,
+// then stripe index), so concurrent syncs of overlapping pairs cannot
+// deadlock.
 func Sync(a, b *Replica, resolve Resolver) (SyncResult, error) {
 	if a == b {
 		return SyncResult{}, fmt.Errorf("kvstore: sync of a replica with itself")
 	}
+	var res SyncResult
+	var err error
+	if len(a.shards) == len(b.shards) {
+		res, err = syncStriped(a, b, resolve)
+	} else {
+		res, err = syncGlobal(a, b, resolve)
+	}
+	sort.Strings(res.Conflicts)
+	return res, err
+}
+
+// syncStriped reconciles same-layout replicas stripe pair by stripe pair,
+// concurrently.
+func syncStriped(a, b *Replica, resolve Resolver) (SyncResult, error) {
+	nShards := len(a.shards)
+	workers := runtime.GOMAXPROCS(0)
+	if workers > nShards {
+		workers = nShards
+	}
+	var (
+		next     atomic.Int64
+		failed   atomic.Bool
+		mu       sync.Mutex
+		res      SyncResult
+		firstErr error
+		wg       sync.WaitGroup
+	)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= nShards || failed.Load() {
+					return
+				}
+				sa, sb := &a.shards[i], &b.shards[i]
+				first, second := sa, sb
+				if !replicaBefore(a, b) {
+					first, second = sb, sa
+				}
+				first.mu.Lock()
+				second.mu.Lock()
+				part, err := syncMaps(sa.data, sb.data, resolve)
+				second.mu.Unlock()
+				first.mu.Unlock()
+				mu.Lock()
+				res.add(part)
+				if err != nil && firstErr == nil {
+					firstErr = err
+					failed.Store(true)
+				}
+				mu.Unlock()
+			}
+		}()
+	}
+	wg.Wait()
+	return res, firstErr
+}
+
+// syncGlobal reconciles replicas with different stripe counts under all
+// locks of both, taken in global order.
+func syncGlobal(a, b *Replica, resolve Resolver) (SyncResult, error) {
 	first, second := a, b
-	if fmt.Sprintf("%p", a) > fmt.Sprintf("%p", b) {
+	if !replicaBefore(a, b) {
 		first, second = b, a
 	}
-	first.mu.Lock()
-	defer first.mu.Unlock()
-	second.mu.Lock()
-	defer second.mu.Unlock()
-
+	for i := range first.shards {
+		first.shards[i].mu.Lock()
+		defer first.shards[i].mu.Unlock()
+	}
+	for i := range second.shards {
+		second.shards[i].mu.Lock()
+		defer second.shards[i].mu.Unlock()
+	}
 	var res SyncResult
-	keys := make(map[string]struct{}, len(a.data)+len(b.data))
-	for k := range a.data {
-		keys[k] = struct{}{}
-	}
-	for k := range b.data {
-		keys[k] = struct{}{}
-	}
-	sorted := make([]string, 0, len(keys))
-	for k := range keys {
-		sorted = append(sorted, k)
-	}
-	sort.Strings(sorted)
-
-	for _, k := range sorted {
-		va, hasA := a.data[k]
-		vb, hasB := b.data[k]
-		switch {
-		case hasA && !hasB:
-			mine, theirs := va.Stamp.Fork()
-			va.Stamp = mine
-			a.data[k] = va
-			b.data[k] = Versioned{
-				Value:   append([]byte(nil), va.Value...),
-				Deleted: va.Deleted,
-				Stamp:   theirs,
+	keys := map[string]struct{}{}
+	for _, r := range []*Replica{a, b} {
+		for i := range r.shards {
+			for k := range r.shards[i].data {
+				keys[k] = struct{}{}
 			}
-			res.Transferred++
-		case hasB && !hasA:
-			mine, theirs := vb.Stamp.Fork()
-			vb.Stamp = mine
-			b.data[k] = vb
-			a.data[k] = Versioned{
-				Value:   append([]byte(nil), vb.Value...),
-				Deleted: vb.Deleted,
-				Stamp:   theirs,
-			}
-			res.Transferred++
-		default:
-			outcome, err := reconcileKey(k, &va, &vb, resolve)
-			if err != nil {
-				return res, err
-			}
-			switch outcome {
-			case outcomeConflictSkipped:
-				res.Conflicts = append(res.Conflicts, k)
-				continue
-			case outcomeReconciled:
-				res.Reconciled++
-			case outcomeMerged:
-				res.Merged++
-			case outcomeNoop:
-			}
-			a.data[k] = va
-			b.data[k] = vb
 		}
+	}
+	for _, k := range sortedKeys(keys) {
+		part, err := syncKey(k, a.shardFor(k).data, b.shardFor(k).data, resolve)
+		res.add(part)
+		if err != nil {
+			return res, err
+		}
+	}
+	return res, nil
+}
+
+// SyncShard reconciles only the keys belonging to stripe idx of a
+// layout with `of` stripes — the unit of per-shard network anti-entropy:
+// two endpoints agreeing on (idx, of) can run `of` independent scoped
+// syncs concurrently and converge exactly as one whole-keyspace Sync
+// would. When a replica's own layout matches `of`, only its stripe idx is
+// locked; otherwise all its stripes are (the matching keys may live
+// anywhere).
+func SyncShard(a, b *Replica, resolve Resolver, idx, of int) (SyncResult, error) {
+	if a == b {
+		return SyncResult{}, fmt.Errorf("kvstore: sync of a replica with itself")
+	}
+	if of < 1 || idx < 0 || idx >= of {
+		return SyncResult{}, fmt.Errorf("kvstore: shard %d out of range of %d", idx, of)
+	}
+	first, second := a, b
+	if !replicaBefore(a, b) {
+		first, second = b, a
+	}
+	for _, r := range []*Replica{first, second} {
+		if len(r.shards) == of {
+			r.shards[idx].mu.Lock()
+			defer r.shards[idx].mu.Unlock()
+			continue
+		}
+		for i := range r.shards {
+			r.shards[i].mu.Lock()
+			defer r.shards[i].mu.Unlock()
+		}
+	}
+	var res SyncResult
+	keys := map[string]struct{}{}
+	for _, r := range []*Replica{a, b} {
+		for i := range r.shards {
+			if len(r.shards) == of && i != idx {
+				continue
+			}
+			for k := range r.shards[i].data {
+				if ShardIndex(k, of) == idx {
+					keys[k] = struct{}{}
+				}
+			}
+		}
+	}
+	var err error
+	for _, k := range sortedKeys(keys) {
+		var part SyncResult
+		part, err = syncKey(k, a.shardFor(k).data, b.shardFor(k).data, resolve)
+		res.add(part)
+		if err != nil {
+			break
+		}
+	}
+	sort.Strings(res.Conflicts)
+	return res, err
+}
+
+func sortedKeys(set map[string]struct{}) []string {
+	out := make([]string, 0, len(set))
+	for k := range set {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// syncMaps reconciles the union of two raw shard maps. Both maps' locks
+// must be held.
+func syncMaps(da, db map[string]Versioned, resolve Resolver) (SyncResult, error) {
+	keys := make(map[string]struct{}, len(da)+len(db))
+	for k := range da {
+		keys[k] = struct{}{}
+	}
+	for k := range db {
+		keys[k] = struct{}{}
+	}
+	var res SyncResult
+	for _, k := range sortedKeys(keys) {
+		part, err := syncKey(k, da, db, resolve)
+		res.add(part)
+		if err != nil {
+			return res, err
+		}
+	}
+	return res, nil
+}
+
+// syncKey converges one key across two raw shard maps (locks held). The
+// first map is always the logical "a" side, so resolver argument order is
+// independent of lock order.
+func syncKey(k string, da, db map[string]Versioned, resolve Resolver) (SyncResult, error) {
+	var res SyncResult
+	va, hasA := da[k]
+	vb, hasB := db[k]
+	switch {
+	case hasA && !hasB:
+		mine, theirs := va.Stamp.Fork()
+		va.Stamp = mine
+		da[k] = va
+		db[k] = Versioned{
+			Value:   append([]byte(nil), va.Value...),
+			Deleted: va.Deleted,
+			Stamp:   theirs,
+		}
+		res.Transferred++
+	case hasB && !hasA:
+		mine, theirs := vb.Stamp.Fork()
+		vb.Stamp = mine
+		db[k] = vb
+		da[k] = Versioned{
+			Value:   append([]byte(nil), vb.Value...),
+			Deleted: vb.Deleted,
+			Stamp:   theirs,
+		}
+		res.Transferred++
+	default:
+		outcome, err := reconcileKey(k, &va, &vb, resolve)
+		if err != nil {
+			return res, err
+		}
+		switch outcome {
+		case outcomeConflictSkipped:
+			res.Conflicts = append(res.Conflicts, k)
+			return res, nil
+		case outcomeReconciled:
+			res.Reconciled++
+		case outcomeMerged:
+			res.Merged++
+		case outcomeNoop:
+		}
+		da[k] = va
+		db[k] = vb
 	}
 	return res, nil
 }
@@ -390,64 +756,125 @@ type snapshotEntry struct {
 	Stamp   string `json:"stamp"`
 }
 
-// Snapshot serializes the replica (label and all entries including
-// tombstones) for durable storage; Restore loads it back. Together they
-// support crash/restart testing.
-func (r *Replica) Snapshot() ([]byte, error) {
-	r.mu.RLock()
-	defer r.mu.RUnlock()
-	entries := make([]snapshotEntry, 0, len(r.data))
-	for _, k := range r.keysLocked() {
-		v := r.data[k]
-		entries = append(entries, snapshotEntry{
-			Key: k, Value: v.Value, Deleted: v.Deleted, Stamp: v.Stamp.String(),
-		})
-	}
-	return json.Marshal(struct {
-		Label   string          `json:"label"`
-		Entries []snapshotEntry `json:"entries"`
-	}{Label: r.label, Entries: entries})
+// snapshotDoc is the JSON form of a replica (or one of its stripes).
+type snapshotDoc struct {
+	Label string `json:"label"`
+	// Shards records the stripe count so Restore reproduces the layout.
+	// Absent (zero) in snapshots from before sharding: DefaultShards.
+	Shards  int             `json:"shards,omitempty"`
+	Entries []snapshotEntry `json:"entries"`
 }
 
-func (r *Replica) keysLocked() []string {
-	out := make([]string, 0, len(r.data))
-	for k := range r.data {
-		out = append(out, k)
+// Snapshot serializes the replica (label, shard layout and all entries
+// including tombstones) for durable storage; Restore loads it back.
+// Together they support crash/restart testing. Each stripe is read
+// atomically; the snapshot is a per-key-consistent view.
+func (r *Replica) Snapshot() ([]byte, error) {
+	entries := r.collectEntries(-1)
+	return json.Marshal(snapshotDoc{Label: r.label, Shards: len(r.shards), Entries: entries})
+}
+
+// SnapshotShard serializes only stripe idx — the payload of one per-shard
+// anti-entropy round.
+func (r *Replica) SnapshotShard(idx int) ([]byte, error) {
+	if idx < 0 || idx >= len(r.shards) {
+		return nil, fmt.Errorf("kvstore: shard %d out of range of %d", idx, len(r.shards))
 	}
-	sort.Strings(out)
-	return out
+	entries := r.collectEntries(idx)
+	return json.Marshal(snapshotDoc{Label: r.label, Shards: len(r.shards), Entries: entries})
+}
+
+// collectEntries gathers sorted entries from stripe idx, or from all
+// stripes when idx is negative.
+func (r *Replica) collectEntries(idx int) []snapshotEntry {
+	var entries []snapshotEntry
+	for i := range r.shards {
+		if idx >= 0 && i != idx {
+			continue
+		}
+		sh := &r.shards[i]
+		sh.mu.RLock()
+		for k, v := range sh.data {
+			entries = append(entries, snapshotEntry{
+				Key: k, Value: v.Value, Deleted: v.Deleted, Stamp: v.Stamp.String(),
+			})
+		}
+		sh.mu.RUnlock()
+	}
+	sort.Slice(entries, func(a, b int) bool { return entries[a].Key < entries[b].Key })
+	return entries
 }
 
 // Adopt replaces this replica's entire contents with the snapshot's,
-// keeping the replica pointer (and label) stable. It is used by the
-// anti-entropy client to take over the merged state returned by a peer.
+// keeping the replica pointer, label and shard layout stable. It is used
+// by the anti-entropy client to take over the merged state returned by a
+// peer.
 func (r *Replica) Adopt(snapshot []byte) error {
 	restored, err := Restore(snapshot)
 	if err != nil {
 		return err
 	}
-	r.mu.Lock()
-	defer r.mu.Unlock()
-	r.data = restored.data
+	for i := range r.shards {
+		r.shards[i].mu.Lock()
+		defer r.shards[i].mu.Unlock()
+	}
+	for i := range r.shards {
+		r.shards[i].data = make(map[string]Versioned)
+	}
+	for i := range restored.shards {
+		for k, v := range restored.shards[i].data {
+			r.shardFor(k).data[k] = v
+		}
+	}
 	return nil
 }
 
-// Restore deserializes a snapshot into a fresh replica.
-func Restore(data []byte) (*Replica, error) {
-	var snap struct {
-		Label   string          `json:"label"`
-		Entries []snapshotEntry `json:"entries"`
+// AdoptShard replaces only stripe idx with the snapshot's entries — the
+// client half of one per-shard anti-entropy round. Every entry must belong
+// to stripe idx under this replica's layout.
+func (r *Replica) AdoptShard(idx int, snapshot []byte) error {
+	if idx < 0 || idx >= len(r.shards) {
+		return fmt.Errorf("kvstore: shard %d out of range of %d", idx, len(r.shards))
 	}
+	restored, err := Restore(snapshot)
+	if err != nil {
+		return err
+	}
+	data := make(map[string]Versioned)
+	for i := range restored.shards {
+		for k, v := range restored.shards[i].data {
+			if ShardIndex(k, len(r.shards)) != idx {
+				return fmt.Errorf("kvstore: adopt shard %d: key %q belongs to shard %d",
+					idx, k, ShardIndex(k, len(r.shards)))
+			}
+			data[k] = v
+		}
+	}
+	sh := &r.shards[idx]
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	sh.data = data
+	return nil
+}
+
+// Restore deserializes a snapshot into a fresh replica with the stripe
+// layout recorded in the snapshot.
+func Restore(data []byte) (*Replica, error) {
+	var snap snapshotDoc
 	if err := json.Unmarshal(data, &snap); err != nil {
 		return nil, fmt.Errorf("kvstore: restore: %w", err)
 	}
-	r := NewReplica(snap.Label)
+	shards := snap.Shards
+	if shards < 1 {
+		shards = DefaultShards
+	}
+	r := NewReplicaShards(snap.Label, shards)
 	for _, e := range snap.Entries {
 		st, err := core.Parse(e.Stamp)
 		if err != nil {
 			return nil, fmt.Errorf("kvstore: restore %q: %w", e.Key, err)
 		}
-		r.data[e.Key] = Versioned{Value: e.Value, Deleted: e.Deleted, Stamp: st}
+		r.shardFor(e.Key).data[e.Key] = Versioned{Value: e.Value, Deleted: e.Deleted, Stamp: st}
 	}
 	return r, nil
 }

@@ -1,0 +1,281 @@
+package panasync
+
+import (
+	"errors"
+	"testing"
+
+	"versionstamp/internal/kvstore"
+)
+
+func initFile(t *testing.T, ws *Workspace, fs FS, path, content string) {
+	t.Helper()
+	if err := fs.WriteFile(path, []byte(content)); err != nil {
+		t.Fatal(err)
+	}
+	if err := ws.Init(path); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestToReplicaRoundTrip(t *testing.T) {
+	fs := NewMemFS()
+	ws := NewWorkspace(fs)
+	initFile(t, ws, fs, "a.txt", "alpha")
+	initFile(t, ws, fs, "b.txt", "beta")
+
+	r, _, err := ToReplica(ws, "ws")
+	if err != nil {
+		t.Fatalf("ToReplica: %v", err)
+	}
+	if r.Len() != 2 {
+		t.Fatalf("Len = %d", r.Len())
+	}
+	got, ok := r.Get("a.txt")
+	if !ok || string(got) != "alpha" {
+		t.Fatalf("a.txt = %q, %v", got, ok)
+	}
+	// Stamps come from the sidecars, not fresh updates.
+	st, _, err := ws.readSidecar("a.txt")
+	if err != nil {
+		t.Fatal(err)
+	}
+	v, _ := r.Version("a.txt")
+	if !v.Stamp.Equal(st) {
+		t.Error("replica stamp differs from sidecar stamp")
+	}
+
+	// Apply back into a fresh workspace: contents and stamps survive.
+	fs2 := NewMemFS()
+	ws2 := NewWorkspace(fs2)
+	if _, err := ApplyReplica(ws2, r, nil); err != nil {
+		t.Fatalf("ApplyReplica: %v", err)
+	}
+	stat, err := ws2.Stat("b.txt")
+	if err != nil {
+		t.Fatalf("Stat after apply: %v", err)
+	}
+	if stat.Dirty {
+		t.Error("applied file reported dirty")
+	}
+	content, err := fs2.ReadFile("b.txt")
+	if err != nil || string(content) != "beta" {
+		t.Fatalf("b.txt = %q, %v", content, err)
+	}
+}
+
+func TestToReplicaRejectsDirty(t *testing.T) {
+	fs := NewMemFS()
+	ws := NewWorkspace(fs)
+	initFile(t, ws, fs, "a.txt", "v1")
+	if err := fs.WriteFile("a.txt", []byte("v2")); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := ToReplica(ws, "ws"); !errors.Is(err, ErrStaleStamp) {
+		t.Fatalf("ToReplica on dirty workspace = %v, want ErrStaleStamp", err)
+	}
+}
+
+func TestApplyReplicaTombstoneRemoves(t *testing.T) {
+	fs := NewMemFS()
+	ws := NewWorkspace(fs)
+	initFile(t, ws, fs, "a.txt", "alpha")
+	r, base, err := ToReplica(ws, "ws")
+	if err != nil {
+		t.Fatal(err)
+	}
+	r.Delete("a.txt")
+	if _, err := ApplyReplica(ws, r, base); err != nil {
+		t.Fatalf("ApplyReplica: %v", err)
+	}
+	if ok, _ := fs.Exists("a.txt"); ok {
+		t.Error("tombstoned file not removed")
+	}
+	if ok, _ := fs.Exists("a.txt" + SidecarSuffix); ok {
+		t.Error("tombstoned sidecar not removed")
+	}
+}
+
+// TestWorkspaceNetworkSync runs the full loop the CLI uses: two
+// workspaces, one served, one syncing per shard; both end up identical.
+func TestWorkspaceNetworkSync(t *testing.T) {
+	fsA, fsB := NewMemFS(), NewMemFS()
+	wsA, wsB := NewWorkspace(fsA), NewWorkspace(fsB)
+	initFile(t, wsA, fsA, "shared.txt", "from-a")
+	initFile(t, wsB, fsB, "other.txt", "from-b")
+
+	ra, baseA, err := ToReplica(wsA, "a")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Imported via the antientropy server in the real CLI; here we use the
+	// in-process engine to keep the test hermetic.
+	rb, baseB, err := ToReplica(wsB, "b")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := kvstore.Sync(ra, rb, nil); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ApplyReplica(wsA, ra, baseA); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ApplyReplica(wsB, rb, baseB); err != nil {
+		t.Fatal(err)
+	}
+	for _, ws := range []*Workspace{wsA, wsB} {
+		statuses, err := ws.Tracked()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(statuses) != 2 {
+			t.Fatalf("tracked = %v", statuses)
+		}
+	}
+	// The two copies of each file are on one frontier: compare works.
+	stA, err := wsA.Stat("shared.txt")
+	if err != nil {
+		t.Fatal(err)
+	}
+	stB, err := wsB.Stat("shared.txt")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stA.Dirty || stB.Dirty {
+		t.Error("synced files reported dirty")
+	}
+}
+
+// TestApplyReplicaPreservesConcurrentEdit: a file edited in the workspace
+// while a sync was in flight is never overwritten by the write-back; the
+// local edit wins and the path is reported.
+func TestApplyReplicaPreservesConcurrentEdit(t *testing.T) {
+	fs := NewMemFS()
+	ws := NewWorkspace(fs)
+	initFile(t, ws, fs, "a.txt", "v1")
+	r, base, err := ToReplica(ws, "ws")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The peer pushes a newer copy into the replica...
+	r.Put("a.txt", []byte("from-peer"))
+	// ...while the local user edits the file without recording it.
+	if err := fs.WriteFile("a.txt", []byte("local unrecorded edit")); err != nil {
+		t.Fatal(err)
+	}
+	skipped, err := ApplyReplica(ws, r, base)
+	if err != nil {
+		t.Fatalf("ApplyReplica: %v", err)
+	}
+	if len(skipped) != 1 || skipped[0] != "a.txt" {
+		t.Fatalf("skipped = %v", skipped)
+	}
+	content, err := fs.ReadFile("a.txt")
+	if err != nil || string(content) != "local unrecorded edit" {
+		t.Fatalf("local edit destroyed: %q, %v", content, err)
+	}
+}
+
+// TestApplyReplicaSkipsUnchanged: keys whose stamp did not move are not
+// rewritten.
+func TestApplyReplicaSkipsUnchanged(t *testing.T) {
+	fs := NewMemFS()
+	ws := NewWorkspace(fs)
+	initFile(t, ws, fs, "a.txt", "v1")
+	r, base, err := ToReplica(ws, "ws")
+	if err != nil {
+		t.Fatal(err)
+	}
+	before, err := fs.ReadFile("a.txt" + SidecarSuffix)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ApplyReplica(ws, r, base); err != nil {
+		t.Fatal(err)
+	}
+	after, err := fs.ReadFile("a.txt" + SidecarSuffix)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(before) != string(after) {
+		t.Error("unchanged key was rewritten")
+	}
+}
+
+// TestApplyReplicaPreservesRecordedEdit: an edit recorded (via Edit) while
+// the replica was live is also preserved — the sidecar moved relative to
+// the export baseline, so the stale replica copy must not win.
+func TestApplyReplicaPreservesRecordedEdit(t *testing.T) {
+	fs := NewMemFS()
+	ws := NewWorkspace(fs)
+	initFile(t, ws, fs, "a.txt", "v1")
+	r, base, err := ToReplica(ws, "ws")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := fs.WriteFile("a.txt", []byte("v2 recorded locally")); err != nil {
+		t.Fatal(err)
+	}
+	if err := ws.Edit("a.txt"); err != nil {
+		t.Fatal(err)
+	}
+	skipped, err := ApplyReplica(ws, r, base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(skipped) != 1 || skipped[0] != "a.txt" {
+		t.Fatalf("skipped = %v", skipped)
+	}
+	content, err := fs.ReadFile("a.txt")
+	if err != nil || string(content) != "v2 recorded locally" {
+		t.Fatalf("recorded edit destroyed: %q, %v", content, err)
+	}
+}
+
+// TestApplyReplicaPreservesForgottenFile: a file forgotten (untracked)
+// during the sync window is not removed by a peer's tombstone.
+func TestApplyReplicaPreservesForgottenFile(t *testing.T) {
+	fs := NewMemFS()
+	ws := NewWorkspace(fs)
+	initFile(t, ws, fs, "a.txt", "v1")
+	r, base, err := ToReplica(ws, "ws")
+	if err != nil {
+		t.Fatal(err)
+	}
+	r.Delete("a.txt") // peer-side deletion arrives in the replica
+	if err := ws.Forget("a.txt"); err != nil {
+		t.Fatal(err)
+	}
+	skipped, err := ApplyReplica(ws, r, base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(skipped) != 1 || skipped[0] != "a.txt" {
+		t.Fatalf("skipped = %v", skipped)
+	}
+	if ok, _ := fs.Exists("a.txt"); !ok {
+		t.Error("forgotten file removed by peer tombstone")
+	}
+}
+
+// TestApplyReplicaDoesNotClobberUntracked: a peer-served file whose path is
+// occupied by an untracked local file is skipped, not overwritten.
+func TestApplyReplicaDoesNotClobberUntracked(t *testing.T) {
+	fs := NewMemFS()
+	ws := NewWorkspace(fs)
+	if err := fs.WriteFile("x.txt", []byte("precious untracked data")); err != nil {
+		t.Fatal(err)
+	}
+	r := kvstore.NewReplica("peer")
+	r.Put("x.txt", []byte("from-peer"))
+	skipped, err := ApplyReplica(ws, r, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(skipped) != 1 || skipped[0] != "x.txt" {
+		t.Fatalf("skipped = %v", skipped)
+	}
+	content, err := fs.ReadFile("x.txt")
+	if err != nil || string(content) != "precious untracked data" {
+		t.Fatalf("untracked file clobbered: %q, %v", content, err)
+	}
+}

@@ -109,9 +109,15 @@ func TestEquivalenceAllMechanisms(t *testing.T) {
 		"forkheavy": ForkHeavy,
 		"syncheavy": SyncHeavy,
 	}
+	seeds, traceOps := int64(4), 180
+	if testing.Short() {
+		// Stamp growth is superlinear in ops; shrunk traces keep every
+		// mechanism pair covered at a fraction of the runtime.
+		seeds, traceOps = 2, 120
+	}
 	for label, w := range workloads {
-		for seed := int64(0); seed < 4; seed++ {
-			trace := Random(seed*17+3, 180, w, 8)
+		for seed := int64(0); seed < seeds; seed++ {
+			trace := Random(seed*17+3, traceOps, w, 8)
 			dvv, err := NewDynamicVVTracker(vv.NewCentralServer(), "dynamic-vv")
 			if err != nil {
 				t.Fatalf("dvv: %v", err)
@@ -370,7 +376,11 @@ func TestPartitionedForkFailsForDynamicVV(t *testing.T) {
 }
 
 func TestReplay(t *testing.T) {
-	tr := Random(11, 200, Balanced, 8)
+	ops := 200
+	if testing.Short() {
+		ops = 120 // growth is superlinear; 120 ops replay in well under 1s
+	}
+	tr := Random(11, ops, Balanced, 8)
 	st := NewStampTracker(true)
 	width, err := Replay(st, tr)
 	if err != nil {
