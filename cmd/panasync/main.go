@@ -225,15 +225,16 @@ func serve(ws *panasync.Workspace, out io.Writer, listen string, linger time.Dur
 }
 
 // netsync synchronizes the whole workspace with a serving peer: one
-// concurrent per-shard anti-entropy round, then the merged state is written
-// back into the workspace. Conflicts are resolved by the serving side's
-// -merge setting; unresolved ones are reported here.
+// concurrent per-shard delta anti-entropy round — digests travel first,
+// stamps prune the unchanged files from the wire — then the merged state is
+// written back into the workspace. Conflicts are resolved by the serving
+// side's -merge setting; unresolved ones are reported here.
 func netsync(ws *panasync.Workspace, out io.Writer, addr string) error {
 	replica, base, err := panasync.ToReplica(ws, "netsync")
 	if err != nil {
 		return err
 	}
-	res, err := antientropy.SyncWithSharded(addr, replica)
+	res, err := antientropy.SyncWithDeltaSharded(addr, replica)
 	if err != nil {
 		return err
 	}
@@ -241,8 +242,9 @@ func netsync(ws *panasync.Workspace, out io.Writer, addr string) error {
 	if err != nil {
 		return err
 	}
-	fmt.Fprintf(out, "synchronized with %s: %d transferred, %d reconciled, %d merged\n",
-		addr, res.Transferred, res.Reconciled, res.Merged)
+	fmt.Fprintf(out, "synchronized with %s: %d transferred, %d reconciled, %d merged, %d unchanged (pruned)\n",
+		addr, res.Transferred, res.Reconciled, res.Merged, res.Pruned)
+	fmt.Fprintf(out, "wire: %dB sent, %dB received\n", res.BytesSent, res.BytesReceived)
 	for _, k := range res.Conflicts {
 		fmt.Fprintf(out, "conflict left unresolved: %s (serve with -merge to resolve)\n", k)
 	}

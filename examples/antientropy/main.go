@@ -62,6 +62,17 @@ func run() error {
 	fmt.Printf("edge-2 <-> hub (per-shard, %d stripes): idle resync, %d reconciled\n",
 		edge2.Shards(), res.Reconciled)
 
+	// Delta anti-entropy: digests travel first, and stamp comparison prunes
+	// every key the peers already agree on. Right after the sync above the
+	// pair is converged, so this round ships zero entries — the wire carries
+	// only the digest, no matter how large the keyspace is.
+	res, err = antientropy.SyncWithDelta(hubAddr, edge2)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("edge-2 <-> hub (delta, converged): %d entries shipped, %d pruned by stamps, %dB on the wire\n",
+		res.Transferred+res.Reconciled+res.Merged, res.Pruned, res.BytesSent+res.BytesReceived)
+
 	// edge-2 later meets edge-1 directly (no hub involved).
 	res, err = antientropy.SyncWith(edge1Addr, edge2)
 	if err != nil {

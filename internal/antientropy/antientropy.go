@@ -23,15 +23,56 @@
 // one such scoped round per local stripe concurrently, so two heavily
 // loaded replicas exchange and merge shard deltas in parallel instead of
 // serializing the whole keyspace under one request.
+//
+// # Delta protocol (v2)
+//
+// SyncWithDelta and SyncWithDeltaSharded speak a binary two-phase protocol
+// that moves only what the stamps cannot prove equivalent — the paper's
+// central property (stamp comparison classifies two copies without looking
+// at the data) applied to the wire. Both protocols share one port: the
+// first byte of a connection selects the handler, '{' opening a v1 JSON
+// round and 0x02 a v2 delta round. v1 clients therefore interoperate with
+// servers of either vintage; delta rounds need a v2 server (SyncWith is
+// the portable fallback against old peers).
+//
+// After the version byte, a v2 connection is a fixed sequence of
+// length-prefixed frames, each [uvarint length][kind byte][body], integers
+// uvarint-encoded and stamps in the compact trie-structural format of
+// internal/encoding:
+//
+//	client -> server  kindDigest (0x01): of, shard, count, count×digest
+//	server -> client  kindNeed   (0x02): count, count×key
+//	client -> server  kindEntries(0x03): count, count×entry
+//	server -> client  kindResult (0x04): transferred, reconciled, merged,
+//	                  pruned, conflicts, reply entries
+//	server -> client  kindError  (0x7F): error text, terminating the round
+//
+// where digest = key + stamp (encoding.AppendDigest) and entry = key +
+// tombstone flag + value + stamp (encoding.AppendEntry). Phase 1 is the
+// digest exchange: the server compares each digest stamp with its own copy
+// (kvstore.DiffAgainst) and requests only the copies it cannot prove
+// equivalent or obsolete. Phase 2 ships those entries, the server
+// reconciles under its stripe locks (kvstore.ApplyDelta — dominance, merge
+// and transfer semantics identical to Sync), and replies with exactly the
+// entries the client must adopt. Converged replicas therefore exchange
+// digests and nothing else, making idle sync cost independent of value
+// sizes and proportional only to key count — and per-stripe rounds
+// (of > 0) scope all of it to one stripe, locking nothing else.
+//
+// The client installs a reply entry only while its own copy still carries
+// the stamp it shipped; copies that moved mid-round are left alone for the
+// next round, which makes concurrent rounds against one replica safe.
 package antientropy
 
 import (
+	"bufio"
 	"encoding/json"
 	"errors"
 	"fmt"
 	"net"
 	"sort"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"versionstamp/internal/kvstore"
@@ -122,7 +163,16 @@ func (s *Server) acceptLoop(ln net.Listener) {
 func (s *Server) handle(conn net.Conn) {
 	defer conn.Close()
 	_ = conn.SetDeadline(time.Now().Add(defaultTimeout))
-	dec := json.NewDecoder(conn)
+	br := bufio.NewReader(conn)
+	// The first byte selects the protocol: '{' opens a v1 JSON round,
+	// deltaProtocolVersion a v2 binary delta round. v1 clients keep working
+	// against this server; delta clients need a v2 server (a v1-only server
+	// JSON-decodes the version byte and fails the round with an error).
+	if b, err := br.Peek(1); err == nil && b[0] == deltaProtocolVersion {
+		s.handleDelta(conn, br)
+		return
+	}
+	dec := json.NewDecoder(br)
 	enc := json.NewEncoder(conn)
 
 	var req request
@@ -203,7 +253,16 @@ func syncWith(addr string, local *kvstore.Replica, timeout time.Duration) (kvsto
 // On error the successfully completed stripes keep their merged state (the
 // next round converges the rest) and the first error is returned.
 func SyncWithSharded(addr string, local *kvstore.Replica) (kvstore.SyncResult, error) {
-	n := local.Shards()
+	return syncAllShards(local.Shards(), "shard", func(i int) (kvstore.SyncResult, error) {
+		return syncShardWith(addr, local, i, defaultTimeout)
+	})
+}
+
+// syncAllShards runs one scoped round per stripe, all concurrently, and
+// aggregates the results. On error the successfully completed stripes keep
+// their merged state and the first error is returned, tagged with its
+// stripe and the given label.
+func syncAllShards(n int, label string, round func(i int) (kvstore.SyncResult, error)) (kvstore.SyncResult, error) {
 	var (
 		mu       sync.Mutex
 		total    kvstore.SyncResult
@@ -214,19 +273,16 @@ func SyncWithSharded(addr string, local *kvstore.Replica) (kvstore.SyncResult, e
 		wg.Add(1)
 		go func(i int) {
 			defer wg.Done()
-			res, err := syncShardWith(addr, local, i, defaultTimeout)
+			res, err := round(i)
 			mu.Lock()
 			defer mu.Unlock()
 			if err != nil {
 				if firstErr == nil {
-					firstErr = fmt.Errorf("antientropy: shard %d/%d: %w", i, n, err)
+					firstErr = fmt.Errorf("antientropy: %s %d/%d: %w", label, i, n, err)
 				}
 				return
 			}
-			total.Transferred += res.Transferred
-			total.Reconciled += res.Reconciled
-			total.Merged += res.Merged
-			total.Conflicts = append(total.Conflicts, res.Conflicts...)
+			total.Add(res)
 		}(i)
 	}
 	wg.Wait()
@@ -252,12 +308,33 @@ func syncShardWith(addr string, local *kvstore.Replica, idx int, timeout time.Du
 	return resp.Result, nil
 }
 
-// roundTrip sends one request and decodes the reply.
+// countingConn wraps a net.Conn, counting payload bytes in each direction so
+// SyncResult can report wire cost.
+type countingConn struct {
+	net.Conn
+	sent, recv atomic.Int64
+}
+
+func (c *countingConn) Read(p []byte) (int, error) {
+	n, err := c.Conn.Read(p)
+	c.recv.Add(int64(n))
+	return n, err
+}
+
+func (c *countingConn) Write(p []byte) (int, error) {
+	n, err := c.Conn.Write(p)
+	c.sent.Add(int64(n))
+	return n, err
+}
+
+// roundTrip sends one request and decodes the reply, recording the wire
+// bytes of both directions in the returned result.
 func roundTrip(addr string, req request, timeout time.Duration) (response, error) {
-	conn, err := net.DialTimeout("tcp", addr, timeout)
+	raw, err := net.DialTimeout("tcp", addr, timeout)
 	if err != nil {
 		return response{}, fmt.Errorf("antientropy: dial %s: %w", addr, err)
 	}
+	conn := &countingConn{Conn: raw}
 	defer conn.Close()
 	_ = conn.SetDeadline(time.Now().Add(timeout))
 
@@ -276,5 +353,7 @@ func roundTrip(addr string, req request, timeout time.Duration) (response, error
 	if resp.V != protocolVersion {
 		return response{}, fmt.Errorf("%w: version skew %d", ErrProtocol, resp.V)
 	}
+	resp.Result.BytesSent = conn.sent.Load()
+	resp.Result.BytesReceived = conn.recv.Load()
 	return resp, nil
 }

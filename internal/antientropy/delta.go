@@ -1,0 +1,403 @@
+package antientropy
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"time"
+
+	"versionstamp/internal/core"
+	"versionstamp/internal/encoding"
+	"versionstamp/internal/kvstore"
+)
+
+// Protocol v2: two-phase delta rounds over length-prefixed binary frames.
+// See the package comment for the frame grammar. All multi-byte integers
+// are uvarints; stamps use the compact trie-structural format
+// (encoding.MarshalCompact), keys and entries the length-prefixed codec of
+// internal/encoding.
+
+// deltaProtocolVersion is the first byte of a v2 connection. It can never
+// collide with '{', the first byte of a v1 JSON request.
+const deltaProtocolVersion = 0x02
+
+// Frame kinds.
+const (
+	kindDigest  = 0x01 // client: scope + digest of its in-scope keys
+	kindNeed    = 0x02 // server: keys whose full copies it needs
+	kindEntries = 0x03 // client: the requested full entries
+	kindResult  = 0x04 // server: sync counters + entries the client adopts
+	kindError   = 0x7F // server: error text; terminates the round
+)
+
+// maxFrame bounds a single frame body. Entries frames carry full values, so
+// the cap is generous; a corrupt length prefix still cannot force an
+// unbounded allocation.
+const maxFrame = 1 << 30
+
+// writeFrame sends one [uvarint length][body] frame as a single write, so a
+// frame never splits into a header-only TCP segment.
+func writeFrame(w io.Writer, body []byte) error {
+	buf := binary.AppendUvarint(make([]byte, 0, len(body)+binary.MaxVarintLen64), uint64(len(body)))
+	buf = append(buf, body...)
+	_, err := w.Write(buf)
+	return err
+}
+
+// readFrame reads one frame body. The body buffer grows with the bytes that
+// actually arrive, so a length prefix near maxFrame cannot pin memory the
+// peer never sends.
+func readFrame(br *bufio.Reader) ([]byte, error) {
+	n, err := binary.ReadUvarint(br)
+	if err != nil {
+		return nil, err
+	}
+	if n == 0 {
+		return nil, errors.New("empty frame")
+	}
+	if n > maxFrame {
+		return nil, fmt.Errorf("frame of %d bytes exceeds limit", n)
+	}
+	var buf bytes.Buffer
+	if _, err := io.CopyN(&buf, br, int64(n)); err != nil {
+		return nil, err
+	}
+	return buf.Bytes(), nil
+}
+
+// capCount bounds a wire-supplied element count by the bytes actually
+// present (every encoded element consumes at least one byte), so a corrupt
+// or hostile count prefix cannot force a huge preallocation.
+func capCount(count uint64, body []byte) int {
+	if count > uint64(len(body)) {
+		return len(body)
+	}
+	return int(count)
+}
+
+// appendString appends a uvarint-prefixed string.
+func appendString(dst []byte, s string) []byte {
+	dst = binary.AppendUvarint(dst, uint64(len(s)))
+	return append(dst, s...)
+}
+
+// readString consumes a uvarint-prefixed string from data.
+func readString(data []byte) (string, int, error) {
+	n, used := binary.Uvarint(data)
+	if used <= 0 || uint64(len(data)-used) < n {
+		return "", 0, errors.New("bad string")
+	}
+	return string(data[used : used+int(n)]), used + int(n), nil
+}
+
+// encodeDigestFrame builds the kindDigest body: kind, of, idx, count,
+// digests.
+func encodeDigestFrame(idx, of int, digest []encoding.Digest) []byte {
+	body := []byte{kindDigest}
+	body = binary.AppendUvarint(body, uint64(of))
+	body = binary.AppendUvarint(body, uint64(idx))
+	body = binary.AppendUvarint(body, uint64(len(digest)))
+	for _, d := range digest {
+		body = encoding.AppendDigest(body, d)
+	}
+	return body
+}
+
+// encodeResultFrame builds the kindResult body: kind, four counters,
+// conflicts, reply entries.
+func encodeResultFrame(res kvstore.SyncResult, reply []encoding.Entry) []byte {
+	body := []byte{kindResult}
+	body = binary.AppendUvarint(body, uint64(res.Transferred))
+	body = binary.AppendUvarint(body, uint64(res.Reconciled))
+	body = binary.AppendUvarint(body, uint64(res.Merged))
+	body = binary.AppendUvarint(body, uint64(res.Pruned))
+	body = binary.AppendUvarint(body, uint64(len(res.Conflicts)))
+	for _, k := range res.Conflicts {
+		body = appendString(body, k)
+	}
+	body = binary.AppendUvarint(body, uint64(len(reply)))
+	for _, e := range reply {
+		body = encoding.AppendEntry(body, e)
+	}
+	return body
+}
+
+// expectKind strips and checks the kind byte of a frame body.
+func expectKind(body []byte, kind byte) ([]byte, error) {
+	if body[0] == kindError {
+		msg, _, err := readString(body[1:])
+		if err != nil {
+			return nil, fmt.Errorf("%w: unreadable error frame", ErrProtocol)
+		}
+		return nil, fmt.Errorf("%w: %s", ErrProtocol, msg)
+	}
+	if body[0] != kind {
+		return nil, fmt.Errorf("%w: frame kind 0x%02x, want 0x%02x", ErrProtocol, body[0], kind)
+	}
+	return body[1:], nil
+}
+
+// handleDelta serves one v2 connection: digest in, need out, entries in,
+// result out. A scoped round locks only the matching stripe of the server's
+// store during the apply; the digest comparison takes read locks only.
+func (s *Server) handleDelta(conn net.Conn, br *bufio.Reader) {
+	fail := func(err error) {
+		body := appendString([]byte{kindError}, err.Error())
+		_ = writeFrame(conn, body)
+	}
+	if _, err := br.Discard(1); err != nil { // the version byte, already peeked
+		return
+	}
+
+	body, err := readFrame(br)
+	if err != nil {
+		fail(fmt.Errorf("bad digest frame: %v", err))
+		return
+	}
+	body, err = expectKind(body, kindDigest)
+	if err != nil {
+		fail(err)
+		return
+	}
+	of64, used := binary.Uvarint(body)
+	if used <= 0 {
+		fail(errors.New("bad scope"))
+		return
+	}
+	body = body[used:]
+	idx64, used := binary.Uvarint(body)
+	if used <= 0 {
+		fail(errors.New("bad scope"))
+		return
+	}
+	body = body[used:]
+	of, idx := int(of64), int(idx64)
+	count, used := binary.Uvarint(body)
+	if used <= 0 {
+		fail(errors.New("bad digest count"))
+		return
+	}
+	body = body[used:]
+	digest := make([]encoding.Digest, 0, capCount(count, body))
+	for i := uint64(0); i < count; i++ {
+		d, n, err := encoding.DecodeDigest(body)
+		if err != nil {
+			fail(err)
+			return
+		}
+		body = body[n:]
+		digest = append(digest, d)
+	}
+
+	diff, err := s.replica.DiffAgainst(digest, idx, of)
+	if err != nil {
+		fail(err)
+		return
+	}
+	need := []byte{kindNeed}
+	need = binary.AppendUvarint(need, uint64(len(diff.Need)))
+	for _, k := range diff.Need {
+		need = appendString(need, k)
+	}
+	if err := writeFrame(conn, need); err != nil {
+		return
+	}
+
+	body, err = readFrame(br)
+	if err != nil {
+		fail(fmt.Errorf("bad entries frame: %v", err))
+		return
+	}
+	body, err = expectKind(body, kindEntries)
+	if err != nil {
+		fail(err)
+		return
+	}
+	count, used = binary.Uvarint(body)
+	if used <= 0 {
+		fail(errors.New("bad entry count"))
+		return
+	}
+	body = body[used:]
+	entries := make([]encoding.Entry, 0, capCount(count, body))
+	for i := uint64(0); i < count; i++ {
+		e, n, err := encoding.DecodeEntry(body)
+		if err != nil {
+			fail(err)
+			return
+		}
+		body = body[n:]
+		entries = append(entries, e)
+	}
+
+	reply, res, err := s.replica.ApplyDelta(digest, entries, s.resolve, idx, of)
+	if err != nil {
+		fail(err)
+		return
+	}
+	_ = writeFrame(conn, encodeResultFrame(res, reply))
+}
+
+// SyncWithDelta performs one two-phase delta anti-entropy round between the
+// local replica and the server at addr, covering the whole keyspace: the
+// local digest travels first, stamp comparison prunes every equivalent key
+// on the server, and only non-equivalent copies move — in either direction.
+// Two converged replicas exchange digests and nothing else. The returned
+// SyncResult carries the server's reconciliation counters plus the wire
+// bytes this client saw.
+func SyncWithDelta(addr string, local *kvstore.Replica) (kvstore.SyncResult, error) {
+	digest := local.Digest()
+	return syncDelta(addr, local, digest, 0, 0, defaultTimeout)
+}
+
+// SyncWithDeltaSharded performs one delta round per local stripe, all rounds
+// in flight concurrently — the delta analogue of SyncWithSharded: per-stripe
+// digests, per-stripe pruning, and the server locks only the matching stripe
+// of its store during each apply.
+func SyncWithDeltaSharded(addr string, local *kvstore.Replica) (kvstore.SyncResult, error) {
+	n := local.Shards()
+	return syncAllShards(n, "delta shard", func(i int) (kvstore.SyncResult, error) {
+		digest, err := local.DigestShard(i)
+		if err != nil {
+			return kvstore.SyncResult{}, err
+		}
+		return syncDelta(addr, local, digest, i, n, defaultTimeout)
+	})
+}
+
+// syncDelta runs one scoped delta round: digest out, need in, entries out,
+// result in, reply applied.
+func syncDelta(addr string, local *kvstore.Replica, digest []encoding.Digest,
+	idx, of int, timeout time.Duration) (kvstore.SyncResult, error) {
+	raw, err := net.DialTimeout("tcp", addr, timeout)
+	if err != nil {
+		return kvstore.SyncResult{}, fmt.Errorf("antientropy: dial %s: %w", addr, err)
+	}
+	conn := &countingConn{Conn: raw}
+	defer conn.Close()
+	_ = conn.SetDeadline(time.Now().Add(timeout))
+	br := bufio.NewReader(conn)
+
+	// sent records the exact stamp shipped per key, so the reply is applied
+	// only over copies that did not move while the round was in flight.
+	sent := make(map[string]core.Stamp, len(digest))
+	for _, d := range digest {
+		sent[d.Key] = d.Stamp
+	}
+
+	// The version byte and the digest frame travel in one write: one
+	// segment opens the round.
+	frame := encodeDigestFrame(idx, of, digest)
+	opening := binary.AppendUvarint([]byte{deltaProtocolVersion}, uint64(len(frame)))
+	opening = append(opening, frame...)
+	if _, err := conn.Write(opening); err != nil {
+		return kvstore.SyncResult{}, fmt.Errorf("antientropy: send digest: %w", err)
+	}
+
+	body, err := readFrame(br)
+	if err != nil {
+		return kvstore.SyncResult{}, fmt.Errorf("antientropy: receive: %w", err)
+	}
+	body, err = expectKind(body, kindNeed)
+	if err != nil {
+		return kvstore.SyncResult{}, err
+	}
+	count, used := binary.Uvarint(body)
+	if used <= 0 {
+		return kvstore.SyncResult{}, fmt.Errorf("%w: bad need count", ErrProtocol)
+	}
+	body = body[used:]
+	entries := []byte{kindEntries}
+	entryBodies := make([]byte, 0, 64)
+	sentEntries := uint64(0)
+	for i := uint64(0); i < count; i++ {
+		k, n, err := readString(body)
+		if err != nil {
+			return kvstore.SyncResult{}, fmt.Errorf("%w: bad need key", ErrProtocol)
+		}
+		body = body[n:]
+		v, ok := local.Version(k)
+		if !ok {
+			// The key vanished from the map since the digest (cannot happen
+			// through normal writes — tombstones persist — but Adopt can
+			// drop keys). Skip it; the next round reconciles.
+			delete(sent, k)
+			continue
+		}
+		sent[k] = v.Stamp
+		entryBodies = encoding.AppendEntry(entryBodies, encoding.Entry{
+			Key: k, Value: v.Value, Deleted: v.Deleted, Stamp: v.Stamp,
+		})
+		sentEntries++
+	}
+	entries = binary.AppendUvarint(entries, sentEntries)
+	entries = append(entries, entryBodies...)
+	if err := writeFrame(conn, entries); err != nil {
+		return kvstore.SyncResult{}, fmt.Errorf("antientropy: send entries: %w", err)
+	}
+
+	body, err = readFrame(br)
+	if err != nil {
+		return kvstore.SyncResult{}, fmt.Errorf("antientropy: receive: %w", err)
+	}
+	body, err = expectKind(body, kindResult)
+	if err != nil {
+		return kvstore.SyncResult{}, err
+	}
+	res, reply, err := decodeResultFrame(body)
+	if err != nil {
+		return kvstore.SyncResult{}, err
+	}
+	if _, err := local.ApplyDeltaReply(reply, sent, idx, of); err != nil {
+		return kvstore.SyncResult{}, fmt.Errorf("antientropy: apply delta reply: %w", err)
+	}
+	res.BytesSent = conn.sent.Load()
+	res.BytesReceived = conn.recv.Load()
+	return res, nil
+}
+
+// decodeResultFrame parses a kindResult body (kind byte already stripped).
+func decodeResultFrame(body []byte) (kvstore.SyncResult, []encoding.Entry, error) {
+	var res kvstore.SyncResult
+	counters := []*int{&res.Transferred, &res.Reconciled, &res.Merged, &res.Pruned}
+	for _, c := range counters {
+		v, used := binary.Uvarint(body)
+		if used <= 0 {
+			return res, nil, fmt.Errorf("%w: bad result counters", ErrProtocol)
+		}
+		*c = int(v)
+		body = body[used:]
+	}
+	nConf, used := binary.Uvarint(body)
+	if used <= 0 {
+		return res, nil, fmt.Errorf("%w: bad conflict count", ErrProtocol)
+	}
+	body = body[used:]
+	for i := uint64(0); i < nConf; i++ {
+		k, n, err := readString(body)
+		if err != nil {
+			return res, nil, fmt.Errorf("%w: bad conflict key", ErrProtocol)
+		}
+		body = body[n:]
+		res.Conflicts = append(res.Conflicts, k)
+	}
+	nEntries, used := binary.Uvarint(body)
+	if used <= 0 {
+		return res, nil, fmt.Errorf("%w: bad reply entry count", ErrProtocol)
+	}
+	body = body[used:]
+	reply := make([]encoding.Entry, 0, capCount(nEntries, body))
+	for i := uint64(0); i < nEntries; i++ {
+		e, n, err := encoding.DecodeEntry(body)
+		if err != nil {
+			return res, nil, fmt.Errorf("%w: %v", ErrProtocol, err)
+		}
+		body = body[n:]
+		reply = append(reply, e)
+	}
+	return res, reply, nil
+}

@@ -1,0 +1,207 @@
+package antientropy
+
+import (
+	"bytes"
+	"fmt"
+	"testing"
+
+	"versionstamp/internal/kvstore"
+)
+
+// clonedPair seeds n keys and clones, so both replicas share causal origins.
+func clonedPair(n int) (*kvstore.Replica, *kvstore.Replica) {
+	a := kvstore.NewReplica("server")
+	for i := 0; i < n; i++ {
+		a.Put(fmt.Sprintf("key-%04d", i), []byte(fmt.Sprintf("value-%d-with-some-padding", i)))
+	}
+	return a, a.Clone("client")
+}
+
+func requireConverged(t *testing.T, a, b *kvstore.Replica) {
+	t.Helper()
+	keys := map[string]bool{}
+	for _, k := range a.Keys() {
+		keys[k] = true
+	}
+	for _, k := range b.Keys() {
+		keys[k] = true
+	}
+	for k := range keys {
+		va, okA := a.Get(k)
+		vb, okB := b.Get(k)
+		if okA != okB || !bytes.Equal(va, vb) {
+			t.Errorf("key %q: %q/%v vs %q/%v", k, va, okA, vb, okB)
+		}
+	}
+}
+
+func TestSyncWithDeltaConverges(t *testing.T) {
+	server, client := clonedPair(32)
+	server.Put("key-0000", []byte("newer-on-server"))
+	client.Put("key-0001", []byte("newer-on-client"))
+	server.Put("key-0002", []byte("conc-server"))
+	client.Put("key-0002", []byte("conc-client"))
+	client.Put("client-only", []byte("x"))
+	server.Put("server-only", []byte("y"))
+	client.Delete("key-0003")
+
+	_, addr := startServer(t, server, kvstore.KeepBoth([]byte("|")))
+	res, err := SyncWithDelta(addr, client)
+	if err != nil {
+		t.Fatalf("SyncWithDelta: %v", err)
+	}
+	if res.Transferred != 2 || res.Reconciled != 3 || res.Merged != 1 {
+		t.Errorf("result = %+v", res)
+	}
+	if res.Pruned != 28 {
+		t.Errorf("Pruned = %d, want 28", res.Pruned)
+	}
+	if res.BytesSent == 0 || res.BytesReceived == 0 {
+		t.Errorf("wire counters empty: %+v", res)
+	}
+	requireConverged(t, server, client)
+	if _, ok := server.Get("key-0003"); ok {
+		t.Error("tombstone did not reach the server")
+	}
+	if v, _ := server.Get("key-0002"); string(v) != "conc-server|conc-client" {
+		t.Errorf("merged value = %q", v)
+	}
+}
+
+func TestSyncWithDeltaShardedConverges(t *testing.T) {
+	server, client := clonedPair(64)
+	client.Put("key-0000", []byte("newer"))
+	client.Put("extra-key", []byte("x"))
+	server.Delete("key-0001")
+
+	_, addr := startServer(t, server, kvstore.KeepBoth([]byte("|")))
+	res, err := SyncWithDeltaSharded(addr, client)
+	if err != nil {
+		t.Fatalf("SyncWithDeltaSharded: %v", err)
+	}
+	if res.Transferred != 1 || res.Reconciled != 2 {
+		t.Errorf("result = %+v", res)
+	}
+	if res.Pruned != 62 {
+		t.Errorf("Pruned = %d, want 62", res.Pruned)
+	}
+	requireConverged(t, server, client)
+}
+
+// TestDeltaSyncWireSavings is the acceptance check for the protocol: two
+// converged replicas must sync for ≥10x fewer bytes over the delta protocol
+// than over the full-snapshot protocol, measured by the SyncResult byte
+// counters of both.
+func TestDeltaSyncWireSavings(t *testing.T) {
+	server, client := clonedPair(500)
+	_, addr := startServer(t, server, nil)
+
+	full, err := SyncWith(addr, client)
+	if err != nil {
+		t.Fatalf("SyncWith: %v", err)
+	}
+	delta, err := SyncWithDelta(addr, client)
+	if err != nil {
+		t.Fatalf("SyncWithDelta: %v", err)
+	}
+	if delta.Pruned != 500 || delta.Transferred+delta.Reconciled+delta.Merged != 0 {
+		t.Fatalf("converged delta round moved data: %+v", delta)
+	}
+	fullBytes := full.BytesSent + full.BytesReceived
+	deltaBytes := delta.BytesSent + delta.BytesReceived
+	if fullBytes == 0 || deltaBytes == 0 {
+		t.Fatalf("byte counters empty: full=%d delta=%d", fullBytes, deltaBytes)
+	}
+	if deltaBytes*10 > fullBytes {
+		t.Errorf("converged delta sync %dB vs full %dB: less than 10x savings",
+			deltaBytes, fullBytes)
+	}
+	t.Logf("converged sync: full %dB, delta %dB (%.1fx)",
+		fullBytes, deltaBytes, float64(fullBytes)/float64(deltaBytes))
+}
+
+// TestDeltaMatchesFullSyncProperty is the randomized equivalence property:
+// across divergence patterns, a delta round over TCP leaves both replicas
+// with the same contents as the in-process full Sync on an identical pair.
+func TestDeltaMatchesFullSyncProperty(t *testing.T) {
+	for seed := 0; seed < 6; seed++ {
+		build := func() (*kvstore.Replica, *kvstore.Replica) {
+			server, client := clonedPair(30)
+			rng := seed + 1
+			next := func(n int) int { rng = (rng*1103515245 + 12345) & 0x7fffffff; return rng % n }
+			for i := 0; i < 30; i++ {
+				k := fmt.Sprintf("key-%04d", i)
+				switch next(7) {
+				case 0:
+					server.Put(k, []byte(fmt.Sprintf("s%d", next(100))))
+				case 1:
+					client.Put(k, []byte(fmt.Sprintf("c%d", next(100))))
+				case 2:
+					server.Put(k, []byte(fmt.Sprintf("s%d", next(100))))
+					client.Put(k, []byte(fmt.Sprintf("c%d", next(100))))
+				case 3:
+					server.Delete(k)
+				case 4:
+					client.Delete(k)
+				}
+			}
+			client.Put(fmt.Sprintf("fresh-%d", seed), []byte("new"))
+			return server, client
+		}
+		fullServer, fullClient := build()
+		deltaServer, deltaClient := build()
+
+		if _, err := kvstore.Sync(fullServer, fullClient, kvstore.KeepBoth([]byte("|"))); err != nil {
+			t.Fatalf("seed %d: full sync: %v", seed, err)
+		}
+		_, addr := startServer(t, deltaServer, kvstore.KeepBoth([]byte("|")))
+		if _, err := SyncWithDelta(addr, deltaClient); err != nil {
+			t.Fatalf("seed %d: delta sync: %v", seed, err)
+		}
+		requireConverged(t, deltaServer, deltaClient)
+		requireConverged(t, fullServer, deltaServer)
+		requireConverged(t, fullClient, deltaClient)
+
+		// And the now-converged pair prunes everything on the next round.
+		res, err := SyncWithDelta(addr, deltaClient)
+		if err != nil {
+			t.Fatalf("seed %d: second delta sync: %v", seed, err)
+		}
+		if res.Transferred+res.Reconciled+res.Merged != 0 {
+			t.Errorf("seed %d: converged round moved data: %+v", seed, res)
+		}
+	}
+}
+
+// TestDeltaAndJSONProtocolsCoexist drives both protocol versions at the same
+// server: the leading byte selects the handler.
+func TestDeltaAndJSONProtocolsCoexist(t *testing.T) {
+	server, client := clonedPair(8)
+	client.Put("via-json", []byte("1"))
+	_, addr := startServer(t, server, nil)
+	if _, err := SyncWith(addr, client); err != nil {
+		t.Fatalf("v1 round: %v", err)
+	}
+	client.Put("via-delta", []byte("2"))
+	if _, err := SyncWithDelta(addr, client); err != nil {
+		t.Fatalf("v2 round: %v", err)
+	}
+	requireConverged(t, server, client)
+}
+
+func TestDeltaConflictReportedOverWire(t *testing.T) {
+	server, client := clonedPair(4)
+	server.Put("key-0000", []byte("conc-s"))
+	client.Put("key-0000", []byte("conc-c"))
+	_, addr := startServer(t, server, nil)
+	res, err := SyncWithDelta(addr, client)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Conflicts) != 1 || res.Conflicts[0] != "key-0000" {
+		t.Errorf("Conflicts = %v", res.Conflicts)
+	}
+	if v, _ := client.Get("key-0000"); string(v) != "conc-c" {
+		t.Errorf("conflicting copy changed: %q", v)
+	}
+}

@@ -4,16 +4,25 @@ import (
 	"errors"
 	"fmt"
 	"math/rand"
+	"runtime"
+	"sync"
 
 	"versionstamp/internal/kvstore"
 )
 
+// DefaultFanout is how many peers each node contacts per gossip round.
+const DefaultFanout = 2
+
 // Cluster manages a set of replicas that gossip over TCP: each node runs a
-// Server, and gossip rounds pick random pairs to synchronize — the
-// opportunistic, coordinator-free communication pattern of weakly connected
-// systems. Partitions can be injected to model the paper's operating
-// environment: gossip simply never selects pairs that cannot reach each
-// other, and convergence resumes when the partition heals.
+// Server, and every gossip round each node pushes/pulls with a handful of
+// random peers — the opportunistic, coordinator-free communication pattern
+// of weakly connected systems, at epidemic fan-out instead of one pair at a
+// time. Pairwise exchanges are two-phase delta rounds: digests travel first
+// and stamp comparison prunes every equivalent key from the wire, so a
+// converged cluster gossips for the price of its digests. Partitions can be
+// injected to model the paper's operating environment: gossip simply never
+// selects pairs that cannot reach each other, and convergence resumes when
+// the partition heals.
 type Cluster struct {
 	replicas []*kvstore.Replica
 	servers  []*Server
@@ -21,7 +30,9 @@ type Cluster struct {
 	// group assigns each node to a partition group; nodes in different
 	// groups cannot gossip. All zero = fully connected.
 	group []int
-	rng   *rand.Rand
+	// fanout is the per-node peer count of GossipUntilConverged rounds.
+	fanout int
+	rng    *rand.Rand
 }
 
 // NewCluster starts n replicas with servers on loopback ports. The resolver
@@ -31,8 +42,9 @@ func NewCluster(n int, resolve kvstore.Resolver, seed int64) (*Cluster, error) {
 		return nil, fmt.Errorf("antientropy: cluster needs >= 2 nodes, got %d", n)
 	}
 	c := &Cluster{
-		group: make([]int, n),
-		rng:   rand.New(rand.NewSource(seed)),
+		group:  make([]int, n),
+		fanout: DefaultFanout,
+		rng:    rand.New(rand.NewSource(seed)),
 	}
 	for i := 0; i < n; i++ {
 		r := kvstore.NewReplica(fmt.Sprintf("node-%d", i))
@@ -89,48 +101,110 @@ func (c *Cluster) Heal() {
 	}
 }
 
-// GossipRound performs up to `pairs` random pairwise syncs among currently
-// reachable pairs, returning how many syncs ran. Unreachable pairs (across
-// partition groups) are skipped — gossip does not fail, it just cannot
-// happen, exactly like mobile nodes out of range.
-func (c *Cluster) GossipRound(pairs int) (int, error) {
-	ran := 0
-	for p := 0; p < pairs; p++ {
-		i := c.rng.Intn(len(c.replicas))
-		j := c.rng.Intn(len(c.replicas) - 1)
-		if j >= i {
-			j++
-		}
-		if c.group[i] != c.group[j] {
-			continue // partitioned pair: no contact
-		}
-		// Heavy keyspaces gossip per shard: the pair exchanges and merges
-		// stripe deltas concurrently instead of serializing everything in
-		// one request. Small keyspaces stick to one round trip — Shards()
-		// connections per pair would cost more than they parallelize.
-		r := c.replicas[i]
-		sync := SyncWith
-		if r.Len() >= 8*r.Shards() {
-			sync = SyncWithSharded
-		}
-		if _, err := sync(c.addrs[j], r); err != nil {
-			return ran, fmt.Errorf("antientropy: gossip %d->%d: %w", i, j, err)
-		}
-		ran++
+// SetFanout changes how many peers each node contacts per
+// GossipUntilConverged round (minimum 1).
+func (c *Cluster) SetFanout(k int) {
+	if k < 1 {
+		k = 1
 	}
-	return ran, nil
+	c.fanout = k
+}
+
+// gossipTask is one scheduled push/pull exchange: node i initiates a delta
+// round against node j's server.
+type gossipTask struct{ i, j int }
+
+// GossipRound performs one fan-out round: every node initiates two-phase
+// delta exchanges with up to k distinct random peers in its partition group,
+// and all exchanges run concurrently through a bounded worker pool. It
+// returns how many exchanges ran. Nodes with no reachable peer are skipped —
+// gossip does not fail, it just cannot happen, exactly like mobile nodes
+// out of range.
+//
+// Concurrent exchanges touching the same replica are safe: the responder
+// reconciles under its stripe locks, and an initiator installs a round's
+// outcome only over copies that did not move while the round was in flight.
+func (c *Cluster) GossipRound(k int) (int, error) {
+	// Peer selection stays single-threaded (one shared rng, deterministic
+	// under a fixed seed); only the network exchanges fan out.
+	var tasks []gossipTask
+	for i := range c.replicas {
+		var peers []int
+		for j := range c.replicas {
+			if j != i && c.group[i] == c.group[j] {
+				peers = append(peers, j)
+			}
+		}
+		c.rng.Shuffle(len(peers), func(a, b int) { peers[a], peers[b] = peers[b], peers[a] })
+		if len(peers) > k {
+			peers = peers[:k]
+		}
+		for _, j := range peers {
+			tasks = append(tasks, gossipTask{i: i, j: j})
+		}
+	}
+	return c.runGossip(tasks)
+}
+
+// runGossip executes exchanges through a worker pool bounded by GOMAXPROCS.
+func (c *Cluster) runGossip(tasks []gossipTask) (int, error) {
+	workers := runtime.GOMAXPROCS(0)
+	if workers > len(tasks) {
+		workers = len(tasks)
+	}
+	var (
+		mu       sync.Mutex
+		ran      int
+		firstErr error
+		wg       sync.WaitGroup
+	)
+	ch := make(chan gossipTask)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for t := range ch {
+				// Heavy keyspaces gossip per shard: the pair exchanges and
+				// merges stripe deltas concurrently instead of serializing
+				// everything in one request. Small keyspaces stick to one
+				// round trip — Shards() connections per pair would cost more
+				// than they parallelize.
+				r := c.replicas[t.i]
+				sync := SyncWithDelta
+				if r.Len() >= 8*r.Shards() {
+					sync = SyncWithDeltaSharded
+				}
+				_, err := sync(c.addrs[t.j], r)
+				mu.Lock()
+				if err != nil {
+					if firstErr == nil {
+						firstErr = fmt.Errorf("antientropy: gossip %d->%d: %w", t.i, t.j, err)
+					}
+				} else {
+					ran++
+				}
+				mu.Unlock()
+			}
+		}()
+	}
+	for _, t := range tasks {
+		ch <- t
+	}
+	close(ch)
+	wg.Wait()
+	return ran, firstErr
 }
 
 // ErrNotConverged is returned by GossipUntilConverged when the budget runs
 // out before all reachable nodes agree.
 var ErrNotConverged = errors.New("antientropy: cluster did not converge")
 
-// GossipUntilConverged runs gossip rounds until every pair of nodes in the
-// same partition group stores identical live contents, or maxRounds is
-// exhausted. It returns the number of rounds used.
+// GossipUntilConverged runs fan-out gossip rounds until every pair of nodes
+// in the same partition group stores identical live contents, or maxRounds
+// is exhausted. It returns the number of rounds used.
 func (c *Cluster) GossipUntilConverged(maxRounds int) (int, error) {
 	for round := 1; round <= maxRounds; round++ {
-		if _, err := c.GossipRound(len(c.replicas)); err != nil {
+		if _, err := c.GossipRound(c.fanout); err != nil {
 			return round, err
 		}
 		if c.converged() {

@@ -1,0 +1,327 @@
+package kvstore
+
+import (
+	"fmt"
+	"sort"
+
+	"versionstamp/internal/core"
+	"versionstamp/internal/encoding"
+)
+
+// This file is the store half of the two-phase delta anti-entropy protocol:
+// phase 1 exchanges per-key digests (key + stamp, no value) and each side
+// decides locally which copies the stamps cannot prove equivalent; phase 2
+// ships only those. The paper's whole point is that stamp comparison
+// classifies two copies as equivalent, obsolete or conflicting without
+// looking at the data — so converged replicas can verify convergence for the
+// price of the digests alone.
+//
+// The scope arguments (idx, of) mirror SyncShard: of > 0 restricts the round
+// to the keys of stripe idx under a layout of `of` stripes, locking only the
+// matching local stripe when this replica's layout agrees; of == 0 covers
+// the whole keyspace under all stripe locks.
+
+// Diff classifies a peer's digest against local state — the output of
+// phase 1 on the responding side.
+type Diff struct {
+	// Need lists peer keys whose full copies are required to reconcile:
+	// keys unknown here, keys where the peer dominates, and keys the stamps
+	// call concurrent or causally unrelated. Sorted.
+	Need []string
+	// Equivalent counts peer keys whose stamps proved the copies identical;
+	// they are pruned from the wire entirely.
+	Equivalent int
+	// LocalOnly counts in-scope local keys the peer digest does not
+	// mention; their copies must travel to the peer.
+	LocalOnly int
+}
+
+// Digest returns the (key, stamp) pairs of every stored copy — including
+// tombstones — sorted by key: the phase-1 payload of a whole-replica delta
+// round.
+func (r *Replica) Digest() []encoding.Digest {
+	out := r.collectDigests(-1)
+	sort.Slice(out, func(a, b int) bool { return out[a].Key < out[b].Key })
+	return out
+}
+
+// DigestShard returns the digests of stripe idx only, sorted by key: the
+// phase-1 payload of one per-stripe delta round.
+func (r *Replica) DigestShard(idx int) ([]encoding.Digest, error) {
+	if idx < 0 || idx >= len(r.shards) {
+		return nil, fmt.Errorf("kvstore: shard %d out of range of %d", idx, len(r.shards))
+	}
+	out := r.collectDigests(idx)
+	sort.Slice(out, func(a, b int) bool { return out[a].Key < out[b].Key })
+	return out, nil
+}
+
+// collectDigests gathers digests from stripe idx (all stripes when idx < 0),
+// taking each stripe's read lock in turn.
+func (r *Replica) collectDigests(idx int) []encoding.Digest {
+	var out []encoding.Digest
+	for i := range r.shards {
+		if idx >= 0 && i != idx {
+			continue
+		}
+		sh := &r.shards[i]
+		sh.mu.RLock()
+		for k, v := range sh.data {
+			out = append(out, encoding.Digest{Key: k, Stamp: v.Stamp})
+		}
+		sh.mu.RUnlock()
+	}
+	return out
+}
+
+// DiffAgainst compares a peer digest with local state and reports which peer
+// copies must travel in full. Read locks only; the comparison is advisory —
+// ApplyDelta re-validates every key under write locks, so state changing
+// between the two phases costs at most one extra round, never correctness.
+func (r *Replica) DiffAgainst(peer []encoding.Digest, idx, of int) (Diff, error) {
+	if err := checkScope(idx, of); err != nil {
+		return Diff{}, err
+	}
+	peerStamp := make(map[string]core.Stamp, len(peer))
+	for _, pd := range peer {
+		if of > 0 && ShardIndex(pd.Key, of) != idx {
+			return Diff{}, fmt.Errorf("kvstore: diff shard %d/%d: key %q belongs to shard %d",
+				idx, of, pd.Key, ShardIndex(pd.Key, of))
+		}
+		peerStamp[pd.Key] = pd.Stamp
+	}
+	// One pass per relevant stripe, stamps only — this is the phase every
+	// idle sync round pays, so it must not copy values or lock per key.
+	var d Diff
+	matched := make(map[string]struct{}, len(peerStamp))
+	for i := range r.shards {
+		if of > 0 && len(r.shards) == of && i != idx {
+			continue // layouts agree: stripe i cannot hold in-scope keys
+		}
+		sh := &r.shards[i]
+		sh.mu.RLock()
+		for k, v := range sh.data {
+			if of > 0 && ShardIndex(k, of) != idx {
+				continue
+			}
+			ps, ok := peerStamp[k]
+			if !ok {
+				d.LocalOnly++
+				continue
+			}
+			matched[k] = struct{}{}
+			if !v.Stamp.IDName().IncomparableTo(ps.IDName()) {
+				// Overlapping ids: independently created copies with no
+				// causal order; reconciliation needs the peer's value.
+				d.Need = append(d.Need, k)
+				continue
+			}
+			switch core.Compare(v.Stamp, ps) {
+			case core.Equal:
+				d.Equivalent++
+			case core.After:
+				// We dominate: our copy travels in the reply, theirs need not.
+			default: // Before, Concurrent
+				d.Need = append(d.Need, k)
+			}
+		}
+		sh.mu.RUnlock()
+	}
+	for k := range peerStamp {
+		if _, ok := matched[k]; !ok {
+			d.Need = append(d.Need, k) // unknown here: the copy must travel
+		}
+	}
+	sort.Strings(d.Need)
+	return d, nil
+}
+
+// ApplyDelta runs the responder half of phase 2: it reconciles the peer's
+// full entries (and, for keys this side dominates, just their digest stamps)
+// against local state and returns the entries the peer must adopt to
+// converge. Local state is mutated exactly as Sync would mutate it —
+// transfers fork stamps, dominance reconciles, conflicts use the resolver or
+// stay reported — and every key the stamps already prove equivalent is
+// pruned: it is neither touched nor returned.
+//
+// Keys whose digest says this side should dominate but whose local copy
+// moved since phase 1 (a concurrent writer) are skipped this round; the next
+// digest exchange reconciles them.
+func (r *Replica) ApplyDelta(peerDigest []encoding.Digest, peerEntries []encoding.Entry,
+	resolve Resolver, idx, of int) ([]encoding.Entry, SyncResult, error) {
+	if err := checkScope(idx, of); err != nil {
+		return nil, SyncResult{}, err
+	}
+	full := make(map[string]Versioned, len(peerEntries))
+	for _, e := range peerEntries {
+		if of > 0 && ShardIndex(e.Key, of) != idx {
+			return nil, SyncResult{}, fmt.Errorf("kvstore: delta shard %d/%d: key %q belongs to shard %d",
+				idx, of, e.Key, ShardIndex(e.Key, of))
+		}
+		full[e.Key] = Versioned{Value: e.Value, Deleted: e.Deleted, Stamp: e.Stamp}
+	}
+	stampOf := make(map[string]core.Stamp, len(peerDigest))
+	for _, pd := range peerDigest {
+		if of > 0 && ShardIndex(pd.Key, of) != idx {
+			return nil, SyncResult{}, fmt.Errorf("kvstore: delta shard %d/%d: key %q belongs to shard %d",
+				idx, of, pd.Key, ShardIndex(pd.Key, of))
+		}
+		stampOf[pd.Key] = pd.Stamp
+	}
+
+	r.lockScope(idx, of)
+	defer r.unlockScope(idx, of)
+
+	keys := make(map[string]struct{}, len(stampOf))
+	for k := range stampOf {
+		keys[k] = struct{}{}
+	}
+	for k := range full {
+		keys[k] = struct{}{}
+	}
+	for i := range r.shards {
+		if of > 0 && len(r.shards) == of && i != idx {
+			continue
+		}
+		for k := range r.shards[i].data {
+			if of > 0 && ShardIndex(k, of) != idx {
+				continue
+			}
+			keys[k] = struct{}{}
+		}
+	}
+
+	var res SyncResult
+	var reply []encoding.Entry
+	for _, k := range sortedKeys(keys) {
+		da := r.shardFor(k).data
+		local, hasLocal := da[k]
+		pv, hasFull := full[k]
+		ps, hasDigest := stampOf[k]
+
+		// db is the peer's side of the pairwise reconciliation for this key.
+		db := map[string]Versioned{}
+		switch {
+		case hasFull:
+			db[k] = pv
+		case hasDigest && hasLocal:
+			if !local.Stamp.IDName().IncomparableTo(ps.IDName()) {
+				// Independently created copies need the peer's value; it did
+				// not arrive, so leave both sides for the next round.
+				continue
+			}
+			switch core.Compare(local.Stamp, ps) {
+			case core.Equal:
+				res.Pruned++
+				continue
+			case core.After:
+				// Dominance reconciliation needs only the peer's stamp: the
+				// value that survives is ours.
+				db[k] = Versioned{Stamp: ps}
+			default:
+				// The digest promised dominance but local state moved (or the
+				// peer under-sent). Without the peer's value nothing sound can
+				// happen here; the next round's digest exchange catches it.
+				continue
+			}
+		case hasDigest:
+			// Peer-only key that did not arrive in full: under-sent or
+			// tombstone-raced; leave for the next round.
+			continue
+		default:
+			// Local-only key: syncKey transfers it, forking our stamp.
+		}
+		part, err := syncKey(k, da, db, resolve)
+		res.add(part)
+		if err != nil {
+			sort.Strings(res.Conflicts)
+			return reply, res, err
+		}
+		if part.Transferred+part.Reconciled+part.Merged == 0 {
+			// Conflict skipped (reported) or stamps proved equivalence after
+			// all — either way the peer's copy must not be overwritten.
+			if len(part.Conflicts) == 0 {
+				res.Pruned++
+			}
+			continue
+		}
+		out := db[k]
+		reply = append(reply, encoding.Entry{
+			Key: k, Value: out.Value, Deleted: out.Deleted, Stamp: out.Stamp,
+		})
+	}
+	sort.Strings(res.Conflicts)
+	return reply, res, nil
+}
+
+// ApplyDeltaReply installs the responder's reply entries — the initiator
+// half of phase 2. sent maps each key to the stamp this replica shipped in
+// its digest or full entry; a reply entry is applied only if the local copy
+// still carries exactly that stamp (or the key is still absent, for keys the
+// digest did not mention). Copies that moved concurrently are left alone —
+// the round's fork is simply abandoned on this side, which only discards id
+// space, never causality — and the next round reconciles them. Returns how
+// many entries were applied.
+func (r *Replica) ApplyDeltaReply(entries []encoding.Entry, sent map[string]core.Stamp,
+	idx, of int) (int, error) {
+	if err := checkScope(idx, of); err != nil {
+		return 0, err
+	}
+	applied := 0
+	for _, e := range entries {
+		if of > 0 && ShardIndex(e.Key, of) != idx {
+			return applied, fmt.Errorf("kvstore: delta reply shard %d/%d: key %q belongs to shard %d",
+				idx, of, e.Key, ShardIndex(e.Key, of))
+		}
+		sh := r.shardFor(e.Key)
+		sh.mu.Lock()
+		cur, has := sh.data[e.Key]
+		want, wasSent := sent[e.Key]
+		ok := (wasSent && has && cur.Stamp.Equal(want)) || (!wasSent && !has)
+		if ok {
+			sh.data[e.Key] = Versioned{
+				Value:   append([]byte(nil), e.Value...),
+				Deleted: e.Deleted,
+				Stamp:   e.Stamp,
+			}
+			applied++
+		}
+		sh.mu.Unlock()
+	}
+	return applied, nil
+}
+
+// checkScope validates a (idx, of) scope pair.
+func checkScope(idx, of int) error {
+	if of == 0 {
+		return nil
+	}
+	if of < 0 || idx < 0 || idx >= of {
+		return fmt.Errorf("kvstore: shard %d out of range of %d", idx, of)
+	}
+	return nil
+}
+
+// lockScope write-locks the stripes a scoped delta apply may touch: just
+// stripe idx when this replica's layout matches `of`, every stripe
+// otherwise (scope keys may live anywhere, or of == 0 means the whole
+// keyspace).
+func (r *Replica) lockScope(idx, of int) {
+	if of > 0 && len(r.shards) == of {
+		r.shards[idx].mu.Lock()
+		return
+	}
+	for i := range r.shards {
+		r.shards[i].mu.Lock()
+	}
+}
+
+func (r *Replica) unlockScope(idx, of int) {
+	if of > 0 && len(r.shards) == of {
+		r.shards[idx].mu.Unlock()
+		return
+	}
+	for i := range r.shards {
+		r.shards[i].mu.Unlock()
+	}
+}

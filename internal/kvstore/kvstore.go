@@ -377,6 +377,14 @@ type SyncResult struct {
 	Reconciled int
 	// Merged counts conflicting keys merged by the resolver.
 	Merged int
+	// Pruned counts keys whose stamps proved the copies equivalent, so no
+	// data moved. Only delta rounds prune; full syncs report zero.
+	Pruned int `json:"Pruned,omitempty"`
+	// BytesSent and BytesReceived count wire payload bytes from the
+	// initiator's perspective. In-process syncs report zero; the network
+	// anti-entropy layer fills them in.
+	BytesSent     int64 `json:"BytesSent,omitempty"`
+	BytesReceived int64 `json:"BytesReceived,omitempty"`
 	// Conflicts lists conflicting keys left untouched (nil resolver),
 	// sorted.
 	Conflicts []string
@@ -387,8 +395,16 @@ func (r *SyncResult) add(o SyncResult) {
 	r.Transferred += o.Transferred
 	r.Reconciled += o.Reconciled
 	r.Merged += o.Merged
+	r.Pruned += o.Pruned
+	r.BytesSent += o.BytesSent
+	r.BytesReceived += o.BytesReceived
 	r.Conflicts = append(r.Conflicts, o.Conflicts...)
 }
+
+// Add accumulates another result into r — the aggregation network layers use
+// when a logical round is split into per-stripe rounds. Conflicts are
+// concatenated unsorted; callers sort once at the end.
+func (r *SyncResult) Add(o SyncResult) { r.add(o) }
 
 // replicaBefore orders two distinct replicas for deadlock-free lock
 // acquisition, as the seed did for its single pair of locks.
@@ -857,9 +873,13 @@ func (r *Replica) AdoptShard(idx int, snapshot []byte) error {
 	return nil
 }
 
-// Restore deserializes a snapshot into a fresh replica with the stripe
-// layout recorded in the snapshot.
+// Restore deserializes a snapshot — JSON or binary, sniffed from the first
+// byte — into a fresh replica with the stripe layout recorded in the
+// snapshot.
 func Restore(data []byte) (*Replica, error) {
+	if len(data) > 0 && data[0] == binarySnapshotVersion {
+		return restoreBinary(data)
+	}
 	var snap snapshotDoc
 	if err := json.Unmarshal(data, &snap); err != nil {
 		return nil, fmt.Errorf("kvstore: restore: %w", err)
