@@ -1,0 +1,144 @@
+// Command benchwire measures the wire cost and latency of one anti-entropy
+// round under the v2 (delta) and v3 (hierarchical) protocols at several
+// divergence levels, and emits the comparison as machine-readable JSON —
+// the artifact CI tracks across PRs so protocol regressions show up as a
+// diff in BENCH_antientropy.json rather than a buried log line.
+//
+//	benchwire -keys 1000 -out BENCH_antientropy.json
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"time"
+
+	"versionstamp/internal/antientropy"
+	"versionstamp/internal/kvstore"
+)
+
+// Measurement is one protocol × divergence data point.
+type Measurement struct {
+	Protocol       string `json:"protocol"`       // "v2-delta" or "v3-hier"
+	DivergencePct  int    `json:"divergencePct"`  // diverged keys / keys × 100
+	DivergedKeys   int    `json:"divergedKeys"`   // keys rewritten before the round
+	WireBytes      int64  `json:"wireBytes"`      // sent + received, client view
+	NsPerOp        int64  `json:"nsPerOp"`        // wall time of the measured round
+	Dials          int64  `json:"dials"`          // TCP dials the measured round paid
+	StripesSkipped int    `json:"stripesSkipped"` // v3 only: summary-matched stripes
+}
+
+// Report is the whole emitted document.
+type Report struct {
+	Keys    int           `json:"keys"`
+	Shards  int           `json:"shards"`
+	Results []Measurement `json:"results"`
+}
+
+func main() {
+	keys := flag.Int("keys", 1000, "keyspace size")
+	out := flag.String("out", "BENCH_antientropy.json", `output path ("-" = stdout)`)
+	flag.Parse()
+	if err := run(*keys, *out, os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "benchwire:", err)
+		os.Exit(1)
+	}
+}
+
+// pair builds a converged server/client pair of n keys with a listening
+// server, returning a cleanup func.
+func pair(n int) (*kvstore.Replica, *kvstore.Replica, string, func(), error) {
+	server := kvstore.NewReplica("server")
+	for i := 0; i < n; i++ {
+		server.Put(fmt.Sprintf("key-%05d", i), []byte(fmt.Sprintf("value-%d-with-some-padding", i)))
+	}
+	client := server.Clone("client")
+	srv := antientropy.NewServer(server, nil)
+	addr, err := srv.Listen("127.0.0.1:0")
+	if err != nil {
+		return nil, nil, "", nil, err
+	}
+	return server, client, addr, func() { _ = srv.Close() }, nil
+}
+
+// measure runs one warm-up round and one measured round of sync over a
+// freshly diverged client.
+func measure(keys, diverged int, protocol string,
+	sync func(string, *kvstore.Replica) (kvstore.SyncResult, error),
+	dials func() int64) (Measurement, error) {
+	_, client, addr, done, err := pair(keys)
+	if err != nil {
+		return Measurement{}, err
+	}
+	defer done()
+	if _, err := sync(addr, client); err != nil {
+		return Measurement{}, fmt.Errorf("%s warm-up: %w", protocol, err)
+	}
+	for i := 0; i < diverged; i++ {
+		client.Put(fmt.Sprintf("key-%05d", i), []byte(fmt.Sprintf("edit-%d", i)))
+	}
+	dialsBefore := dials()
+	start := time.Now()
+	res, err := sync(addr, client)
+	elapsed := time.Since(start)
+	if err != nil {
+		return Measurement{}, fmt.Errorf("%s round: %w", protocol, err)
+	}
+	return Measurement{
+		Protocol:       protocol,
+		DivergencePct:  100 * diverged / keys,
+		DivergedKeys:   diverged,
+		WireBytes:      res.BytesSent + res.BytesReceived,
+		NsPerOp:        elapsed.Nanoseconds(),
+		Dials:          dials() - dialsBefore,
+		StripesSkipped: res.StripesSkipped,
+	}, nil
+}
+
+func run(keys int, out string, progress io.Writer) error {
+	if keys < 100 {
+		return fmt.Errorf("need at least 100 keys, got %d", keys)
+	}
+	report := Report{Keys: keys, Shards: kvstore.DefaultShards}
+	for _, diverged := range []int{0, keys / 100, keys / 2} {
+		var v2dials int64 // v2 dials once per round, by construction
+		m, err := measure(keys, diverged, "v2-delta",
+			func(addr string, r *kvstore.Replica) (kvstore.SyncResult, error) {
+				v2dials++
+				return antientropy.SyncWithDelta(addr, r)
+			},
+			func() int64 { return v2dials })
+		if err != nil {
+			return err
+		}
+		report.Results = append(report.Results, m)
+
+		pool := antientropy.NewPool()
+		m, err = measure(keys, diverged, "v3-hier",
+			func(addr string, r *kvstore.Replica) (kvstore.SyncResult, error) {
+				return pool.SyncWith(addr, r)
+			}, pool.Dials)
+		_ = pool.Close()
+		if err != nil {
+			return err
+		}
+		report.Results = append(report.Results, m)
+	}
+
+	doc, err := json.MarshalIndent(report, "", "  ")
+	if err != nil {
+		return err
+	}
+	doc = append(doc, '\n')
+	if out == "-" {
+		_, err = progress.Write(doc)
+		return err
+	}
+	if err := os.WriteFile(out, doc, 0o644); err != nil {
+		return err
+	}
+	fmt.Fprintf(progress, "wrote %s (%d keys, %d measurements)\n", out, keys, len(report.Results))
+	return nil
+}

@@ -1,0 +1,65 @@
+package main
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestRunEmitsValidJSON(t *testing.T) {
+	out := filepath.Join(t.TempDir(), "BENCH_antientropy.json")
+	var progress strings.Builder
+	if err := run(200, out, &progress); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	raw, err := os.ReadFile(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var report Report
+	if err := json.Unmarshal(raw, &report); err != nil {
+		t.Fatalf("output is not valid JSON: %v", err)
+	}
+	if report.Keys != 200 || len(report.Results) != 6 {
+		t.Fatalf("report = keys %d, %d results; want 200 keys, 6 results",
+			report.Keys, len(report.Results))
+	}
+	byKey := map[string]Measurement{}
+	for _, m := range report.Results {
+		if m.WireBytes <= 0 || m.NsPerOp <= 0 {
+			t.Errorf("%s@%d%%: empty measurement %+v", m.Protocol, m.DivergencePct, m)
+		}
+		byKey[m.Protocol+"@"+string(rune('0'+m.DivergencePct/25))] = m
+	}
+	// The converged v3 round must beat the converged v2 round on the wire —
+	// the whole point of the summary phase.
+	var v2conv, v3conv *Measurement
+	for i := range report.Results {
+		m := &report.Results[i]
+		if m.DivergedKeys == 0 {
+			switch m.Protocol {
+			case "v2-delta":
+				v2conv = m
+			case "v3-hier":
+				v3conv = m
+			}
+		}
+	}
+	if v2conv == nil || v3conv == nil {
+		t.Fatal("missing converged measurements")
+	}
+	if v3conv.WireBytes >= v2conv.WireBytes {
+		t.Errorf("converged v3 %dB >= v2 %dB", v3conv.WireBytes, v2conv.WireBytes)
+	}
+	if v3conv.StripesSkipped == 0 {
+		t.Error("converged v3 round skipped no stripes")
+	}
+}
+
+func TestRunRejectsTinyKeyspace(t *testing.T) {
+	if err := run(10, "-", &strings.Builder{}); err == nil {
+		t.Error("run(10) succeeded")
+	}
+}

@@ -225,7 +225,8 @@ func serve(ws *panasync.Workspace, out io.Writer, listen string, linger time.Dur
 }
 
 // netsync synchronizes the whole workspace with a serving peer: one
-// concurrent per-shard delta anti-entropy round — digests travel first,
+// hierarchical (v3) anti-entropy round over a pooled connection — stripe
+// summaries travel first, digests only for stripes whose summaries differ,
 // stamps prune the unchanged files from the wire — then the merged state is
 // written back into the workspace. Conflicts are resolved by the serving
 // side's -merge setting; unresolved ones are reported here.
@@ -234,7 +235,9 @@ func netsync(ws *panasync.Workspace, out io.Writer, addr string) error {
 	if err != nil {
 		return err
 	}
-	res, err := antientropy.SyncWithDeltaSharded(addr, replica)
+	pool := antientropy.NewPool()
+	defer pool.Close()
+	res, err := pool.SyncWith(addr, replica)
 	if err != nil {
 		return err
 	}
@@ -244,7 +247,8 @@ func netsync(ws *panasync.Workspace, out io.Writer, addr string) error {
 	}
 	fmt.Fprintf(out, "synchronized with %s: %d transferred, %d reconciled, %d merged, %d unchanged (pruned)\n",
 		addr, res.Transferred, res.Reconciled, res.Merged, res.Pruned)
-	fmt.Fprintf(out, "wire: %dB sent, %dB received\n", res.BytesSent, res.BytesReceived)
+	fmt.Fprintf(out, "summary phase: %d of %d stripes skipped unread; wire: %dB sent, %dB received; %d dial(s)\n",
+		res.StripesSkipped, replica.Shards(), res.BytesSent, res.BytesReceived, pool.Dials())
 	for _, k := range res.Conflicts {
 		fmt.Fprintf(out, "conflict left unresolved: %s (serve with -merge to resolve)\n", k)
 	}

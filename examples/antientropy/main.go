@@ -73,6 +73,21 @@ func run() error {
 	fmt.Printf("edge-2 <-> hub (delta, converged): %d entries shipped, %d pruned by stamps, %dB on the wire\n",
 		res.Transferred+res.Reconciled+res.Merged, res.Pruned, res.BytesSent+res.BytesReceived)
 
+	// Hierarchical anti-entropy over a pooled session: per-stripe summary
+	// hashes travel first, so the converged keyspace costs O(stripes) bytes
+	// — not even the digests move — and repeated rounds reuse one TCP
+	// connection instead of dialing each time.
+	pool := antientropy.NewPool()
+	defer pool.Close()
+	for round := 1; round <= 3; round++ {
+		res, err = pool.SyncWith(hubAddr, edge2)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("edge-2 <-> hub (v3 round %d): %d/%d stripes skipped by summaries, %dB on the wire, %d dial(s) so far\n",
+			round, res.StripesSkipped, edge2.Shards(), res.BytesSent+res.BytesReceived, pool.Dials())
+	}
+
 	// edge-2 later meets edge-1 directly (no hub involved).
 	res, err = antientropy.SyncWith(edge1Addr, edge2)
 	if err != nil {

@@ -24,16 +24,26 @@
 // loaded replicas exchange and merge shard deltas in parallel instead of
 // serializing the whole keyspace under one request.
 //
+// # Protocol negotiation
+//
+// All protocol versions share one port; the first byte of a connection
+// selects the handler:
+//
+//	'{'  v1: one JSON whole-snapshot round, newline-delimited
+//	0x02 v2: one binary two-phase delta round (digests, then entries)
+//	0x03 v3: a persistent session of hierarchical summary-first rounds
+//
+// v1 and v2 clients therefore interoperate with newer servers unchanged;
+// newer clients need a server of at least their vintage (an older server
+// JSON-decodes the version byte and fails the round with an error; SyncWith
+// is the portable fallback against old peers).
+//
 // # Delta protocol (v2)
 //
 // SyncWithDelta and SyncWithDeltaSharded speak a binary two-phase protocol
 // that moves only what the stamps cannot prove equivalent — the paper's
 // central property (stamp comparison classifies two copies without looking
-// at the data) applied to the wire. Both protocols share one port: the
-// first byte of a connection selects the handler, '{' opening a v1 JSON
-// round and 0x02 a v2 delta round. v1 clients therefore interoperate with
-// servers of either vintage; delta rounds need a v2 server (SyncWith is
-// the portable fallback against old peers).
+// at the data) applied to the wire.
 //
 // After the version byte, a v2 connection is a fixed sequence of
 // length-prefixed frames, each [uvarint length][kind byte][body], integers
@@ -62,6 +72,39 @@
 // The client installs a reply entry only while its own copy still carries
 // the stamp it shipped; copies that moved mid-round are left alone for the
 // next round, which makes concurrent rounds against one replica safe.
+//
+// # Hierarchical protocol (v3) and connection pooling
+//
+// The v2 digest exchange still costs O(keys) per round even between
+// converged replicas. Protocol v3 prepends a summary phase: each stripe of
+// the keyspace is condensed to a fixed-size hash over its sorted digest set
+// (encoding.SummarizeDigests, served from the store's epoch-keyed cache —
+// kvstore.Summaries — so a quiet store answers without touching a single
+// key). Only stripes whose summaries differ proceed to the digest phase,
+// and from there the round is exactly v2: needs, entries, result. A
+// converged 1000-key round therefore moves 32 summaries instead of 1000
+// digests — O(stripes), independent of key count.
+//
+// The v3 version byte opens a session, not a round: any number of rounds
+// (whole-replica or scoped to chosen stripes) ride the same connection as
+// back-to-back frame sequences. Each round within a session is:
+//
+//	client -> server  kindSummary      (0x05): of, count, count×(stripe, hash)
+//	server -> client  kindSummaryDiff  (0x06): count, count×stripe
+//	— round ends here when no summaries differ; otherwise —
+//	client -> server  kindStripeDigests(0x07): nStripes, each: stripe,
+//	                  count, count×digest
+//	server -> client  kindNeed, then kindEntries / kindResult as in v2
+//
+// Between rounds the server waits with a generous idle deadline and drops
+// silent sessions; during a round the usual tight deadline applies.
+//
+// A Pool keeps one such session per peer address: rounds to the same peer
+// are framed back to back over the pooled connection (a 100-round gossip
+// session dials each peer once, not 100 times), concurrent rounds to one
+// peer serialize, and a round that fails on a previously working session
+// is retried once on a fresh dial — transparent recovery from server
+// restarts and idle drops. Cluster gossip holds one pool per node.
 package antientropy
 
 import (
@@ -112,6 +155,7 @@ type Server struct {
 
 	mu       sync.Mutex
 	listener net.Listener
+	conns    map[net.Conn]struct{}
 	wg       sync.WaitGroup
 	closed   bool
 }
@@ -131,11 +175,24 @@ func (s *Server) Listen(addr string) (string, error) {
 	if err != nil {
 		return "", fmt.Errorf("antientropy: %w", err)
 	}
+	return s.Serve(ln)
+}
+
+// Serve starts accepting connections on an existing listener and returns
+// its address — the entry point for callers that need control over the
+// listener (custom sockets, accept counting in tests). The server takes
+// ownership: Close closes the listener.
+func (s *Server) Serve(ln net.Listener) (string, error) {
 	s.mu.Lock()
 	if s.closed {
 		s.mu.Unlock()
 		_ = ln.Close()
 		return "", errors.New("antientropy: server closed")
+	}
+	if s.listener != nil {
+		s.mu.Unlock()
+		_ = ln.Close()
+		return "", errors.New("antientropy: server already serving")
 	}
 	s.listener = ln
 	s.mu.Unlock()
@@ -152,12 +209,39 @@ func (s *Server) acceptLoop(ln net.Listener) {
 		if err != nil {
 			return // listener closed
 		}
+		if !s.track(conn) {
+			_ = conn.Close()
+			return
+		}
 		s.wg.Add(1)
 		go func() {
 			defer s.wg.Done()
+			defer s.untrack(conn)
 			s.handle(conn)
 		}()
 	}
+}
+
+// track registers an open connection so Close can interrupt long-lived v3
+// sessions (which otherwise sit in a read with a generous idle deadline).
+// It reports false when the server is already closed.
+func (s *Server) track(conn net.Conn) bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return false
+	}
+	if s.conns == nil {
+		s.conns = make(map[net.Conn]struct{})
+	}
+	s.conns[conn] = struct{}{}
+	return true
+}
+
+func (s *Server) untrack(conn net.Conn) {
+	s.mu.Lock()
+	delete(s.conns, conn)
+	s.mu.Unlock()
 }
 
 func (s *Server) handle(conn net.Conn) {
@@ -165,12 +249,20 @@ func (s *Server) handle(conn net.Conn) {
 	_ = conn.SetDeadline(time.Now().Add(defaultTimeout))
 	br := bufio.NewReader(conn)
 	// The first byte selects the protocol: '{' opens a v1 JSON round,
-	// deltaProtocolVersion a v2 binary delta round. v1 clients keep working
-	// against this server; delta clients need a v2 server (a v1-only server
-	// JSON-decodes the version byte and fails the round with an error).
-	if b, err := br.Peek(1); err == nil && b[0] == deltaProtocolVersion {
-		s.handleDelta(conn, br)
-		return
+	// deltaProtocolVersion a v2 binary delta round, hierProtocolVersion a
+	// v3 summary-first session. v1 clients keep working against this
+	// server; newer clients need a server of at least their vintage (an
+	// older server JSON-decodes the version byte and fails the round with
+	// an error).
+	if b, err := br.Peek(1); err == nil {
+		switch b[0] {
+		case deltaProtocolVersion:
+			s.handleDelta(conn, br)
+			return
+		case hierProtocolVersion:
+			s.handleHier(conn, br)
+			return
+		}
 	}
 	dec := json.NewDecoder(br)
 	enc := json.NewEncoder(conn)
@@ -208,12 +300,18 @@ func (s *Server) handle(conn net.Conn) {
 	_ = enc.Encode(response{V: protocolVersion, Snapshot: merged, Result: result})
 }
 
-// Close stops the listener and waits for in-flight syncs to finish.
+// Close stops the listener, interrupts open sessions and waits for their
+// handlers to finish. Pooled v3 clients see the drop and transparently
+// redial on their next round (against whatever serves the address then).
 func (s *Server) Close() error {
 	s.mu.Lock()
 	s.closed = true
 	ln := s.listener
 	s.listener = nil
+	for conn := range s.conns {
+		_ = conn.Close()
+	}
+	s.conns = nil
 	s.mu.Unlock()
 	var err error
 	if ln != nil {

@@ -47,6 +47,7 @@ func syncBench(b *testing.B, diverged int, sync func(string, *kvstore.Replica) (
 		b.Fatalf("warm-up sync: %v", err)
 	}
 	var wire int64
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		if diverged > 0 {
@@ -88,5 +89,21 @@ func BenchmarkDeltaSync(b *testing.B) {
 func BenchmarkFullSnapshotSync(b *testing.B) {
 	for _, d := range divergences {
 		b.Run(d.name, func(b *testing.B) { syncBench(b, d.keys, SyncWith) })
+	}
+}
+
+// BenchmarkHierSync measures pooled v3 rounds — the steady state of a
+// gossip loop: one persistent session, summary-pruned rounds. At 0%
+// divergence wireB/op scales with stripe count alone, independent of how
+// many keys the replicas hold.
+func BenchmarkHierSync(b *testing.B) {
+	for _, d := range divergences {
+		b.Run(d.name, func(b *testing.B) {
+			p := NewPool()
+			b.Cleanup(func() { _ = p.Close() })
+			syncBench(b, d.keys, func(addr string, r *kvstore.Replica) (kvstore.SyncResult, error) {
+				return p.SyncWith(addr, r)
+			})
+		})
 	}
 }

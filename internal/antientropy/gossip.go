@@ -27,12 +27,22 @@ type Cluster struct {
 	replicas []*kvstore.Replica
 	servers  []*Server
 	addrs    []string
+	// pools holds one connection pool per node: node i's exchanges reuse
+	// its persistent v3 sessions, so a long gossip run dials each (i, j)
+	// pair once instead of once per round.
+	pools []*Pool
 	// group assigns each node to a partition group; nodes in different
 	// groups cannot gossip. All zero = fully connected.
 	group []int
 	// fanout is the per-node peer count of GossipUntilConverged rounds.
 	fanout int
 	rng    *rand.Rand
+	// peerScratch and taskScratch are reused across GossipRound calls so a
+	// steady gossip loop does not allocate fresh selection slices per node
+	// per round. GossipRound is single-threaded in its selection phase
+	// (documented there), so plain fields suffice.
+	peerScratch []int
+	taskScratch []gossipTask
 }
 
 // NewCluster starts n replicas with servers on loopback ports. The resolver
@@ -57,12 +67,16 @@ func NewCluster(n int, resolve kvstore.Resolver, seed int64) (*Cluster, error) {
 		c.replicas = append(c.replicas, r)
 		c.servers = append(c.servers, srv)
 		c.addrs = append(c.addrs, addr)
+		c.pools = append(c.pools, NewPool())
 	}
 	return c, nil
 }
 
-// Close shuts down every server.
+// Close drops every node's pooled sessions and shuts down every server.
 func (c *Cluster) Close() error {
+	for _, p := range c.pools {
+		_ = p.Close()
+	}
 	var firstErr error
 	for _, s := range c.servers {
 		if err := s.Close(); err != nil && firstErr == nil {
@@ -70,6 +84,16 @@ func (c *Cluster) Close() error {
 		}
 	}
 	return firstErr
+}
+
+// Dials reports how many TCP connections the cluster's nodes have opened in
+// total — with pooled sessions this stays O(pairs) however many rounds run.
+func (c *Cluster) Dials() int64 {
+	var n int64
+	for _, p := range c.pools {
+		n += p.Dials()
+	}
+	return n
 }
 
 // Size returns the number of nodes.
@@ -126,10 +150,13 @@ type gossipTask struct{ i, j int }
 // outcome only over copies that did not move while the round was in flight.
 func (c *Cluster) GossipRound(k int) (int, error) {
 	// Peer selection stays single-threaded (one shared rng, deterministic
-	// under a fixed seed); only the network exchanges fan out.
-	var tasks []gossipTask
+	// under a fixed seed); only the network exchanges fan out. Both
+	// selection slices are cluster-owned scratch reused across rounds —
+	// candidates are appended in the same j order and shuffled by the same
+	// rng calls as before, so selection semantics are unchanged.
+	tasks := c.taskScratch[:0]
 	for i := range c.replicas {
-		var peers []int
+		peers := c.peerScratch[:0]
 		for j := range c.replicas {
 			if j != i && c.group[i] == c.group[j] {
 				peers = append(peers, j)
@@ -142,7 +169,9 @@ func (c *Cluster) GossipRound(k int) (int, error) {
 		for _, j := range peers {
 			tasks = append(tasks, gossipTask{i: i, j: j})
 		}
+		c.peerScratch = peers
 	}
+	c.taskScratch = tasks
 	return c.runGossip(tasks)
 }
 
@@ -164,17 +193,12 @@ func (c *Cluster) runGossip(tasks []gossipTask) (int, error) {
 		go func() {
 			defer wg.Done()
 			for t := range ch {
-				// Heavy keyspaces gossip per shard: the pair exchanges and
-				// merges stripe deltas concurrently instead of serializing
-				// everything in one request. Small keyspaces stick to one
-				// round trip — Shards() connections per pair would cost more
-				// than they parallelize.
-				r := c.replicas[t.i]
-				sync := SyncWithDelta
-				if r.Len() >= 8*r.Shards() {
-					sync = SyncWithDeltaSharded
-				}
-				_, err := sync(c.addrs[t.j], r)
+				// Every exchange is a hierarchical (v3) round over the
+				// initiator's pooled session to the peer: per-stripe
+				// summaries prune converged stripes before any digest
+				// travels, and the pool means round N reuses round 1's
+				// connection instead of dialing again.
+				_, err := c.pools[t.i].SyncWith(c.addrs[t.j], c.replicas[t.i])
 				mu.Lock()
 				if err != nil {
 					if firstErr == nil {

@@ -1,0 +1,425 @@
+package antientropy
+
+import (
+	"bufio"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"net"
+	"time"
+
+	"versionstamp/internal/core"
+	"versionstamp/internal/encoding"
+	"versionstamp/internal/kvstore"
+)
+
+// Protocol v3: hierarchical three-phase rounds over a persistent connection.
+// Phase 0 exchanges fixed-size per-stripe summary hashes; only stripes whose
+// summaries differ proceed to the v2-style digest phase, and only
+// stamp-divergent copies move, as in v2. A converged pair therefore syncs
+// for O(stripes) bytes instead of O(keys) — and because the version byte
+// opens a *session*, not a round, any number of rounds (including scoped
+// stripe rounds) ride one TCP connection. See the package comment for the
+// frame grammar.
+
+// hierProtocolVersion is the first byte of a v3 connection. Like the v2
+// byte, it can never collide with '{'.
+const hierProtocolVersion = 0x03
+
+// v3 frame kinds (the v2 kinds kindNeed/kindEntries/kindResult/kindError are
+// reused for the phases both protocols share).
+const (
+	kindSummary       = 0x05 // client: layout + (stripe, summary) pairs
+	kindSummaryDiff   = 0x06 // server: stripes whose summaries differ
+	kindStripeDigests = 0x07 // client: per-divergent-stripe digest lists
+)
+
+// serverSessionIdle bounds how long a v3 session may sit idle between
+// rounds before the server drops it. Pooled clients transparently redial,
+// so an expired session costs one reconnect, never a failed round.
+const serverSessionIdle = 2 * time.Minute
+
+// maxWireStripes bounds a wire-supplied stripe layout so a corrupt frame
+// cannot force a huge allocation.
+const maxWireStripes = 1 << 16
+
+// stripeSummary is one (stripe index, summary hash) pair of the phase-0
+// exchange.
+type stripeSummary struct {
+	idx uint64
+	sum uint64
+}
+
+// encodeSummaryFrame builds the kindSummary body: kind, of, count, then
+// count×(uvarint stripe, 8-byte big-endian summary).
+func encodeSummaryFrame(of int, sums []stripeSummary) []byte {
+	body := make([]byte, 0, 2+10*len(sums))
+	body = append(body, kindSummary)
+	body = binary.AppendUvarint(body, uint64(of))
+	body = binary.AppendUvarint(body, uint64(len(sums)))
+	for _, s := range sums {
+		body = binary.AppendUvarint(body, s.idx)
+		body = binary.BigEndian.AppendUint64(body, s.sum)
+	}
+	return body
+}
+
+// decodeSummaryFrame parses a kindSummary body (kind byte already stripped).
+func decodeSummaryFrame(body []byte) (of int, sums []stripeSummary, err error) {
+	of64, used := binary.Uvarint(body)
+	if used <= 0 || of64 < 1 || of64 > maxWireStripes {
+		return 0, nil, errors.New("bad summary layout")
+	}
+	body = body[used:]
+	count, used := binary.Uvarint(body)
+	if used <= 0 || count > of64 {
+		return 0, nil, errors.New("bad summary count")
+	}
+	body = body[used:]
+	sums = make([]stripeSummary, 0, capCount(count, body))
+	for i := uint64(0); i < count; i++ {
+		idx, used := binary.Uvarint(body)
+		if used <= 0 || idx >= of64 {
+			return 0, nil, errors.New("bad summary stripe")
+		}
+		body = body[used:]
+		if len(body) < 8 {
+			return 0, nil, errors.New("truncated summary")
+		}
+		sums = append(sums, stripeSummary{idx: idx, sum: binary.BigEndian.Uint64(body)})
+		body = body[8:]
+	}
+	return int(of64), sums, nil
+}
+
+// handleHier serves one v3 session: a loop of rounds on one connection. The
+// deadline is relaxed to serverSessionIdle while waiting for a round to
+// open and tightened to defaultTimeout while one is in flight.
+func (s *Server) handleHier(conn net.Conn, br *bufio.Reader) {
+	if _, err := br.Discard(1); err != nil { // the version byte, already peeked
+		return
+	}
+	for {
+		_ = conn.SetDeadline(time.Now().Add(serverSessionIdle))
+		body, err := readFrame(br)
+		if err != nil {
+			return // session over: peer closed, or idled out
+		}
+		_ = conn.SetDeadline(time.Now().Add(defaultTimeout))
+		if !s.hierRound(conn, br, body) {
+			return
+		}
+	}
+}
+
+// hierRound serves one v3 round, the opening summary frame already read.
+// It reports whether the session should continue.
+func (s *Server) hierRound(conn net.Conn, br *bufio.Reader, opening []byte) bool {
+	fail := func(err error) bool {
+		_ = writeFrame(conn, appendString([]byte{kindError}, err.Error()))
+		return false
+	}
+
+	opening, err := expectKind(opening, kindSummary)
+	if err != nil {
+		return fail(err)
+	}
+	of, sums, err := decodeSummaryFrame(opening)
+	if err != nil {
+		return fail(err)
+	}
+	local, err := s.replica.SummariesScoped(of)
+	if err != nil {
+		return fail(err)
+	}
+	var divergent []uint64
+	for _, p := range sums {
+		if local[p.idx] != p.sum {
+			divergent = append(divergent, p.idx)
+		}
+	}
+	diff := []byte{kindSummaryDiff}
+	diff = binary.AppendUvarint(diff, uint64(len(divergent)))
+	for _, idx := range divergent {
+		diff = binary.AppendUvarint(diff, idx)
+	}
+	if err := writeFrame(conn, diff); err != nil {
+		return false
+	}
+	if len(divergent) == 0 {
+		return true // round over; the session stays open for the next one
+	}
+
+	// Phase 1: per-stripe digest lists for exactly the divergent stripes.
+	body, err := readFrame(br)
+	if err != nil {
+		return fail(fmt.Errorf("bad stripe digest frame: %v", err))
+	}
+	body, err = expectKind(body, kindStripeDigests)
+	if err != nil {
+		return fail(err)
+	}
+	wantStripe := make(map[int]bool, len(divergent))
+	for _, idx := range divergent {
+		wantStripe[int(idx)] = true
+	}
+	nStripes, used := binary.Uvarint(body)
+	if used <= 0 || nStripes > uint64(len(divergent)) {
+		return fail(errors.New("bad stripe count"))
+	}
+	body = body[used:]
+	digests := make(map[int][]encoding.Digest, nStripes)
+	order := make([]int, 0, nStripes)
+	for i := uint64(0); i < nStripes; i++ {
+		idx64, used := binary.Uvarint(body)
+		if used <= 0 || !wantStripe[int(idx64)] {
+			return fail(errors.New("bad or unrequested stripe index"))
+		}
+		body = body[used:]
+		count, used := binary.Uvarint(body)
+		if used <= 0 {
+			return fail(errors.New("bad digest count"))
+		}
+		body = body[used:]
+		ds := make([]encoding.Digest, 0, capCount(count, body))
+		for j := uint64(0); j < count; j++ {
+			d, n, err := encoding.DecodeDigest(body)
+			if err != nil {
+				return fail(err)
+			}
+			body = body[n:]
+			ds = append(ds, d)
+		}
+		idx := int(idx64)
+		if _, dup := digests[idx]; dup {
+			return fail(errors.New("duplicate stripe"))
+		}
+		digests[idx] = ds
+		order = append(order, idx)
+	}
+
+	need := []byte{kindNeed}
+	needCount := 0
+	var needBody []byte
+	for _, idx := range order {
+		diff, err := s.replica.DiffAgainst(digests[idx], idx, of)
+		if err != nil {
+			return fail(err)
+		}
+		for _, k := range diff.Need {
+			needBody = appendString(needBody, k)
+			needCount++
+		}
+	}
+	need = binary.AppendUvarint(need, uint64(needCount))
+	need = append(need, needBody...)
+	if err := writeFrame(conn, need); err != nil {
+		return false
+	}
+
+	// Phase 2: full entries in, per-stripe applies, one aggregated result.
+	body, err = readFrame(br)
+	if err != nil {
+		return fail(fmt.Errorf("bad entries frame: %v", err))
+	}
+	body, err = expectKind(body, kindEntries)
+	if err != nil {
+		return fail(err)
+	}
+	count, used := binary.Uvarint(body)
+	if used <= 0 {
+		return fail(errors.New("bad entry count"))
+	}
+	body = body[used:]
+	entries := make(map[int][]encoding.Entry, len(order))
+	for i := uint64(0); i < count; i++ {
+		e, n, err := encoding.DecodeEntry(body)
+		if err != nil {
+			return fail(err)
+		}
+		body = body[n:]
+		idx := kvstore.ShardIndex(e.Key, of)
+		if !wantStripe[idx] {
+			return fail(fmt.Errorf("entry %q outside the divergent stripes", e.Key))
+		}
+		entries[idx] = append(entries[idx], e)
+	}
+
+	var res kvstore.SyncResult
+	var reply []encoding.Entry
+	for _, idx := range order {
+		stripeReply, part, err := s.replica.ApplyDelta(digests[idx], entries[idx], s.resolve, idx, of)
+		if err != nil {
+			return fail(err)
+		}
+		res.Add(part)
+		reply = append(reply, stripeReply...)
+	}
+	return writeFrame(conn, encodeResultFrame(res, reply)) == nil
+}
+
+// hierClientRound runs one v3 round over an established session: summaries
+// out, divergent stripes in, then the v2-style digest/entries/result phases
+// for just those stripes. stripes selects the scoped stripe set; nil means
+// every local stripe. The returned result covers only what traveled — keys
+// in summary-matched stripes appear solely in StripesSkipped.
+func hierClientRound(conn net.Conn, br *bufio.Reader, local *kvstore.Replica,
+	stripes []int) (kvstore.SyncResult, error) {
+	of := local.Shards()
+	if stripes == nil {
+		stripes = make([]int, of)
+		for i := range stripes {
+			stripes[i] = i
+		}
+	}
+	sums := make([]stripeSummary, 0, len(stripes))
+	for _, idx := range stripes {
+		sum, err := local.StripeSummary(idx)
+		if err != nil {
+			return kvstore.SyncResult{}, fmt.Errorf("antientropy: %w", err)
+		}
+		sums = append(sums, stripeSummary{idx: uint64(idx), sum: sum})
+	}
+	if err := writeFrame(conn, encodeSummaryFrame(of, sums)); err != nil {
+		return kvstore.SyncResult{}, fmt.Errorf("antientropy: send summaries: %w", err)
+	}
+
+	body, err := readFrame(br)
+	if err != nil {
+		return kvstore.SyncResult{}, fmt.Errorf("antientropy: receive: %w", err)
+	}
+	body, err = expectKind(body, kindSummaryDiff)
+	if err != nil {
+		return kvstore.SyncResult{}, err
+	}
+	sent := make(map[int]bool, len(stripes))
+	for _, idx := range stripes {
+		sent[idx] = true
+	}
+	count, used := binary.Uvarint(body)
+	if used <= 0 || count > uint64(len(stripes)) {
+		return kvstore.SyncResult{}, fmt.Errorf("%w: bad summary diff count", ErrProtocol)
+	}
+	body = body[used:]
+	divergent := make([]int, 0, count)
+	for i := uint64(0); i < count; i++ {
+		idx64, used := binary.Uvarint(body)
+		if used <= 0 || !sent[int(idx64)] {
+			return kvstore.SyncResult{}, fmt.Errorf("%w: bad summary diff stripe", ErrProtocol)
+		}
+		body = body[used:]
+		divergent = append(divergent, int(idx64))
+	}
+	var res kvstore.SyncResult
+	res.StripesSkipped = len(stripes) - len(divergent)
+	if len(divergent) == 0 {
+		return res, nil
+	}
+
+	// Phase 1: ship digest lists for the divergent stripes, collect needs.
+	sentStamps := make(map[string]core.Stamp)
+	frame := []byte{kindStripeDigests}
+	frame = binary.AppendUvarint(frame, uint64(len(divergent)))
+	for _, idx := range divergent {
+		ds, err := local.DigestShard(idx)
+		if err != nil {
+			return res, fmt.Errorf("antientropy: %w", err)
+		}
+		frame = binary.AppendUvarint(frame, uint64(idx))
+		frame = binary.AppendUvarint(frame, uint64(len(ds)))
+		for _, d := range ds {
+			frame = encoding.AppendDigest(frame, d)
+			sentStamps[d.Key] = d.Stamp
+		}
+	}
+	if err := writeFrame(conn, frame); err != nil {
+		return res, fmt.Errorf("antientropy: send digests: %w", err)
+	}
+
+	body, err = readFrame(br)
+	if err != nil {
+		return res, fmt.Errorf("antientropy: receive: %w", err)
+	}
+	body, err = expectKind(body, kindNeed)
+	if err != nil {
+		return res, err
+	}
+	count, used = binary.Uvarint(body)
+	if used <= 0 {
+		return res, fmt.Errorf("%w: bad need count", ErrProtocol)
+	}
+	body = body[used:]
+	entries := []byte{kindEntries}
+	entryBodies := make([]byte, 0, 64)
+	sentEntries := uint64(0)
+	for i := uint64(0); i < count; i++ {
+		k, n, err := readString(body)
+		if err != nil {
+			return res, fmt.Errorf("%w: bad need key", ErrProtocol)
+		}
+		body = body[n:]
+		v, ok := local.Version(k)
+		if !ok {
+			// Vanished since the digest (Adopt can drop keys); the next
+			// round reconciles it.
+			delete(sentStamps, k)
+			continue
+		}
+		sentStamps[k] = v.Stamp
+		entryBodies = encoding.AppendEntry(entryBodies, encoding.Entry{
+			Key: k, Value: v.Value, Deleted: v.Deleted, Stamp: v.Stamp,
+		})
+		sentEntries++
+	}
+	entries = binary.AppendUvarint(entries, sentEntries)
+	entries = append(entries, entryBodies...)
+	if err := writeFrame(conn, entries); err != nil {
+		return res, fmt.Errorf("antientropy: send entries: %w", err)
+	}
+
+	body, err = readFrame(br)
+	if err != nil {
+		return res, fmt.Errorf("antientropy: receive: %w", err)
+	}
+	body, err = expectKind(body, kindResult)
+	if err != nil {
+		return res, err
+	}
+	part, reply, err := decodeResultFrame(body)
+	if err != nil {
+		return res, err
+	}
+	res.Add(part)
+	// The server may only reply about the divergent stripes — reject
+	// anything else before applying, mirroring the server's own check, so
+	// a faulty peer cannot slip keys into stripes this round declared
+	// converged (or outside a scoped round's stripe set).
+	divSet := make(map[int]bool, len(divergent))
+	for _, idx := range divergent {
+		divSet[idx] = true
+	}
+	for _, e := range reply {
+		if !divSet[kvstore.ShardIndex(e.Key, of)] {
+			return res, fmt.Errorf("%w: reply entry %q outside the divergent stripes",
+				ErrProtocol, e.Key)
+		}
+	}
+	// The reply spans several stripes, so it is applied under the
+	// whole-keyspace scope; the sentStamps guard still pins every entry to
+	// the exact copy this round shipped.
+	if _, err := local.ApplyDeltaReply(reply, sentStamps, 0, 0); err != nil {
+		return res, fmt.Errorf("antientropy: apply delta reply: %w", err)
+	}
+	return res, nil
+}
+
+// SyncWithHier performs one hierarchical (v3) anti-entropy round between the
+// local replica and the server at addr over a throwaway connection: stripe
+// summaries travel first, digest lists only for stripes whose summaries
+// differ, full copies only where the stamps cannot prove equivalence. For
+// session reuse across rounds — the intended steady state — use a Pool.
+func SyncWithHier(addr string, local *kvstore.Replica) (kvstore.SyncResult, error) {
+	p := NewPool()
+	defer p.Close()
+	return p.SyncWith(addr, local)
+}

@@ -1,0 +1,327 @@
+package antientropy
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+
+	"versionstamp/internal/kvstore"
+)
+
+func TestSyncWithHierConverges(t *testing.T) {
+	server, client := clonedPair(32)
+	server.Put("key-0000", []byte("newer-on-server"))
+	client.Put("key-0001", []byte("newer-on-client"))
+	server.Put("key-0002", []byte("conc-server"))
+	client.Put("key-0002", []byte("conc-client"))
+	client.Put("client-only", []byte("x"))
+	server.Put("server-only", []byte("y"))
+	client.Delete("key-0003")
+
+	_, addr := startServer(t, server, kvstore.KeepBoth([]byte("|")))
+	res, err := SyncWithHier(addr, client)
+	if err != nil {
+		t.Fatalf("SyncWithHier: %v", err)
+	}
+	if res.Transferred != 2 || res.Reconciled != 3 || res.Merged != 1 {
+		t.Errorf("result = %+v", res)
+	}
+	if res.StripesSkipped == 0 {
+		t.Errorf("no stripes skipped by summaries: %+v", res)
+	}
+	if res.BytesSent == 0 || res.BytesReceived == 0 {
+		t.Errorf("wire counters empty: %+v", res)
+	}
+	requireConverged(t, server, client)
+	if _, ok := server.Get("key-0003"); ok {
+		t.Error("tombstone did not reach the server")
+	}
+	if v, _ := server.Get("key-0002"); string(v) != "conc-server|conc-client" {
+		t.Errorf("merged value = %q", v)
+	}
+
+	// The now-converged pair summarizes identically: a second round skips
+	// every stripe and moves nothing.
+	res, err = SyncWithHier(addr, client)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Transferred+res.Reconciled+res.Merged+res.Pruned != 0 {
+		t.Errorf("converged round moved data: %+v", res)
+	}
+	if res.StripesSkipped != client.Shards() {
+		t.Errorf("StripesSkipped = %d, want %d", res.StripesSkipped, client.Shards())
+	}
+}
+
+// TestHierSyncWireSavings is the acceptance check for protocol v3: a
+// converged 1000-key, 32-stripe round must move at least 20x fewer wire
+// bytes over v3 than over v2, measured by the SyncResult byte counters of
+// both protocols against the same server.
+func TestHierSyncWireSavings(t *testing.T) {
+	server, client := clonedPair(1000)
+	if client.Shards() != 32 {
+		t.Fatalf("expected 32-stripe default layout, got %d", client.Shards())
+	}
+	_, addr := startServer(t, server, nil)
+
+	delta, err := SyncWithDelta(addr, client)
+	if err != nil {
+		t.Fatalf("SyncWithDelta: %v", err)
+	}
+	if delta.Pruned != 1000 {
+		t.Fatalf("v2 baseline not converged: %+v", delta)
+	}
+	hier, err := SyncWithHier(addr, client)
+	if err != nil {
+		t.Fatalf("SyncWithHier: %v", err)
+	}
+	if hier.StripesSkipped != 32 || hier.Transferred+hier.Reconciled+hier.Merged != 0 {
+		t.Fatalf("converged v3 round did not skip all stripes: %+v", hier)
+	}
+	deltaBytes := delta.BytesSent + delta.BytesReceived
+	hierBytes := hier.BytesSent + hier.BytesReceived
+	if deltaBytes == 0 || hierBytes == 0 {
+		t.Fatalf("byte counters empty: v2=%d v3=%d", deltaBytes, hierBytes)
+	}
+	if hierBytes*20 > deltaBytes {
+		t.Errorf("converged v3 sync %dB vs v2 %dB: less than 20x savings",
+			hierBytes, deltaBytes)
+	}
+	t.Logf("converged 1000-key round: v2 %dB, v3 %dB (%.1fx)",
+		deltaBytes, hierBytes, float64(deltaBytes)/float64(hierBytes))
+}
+
+// TestHierMatchesDeltaProperty: across randomized divergence patterns, a v3
+// round leaves both replicas exactly where a v2 round leaves an identically
+// diverged pair.
+func TestHierMatchesDeltaProperty(t *testing.T) {
+	for seed := 0; seed < 6; seed++ {
+		build := func() (*kvstore.Replica, *kvstore.Replica) {
+			server, client := clonedPair(30)
+			rng := seed + 1
+			next := func(n int) int { rng = (rng*1103515245 + 12345) & 0x7fffffff; return rng % n }
+			for i := 0; i < 30; i++ {
+				k := fmt.Sprintf("key-%04d", i)
+				switch next(7) {
+				case 0:
+					server.Put(k, []byte(fmt.Sprintf("s%d", next(100))))
+				case 1:
+					client.Put(k, []byte(fmt.Sprintf("c%d", next(100))))
+				case 2:
+					server.Put(k, []byte(fmt.Sprintf("s%d", next(100))))
+					client.Put(k, []byte(fmt.Sprintf("c%d", next(100))))
+				case 3:
+					server.Delete(k)
+				case 4:
+					client.Delete(k)
+				}
+			}
+			client.Put(fmt.Sprintf("fresh-%d", seed), []byte("new"))
+			return server, client
+		}
+		deltaServer, deltaClient := build()
+		hierServer, hierClient := build()
+
+		_, deltaAddr := startServer(t, deltaServer, kvstore.KeepBoth([]byte("|")))
+		if _, err := SyncWithDelta(deltaAddr, deltaClient); err != nil {
+			t.Fatalf("seed %d: delta sync: %v", seed, err)
+		}
+		_, hierAddr := startServer(t, hierServer, kvstore.KeepBoth([]byte("|")))
+		if _, err := SyncWithHier(hierAddr, hierClient); err != nil {
+			t.Fatalf("seed %d: hier sync: %v", seed, err)
+		}
+		requireConverged(t, hierServer, hierClient)
+		requireConverged(t, deltaServer, hierServer)
+		requireConverged(t, deltaClient, hierClient)
+
+		// And the converged pair's next v3 round skips every stripe.
+		res, err := SyncWithHier(hierAddr, hierClient)
+		if err != nil {
+			t.Fatalf("seed %d: second hier sync: %v", seed, err)
+		}
+		if res.Transferred+res.Reconciled+res.Merged != 0 {
+			t.Errorf("seed %d: converged round moved data: %+v", seed, res)
+		}
+		if res.StripesSkipped != hierClient.Shards() {
+			t.Errorf("seed %d: StripesSkipped = %d, want %d",
+				seed, res.StripesSkipped, hierClient.Shards())
+		}
+	}
+}
+
+// TestAllProtocolsCoexist drives v1, v2 and v3 rounds at the same server
+// port: the leading byte selects the handler, so clients of every vintage
+// interoperate with one upgraded server.
+func TestAllProtocolsCoexist(t *testing.T) {
+	server, client := clonedPair(8)
+	_, addr := startServer(t, server, nil)
+
+	client.Put("via-json", []byte("1"))
+	if _, err := SyncWith(addr, client); err != nil {
+		t.Fatalf("v1 round: %v", err)
+	}
+	client.Put("via-delta", []byte("2"))
+	if _, err := SyncWithDelta(addr, client); err != nil {
+		t.Fatalf("v2 round: %v", err)
+	}
+	client.Put("via-hier", []byte("3"))
+	if _, err := SyncWithHier(addr, client); err != nil {
+		t.Fatalf("v3 round: %v", err)
+	}
+	requireConverged(t, server, client)
+	for _, k := range []string{"via-json", "via-delta", "via-hier"} {
+		if _, ok := server.Get(k); !ok {
+			t.Errorf("server missing %q", k)
+		}
+	}
+}
+
+func TestHierScopedStripes(t *testing.T) {
+	server, client := clonedPair(64)
+	client.Put("key-0000", []byte("edit-0"))
+	client.Put("key-0001", []byte("edit-1"))
+	in := kvstore.ShardIndex("key-0000", client.Shards())
+	out := kvstore.ShardIndex("key-0001", client.Shards())
+	if in == out {
+		t.Fatalf("test keys landed in one stripe; pick different keys")
+	}
+
+	_, addr := startServer(t, server, nil)
+	p := NewPool()
+	defer p.Close()
+	res, err := p.SyncStripes(addr, client, []int{in})
+	if err != nil {
+		t.Fatalf("SyncStripes: %v", err)
+	}
+	if res.Reconciled != 1 {
+		t.Errorf("result = %+v", res)
+	}
+	if v, _ := server.Get("key-0000"); string(v) != "edit-0" {
+		t.Errorf("scoped stripe did not sync: %q", v)
+	}
+	if v, _ := server.Get("key-0001"); string(v) == "edit-1" {
+		t.Error("out-of-scope stripe synced")
+	}
+
+	// The rest of the keyspace follows on a whole-replica round over the
+	// same pooled session — still one dial.
+	if _, err := p.SyncWith(addr, client); err != nil {
+		t.Fatal(err)
+	}
+	requireConverged(t, server, client)
+	if p.Dials() != 1 {
+		t.Errorf("Dials = %d, want 1 (scoped + full rounds share the session)", p.Dials())
+	}
+}
+
+// TestHierLayoutMismatch syncs replicas with different stripe counts: the
+// server regroups its keys under the client's layout for the summary and
+// digest phases.
+func TestHierLayoutMismatch(t *testing.T) {
+	server, client8 := clonedPair(100)
+	// Rebuild the client at 8 stripes from a snapshot of the 32-stripe one.
+	snap, err := client8.Snapshot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	client := kvstore.NewReplicaShards("client8", 8)
+	if err := client.Adopt(snap); err != nil {
+		t.Fatal(err)
+	}
+	client.Put("key-0000", []byte("edited"))
+	server.Put("extra", []byte("server-side"))
+
+	_, addr := startServer(t, server, nil)
+	res, err := SyncWithHier(addr, client)
+	if err != nil {
+		t.Fatalf("SyncWithHier across layouts: %v", err)
+	}
+	if res.Transferred != 1 || res.Reconciled != 1 {
+		t.Errorf("result = %+v", res)
+	}
+	requireConverged(t, server, client)
+
+	// Converged: every one of the client's 8 summary stripes matches.
+	res, err = SyncWithHier(addr, client)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.StripesSkipped != 8 || res.Transferred+res.Reconciled+res.Merged != 0 {
+		t.Errorf("converged cross-layout round: %+v", res)
+	}
+}
+
+// TestHierConflictReportedOverWire mirrors the v2 conflict test on v3.
+func TestHierConflictReportedOverWire(t *testing.T) {
+	server, client := clonedPair(4)
+	server.Put("key-0000", []byte("conc-s"))
+	client.Put("key-0000", []byte("conc-c"))
+	_, addr := startServer(t, server, nil)
+	res, err := SyncWithHier(addr, client)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Conflicts) != 1 || res.Conflicts[0] != "key-0000" {
+		t.Errorf("Conflicts = %v", res.Conflicts)
+	}
+	if v, _ := client.Get("key-0000"); string(v) != "conc-c" {
+		t.Errorf("conflicting copy changed: %q", v)
+	}
+}
+
+// TestHierConcurrentWritersNeverMaskDivergence is the satellite race test:
+// writers keep mutating the client while v3 rounds run; no divergent key
+// may ever be hidden behind a stale stripe summary. After the writers stop,
+// a final round (or two, for copies that moved mid-round) must reach full
+// convergence — if a stale summary masked a key, convergence would fail.
+// Run with -race.
+func TestHierConcurrentWritersNeverMaskDivergence(t *testing.T) {
+	server, client := clonedPair(64)
+	_, addr := startServer(t, server, kvstore.KeepBoth([]byte("|")))
+	p := NewPool()
+	defer p.Close()
+
+	const writers = 4
+	var writerWg sync.WaitGroup
+	stop := make(chan struct{})
+	for w := 0; w < writers; w++ {
+		writerWg.Add(1)
+		go func(w int) {
+			defer writerWg.Done()
+			i := 0
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				k := fmt.Sprintf("key-%04d", (w*16+i)%64)
+				client.Put(k, []byte(fmt.Sprintf("w%d-%d", w, i)))
+				i++
+			}
+		}(w)
+	}
+	rounds := 20
+	if testing.Short() {
+		rounds = 6
+	}
+	for round := 0; round < rounds; round++ {
+		if _, err := p.SyncWith(addr, client); err != nil {
+			close(stop)
+			writerWg.Wait()
+			t.Fatalf("round %d: %v", round, err)
+		}
+	}
+	close(stop)
+	writerWg.Wait()
+
+	// Quiescent now: at most two more rounds must fully converge the pair
+	// (one for copies that moved mid-flight during the last racy round).
+	for i := 0; i < 2; i++ {
+		if _, err := p.SyncWith(addr, client); err != nil {
+			t.Fatal(err)
+		}
+	}
+	requireConverged(t, server, client)
+}

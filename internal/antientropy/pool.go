@@ -1,0 +1,213 @@
+package antientropy
+
+import (
+	"bufio"
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"versionstamp/internal/kvstore"
+)
+
+// defaultPoolIdle is how long a pooled connection may sit unused before the
+// next round redials instead of reusing it. It stays under the server's
+// serverSessionIdle so the pool normally retires a session before the
+// server does.
+const defaultPoolIdle = 90 * time.Second
+
+// Pool maintains persistent v3 sessions keyed by peer address, so a gossip
+// loop dials each peer once instead of once per round. Rounds to the same
+// peer are serialized over that peer's single connection (they are
+// multiplexed in time, framed back to back); rounds to different peers run
+// concurrently. A round that fails on a previously working connection is
+// transparently retried once on a fresh dial, which covers server restarts
+// and idle-timeout closes without surfacing an error to the caller.
+//
+// Pool is safe for concurrent use. Close it to release the connections.
+type Pool struct {
+	idle    time.Duration
+	timeout time.Duration
+
+	mu     sync.Mutex
+	conns  map[string]*poolConn
+	closed bool
+
+	dials atomic.Int64
+}
+
+// poolConn is the pool's state for one peer: at most one live session.
+type poolConn struct {
+	mu       sync.Mutex // serializes rounds on this session
+	conn     *countingConn
+	br       *bufio.Reader
+	lastUsed time.Time
+	rounds   int // rounds completed on the current connection
+}
+
+// NewPool creates an empty pool with the default idle and per-round
+// timeouts.
+func NewPool() *Pool {
+	return &Pool{
+		idle:    defaultPoolIdle,
+		timeout: defaultTimeout,
+		conns:   make(map[string]*poolConn),
+	}
+}
+
+// Dials reports how many TCP connections the pool has opened since creation
+// — the number a gossip session keeps at O(peers) where per-round dialing
+// would pay O(rounds).
+func (p *Pool) Dials() int64 { return p.dials.Load() }
+
+// Close drops every pooled session, waiting for in-flight rounds to release
+// their connections first (a round holds its session for at most the round
+// timeout). New rounds fail immediately; the pool must not be used
+// afterwards.
+func (p *Pool) Close() error {
+	p.mu.Lock()
+	p.closed = true
+	conns := p.conns
+	p.conns = nil
+	p.mu.Unlock()
+	// Taking each session lock serializes against in-flight rounds: either
+	// the round finished and we close its connection, or the round is still
+	// running and we close right after it releases. Rounds re-check closed
+	// before dialing, so no connection can appear after this sweep.
+	for _, pc := range conns {
+		pc.mu.Lock()
+		p.drop(pc)
+		pc.mu.Unlock()
+	}
+	return nil
+}
+
+// entry returns (creating if needed) the pool slot for addr.
+func (p *Pool) entry(addr string) (*poolConn, error) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.closed {
+		return nil, errors.New("antientropy: pool closed")
+	}
+	pc, ok := p.conns[addr]
+	if !ok {
+		pc = &poolConn{}
+		p.conns[addr] = pc
+	}
+	return pc, nil
+}
+
+// ensure makes pc hold a live session, dialing (and sending the v3 version
+// byte) when there is none or the current one idled out. It reports whether
+// the session is freshly dialed. pc.mu must be held.
+func (p *Pool) ensure(pc *poolConn, addr string) (fresh bool, err error) {
+	if pc.conn != nil && time.Since(pc.lastUsed) > p.idle {
+		p.drop(pc)
+	}
+	if pc.conn != nil {
+		return false, nil
+	}
+	raw, err := net.DialTimeout("tcp", addr, p.timeout)
+	if err != nil {
+		return false, fmt.Errorf("antientropy: dial %s: %w", addr, err)
+	}
+	p.dials.Add(1)
+	conn := &countingConn{Conn: raw}
+	_ = conn.SetDeadline(time.Now().Add(p.timeout))
+	if _, err := conn.Write([]byte{hierProtocolVersion}); err != nil {
+		_ = conn.Close()
+		return false, fmt.Errorf("antientropy: open session %s: %w", addr, err)
+	}
+	pc.conn = conn
+	pc.br = bufio.NewReader(conn)
+	pc.rounds = 0
+	return true, nil
+}
+
+// drop closes and forgets pc's session. pc.mu must be held.
+func (p *Pool) drop(pc *poolConn) {
+	if pc.conn != nil {
+		_ = pc.conn.Close()
+		pc.conn = nil
+		pc.br = nil
+	}
+}
+
+// round runs fn over addr's pooled session, redialing transparently: a
+// round that fails on a session that had already served rounds (the server
+// restarted, or idled the session out under our idle threshold) is retried
+// exactly once on a fresh dial. Protocol-level rejections are not retried —
+// the server answered; asking again would not change its mind.
+func (p *Pool) round(addr string,
+	fn func(conn net.Conn, br *bufio.Reader) (kvstore.SyncResult, error)) (kvstore.SyncResult, error) {
+	pc, err := p.entry(addr)
+	if err != nil {
+		return kvstore.SyncResult{}, err
+	}
+	pc.mu.Lock()
+	defer pc.mu.Unlock()
+	for {
+		// Re-checked under pc.mu on every attempt: once Close has set
+		// closed it only remains to sweep the sessions, and it cannot pass
+		// our pc.mu until we return — so a dial below can never outlive the
+		// sweep unclosed.
+		p.mu.Lock()
+		closed := p.closed
+		p.mu.Unlock()
+		if closed {
+			return kvstore.SyncResult{}, errors.New("antientropy: pool closed")
+		}
+		fresh, err := p.ensure(pc, addr)
+		if err != nil {
+			return kvstore.SyncResult{}, err
+		}
+		_ = pc.conn.SetDeadline(time.Now().Add(p.timeout))
+		startSent, startRecv := pc.conn.sent.Load(), pc.conn.recv.Load()
+		res, err := fn(pc.conn, pc.br)
+		if err == nil {
+			res.BytesSent = pc.conn.sent.Load() - startSent
+			res.BytesReceived = pc.conn.recv.Load() - startRecv
+			pc.rounds++
+			pc.lastUsed = time.Now()
+			return res, nil
+		}
+		retriable := !fresh && pc.rounds > 0 && !errors.Is(err, ErrProtocol)
+		p.drop(pc)
+		if !retriable {
+			return kvstore.SyncResult{}, err
+		}
+	}
+}
+
+// SyncWith performs one hierarchical (v3) round between the local replica
+// and the server at addr over the pooled session: summaries first, digests
+// only for divergent stripes, copies only where stamps require them. The
+// byte counters in the result cover exactly this round's frames.
+func (p *Pool) SyncWith(addr string, local *kvstore.Replica) (kvstore.SyncResult, error) {
+	return p.round(addr, func(conn net.Conn, br *bufio.Reader) (kvstore.SyncResult, error) {
+		return hierClientRound(conn, br, local, nil)
+	})
+}
+
+// SyncStripes performs one v3 round scoped to the given local stripes —
+// the pooled, multiplexed replacement for dialing one connection per
+// stripe: all scoped exchanges ride the same session.
+func (p *Pool) SyncStripes(addr string, local *kvstore.Replica, stripes []int) (kvstore.SyncResult, error) {
+	seen := make(map[int]bool, len(stripes))
+	for _, idx := range stripes {
+		if idx < 0 || idx >= local.Shards() {
+			return kvstore.SyncResult{}, fmt.Errorf("antientropy: stripe %d out of range of %d",
+				idx, local.Shards())
+		}
+		if seen[idx] {
+			return kvstore.SyncResult{}, fmt.Errorf("antientropy: duplicate stripe %d", idx)
+		}
+		seen[idx] = true
+	}
+	scoped := append([]int(nil), stripes...)
+	return p.round(addr, func(conn net.Conn, br *bufio.Reader) (kvstore.SyncResult, error) {
+		return hierClientRound(conn, br, local, scoped)
+	})
+}

@@ -61,10 +61,25 @@ const compactFormat = 0x02
 // MarshalCompact serializes a stamp in the trie-structural format: a format
 // byte followed by the trie encodings of the update and id components.
 func MarshalCompact(s core.Stamp) []byte {
-	out := []byte{compactFormat}
-	out = append(out, trie.FromName(s.UpdateName()).Encode()...)
-	out = append(out, trie.FromName(s.IDName()).Encode()...)
-	return out
+	return AppendCompact(make([]byte, 0, 16), s)
+}
+
+// AppendCompact appends the trie-structural format of s to dst — the
+// buffer-reusing form of MarshalCompact for encoders that build frames
+// incrementally.
+func AppendCompact(dst []byte, s core.Stamp) []byte {
+	dst = append(dst, compactFormat)
+	dst = append(dst, trie.FromName(s.UpdateName()).Encode()...)
+	return append(dst, trie.FromName(s.IDName()).Encode()...)
+}
+
+// AppendUpdateTrie appends the trie encoding of the stamp's update component
+// alone. Compare relates stamps by their update components only, so this is
+// the part of a stamp that two equivalent copies share byte for byte — the
+// input stripe summaries hash over (the id components always differ between
+// replicas, every transfer forks them).
+func AppendUpdateTrie(dst []byte, s core.Stamp) []byte {
+	return append(dst, trie.FromName(s.UpdateName()).Encode()...)
 }
 
 // UnmarshalCompact parses and validates a stamp from the trie-structural

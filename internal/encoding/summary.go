@@ -1,0 +1,57 @@
+package encoding
+
+import "encoding/binary"
+
+// Stripe summaries: a fixed-size hash over a stripe's sorted digest set, the
+// phase-0 currency of the hierarchical (v3) anti-entropy protocol. Two
+// endpoints that agree on a stripe's summary skip the stripe's digests
+// entirely, so a converged round costs O(stripes) on the wire instead of
+// O(keys).
+//
+// The hash covers, in key order, each digest's key and the trie encoding of
+// its stamp's *update component only*. Compare relates stamps by their update
+// components, and equivalent copies share the update name byte for byte
+// (joins hand both sides the same name; only the id component forks), so two
+// converged stripes summarize identically even though no two replicas ever
+// hold identical full stamps. Structurally different but semantically
+// equivalent update names would only make summaries differ spuriously, which
+// costs one digest exchange and never correctness.
+//
+// A 64-bit FNV-1a is deliberate: summaries guard honest replicas against
+// recomparing converged data, not against adversaries. A colliding pair of
+// divergent stripes (probability ~2^-64 per pair) would mask divergence at
+// the summary phase; deployments needing stronger guarantees can fall back
+// to digest (v2) rounds, which compare every key.
+
+const (
+	fnvOffset64 = 14695981039346656037
+	fnvPrime64  = 1099511628211
+)
+
+// EmptySummary is the summary of a stripe with no stored keys.
+const EmptySummary uint64 = fnvOffset64
+
+// fnvMix folds b into a running FNV-1a hash.
+func fnvMix(h uint64, b []byte) uint64 {
+	for _, c := range b {
+		h ^= uint64(c)
+		h *= fnvPrime64
+	}
+	return h
+}
+
+// SummarizeDigests hashes a stripe's digest set, which must be sorted by key
+// (the order both endpoints agree on). The scratch buffer is reused across
+// digests, so summarizing allocates only once regardless of stripe size.
+func SummarizeDigests(ds []Digest) uint64 {
+	h := uint64(fnvOffset64)
+	var scratch []byte
+	for _, d := range ds {
+		scratch = scratch[:0]
+		scratch = binary.AppendUvarint(scratch, uint64(len(d.Key)))
+		scratch = append(scratch, d.Key...)
+		scratch = AppendUpdateTrie(scratch, d.Stamp)
+		h = fnvMix(h, scratch)
+	}
+	return h
+}

@@ -46,7 +46,7 @@ type Entry struct {
 func AppendDigest(dst []byte, d Digest) []byte {
 	dst = binary.AppendUvarint(dst, uint64(len(d.Key)))
 	dst = append(dst, d.Key...)
-	return append(dst, MarshalCompact(d.Stamp)...)
+	return AppendCompact(dst, d.Stamp)
 }
 
 // DecodeDigest parses one digest from the front of data, returning the bytes
@@ -74,7 +74,7 @@ func AppendEntry(dst []byte, e Entry) []byte {
 		dst = binary.AppendUvarint(dst, uint64(len(e.Value)))
 		dst = append(dst, e.Value...)
 	}
-	return append(dst, MarshalCompact(e.Stamp)...)
+	return AppendCompact(dst, e.Stamp)
 }
 
 // DecodeEntry parses one entry from the front of data, returning the bytes

@@ -38,40 +38,36 @@ type Diff struct {
 
 // Digest returns the (key, stamp) pairs of every stored copy — including
 // tombstones — sorted by key: the phase-1 payload of a whole-replica delta
-// round.
+// round. Quiet stripes are served from the per-stripe digest cache, and the
+// result slice is pre-sized from the cached stripe lengths, so an idle
+// round's digest collection is one allocation and a merge sort of
+// already-sorted runs.
 func (r *Replica) Digest() []encoding.Digest {
-	out := r.collectDigests(-1)
+	stripes := make([][]encoding.Digest, len(r.shards))
+	total := 0
+	for i := range r.shards {
+		_, stripes[i] = r.stripeCache(i)
+		total += len(stripes[i])
+	}
+	out := make([]encoding.Digest, 0, total)
+	for _, ds := range stripes {
+		out = append(out, ds...)
+	}
 	sort.Slice(out, func(a, b int) bool { return out[a].Key < out[b].Key })
 	return out
 }
 
 // DigestShard returns the digests of stripe idx only, sorted by key: the
-// phase-1 payload of one per-stripe delta round.
+// phase-1 payload of one per-stripe delta round. Served from the stripe's
+// digest cache; the copy is exactly sized.
 func (r *Replica) DigestShard(idx int) ([]encoding.Digest, error) {
 	if idx < 0 || idx >= len(r.shards) {
 		return nil, fmt.Errorf("kvstore: shard %d out of range of %d", idx, len(r.shards))
 	}
-	out := r.collectDigests(idx)
-	sort.Slice(out, func(a, b int) bool { return out[a].Key < out[b].Key })
+	_, ds := r.stripeCache(idx)
+	out := make([]encoding.Digest, len(ds))
+	copy(out, ds)
 	return out, nil
-}
-
-// collectDigests gathers digests from stripe idx (all stripes when idx < 0),
-// taking each stripe's read lock in turn.
-func (r *Replica) collectDigests(idx int) []encoding.Digest {
-	var out []encoding.Digest
-	for i := range r.shards {
-		if idx >= 0 && i != idx {
-			continue
-		}
-		sh := &r.shards[i]
-		sh.mu.RLock()
-		for k, v := range sh.data {
-			out = append(out, encoding.Digest{Key: k, Stamp: v.Stamp})
-		}
-		sh.mu.RUnlock()
-	}
-	return out
 }
 
 // DiffAgainst compares a peer digest with local state and reports which peer
@@ -274,7 +270,7 @@ func (r *Replica) ApplyDeltaReply(entries []encoding.Entry, sent map[string]core
 				idx, of, e.Key, ShardIndex(e.Key, of))
 		}
 		sh := r.shardFor(e.Key)
-		sh.mu.Lock()
+		sh.lockMut()
 		cur, has := sh.data[e.Key]
 		want, wasSent := sent[e.Key]
 		ok := (wasSent && has && cur.Stamp.Equal(want)) || (!wasSent && !has)
@@ -308,11 +304,11 @@ func checkScope(idx, of int) error {
 // keyspace).
 func (r *Replica) lockScope(idx, of int) {
 	if of > 0 && len(r.shards) == of {
-		r.shards[idx].mu.Lock()
+		r.shards[idx].lockMut()
 		return
 	}
 	for i := range r.shards {
-		r.shards[i].mu.Lock()
+		r.shards[i].lockMut()
 	}
 }
 

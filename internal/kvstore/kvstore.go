@@ -48,6 +48,7 @@ import (
 	"sync/atomic"
 
 	"versionstamp/internal/core"
+	"versionstamp/internal/encoding"
 )
 
 // DefaultShards is the stripe count of replicas built with NewReplica.
@@ -99,6 +100,29 @@ func KeepBoth(sep []byte) Resolver {
 type shard struct {
 	mu   sync.RWMutex
 	data map[string]Versioned
+
+	// epoch advances on every write-lock acquisition (conservatively: a
+	// locked stripe may have mutated). The summary cache below is keyed by
+	// it, so repeated reads over a quiet stripe do no per-key work.
+	epoch atomic.Uint64
+
+	// cacheMu guards the lazily computed digest cache: the stripe's digests
+	// sorted by key plus their summary hash, both valid for epoch
+	// cacheEpoch only. Mutators never touch these fields — they just bump
+	// epoch — so the lock order cacheMu -> mu.RLock can never deadlock
+	// against writers, which take mu alone.
+	cacheMu     sync.Mutex
+	cacheValid  bool
+	cacheEpoch  uint64
+	summary     uint64
+	digestCache []encoding.Digest
+}
+
+// lockMut write-locks the stripe for a mutation and advances its epoch so
+// cached summaries are recomputed on the next read. Unlock with mu.Unlock.
+func (sh *shard) lockMut() {
+	sh.mu.Lock()
+	sh.epoch.Add(1)
 }
 
 // Replica is one store replica. The label is purely cosmetic — replicas
@@ -162,7 +186,7 @@ func (r *Replica) Clone(label string) *Replica {
 	clone := NewReplicaShards(label, len(r.shards))
 	for i := range r.shards {
 		sh := &r.shards[i]
-		sh.mu.Lock()
+		sh.lockMut()
 		for k, v := range sh.data {
 			mine, theirs := v.Stamp.Fork()
 			v.Stamp = mine
@@ -193,7 +217,7 @@ func (r *Replica) Get(key string) (value []byte, ok bool) {
 // stamp on first write at this replica).
 func (r *Replica) Put(key string, value []byte) {
 	sh := r.shardFor(key)
-	sh.mu.Lock()
+	sh.lockMut()
 	defer sh.mu.Unlock()
 	putLocked(sh.data, key, value)
 }
@@ -215,7 +239,7 @@ func putLocked(data map[string]Versioned, key string, value []byte) {
 // sidecars); regular writers should use Put.
 func (r *Replica) PutVersion(key string, v Versioned) {
 	sh := r.shardFor(key)
-	sh.mu.Lock()
+	sh.lockMut()
 	defer sh.mu.Unlock()
 	v.Value = append([]byte(nil), v.Value...)
 	sh.data[key] = v
@@ -225,7 +249,7 @@ func (r *Replica) PutVersion(key string, v Versioned) {
 // no-op returning false.
 func (r *Replica) Delete(key string) bool {
 	sh := r.shardFor(key)
-	sh.mu.Lock()
+	sh.lockMut()
 	defer sh.mu.Unlock()
 	return deleteLocked(sh.data, key)
 }
@@ -250,7 +274,7 @@ func (r *Replica) PutBatch(entries map[string][]byte) {
 	}
 	for _, group := range r.groupKeys(keysOf(entries)) {
 		sh := &r.shards[group.shard]
-		sh.mu.Lock()
+		sh.lockMut()
 		for _, k := range group.keys {
 			putLocked(sh.data, k, entries[k])
 		}
@@ -282,7 +306,7 @@ func (r *Replica) DeleteBatch(keys []string) int {
 	n := 0
 	for _, group := range r.groupKeys(keys) {
 		sh := &r.shards[group.shard]
-		sh.mu.Lock()
+		sh.lockMut()
 		for _, k := range group.keys {
 			if deleteLocked(sh.data, k) {
 				n++
@@ -380,6 +404,11 @@ type SyncResult struct {
 	// Pruned counts keys whose stamps proved the copies equivalent, so no
 	// data moved. Only delta rounds prune; full syncs report zero.
 	Pruned int `json:"Pruned,omitempty"`
+	// StripesSkipped counts stripes whose summary hashes matched in a
+	// hierarchical (v3) round, so not even their digests traveled. Keys in
+	// skipped stripes are not counted in Pruned — the whole point is that
+	// nobody enumerated them.
+	StripesSkipped int `json:"StripesSkipped,omitempty"`
 	// BytesSent and BytesReceived count wire payload bytes from the
 	// initiator's perspective. In-process syncs report zero; the network
 	// anti-entropy layer fills them in.
@@ -396,6 +425,7 @@ func (r *SyncResult) add(o SyncResult) {
 	r.Reconciled += o.Reconciled
 	r.Merged += o.Merged
 	r.Pruned += o.Pruned
+	r.StripesSkipped += o.StripesSkipped
 	r.BytesSent += o.BytesSent
 	r.BytesReceived += o.BytesReceived
 	r.Conflicts = append(r.Conflicts, o.Conflicts...)
@@ -470,8 +500,8 @@ func syncStriped(a, b *Replica, resolve Resolver) (SyncResult, error) {
 				if !replicaBefore(a, b) {
 					first, second = sb, sa
 				}
-				first.mu.Lock()
-				second.mu.Lock()
+				first.lockMut()
+				second.lockMut()
 				part, err := syncMaps(sa.data, sb.data, resolve)
 				second.mu.Unlock()
 				first.mu.Unlock()
@@ -497,11 +527,11 @@ func syncGlobal(a, b *Replica, resolve Resolver) (SyncResult, error) {
 		first, second = b, a
 	}
 	for i := range first.shards {
-		first.shards[i].mu.Lock()
+		first.shards[i].lockMut()
 		defer first.shards[i].mu.Unlock()
 	}
 	for i := range second.shards {
-		second.shards[i].mu.Lock()
+		second.shards[i].lockMut()
 		defer second.shards[i].mu.Unlock()
 	}
 	var res SyncResult
@@ -543,12 +573,12 @@ func SyncShard(a, b *Replica, resolve Resolver, idx, of int) (SyncResult, error)
 	}
 	for _, r := range []*Replica{first, second} {
 		if len(r.shards) == of {
-			r.shards[idx].mu.Lock()
+			r.shards[idx].lockMut()
 			defer r.shards[idx].mu.Unlock()
 			continue
 		}
 		for i := range r.shards {
-			r.shards[i].mu.Lock()
+			r.shards[i].lockMut()
 			defer r.shards[i].mu.Unlock()
 		}
 	}
@@ -831,7 +861,7 @@ func (r *Replica) Adopt(snapshot []byte) error {
 		return err
 	}
 	for i := range r.shards {
-		r.shards[i].mu.Lock()
+		r.shards[i].lockMut()
 		defer r.shards[i].mu.Unlock()
 	}
 	for i := range r.shards {
@@ -867,7 +897,7 @@ func (r *Replica) AdoptShard(idx int, snapshot []byte) error {
 		}
 	}
 	sh := &r.shards[idx]
-	sh.mu.Lock()
+	sh.lockMut()
 	defer sh.mu.Unlock()
 	sh.data = data
 	return nil

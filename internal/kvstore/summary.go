@@ -1,0 +1,94 @@
+package kvstore
+
+import (
+	"fmt"
+	"sort"
+
+	"versionstamp/internal/encoding"
+)
+
+// Stripe summaries: the store half of the hierarchical (v3) anti-entropy
+// protocol. Each stripe exposes a fixed-size hash over its sorted digest set
+// (encoding.SummarizeDigests); two endpoints that agree on a stripe's
+// summary skip that stripe's digests entirely, so a converged round costs
+// O(stripes) instead of O(keys).
+//
+// Summaries are served from a per-stripe cache keyed by the stripe's epoch
+// counter, which every mutation path bumps (see shard.lockMut). The cached
+// digest list doubles as the source for Digest/DigestShard, so repeated
+// gossip rounds over a quiet store do no per-key work at all — not even the
+// digest collection the v2 protocol pays every round.
+
+// stripeCache returns stripe i's summary and its digests sorted by key,
+// recomputing both only when the stripe's epoch moved since the last call.
+// The returned slice is the cache itself: callers inside the package must
+// treat it as read-only, and exported paths copy it before handing it out.
+func (r *Replica) stripeCache(i int) (uint64, []encoding.Digest) {
+	sh := &r.shards[i]
+	sh.cacheMu.Lock()
+	defer sh.cacheMu.Unlock()
+	sh.mu.RLock()
+	e := sh.epoch.Load()
+	if sh.cacheValid && sh.cacheEpoch == e {
+		sum, ds := sh.summary, sh.digestCache
+		sh.mu.RUnlock()
+		return sum, ds
+	}
+	ds := make([]encoding.Digest, 0, len(sh.data))
+	for k, v := range sh.data {
+		ds = append(ds, encoding.Digest{Key: k, Stamp: v.Stamp})
+	}
+	sh.mu.RUnlock()
+	// Sorting and hashing happen outside the stripe lock: the snapshot is
+	// already taken, and a writer that sneaks in meanwhile bumped the epoch
+	// past e, so the stale cache entry can never be mistaken for current.
+	sort.Slice(ds, func(a, b int) bool { return ds[a].Key < ds[b].Key })
+	sum := encoding.SummarizeDigests(ds)
+	sh.summary, sh.digestCache = sum, ds
+	sh.cacheEpoch, sh.cacheValid = e, true
+	return sum, ds
+}
+
+// StripeSummary returns the summary hash of stripe idx under the replica's
+// own layout, lazily recomputed only when the stripe mutated.
+func (r *Replica) StripeSummary(idx int) (uint64, error) {
+	if idx < 0 || idx >= len(r.shards) {
+		return 0, fmt.Errorf("kvstore: shard %d out of range of %d", idx, len(r.shards))
+	}
+	sum, _ := r.stripeCache(idx)
+	return sum, nil
+}
+
+// Summaries returns one summary hash per stripe under the replica's own
+// layout — the phase-0 payload of a v3 anti-entropy round.
+func (r *Replica) Summaries() []uint64 {
+	out := make([]uint64, len(r.shards))
+	for i := range r.shards {
+		out[i], _ = r.stripeCache(i)
+	}
+	return out
+}
+
+// SummariesScoped returns `of` summaries for the partition a peer with `of`
+// stripes would compute. When the layouts agree this is the cached fast
+// path; otherwise every digest is grouped by ShardIndex under the foreign
+// layout and hashed uncached (correct for any pair of layouts, just not
+// O(1) on a quiet store).
+func (r *Replica) SummariesScoped(of int) ([]uint64, error) {
+	if of < 1 {
+		return nil, fmt.Errorf("kvstore: summary layout of %d stripes", of)
+	}
+	if of == len(r.shards) {
+		return r.Summaries(), nil
+	}
+	groups := make([][]encoding.Digest, of)
+	for _, d := range r.Digest() { // sorted by key, so every group stays sorted
+		i := ShardIndex(d.Key, of)
+		groups[i] = append(groups[i], d)
+	}
+	out := make([]uint64, of)
+	for i, g := range groups {
+		out[i] = encoding.SummarizeDigests(g)
+	}
+	return out, nil
+}

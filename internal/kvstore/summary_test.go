@@ -1,0 +1,190 @@
+package kvstore
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+	"testing"
+
+	"versionstamp/internal/encoding"
+)
+
+// recomputeSummary hashes a stripe's digests from scratch, straight off the
+// shard map and bypassing the cache entirely — the oracle the cached path is
+// checked against.
+func recomputeSummary(t *testing.T, r *Replica, idx int) uint64 {
+	t.Helper()
+	sh := &r.shards[idx]
+	sh.mu.RLock()
+	ds := make([]encoding.Digest, 0, len(sh.data))
+	for k, v := range sh.data {
+		ds = append(ds, encoding.Digest{Key: k, Stamp: v.Stamp})
+	}
+	sh.mu.RUnlock()
+	sort.Slice(ds, func(a, b int) bool { return ds[a].Key < ds[b].Key })
+	return encoding.SummarizeDigests(ds)
+}
+
+func TestStripeSummaryTracksMutations(t *testing.T) {
+	r := NewReplicaShards("r", 4)
+	base, err := r.StripeSummary(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if base != encoding.EmptySummary {
+		t.Errorf("empty stripe summary = %d, want EmptySummary", base)
+	}
+
+	r.Put("k", []byte("v"))
+	idx := ShardIndex("k", 4)
+	afterPut, _ := r.StripeSummary(idx)
+	if afterPut == encoding.EmptySummary {
+		t.Error("summary unchanged after Put")
+	}
+	// Stable across repeated reads of a quiet stripe.
+	if again, _ := r.StripeSummary(idx); again != afterPut {
+		t.Errorf("quiet stripe summary moved: %d vs %d", again, afterPut)
+	}
+
+	// Causality becomes visible in the update name only once a stamp has
+	// forked (a sole unforked copy sits at ε, the top update name), so the
+	// mutation-tracking check uses the forked shape every synced key has.
+	_ = r.Clone("peer")
+	forked, _ := r.StripeSummary(idx)
+	r.Delete("k")
+	afterDel, _ := r.StripeSummary(idx)
+	if afterDel == forked {
+		t.Error("summary unchanged after Delete on a forked copy")
+	}
+	if got := recomputeSummary(t, r, idx); got != afterDel {
+		t.Errorf("cached summary %d != recomputed %d", afterDel, got)
+	}
+}
+
+// TestSummariesEquivalentAcrossSync is the property the v3 protocol rests
+// on: after a sync, both replicas' stripes summarize identically even though
+// their stamps' id components differ, and a local write breaks exactly the
+// touched stripe's agreement.
+func TestSummariesEquivalentAcrossSync(t *testing.T) {
+	a := NewReplica("a")
+	for i := 0; i < 200; i++ {
+		a.Put(fmt.Sprintf("key-%03d", i), []byte("v"))
+	}
+	b := a.Clone("b")
+	if _, err := Sync(a, b, nil); err != nil {
+		t.Fatal(err)
+	}
+	sa, sb := a.Summaries(), b.Summaries()
+	for i := range sa {
+		if sa[i] != sb[i] {
+			t.Fatalf("stripe %d summaries differ after sync", i)
+		}
+	}
+
+	a.Put("key-000", []byte("edited"))
+	touched := ShardIndex("key-000", a.Shards())
+	sa = a.Summaries()
+	for i := range sa {
+		if i == touched && sa[i] == sb[i] {
+			t.Errorf("stripe %d summary did not change after write", i)
+		}
+		if i != touched && sa[i] != sb[i] {
+			t.Errorf("stripe %d summary changed without a write", i)
+		}
+	}
+}
+
+func TestSummariesScopedMatchesForeignLayout(t *testing.T) {
+	// Two replicas with different stripe counts but causally identical
+	// contents must agree on summaries under any shared layout.
+	a := NewReplicaShards("a", 8)
+	for i := 0; i < 100; i++ {
+		a.Put(fmt.Sprintf("key-%03d", i), []byte("v"))
+	}
+	snap, err := a.Snapshot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	b := NewReplicaShards("b", 32)
+	if err := b.Adopt(snap); err != nil {
+		t.Fatal(err)
+	}
+	for _, of := range []int{1, 8, 32, 50} {
+		sa, err := a.SummariesScoped(of)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sb, err := b.SummariesScoped(of)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := range sa {
+			if sa[i] != sb[i] {
+				t.Errorf("layout %d: stripe %d summaries differ across shard counts", of, i)
+			}
+		}
+	}
+	if _, err := a.SummariesScoped(0); err == nil {
+		t.Error("SummariesScoped(0) accepted")
+	}
+}
+
+// TestSummaryCacheInvalidationUnderRace is the satellite property test:
+// concurrent writers racing summary readers must never leave a stale cached
+// summary behind — after the writers quiesce, every stripe's cached summary
+// must equal a from-scratch recompute, so no divergent key can hide behind
+// a stale stripe summary. Run with -race.
+func TestSummaryCacheInvalidationUnderRace(t *testing.T) {
+	r := NewReplicaShards("r", 8)
+	const writers = 4
+	const opsPerWriter = 300
+
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	// Readers hammer the cached paths while writers mutate.
+	for g := 0; g < 2; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				_ = r.Summaries()
+				_ = r.Digest()
+			}
+		}()
+	}
+	var writerWg sync.WaitGroup
+	for w := 0; w < writers; w++ {
+		writerWg.Add(1)
+		go func(w int) {
+			defer writerWg.Done()
+			for i := 0; i < opsPerWriter; i++ {
+				k := fmt.Sprintf("w%d-key-%d", w, i%50)
+				switch i % 3 {
+				case 0, 1:
+					r.Put(k, []byte(fmt.Sprintf("v%d", i)))
+				case 2:
+					r.Delete(k)
+				}
+			}
+		}(w)
+	}
+	writerWg.Wait()
+	close(stop)
+	wg.Wait()
+
+	// Quiescent: cache must agree with a from-scratch recompute per stripe.
+	for i := 0; i < r.Shards(); i++ {
+		cached, err := r.StripeSummary(i)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got := recomputeSummary(t, r, i); got != cached {
+			t.Errorf("stripe %d: cached summary %d != recomputed %d (stale cache)", i, cached, got)
+		}
+	}
+}
