@@ -1,0 +1,70 @@
+package main
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strconv"
+	"strings"
+	"testing"
+)
+
+// TestRunEmitsReport runs the benchmark at a reduced size and checks the
+// emitted document: every expected op × scenario point present, and the
+// compare points allocation-free (the condition the CI gate enforces through
+// this command's exit status).
+func TestRunEmitsReport(t *testing.T) {
+	if testing.Short() {
+		t.Skip("benchmark smoke is not a -short test")
+	}
+	out := filepath.Join(t.TempDir(), "BENCH_stamp.json")
+	var progress strings.Builder
+	if err := run(200, 400, out, &progress); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	doc, err := os.ReadFile(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var report Report
+	if err := json.Unmarshal(doc, &report); err != nil {
+		t.Fatalf("emitted document is not valid JSON: %v", err)
+	}
+	want := map[string]bool{
+		"compare/converged/0":       false,
+		"compare/divergent/0":       false,
+		"join/converged/0":          false,
+		"join/divergent/0":          false,
+		"fork/converged/0":          false,
+		"update/converged/0":        false,
+		"diffAgainst/converged/200": false,
+		"diffAgainst/divergent/200": false,
+		"diffAgainst/converged/400": false,
+		"diffAgainst/divergent/400": false,
+	}
+	for _, m := range report.Results {
+		key := m.Op + "/" + m.Scenario + "/" + strconv.Itoa(m.Keys)
+		if _, ok := want[key]; !ok {
+			t.Errorf("unexpected measurement %q", key)
+			continue
+		}
+		want[key] = true
+		if m.NsPerOp <= 0 {
+			t.Errorf("%s: NsPerOp = %v", key, m.NsPerOp)
+		}
+		if m.Op == "compare" && m.AllocsPerOp != 0 {
+			t.Errorf("%s: %v allocs/op, want 0", key, m.AllocsPerOp)
+		}
+	}
+	for key, seen := range want {
+		if !seen {
+			t.Errorf("missing measurement %q", key)
+		}
+	}
+}
+
+func TestRunRejectsTinyKeyspace(t *testing.T) {
+	if err := run(10, 0, "-", &strings.Builder{}); err == nil {
+		t.Error("run accepted a sub-100-key keyspace")
+	}
+}

@@ -8,6 +8,16 @@
 //	client -> server: {"v":1,"snapshot":<client snapshot>}
 //	server -> client: {"v":1,"snapshot":<merged snapshot>,"result":{...}}
 //
+// The snapshot field carries either a legacy JSON snapshot (embedded raw, a
+// JSON object) or a binary snapshot (kvstore.SnapshotBinary, riding as a
+// base64 JSON string) — the value's first character distinguishes them, and
+// kvstore.Restore sniffs the decoded bytes' version byte, so old JSON
+// clients interoperate forever. This package's own clients send binary
+// snapshots, and the server mirrors the client's format in its reply. Like
+// every protocol change in this package, compatibility is one-directional:
+// upgrade servers before clients (a pre-binary server rejects the base64
+// form with "bad snapshot"; see Protocol negotiation below).
+//
 // The server restores the client's snapshot into a shadow replica, runs one
 // kvstore.Sync between its own replica and the shadow (exactly the
 // in-process semantics: transfers fork stamps, dominance reconciles,
@@ -87,8 +97,15 @@
 //
 // The v3 version byte opens a session, not a round: any number of rounds
 // (whole-replica or scoped to chosen stripes) ride the same connection as
-// back-to-back frame sequences. Each round within a session is:
+// back-to-back frame sequences. A whole-replica round opens with a second
+// summary level — a single 8-byte FNV-64a root hash over all stripe
+// summaries — so two converged replicas complete the round in ~14 bytes,
+// before even the per-stripe summaries travel:
 //
+//	client -> server  kindRoot         (0x08): of, 8-byte root hash
+//	server -> client  kindRootMatch    (0x09): 1 = converged, round over
+//	— on a root mismatch (or a stripe-scoped round, which skips the root
+//	  phase) the round proceeds —
 //	client -> server  kindSummary      (0x05): of, count, count×(stripe, hash)
 //	server -> client  kindSummaryDiff  (0x06): count, count×stripe
 //	— round ends here when no summaries differ; otherwise —
@@ -146,6 +163,33 @@ type response struct {
 	Snapshot json.RawMessage    `json:"snapshot"`
 	Result   kvstore.SyncResult `json:"result"`
 	Error    string             `json:"error,omitempty"`
+}
+
+// wrapSnapshot embeds a snapshot in the JSON envelope: a JSON snapshot
+// (starting with '{') embeds raw, a binary snapshot rides as a base64 JSON
+// string.
+func wrapSnapshot(snap []byte) (json.RawMessage, error) {
+	if len(snap) > 0 && snap[0] == '{' {
+		return json.RawMessage(snap), nil
+	}
+	quoted, err := json.Marshal(snap) // []byte marshals to a base64 string
+	if err != nil {
+		return nil, err
+	}
+	return quoted, nil
+}
+
+// unwrapSnapshot recovers snapshot bytes from the envelope; Restore sniffs
+// the result's own version byte.
+func unwrapSnapshot(raw json.RawMessage) ([]byte, error) {
+	if len(raw) > 0 && raw[0] == '"' {
+		var b []byte
+		if err := json.Unmarshal(raw, &b); err != nil {
+			return nil, fmt.Errorf("bad base64 snapshot: %w", err)
+		}
+		return b, nil
+	}
+	return raw, nil
 }
 
 // Server exposes a replica for anti-entropy over TCP.
@@ -277,7 +321,12 @@ func (s *Server) handle(conn net.Conn) {
 			Error: fmt.Sprintf("version skew: got %d, want %d", req.V, protocolVersion)})
 		return
 	}
-	shadow, err := kvstore.Restore(req.Snapshot)
+	snapBytes, err := unwrapSnapshot(req.Snapshot)
+	if err != nil {
+		_ = enc.Encode(response{V: protocolVersion, Error: "bad snapshot: " + err.Error()})
+		return
+	}
+	shadow, err := kvstore.Restore(snapBytes)
 	if err != nil {
 		_ = enc.Encode(response{V: protocolVersion, Error: "bad snapshot: " + err.Error()})
 		return
@@ -292,12 +341,24 @@ func (s *Server) handle(conn net.Conn) {
 		_ = enc.Encode(response{V: protocolVersion, Error: "sync: " + err.Error()})
 		return
 	}
-	merged, err := shadow.Snapshot()
+	// Mirror the client's snapshot format: binary for this package's own
+	// clients, JSON for legacy peers, so either vintage round-trips.
+	var merged []byte
+	if len(req.Snapshot) > 0 && req.Snapshot[0] == '"' {
+		merged, err = shadow.SnapshotBinary()
+	} else {
+		merged, err = shadow.Snapshot()
+	}
 	if err != nil {
 		_ = enc.Encode(response{V: protocolVersion, Error: "snapshot: " + err.Error()})
 		return
 	}
-	_ = enc.Encode(response{V: protocolVersion, Snapshot: merged, Result: result})
+	wrapped, err := wrapSnapshot(merged)
+	if err != nil {
+		_ = enc.Encode(response{V: protocolVersion, Error: "snapshot: " + err.Error()})
+		return
+	}
+	_ = enc.Encode(response{V: protocolVersion, Snapshot: wrapped, Result: result})
 }
 
 // Close stops the listener, interrupts open sessions and waits for their
@@ -330,15 +391,23 @@ func SyncWith(addr string, local *kvstore.Replica) (kvstore.SyncResult, error) {
 }
 
 func syncWith(addr string, local *kvstore.Replica, timeout time.Duration) (kvstore.SyncResult, error) {
-	snap, err := local.Snapshot()
+	snap, err := local.SnapshotBinary()
 	if err != nil {
 		return kvstore.SyncResult{}, fmt.Errorf("antientropy: %w", err)
 	}
-	resp, err := roundTrip(addr, request{V: protocolVersion, Snapshot: snap}, timeout)
+	wrapped, err := wrapSnapshot(snap)
+	if err != nil {
+		return kvstore.SyncResult{}, fmt.Errorf("antientropy: %w", err)
+	}
+	resp, err := roundTrip(addr, request{V: protocolVersion, Snapshot: wrapped}, timeout)
 	if err != nil {
 		return kvstore.SyncResult{}, err
 	}
-	if err := local.Adopt(resp.Snapshot); err != nil {
+	merged, err := unwrapSnapshot(resp.Snapshot)
+	if err != nil {
+		return kvstore.SyncResult{}, fmt.Errorf("antientropy: %w", err)
+	}
+	if err := local.Adopt(merged); err != nil {
 		return kvstore.SyncResult{}, fmt.Errorf("antientropy: adopt merged state: %w", err)
 	}
 	return resp.Result, nil
@@ -390,17 +459,25 @@ func syncAllShards(n int, label string, round func(i int) (kvstore.SyncResult, e
 
 // syncShardWith runs one scoped round for local stripe idx.
 func syncShardWith(addr string, local *kvstore.Replica, idx int, timeout time.Duration) (kvstore.SyncResult, error) {
-	snap, err := local.SnapshotShard(idx)
+	snap, err := local.SnapshotShardBinary(idx)
+	if err != nil {
+		return kvstore.SyncResult{}, fmt.Errorf("antientropy: %w", err)
+	}
+	wrapped, err := wrapSnapshot(snap)
 	if err != nil {
 		return kvstore.SyncResult{}, fmt.Errorf("antientropy: %w", err)
 	}
 	resp, err := roundTrip(addr, request{
-		V: protocolVersion, Snapshot: snap, Shard: idx, Of: local.Shards(),
+		V: protocolVersion, Snapshot: wrapped, Shard: idx, Of: local.Shards(),
 	}, timeout)
 	if err != nil {
 		return kvstore.SyncResult{}, err
 	}
-	if err := local.AdoptShard(idx, resp.Snapshot); err != nil {
+	merged, err := unwrapSnapshot(resp.Snapshot)
+	if err != nil {
+		return kvstore.SyncResult{}, fmt.Errorf("antientropy: %w", err)
+	}
+	if err := local.AdoptShard(idx, merged); err != nil {
 		return kvstore.SyncResult{}, fmt.Errorf("antientropy: adopt merged state: %w", err)
 	}
 	return resp.Result, nil

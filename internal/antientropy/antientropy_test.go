@@ -311,3 +311,70 @@ func TestCloseStopsServer(t *testing.T) {
 		t.Error("Listen after Close must fail")
 	}
 }
+
+// TestLegacyJSONClientInterop simulates a pre-binary-snapshot client: the
+// request embeds a raw JSON snapshot, and the server must both accept it and
+// mirror the legacy format in its reply so the old client can decode it.
+func TestLegacyJSONClientInterop(t *testing.T) {
+	server := kvstore.NewReplica("server")
+	server.Put("greeting", []byte("hello"))
+	_, addr := startServer(t, server, nil)
+
+	legacy := kvstore.NewReplica("legacy")
+	legacy.Put("name", []byte("world"))
+	snap, err := legacy.Snapshot() // the old JSON format
+	if err != nil {
+		t.Fatal(err)
+	}
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	if err := json.NewEncoder(conn).Encode(request{V: protocolVersion, Snapshot: snap}); err != nil {
+		t.Fatal(err)
+	}
+	var resp response
+	if err := json.NewDecoder(conn).Decode(&resp); err != nil {
+		t.Fatal(err)
+	}
+	if resp.Error != "" {
+		t.Fatalf("server rejected legacy JSON snapshot: %s", resp.Error)
+	}
+	if len(resp.Snapshot) == 0 || resp.Snapshot[0] != '{' {
+		t.Fatalf("reply to a JSON client is not a raw JSON snapshot: %.16q", string(resp.Snapshot))
+	}
+	if err := legacy.Adopt(resp.Snapshot); err != nil {
+		t.Fatalf("legacy client cannot adopt the reply: %v", err)
+	}
+	if v, ok := legacy.Get("greeting"); !ok || string(v) != "hello" {
+		t.Errorf("legacy client did not converge: %q %v", v, ok)
+	}
+	if res := resp.Result; res.Transferred != 2 {
+		t.Errorf("result = %+v", res)
+	}
+}
+
+// TestBinarySnapshotOnV1Wire asserts the package's own v1 clients ship
+// binary snapshots (base64 strings in the JSON envelope), not JSON ones.
+func TestBinarySnapshotOnV1Wire(t *testing.T) {
+	server := kvstore.NewReplica("server")
+	for i := 0; i < 50; i++ {
+		server.Put(fmt.Sprintf("key-%03d", i), []byte("some-padding-value"))
+	}
+	client := server.Clone("client")
+	_, addr := startServer(t, server, nil)
+	res, err := SyncWith(addr, client)
+	if err != nil {
+		t.Fatalf("SyncWith: %v", err)
+	}
+	requireConverged(t, server, client)
+	// A JSON snapshot of 50 padded keys with text stamps runs several hundred
+	// bytes per key; the binary round must come in well under that.
+	jsonSnap, _ := server.Snapshot()
+	wire := res.BytesSent + res.BytesReceived
+	if wire >= 2*int64(len(jsonSnap)) {
+		t.Errorf("v1 round moved %dB; JSON snapshot alone is %dB — binary format not in effect?",
+			wire, len(jsonSnap))
+	}
+}

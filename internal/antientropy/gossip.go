@@ -43,6 +43,13 @@ type Cluster struct {
 	// (documented there), so plain fields suffice.
 	peerScratch []int
 	taskScratch []gossipTask
+	// hot[i][j] records whether node i's last exchange with node j found
+	// divergence (data moved or conflicted). Peer selection prefers hot
+	// peers — convergence-aware choice: keep pulling from whoever last had
+	// news instead of re-verifying converged pairs. Written by the exchange
+	// workers under the round's result lock, read only by the
+	// single-threaded selection phase of the next round.
+	hot [][]bool
 }
 
 // NewCluster starts n replicas with servers on loopback ports. The resolver
@@ -55,6 +62,10 @@ func NewCluster(n int, resolve kvstore.Resolver, seed int64) (*Cluster, error) {
 		group:  make([]int, n),
 		fanout: DefaultFanout,
 		rng:    rand.New(rand.NewSource(seed)),
+		hot:    make([][]bool, n),
+	}
+	for i := range c.hot {
+		c.hot[i] = make([]bool, n)
 	}
 	for i := 0; i < n; i++ {
 		r := kvstore.NewReplica(fmt.Sprintf("node-%d", i))
@@ -151,21 +162,10 @@ type gossipTask struct{ i, j int }
 func (c *Cluster) GossipRound(k int) (int, error) {
 	// Peer selection stays single-threaded (one shared rng, deterministic
 	// under a fixed seed); only the network exchanges fan out. Both
-	// selection slices are cluster-owned scratch reused across rounds —
-	// candidates are appended in the same j order and shuffled by the same
-	// rng calls as before, so selection semantics are unchanged.
+	// selection slices are cluster-owned scratch reused across rounds.
 	tasks := c.taskScratch[:0]
 	for i := range c.replicas {
-		peers := c.peerScratch[:0]
-		for j := range c.replicas {
-			if j != i && c.group[i] == c.group[j] {
-				peers = append(peers, j)
-			}
-		}
-		c.rng.Shuffle(len(peers), func(a, b int) { peers[a], peers[b] = peers[b], peers[a] })
-		if len(peers) > k {
-			peers = peers[:k]
-		}
+		peers := c.selectPeers(i, k)
 		for _, j := range peers {
 			tasks = append(tasks, gossipTask{i: i, j: j})
 		}
@@ -173,6 +173,44 @@ func (c *Cluster) GossipRound(k int) (int, error) {
 	}
 	c.taskScratch = tasks
 	return c.runGossip(tasks)
+}
+
+// hotBias is the per-round probability of applying the hot-first partition
+// in selectPeers; the complementary rounds select uniformly. Biased-but-not-
+// deterministic choice (ε-greedy) keeps convergence fast where divergence
+// was last seen while guaranteeing every reachable pair is still selected
+// with positive probability each round — a deterministic hot preference
+// could starve cold-but-divergent pairs under sustained churn.
+const hotBias = 3.0 / 4
+
+// selectPeers picks up to k gossip partners for node i: a uniform shuffle of
+// the reachable peers and, on hotBias of the rounds, a partition that moves
+// peers whose previous exchange with i reported divergence to the front — a
+// node chasing known divergence converges in fewer rounds than one
+// re-verifying converged pairs. The shuffle keeps choice within (and beyond)
+// the hot set random, and the uniform rounds keep cold pairs live. The
+// returned slice is the cluster's scratch.
+func (c *Cluster) selectPeers(i, k int) []int {
+	peers := c.peerScratch[:0]
+	for j := range c.replicas {
+		if j != i && c.group[i] == c.group[j] {
+			peers = append(peers, j)
+		}
+	}
+	c.rng.Shuffle(len(peers), func(a, b int) { peers[a], peers[b] = peers[b], peers[a] })
+	if len(peers) > k {
+		if c.rng.Float64() < hotBias {
+			front := 0
+			for x := 0; x < len(peers); x++ {
+				if c.hot[i][peers[x]] {
+					peers[front], peers[x] = peers[x], peers[front]
+					front++
+				}
+			}
+		}
+		peers = peers[:k]
+	}
+	return peers
 }
 
 // runGossip executes exchanges through a worker pool bounded by GOMAXPROCS.
@@ -198,7 +236,7 @@ func (c *Cluster) runGossip(tasks []gossipTask) (int, error) {
 				// summaries prune converged stripes before any digest
 				// travels, and the pool means round N reuses round 1's
 				// connection instead of dialing again.
-				_, err := c.pools[t.i].SyncWith(c.addrs[t.j], c.replicas[t.i])
+				res, err := c.pools[t.i].SyncWith(c.addrs[t.j], c.replicas[t.i])
 				mu.Lock()
 				if err != nil {
 					if firstErr == nil {
@@ -206,6 +244,12 @@ func (c *Cluster) runGossip(tasks []gossipTask) (int, error) {
 					}
 				} else {
 					ran++
+					// Record whether the exchange found divergence, feeding
+					// the next round's convergence-aware peer choice. The
+					// relation is symmetric: a round reconciles both sides.
+					diverged := res.Transferred+res.Reconciled+res.Merged+len(res.Conflicts) > 0
+					c.hot[t.i][t.j] = diverged
+					c.hot[t.j][t.i] = diverged
 				}
 				mu.Unlock()
 			}

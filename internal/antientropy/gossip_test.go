@@ -130,3 +130,83 @@ func TestGossipNonConvergenceBudget(t *testing.T) {
 		t.Errorf("want ErrNotConverged, got %v", err)
 	}
 }
+
+// TestSelectPeersBiasesTowardDivergence: a hot peer (last exchange reported
+// divergence) must be selected far more often than uniform choice would
+// select it, yet cold peers must keep positive selection probability — the
+// ε-greedy contract that makes biased gossip still live under churn.
+func TestSelectPeersBiasesTowardDivergence(t *testing.T) {
+	c, err := NewCluster(5, nil, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	c.hot[0][3] = true
+	const trials = 400
+	hotHits := 0
+	coldSeen := map[int]bool{}
+	for trial := 0; trial < trials; trial++ {
+		peers := c.selectPeers(0, 2)
+		if len(peers) != 2 {
+			t.Fatalf("selectPeers returned %d peers, want 2", len(peers))
+		}
+		for _, j := range peers {
+			if j == 3 {
+				hotHits++
+			} else {
+				coldSeen[j] = true
+			}
+		}
+	}
+	// Uniform choice picks peer 3 in 2 of 4 slots = 50% of trials; the
+	// hot-first rounds (hotBias = 3/4) always include it, so expect
+	// ~3/4 + 1/4×1/2 = 87.5%. Assert comfortably above uniform.
+	if hotHits < trials*7/10 {
+		t.Errorf("hot peer selected %d/%d trials; bias not in effect", hotHits, trials)
+	}
+	for j := 1; j < 5; j++ {
+		if j != 3 && !coldSeen[j] {
+			t.Errorf("cold peer %d starved across %d trials; selection must stay live", j, trials)
+		}
+	}
+	// All cold: selection is the plain shuffle, every peer reachable.
+	c.hot[0][3] = false
+	seen := map[int]bool{}
+	for trial := 0; trial < 60; trial++ {
+		for _, j := range c.selectPeers(0, 2) {
+			seen[j] = true
+		}
+	}
+	for j := 1; j < 5; j++ {
+		if !seen[j] {
+			t.Errorf("cold peer %d never selected across 60 shuffled trials", j)
+		}
+	}
+}
+
+// TestGossipRecordsDivergence: an exchange that moved data marks the pair
+// hot; a following converged exchange cools it back down.
+func TestGossipRecordsDivergence(t *testing.T) {
+	c, err := NewCluster(2, nil, 11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	r0, _ := c.Replica(0)
+	r0.Put("k", []byte("v"))
+	// Drive a single directed exchange (a full GossipRound runs both
+	// directions, and the second, already-converged exchange would cool the
+	// pair again within the same round — correctly, but uselessly here).
+	if _, err := c.runGossip([]gossipTask{{i: 0, j: 1}}); err != nil {
+		t.Fatal(err)
+	}
+	if !c.hot[0][1] || !c.hot[1][0] {
+		t.Errorf("divergent exchange did not mark the pair hot: %v", c.hot)
+	}
+	if _, err := c.runGossip([]gossipTask{{i: 0, j: 1}}); err != nil {
+		t.Fatal(err)
+	}
+	if c.hot[0][1] || c.hot[1][0] {
+		t.Errorf("converged exchange did not cool the pair: %v", c.hot)
+	}
+}

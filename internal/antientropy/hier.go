@@ -13,14 +13,16 @@ import (
 	"versionstamp/internal/kvstore"
 )
 
-// Protocol v3: hierarchical three-phase rounds over a persistent connection.
-// Phase 0 exchanges fixed-size per-stripe summary hashes; only stripes whose
-// summaries differ proceed to the v2-style digest phase, and only
-// stamp-divergent copies move, as in v2. A converged pair therefore syncs
-// for O(stripes) bytes instead of O(keys) — and because the version byte
-// opens a *session*, not a round, any number of rounds (including scoped
-// stripe rounds) ride one TCP connection. See the package comment for the
-// frame grammar.
+// Protocol v3: hierarchical rounds over a persistent connection. A
+// whole-replica round opens with an 8-byte root hash over all stripe
+// summaries (the second summary level); matching roots end the round in
+// ~14 bytes. Otherwise phase 0 exchanges fixed-size per-stripe summary
+// hashes; only stripes whose summaries differ proceed to the v2-style
+// digest phase, and only stamp-divergent copies move, as in v2. A converged
+// pair therefore syncs for O(1) bytes instead of O(keys) — and because the
+// version byte opens a *session*, not a round, any number of rounds
+// (including scoped stripe rounds) ride one TCP connection. See the package
+// comment for the frame grammar.
 
 // hierProtocolVersion is the first byte of a v3 connection. Like the v2
 // byte, it can never collide with '{'.
@@ -32,6 +34,8 @@ const (
 	kindSummary       = 0x05 // client: layout + (stripe, summary) pairs
 	kindSummaryDiff   = 0x06 // server: stripes whose summaries differ
 	kindStripeDigests = 0x07 // client: per-divergent-stripe digest lists
+	kindRoot          = 0x08 // client: layout + root hash over all summaries
+	kindRootMatch     = 0x09 // server: 1 = roots agree (round over), 0 = diverged
 )
 
 // serverSessionIdle bounds how long a v3 session may sit idle between
@@ -112,12 +116,48 @@ func (s *Server) handleHier(conn net.Conn, br *bufio.Reader) {
 	}
 }
 
-// hierRound serves one v3 round, the opening summary frame already read.
+// hierRound serves one v3 round, the opening frame already read. A
+// whole-replica round opens with a kindRoot frame — the second summary
+// level: one 8-byte hash over all stripe summaries. Matching roots end the
+// round right there (~14 wire bytes); a mismatch falls through to the
+// per-stripe summary phase. Scoped rounds open with kindSummary directly.
 // It reports whether the session should continue.
 func (s *Server) hierRound(conn net.Conn, br *bufio.Reader, opening []byte) bool {
 	fail := func(err error) bool {
 		_ = writeFrame(conn, appendString([]byte{kindError}, err.Error()))
 		return false
+	}
+
+	// rootSums carries the root phase's summary computation into the summary
+	// phase of the same round, so a root mismatch does not recompute the
+	// per-stripe summaries (SummariesScoped regroups every digest when the
+	// layouts differ).
+	var rootSums []uint64
+	rootOf := 0
+	if len(opening) > 0 && opening[0] == kindRoot {
+		of64, used := binary.Uvarint(opening[1:])
+		if used <= 0 || of64 < 1 || of64 > maxWireStripes || len(opening[1+used:]) != 8 {
+			return fail(errors.New("bad root frame"))
+		}
+		peerRoot := binary.BigEndian.Uint64(opening[1+used:])
+		local, err := s.replica.SummariesScoped(int(of64))
+		if err != nil {
+			return fail(err)
+		}
+		match := byte(0)
+		if encoding.SummarizeSummaries(local) == peerRoot {
+			match = 1
+		}
+		if writeFrame(conn, []byte{kindRootMatch, match}) != nil {
+			return false
+		}
+		if match == 1 {
+			return true // converged: round over, session stays open
+		}
+		rootSums, rootOf = local, int(of64)
+		if opening, err = readFrame(br); err != nil {
+			return fail(fmt.Errorf("bad summary frame: %v", err))
+		}
 	}
 
 	opening, err := expectKind(opening, kindSummary)
@@ -128,9 +168,11 @@ func (s *Server) hierRound(conn net.Conn, br *bufio.Reader, opening []byte) bool
 	if err != nil {
 		return fail(err)
 	}
-	local, err := s.replica.SummariesScoped(of)
-	if err != nil {
-		return fail(err)
+	local := rootSums
+	if local == nil || rootOf != of {
+		if local, err = s.replica.SummariesScoped(of); err != nil {
+			return fail(err)
+		}
 	}
 	var divergent []uint64
 	for _, p := range sums {
@@ -266,6 +308,7 @@ func (s *Server) hierRound(conn net.Conn, br *bufio.Reader, opening []byte) bool
 func hierClientRound(conn net.Conn, br *bufio.Reader, local *kvstore.Replica,
 	stripes []int) (kvstore.SyncResult, error) {
 	of := local.Shards()
+	wholeReplica := stripes == nil
 	if stripes == nil {
 		stripes = make([]int, of)
 		for i := range stripes {
@@ -279,6 +322,35 @@ func hierClientRound(conn net.Conn, br *bufio.Reader, local *kvstore.Replica,
 			return kvstore.SyncResult{}, fmt.Errorf("antientropy: %w", err)
 		}
 		sums = append(sums, stripeSummary{idx: uint64(idx), sum: sum})
+	}
+	if wholeReplica {
+		// Second summary level: open with one 8-byte root hash over all
+		// stripe summaries. A converged pair completes the round here, with
+		// neither per-stripe summaries nor digests on the wire.
+		root := encoding.RootSummarySeed
+		for _, s := range sums {
+			root = encoding.FoldSummary(root, s.sum)
+		}
+		frame := []byte{kindRoot}
+		frame = binary.AppendUvarint(frame, uint64(of))
+		frame = binary.BigEndian.AppendUint64(frame, root)
+		if err := writeFrame(conn, frame); err != nil {
+			return kvstore.SyncResult{}, fmt.Errorf("antientropy: send root: %w", err)
+		}
+		body, err := readFrame(br)
+		if err != nil {
+			return kvstore.SyncResult{}, fmt.Errorf("antientropy: receive: %w", err)
+		}
+		body, err = expectKind(body, kindRootMatch)
+		if err != nil {
+			return kvstore.SyncResult{}, err
+		}
+		if len(body) != 1 || body[0] > 1 {
+			return kvstore.SyncResult{}, fmt.Errorf("%w: bad root match frame", ErrProtocol)
+		}
+		if body[0] == 1 {
+			return kvstore.SyncResult{StripesSkipped: of}, nil
+		}
 	}
 	if err := writeFrame(conn, encodeSummaryFrame(of, sums)); err != nil {
 		return kvstore.SyncResult{}, fmt.Errorf("antientropy: send summaries: %w", err)

@@ -46,9 +46,35 @@ func (o Ordering) String() string {
 // Compare is only meaningful for stamps of coexisting elements (the same
 // frontier); relating an element to one of its own ancestors is outside the
 // frontier-ordering contract (Section 1.2).
+//
+// Compare is allocation-free: identical interned update handles short-circuit
+// to Equal (the converged steady state), repeated pairs are answered from a
+// bounded process-wide cache keyed by handle ids, and the fallback walks both
+// operands in place without building any intermediate structure.
 func Compare(a, b Stamp) Ordering {
-	ab := a.u.Leq(b.u)
-	ba := b.u.Leq(a.u)
+	if a.u == b.u {
+		return Equal
+	}
+	ka, kb := a.u.ID(), b.u.ID()
+	key, cacheable := cmpCacheKey(ka, kb)
+	if cacheable {
+		if rel, ok := cmpCacheGet(key); ok {
+			return rel
+		}
+	}
+	rel := compareSlow(a, b)
+	if cacheable {
+		cmpCachePut(key, rel)
+	}
+	return rel
+}
+
+// compareSlow relates two stamps whose update handles differ, by in-place
+// walks of the sorted-slice representations.
+func compareSlow(a, b Stamp) Ordering {
+	nu, mu := a.u.Name(), b.u.Name()
+	ab := nu.Leq(mu)
+	ba := mu.Leq(nu)
 	switch {
 	case ab && ba:
 		return Equal
@@ -81,7 +107,8 @@ func (s Stamp) ConcurrentWith(b Stamp) bool { return Compare(s, b) == Concurrent
 
 // Equal reports structural equality of the two stamps (both components).
 // This is stronger than Equivalent, which only compares update components:
-// two equivalent frontier elements usually carry different ids.
+// two equivalent frontier elements usually carry different ids. For interned
+// stamps this is two pointer comparisons.
 func (s Stamp) Equal(b Stamp) bool {
 	return s.u.Equal(b.u) && s.i.Equal(b.i)
 }

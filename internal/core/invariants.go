@@ -2,6 +2,8 @@ package core
 
 import (
 	"fmt"
+
+	"versionstamp/internal/name"
 )
 
 // This file implements checkers for the three invariants that characterize
@@ -14,14 +16,20 @@ import (
 // component is always dominated by the id; this guarantees that no obsolete
 // information lingers in u when id simplifications become possible.
 func CheckI1(s Stamp) error {
-	if err := s.u.Validate(); err != nil {
+	return checkI1Names(s.u.Name(), s.i.Name())
+}
+
+// checkI1Names is the name-level form of CheckI1, shared with the
+// constructors, which must validate before interning.
+func checkI1Names(u, i name.Name) error {
+	if err := u.Validate(); err != nil {
 		return fmt.Errorf("core: I1: update component: %w", err)
 	}
-	if err := s.i.Validate(); err != nil {
+	if err := i.Validate(); err != nil {
 		return fmt.Errorf("core: I1: id component: %w", err)
 	}
-	if !s.u.Leq(s.i) {
-		return fmt.Errorf("core: I1 violated: u = %v ⋢ i = %v", s.u, s.i)
+	if !u.Leq(i) {
+		return fmt.Errorf("core: I1 violated: u = %v ⋢ i = %v", u, i)
 	}
 	return nil
 }
@@ -52,7 +60,7 @@ func CheckI3(frontier []Stamp) error {
 			if x == y {
 				continue
 			}
-			ux := frontier[x].u
+			ux := frontier[x].u.Name()
 			for _, r := range ux.Bits() {
 				if frontier[y].i.Covers(r) && !frontier[y].u.Covers(r) {
 					return fmt.Errorf(

@@ -21,8 +21,8 @@ var errBadFormat = errors.New("core: unknown stamp wire format")
 // AppendBinary appends the canonical binary encoding of s to dst.
 func (s Stamp) AppendBinary(dst []byte) []byte {
 	dst = append(dst, formatV1)
-	dst = s.u.AppendBinary(dst)
-	dst = s.i.AppendBinary(dst)
+	dst = s.u.Name().AppendBinary(dst)
+	dst = s.i.Name().AppendBinary(dst)
 	return dst
 }
 
@@ -34,7 +34,7 @@ func (s Stamp) MarshalBinary() ([]byte, error) {
 // EncodedSize returns the exact length in bytes of the binary encoding,
 // the size measure reported by the E5/E6 space experiments.
 func (s Stamp) EncodedSize() int {
-	return 1 + s.u.EncodedSize() + s.i.EncodedSize()
+	return 1 + s.u.Name().EncodedSize() + s.i.Name().EncodedSize()
 }
 
 // DecodeBinary reads one stamp from the front of src, returning the number

@@ -3,6 +3,7 @@ package core
 import (
 	"versionstamp/internal/bitstr"
 	"versionstamp/internal/name"
+	"versionstamp/internal/trie"
 )
 
 // Reduce applies the rewriting rule of Section 6 until it no longer applies,
@@ -19,13 +20,19 @@ import (
 // the order relation R between all frontier elements (proved in the paper);
 // TestReducePreservesR re-checks this mechanically.
 //
-// Reduce is idempotent and is applied automatically by Join.
+// Reduce is idempotent and is applied automatically by Join. An
+// already-reduced stamp (the common case: most joins collapse nothing) is
+// returned unchanged, handles intact, without allocating.
 func (s Stamp) Reduce() Stamp {
-	u, i := s.u, s.i
+	i := s.i.Name()
+	if _, ok := i.SiblingPair(); !ok {
+		return s
+	}
+	u := s.u.Name()
 	for {
 		parent, ok := i.SiblingPair()
 		if !ok {
-			return Stamp{u: u, i: i}
+			return Stamp{u: trie.Intern(u), i: trie.Intern(i)}
 		}
 		u, i = rewriteOnce(u, i, parent)
 	}
@@ -33,7 +40,7 @@ func (s Stamp) Reduce() Stamp {
 
 // IsReduced reports whether no rewriting applies to s (s is in normal form).
 func (s Stamp) IsReduced() bool {
-	_, ok := s.i.SiblingPair()
+	_, ok := s.i.Name().SiblingPair()
 	return !ok
 }
 
@@ -71,7 +78,7 @@ func rewriteOnce(u, id name.Name, s bitstr.Bits) (name.Name, name.Name) {
 // the normal form; used by the E5 experiments to report reduction
 // effectiveness.
 func (s Stamp) ReduceSteps() int {
-	u, i := s.u, s.i
+	u, i := s.u.Name(), s.i.Name()
 	steps := 0
 	for {
 		parent, ok := i.SiblingPair()

@@ -7,6 +7,7 @@ import (
 
 	"versionstamp/internal/bitstr"
 	"versionstamp/internal/name"
+	"versionstamp/internal/trie"
 )
 
 func TestReduceExamples(t *testing.T) {
@@ -82,7 +83,7 @@ func TestReduceConfluent(t *testing.T) {
 			pick := pairs[rng.Intn(len(pairs))]
 			u, i = rewriteOnce(u, i, pick)
 		}
-		got := Stamp{u: u, i: i}
+		got := Stamp{u: trie.Intern(u), i: trie.Intern(i)}
 		if !got.Equal(want) {
 			t.Fatalf("confluence violated on %v: random order %v, Reduce %v", s, got, want)
 		}

@@ -34,6 +34,7 @@ import (
 	"fmt"
 
 	"versionstamp/internal/name"
+	"versionstamp/internal/trie"
 )
 
 // ErrOverlappingIDs is returned by Join when the two stamps' id components
@@ -46,27 +47,55 @@ var ErrOverlappingIDs = errors.New("core: join of stamps with overlapping ids")
 // is not a member of any reachable configuration; new histories start from
 // Seed().
 //
-// Stamp values are immutable; operations return new stamps.
+// Stamp values are immutable; operations return new stamps. Both components
+// are held as hash-consed handles (trie.Interned): each distinct name exists
+// once per process, so structural equality is pointer comparison, Update and
+// Fork shuffle pointers instead of copying slices, and the wire encoding of
+// a component is cached on its handle. See the "Performance model" section
+// of the package versionstamp documentation.
 type Stamp struct {
-	u name.Name // update component: which updates this element has seen
-	i name.Name // id component: this element's identity within the frontier
+	// The zero-width func field makes Stamp non-comparable, as it was when
+	// the components were slice-backed names: handle pointers are an
+	// implementation detail (intern-table overflow yields unshared handles
+	// for equal names), so == would silently report false negatives. Use
+	// Equal.
+	_ [0]func()
+
+	u *trie.Interned // update component: which updates this element has seen
+	i *trie.Interned // id component: this element's identity within the frontier
 }
+
+// epsilonHandle is the interned name {ε}, the component of every seed stamp.
+var epsilonHandle = trie.Intern(name.Epsilon())
 
 // Seed returns the stamp ({ε}, {ε}) of the initial configuration: a system
 // with a single data element that owns "the whole" identity space.
 func Seed() Stamp {
-	return Stamp{u: name.Epsilon(), i: name.Epsilon()}
+	return Stamp{u: epsilonHandle, i: epsilonHandle}
 }
 
-// New assembles a stamp from explicit components, validating Invariant I1
-// (u ⊑ i). It is intended for decoding and tests; normal use derives stamps
-// exclusively through Seed, Update, Fork and Join.
+// New assembles a stamp from explicit components, validating them and
+// Invariant I1 (u ⊑ i). It is intended for decoding and tests; normal use
+// derives stamps exclusively through Seed, Update, Fork and Join.
+//
+// Validation happens before interning: the intern table is keyed by the
+// canonical encoding, and admitting an ill-formed name would poison the
+// shared record for its well-formed encoding.
 func New(update, id name.Name) (Stamp, error) {
-	s := Stamp{u: update, i: id}
-	if err := CheckI1(s); err != nil {
+	if err := checkI1Names(update, id); err != nil {
 		return Stamp{}, err
 	}
-	return s, nil
+	return Stamp{u: trie.Intern(update), i: trie.Intern(id)}, nil
+}
+
+// NewInterned assembles a stamp from already-interned components, validating
+// Invariant I1. It is the allocation-free constructor decoders use once the
+// components have been deduped against the intern table.
+func NewInterned(update, id *trie.Interned) (Stamp, error) {
+	if !update.Leq(id) {
+		return Stamp{}, fmt.Errorf("core: I1 violated: u = %v ⋢ i = %v", update, id)
+	}
+	return Stamp{u: update, i: id}, nil
 }
 
 // MustNew is New but panics on error; intended for tests and examples.
@@ -79,10 +108,17 @@ func MustNew(update, id name.Name) Stamp {
 }
 
 // UpdateName returns the update component u.
-func (s Stamp) UpdateName() name.Name { return s.u }
+func (s Stamp) UpdateName() name.Name { return s.u.Name() }
 
 // IDName returns the id component i.
-func (s Stamp) IDName() name.Name { return s.i }
+func (s Stamp) IDName() name.Name { return s.i.Name() }
+
+// UpdateHandle returns the interned update component. Encoders use it to
+// append the component's cached canonical bytes without re-walking anything.
+func (s Stamp) UpdateHandle() *trie.Interned { return s.u }
+
+// IDHandle returns the interned id component.
+func (s Stamp) IDHandle() *trie.Interned { return s.i }
 
 // IsZero reports whether s is the zero Stamp (∅, ∅), which does not occur in
 // reachable configurations.
@@ -99,7 +135,8 @@ func (s Stamp) Update() Stamp {
 // Fork splits the element in two: (u, i) -> (u, i·0), (u, i·1). Both
 // descendants know the same updates; their ids partition the ancestor's
 // identity space, so they remain distinguishable anywhere in the frontier
-// without any coordination.
+// without any coordination. The appended ids are memoized on the interned
+// record, so forking an id the process has forked before allocates nothing.
 func (s Stamp) Fork() (Stamp, Stamp) {
 	return Stamp{u: s.u, i: s.i.Append0()},
 		Stamp{u: s.u, i: s.i.Append1()}
@@ -145,9 +182,12 @@ func JoinNoReduce(a, b Stamp) (Stamp, error) {
 	if !a.i.IncomparableTo(b.i) {
 		return Stamp{}, fmt.Errorf("%w: %v and %v", ErrOverlappingIDs, a.i, b.i)
 	}
+	// JoinInterned returns the dominating side's handle unchanged when one
+	// operand contains the other — for equal update components (converged
+	// copies) the join is free and preserves handle identity.
 	return Stamp{
-		u: name.Join(a.u, b.u),
-		i: name.Join(a.i, b.i),
+		u: trie.JoinInterned(a.u, b.u),
+		i: trie.JoinInterned(a.i, b.i),
 	}, nil
 }
 

@@ -66,40 +66,47 @@ func MarshalCompact(s core.Stamp) []byte {
 
 // AppendCompact appends the trie-structural format of s to dst — the
 // buffer-reusing form of MarshalCompact for encoders that build frames
-// incrementally.
+// incrementally. The component encodings are the stamp handles' cached
+// intern keys, so nothing is walked or rebuilt; the bytes are identical to
+// encoding the components' tries directly (the intern key is canonical).
 func AppendCompact(dst []byte, s core.Stamp) []byte {
 	dst = append(dst, compactFormat)
-	dst = append(dst, trie.FromName(s.UpdateName()).Encode()...)
-	return append(dst, trie.FromName(s.IDName()).Encode()...)
+	dst = s.UpdateHandle().AppendEncoding(dst)
+	return s.IDHandle().AppendEncoding(dst)
 }
 
 // AppendUpdateTrie appends the trie encoding of the stamp's update component
 // alone. Compare relates stamps by their update components only, so this is
 // the part of a stamp that two equivalent copies share byte for byte — the
 // input stripe summaries hash over (the id components always differ between
-// replicas, every transfer forks them).
+// replicas, every transfer forks them). Served from the handle's cached
+// encoding: summary recomputes after an epoch bump re-encode no tries.
 func AppendUpdateTrie(dst []byte, s core.Stamp) []byte {
-	return append(dst, trie.FromName(s.UpdateName()).Encode()...)
+	return s.UpdateHandle().AppendEncoding(dst)
 }
 
 // UnmarshalCompact parses and validates a stamp from the trie-structural
-// format, returning the number of bytes consumed.
+// format, returning the number of bytes consumed. Both components intern on
+// arrival (trie.InternEncoded): a component already known to the process —
+// every component, once two replicas have converged — costs a map probe on
+// the raw wire bytes, builds nothing, and yields the same handle the local
+// copies already hold, so downstream comparison is pointer equality.
 func UnmarshalCompact(data []byte) (core.Stamp, int, error) {
 	if len(data) == 0 || data[0] != compactFormat {
 		return core.Stamp{}, 0, fmt.Errorf("encoding: not a compact stamp")
 	}
 	off := 1
-	ut, used, err := trie.Decode(data[off:])
+	u, used, err := trie.InternEncoded(data[off:])
 	if err != nil {
 		return core.Stamp{}, 0, fmt.Errorf("encoding: update component: %w", err)
 	}
 	off += used
-	it, used, err := trie.Decode(data[off:])
+	i, used, err := trie.InternEncoded(data[off:])
 	if err != nil {
 		return core.Stamp{}, 0, fmt.Errorf("encoding: id component: %w", err)
 	}
 	off += used
-	s, err := core.New(ut.ToName(), it.ToName())
+	s, err := core.NewInterned(u, i)
 	if err != nil {
 		return core.Stamp{}, 0, err
 	}

@@ -1,10 +1,12 @@
 package encoding
 
 import (
+	"bytes"
 	"math/rand"
 	"testing"
 
 	"versionstamp/internal/core"
+	"versionstamp/internal/trie"
 )
 
 // randomStamps builds a reachable frontier of stamps for round-trip tests.
@@ -133,5 +135,71 @@ func TestCompactBeatsFlatOnBushyStamps(t *testing.T) {
 	sz := Measure(s)
 	if sz.Compact >= sz.Flat {
 		t.Errorf("compact (%d B) not smaller than flat (%d B) for %v", sz.Compact, sz.Flat, s)
+	}
+}
+
+// TestCompactBytesMatchTrieReference is the wire-stability property of the
+// interned kernel: AppendCompact serves each component's cached intern key,
+// and those bytes must be identical to encoding the component tries directly
+// (the pre-interning construction). Digest and entry frames, snapshots and
+// the v2/v3 protocols all embed this format, so byte equality here pins the
+// whole wire surface.
+func TestCompactBytesMatchTrieReference(t *testing.T) {
+	reference := func(s core.Stamp) []byte {
+		out := []byte{0x02} // compactFormat
+		out = append(out, trie.FromName(s.UpdateName()).Encode()...)
+		return append(out, trie.FromName(s.IDName()).Encode()...)
+	}
+	rng := rand.New(rand.NewSource(5))
+	frontier := []core.Stamp{core.Seed()}
+	check := func(s core.Stamp) {
+		t.Helper()
+		got := MarshalCompact(s)
+		want := reference(s)
+		if !bytes.Equal(got, want) {
+			t.Fatalf("MarshalCompact(%v) = % x, trie reference % x", s, got, want)
+		}
+		back, used, err := UnmarshalCompact(got)
+		if err != nil || used != len(got) || !back.Equal(s) {
+			t.Fatalf("round trip of %v: %v (used %d) err %v", s, back, used, err)
+		}
+	}
+	for k := 0; k < 300; k++ {
+		switch op := rng.Intn(3); {
+		case op == 0:
+			i := rng.Intn(len(frontier))
+			frontier[i] = frontier[i].Update()
+		case op == 1 || len(frontier) == 1:
+			i := rng.Intn(len(frontier))
+			a, b := frontier[i].Fork()
+			frontier[i] = a
+			frontier = append(frontier, b)
+		default:
+			i, j := rng.Intn(len(frontier)), rng.Intn(len(frontier))
+			if i == j {
+				continue
+			}
+			if joined, err := core.Join(frontier[i], frontier[j]); err == nil {
+				frontier[i] = joined
+				frontier = append(frontier[:j], frontier[j+1:]...)
+			}
+		}
+		for _, s := range frontier {
+			check(s)
+		}
+	}
+}
+
+// TestAppendCompactAllocationFree: marshaling an interned stamp into a
+// pre-sized buffer must not allocate — the per-digest cost of every summary
+// recompute and wire frame build.
+func TestAppendCompactAllocationFree(t *testing.T) {
+	s := core.Seed().Update()
+	a, _ := s.Fork()
+	buf := make([]byte, 0, 64)
+	if allocs := testing.AllocsPerRun(500, func() {
+		buf = AppendCompact(buf[:0], a)
+	}); allocs != 0 {
+		t.Errorf("AppendCompact allocates %.1f/op, want 0", allocs)
 	}
 }

@@ -42,7 +42,9 @@ func fnvMix(h uint64, b []byte) uint64 {
 
 // SummarizeDigests hashes a stripe's digest set, which must be sorted by key
 // (the order both endpoints agree on). The scratch buffer is reused across
-// digests, so summarizing allocates only once regardless of stripe size.
+// digests, so summarizing allocates only once regardless of stripe size —
+// and each stamp's contribution is its handle's cached canonical encoding,
+// so an epoch-bump recompute re-encodes no tries.
 func SummarizeDigests(ds []Digest) uint64 {
 	h := uint64(fnvOffset64)
 	var scratch []byte
@@ -52,6 +54,30 @@ func SummarizeDigests(ds []Digest) uint64 {
 		scratch = append(scratch, d.Key...)
 		scratch = AppendUpdateTrie(scratch, d.Stamp)
 		h = fnvMix(h, scratch)
+	}
+	return h
+}
+
+// RootSummarySeed starts an incremental root-hash computation (FoldSummary).
+const RootSummarySeed uint64 = fnvOffset64
+
+// FoldSummary folds one stripe summary into a running root hash begun at
+// RootSummarySeed — the allocation-free incremental form of
+// SummarizeSummaries for callers whose summaries are not already a []uint64.
+func FoldSummary(h, sum uint64) uint64 {
+	var b [8]byte
+	binary.BigEndian.PutUint64(b[:], sum)
+	return fnvMix(h, b[:])
+}
+
+// SummarizeSummaries condenses a whole layout's stripe summaries (in stripe
+// order) into one 8-byte root hash — the second summary level: two endpoints
+// that agree on the root have converged, and the round is over after ~14
+// wire bytes, before even the per-stripe summaries travel.
+func SummarizeSummaries(sums []uint64) uint64 {
+	h := RootSummarySeed
+	for _, s := range sums {
+		h = FoldSummary(h, s)
 	}
 	return h
 }

@@ -3,6 +3,7 @@ package kvstore
 import (
 	"fmt"
 	"sort"
+	"sync"
 
 	"versionstamp/internal/core"
 	"versionstamp/internal/encoding"
@@ -70,66 +71,159 @@ func (r *Replica) DigestShard(idx int) ([]encoding.Digest, error) {
 	return out, nil
 }
 
+// diffScratch is the pooled per-call scratch of DiffAgainst: the peer
+// digests' local stripe assignments and their counting-sort grouping. Pooled
+// so steady-state digest phases allocate nothing however often they run.
+type diffScratch struct {
+	stripeOf []int32 // local stripe owning peer[i].Key
+	starts   []int   // bucket cursor per stripe (counting sort)
+	order    []int32 // peer indices grouped by local stripe
+}
+
+var diffScratchPool = sync.Pool{New: func() any { return new(diffScratch) }}
+
+// grow resizes the scratch for npeer digests over nshards stripes.
+func (sc *diffScratch) grow(npeer, nshards int) {
+	if cap(sc.stripeOf) < npeer {
+		sc.stripeOf = make([]int32, npeer)
+		sc.order = make([]int32, npeer)
+	}
+	sc.stripeOf = sc.stripeOf[:npeer]
+	sc.order = sc.order[:npeer]
+	if cap(sc.starts) < nshards+1 {
+		sc.starts = make([]int, nshards+1)
+	}
+	sc.starts = sc.starts[:nshards+1]
+	for i := range sc.starts {
+		sc.starts[i] = 0
+	}
+}
+
 // DiffAgainst compares a peer digest with local state and reports which peer
 // copies must travel in full. Read locks only; the comparison is advisory —
 // ApplyDelta re-validates every key under write locks, so state changing
 // between the two phases costs at most one extra round, never correctness.
+//
+// This is the phase every idle sync round pays, so it is engineered as a
+// batch: peer digests are grouped by owning local stripe (counting sort over
+// pooled scratch, no per-key maps), each stripe is read-locked once while
+// its group is probed directly against the stripe map, and stamp
+// classification runs through a batch Comparer — converged copies share
+// interned update handles, so the common outcome is a pointer comparison.
+// A converged pass allocates nothing beyond pool warm-up.
 func (r *Replica) DiffAgainst(peer []encoding.Digest, idx, of int) (Diff, error) {
 	if err := checkScope(idx, of); err != nil {
 		return Diff{}, err
 	}
-	peerStamp := make(map[string]core.Stamp, len(peer))
 	for _, pd := range peer {
 		if of > 0 && ShardIndex(pd.Key, of) != idx {
 			return Diff{}, fmt.Errorf("kvstore: diff shard %d/%d: key %q belongs to shard %d",
 				idx, of, pd.Key, ShardIndex(pd.Key, of))
 		}
-		peerStamp[pd.Key] = pd.Stamp
 	}
-	// One pass per relevant stripe, stamps only — this is the phase every
-	// idle sync round pays, so it must not copy values or lock per key.
-	var d Diff
-	matched := make(map[string]struct{}, len(peerStamp))
-	for i := range r.shards {
-		if of > 0 && len(r.shards) == of && i != idx {
-			continue // layouts agree: stripe i cannot hold in-scope keys
+	nShards := len(r.shards)
+	scoped := of > 0 && nShards == of // in-scope keys live in local stripe idx only
+
+	sc := diffScratchPool.Get().(*diffScratch)
+	defer diffScratchPool.Put(sc)
+	sc.grow(len(peer), nShards)
+	if scoped {
+		for i := range peer {
+			sc.stripeOf[i] = int32(idx)
 		}
-		sh := &r.shards[i]
+	} else {
+		for i, pd := range peer {
+			sc.stripeOf[i] = int32(ShardIndex(pd.Key, nShards))
+		}
+	}
+	// Counting sort: starts[s] ends up as the first order-index of stripe s,
+	// order holds peer indices grouped by stripe in input (key) order.
+	for _, s := range sc.stripeOf {
+		sc.starts[s+1]++
+	}
+	for s := 1; s <= nShards; s++ {
+		sc.starts[s] += sc.starts[s-1]
+	}
+	cursor := sc.starts
+	for i, s := range sc.stripeOf {
+		sc.order[cursor[s]] = int32(i)
+		cursor[s]++
+	}
+	// cursor[s] now marks the end of stripe s's group (and the start of
+	// stripe s+1's), so group s spans [prevEnd, cursor[s]).
+
+	var d Diff
+	var cmp core.Comparer
+	matched, localInScope := 0, 0
+	groupStart := 0
+	for si := 0; si < nShards; si++ {
+		groupEnd := cursor[si]
+		group := sc.order[groupStart:groupEnd]
+		groupStart = groupEnd
+		if scoped && si != idx {
+			continue // layouts agree: stripe si cannot hold in-scope keys
+		}
+		sh := &r.shards[si]
 		sh.mu.RLock()
-		for k, v := range sh.data {
-			if of > 0 && ShardIndex(k, of) != idx {
-				continue
+		switch {
+		case of == 0 || scoped:
+			localInScope += len(sh.data)
+		default:
+			// Foreign layout: in-scope local keys may live anywhere.
+			for k := range sh.data {
+				if ShardIndex(k, of) == idx {
+					localInScope++
+				}
 			}
-			ps, ok := peerStamp[k]
+		}
+		for _, pi := range group {
+			pd := &peer[pi]
+			v, ok := sh.data[pd.Key]
 			if !ok {
-				d.LocalOnly++
+				d.Need = append(d.Need, pd.Key) // unknown here: the copy must travel
 				continue
 			}
-			matched[k] = struct{}{}
-			if !v.Stamp.IDName().IncomparableTo(ps.IDName()) {
+			matched++
+			if !v.Stamp.IDHandle().IncomparableTo(pd.Stamp.IDHandle()) {
 				// Overlapping ids: independently created copies with no
 				// causal order; reconciliation needs the peer's value.
-				d.Need = append(d.Need, k)
+				d.Need = append(d.Need, pd.Key)
 				continue
 			}
-			switch core.Compare(v.Stamp, ps) {
+			switch cmp.Compare(v.Stamp, pd.Stamp) {
 			case core.Equal:
 				d.Equivalent++
 			case core.After:
 				// We dominate: our copy travels in the reply, theirs need not.
 			default: // Before, Concurrent
-				d.Need = append(d.Need, k)
+				d.Need = append(d.Need, pd.Key)
 			}
 		}
 		sh.mu.RUnlock()
 	}
-	for k := range peerStamp {
-		if _, ok := matched[k]; !ok {
-			d.Need = append(d.Need, k) // unknown here: the copy must travel
-		}
+	// Peer digests are unique-keyed (Digest/DigestShard emit each key once),
+	// so every in-scope local key the probes did not match is local-only.
+	// Clamped so a malformed duplicate-keyed digest cannot report negative.
+	if d.LocalOnly = localInScope - matched; d.LocalOnly < 0 {
+		d.LocalOnly = 0
 	}
 	sort.Strings(d.Need)
+	// A malformed duplicate-keyed digest would also duplicate its key in
+	// Need (each entry is probed independently); compact the sorted list so
+	// the need frame never requests a key twice.
+	d.Need = compactSorted(d.Need)
 	return d, nil
+}
+
+// compactSorted removes adjacent duplicates from a sorted slice in place.
+func compactSorted(ss []string) []string {
+	out := ss[:0]
+	for i, s := range ss {
+		if i == 0 || s != ss[i-1] {
+			out = append(out, s)
+		}
+	}
+	return out
 }
 
 // ApplyDelta runs the responder half of phase 2: it reconciles the peer's
@@ -189,6 +283,7 @@ func (r *Replica) ApplyDelta(peerDigest []encoding.Digest, peerEntries []encodin
 
 	var res SyncResult
 	var reply []encoding.Entry
+	var cmp core.Comparer // batch memo: digest stamps recur across keys
 	for _, k := range sortedKeys(keys) {
 		da := r.shardFor(k).data
 		local, hasLocal := da[k]
@@ -201,12 +296,12 @@ func (r *Replica) ApplyDelta(peerDigest []encoding.Digest, peerEntries []encodin
 		case hasFull:
 			db[k] = pv
 		case hasDigest && hasLocal:
-			if !local.Stamp.IDName().IncomparableTo(ps.IDName()) {
+			if !local.Stamp.IDHandle().IncomparableTo(ps.IDHandle()) {
 				// Independently created copies need the peer's value; it did
 				// not arrive, so leave both sides for the next round.
 				continue
 			}
-			switch core.Compare(local.Stamp, ps) {
+			switch cmp.Compare(local.Stamp, ps) {
 			case core.Equal:
 				res.Pruned++
 				continue

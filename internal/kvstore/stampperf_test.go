@@ -1,0 +1,97 @@
+package kvstore
+
+import (
+	"fmt"
+	"testing"
+
+	"versionstamp/internal/encoding"
+)
+
+// Performance acceptance for the interned stamp kernel on the store's
+// hottest read path. The pre-PR implementation of DiffAgainst built two maps
+// per call and compared slice-backed stamps; measured on the same converged
+// 1000-key workload it cost 10 allocs/op and ~202 KB/op. The batched
+// implementation over interned handles must beat that by at least 5x.
+
+// preInterningDiffAllocs is the recorded pre-PR baseline: allocs/op of
+// DiffAgainst over a converged 1000-key replica pair (go test -bench,
+// 2026-07, this repository at PR 3).
+const preInterningDiffAllocs = 10
+
+// convergedDiffPair builds a server and the digest of a converged clone.
+func convergedDiffPair(keys int) (*Replica, []encoding.Digest) {
+	server := NewReplica("server")
+	for i := 0; i < keys; i++ {
+		server.Put(fmt.Sprintf("key-%06d", i), []byte("value-with-some-padding"))
+	}
+	client := server.Clone("client")
+	return server, client.Digest()
+}
+
+func TestDiffAgainstAllocBudget(t *testing.T) {
+	server, digest := convergedDiffPair(1000)
+	if _, err := server.DiffAgainst(digest, 0, 0); err != nil {
+		t.Fatal(err)
+	}
+	allocs := testing.AllocsPerRun(20, func() {
+		d, err := server.DiffAgainst(digest, 0, 0)
+		if err != nil || len(d.Need) != 0 || d.Equivalent != 1000 {
+			t.Fatalf("diff = %+v, err %v", d, err)
+		}
+	})
+	budget := float64(preInterningDiffAllocs) / 5
+	if allocs > budget {
+		t.Errorf("converged DiffAgainst allocates %.1f/op; budget is %.1f (pre-interning baseline %d / 5)",
+			allocs, budget, preInterningDiffAllocs)
+	}
+	t.Logf("converged 1000-key DiffAgainst: %.1f allocs/op (pre-interning baseline %d)",
+		allocs, preInterningDiffAllocs)
+}
+
+func BenchmarkDiffAgainstConverged(b *testing.B) {
+	server, digest := convergedDiffPair(1000)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := server.DiffAgainst(digest, 0, 0); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkDiffAgainstDivergent(b *testing.B) {
+	server, digest := convergedDiffPair(1000)
+	for i := 0; i < 1000; i += 100 {
+		server.Put(fmt.Sprintf("key-%06d", i), []byte("edited"))
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := server.DiffAgainst(digest, 0, 0); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// TestDiffAgainstDuplicateDigestKeys: a malformed peer digest listing a key
+// twice must not duplicate it in Need (nor corrupt the counters).
+func TestDiffAgainstDuplicateDigestKeys(t *testing.T) {
+	server := NewReplica("server")
+	server.Put("known", []byte("v"))
+	client := server.Clone("client")
+	client.Put("known", []byte("edited")) // client dominates
+	digest := client.Digest()
+	dup := append(append([]encoding.Digest(nil), digest...), digest...)
+	dup = append(dup, encoding.Digest{Key: "unknown", Stamp: digest[0].Stamp})
+	dup = append(dup, encoding.Digest{Key: "unknown", Stamp: digest[0].Stamp})
+	d, err := server.DiffAgainst(dup, 0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(d.Need) != 2 || d.Need[0] != "known" || d.Need[1] != "unknown" {
+		t.Errorf("Need = %v, want [known unknown] exactly once each", d.Need)
+	}
+	if d.LocalOnly != 0 {
+		t.Errorf("LocalOnly = %d, want 0", d.LocalOnly)
+	}
+}

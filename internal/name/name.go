@@ -198,9 +198,26 @@ func (n Name) MaxDepth() int {
 	return depth
 }
 
+// lowerBound returns the index of the first string >= b in lexicographic
+// order. It is sort.Search inlined as a plain loop so the hot comparison
+// walks (Covers, Leq, Contains) never materialize a closure: they are
+// allocation-free however the compiler feels about escape analysis.
+func (n Name) lowerBound(b bitstr.Bits) int {
+	lo, hi := 0, len(n.ss)
+	for lo < hi {
+		mid := int(uint(lo+hi) >> 1)
+		if n.ss[mid].Compare(b) < 0 {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	return lo
+}
+
 // Contains reports exact membership of b in the antichain.
 func (n Name) Contains(b bitstr.Bits) bool {
-	i := sort.Search(len(n.ss), func(i int) bool { return n.ss[i].Compare(b) >= 0 })
+	i := n.lowerBound(b)
 	return i < len(n.ss) && n.ss[i] == b
 }
 
@@ -208,7 +225,7 @@ func (n Name) Contains(b bitstr.Bits) bool {
 // in the down-set of n). Implemented by binary search: the extensions of b
 // form a contiguous run starting at the first element >= b.
 func (n Name) Covers(b bitstr.Bits) bool {
-	i := sort.Search(len(n.ss), func(i int) bool { return n.ss[i].Compare(b) >= 0 })
+	i := n.lowerBound(b)
 	return i < len(n.ss) && b.PrefixOf(n.ss[i])
 }
 
@@ -271,6 +288,16 @@ func Join(n, m Name) Name {
 		return m
 	}
 	if m.IsEmpty() {
+		return n
+	}
+	// When one side already dominates, the join is that side: return it
+	// unchanged (names are immutable, so sharing the backing slice is safe).
+	// Converged replicas join equal update components on every
+	// reconciliation, so this allocation-free path is the steady state.
+	if n.Leq(m) {
+		return m
+	}
+	if m.Leq(n) {
 		return n
 	}
 	// Merge the two sorted antichains, discarding dominated strings. Within

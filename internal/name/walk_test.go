@@ -1,0 +1,137 @@
+package name
+
+import (
+	"testing"
+	"testing/quick"
+
+	"versionstamp/internal/bitstr"
+)
+
+// Differential tests for the allocation-free comparison walks against the
+// retained specification-level implementations (leqNaive, coversNaive,
+// joinNaive). The table-driven cases in name_test.go cover hand-picked
+// shapes; these drive randomized and fuzzed inputs through both
+// implementations and additionally pin the fast paths' allocation budget
+// to zero, which is what the interned stamp kernel builds on.
+
+// TestQuickWalksAgainstNaive: on arbitrary generated names, the binary-search
+// walks and the dominance-reusing Join agree with the quadratic reference
+// implementations.
+func TestQuickWalksAgainstNaive(t *testing.T) {
+	if err := quick.Check(func(a, b genName, raw []byte) bool {
+		if a.Leq(b.Name) != a.leqNaive(b.Name) {
+			return false
+		}
+		probe := probeFrom(raw)
+		if a.Covers(probe) != a.coversNaive(probe) {
+			return false
+		}
+		fast := Join(a.Name, b.Name)
+		naive := joinNaive(a.Name, b.Name)
+		return fast.Equal(naive) && fast.Validate() == nil
+	}, quickCfg()); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestJoinDominanceSharing: when one operand contains the other, Join must
+// return the dominating name unchanged (the allocation-free steady state)
+// and still agree with the naive construction.
+func TestJoinDominanceSharing(t *testing.T) {
+	if err := quick.Check(func(a, b genName) bool {
+		j := Join(a.Name, b.Name)
+		if a.Leq(b.Name) && !j.Equal(b.Name) {
+			return false
+		}
+		if b.Leq(a.Name) && !b.Leq(j) {
+			return false
+		}
+		return j.Equal(joinNaive(a.Name, b.Name))
+	}, quickCfg()); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestWalksAllocationFree pins the hot walks to zero allocations: Covers,
+// Leq, and Join of names where one side dominates. These are the per-key
+// operations of every digest comparison, so a regression here silently
+// multiplies by millions of keys.
+func TestWalksAllocationFree(t *testing.T) {
+	n := MustParse("00+010+0110+10+111")
+	m := MustParse("001+0100+01101+101+1110")
+	probe := bitstr.Bits("0110")
+	if a := testing.AllocsPerRun(200, func() { _ = n.Covers(probe) }); a != 0 {
+		t.Errorf("Covers allocates %.1f/op, want 0", a)
+	}
+	if a := testing.AllocsPerRun(200, func() { _ = n.Leq(m) }); a != 0 {
+		t.Errorf("Leq allocates %.1f/op, want 0", a)
+	}
+	if a := testing.AllocsPerRun(200, func() { _ = Join(n, n) }); a != 0 {
+		t.Errorf("Join of equal names allocates %.1f/op, want 0", a)
+	}
+}
+
+// FuzzWalksAgainstNaive derives two names and a probe string from fuzz
+// bytes and cross-checks every walk against its reference implementation.
+// Run with `go test -fuzz=FuzzWalksAgainstNaive ./internal/name` for a full
+// session; the seed corpus runs on every `go test`.
+func FuzzWalksAgainstNaive(f *testing.F) {
+	f.Add([]byte{}, []byte{}, []byte{})
+	f.Add([]byte{0x00}, []byte{0xFF}, []byte{0x0A})
+	f.Add([]byte{1, 2, 3, 4}, []byte{4, 3, 2, 1}, []byte{7})
+	f.Add([]byte{0xAA, 0x55, 0x12}, []byte{0x55, 0xAA}, []byte{0xF0, 0x0F})
+	f.Fuzz(func(t *testing.T, ra, rb, rp []byte) {
+		a, b := nameFrom(ra), nameFrom(rb)
+		probe := probeFrom(rp)
+		if got, want := a.Leq(b), a.leqNaive(b); got != want {
+			t.Fatalf("Leq(%v, %v) = %v, naive %v", a, b, got, want)
+		}
+		if got, want := a.Covers(probe), a.coversNaive(probe); got != want {
+			t.Fatalf("Covers(%v, %v) = %v, naive %v", a, probe, got, want)
+		}
+		fast, naive := Join(a, b), joinNaive(a, b)
+		if !fast.Equal(naive) {
+			t.Fatalf("Join(%v, %v) = %v, naive %v", a, b, fast, naive)
+		}
+		if err := fast.Validate(); err != nil {
+			t.Fatalf("Join(%v, %v) produced invalid name: %v", a, b, err)
+		}
+	})
+}
+
+// nameFrom builds an arbitrary valid name from raw bytes: each byte yields
+// one candidate string (3 length bits, 5 value bits) and MaxOf keeps the
+// maximal ones.
+func nameFrom(raw []byte) Name {
+	bits := make([]bitstr.Bits, 0, len(raw))
+	for _, c := range raw {
+		l := int(c >> 5)
+		b := bitstr.Epsilon
+		for j := 0; j < l; j++ {
+			if c&(1<<j) != 0 {
+				b = b.Append1()
+			} else {
+				b = b.Append0()
+			}
+		}
+		bits = append(bits, b)
+	}
+	return MaxOf(bits...)
+}
+
+// probeFrom builds an arbitrary probe string from raw bytes (one bit per
+// byte, capped at 12).
+func probeFrom(raw []byte) bitstr.Bits {
+	b := bitstr.Epsilon
+	for i, c := range raw {
+		if i >= 12 {
+			break
+		}
+		if c&1 != 0 {
+			b = b.Append1()
+		} else {
+			b = b.Append0()
+		}
+	}
+	return b
+}

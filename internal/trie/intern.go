@@ -1,0 +1,375 @@
+package trie
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+
+	"versionstamp/internal/bitstr"
+	"versionstamp/internal/name"
+)
+
+// Hash-consed canonical names. Every distinct name the process works with is
+// represented at most once by an *Interned record keyed by the name's
+// structural trie encoding (Encode), which is canonical: one name, one byte
+// string. Handing stamps around as handles instead of slice-backed names
+// turns the operations the kvstore hot paths hammer into pointer work:
+//
+//   - equality of interned names is pointer comparison;
+//   - Leq/Covers/Compare walk the two operands in place (package name's
+//     sorted-slice walks) and never build a trie or an intermediate slice;
+//   - Join returns the dominating operand's handle unchanged when one side
+//     already contains the other, and Append0/Append1 memoize their results
+//     per record, so a fork of an already-seen id allocates nothing;
+//   - the wire encoding of an interned name is the table key itself, so
+//     marshaling appends cached bytes and decoding dedups on arrival
+//     (InternEncoded) without re-walking anything.
+//
+// The paper's stamps grow with the width of the current frontier, not with
+// history, so a store of millions of keys draws its stamp components from a
+// tiny set of distinct names — the table stays small while hit rates stay
+// near perfect. The nil *Interned is the empty name ∅, mirroring the nil
+// *Node convention.
+//
+// Records are immutable once published and the table only ever adds entries
+// (up to maxInterned records of at most maxInternedEncoding bytes each;
+// names beyond either bound are returned uninterned with id 0 — still
+// correct, just not shared). Records are never evicted: the table is a
+// cache of canonical forms, and a dangling handle must never compare
+// unequal to a re-interned copy of the same name.
+
+// internShards is the stripe count of the intern table; interning from many
+// goroutines (32 kvstore shards, gossip workers) contends on a shard each,
+// not on one lock.
+const internShards = 64
+
+// maxInterned bounds the total number of table-resident records. Beyond the
+// cap, Intern still returns correct handles — they just carry id 0 and skip
+// the table, so comparison caches ignore them.
+const maxInterned = 1 << 18
+
+// maxInternedEncoding bounds the encoded size of a table-resident record.
+// The table is fed by wire decoding (InternEncoded) and never evicts, so
+// without a size bound an untrusted peer could pin arbitrarily large decoded
+// names for the process lifetime; a 2^26-bit encoding expands to a name of
+// millions of strings. Honest stamps encode in tens of bytes (they grow with
+// frontier width, not history), so 256 bytes is far above any real name
+// while capping worst-case resident table memory at a few tens of MB.
+// Oversized names still work — as unshared overflow handles that the GC
+// reclaims with the data that references them.
+const maxInternedEncoding = 256
+
+// Interned is a hash-consed name: a shared, immutable record holding the
+// name, its canonical trie encoding (the intern key), and a small unique id
+// for use as a comparison-cache key. The zero id marks an overflow record
+// that is not table-resident. The nil *Interned is the empty name.
+type Interned struct {
+	id   uint32
+	enc  string    // canonical trie encoding, the hash-cons key
+	name name.Name // sorted-slice representation for in-place walks
+
+	// zero and one memoize AppendBit results: forking an id that has been
+	// forked before is two pointer loads. Benign races store the same
+	// table-resident pointer; overflow records may store distinct but equal
+	// handles, which every comparison treats as equal via enc.
+	zero, one atomic.Pointer[Interned]
+}
+
+type internShard struct {
+	mu sync.RWMutex
+	m  map[string]*Interned
+}
+
+var (
+	internTable [internShards]internShard
+	// internCount counts table-resident records; a new record's id is the
+	// count after its own insertion, which is unique and maxInterned-bounded
+	// (the pre-insert cap check races across shards by at most a few
+	// records, never enough to threaten the comparison-cache key packing).
+	internCount atomic.Int64
+)
+
+func init() {
+	for i := range internTable {
+		internTable[i].m = make(map[string]*Interned)
+	}
+}
+
+// emptyEncoding is the canonical encoding of the empty trie (one 0 bit):
+// uvarint bit count 1, then a zero byte.
+var emptyEncoding = (*Node)(nil).Encode()
+
+// internShardFor picks the table stripe for an encoding (FNV-1a).
+func internShardFor(enc string) *internShard {
+	h := uint32(2166136261)
+	for i := 0; i < len(enc); i++ {
+		h ^= uint32(enc[i])
+		h *= 16777619
+	}
+	return &internTable[h%internShards]
+}
+
+// lookupOrInsert returns the table record for enc, inserting the candidate
+// build result on a miss. The candidate is built outside the lock by the
+// caller; losing a publish race returns the winner, so one name never has
+// two table-resident records.
+func lookupOrInsert(enc string, build func() name.Name) *Interned {
+	sh := internShardFor(enc)
+	sh.mu.RLock()
+	rec := sh.m[enc]
+	sh.mu.RUnlock()
+	if rec != nil {
+		return rec
+	}
+	cand := &Interned{enc: enc, name: build()}
+	if len(enc) > maxInternedEncoding {
+		return cand // oversized: correct but unshared and GC-able, id 0
+	}
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	if rec := sh.m[enc]; rec != nil {
+		return rec
+	}
+	if internCount.Load() >= maxInterned {
+		return cand // overflow: correct but unshared, id 0
+	}
+	cand.id = uint32(internCount.Add(1))
+	sh.m[enc] = cand
+	return cand
+}
+
+// Intern returns the canonical handle for n. The empty name interns to nil.
+// n must be a valid Name (the package name API guarantees this); Intern does
+// not re-validate.
+func Intern(n name.Name) *Interned {
+	if n.IsEmpty() {
+		return nil
+	}
+	enc := string(FromName(n).Encode())
+	return lookupOrInsert(enc, func() name.Name { return n })
+}
+
+// InternEncoded reads one trie-encoded name from the front of src and
+// returns its canonical handle plus the bytes consumed. A table hit costs a
+// map lookup on the raw bytes — no trie is decoded, no name built — which is
+// what makes wire ingestion dedup on arrival. Misses decode, validate and
+// re-encode canonically (wire padding bits are not part of the key).
+func InternEncoded(src []byte) (*Interned, int, error) {
+	n, used := encodedLen(src)
+	if used <= 0 {
+		return nil, 0, errCorrupt
+	}
+	raw := src[:n]
+	sh := internShardFor(string(raw))
+	sh.mu.RLock()
+	rec := sh.m[string(raw)] // compiler-recognized no-alloc map lookup
+	sh.mu.RUnlock()
+	if rec != nil {
+		return rec, n, nil
+	}
+	root, used, err := Decode(src)
+	if err != nil {
+		return nil, 0, err
+	}
+	if root == nil {
+		return nil, used, nil
+	}
+	// Key under the canonical re-encoding: a peer that pads its bit stream
+	// differently must still dedup onto the same record.
+	enc := string(root.Encode())
+	return lookupOrInsert(enc, root.ToName), used, nil
+}
+
+// encodedLen returns the total byte length of one encoded trie at the front
+// of src (uvarint frame plus padded bit stream), or 0,-1 on truncation. It
+// mirrors Decode's framing without touching the bits.
+func encodedLen(src []byte) (int, int) {
+	var nbit uint64
+	var shift uint
+	for i := 0; i < len(src); i++ {
+		b := src[i]
+		if shift >= 63 {
+			return 0, -1
+		}
+		nbit |= uint64(b&0x7f) << shift
+		if b < 0x80 {
+			if nbit > maxEncodedBits {
+				return 0, -1
+			}
+			total := i + 1 + (int(nbit)+7)/8
+			if total > len(src) {
+				return 0, -1
+			}
+			return total, i + 1
+		}
+		shift += 7
+	}
+	return 0, -1
+}
+
+// InternedCount reports how many records the table currently holds; used by
+// tests and capacity diagnostics.
+func InternedCount() int64 { return internCount.Load() }
+
+// Name returns the sorted-slice representation. The nil handle is ∅.
+func (t *Interned) Name() name.Name {
+	if t == nil {
+		return name.Empty()
+	}
+	return t.name
+}
+
+// ID returns the record's table id: nonzero and unique for table-resident
+// records, 0 for nil (∅) and overflow records. Ids never exceed maxInterned,
+// so they pack into comparison-cache keys.
+func (t *Interned) ID() uint32 {
+	if t == nil {
+		return 0
+	}
+	return t.id
+}
+
+// IsEmpty reports whether the handle is the empty name.
+func (t *Interned) IsEmpty() bool { return t == nil }
+
+// Len returns the number of strings in the name.
+func (t *Interned) Len() int {
+	if t == nil {
+		return 0
+	}
+	return t.name.Len()
+}
+
+// AppendEncoding appends the canonical trie encoding — the intern key
+// itself, no trie rebuilt, no walk.
+func (t *Interned) AppendEncoding(dst []byte) []byte {
+	if t == nil {
+		return append(dst, emptyEncoding...)
+	}
+	return append(dst, t.enc...)
+}
+
+// EncodedLen returns the length of AppendEncoding's output.
+func (t *Interned) EncodedLen() int {
+	if t == nil {
+		return len(emptyEncoding)
+	}
+	return len(t.enc)
+}
+
+// Equal reports set equality: pointer comparison for table-resident
+// handles, canonical-encoding comparison across overflow duplicates.
+func (t *Interned) Equal(u *Interned) bool {
+	if t == u {
+		return true
+	}
+	if t == nil || u == nil {
+		return false
+	}
+	return t.enc == u.enc
+}
+
+// Leq reports the name order t ⊑ u by walking both operands in place.
+func (t *Interned) Leq(u *Interned) bool {
+	if t == u || t == nil {
+		return true
+	}
+	if u == nil {
+		return false
+	}
+	if t.enc == u.enc {
+		return true
+	}
+	return t.name.Leq(u.name)
+}
+
+// Covers reports {b} ⊑ t.
+func (t *Interned) Covers(b bitstr.Bits) bool {
+	if t == nil {
+		return false
+	}
+	return t.name.Covers(b)
+}
+
+// IncomparableTo reports pairwise incomparability of every string pair —
+// the Invariant I2 relation between frontier ids.
+func (t *Interned) IncomparableTo(u *Interned) bool {
+	if t == nil || u == nil {
+		return true // vacuous: no strings to compare
+	}
+	if t == u || t.enc == u.enc {
+		return false // a nonempty name is comparable to itself
+	}
+	return t.name.IncomparableTo(u.name)
+}
+
+// JoinInterned returns the canonical handle of t ⊔ u. When one side already
+// dominates, the dominating handle is returned unchanged — the steady state
+// of converged stores, costing two in-place walks and zero allocations.
+func JoinInterned(t, u *Interned) *Interned {
+	if t == nil || t == u {
+		return u
+	}
+	if u == nil {
+		return t
+	}
+	if t.Leq(u) {
+		return u
+	}
+	if u.Leq(t) {
+		return t
+	}
+	return Intern(name.Join(t.name, u.name))
+}
+
+// Append0 returns the handle of t·0, memoized per record: repeated forks of
+// the same id are two pointer loads after the first.
+func (t *Interned) Append0() *Interned { return t.appendBit(bitstr.Zero) }
+
+// Append1 returns the handle of t·1.
+func (t *Interned) Append1() *Interned { return t.appendBit(bitstr.One) }
+
+func (t *Interned) appendBit(bit byte) *Interned {
+	if t == nil {
+		return nil
+	}
+	slot := &t.zero
+	if bit == bitstr.One {
+		slot = &t.one
+	}
+	if child := slot.Load(); child != nil {
+		return child
+	}
+	var appended name.Name
+	if bit == bitstr.Zero {
+		appended = t.name.Append0()
+	} else {
+		appended = t.name.Append1()
+	}
+	child := Intern(appended)
+	slot.Store(child)
+	return child
+}
+
+// String renders the name in the paper's notation.
+func (t *Interned) String() string {
+	if t == nil {
+		return "∅"
+	}
+	return t.name.String()
+}
+
+// Validate checks the record's internal consistency (name validity and
+// encoding agreement); used by fuzzing.
+func (t *Interned) Validate() error {
+	if t == nil {
+		return nil
+	}
+	if err := t.name.Validate(); err != nil {
+		return err
+	}
+	if got := string(FromName(t.name).Encode()); got != t.enc {
+		return fmt.Errorf("trie: interned encoding mismatch: %q vs %q", got, t.enc)
+	}
+	return nil
+}

@@ -45,10 +45,40 @@
 // Stamps serialize with MarshalBinary/MarshalText (and parse back with
 // Parse), so they embed directly in storage formats and wire protocols.
 //
-// The implementation lives in internal packages (core, name, bitstr); this
-// package is the stable public API. Interval tree clocks — the successor
-// design by the same authors — are available in the same style via the
-// repository's internal/itc package and examples.
+// # Performance model
+//
+// Stamps are immutable values over hash-consed (interned) name components:
+// each distinct name exists once per process, as a shared record keyed by
+// its canonical trie encoding, and a stamp holds two pointers to such
+// records. The paper's central property — stamps grow with the width of the
+// current frontier, not with history — means a store of millions of keys
+// draws its components from a tiny set of distinct names, so the intern
+// table stays small while hit rates stay near perfect. Consequences:
+//
+//   - Compare of stamps with the same interned update component (converged
+//     replicas, the steady state of anti-entropy) is a pointer comparison:
+//     O(1), zero allocations. Divergent pairs are answered from a bounded
+//     process-wide cache of outcomes keyed by handle pair, still O(1) and
+//     allocation-free; a cache miss walks both sorted components in place,
+//     O(total strings × string length), allocating nothing.
+//   - Update is two pointer copies. Fork reuses memoized child records, so
+//     forking a previously seen id allocates nothing. Join returns the
+//     dominating side's record unchanged when one side contains the other
+//     (every idle reconciliation); only a genuine merge of concurrent
+//     knowledge builds — and interns — a new name, O(total strings).
+//   - Serialization appends the record's cached canonical bytes (no walk),
+//     and decoding deduplicates against the intern table by raw encoded
+//     bytes before building anything, so wire ingestion of known names is
+//     one map probe and yields pointer-comparable stamps.
+//
+// Equality of interned stamps is therefore cheap enough to use as a guard
+// in hot loops, and bulk comparison over converged data (anti-entropy
+// digest phases) runs allocation-free end to end.
+//
+// The implementation lives in internal packages (core, name, trie, bitstr);
+// this package is the stable public API. Interval tree clocks — the
+// successor design by the same authors — are available in the same style via
+// the repository's internal/itc package and examples.
 package versionstamp
 
 import (
