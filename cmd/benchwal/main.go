@@ -1,0 +1,194 @@
+// Command benchwal measures the durable storage path — WAL append
+// throughput, crash-restart replay, checkpointing and checkpoint restart —
+// and emits the numbers as machine-readable JSON, the artifact CI tracks
+// across PRs (BENCH_wal.json) so storage regressions show up as a diff
+// rather than a buried log line.
+//
+// The run doubles as a correctness gate: after every restart the reopened
+// store is compared key by key (stamps included) against the writer's
+// state, and any divergence fails the run (exit 1) — replay that loses or
+// mangles an acknowledged write must never count as a benchmark result.
+//
+//	benchwal -ops 10000 -out BENCH_wal.json
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"time"
+
+	"versionstamp/internal/kvstore"
+)
+
+// Measurement is one phase's data point.
+type Measurement struct {
+	Op      string  `json:"op"`                // append, replay, checkpoint, restore
+	Ops     int     `json:"ops,omitempty"`     // operations covered by the phase
+	NsPerOp float64 `json:"nsPerOp,omitempty"` // wall time per operation
+	TotalMs float64 `json:"totalMs"`           // wall time of the whole phase
+	Bytes   int64   `json:"bytes,omitempty"`   // on-disk footprint after the phase
+}
+
+// Report is the whole emitted document.
+type Report struct {
+	Ops        int           `json:"ops"`
+	Keys       int           `json:"keys"`
+	ValueBytes int           `json:"valueBytes"`
+	Fsync      bool          `json:"fsync"`
+	Shards     int           `json:"shards"`
+	Results    []Measurement `json:"results"`
+}
+
+func main() {
+	ops := flag.Int("ops", 10000, "write operations to log and replay")
+	keys := flag.Int("keys", 2500, "distinct keys the ops rotate over")
+	valueBytes := flag.Int("value-bytes", 64, "payload size per write")
+	fsync := flag.Bool("fsync", false, "fsync every append")
+	out := flag.String("out", "BENCH_wal.json", `output path ("-" = stdout)`)
+	flag.Parse()
+	if err := run(*ops, *keys, *valueBytes, *fsync, *out, os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "benchwal:", err)
+		os.Exit(1)
+	}
+}
+
+func run(ops, keys, valueBytes int, fsync bool, out string, progress io.Writer) error {
+	if ops < 1 || keys < 1 || keys > ops {
+		return fmt.Errorf("need 1 <= keys (%d) <= ops (%d)", keys, ops)
+	}
+	dir, err := os.MkdirTemp("", "benchwal-*")
+	if err != nil {
+		return err
+	}
+	defer os.RemoveAll(dir)
+
+	report := Report{Ops: ops, Keys: keys, ValueBytes: valueBytes, Fsync: fsync,
+		Shards: kvstore.DefaultShards}
+	value := make([]byte, valueBytes)
+	for i := range value {
+		value[i] = byte('a' + i%26)
+	}
+
+	// Phase 1: append ops writes to a fresh WAL-backed store.
+	w, err := kvstore.Open(dir, kvstore.Options{Label: "bench", Fsync: fsync})
+	if err != nil {
+		return err
+	}
+	start := time.Now()
+	for i := 0; i < ops; i++ {
+		w.Put(fmt.Sprintf("key-%07d", i%keys), value)
+	}
+	elapsed := time.Since(start)
+	if err := w.PersistErr(); err != nil {
+		return err
+	}
+	report.Results = append(report.Results, Measurement{
+		Op: "append", Ops: ops,
+		NsPerOp: float64(elapsed.Nanoseconds()) / float64(ops),
+		TotalMs: float64(elapsed.Microseconds()) / 1000,
+		Bytes:   diskBytes(dir, "*.wal"),
+	})
+
+	// Phase 2: crash restart — abandon (no checkpoint) and reopen, replaying
+	// the full log.
+	if err := w.Abandon(); err != nil {
+		return err
+	}
+	start = time.Now()
+	replayed, err := kvstore.Open(dir, kvstore.Options{})
+	if err != nil {
+		return err
+	}
+	elapsed = time.Since(start)
+	if err := verify(w, replayed); err != nil {
+		return fmt.Errorf("replayed store diverges: %w", err)
+	}
+	report.Results = append(report.Results, Measurement{
+		Op: "replay", Ops: ops,
+		NsPerOp: float64(elapsed.Nanoseconds()) / float64(ops),
+		TotalMs: float64(elapsed.Microseconds()) / 1000,
+	})
+
+	// Phase 3: checkpoint the replayed store, truncating every log.
+	start = time.Now()
+	if err := replayed.Checkpoint(); err != nil {
+		return err
+	}
+	elapsed = time.Since(start)
+	report.Results = append(report.Results, Measurement{
+		Op:      "checkpoint",
+		TotalMs: float64(elapsed.Microseconds()) / 1000,
+		Bytes:   diskBytes(dir, "*.ckpt"),
+	})
+
+	// Phase 4: restart from checkpoints alone.
+	if err := replayed.Abandon(); err != nil {
+		return err
+	}
+	start = time.Now()
+	restored, err := kvstore.Open(dir, kvstore.Options{})
+	if err != nil {
+		return err
+	}
+	elapsed = time.Since(start)
+	if err := verify(w, restored); err != nil {
+		return fmt.Errorf("restored store diverges: %w", err)
+	}
+	report.Results = append(report.Results, Measurement{
+		Op: "restore", Ops: keys,
+		NsPerOp: float64(elapsed.Nanoseconds()) / float64(keys),
+		TotalMs: float64(elapsed.Microseconds()) / 1000,
+	})
+
+	doc, err := json.MarshalIndent(report, "", "  ")
+	if err != nil {
+		return err
+	}
+	doc = append(doc, '\n')
+	if out == "-" {
+		_, err = progress.Write(doc)
+		return err
+	}
+	if err := os.WriteFile(out, doc, 0o644); err != nil {
+		return err
+	}
+	fmt.Fprintf(progress, "wrote %s (%d measurements)\n", out, len(report.Results))
+	return nil
+}
+
+// verify compares two replicas key by key, stamps included — the gate that
+// keeps a lossy replay from ever producing a benchmark number.
+func verify(want, got *kvstore.Replica) error {
+	wk, gk := want.Keys(), got.Keys()
+	if len(wk) != len(gk) {
+		return fmt.Errorf("key count %d, want %d", len(gk), len(wk))
+	}
+	for _, k := range wk {
+		wv, _ := want.Version(k)
+		gv, ok := got.Version(k)
+		if !ok {
+			return fmt.Errorf("key %q lost", k)
+		}
+		if gv.Deleted != wv.Deleted || string(gv.Value) != string(wv.Value) ||
+			!gv.Stamp.Equal(wv.Stamp) {
+			return fmt.Errorf("key %q diverged", k)
+		}
+	}
+	return nil
+}
+
+// diskBytes sums the sizes of dir entries matching pattern.
+func diskBytes(dir, pattern string) int64 {
+	paths, _ := filepath.Glob(filepath.Join(dir, pattern))
+	var total int64
+	for _, p := range paths {
+		if fi, err := os.Stat(p); err == nil {
+			total += fi.Size()
+		}
+	}
+	return total
+}

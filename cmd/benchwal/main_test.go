@@ -1,0 +1,59 @@
+package main
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestRunEmitsValidJSON(t *testing.T) {
+	out := filepath.Join(t.TempDir(), "BENCH_wal.json")
+	var progress strings.Builder
+	if err := run(2000, 500, 32, false, out, &progress); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	raw, err := os.ReadFile(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var report Report
+	if err := json.Unmarshal(raw, &report); err != nil {
+		t.Fatalf("output is not valid JSON: %v", err)
+	}
+	if report.Ops != 2000 || report.Keys != 500 {
+		t.Fatalf("report = %d ops over %d keys", report.Ops, report.Keys)
+	}
+	want := map[string]bool{"append": false, "replay": false, "checkpoint": false, "restore": false}
+	for _, m := range report.Results {
+		if _, known := want[m.Op]; !known {
+			t.Errorf("unexpected measurement %q", m.Op)
+			continue
+		}
+		want[m.Op] = true
+		if m.TotalMs < 0 {
+			t.Errorf("%s: negative duration %v", m.Op, m.TotalMs)
+		}
+	}
+	for op, seen := range want {
+		if !seen {
+			t.Errorf("missing measurement %q", op)
+		}
+	}
+	var appendM Measurement
+	for _, m := range report.Results {
+		if m.Op == "append" {
+			appendM = m
+		}
+	}
+	if appendM.Bytes <= 0 || appendM.NsPerOp <= 0 {
+		t.Errorf("append measurement empty: %+v", appendM)
+	}
+}
+
+func TestRunRejectsBadShape(t *testing.T) {
+	if err := run(10, 100, 8, false, "-", &strings.Builder{}); err == nil {
+		t.Error("keys > ops must fail")
+	}
+}

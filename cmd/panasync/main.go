@@ -55,6 +55,8 @@ flags:
   -merge            on conflicting sync, concatenate both contents with a marker
   -listen <addr>    serve: listen address (default 127.0.0.1:0)
   -linger <dur>     serve: stop after this duration (default 0 = forever)
+  -data-dir <dir>   serve: durable WAL-backed store; survives crashes and
+                    restarts without whole-state snapshots (default off)
 `
 
 func run(args []string, out io.Writer) error {
@@ -64,6 +66,7 @@ func run(args []string, out io.Writer) error {
 	merge := fs.Bool("merge", false, "resolve conflicting syncs by concatenation")
 	listen := fs.String("listen", "127.0.0.1:0", "serve: listen address")
 	linger := fs.Duration("linger", 0, "serve: stop after this duration (0 = forever)")
+	dataDir := fs.String("data-dir", "", "serve: durable WAL-backed store directory (empty = in-memory)")
 	if err := fs.Parse(args); err != nil {
 		fmt.Fprint(out, usage)
 		return err
@@ -157,7 +160,7 @@ func run(args []string, out io.Writer) error {
 		if len(rest) != 0 {
 			return errors.New("serve takes no arguments")
 		}
-		return serve(ws, out, *listen, *linger, *merge)
+		return serve(ws, out, *listen, *linger, *merge, *dataDir)
 	case "netsync":
 		if len(rest) != 1 {
 			return errors.New("netsync takes a peer address")
@@ -186,8 +189,28 @@ func run(args []string, out io.Writer) error {
 // the server stops — after -linger, or on SIGINT/SIGTERM in the default
 // serve-forever mode — the merged state is written back into the
 // workspace.
-func serve(ws *panasync.Workspace, out io.Writer, listen string, linger time.Duration, merge bool) error {
-	replica, base, err := panasync.ToReplica(ws, "serve")
+//
+// With -data-dir the replica is WAL-backed: every mutation a peer round
+// applies lands in the directory's per-stripe log before it is
+// acknowledged, the workspace merges into whatever state the directory
+// already holds (so a crashed server restarts from its own log, not from a
+// snapshot), and a graceful stop checkpoints the store so the next start
+// replays nothing.
+func serve(ws *panasync.Workspace, out io.Writer, listen string, linger time.Duration, merge bool, dataDir string) error {
+	var (
+		replica *kvstore.Replica
+		base    *panasync.Baseline
+		err     error
+	)
+	if dataDir != "" {
+		replica, err = kvstore.Open(dataDir, kvstore.Options{Label: "serve"})
+		if err != nil {
+			return err
+		}
+		base, err = panasync.MergeIntoReplica(ws, replica)
+	} else {
+		replica, base, err = panasync.ToReplica(ws, "serve")
+	}
 	if err != nil {
 		return err
 	}
@@ -212,6 +235,14 @@ func serve(ws *panasync.Workspace, out io.Writer, listen string, linger time.Dur
 	}
 	if err := srv.Close(); err != nil {
 		return err
+	}
+	if dataDir != "" {
+		// Graceful-shutdown checkpoint: the directory reopens replaying no
+		// log. A crash instead of this path just replays more log.
+		if err := replica.Close(); err != nil {
+			return err
+		}
+		fmt.Fprintf(out, "checkpointed %d files to %s\n", replica.Len(), dataDir)
 	}
 	skipped, err := panasync.ApplyReplica(ws, replica, base)
 	if err != nil {

@@ -247,3 +247,34 @@ func TestServeLinger(t *testing.T) {
 		t.Error("serve with arguments must fail")
 	}
 }
+
+// TestServeDataDir exercises the durable serve path: the workspace merges
+// into a WAL-backed store, shutdown checkpoints it, and a second serve
+// session reopens the same directory without complaint.
+func TestServeDataDir(t *testing.T) {
+	root, data := t.TempDir(), filepath.Join(t.TempDir(), "store")
+	write(t, root, "doc.txt", "v1")
+	if _, err := runIn(t, root, "init", "doc.txt"); err != nil {
+		t.Fatal(err)
+	}
+	out, err := runIn(t, root, "-linger", "200ms", "-listen", "127.0.0.1:0",
+		"-data-dir", data, "serve")
+	if err != nil {
+		t.Fatalf("durable serve: %v", err)
+	}
+	if !strings.Contains(out, "checkpointed 1 files to "+data) {
+		t.Errorf("serve did not report the shutdown checkpoint: %q", out)
+	}
+	if _, err := os.Stat(filepath.Join(data, "meta.json")); err != nil {
+		t.Errorf("data dir has no metadata: %v", err)
+	}
+	ckpts, _ := filepath.Glob(filepath.Join(data, "shard-*.ckpt"))
+	if len(ckpts) == 0 {
+		t.Error("shutdown wrote no shard checkpoints")
+	}
+	// Restart against the same directory: state reloads, nothing replays.
+	if _, err := runIn(t, root, "-linger", "100ms", "-listen", "127.0.0.1:0",
+		"-data-dir", data, "serve"); err != nil {
+		t.Fatalf("durable serve restart: %v", err)
+	}
+}

@@ -445,13 +445,22 @@ func hierClientRound(conn net.Conn, br *bufio.Reader, local *kvstore.Replica,
 	}
 	entries = binary.AppendUvarint(entries, sentEntries)
 	entries = append(entries, entryBodies...)
+	// Point of no return: once any byte of the entries frame is on the wire,
+	// the server may receive the complete frame and apply it even if this
+	// side only sees a dead connection. Retrying such a round on a fresh
+	// dial would ship the same entries against already-forked server stamps
+	// — the copies would compare as causally unrelated and reconcile by
+	// reseeding (double-apply). Every failure from here on is therefore
+	// marked ErrRetryUnsafe; the pool surfaces it instead of redialing, and
+	// the next round's digest exchange reconciles whatever state the server
+	// actually reached.
 	if err := writeFrame(conn, entries); err != nil {
-		return res, fmt.Errorf("antientropy: send entries: %w", err)
+		return res, fmt.Errorf("%w: send entries: %w", ErrRetryUnsafe, err)
 	}
 
 	body, err = readFrame(br)
 	if err != nil {
-		return res, fmt.Errorf("antientropy: receive: %w", err)
+		return res, fmt.Errorf("%w: receive result: %w", ErrRetryUnsafe, err)
 	}
 	body, err = expectKind(body, kindResult)
 	if err != nil {
@@ -480,7 +489,9 @@ func hierClientRound(conn net.Conn, br *bufio.Reader, local *kvstore.Replica,
 	// whole-keyspace scope; the sentStamps guard still pins every entry to
 	// the exact copy this round shipped.
 	if _, err := local.ApplyDeltaReply(reply, sentStamps, 0, 0); err != nil {
-		return res, fmt.Errorf("antientropy: apply delta reply: %w", err)
+		// The server already applied this round; re-running it would not be a
+		// clean retry either.
+		return res, fmt.Errorf("%w: apply delta reply: %w", ErrRetryUnsafe, err)
 	}
 	return res, nil
 }

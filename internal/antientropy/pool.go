@@ -135,11 +135,39 @@ func (p *Pool) drop(pc *poolConn) {
 	}
 }
 
+// ErrRetryUnsafe marks a round failure that happened after the round's
+// entries frame may have reached the peer. The peer may have applied those
+// entries and forked its stamps even though no reply arrived; re-running
+// the round would present the same entries against the forked copies,
+// which compare as causally unrelated and reconcile by reseeding — a
+// double apply. Such failures surface to the caller instead of being
+// retried; the next round reconciles from whatever state the peer reached.
+var ErrRetryUnsafe = errors.New("antientropy: round not retriable: entries may have been applied")
+
+// retriable reports whether a failed round may be transparently re-run on a
+// fresh dial. The conditions are deliberately explicit:
+//
+//   - !fresh: the session existed before this attempt. A failure on a
+//     connection dialed moments ago means the peer is down or rejecting,
+//     not that a previously good session went stale.
+//   - rounds > 0: the session had proven itself; its death is the known
+//     server-restart/idle-drop pattern the retry exists for.
+//   - not ErrProtocol: the server answered. Asking again would not change
+//     its mind.
+//   - not ErrRetryUnsafe: the round's entries frame was (possibly
+//     partially) written before the failure. The server may have applied
+//     it; re-sending would double-apply (see ErrRetryUnsafe).
+func retriable(err error, fresh bool, rounds int) bool {
+	return !fresh && rounds > 0 &&
+		!errors.Is(err, ErrProtocol) &&
+		!errors.Is(err, ErrRetryUnsafe)
+}
+
 // round runs fn over addr's pooled session, redialing transparently: a
 // round that fails on a session that had already served rounds (the server
 // restarted, or idled the session out under our idle threshold) is retried
-// exactly once on a fresh dial. Protocol-level rejections are not retried —
-// the server answered; asking again would not change its mind.
+// exactly once on a fresh dial, unless retrying could double-apply the
+// round's entries (see retriable).
 func (p *Pool) round(addr string,
 	fn func(conn net.Conn, br *bufio.Reader) (kvstore.SyncResult, error)) (kvstore.SyncResult, error) {
 	pc, err := p.entry(addr)
@@ -173,9 +201,9 @@ func (p *Pool) round(addr string,
 			pc.lastUsed = time.Now()
 			return res, nil
 		}
-		retriable := !fresh && pc.rounds > 0 && !errors.Is(err, ErrProtocol)
+		retry := retriable(err, fresh, pc.rounds)
 		p.drop(pc)
-		if !retriable {
+		if !retry {
 			return kvstore.SyncResult{}, err
 		}
 	}

@@ -1,7 +1,11 @@
 package antientropy
 
 import (
+	"bufio"
+	"encoding/binary"
+	"errors"
 	"fmt"
+	"io"
 	"net"
 	"sync"
 	"sync/atomic"
@@ -167,6 +171,192 @@ func TestPoolConcurrentRounds(t *testing.T) {
 	}
 	if got := p.Dials(); got != 2 {
 		t.Errorf("Dials = %d for 2 peers, want 2", got)
+	}
+}
+
+// cutProxy relays TCP between a pooled client and a real server, parsing
+// the client's v3 frame stream. When armed it blackholes the server's reply
+// and drops both connections right after forwarding the client's entries
+// frame — the fault where the request was fully written, the server (may
+// have) applied it, and the session died mid-reply.
+type cutProxy struct {
+	target string
+	armed  atomic.Bool
+	cuts   atomic.Int64
+}
+
+func startCutProxy(t *testing.T, target string) (*cutProxy, string) {
+	t.Helper()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatalf("listen: %v", err)
+	}
+	t.Cleanup(func() { _ = ln.Close() })
+	p := &cutProxy{target: target}
+	go func() {
+		for {
+			conn, err := ln.Accept()
+			if err != nil {
+				return
+			}
+			go p.handle(conn)
+		}
+	}()
+	return p, ln.Addr().String()
+}
+
+func (p *cutProxy) handle(client net.Conn) {
+	server, err := net.Dial("tcp", p.target)
+	if err != nil {
+		_ = client.Close()
+		return
+	}
+	defer client.Close()
+	defer server.Close()
+	var blackhole atomic.Bool
+	go func() { // server -> client, discarded once the cut is in progress
+		buf := make([]byte, 4096)
+		for {
+			n, err := server.Read(buf)
+			if n > 0 && !blackhole.Load() {
+				if _, werr := client.Write(buf[:n]); werr != nil {
+					return
+				}
+			}
+			if err != nil {
+				return
+			}
+		}
+	}()
+	br := bufio.NewReader(client)
+	version, err := br.ReadByte()
+	if err != nil {
+		return
+	}
+	if _, err := server.Write([]byte{version}); err != nil {
+		return
+	}
+	for {
+		n, err := binary.ReadUvarint(br)
+		if err != nil {
+			return
+		}
+		body := make([]byte, n)
+		if _, err := io.ReadFull(br, body); err != nil {
+			return
+		}
+		cut := p.armed.Load() && len(body) > 0 && body[0] == kindEntries
+		if cut {
+			blackhole.Store(true) // the reply must never reach the client
+		}
+		frame := binary.AppendUvarint(make([]byte, 0, 10+len(body)), n)
+		frame = append(frame, body...)
+		if _, err := server.Write(frame); err != nil {
+			return
+		}
+		if cut {
+			p.cuts.Add(1)
+			time.Sleep(100 * time.Millisecond) // let the server consume and apply
+			return                             // deferred closes kill the session mid-reply
+		}
+	}
+}
+
+// TestPoolNoRetryAfterEntriesFrame is the regression test for the
+// double-apply retry bug: a round whose entries frame was written on a
+// previously working session, and which then died before the reply, must
+// surface ErrRetryUnsafe instead of being transparently re-run on a fresh
+// dial — the server may have applied the entries, and re-sending them
+// would reconcile forked copies as causally unrelated.
+func TestPoolNoRetryAfterEntriesFrame(t *testing.T) {
+	server, client := clonedPair(32)
+	srv, _, addr := startCountedServer(t, server, "127.0.0.1:0")
+	t.Cleanup(func() { _ = srv.Close() })
+	proxy, proxyAddr := startCutProxy(t, addr)
+
+	p := NewPool()
+	defer p.Close()
+	// A healthy round first: the retry path only opens for proven sessions.
+	if _, err := p.SyncWith(proxyAddr, client); err != nil {
+		t.Fatalf("healthy round: %v", err)
+	}
+
+	client.Put("fresh-key", []byte("payload"))
+	proxy.armed.Store(true)
+	_, err := p.SyncWith(proxyAddr, client)
+	if err == nil {
+		t.Fatal("round died after its entries frame but reported success")
+	}
+	if !errors.Is(err, ErrRetryUnsafe) {
+		t.Fatalf("err = %v, want ErrRetryUnsafe", err)
+	}
+	if got := p.Dials(); got != 1 {
+		t.Fatalf("pool redialed a non-retriable round: %d dials", got)
+	}
+	if got := proxy.cuts.Load(); got != 1 {
+		t.Fatalf("proxy cut %d rounds, want 1", got)
+	}
+
+	// Recovery is the next round's job: it reconciles from whatever state
+	// the server actually reached, then the pair is fully converged.
+	proxy.armed.Store(false)
+	if _, err := p.SyncWith(proxyAddr, client); err != nil {
+		t.Fatalf("recovery round: %v", err)
+	}
+	requireConverged(t, server, client)
+	res, err := p.SyncWith(proxyAddr, client)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.StripesSkipped != client.Shards() {
+		t.Errorf("post-recovery round not converged: %+v", res)
+	}
+}
+
+// TestPoolSyncWithRevivedDurableServer is the acceptance scenario for the
+// durable backend: a WAL-backed server killed mid-write (no Close, no
+// checkpoint) reopens from its log and a v3 round against an untouched
+// peer converges — the revived stamps slot straight back into the
+// protocol, so the follow-up round is summary-only.
+func TestPoolSyncWithRevivedDurableServer(t *testing.T) {
+	dir := t.TempDir()
+	server, err := kvstore.Open(dir, kvstore.Options{Label: "durable", Shards: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 64; i++ {
+		server.Put(fmt.Sprintf("key-%04d", i), []byte("seed"))
+	}
+	client := server.Clone("client")
+	server.Put("key-0001", []byte("server-edit")) // diverge both sides
+	client.Put("client-only", []byte("fresh"))
+	if err := server.PersistErr(); err != nil {
+		t.Fatal(err)
+	}
+	if err := server.Abandon(); err != nil { // kill: no checkpoint, log only
+		t.Fatal(err)
+	}
+
+	// Restart: reopen the directory with no Close behind it.
+	revived, err := kvstore.Open(dir, kvstore.Options{})
+	if err != nil {
+		t.Fatalf("reopen: %v", err)
+	}
+	t.Cleanup(func() { _ = revived.Close() })
+	_, addr := startServer(t, revived, nil)
+
+	p := NewPool()
+	defer p.Close()
+	if _, err := p.SyncWith(addr, client); err != nil {
+		t.Fatalf("round against revived server: %v", err)
+	}
+	requireConverged(t, revived, client)
+	res, err := p.SyncWith(addr, client)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.StripesSkipped != client.Shards() {
+		t.Errorf("revived pair not summary-converged: %+v", res)
 	}
 }
 

@@ -2,6 +2,7 @@ package kvstore
 
 import (
 	"encoding/binary"
+	"encoding/json"
 	"fmt"
 	"sort"
 
@@ -24,6 +25,11 @@ const binarySnapshotVersion = 0x02
 
 // maxSnapshotEntries bounds the entry count a decoder will pre-trust.
 const maxSnapshotEntries = 1 << 31
+
+// maxSnapshotShards bounds a snapshot's recorded stripe count: a corrupt or
+// hostile layout field must not force allocating millions of stripes. The
+// bound applies to both snapshot formats.
+const maxSnapshotShards = 1 << 16
 
 // SnapshotBinary serializes the replica in the binary format; Restore loads
 // it back (sniffing the leading byte). It carries exactly the state of
@@ -55,12 +61,18 @@ func (r *Replica) snapshotBinary(idx int) []byte {
 		}
 		sh.mu.RUnlock()
 	}
-	sort.Slice(entries, func(a, b int) bool { return entries[a].Key < entries[b].Key })
+	return encodeBinarySnapshot(r.label, len(r.shards), entries)
+}
 
+// encodeBinarySnapshot builds the binary snapshot document from already
+// collected entries — shared by the lock-per-stripe snapshot paths and the
+// durable checkpoint path, which holds the stripe lock itself.
+func encodeBinarySnapshot(label string, shards int, entries []encoding.Entry) []byte {
+	sort.Slice(entries, func(a, b int) bool { return entries[a].Key < entries[b].Key })
 	out := []byte{binarySnapshotVersion}
-	out = binary.AppendUvarint(out, uint64(len(r.label)))
-	out = append(out, r.label...)
-	out = binary.AppendUvarint(out, uint64(len(r.shards)))
+	out = binary.AppendUvarint(out, uint64(len(label)))
+	out = append(out, label...)
+	out = binary.AppendUvarint(out, uint64(shards))
 	out = binary.AppendUvarint(out, uint64(len(entries)))
 	for _, e := range entries {
 		out = encoding.AppendEntry(out, e)
@@ -68,45 +80,98 @@ func (r *Replica) snapshotBinary(idx int) []byte {
 	return out
 }
 
-// restoreBinary deserializes a binary snapshot (data starts at the version
-// byte, already verified).
-func restoreBinary(data []byte) (*Replica, error) {
+// snapshotLayout reports the stripe count a snapshot records, without
+// decoding its entries; 0 means the snapshot predates layout recording.
+func snapshotLayout(data []byte) (int, error) {
+	if len(data) > 0 && data[0] == binarySnapshotVersion {
+		off := 1
+		n, used := binary.Uvarint(data[off:])
+		if used <= 0 || n > 1<<16 {
+			return 0, fmt.Errorf("kvstore: snapshot layout: bad label length")
+		}
+		off += used
+		if uint64(len(data)-off) < n {
+			return 0, fmt.Errorf("kvstore: snapshot layout: truncated label")
+		}
+		off += int(n)
+		shards, used := binary.Uvarint(data[off:])
+		if used <= 0 || shards > maxSnapshotShards {
+			return 0, fmt.Errorf("kvstore: snapshot layout: bad shard count")
+		}
+		return int(shards), nil
+	}
+	var snap snapshotDoc
+	if err := json.Unmarshal(data, &snap); err != nil {
+		return 0, fmt.Errorf("kvstore: snapshot layout: %w", err)
+	}
+	if snap.Shards < 0 || snap.Shards > maxSnapshotShards {
+		return 0, fmt.Errorf("kvstore: snapshot layout: bad shard count %d", snap.Shards)
+	}
+	return snap.Shards, nil
+}
+
+// decodeBinarySnapshot parses a binary snapshot document (data starts at
+// the already-verified version byte) into its label, recorded stripe count
+// and flat entry list.
+func decodeBinarySnapshot(data []byte) (label string, shards int, entries []encoding.Entry, err error) {
 	off := 1
 	n, used := binary.Uvarint(data[off:])
 	if used <= 0 || n > 1<<16 {
-		return nil, fmt.Errorf("kvstore: restore: bad label length")
+		return "", 0, nil, fmt.Errorf("kvstore: restore: bad label length")
 	}
 	off += used
 	if uint64(len(data)-off) < n {
-		return nil, fmt.Errorf("kvstore: restore: truncated label")
+		return "", 0, nil, fmt.Errorf("kvstore: restore: truncated label")
 	}
-	label := string(data[off : off+int(n)])
+	label = string(data[off : off+int(n)])
 	off += int(n)
-	shards, used := binary.Uvarint(data[off:])
-	if used <= 0 || shards > 1<<16 {
-		return nil, fmt.Errorf("kvstore: restore: bad shard count")
+	shards64, used := binary.Uvarint(data[off:])
+	if used <= 0 || shards64 > maxSnapshotShards {
+		return "", 0, nil, fmt.Errorf("kvstore: restore: bad shard count")
 	}
 	off += used
 	count, used := binary.Uvarint(data[off:])
 	if used <= 0 || count > maxSnapshotEntries {
-		return nil, fmt.Errorf("kvstore: restore: bad entry count")
+		return "", 0, nil, fmt.Errorf("kvstore: restore: bad entry count")
 	}
 	off += used
-
-	if shards < 1 {
-		shards = DefaultShards
-	}
-	r := NewReplicaShards(label, int(shards))
+	entries = make([]encoding.Entry, 0, capEntries(count, data[off:]))
 	for i := uint64(0); i < count; i++ {
 		e, used, err := encoding.DecodeEntry(data[off:])
 		if err != nil {
-			return nil, fmt.Errorf("kvstore: restore entry %d: %w", i, err)
+			return "", 0, nil, fmt.Errorf("kvstore: restore entry %d: %w", i, err)
 		}
 		off += used
-		r.shardFor(e.Key).data[e.Key] = Versioned{Value: e.Value, Deleted: e.Deleted, Stamp: e.Stamp}
+		entries = append(entries, e)
 	}
 	if off != len(data) {
-		return nil, fmt.Errorf("kvstore: restore: %d trailing bytes", len(data)-off)
+		return "", 0, nil, fmt.Errorf("kvstore: restore: %d trailing bytes", len(data)-off)
+	}
+	return label, int(shards64), entries, nil
+}
+
+// capEntries bounds a wire-supplied entry count by the bytes present (every
+// encoded entry consumes at least one byte), so a hostile count prefix
+// cannot force a huge preallocation.
+func capEntries(count uint64, rest []byte) int {
+	if count > uint64(len(rest)) {
+		return len(rest)
+	}
+	return int(count)
+}
+
+// restoreBinary deserializes a binary snapshot into a fresh replica.
+func restoreBinary(data []byte) (*Replica, error) {
+	label, shards, entries, err := decodeBinarySnapshot(data)
+	if err != nil {
+		return nil, err
+	}
+	if shards < 1 {
+		shards = DefaultShards
+	}
+	r := NewReplicaShards(label, shards)
+	for _, e := range entries {
+		r.shardFor(e.Key).data[e.Key] = Versioned{Value: e.Value, Deleted: e.Deleted, Stamp: e.Stamp}
 	}
 	return r, nil
 }

@@ -323,6 +323,9 @@ func (r *Replica) ApplyDelta(peerDigest []encoding.Digest, peerEntries []encodin
 			// Local-only key: syncKey transfers it, forking our stamp.
 		}
 		part, err := syncKey(k, da, db, resolve)
+		if part.Transferred+part.Reconciled+part.Merged > 0 {
+			r.logKey(k) // the local copy moved; persist before the locks drop
+		}
 		res.add(part)
 		if err != nil {
 			sort.Strings(res.Conflicts)
@@ -364,17 +367,20 @@ func (r *Replica) ApplyDeltaReply(entries []encoding.Entry, sent map[string]core
 			return applied, fmt.Errorf("kvstore: delta reply shard %d/%d: key %q belongs to shard %d",
 				idx, of, e.Key, ShardIndex(e.Key, of))
 		}
-		sh := r.shardFor(e.Key)
+		si := ShardIndex(e.Key, len(r.shards))
+		sh := &r.shards[si]
 		sh.lockMut()
 		cur, has := sh.data[e.Key]
 		want, wasSent := sent[e.Key]
 		ok := (wasSent && has && cur.Stamp.Equal(want)) || (!wasSent && !has)
 		if ok {
-			sh.data[e.Key] = Versioned{
+			v := Versioned{
 				Value:   append([]byte(nil), e.Value...),
 				Deleted: e.Deleted,
 				Stamp:   e.Stamp,
 			}
+			sh.data[e.Key] = v
+			r.logSet(si, e.Key, v)
 			applied++
 		}
 		sh.mu.Unlock()

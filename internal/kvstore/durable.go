@@ -1,0 +1,275 @@
+package kvstore
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io/fs"
+	"os"
+	"path/filepath"
+
+	"versionstamp/internal/encoding"
+	"versionstamp/internal/storage"
+	"versionstamp/internal/storage/wal"
+)
+
+// Durable replicas: a Replica whose mutations are appended, stripe by
+// stripe, to a storage.Backend before the stripe lock releases. Restart is
+// local — load each stripe's latest checkpoint and replay its log tail —
+// so a replica comes back after a crash with every acknowledged write and
+// the exact stamps it had, and anti-entropy picks up precisely where it
+// left off. No peer, and no whole-state snapshot, is needed to restart.
+
+// Options configures Open.
+type Options struct {
+	// Label is the replica's cosmetic label, used only when the directory is
+	// fresh; reopened directories keep their recorded label.
+	Label string
+	// Shards is the stripe count for a fresh directory (0 = DefaultShards).
+	// Reopening a directory with a different non-zero Shards is an error:
+	// the layout is part of the durable state.
+	Shards int
+	// Fsync syncs the log after every append. Off by default: writes then
+	// survive process crashes but not power loss.
+	Fsync bool
+}
+
+// metaFile records the immutable facts of a data directory.
+const metaFile = "meta.json"
+
+type metaDoc struct {
+	Label  string `json:"label"`
+	Shards int    `json:"shards"`
+}
+
+// Open opens (creating if needed) a WAL-backed replica in dir. Every write
+// that returns is on disk — in the stripe's log, or in its checkpoint after
+// Checkpoint — and reopening the directory reconstructs the replica from
+// checkpoints plus log tails, torn tail records truncated away by the WAL.
+// Close checkpoints and releases the directory; a replica that crashes
+// without Close just replays more log on the next Open.
+func Open(dir string, opts Options) (*Replica, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("kvstore: open %s: %w", dir, err)
+	}
+	meta, err := loadOrInitMeta(dir, opts)
+	if err != nil {
+		return nil, err
+	}
+	be, err := wal.Open(dir, wal.Options{Fsync: opts.Fsync})
+	if err != nil {
+		return nil, fmt.Errorf("kvstore: open %s: %w", dir, err)
+	}
+	r, err := OpenBackend(be, meta.Label, meta.Shards)
+	if err != nil {
+		_ = be.Close()
+		return nil, err
+	}
+	return r, nil
+}
+
+// loadOrInitMeta reads dir's metadata, creating it for a fresh directory.
+func loadOrInitMeta(dir string, opts Options) (metaDoc, error) {
+	path := filepath.Join(dir, metaFile)
+	raw, err := os.ReadFile(path)
+	switch {
+	case err == nil:
+		var meta metaDoc
+		if err := json.Unmarshal(raw, &meta); err != nil {
+			return metaDoc{}, fmt.Errorf("kvstore: open %s: bad metadata: %w", dir, err)
+		}
+		if meta.Shards < 1 || meta.Shards > maxSnapshotShards {
+			return metaDoc{}, fmt.Errorf("kvstore: open %s: bad recorded stripe count %d", dir, meta.Shards)
+		}
+		if opts.Shards != 0 && opts.Shards != meta.Shards {
+			return metaDoc{}, fmt.Errorf("kvstore: open %s: directory records %d stripes, options ask %d",
+				dir, meta.Shards, opts.Shards)
+		}
+		return meta, nil
+	case errors.Is(err, fs.ErrNotExist):
+		if opts.Shards > maxSnapshotShards {
+			// Reopen enforces the same bound; accepting more here would
+			// create a directory that can never be opened again.
+			return metaDoc{}, fmt.Errorf("kvstore: open %s: %d stripes exceeds limit %d",
+				dir, opts.Shards, maxSnapshotShards)
+		}
+		meta := metaDoc{Label: opts.Label, Shards: opts.Shards}
+		if meta.Shards < 1 {
+			meta.Shards = DefaultShards
+		}
+		doc, err := json.Marshal(meta)
+		if err != nil {
+			return metaDoc{}, err
+		}
+		// Atomic + durable: a crash mid-creation must leave no half-written
+		// metadata that would brick the directory.
+		if err := wal.WriteFileAtomic(path, doc); err != nil {
+			return metaDoc{}, fmt.Errorf("kvstore: open %s: %w", dir, err)
+		}
+		return meta, nil
+	default:
+		return metaDoc{}, fmt.Errorf("kvstore: open %s: %w", dir, err)
+	}
+}
+
+// OpenBackend builds a replica over an explicit backend: each stripe's
+// checkpoint is loaded and its log replayed in order, then the backend
+// starts receiving every new mutation. The backend must not be shared
+// between replicas.
+func OpenBackend(be storage.Backend, label string, shards int) (*Replica, error) {
+	r := NewReplicaShards(label, shards)
+	n := len(r.shards) // NewReplicaShards clamps to >= 1
+	for i := 0; i < n; i++ {
+		sh := &r.shards[i]
+		err := be.ReplayShard(i,
+			func(snap []byte) error { return r.loadShardCheckpoint(i, snap) },
+			func(rec storage.Record) error {
+				if rec.Reset {
+					sh.data = make(map[string]Versioned)
+					return nil
+				}
+				e := rec.Entry
+				if ShardIndex(e.Key, n) != i {
+					return fmt.Errorf("kvstore: replay shard %d: key %q belongs to shard %d",
+						i, e.Key, ShardIndex(e.Key, n))
+				}
+				sh.data[e.Key] = Versioned{Value: e.Value, Deleted: e.Deleted, Stamp: e.Stamp}
+				return nil
+			})
+		if err != nil {
+			return nil, err
+		}
+	}
+	r.backend = be
+	return r, nil
+}
+
+// loadShardCheckpoint installs a per-shard binary snapshot into stripe i.
+// The entry list is decoded directly — building a throwaway Replica per
+// stripe just to tear it apart again would cost O(stripes²) shard structs
+// on the startup path.
+func (r *Replica) loadShardCheckpoint(i int, snap []byte) error {
+	if len(snap) == 0 {
+		return nil
+	}
+	if snap[0] != binarySnapshotVersion {
+		return fmt.Errorf("kvstore: shard %d checkpoint: not a binary snapshot", i)
+	}
+	_, _, entries, err := decodeBinarySnapshot(snap)
+	if err != nil {
+		return fmt.Errorf("kvstore: shard %d checkpoint: %w", i, err)
+	}
+	for _, e := range entries {
+		if ShardIndex(e.Key, len(r.shards)) != i {
+			return fmt.Errorf("kvstore: shard %d checkpoint: key %q belongs to shard %d",
+				i, e.Key, ShardIndex(e.Key, len(r.shards)))
+		}
+		r.shards[i].data[e.Key] = Versioned{Value: e.Value, Deleted: e.Deleted, Stamp: e.Stamp}
+	}
+	return nil
+}
+
+// Checkpoint writes every stripe's state as a binary snapshot into the
+// backend and truncates the stripe logs, bounding replay work on the next
+// Open. Each stripe checkpoints atomically under its own lock; writers to
+// other stripes are never blocked. No-op without a backend.
+//
+// A checkpoint captures the full in-memory state, so a successful pass over
+// every stripe also heals an earlier append failure: the writes the failed
+// appends covered are now in the checkpoints, and PersistErr resets —
+// unless a new failure arrived during the pass, which stays reported.
+func (r *Replica) Checkpoint() error {
+	if r.backend == nil {
+		return nil
+	}
+	r.persistMu.Lock()
+	seq := r.persistSeq
+	r.persistMu.Unlock()
+	for i := range r.shards {
+		if err := r.checkpointShard(i); err != nil {
+			return err
+		}
+	}
+	r.persistMu.Lock()
+	defer r.persistMu.Unlock()
+	if r.persistSeq != seq {
+		return r.persistErr // something failed mid-pass; durability still in doubt
+	}
+	r.persistErr = nil
+	return nil
+}
+
+// checkpointShard snapshots stripe i and hands it to the backend while
+// holding the stripe lock, so no append can fall between the snapshot and
+// the backend's log truncation. The lock is taken without an epoch bump —
+// a checkpoint mutates nothing, so summary caches stay warm.
+func (r *Replica) checkpointShard(i int) error {
+	sh := &r.shards[i]
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	if err := r.checkpointShardLocked(i); err != nil {
+		return fmt.Errorf("kvstore: checkpoint shard %d: %w", i, err)
+	}
+	return nil
+}
+
+// checkpointShardLocked builds stripe i's binary snapshot and hands it to
+// the backend. The stripe's lock must be held — shared by the Checkpoint
+// path and the wholesale-adoption persistence path, so both always produce
+// identical checkpoint documents.
+func (r *Replica) checkpointShardLocked(i int) error {
+	sh := &r.shards[i]
+	entries := make([]encoding.Entry, 0, len(sh.data))
+	for k, v := range sh.data {
+		entries = append(entries, encoding.Entry{
+			Key: k, Value: v.Value, Deleted: v.Deleted, Stamp: v.Stamp,
+		})
+	}
+	return r.backend.Checkpoint(i, encodeBinarySnapshot(r.label, len(r.shards), entries))
+}
+
+// Compact asks the backend to drop log records superseded within each
+// stripe's log — cheaper than a checkpoint (no snapshot is written) and
+// safe to run concurrently with writers. No-op without a backend.
+func (r *Replica) Compact() error {
+	if r.backend == nil {
+		return nil
+	}
+	for i := range r.shards {
+		if err := r.backend.Compact(i); err != nil {
+			return fmt.Errorf("kvstore: compact shard %d: %w", i, err)
+		}
+	}
+	return nil
+}
+
+// Abandon releases the backend without checkpointing: durable state stays
+// exactly as the logs and prior checkpoints left it, as a crash would leave
+// it — except the file handles and the data directory's lock are freed so
+// the directory can be reopened immediately. The crash-simulation half of
+// the shutdown API (crash tests, benchmarks, failover drills); production
+// shutdown is Close. The replica remains readable in memory; writes after
+// Abandon fail their appends and surface through PersistErr.
+func (r *Replica) Abandon() error {
+	if r.backend == nil {
+		return nil
+	}
+	return r.backend.Close()
+}
+
+// Close checkpoints every stripe and releases the backend — the graceful
+// shutdown path, after which reopening replays no log at all. No-op
+// without a backend. The replica remains readable in memory afterwards;
+// writes after Close fail their backend appends and surface through
+// PersistErr (the backend field stays set so concurrent writers never
+// observe it changing).
+func (r *Replica) Close() error {
+	if r.backend == nil {
+		return nil
+	}
+	err := r.Checkpoint()
+	if cerr := r.backend.Close(); err == nil {
+		err = cerr
+	}
+	return err
+}

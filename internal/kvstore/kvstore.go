@@ -49,6 +49,7 @@ import (
 
 	"versionstamp/internal/core"
 	"versionstamp/internal/encoding"
+	"versionstamp/internal/storage"
 )
 
 // DefaultShards is the stripe count of replicas built with NewReplica.
@@ -132,6 +133,21 @@ func (sh *shard) lockMut() {
 type Replica struct {
 	label  string
 	shards []shard
+
+	// backend, when non-nil, receives every mutation as an appended record
+	// before the stripe lock releases (see Open/OpenBackend in durable.go).
+	// Replicas built with NewReplica keep it nil: the historical all-in-
+	// memory behaviour, with a single pointer check per write as its cost.
+	backend storage.Backend
+
+	// persistMu guards persistErr (the first backend append failure since
+	// the last clean checkpoint) and persistSeq (bumped on every failure,
+	// letting Checkpoint tell "healed" from "failed again meanwhile").
+	// Writes keep succeeding in memory after a persist error; durable
+	// deployments check PersistErr (Checkpoint and Close surface it too).
+	persistMu  sync.Mutex
+	persistErr error
+	persistSeq uint64
 }
 
 // NewReplica creates an empty replica with a cosmetic label and
@@ -177,6 +193,77 @@ func (r *Replica) shardFor(key string) *shard {
 	return &r.shards[ShardIndex(key, len(r.shards))]
 }
 
+// logSet appends key's new state to stripe si's durable log. Called with the
+// stripe's write lock held, so the log order is exactly the apply order. A
+// backend failure is recorded (first one wins) and the in-memory write
+// stands; see PersistErr.
+func (r *Replica) logSet(si int, key string, v Versioned) {
+	if r.backend == nil {
+		return
+	}
+	err := r.backend.Append(si, storage.Record{Entry: encoding.Entry{
+		Key: key, Value: v.Value, Deleted: v.Deleted, Stamp: v.Stamp,
+	}})
+	if err != nil {
+		r.notePersistErr(err)
+	}
+}
+
+// logAdopt persists a wholesale stripe replacement (Adopt/AdoptShard) as a
+// backend checkpoint rather than a reset plus one record per key: adoption
+// rewrites the entire stripe anyway, so a checkpoint leaves the log empty
+// instead of growing it by the keyspace on every whole-snapshot sync
+// round. Stripe write lock held, so no append interleaves.
+func (r *Replica) logAdopt(si int) {
+	if r.backend == nil {
+		return
+	}
+	if err := r.checkpointShardLocked(si); err != nil {
+		r.notePersistErr(err)
+	}
+}
+
+// logKey re-reads key's current state and logs it — the helper the sync
+// paths use after syncKey mutated a raw shard map in place.
+func (r *Replica) logKey(key string) {
+	if r.backend == nil {
+		return
+	}
+	si := ShardIndex(key, len(r.shards))
+	if v, ok := r.shards[si].data[key]; ok {
+		r.logSet(si, key, v)
+	}
+}
+
+// logSyncMutation persists one syncKey outcome on both replicas: a key whose
+// counters show any movement changed on both sides (transfers fork the
+// source stamp too). Stripe locks are held by the calling sync path.
+func logSyncMutation(a, b *Replica, key string, part SyncResult) {
+	if part.Transferred+part.Reconciled+part.Merged == 0 {
+		return
+	}
+	a.logKey(key)
+	b.logKey(key)
+}
+
+func (r *Replica) notePersistErr(err error) {
+	r.persistMu.Lock()
+	r.persistSeq++
+	if r.persistErr == nil {
+		r.persistErr = err
+	}
+	r.persistMu.Unlock()
+}
+
+// PersistErr returns the first backend append failure, or nil. In-memory
+// state is still correct after a persist error; only durability of the
+// writes since then is in doubt.
+func (r *Replica) PersistErr() error {
+	r.persistMu.Lock()
+	defer r.persistMu.Unlock()
+	return r.persistErr
+}
+
 // Clone forks a full new replica from r: every key's stamp forks, the new
 // replica receiving one descendant. This is replica creation under
 // partition: no identifiers are requested from anywhere. The clone has the
@@ -191,6 +278,7 @@ func (r *Replica) Clone(label string) *Replica {
 			mine, theirs := v.Stamp.Fork()
 			v.Stamp = mine
 			sh.data[k] = v
+			r.logSet(i, k, v)
 			cv := v
 			cv.Stamp = theirs
 			cv.Value = append([]byte(nil), v.Value...)
@@ -216,13 +304,14 @@ func (r *Replica) Get(key string) (value []byte, ok bool) {
 // Put writes a value, recording an update on the key's stamp (seeding the
 // stamp on first write at this replica).
 func (r *Replica) Put(key string, value []byte) {
-	sh := r.shardFor(key)
+	si := ShardIndex(key, len(r.shards))
+	sh := &r.shards[si]
 	sh.lockMut()
 	defer sh.mu.Unlock()
-	putLocked(sh.data, key, value)
+	r.logSet(si, key, putLocked(sh.data, key, value))
 }
 
-func putLocked(data map[string]Versioned, key string, value []byte) {
+func putLocked(data map[string]Versioned, key string, value []byte) Versioned {
 	v, found := data[key]
 	if !found {
 		v = Versioned{Stamp: core.Seed()}
@@ -231,6 +320,7 @@ func putLocked(data map[string]Versioned, key string, value []byte) {
 	v.Deleted = false
 	v.Stamp = v.Stamp.Update()
 	data[key] = v
+	return v
 }
 
 // PutVersion stores a copy verbatim — value, tombstone flag and stamp —
@@ -238,32 +328,39 @@ func putLocked(data map[string]Versioned, key string, value []byte) {
 // stamps themselves (e.g. the panasync bridge, which keeps stamps in file
 // sidecars); regular writers should use Put.
 func (r *Replica) PutVersion(key string, v Versioned) {
-	sh := r.shardFor(key)
+	si := ShardIndex(key, len(r.shards))
+	sh := &r.shards[si]
 	sh.lockMut()
 	defer sh.mu.Unlock()
 	v.Value = append([]byte(nil), v.Value...)
 	sh.data[key] = v
+	r.logSet(si, key, v)
 }
 
 // Delete tombstones a key. Deleting a key never seen at this replica is a
 // no-op returning false.
 func (r *Replica) Delete(key string) bool {
-	sh := r.shardFor(key)
+	si := ShardIndex(key, len(r.shards))
+	sh := &r.shards[si]
 	sh.lockMut()
 	defer sh.mu.Unlock()
-	return deleteLocked(sh.data, key)
+	v, ok := deleteLocked(sh.data, key)
+	if ok {
+		r.logSet(si, key, v)
+	}
+	return ok
 }
 
-func deleteLocked(data map[string]Versioned, key string) bool {
+func deleteLocked(data map[string]Versioned, key string) (Versioned, bool) {
 	v, found := data[key]
 	if !found || v.Deleted {
-		return false
+		return Versioned{}, false
 	}
 	v.Value = nil
 	v.Deleted = true
 	v.Stamp = v.Stamp.Update()
 	data[key] = v
-	return true
+	return v, true
 }
 
 // PutBatch writes every entry, taking each involved shard lock exactly
@@ -276,7 +373,7 @@ func (r *Replica) PutBatch(entries map[string][]byte) {
 		sh := &r.shards[group.shard]
 		sh.lockMut()
 		for _, k := range group.keys {
-			putLocked(sh.data, k, entries[k])
+			r.logSet(group.shard, k, putLocked(sh.data, k, entries[k]))
 		}
 		sh.mu.Unlock()
 	}
@@ -308,7 +405,8 @@ func (r *Replica) DeleteBatch(keys []string) int {
 		sh := &r.shards[group.shard]
 		sh.lockMut()
 		for _, k := range group.keys {
-			if deleteLocked(sh.data, k) {
+			if v, ok := deleteLocked(sh.data, k); ok {
+				r.logSet(group.shard, k, v)
 				n++
 			}
 		}
@@ -502,7 +600,7 @@ func syncStriped(a, b *Replica, resolve Resolver) (SyncResult, error) {
 				}
 				first.lockMut()
 				second.lockMut()
-				part, err := syncMaps(sa.data, sb.data, resolve)
+				part, err := syncStripePair(a, b, i, resolve)
 				second.mu.Unlock()
 				first.mu.Unlock()
 				mu.Lock()
@@ -545,6 +643,7 @@ func syncGlobal(a, b *Replica, resolve Resolver) (SyncResult, error) {
 	}
 	for _, k := range sortedKeys(keys) {
 		part, err := syncKey(k, a.shardFor(k).data, b.shardFor(k).data, resolve)
+		logSyncMutation(a, b, k, part)
 		res.add(part)
 		if err != nil {
 			return res, err
@@ -600,6 +699,7 @@ func SyncShard(a, b *Replica, resolve Resolver, idx, of int) (SyncResult, error)
 	for _, k := range sortedKeys(keys) {
 		var part SyncResult
 		part, err = syncKey(k, a.shardFor(k).data, b.shardFor(k).data, resolve)
+		logSyncMutation(a, b, k, part)
 		res.add(part)
 		if err != nil {
 			break
@@ -618,9 +718,10 @@ func sortedKeys(set map[string]struct{}) []string {
 	return out
 }
 
-// syncMaps reconciles the union of two raw shard maps. Both maps' locks
-// must be held.
-func syncMaps(da, db map[string]Versioned, resolve Resolver) (SyncResult, error) {
+// syncStripePair reconciles the union of stripe i of two same-layout
+// replicas. Both stripes' write locks must be held.
+func syncStripePair(a, b *Replica, i int, resolve Resolver) (SyncResult, error) {
+	da, db := a.shards[i].data, b.shards[i].data
 	keys := make(map[string]struct{}, len(da)+len(db))
 	for k := range da {
 		keys[k] = struct{}{}
@@ -631,6 +732,7 @@ func syncMaps(da, db map[string]Versioned, resolve Resolver) (SyncResult, error)
 	var res SyncResult
 	for _, k := range sortedKeys(keys) {
 		part, err := syncKey(k, da, db, resolve)
+		logSyncMutation(a, b, k, part)
 		res.add(part)
 		if err != nil {
 			return res, err
@@ -872,15 +974,30 @@ func (r *Replica) Adopt(snapshot []byte) error {
 			r.shardFor(k).data[k] = v
 		}
 	}
+	for i := range r.shards {
+		r.logAdopt(i)
+	}
 	return nil
 }
 
 // AdoptShard replaces only stripe idx with the snapshot's entries — the
-// client half of one per-shard anti-entropy round. Every entry must belong
-// to stripe idx under this replica's layout.
+// client half of one per-shard anti-entropy round.
+//
+// Adoption is wholesale: keys of stripe idx absent from the snapshot are
+// dropped. That is only sound when the snapshot was produced under this
+// replica's own stripe layout — a snapshot of "stripe idx" from a peer with
+// a different stripe count covers a different slice of the keyspace, and
+// adopting it would silently discard the rest of the local stripe. A
+// snapshot recording a disagreeing layout is therefore rejected outright;
+// snapshots predating layout recording fall back to the per-key check,
+// which still keeps foreign keys out of the stripe.
 func (r *Replica) AdoptShard(idx int, snapshot []byte) error {
 	if idx < 0 || idx >= len(r.shards) {
 		return fmt.Errorf("kvstore: shard %d out of range of %d", idx, len(r.shards))
+	}
+	if rec, err := snapshotLayout(snapshot); err == nil && rec > 0 && rec != len(r.shards) {
+		return fmt.Errorf("kvstore: adopt shard %d: snapshot records a %d-stripe layout, replica has %d",
+			idx, rec, len(r.shards))
 	}
 	restored, err := Restore(snapshot)
 	if err != nil {
@@ -900,6 +1017,7 @@ func (r *Replica) AdoptShard(idx int, snapshot []byte) error {
 	sh.lockMut()
 	defer sh.mu.Unlock()
 	sh.data = data
+	r.logAdopt(idx)
 	return nil
 }
 
@@ -913,6 +1031,11 @@ func Restore(data []byte) (*Replica, error) {
 	var snap snapshotDoc
 	if err := json.Unmarshal(data, &snap); err != nil {
 		return nil, fmt.Errorf("kvstore: restore: %w", err)
+	}
+	if snap.Shards > maxSnapshotShards {
+		// Unchecked, a corrupt or hostile shard count would eagerly allocate
+		// that many stripes (found by FuzzRestore).
+		return nil, fmt.Errorf("kvstore: restore: %d-stripe layout exceeds limit", snap.Shards)
 	}
 	shards := snap.Shards
 	if shards < 1 {

@@ -2,6 +2,7 @@ package kvstore
 
 import (
 	"bytes"
+	"encoding/json"
 	"fmt"
 	"math/rand"
 	"sync"
@@ -322,6 +323,61 @@ func TestSnapshotShardAdoptShardRoundTrip(t *testing.T) {
 	}
 	if !hasKeys {
 		t.Error("AdoptShard accepted keys of a different stripe")
+	}
+}
+
+// TestAdoptShardRejectsForeignLayout is the regression test for the
+// cross-layout adoption bug: AdoptShard replaces the stripe wholesale, so a
+// snapshot cut under a different stripe layout — whose keys can
+// nevertheless all hash into the receiver's stripe — would silently drop
+// every local key the foreign slice does not cover. Snapshots recording a
+// disagreeing layout must be rejected outright.
+func TestAdoptShardRejectsForeignLayout(t *testing.T) {
+	donor := NewReplicaShards("donor", 2)
+	receiver := NewReplicaShards("receiver", 4)
+
+	// Keys in receiver stripe 0 of 4 also live in donor stripe 0 of 2
+	// (4 is a multiple of 2), so the per-key stripe check alone cannot
+	// catch the layout mismatch.
+	var keys []string
+	for i := 0; len(keys) < 3; i++ {
+		k := fmt.Sprintf("key-%03d", i)
+		if ShardIndex(k, 4) == 0 {
+			keys = append(keys, k)
+		}
+	}
+	donor.Put(keys[0], []byte("donor-0"))
+	donor.Put(keys[1], []byte("donor-1"))
+	receiver.Put(keys[2], []byte("must-survive")) // absent from the donor slice
+
+	snap, err := donor.SnapshotShard(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := receiver.AdoptShard(0, snap); err == nil {
+		t.Fatal("AdoptShard accepted a snapshot recording a 2-stripe layout into a 4-stripe replica")
+	}
+	if _, ok := receiver.Get(keys[2]); !ok {
+		t.Fatal("local key lost to a rejected adoption")
+	}
+
+	// Legacy snapshots record no layout; they fall back to the per-key
+	// check and keep loading.
+	v, _ := donor.Version(keys[0])
+	legacy, err := json.Marshal(snapshotDoc{
+		Label: "legacy",
+		Entries: []snapshotEntry{
+			{Key: keys[0], Value: v.Value, Stamp: v.Stamp.String()},
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := receiver.AdoptShard(0, legacy); err != nil {
+		t.Fatalf("layout-free legacy snapshot rejected: %v", err)
+	}
+	if _, ok := receiver.Get(keys[0]); !ok {
+		t.Fatal("legacy adoption did not load")
 	}
 }
 

@@ -52,6 +52,63 @@ func ToReplica(w *Workspace, label string) (*kvstore.Replica, *Baseline, error) 
 	return r, base, nil
 }
 
+// MergeIntoReplica imports the workspace's tracked files into an existing
+// replica — typically a durable (WAL-backed) one reopened across serve
+// sessions — and returns the Baseline for the eventual ApplyReplica. Unlike
+// ToReplica it does not build a fresh replica: keys the replica already
+// holds are updated only when the workspace copy causally dominates, so a
+// restart with an untouched workspace changes nothing and replays nothing.
+//
+// The workspace copy and the replica copy are the same logical copy
+// persisted two ways (the write-back keeps the sidecars in step with the
+// replica), so stamps are installed verbatim, never forked: the workspace
+// is not a second replica. Compare is only trusted where a causal order can
+// exist — identical ids (the same copy, possibly edited) or disjoint ids
+// (two copies of one fork-join system). A workspace copy whose id overlaps
+// the replica's without matching it (a mixed or stale data directory), or
+// one Compare calls concurrent, is left out of the Baseline: ApplyReplica
+// then skips and reports the path instead of overwriting either side.
+func MergeIntoReplica(w *Workspace, r *kvstore.Replica) (*Baseline, error) {
+	statuses, err := w.Tracked()
+	if err != nil {
+		return nil, err
+	}
+	base := &Baseline{entries: make(map[string]baselineEntry, len(statuses))}
+	for _, st := range statuses {
+		if st.Dirty {
+			return nil, fmt.Errorf("%w: %s", ErrStaleStamp, st.Path)
+		}
+		content, err := w.fs.ReadFile(st.Path)
+		if err != nil {
+			return nil, fmt.Errorf("panasync: %w", err)
+		}
+		cur, ok := r.Version(st.Path)
+		switch {
+		case !ok:
+			r.PutVersion(st.Path, kvstore.Versioned{Value: content, Stamp: st.Stamp})
+		case cur.Stamp.Equal(st.Stamp):
+			// The replica already holds exactly this copy.
+		case !st.Stamp.IDHandle().Equal(cur.Stamp.IDHandle()) &&
+			!st.Stamp.IDHandle().IncomparableTo(cur.Stamp.IDHandle()):
+			// Partially overlapping ids: no causal order exists between these
+			// copies (cf. kvstore's reconcileIndependent), so Compare's answer
+			// would be meaningless. Leave both sides; report via write-back.
+			continue
+		default:
+			switch core.Compare(st.Stamp, cur.Stamp) {
+			case core.After:
+				r.PutVersion(st.Path, kvstore.Versioned{Value: content, Stamp: st.Stamp})
+			case core.Equal, core.Before:
+				// Keep the replica's copy; write-back refreshes the sidecar.
+			case core.Concurrent:
+				continue // genuine conflict: keep both, report via write-back
+			}
+		}
+		base.entries[st.Path] = baselineEntry{stamp: st.Stamp, hash: hashContent(content)}
+	}
+	return base, nil
+}
+
 // ApplyReplica writes the replica's state back into the workspace: live
 // keys become tracked files (content plus sidecar stamp), tombstones remove
 // the file and its sidecar. It is the inverse of ToReplica, called after a

@@ -1,0 +1,180 @@
+// Package storage defines the pluggable durability layer under the sharded
+// kvstore. A Backend persists one replica's mutations as a per-stripe
+// record log plus an occasional per-stripe checkpoint, so a replica can
+// restart from local state instead of a whole-replica snapshot: restart =
+// load the latest checkpoint of each stripe, then replay the stripe's log
+// tail. Because records carry full version stamps (encoding.Entry), a
+// restarted replica resumes anti-entropy exactly where it left off — the
+// stamps, not the storage layer, decide what still needs to move.
+//
+// Two implementations exist: Memory, an in-process log that preserves the
+// engine's historical all-in-memory behaviour (nothing survives the
+// process), and the log-structured file-per-stripe WAL in the wal
+// subpackage, which survives crashes and detects torn tail writes.
+package storage
+
+import (
+	"sync"
+
+	"versionstamp/internal/encoding"
+)
+
+// Record is one durable mutation of a stripe. The zero kind is a Set: the
+// key named in Entry now holds exactly that state (value, tombstone flag and
+// stamp). Reset marks a stripe-wide clear, applying before the records that
+// follow it.
+type Record struct {
+	// Reset clears the stripe before the records that follow it. The
+	// kvstore persists wholesale stripe replacement as a checkpoint
+	// instead, but replay honors Reset so backends and older logs may
+	// carry it.
+	Reset bool
+	// Entry is the key state this record sets: the full stored copy, stamp
+	// included, in the wire codec's shape.
+	Entry encoding.Entry
+}
+
+// Backend persists per-stripe mutation logs and checkpoints. Implementations
+// must serialize operations on the same shard internally; the kvstore calls
+// Append under the stripe's write lock, but Compact and Close can race with
+// appends to other shards.
+type Backend interface {
+	// Append durably adds one record to the shard's log. The kvstore
+	// acknowledges a write only after Append returns, so an implementation's
+	// durability level (OS buffer, fsync) is exactly the store's.
+	Append(shard int, rec Record) error
+
+	// ReplayShard streams the shard's durable state in apply order: the
+	// latest checkpoint (if one exists) through ckpt first, then every log
+	// record appended after that checkpoint through rec, oldest first.
+	// Either callback may be nil to skip that part.
+	ReplayShard(shard int, ckpt func(snapshot []byte) error, rec func(Record) error) error
+
+	// Checkpoint atomically replaces the shard's checkpoint with snapshot
+	// and truncates its record log: after Checkpoint, ReplayShard yields the
+	// snapshot and nothing else. The kvstore calls it under the stripe's
+	// write lock so no append can fall between the snapshot and the
+	// truncation.
+	Checkpoint(shard int, snapshot []byte) error
+
+	// Compact rewrites the shard's log keeping only the records that still
+	// matter for replay: everything before the last Reset drops, and only
+	// the last record per key survives. Unlike Checkpoint it needs no
+	// snapshot from the store and may run concurrently with appends.
+	Compact(shard int) error
+
+	// Close releases the backend's resources. The log is not checkpointed;
+	// callers wanting a clean restart checkpoint first (kvstore's
+	// Replica.Close does).
+	Close() error
+}
+
+// Memory is an in-process Backend: logs and checkpoints live on the heap
+// and vanish with the process, reproducing the engine's historical
+// non-durable behaviour while exercising the same code paths as a real
+// backend. It is safe for concurrent use.
+type Memory struct {
+	mu     sync.Mutex
+	shards map[int]*memShard
+}
+
+type memShard struct {
+	ckpt []byte
+	log  []Record
+}
+
+// NewMemory creates an empty in-process backend.
+func NewMemory() *Memory {
+	return &Memory{shards: make(map[int]*memShard)}
+}
+
+func (m *Memory) shard(i int) *memShard {
+	sh, ok := m.shards[i]
+	if !ok {
+		sh = &memShard{}
+		m.shards[i] = sh
+	}
+	return sh
+}
+
+// Append adds one record to the shard's in-memory log.
+func (m *Memory) Append(shard int, rec Record) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	sh := m.shard(shard)
+	sh.log = append(sh.log, rec)
+	return nil
+}
+
+// ReplayShard streams the shard's checkpoint and log.
+func (m *Memory) ReplayShard(shard int, ckpt func([]byte) error, rec func(Record) error) error {
+	m.mu.Lock()
+	sh := m.shard(shard)
+	snapshot := sh.ckpt
+	log := append([]Record(nil), sh.log...)
+	m.mu.Unlock()
+	if snapshot != nil && ckpt != nil {
+		if err := ckpt(snapshot); err != nil {
+			return err
+		}
+	}
+	if rec != nil {
+		for _, r := range log {
+			if err := rec(r); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// Checkpoint replaces the shard's checkpoint and truncates its log.
+func (m *Memory) Checkpoint(shard int, snapshot []byte) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	sh := m.shard(shard)
+	sh.ckpt = append([]byte(nil), snapshot...)
+	sh.log = nil
+	return nil
+}
+
+// Compact keeps the last record per key after the last Reset.
+func (m *Memory) Compact(shard int) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	sh := m.shard(shard)
+	sh.log = CompactRecords(sh.log)
+	return nil
+}
+
+// Close is a no-op for the in-process backend.
+func (m *Memory) Close() error { return nil }
+
+// CompactRecords returns the minimal record sequence equivalent to log under
+// replay: records before the last Reset drop (the Reset erases their
+// effect), the Reset itself survives (it must still clear checkpoint state),
+// and of the rest only each key's last record remains, in original order.
+// Shared by backends implementing Compact.
+func CompactRecords(log []Record) []Record {
+	start := 0
+	reset := false
+	for i, r := range log {
+		if r.Reset {
+			start, reset = i+1, true
+		}
+	}
+	last := make(map[string]int, len(log)-start)
+	for i := start; i < len(log); i++ {
+		last[log[i].Entry.Key] = i
+	}
+	out := make([]Record, 0, len(last)+1)
+	if reset {
+		out = append(out, Record{Reset: true})
+	}
+	for i := start; i < len(log); i++ {
+		if last[log[i].Entry.Key] == i {
+			out = append(out, log[i])
+		}
+	}
+	return out
+}

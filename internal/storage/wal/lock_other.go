@@ -1,0 +1,9 @@
+//go:build !unix
+
+package wal
+
+import "os"
+
+// lockDir is a no-op where flock is unavailable: single ownership of the
+// data directory is then the operator's responsibility.
+func lockDir(dir string) (*os.File, error) { return nil, nil }

@@ -1,0 +1,25 @@
+//go:build unix
+
+package wal
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"syscall"
+)
+
+// lockDir takes an exclusive advisory flock on dir/wal.lock, failing fast
+// when another live process holds it. Kernel advisory locks are released on
+// process death, so a crashed owner never leaves the directory locked.
+func lockDir(dir string) (*os.File, error) {
+	f, err := os.OpenFile(filepath.Join(dir, "wal.lock"), os.O_CREATE|os.O_RDWR, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("wal: %w", err)
+	}
+	if err := syscall.Flock(int(f.Fd()), syscall.LOCK_EX|syscall.LOCK_NB); err != nil {
+		_ = f.Close()
+		return nil, fmt.Errorf("wal: %s is already in use by another process: %w", dir, err)
+	}
+	return f, nil
+}

@@ -1,0 +1,483 @@
+// Package wal implements the log-structured file-per-stripe storage.Backend:
+// each stripe owns an append-only log of length-prefixed, CRC-protected
+// record frames plus a checkpoint file holding the stripe's latest binary
+// snapshot. Appends are a single write to one file; restart replays the
+// checkpoint and then the log tail.
+//
+// # On-disk layout
+//
+//	<dir>/shard-NNNN.wal   record log, a sequence of frames
+//	<dir>/shard-NNNN.ckpt  latest checkpoint (kvstore binary shard snapshot)
+//
+//	frame   := uvarint(len(payload)) payload crc32c(payload)   // crc big-endian
+//	payload := 0x01 entry            // set: encoding.AppendEntry bytes
+//	         | 0x02                  // reset: clear the stripe
+//
+// # Crash safety
+//
+// A crash mid-append leaves a torn frame at the log tail: a truncated
+// length prefix, a payload shorter than its prefix promises, or a CRC
+// mismatch on the final frame. Open detects all three, truncates the log
+// back to the last intact frame, and replay proceeds from clean state — the
+// acknowledged prefix survives, the torn suffix (never acknowledged) is
+// dropped. A CRC mismatch followed by further bytes cannot be a torn tail
+// write and is reported as corruption instead of silently truncated.
+//
+// By default appends reach the OS buffer cache (durable across process
+// crashes, not power loss); Options.Fsync syncs every append for full
+// durability at a large throughput cost. Checkpoints always fsync and
+// rename, whatever the option, so a half-written checkpoint can never
+// replace a good one.
+package wal
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"io/fs"
+	"os"
+	"path/filepath"
+	"sync"
+
+	"versionstamp/internal/encoding"
+	"versionstamp/internal/storage"
+)
+
+// Record payload kinds.
+const (
+	recSet   = 0x01
+	recReset = 0x02
+)
+
+// maxRecordLen bounds a frame's payload so a corrupt length prefix cannot
+// force an unbounded allocation.
+const maxRecordLen = 1 << 30
+
+// crcTable is the Castagnoli polynomial, the standard choice for storage
+// checksums (hardware-accelerated on common CPUs).
+var crcTable = crc32.MakeTable(crc32.Castagnoli)
+
+// ErrCorrupt reports log damage that cannot be a torn tail write — a bad
+// frame with intact frames after it, or a checksummed payload that does not
+// decode. Torn tails are repaired silently; corruption never is.
+var ErrCorrupt = errors.New("wal: corrupt log")
+
+// Options configures a WAL.
+type Options struct {
+	// Fsync syncs the log file after every append. Off by default: appends
+	// then survive process crashes (the OS holds the bytes) but not power
+	// loss.
+	Fsync bool
+}
+
+// WAL is the file-per-stripe backend. Safe for concurrent use; operations
+// on the same shard serialize on the shard's mutex.
+type WAL struct {
+	dir   string
+	fsync bool
+	lock  *os.File // advisory directory lock, released by Close (or process death)
+
+	mu     sync.Mutex
+	shards map[int]*walShard
+	closed bool
+}
+
+type walShard struct {
+	mu     sync.Mutex
+	f      *os.File // append handle, opened lazily
+	size   int64    // current log length, maintained so a partial write can be undone
+	failed error    // set when a partial frame could not be rolled back: shard read-only
+}
+
+// Open prepares dir (creating it if needed), takes the directory's
+// advisory lock — two live processes appending to the same logs would
+// destroy each other's acknowledged writes — and recovers every existing
+// shard log: torn tail frames are truncated away here, once, so appends
+// can never land after garbage. The lock dies with the process; a crashed
+// owner never blocks the next Open.
+func Open(dir string, opts Options) (*WAL, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("wal: %w", err)
+	}
+	lock, err := lockDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	w := &WAL{dir: dir, fsync: opts.Fsync, lock: lock, shards: make(map[int]*walShard)}
+	logs, err := filepath.Glob(filepath.Join(dir, "shard-*.wal"))
+	if err != nil {
+		_ = w.unlock()
+		return nil, fmt.Errorf("wal: %w", err)
+	}
+	for _, path := range logs {
+		if err := recoverLog(path); err != nil {
+			_ = w.unlock()
+			return nil, err
+		}
+	}
+	return w, nil
+}
+
+func (w *WAL) unlock() error {
+	if w.lock == nil {
+		return nil
+	}
+	err := w.lock.Close() // closing drops the flock
+	w.lock = nil
+	return err
+}
+
+func (w *WAL) logPath(shard int) string {
+	return filepath.Join(w.dir, fmt.Sprintf("shard-%04d.wal", shard))
+}
+
+func (w *WAL) ckptPath(shard int) string {
+	return filepath.Join(w.dir, fmt.Sprintf("shard-%04d.ckpt", shard))
+}
+
+// shard returns (creating if needed) the per-shard state, with its mutex
+// already held. Callers must Unlock it.
+func (w *WAL) shard(i int) (*walShard, error) {
+	w.mu.Lock()
+	if w.closed {
+		w.mu.Unlock()
+		return nil, errors.New("wal: closed")
+	}
+	sh, ok := w.shards[i]
+	if !ok {
+		sh = &walShard{}
+		w.shards[i] = sh
+	}
+	w.mu.Unlock()
+	sh.mu.Lock()
+	return sh, nil
+}
+
+// appendFrame encodes rec as one frame.
+func appendFrame(dst []byte, rec storage.Record) []byte {
+	var payload []byte
+	if rec.Reset {
+		payload = []byte{recReset}
+	} else {
+		payload = append(make([]byte, 0, 64), recSet)
+		payload = encoding.AppendEntry(payload, rec.Entry)
+	}
+	dst = binary.AppendUvarint(dst, uint64(len(payload)))
+	dst = append(dst, payload...)
+	return binary.BigEndian.AppendUint32(dst, crc32.Checksum(payload, crcTable))
+}
+
+// decodePayload parses one checksummed payload into a Record. A payload that
+// passes its CRC but does not decode is corruption, never a torn write.
+func decodePayload(payload []byte) (storage.Record, error) {
+	if len(payload) == 0 {
+		return storage.Record{}, fmt.Errorf("%w: empty record", ErrCorrupt)
+	}
+	switch payload[0] {
+	case recReset:
+		if len(payload) != 1 {
+			return storage.Record{}, fmt.Errorf("%w: reset record with body", ErrCorrupt)
+		}
+		return storage.Record{Reset: true}, nil
+	case recSet:
+		e, used, err := encoding.DecodeEntry(payload[1:])
+		if err != nil {
+			return storage.Record{}, fmt.Errorf("%w: %v", ErrCorrupt, err)
+		}
+		if used != len(payload)-1 {
+			return storage.Record{}, fmt.Errorf("%w: %d trailing record bytes", ErrCorrupt, len(payload)-1-used)
+		}
+		return storage.Record{Entry: e}, nil
+	default:
+		return storage.Record{}, fmt.Errorf("%w: unknown record kind 0x%02x", ErrCorrupt, payload[0])
+	}
+}
+
+// scanLog walks the frames of data, calling fn (when non-nil) for each
+// intact record, and returns the offset of the first byte that is not part
+// of an intact frame — len(data) for a clean log. A damaged frame that runs
+// to the end of data is a torn tail (valid stops before it); a damaged
+// frame with bytes after it is corruption.
+func scanLog(data []byte, fn func(storage.Record) error) (valid int, err error) {
+	off := 0
+	for off < len(data) {
+		n, used := binary.Uvarint(data[off:])
+		if used <= 0 {
+			// Unterminated or overlong varint. An unterminated one at the
+			// very tail is a torn length prefix; anything else is corruption.
+			if used == 0 && len(data)-off < binary.MaxVarintLen64 {
+				return off, nil
+			}
+			return off, fmt.Errorf("%w: bad frame length at offset %d", ErrCorrupt, off)
+		}
+		frameEnd := off + used + int(n) + 4
+		if n > maxRecordLen {
+			return off, fmt.Errorf("%w: %d-byte frame at offset %d", ErrCorrupt, n, off)
+		}
+		if frameEnd > len(data) {
+			return off, nil // torn tail: the frame never finished writing
+		}
+		payload := data[off+used : off+used+int(n)]
+		crc := binary.BigEndian.Uint32(data[frameEnd-4 : frameEnd])
+		if crc32.Checksum(payload, crcTable) != crc {
+			if frameEnd == len(data) {
+				return off, nil // torn tail: final frame half-flushed
+			}
+			return off, fmt.Errorf("%w: checksum mismatch at offset %d", ErrCorrupt, off)
+		}
+		rec, err := decodePayload(payload)
+		if err != nil {
+			return off, fmt.Errorf("%w (offset %d)", err, off)
+		}
+		if fn != nil {
+			if err := fn(rec); err != nil {
+				return off, err
+			}
+		}
+		off = frameEnd
+	}
+	return off, nil
+}
+
+// recoverLog truncates path back to its last intact frame. Corruption
+// (damage that is provably not a torn tail) is returned, not repaired.
+func recoverLog(path string) error {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		if errors.Is(err, fs.ErrNotExist) {
+			return nil
+		}
+		return fmt.Errorf("wal: %w", err)
+	}
+	valid, err := scanLog(data, nil)
+	if err != nil {
+		return err
+	}
+	if valid < len(data) {
+		if err := os.Truncate(path, int64(valid)); err != nil {
+			return fmt.Errorf("wal: truncate torn tail: %w", err)
+		}
+	}
+	return nil
+}
+
+// Append logs one record for the shard. A failed write is rolled back by
+// truncating the log to its pre-append length: without that, the partial
+// frame would sit between intact frames once later appends succeed, and
+// the next open would refuse the whole shard as corrupt instead of
+// recovering a torn tail.
+func (w *WAL) Append(shard int, rec storage.Record) error {
+	sh, err := w.shard(shard)
+	if err != nil {
+		return err
+	}
+	defer sh.mu.Unlock()
+	if sh.failed != nil {
+		return sh.failed
+	}
+	if sh.f == nil {
+		f, err := os.OpenFile(w.logPath(shard), os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+		if err != nil {
+			return fmt.Errorf("wal: %w", err)
+		}
+		fi, err := f.Stat()
+		if err != nil {
+			_ = f.Close()
+			return fmt.Errorf("wal: %w", err)
+		}
+		sh.f, sh.size = f, fi.Size()
+	}
+	frame := appendFrame(make([]byte, 0, 64), rec)
+	if _, err := sh.f.Write(frame); err != nil {
+		if terr := sh.f.Truncate(sh.size); terr != nil {
+			// The partial frame cannot be removed, and appending after it
+			// would read as mid-log corruption on the next open. Latch the
+			// shard read-only; the next open recovers the torn tail.
+			sh.failed = fmt.Errorf("wal: shard %d latched after unremovable partial frame: %w", shard, err)
+			_ = sh.f.Close()
+			sh.f = nil
+			return sh.failed
+		}
+		return fmt.Errorf("wal: append shard %d: %w", shard, err)
+	}
+	sh.size += int64(len(frame))
+	if w.fsync {
+		if err := sh.f.Sync(); err != nil {
+			return fmt.Errorf("wal: sync shard %d: %w", shard, err)
+		}
+	}
+	return nil
+}
+
+// ReplayShard streams the shard's checkpoint, then its log records.
+func (w *WAL) ReplayShard(shard int, ckpt func([]byte) error, rec func(storage.Record) error) error {
+	sh, err := w.shard(shard)
+	if err != nil {
+		return err
+	}
+	defer sh.mu.Unlock()
+	if ckpt != nil {
+		snap, err := os.ReadFile(w.ckptPath(shard))
+		switch {
+		case err == nil:
+			if err := ckpt(snap); err != nil {
+				return err
+			}
+		case !errors.Is(err, fs.ErrNotExist):
+			return fmt.Errorf("wal: %w", err)
+		}
+	}
+	data, err := os.ReadFile(w.logPath(shard))
+	if err != nil {
+		if errors.Is(err, fs.ErrNotExist) {
+			return nil
+		}
+		return fmt.Errorf("wal: %w", err)
+	}
+	valid, err := scanLog(data, rec)
+	if err != nil {
+		return err
+	}
+	if valid < len(data) {
+		// A torn tail can only appear here if the file was damaged after
+		// Open's recovery pass; repair it the same way.
+		if err := os.Truncate(w.logPath(shard), int64(valid)); err != nil {
+			return fmt.Errorf("wal: truncate torn tail: %w", err)
+		}
+	}
+	return nil
+}
+
+// Checkpoint atomically replaces the shard's checkpoint and truncates its
+// log. The snapshot lands via write-to-temp, fsync, rename, so a crash
+// leaves either the old checkpoint or the new one, never a torn file; the
+// log is truncated only after the rename is durable.
+func (w *WAL) Checkpoint(shard int, snapshot []byte) error {
+	sh, err := w.shard(shard)
+	if err != nil {
+		return err
+	}
+	defer sh.mu.Unlock()
+	path := w.ckptPath(shard)
+	if err := WriteFileAtomic(path, snapshot); err != nil {
+		return err
+	}
+	if sh.f != nil {
+		if err := sh.f.Truncate(0); err != nil {
+			return fmt.Errorf("wal: truncate log %d: %w", shard, err)
+		}
+	} else if err := os.Truncate(w.logPath(shard), 0); err != nil && !errors.Is(err, fs.ErrNotExist) {
+		return fmt.Errorf("wal: truncate log %d: %w", shard, err)
+	}
+	// The checkpoint holds everything the log did (and more): the log is
+	// empty again and a previously latched shard is healthy.
+	sh.size, sh.failed = 0, nil
+	return nil
+}
+
+// Compact rewrites the shard's log keeping only the records replay still
+// needs (storage.CompactRecords), atomically via temp file and rename.
+func (w *WAL) Compact(shard int) error {
+	sh, err := w.shard(shard)
+	if err != nil {
+		return err
+	}
+	defer sh.mu.Unlock()
+	data, err := os.ReadFile(w.logPath(shard))
+	if err != nil {
+		if errors.Is(err, fs.ErrNotExist) {
+			return nil
+		}
+		return fmt.Errorf("wal: %w", err)
+	}
+	var records []storage.Record
+	if _, err := scanLog(data, func(r storage.Record) error {
+		records = append(records, r)
+		return nil
+	}); err != nil {
+		return err
+	}
+	var out []byte
+	for _, r := range storage.CompactRecords(records) {
+		out = appendFrame(out, r)
+	}
+	if err := WriteFileAtomic(w.logPath(shard), out); err != nil {
+		return err
+	}
+	// The rewrite dropped any torn tail, so a latched shard is healthy again.
+	sh.failed = nil
+	// The old append handle points at the replaced inode; reopen lazily
+	// (the reopen re-stats the rewritten file's length).
+	if sh.f != nil {
+		err := sh.f.Close()
+		sh.f = nil
+		if err != nil {
+			return fmt.Errorf("wal: %w", err)
+		}
+	}
+	return nil
+}
+
+// Close releases every append handle. It does not checkpoint.
+func (w *WAL) Close() error {
+	w.mu.Lock()
+	shards := w.shards
+	w.shards = nil
+	w.closed = true
+	w.mu.Unlock()
+	var first error
+	for _, sh := range shards {
+		sh.mu.Lock()
+		if sh.f != nil {
+			if err := sh.f.Close(); err != nil && first == nil {
+				first = fmt.Errorf("wal: %w", err)
+			}
+			sh.f = nil
+		}
+		sh.mu.Unlock()
+	}
+	if err := w.unlock(); err != nil && first == nil {
+		first = fmt.Errorf("wal: %w", err)
+	}
+	return first
+}
+
+// WriteFileAtomic writes data to path so a crash leaves either the old
+// content or the new, never a torn file: temp file in the same directory,
+// fsync, rename over the target, fsync the directory (a rename is not
+// durable until its directory is). Exported for callers persisting small
+// metadata next to a WAL.
+func WriteFileAtomic(path string, data []byte) error {
+	tmp, err := os.CreateTemp(filepath.Dir(path), filepath.Base(path)+".tmp-*")
+	if err != nil {
+		return fmt.Errorf("wal: %w", err)
+	}
+	defer os.Remove(tmp.Name()) // no-op after a successful rename
+	if _, err := tmp.Write(data); err != nil {
+		_ = tmp.Close()
+		return fmt.Errorf("wal: %w", err)
+	}
+	if err := tmp.Sync(); err != nil {
+		_ = tmp.Close()
+		return fmt.Errorf("wal: %w", err)
+	}
+	if err := tmp.Close(); err != nil {
+		return fmt.Errorf("wal: %w", err)
+	}
+	if err := os.Rename(tmp.Name(), path); err != nil {
+		return fmt.Errorf("wal: %w", err)
+	}
+	// A rename is durable only once the containing directory is synced;
+	// without this, a power loss could keep a later log truncation while
+	// losing the checkpoint the truncation depended on.
+	dir, err := os.Open(filepath.Dir(path))
+	if err != nil {
+		return fmt.Errorf("wal: %w", err)
+	}
+	defer dir.Close()
+	if err := dir.Sync(); err != nil {
+		return fmt.Errorf("wal: %w", err)
+	}
+	return nil
+}

@@ -75,6 +75,35 @@
 // in hot loops, and bulk comparison over converged data (anti-entropy
 // digest phases) runs allocation-free end to end.
 //
+// # Durability model
+//
+// The sharded store (internal/kvstore) optionally persists through a
+// pluggable backend (internal/storage): each stripe owns an append-only
+// log of CRC-protected records plus an occasional binary checkpoint, the
+// log-structured file-per-stripe WAL of internal/storage/wal being the
+// durable implementation. The contract:
+//
+//   - A write is acknowledged only after its record — the key's full new
+//     state, version stamp included — is appended to the owning stripe's
+//     log, under the same stripe lock that ordered the write. Log order is
+//     therefore exactly apply order, and restart is replay: load the
+//     stripe's latest checkpoint, apply its log tail. This covers every
+//     mutation path, including the stamp forks and joins that Sync and the
+//     anti-entropy protocols perform — a restarted replica resumes with
+//     the precise stamps it had, so the next sync round moves only what
+//     the stamps cannot prove equivalent, never the whole keyspace.
+//   - A crash mid-append leaves a torn record at some log tail. Torn tails
+//     are detected by length and checksum and truncated on open; the torn
+//     record was never acknowledged, so nothing promised is lost. Damage
+//     that is provably not a torn tail (a bad frame with intact frames
+//     after it) is reported as corruption, never repaired silently.
+//   - Checkpoint serializes each stripe under its lock and truncates the
+//     stripe's log, bounding restart replay; Close checkpoints everything,
+//     so a graceful restart replays nothing. By default appends reach the
+//     OS buffer cache (durable across process crashes); an fsync option
+//     trades throughput for power-loss durability. Checkpoints always
+//     fsync-and-rename regardless.
+//
 // The implementation lives in internal packages (core, name, trie, bitstr);
 // this package is the stable public API. Interval tree clocks — the
 // successor design by the same authors — are available in the same style via
