@@ -21,12 +21,15 @@ import (
 	"io"
 	"os"
 	"os/signal"
+	"sort"
+	"strings"
 	"syscall"
 	"time"
 
 	"versionstamp/internal/antientropy"
 	"versionstamp/internal/kvstore"
 	"versionstamp/internal/panasync"
+	"versionstamp/internal/ring"
 )
 
 func main() {
@@ -57,6 +60,10 @@ flags:
   -linger <dur>     serve: stop after this duration (default 0 = forever)
   -data-dir <dir>   serve: durable WAL-backed store; survives crashes and
                     restarts without whole-state snapshots (default off)
+  -node <id>        serve: this node's identity on the ring (default "serve")
+  -join <ids>       serve: comma-separated peer identities forming the ring
+  -ring <R>         serve: replication factor; with -join, prints a ring-status
+                    report of stripe ownership across the members (default 0 = off)
 `
 
 func run(args []string, out io.Writer) error {
@@ -67,6 +74,9 @@ func run(args []string, out io.Writer) error {
 	listen := fs.String("listen", "127.0.0.1:0", "serve: listen address")
 	linger := fs.Duration("linger", 0, "serve: stop after this duration (0 = forever)")
 	dataDir := fs.String("data-dir", "", "serve: durable WAL-backed store directory (empty = in-memory)")
+	nodeID := fs.String("node", "serve", "serve: this node's ring identity")
+	join := fs.String("join", "", "serve: comma-separated peer identities forming the ring")
+	ringR := fs.Int("ring", 0, "serve: replication factor (0 = ring mode off)")
 	if err := fs.Parse(args); err != nil {
 		fmt.Fprint(out, usage)
 		return err
@@ -160,7 +170,7 @@ func run(args []string, out io.Writer) error {
 		if len(rest) != 0 {
 			return errors.New("serve takes no arguments")
 		}
-		return serve(ws, out, *listen, *linger, *merge, *dataDir)
+		return serve(ws, out, *listen, *linger, *merge, *dataDir, *nodeID, *join, *ringR)
 	case "netsync":
 		if len(rest) != 1 {
 			return errors.New("netsync takes a peer address")
@@ -196,7 +206,14 @@ func run(args []string, out io.Writer) error {
 // already holds (so a crashed server restarts from its own log, not from a
 // snapshot), and a graceful stop checkpoints the store so the next start
 // replays nothing.
-func serve(ws *panasync.Workspace, out io.Writer, listen string, linger time.Duration, merge bool, dataDir string) error {
+// With -ring R (and -join listing the peers that serve the same workspace)
+// the server also reports its position on the consistent-hash ring: which
+// stripes it owns, and which peers own each tracked file — so an operator
+// running one `panasync serve` per site can see who is responsible for
+// what before pointing `netsync` at the right owners. Ring mode changes
+// the report, not the protocol: every stripe is still served, because a
+// non-owner may be a peer's only reachable sync partner.
+func serve(ws *panasync.Workspace, out io.Writer, listen string, linger time.Duration, merge bool, dataDir, nodeID, join string, ringR int) error {
 	var (
 		replica *kvstore.Replica
 		base    *panasync.Baseline
@@ -221,6 +238,12 @@ func serve(ws *panasync.Workspace, out io.Writer, listen string, linger time.Dur
 	}
 	fmt.Fprintf(out, "serving workspace on %s (%d files, %d shards)\n",
 		addr, replica.Len(), replica.Shards())
+	if ringR > 0 {
+		if err := ringReport(out, replica, nodeID, join, ringR); err != nil {
+			_ = srv.Close()
+			return err
+		}
+	}
 
 	stop := make(chan os.Signal, 1)
 	signal.Notify(stop, os.Interrupt, syscall.SIGTERM)
@@ -285,6 +308,50 @@ func netsync(ws *panasync.Workspace, out io.Writer, addr string) error {
 	}
 	for _, p := range skipped {
 		fmt.Fprintf(out, "kept local edit made during the sync: %s (sync again to reconcile)\n", p)
+	}
+	return nil
+}
+
+// ringReport prints this node's view of the consistent-hash ring formed by
+// -node plus the -join roster: member count, the stripes owned here, and
+// each tracked file's owners. Files map to stripes exactly as the sharded
+// replica maps them (ShardIndex over the shard count), so the report shows
+// what stripe-scoped anti-entropy would make this node responsible for.
+func ringReport(out io.Writer, replica *kvstore.Replica, nodeID, join string, ringR int) error {
+	roster := []string{nodeID}
+	for _, p := range strings.Split(join, ",") {
+		if p = strings.TrimSpace(p); p != "" && p != nodeID {
+			roster = append(roster, p)
+		}
+	}
+	// The ring package clamps replication to the member count (membership
+	// churn can legitimately shrink a ring below R); at the CLI a factor
+	// beyond the roster is a configuration mistake, so reject it up front.
+	if ringR > len(roster) {
+		return fmt.Errorf("ring: replication %d exceeds the %d-member roster (-join more peers)",
+			ringR, len(roster))
+	}
+	r, err := ring.New(roster, replica.Shards(), ringR)
+	if err != nil {
+		return fmt.Errorf("ring: %w", err)
+	}
+	owned := r.StripesOwnedBy(nodeID)
+	fmt.Fprintf(out, "ring: %d members, replication %d, %d stripes; %s owns %d stripes\n",
+		len(roster), ringR, r.Stripes(), nodeID, len(owned))
+	keys := replica.Keys()
+	sort.Strings(keys)
+	for _, key := range keys {
+		s := kvstore.ShardIndex(key, replica.Shards())
+		owners, err := r.Owners(s)
+		if err != nil {
+			return err
+		}
+		marker := " "
+		if r.Owns(nodeID, s) {
+			marker = "*" // this node is an owner
+		}
+		fmt.Fprintf(out, " %s stripe %2d  %-30s owners: %s\n",
+			marker, s, key, strings.Join(owners, ", "))
 	}
 	return nil
 }

@@ -248,6 +248,52 @@ func TestServeLinger(t *testing.T) {
 	}
 }
 
+// TestServeRingStatus: serve -ring with a -join roster prints the ring
+// ownership report — member count, stripes owned by this node, and each
+// tracked file's owners. Every file must list exactly R owners drawn from
+// the roster, and an invalid replication factor must be rejected.
+func TestServeRingStatus(t *testing.T) {
+	root := t.TempDir()
+	write(t, root, "doc.txt", "v1")
+	write(t, root, "notes.txt", "v1")
+	if _, err := runIn(t, root, "init", "doc.txt"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := runIn(t, root, "init", "notes.txt"); err != nil {
+		t.Fatal(err)
+	}
+	out, err := runIn(t, root, "-linger", "200ms", "-listen", "127.0.0.1:0",
+		"-node", "site-a", "-join", "site-b, site-c", "-ring", "2", "serve")
+	if err != nil {
+		t.Fatalf("ring serve: %v", err)
+	}
+	if !strings.Contains(out, "ring: 3 members, replication 2") {
+		t.Errorf("missing ring summary: %q", out)
+	}
+	if !strings.Contains(out, "site-a owns") {
+		t.Errorf("missing ownership count: %q", out)
+	}
+	for _, f := range []string{"doc.txt", "notes.txt"} {
+		line := ""
+		for _, l := range strings.Split(out, "\n") {
+			if strings.Contains(l, f) && strings.Contains(l, "owners:") {
+				line = l
+			}
+		}
+		if line == "" {
+			t.Fatalf("no ownership line for %s: %q", f, out)
+		}
+		owners := strings.TrimSpace(strings.SplitN(line, "owners:", 2)[1])
+		if got := len(strings.Split(owners, ", ")); got != 2 {
+			t.Errorf("%s lists %d owners (%q), want 2", f, got, owners)
+		}
+	}
+	// Replication beyond the roster is a ring error, reported before serving.
+	if _, err := runIn(t, root, "-linger", "100ms", "-node", "solo", "-ring", "5", "serve"); err == nil {
+		t.Error("replication 5 on a 1-member ring must fail")
+	}
+}
+
 // TestServeDataDir exercises the durable serve path: the workspace merges
 // into a WAL-backed store, shutdown checkpoints it, and a second serve
 // session reopens the same directory without complaint.

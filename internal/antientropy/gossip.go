@@ -7,91 +7,169 @@ import (
 	"runtime"
 	"sync"
 
+	"versionstamp/internal/hints"
 	"versionstamp/internal/kvstore"
+	"versionstamp/internal/membership"
+	"versionstamp/internal/ring"
 )
 
 // DefaultFanout is how many peers each node contacts per gossip round.
 const DefaultFanout = 2
 
+// node is one cluster member: its replica, its server endpoint, its pooled
+// client sessions, and — in ring mode — its membership view, its ring, and
+// its durable hint queue. The cosmetic IDs ("node-0", "node-1", …) double
+// as the stable addresses of the placement and membership layers; replica
+// indexes are only a convenience of the embedding API.
+type node struct {
+	id      string
+	replica *kvstore.Replica
+	server  *Server
+	addr    string
+	pool    *Pool
+
+	// Ring mode only (nil/zero in full-replication clusters).
+	view    *membership.View
+	ring    *ring.Ring
+	ringVer uint64 // MemberVersion the ring was built from
+	hints   *hints.Queue
+	dataDir string
+	down    bool
+}
+
+// divKey identifies one unit of divergence-bias state: an unordered node
+// pair plus the stripe their last exchange covered (stripe -1 for the
+// whole-replica exchanges of full-replication mode). Keying by node ID
+// rather than index keeps the state meaningful across membership churn —
+// nodes joining or dying never shift another pair's entry.
+type divKey struct {
+	a, b   string // node IDs, a < b
+	stripe int
+}
+
+func pairKey(x, y string, stripe int) divKey {
+	if x > y {
+		x, y = y, x
+	}
+	return divKey{a: x, b: y, stripe: stripe}
+}
+
 // Cluster manages a set of replicas that gossip over TCP: each node runs a
 // Server, and every gossip round each node pushes/pulls with a handful of
-// random peers — the opportunistic, coordinator-free communication pattern
-// of weakly connected systems, at epidemic fan-out instead of one pair at a
-// time. Pairwise exchanges are two-phase delta rounds: digests travel first
-// and stamp comparison prunes every equivalent key from the wire, so a
-// converged cluster gossips for the price of its digests. Partitions can be
-// injected to model the paper's operating environment: gossip simply never
-// selects pairs that cannot reach each other, and convergence resumes when
-// the partition heals.
+// peers through its pooled v3 sessions. Two replication topologies share
+// the machinery:
+//
+//   - Full replication (NewCluster): every node holds the whole keyspace
+//     and gossips whole-replica rounds with random peers — the original
+//     fixed-n epidemic group.
+//   - Ring partitioning (NewRingCluster): every stripe of the keyspace has
+//     R owners on a consistent-hash ring, gossip rounds are stripe-scoped
+//     and run only between a stripe's owners, and reads/writes go through
+//     quorums with hinted handoff for dead owners. See ringcluster.go.
+//
+// Partitions can be injected to model the paper's operating environment:
+// gossip simply never selects pairs that cannot reach each other, and
+// convergence resumes when the partition heals.
 type Cluster struct {
-	replicas []*kvstore.Replica
-	servers  []*Server
-	addrs    []string
-	// pools holds one connection pool per node: node i's exchanges reuse
-	// its persistent v3 sessions, so a long gossip run dials each (i, j)
-	// pair once instead of once per round.
-	pools []*Pool
+	// mu guards all topology and scheduling state below: group, fanout,
+	// node liveness and endpoints, the divergence map, wire accounting and
+	// the scratch slices. Exchange workers take it only for brief result
+	// recording; the network rounds themselves run outside it.
+	mu      sync.Mutex
+	resolve kvstore.Resolver
+	nodes   []*node
+	index   map[string]int // node ID -> index
 	// group assigns each node to a partition group; nodes in different
 	// groups cannot gossip. All zero = fully connected.
 	group []int
 	// fanout is the per-node peer count of GossipUntilConverged rounds.
 	fanout int
 	rng    *rand.Rand
+	// div records whether the last exchange of a (pair, stripe) found
+	// divergence (data moved or conflicted). Peer selection prefers hot
+	// entries — convergence-aware choice: keep pulling from whoever last
+	// had news instead of re-verifying converged pairs. Entries for dead
+	// peers are cleared when a view reports the death, so a departed
+	// node's last-known heat cannot keep attracting picks.
+	div map[divKey]bool
+	// wire accumulates per-node wire bytes (sent+received, both ends of
+	// every exchange) since the cluster started; WireBytes snapshots it.
+	wire []int64
 	// peerScratch and taskScratch are reused across GossipRound calls so a
 	// steady gossip loop does not allocate fresh selection slices per node
-	// per round. GossipRound is single-threaded in its selection phase
-	// (documented there), so plain fields suffice.
+	// per round.
 	peerScratch []int
 	taskScratch []gossipTask
-	// hot[i][j] records whether node i's last exchange with node j found
-	// divergence (data moved or conflicted). Peer selection prefers hot
-	// peers — convergence-aware choice: keep pulling from whoever last had
-	// news instead of re-verifying converged pairs. Written by the exchange
-	// workers under the round's result lock, read only by the
-	// single-threaded selection phase of the next round.
-	hot [][]bool
+
+	// Ring mode configuration (replication 0 = full-replication mode).
+	replication int
+	writeQuorum int
+	readQuorum  int
+	stripes     int
+	memberCfg   membership.Config
+	dataDir     string
 }
 
-// NewCluster starts n replicas with servers on loopback ports. The resolver
-// is shared by all servers. Close the cluster to release the listeners.
+// NewCluster starts n full-replication nodes with servers on loopback
+// ports: every node holds the whole keyspace and whole-replica gossip
+// rounds converge the group. The resolver is shared by all servers. Close
+// the cluster to release the listeners.
 func NewCluster(n int, resolve kvstore.Resolver, seed int64) (*Cluster, error) {
+	if n <= 0 {
+		return nil, fmt.Errorf("antientropy: cluster size %d is not positive", n)
+	}
 	if n < 2 {
 		return nil, fmt.Errorf("antientropy: cluster needs >= 2 nodes, got %d", n)
 	}
 	c := &Cluster{
-		group:  make([]int, n),
-		fanout: DefaultFanout,
-		rng:    rand.New(rand.NewSource(seed)),
-		hot:    make([][]bool, n),
-	}
-	for i := range c.hot {
-		c.hot[i] = make([]bool, n)
+		resolve: resolve,
+		index:   make(map[string]int, n),
+		group:   make([]int, n),
+		fanout:  DefaultFanout,
+		rng:     rand.New(rand.NewSource(seed)),
+		div:     make(map[divKey]bool),
+		wire:    make([]int64, n),
 	}
 	for i := 0; i < n; i++ {
-		r := kvstore.NewReplica(fmt.Sprintf("node-%d", i))
-		srv := NewServer(r, resolve)
-		addr, err := srv.Listen("127.0.0.1:0")
+		id := fmt.Sprintf("node-%d", i)
+		nd := &node{id: id, replica: kvstore.NewReplica(id)}
+		nd.server = NewServer(nd.replica, resolve)
+		addr, err := nd.server.Listen("127.0.0.1:0")
 		if err != nil {
 			_ = c.Close()
 			return nil, err
 		}
-		c.replicas = append(c.replicas, r)
-		c.servers = append(c.servers, srv)
-		c.addrs = append(c.addrs, addr)
-		c.pools = append(c.pools, NewPool())
+		nd.addr = addr
+		nd.pool = NewPool()
+		c.nodes = append(c.nodes, nd)
+		c.index[id] = i
 	}
 	return c, nil
 }
 
-// Close drops every node's pooled sessions and shuts down every server.
+// Close drops every node's pooled sessions, shuts down every server, and
+// releases durable resources (replica WALs, hint queues) of ring nodes.
 func (c *Cluster) Close() error {
-	for _, p := range c.pools {
-		_ = p.Close()
-	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
 	var firstErr error
-	for _, s := range c.servers {
-		if err := s.Close(); err != nil && firstErr == nil {
+	for _, n := range c.nodes {
+		if n.down {
+			continue
+		}
+		_ = n.pool.Close()
+		if err := n.server.Close(); err != nil && firstErr == nil {
 			firstErr = err
+		}
+		if n.dataDir != "" {
+			if err := n.replica.Close(); err != nil && firstErr == nil {
+				firstErr = err
+			}
+		}
+		if n.hints != nil {
+			if err := n.hints.Close(); err != nil && firstErr == nil {
+				firstErr = err
+			}
 		}
 	}
 	return firstErr
@@ -100,79 +178,169 @@ func (c *Cluster) Close() error {
 // Dials reports how many TCP connections the cluster's nodes have opened in
 // total — with pooled sessions this stays O(pairs) however many rounds run.
 func (c *Cluster) Dials() int64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
 	var n int64
-	for _, p := range c.pools {
-		n += p.Dials()
+	for _, nd := range c.nodes {
+		n += nd.pool.Dials()
 	}
 	return n
 }
 
 // Size returns the number of nodes.
-func (c *Cluster) Size() int { return len(c.replicas) }
+func (c *Cluster) Size() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.nodes)
+}
 
-// Replica returns node i's store for reads and writes.
+// Replica returns node i's store for reads and writes. In ring mode the
+// pointer changes when a killed durable node revives (it reopens its WAL),
+// so re-fetch after Revive.
 func (c *Cluster) Replica(i int) (*kvstore.Replica, error) {
-	if i < 0 || i >= len(c.replicas) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if i < 0 || i >= len(c.nodes) {
 		return nil, fmt.Errorf("antientropy: node %d out of range", i)
 	}
-	return c.replicas[i], nil
+	return c.nodes[i].replica, nil
 }
 
 // Partition assigns nodes to connectivity groups; nodes gossip only within
-// their group. Pass all zeros (or call Heal) to reconnect everyone.
+// their group. Pass all zeros (or call Heal) to reconnect everyone. Safe to
+// call concurrently with GossipRound: the new topology applies from the
+// next selection.
 func (c *Cluster) Partition(groups []int) error {
-	if len(groups) != len(c.replicas) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if len(groups) != len(c.nodes) {
 		return fmt.Errorf("antientropy: %d group assignments for %d nodes",
-			len(groups), len(c.replicas))
+			len(groups), len(c.nodes))
 	}
 	copy(c.group, groups)
 	return nil
 }
 
-// Heal removes all partitions.
+// Heal removes all partitions. Safe concurrently with GossipRound.
 func (c *Cluster) Heal() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
 	for i := range c.group {
 		c.group[i] = 0
 	}
 }
 
 // SetFanout changes how many peers each node contacts per
-// GossipUntilConverged round (minimum 1).
-func (c *Cluster) SetFanout(k int) {
-	if k < 1 {
-		k = 1
+// GossipUntilConverged round. k must be positive.
+func (c *Cluster) SetFanout(k int) error {
+	if k <= 0 {
+		return fmt.Errorf("antientropy: fanout %d is not positive", k)
 	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
 	c.fanout = k
+	return nil
 }
 
-// gossipTask is one scheduled push/pull exchange: node i initiates a delta
-// round against node j's server.
-type gossipTask struct{ i, j int }
+// WireBytes returns cumulative per-node wire bytes (payload sent plus
+// received, attributed to both endpoints of every exchange).
+func (c *Cluster) WireBytes() []int64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return append([]int64(nil), c.wire...)
+}
 
-// GossipRound performs one fan-out round: every node initiates two-phase
-// delta exchanges with up to k distinct random peers in its partition group,
-// and all exchanges run concurrently through a bounded worker pool. It
-// returns how many exchanges ran. Nodes with no reachable peer are skipped —
-// gossip does not fail, it just cannot happen, exactly like mobile nodes
-// out of range.
+// gossipTask is one scheduled exchange: node i initiates a round against
+// node j's server, whole-replica (stripe -1) or scoped to one stripe. The
+// endpoint fields are captured at scheduling time under the cluster lock,
+// so a concurrent Kill/Revive cannot race the worker's reads.
+type gossipTask struct {
+	i, j   int
+	stripe int
+	rep    *kvstore.Replica
+	pool   *Pool
+	addr   string
+}
+
+// task builds a gossipTask from current node state. Caller holds mu (or is
+// a single-threaded test).
+func (c *Cluster) task(i, j, stripe int) gossipTask {
+	return gossipTask{
+		i: i, j: j, stripe: stripe,
+		rep:  c.nodes[i].replica,
+		pool: c.nodes[i].pool,
+		addr: c.nodes[j].addr,
+	}
+}
+
+// RoundStats reports one gossip round's work.
+type RoundStats struct {
+	// Exchanges counts sync rounds that completed.
+	Exchanges int
+	// Moved counts keys that changed on some replica (transferred,
+	// reconciled or merged). A converged round moves nothing.
+	Moved int
+	// Conflicts counts conflicting keys left unresolved.
+	Conflicts int
+	// HintsDrained counts hinted writes delivered to revived owners this
+	// round (ring mode).
+	HintsDrained int
+	// BytesPerNode is this round's wire bytes per node (both endpoints of
+	// an exchange are charged its full sent+received payload).
+	BytesPerNode []int64
+}
+
+// GossipRound performs one fan-out round and returns how many exchanges
+// ran. k must be positive.
+//
+// In full-replication mode every node initiates whole-replica delta
+// exchanges with up to k distinct random peers in its partition group. In
+// ring mode the round is owner-scoped: membership heartbeats gossip first,
+// rings rebuild if the member set changed, pending hints drain to revived
+// owners, and then every node runs stripe-scoped exchanges with up to k
+// co-owners of each stripe it owns — wire cost O(stripes it owns), not
+// O(cluster keyspace). Nodes with no reachable peer are skipped — gossip
+// does not fail, it just cannot happen, exactly like mobile nodes out of
+// range.
 //
 // Concurrent exchanges touching the same replica are safe: the responder
 // reconciles under its stripe locks, and an initiator installs a round's
 // outcome only over copies that did not move while the round was in flight.
 func (c *Cluster) GossipRound(k int) (int, error) {
-	// Peer selection stays single-threaded (one shared rng, deterministic
-	// under a fixed seed); only the network exchanges fan out. Both
-	// selection slices are cluster-owned scratch reused across rounds.
+	stats, err := c.GossipRoundStats(k)
+	return stats.Exchanges, err
+}
+
+// GossipRoundStats is GossipRound with the round's statistics.
+func (c *Cluster) GossipRoundStats(k int) (RoundStats, error) {
+	if k <= 0 {
+		return RoundStats{}, fmt.Errorf("antientropy: fanout %d is not positive", k)
+	}
+	if c.ringMode() {
+		return c.ringRound(k)
+	}
+	// Peer selection is serialized under mu (one shared rng, deterministic
+	// under a fixed seed); only the network exchanges fan out.
+	c.mu.Lock()
 	tasks := c.taskScratch[:0]
-	for i := range c.replicas {
+	for i := range c.nodes {
 		peers := c.selectPeers(i, k)
 		for _, j := range peers {
-			tasks = append(tasks, gossipTask{i: i, j: j})
+			tasks = append(tasks, c.task(i, j, -1))
 		}
 		c.peerScratch = peers
 	}
 	c.taskScratch = tasks
-	return c.runGossip(tasks)
+	c.mu.Unlock()
+	stats := RoundStats{BytesPerNode: make([]int64, len(c.nodes))}
+	err := c.runGossip(tasks, &stats)
+	return stats, err
+}
+
+func (c *Cluster) ringMode() bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.replication > 0
 }
 
 // hotBias is the per-round probability of applying the hot-first partition
@@ -189,11 +357,11 @@ const hotBias = 3.0 / 4
 // node chasing known divergence converges in fewer rounds than one
 // re-verifying converged pairs. The shuffle keeps choice within (and beyond)
 // the hot set random, and the uniform rounds keep cold pairs live. The
-// returned slice is the cluster's scratch.
+// returned slice is the cluster's scratch. Caller holds mu.
 func (c *Cluster) selectPeers(i, k int) []int {
 	peers := c.peerScratch[:0]
-	for j := range c.replicas {
-		if j != i && c.group[i] == c.group[j] {
+	for j := range c.nodes {
+		if j != i && c.group[i] == c.group[j] && !c.nodes[j].down {
 			peers = append(peers, j)
 		}
 	}
@@ -202,7 +370,7 @@ func (c *Cluster) selectPeers(i, k int) []int {
 		if c.rng.Float64() < hotBias {
 			front := 0
 			for x := 0; x < len(peers); x++ {
-				if c.hot[i][peers[x]] {
+				if c.div[pairKey(c.nodes[i].id, c.nodes[peers[x]].id, -1)] {
 					peers[front], peers[x] = peers[x], peers[front]
 					front++
 				}
@@ -213,66 +381,157 @@ func (c *Cluster) selectPeers(i, k int) []int {
 	return peers
 }
 
-// runGossip executes exchanges through a worker pool bounded by GOMAXPROCS.
-func (c *Cluster) runGossip(tasks []gossipTask) (int, error) {
+// markDiv records divergence state for a (pair, stripe). Caller holds mu.
+func (c *Cluster) markDiv(i, j, stripe int, hot bool) {
+	key := pairKey(c.nodes[i].id, c.nodes[j].id, stripe)
+	if hot {
+		c.div[key] = true
+	} else {
+		delete(c.div, key)
+	}
+}
+
+// divergent reports the recorded divergence state. Caller holds mu (tests
+// call it single-threaded).
+func (c *Cluster) divergent(i, j, stripe int) bool {
+	return c.div[pairKey(c.nodes[i].id, c.nodes[j].id, stripe)]
+}
+
+// clearDivFor drops every divergence entry involving the given node ID —
+// the bugfix for departed peers: a dead node's last-known heat must not
+// keep attracting gossip picks (and would otherwise survive forever, since
+// no future exchange with it can cool the entry). Caller holds mu.
+func (c *Cluster) clearDivFor(id string) {
+	for k := range c.div {
+		if k.a == id || k.b == id {
+			delete(c.div, k)
+		}
+	}
+}
+
+// runGossip executes exchanges through a worker pool bounded by GOMAXPROCS,
+// accumulating into stats (which must have BytesPerNode sized).
+//
+// Exchanges scoped to the same stripe are chained onto one worker and run
+// sequentially; only distinct stripes proceed in parallel. This is a
+// soundness requirement of the stamp discipline, not a tuning choice: two
+// concurrent reconciliations that consume the same copy of a key both fork
+// its stamp's id space, the initiator can keep only one reply (the other is
+// discarded by the moved-copy guard), and the two responders are left
+// holding overlapping ids — which a later exchange must treat as
+// causally-unrelated copies and reseed, silently discarding causality. With
+// R owners per stripe every pair of same-stripe exchanges shares a node, so
+// per-stripe serialization is exactly the needed exclusion, while different
+// stripes touch disjoint keys and parallelize freely.
+func (c *Cluster) runGossip(tasks []gossipTask, stats *RoundStats) error {
+	// Whole-replica tasks (stripe -1) each form their own chain, preserving
+	// full-replication mode's round concurrency.
+	chains := make([][]gossipTask, 0, len(tasks))
+	byStripe := make(map[int]int)
+	for _, t := range tasks {
+		if t.stripe < 0 {
+			chains = append(chains, []gossipTask{t})
+			continue
+		}
+		ci, ok := byStripe[t.stripe]
+		if !ok {
+			ci = len(chains)
+			byStripe[t.stripe] = ci
+			chains = append(chains, nil)
+		}
+		chains[ci] = append(chains[ci], t)
+	}
 	workers := runtime.GOMAXPROCS(0)
-	if workers > len(tasks) {
-		workers = len(tasks)
+	if workers > len(chains) {
+		workers = len(chains)
 	}
 	var (
 		mu       sync.Mutex
-		ran      int
 		firstErr error
 		wg       sync.WaitGroup
 	)
-	ch := make(chan gossipTask)
+	ch := make(chan []gossipTask)
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
-			for t := range ch {
-				// Every exchange is a hierarchical (v3) round over the
-				// initiator's pooled session to the peer: per-stripe
-				// summaries prune converged stripes before any digest
-				// travels, and the pool means round N reuses round 1's
-				// connection instead of dialing again.
-				res, err := c.pools[t.i].SyncWith(c.addrs[t.j], c.replicas[t.i])
-				mu.Lock()
-				if err != nil {
-					if firstErr == nil {
-						firstErr = fmt.Errorf("antientropy: gossip %d->%d: %w", t.i, t.j, err)
-					}
-				} else {
-					ran++
-					// Record whether the exchange found divergence, feeding
-					// the next round's convergence-aware peer choice. The
-					// relation is symmetric: a round reconciles both sides.
-					diverged := res.Transferred+res.Reconciled+res.Merged+len(res.Conflicts) > 0
-					c.hot[t.i][t.j] = diverged
-					c.hot[t.j][t.i] = diverged
-				}
-				mu.Unlock()
+			for chain := range ch {
+				c.runChain(chain, stats, &mu, &firstErr)
 			}
 		}()
 	}
-	for _, t := range tasks {
-		ch <- t
+	for _, chain := range chains {
+		ch <- chain
 	}
 	close(ch)
 	wg.Wait()
-	return ran, firstErr
+	return firstErr
+}
+
+// runChain executes one chain's tasks in order, recording results.
+func (c *Cluster) runChain(chain []gossipTask, stats *RoundStats, mu *sync.Mutex, firstErr *error) {
+	for _, t := range chain {
+		// Every exchange is a hierarchical (v3) round over the initiator's
+		// pooled session to the peer — whole-replica with a root-hash fast
+		// path, or scoped to one stripe so only that stripe's summary
+		// travels.
+		var res kvstore.SyncResult
+		var err error
+		if t.stripe >= 0 {
+			res, err = t.pool.SyncStripes(t.addr, t.rep, []int{t.stripe})
+		} else {
+			res, err = t.pool.SyncWith(t.addr, t.rep)
+		}
+		mu.Lock()
+		if err != nil {
+			// A peer that died mid-round is expected churn, not a round
+			// failure: membership will notice and future rounds will route
+			// around it.
+			if *firstErr == nil && !c.nodeDown(t.j) {
+				*firstErr = fmt.Errorf("antientropy: gossip %d->%d: %w", t.i, t.j, err)
+			}
+		} else {
+			moved := res.Transferred + res.Reconciled + res.Merged
+			stats.Exchanges++
+			stats.Moved += moved
+			stats.Conflicts += len(res.Conflicts)
+			bytes := res.BytesSent + res.BytesReceived
+			stats.BytesPerNode[t.i] += bytes
+			stats.BytesPerNode[t.j] += bytes
+			// Record whether the exchange found divergence, feeding the next
+			// round's convergence-aware peer choice. The relation is
+			// symmetric: a round reconciles both sides.
+			c.mu.Lock()
+			c.markDiv(t.i, t.j, t.stripe, moved+len(res.Conflicts) > 0)
+			c.wire[t.i] += bytes
+			c.wire[t.j] += bytes
+			c.mu.Unlock()
+		}
+		mu.Unlock()
+	}
+}
+
+// nodeDown reports node j's liveness flag.
+func (c *Cluster) nodeDown(j int) bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return j >= 0 && j < len(c.nodes) && c.nodes[j].down
 }
 
 // ErrNotConverged is returned by GossipUntilConverged when the budget runs
 // out before all reachable nodes agree.
 var ErrNotConverged = errors.New("antientropy: cluster did not converge")
 
-// GossipUntilConverged runs fan-out gossip rounds until every pair of nodes
-// in the same partition group stores identical live contents, or maxRounds
-// is exhausted. It returns the number of rounds used.
+// GossipUntilConverged runs fan-out gossip rounds until convergence, or
+// maxRounds is exhausted. It returns the number of rounds used.
+//
+// Full-replication mode converges when every pair of up nodes in the same
+// partition group stores identical live contents. Ring mode converges when
+// every stripe's up owners agree on the stripe's live contents, all up
+// nodes have the same ring, and no hints remain queued for up targets.
 func (c *Cluster) GossipUntilConverged(maxRounds int) (int, error) {
 	for round := 1; round <= maxRounds; round++ {
-		if _, err := c.GossipRound(c.fanout); err != nil {
+		if _, err := c.GossipRound(c.Fanout()); err != nil {
 			return round, err
 		}
 		if c.converged() {
@@ -282,14 +541,26 @@ func (c *Cluster) GossipUntilConverged(maxRounds int) (int, error) {
 	return maxRounds, ErrNotConverged
 }
 
-// converged reports whether all same-group pairs agree on live contents.
+// Fanout returns the per-round fan-out used by GossipUntilConverged.
+func (c *Cluster) Fanout() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.fanout
+}
+
+// converged dispatches on topology.
 func (c *Cluster) converged() bool {
-	for i := 0; i < len(c.replicas); i++ {
-		for j := i + 1; j < len(c.replicas); j++ {
-			if c.group[i] != c.group[j] {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.replication > 0 {
+		return c.ringConvergedLocked()
+	}
+	for i := 0; i < len(c.nodes); i++ {
+		for j := i + 1; j < len(c.nodes); j++ {
+			if c.group[i] != c.group[j] || c.nodes[i].down || c.nodes[j].down {
 				continue
 			}
-			if !sameContents(c.replicas[i], c.replicas[j]) {
+			if !sameContents(c.nodes[i].replica, c.nodes[j].replica) {
 				return false
 			}
 		}

@@ -141,7 +141,7 @@ func TestSelectPeersBiasesTowardDivergence(t *testing.T) {
 		t.Fatal(err)
 	}
 	defer c.Close()
-	c.hot[0][3] = true
+	c.markDiv(0, 3, -1, true)
 	const trials = 400
 	hotHits := 0
 	coldSeen := map[int]bool{}
@@ -170,7 +170,7 @@ func TestSelectPeersBiasesTowardDivergence(t *testing.T) {
 		}
 	}
 	// All cold: selection is the plain shuffle, every peer reachable.
-	c.hot[0][3] = false
+	c.markDiv(0, 3, -1, false)
 	seen := map[int]bool{}
 	for trial := 0; trial < 60; trial++ {
 		for _, j := range c.selectPeers(0, 2) {
@@ -197,16 +197,19 @@ func TestGossipRecordsDivergence(t *testing.T) {
 	// Drive a single directed exchange (a full GossipRound runs both
 	// directions, and the second, already-converged exchange would cool the
 	// pair again within the same round — correctly, but uselessly here).
-	if _, err := c.runGossip([]gossipTask{{i: 0, j: 1}}); err != nil {
-		t.Fatal(err)
+	round := func() {
+		t.Helper()
+		stats := RoundStats{BytesPerNode: make([]int64, 2)}
+		if err := c.runGossip([]gossipTask{c.task(0, 1, -1)}, &stats); err != nil {
+			t.Fatal(err)
+		}
 	}
-	if !c.hot[0][1] || !c.hot[1][0] {
-		t.Errorf("divergent exchange did not mark the pair hot: %v", c.hot)
+	round()
+	if !c.divergent(0, 1, -1) || !c.divergent(1, 0, -1) {
+		t.Errorf("divergent exchange did not mark the pair hot: %v", c.div)
 	}
-	if _, err := c.runGossip([]gossipTask{{i: 0, j: 1}}); err != nil {
-		t.Fatal(err)
-	}
-	if c.hot[0][1] || c.hot[1][0] {
-		t.Errorf("converged exchange did not cool the pair: %v", c.hot)
+	round()
+	if c.divergent(0, 1, -1) || c.divergent(1, 0, -1) {
+		t.Errorf("converged exchange did not cool the pair: %v", c.div)
 	}
 }

@@ -1,0 +1,795 @@
+package antientropy
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"path/filepath"
+
+	"versionstamp/internal/core"
+	"versionstamp/internal/hints"
+	"versionstamp/internal/kvstore"
+	"versionstamp/internal/membership"
+	"versionstamp/internal/ring"
+	"versionstamp/internal/storage"
+	"versionstamp/internal/storage/wal"
+)
+
+// This file is the partitioned topology of Cluster: keys hash to stripes,
+// stripes live on a consistent-hash ring with R owners each, gossip is
+// owner-scoped, and reads/writes run through quorums with hinted handoff.
+//
+// The division of labor per GossipRound:
+//
+//  1. Membership: every up node ticks its view and swaps heartbeat tables
+//     with a few up peers. Death is detected here, never declared — a
+//     revived node's resumed counter re-alives it with no extra protocol.
+//  2. Placement: a node whose view learned new member IDs rebuilds its
+//     ring (deterministically — same members, same ring everywhere), and
+//     divergence-bias entries involving dead peers are dropped.
+//  3. Handoff: hints queued for targets whose heartbeats resumed drain by
+//     MergeVersioned — the stamps decide on delivery whether each hinted
+//     write is news, already obsolete, or a conflict.
+//  4. Anti-entropy: each node runs stripe-scoped v3 rounds with co-owners
+//     of the stripes it owns. A converged stripe costs one summary frame,
+//     so a node's idle wire cost is O(stripes it owns), independent of the
+//     keyspace and of cluster size.
+//
+// Dead owners keep their ring ownership (membership drives rebuilds only
+// when the member set grows, e.g. AddNode): a transient failure is bridged
+// by hints addressed to the same owner, Dynamo-style, not by re-homing the
+// stripe. Ownership moves only when the member set changes, and then
+// deterministically.
+
+// RingConfig parameterizes NewRingCluster.
+type RingConfig struct {
+	// Nodes is the initial member count (>= 1).
+	Nodes int
+	// Replication is the owner count per stripe (1 <= R <= Nodes).
+	Replication int
+	// WriteQuorum is the ack count a Write needs (default: majority of R).
+	WriteQuorum int
+	// ReadQuorum is the live-owner count a Read needs (default: majority).
+	ReadQuorum int
+	// Stripes is the virtual stripe count (default kvstore.DefaultShards).
+	// Every node's replica is striped identically so scoped rounds align.
+	Stripes int
+	// Seed drives peer selection; fixed seed, reproducible schedule.
+	Seed int64
+	// Resolver merges conflicting copies cluster-wide.
+	Resolver kvstore.Resolver
+	// DataDir, when set, makes every node durable: node i's replica WAL
+	// lives in DataDir/node-i and its hint queue in DataDir/node-i/hints.
+	// Empty means in-memory (hint queues still run the storage.Backend
+	// code path, over memory).
+	DataDir string
+	// SuspectAfter/DeadAfter are the membership staleness thresholds in
+	// rounds (defaults 3 and 6).
+	SuspectAfter, DeadAfter int
+}
+
+// ErrQuorum is returned by Write and Read when too few owners acknowledged.
+var ErrQuorum = errors.New("antientropy: quorum not reached")
+
+// NewRingCluster starts a partitioned cluster. Close releases listeners,
+// WALs and hint queues.
+func NewRingCluster(cfg RingConfig) (*Cluster, error) {
+	if cfg.Nodes <= 0 {
+		return nil, fmt.Errorf("antientropy: cluster size %d is not positive", cfg.Nodes)
+	}
+	if cfg.Replication <= 0 || cfg.Replication > cfg.Nodes {
+		return nil, fmt.Errorf("antientropy: replication %d outside [1, %d]", cfg.Replication, cfg.Nodes)
+	}
+	if cfg.Stripes == 0 {
+		cfg.Stripes = kvstore.DefaultShards
+	}
+	if cfg.Stripes < 1 {
+		return nil, fmt.Errorf("antientropy: stripe count %d is not positive", cfg.Stripes)
+	}
+	if cfg.WriteQuorum == 0 {
+		cfg.WriteQuorum = cfg.Replication/2 + 1
+	}
+	if cfg.ReadQuorum == 0 {
+		cfg.ReadQuorum = cfg.Replication/2 + 1
+	}
+	if cfg.WriteQuorum < 1 || cfg.WriteQuorum > cfg.Replication {
+		return nil, fmt.Errorf("antientropy: write quorum %d outside [1, %d]", cfg.WriteQuorum, cfg.Replication)
+	}
+	if cfg.ReadQuorum < 1 || cfg.ReadQuorum > cfg.Replication {
+		return nil, fmt.Errorf("antientropy: read quorum %d outside [1, %d]", cfg.ReadQuorum, cfg.Replication)
+	}
+	c := &Cluster{
+		resolve:     cfg.Resolver,
+		index:       make(map[string]int, cfg.Nodes),
+		group:       make([]int, cfg.Nodes),
+		fanout:      DefaultFanout,
+		rng:         rand.New(rand.NewSource(cfg.Seed)),
+		div:         make(map[divKey]bool),
+		wire:        make([]int64, cfg.Nodes),
+		replication: cfg.Replication,
+		writeQuorum: cfg.WriteQuorum,
+		readQuorum:  cfg.ReadQuorum,
+		stripes:     cfg.Stripes,
+		memberCfg:   membership.Config{SuspectAfter: cfg.SuspectAfter, DeadAfter: cfg.DeadAfter},
+		dataDir:     cfg.DataDir,
+	}
+	roster := make([]string, cfg.Nodes)
+	for i := range roster {
+		roster[i] = fmt.Sprintf("node-%d", i)
+	}
+	for i := 0; i < cfg.Nodes; i++ {
+		nd, err := c.newRingNode(roster[i], roster)
+		if err != nil {
+			_ = c.Close()
+			return nil, err
+		}
+		c.nodes = append(c.nodes, nd)
+		c.index[nd.id] = i
+	}
+	return c, nil
+}
+
+// newRingNode builds one ring-mode node: replica (durable when DataDir is
+// set), server, pool, hint queue, membership view seeded with roster, and
+// the ring over that roster.
+func (c *Cluster) newRingNode(id string, roster []string) (*node, error) {
+	nd := &node{id: id}
+	if c.dataDir != "" {
+		nd.dataDir = filepath.Join(c.dataDir, id)
+		r, err := kvstore.Open(nd.dataDir, kvstore.Options{Label: id, Shards: c.stripes})
+		if err != nil {
+			return nil, err
+		}
+		nd.replica = r
+	} else {
+		nd.replica = kvstore.NewReplicaShards(id, c.stripes)
+	}
+	q, err := c.openHints(nd)
+	if err != nil {
+		_ = c.releaseNode(nd)
+		return nil, err
+	}
+	nd.hints = q
+	view, err := membership.NewView(id, c.memberCfg, roster...)
+	if err != nil {
+		_ = c.releaseNode(nd)
+		return nil, err
+	}
+	nd.view = view
+	rg, err := ring.New(view.Members(), c.stripes, c.replication)
+	if err != nil {
+		_ = c.releaseNode(nd)
+		return nil, err
+	}
+	nd.ring = rg
+	nd.ringVer = view.MemberVersion()
+	if err := c.startNode(nd); err != nil {
+		_ = c.releaseNode(nd)
+		return nil, err
+	}
+	return nd, nil
+}
+
+// openHints opens the node's hint queue over its durable directory, or over
+// a fresh in-process backend.
+func (c *Cluster) openHints(nd *node) (*hints.Queue, error) {
+	var be storage.Backend
+	if nd.dataDir != "" {
+		w, err := wal.Open(filepath.Join(nd.dataDir, "hints"), wal.Options{})
+		if err != nil {
+			return nil, err
+		}
+		be = w
+	} else {
+		be = storage.NewMemory()
+	}
+	return hints.Open(be)
+}
+
+// startNode gives the node a fresh server, listener and pool.
+func (c *Cluster) startNode(nd *node) error {
+	nd.server = NewServer(nd.replica, c.resolve)
+	addr, err := nd.server.Listen("127.0.0.1:0")
+	if err != nil {
+		return err
+	}
+	nd.addr = addr
+	nd.pool = NewPool()
+	return nil
+}
+
+// releaseNode closes whatever resources a partially built or dying node
+// holds. Durable replicas are abandoned (crash semantics: the WAL stays).
+func (c *Cluster) releaseNode(nd *node) error {
+	var firstErr error
+	if nd.pool != nil {
+		_ = nd.pool.Close()
+		nd.pool = nil
+	}
+	if nd.server != nil {
+		if err := nd.server.Close(); err != nil && firstErr == nil {
+			firstErr = err
+		}
+		nd.server = nil
+	}
+	if nd.dataDir != "" && nd.replica != nil {
+		if err := nd.replica.Abandon(); err != nil && firstErr == nil {
+			firstErr = err
+		}
+	}
+	if nd.hints != nil {
+		if err := nd.hints.Close(); err != nil && firstErr == nil {
+			firstErr = err
+		}
+		nd.hints = nil
+	}
+	return firstErr
+}
+
+// ringRound is one owner-scoped gossip round; see the file comment for the
+// phases.
+func (c *Cluster) ringRound(k int) (RoundStats, error) {
+	c.mu.Lock()
+	stats := RoundStats{BytesPerNode: make([]int64, len(c.nodes))}
+
+	// Phase 1: membership. Tick every up node, then swap heartbeat tables
+	// between up to k random up peers per node (same partition group —
+	// partitioned nodes cannot exchange liveness either). The tables ride
+	// the same logical round as the data exchanges; in this in-process
+	// harness they transfer directly.
+	for _, nd := range c.nodes {
+		if !nd.down {
+			nd.view.Tick()
+		}
+	}
+	for i, nd := range c.nodes {
+		if nd.down {
+			continue
+		}
+		peers := c.peerScratch[:0]
+		for j, p := range c.nodes {
+			if j != i && !p.down && c.group[i] == c.group[j] {
+				peers = append(peers, j)
+			}
+		}
+		c.rng.Shuffle(len(peers), func(a, b int) { peers[a], peers[b] = peers[b], peers[a] })
+		if len(peers) > k {
+			peers = peers[:k]
+		}
+		for _, j := range peers {
+			peer := c.nodes[j]
+			table := nd.view.Gossip()
+			nd.view.Merge(peer.view.Gossip())
+			peer.view.Merge(table)
+		}
+		c.peerScratch = peers
+	}
+
+	// Phase 2: placement. Rebuild rings whose member set grew; drop
+	// divergence bias involving peers this node now believes dead (the
+	// stale-heat bugfix — no future exchange could ever cool those
+	// entries).
+	var firstErr error
+	for _, nd := range c.nodes {
+		if nd.down {
+			continue
+		}
+		if v := nd.view.MemberVersion(); v != nd.ringVer {
+			rg, err := nd.ring.WithNodes(nd.view.Members())
+			if err != nil {
+				if firstErr == nil {
+					firstErr = err
+				}
+				continue
+			}
+			nd.ring = rg
+			nd.ringVer = v
+		}
+		for _, id := range nd.view.Members() {
+			if nd.view.State(id) == membership.Dead {
+				c.clearDivFor(id)
+			}
+		}
+	}
+
+	// Phase 3: hinted handoff to targets whose heartbeats resumed.
+	if err := c.drainHintsLocked(&stats); err != nil && firstErr == nil {
+		firstErr = err
+	}
+
+	// Phase 4: schedule stripe-scoped exchanges. For each stripe a node
+	// owns, it contacts up to k co-owners, divergence-hot ones first on
+	// hotBias of the draws (same ε-greedy contract as full-replication
+	// selection, per (pair, stripe) instead of per pair).
+	tasks := c.taskScratch[:0]
+	for i, nd := range c.nodes {
+		if nd.down {
+			continue
+		}
+		for _, s := range nd.ring.StripesOwnedBy(nd.id) {
+			owners, err := nd.ring.Owners(s)
+			if err != nil {
+				continue
+			}
+			cand := c.peerScratch[:0]
+			for _, oid := range owners {
+				j, ok := c.index[oid]
+				if !ok || j == i {
+					continue
+				}
+				peer := c.nodes[j]
+				if peer.down || c.group[i] != c.group[j] || nd.view.State(oid) == membership.Dead {
+					continue
+				}
+				cand = append(cand, j)
+			}
+			c.rng.Shuffle(len(cand), func(a, b int) { cand[a], cand[b] = cand[b], cand[a] })
+			if len(cand) > k {
+				if c.rng.Float64() < hotBias {
+					front := 0
+					for x := 0; x < len(cand); x++ {
+						if c.div[pairKey(nd.id, c.nodes[cand[x]].id, s)] {
+							cand[front], cand[x] = cand[x], cand[front]
+							front++
+						}
+					}
+				}
+				cand = cand[:k]
+			}
+			for _, j := range cand {
+				tasks = append(tasks, c.task(i, j, s))
+			}
+			c.peerScratch = cand
+		}
+	}
+	c.taskScratch = tasks
+	c.mu.Unlock()
+
+	if err := c.runGossip(tasks, &stats); err != nil && firstErr == nil {
+		firstErr = err
+	}
+	return stats, firstErr
+}
+
+// drainHintsLocked delivers queued hints whose target is up and judged
+// alive by the holder's view. Conflicted deliveries (nil resolver) requeue.
+// Caller holds mu.
+func (c *Cluster) drainHintsLocked(stats *RoundStats) error {
+	var firstErr error
+	for _, nd := range c.nodes {
+		if nd.down {
+			continue
+		}
+		for _, target := range nd.hints.Targets() {
+			j, ok := c.index[target]
+			if !ok {
+				continue
+			}
+			tn := c.nodes[j]
+			if tn.down || nd.view.State(target) != membership.Alive {
+				continue
+			}
+			hs, err := nd.hints.Take(target)
+			if err != nil {
+				if firstErr == nil {
+					firstErr = err
+				}
+				continue
+			}
+			var requeue []hints.Hint
+			for _, h := range hs {
+				res, err := tn.replica.MergeVersioned(h.Key, kvstore.Versioned{
+					Value: h.Value, Deleted: h.Deleted, Stamp: h.Stamp,
+				}, c.resolve)
+				if err != nil {
+					if firstErr == nil {
+						firstErr = err
+					}
+					requeue = append(requeue, h)
+					continue
+				}
+				if len(res.Conflicts) > 0 {
+					requeue = append(requeue, h)
+					continue
+				}
+				stats.HintsDrained++
+			}
+			if len(requeue) > 0 {
+				if err := nd.hints.Requeue(requeue); err != nil && firstErr == nil {
+					firstErr = err
+				}
+			}
+		}
+	}
+	return firstErr
+}
+
+// ownersLocked returns the stripe's owner IDs per the first up node's ring
+// (all up nodes agree once membership has settled). Caller holds mu.
+func (c *Cluster) ownersLocked(stripe int) []string {
+	for _, nd := range c.nodes {
+		if !nd.down {
+			owners, err := nd.ring.Owners(stripe)
+			if err != nil {
+				return nil
+			}
+			return owners
+		}
+	}
+	return nil
+}
+
+// Write performs a quorum write: the first up owner of the key's stripe
+// coordinates, applying locally and pushing the key (SyncKey) to each
+// other live owner; owners that are down or judged dead get a durable hint
+// instead (a hint is a promise, not an ack). It returns the ack count,
+// with ErrQuorum when that is below the write quorum — the write is still
+// applied wherever it reached, and anti-entropy plus hint drains finish
+// the job, but the caller knows durability is degraded.
+func (c *Cluster) Write(key string, value []byte) (int, error) {
+	return c.write(key, value, false)
+}
+
+// Delete performs a quorum delete (a tombstone write).
+func (c *Cluster) Delete(key string) (int, error) {
+	return c.write(key, nil, true)
+}
+
+func (c *Cluster) write(key string, value []byte, del bool) (int, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.replication == 0 {
+		return 0, fmt.Errorf("antientropy: quorum writes need a ring cluster")
+	}
+	stripe := kvstore.ShardIndex(key, c.stripes)
+	owners := c.ownersLocked(stripe)
+	var coord *node
+	for _, oid := range owners {
+		if j, ok := c.index[oid]; ok && !c.nodes[j].down {
+			coord = c.nodes[j]
+			break
+		}
+	}
+	if coord == nil {
+		return 0, fmt.Errorf("%w: no owner of stripe %d is up", ErrQuorum, stripe)
+	}
+	if del {
+		coord.replica.Delete(key)
+	} else {
+		coord.replica.Put(key, value)
+	}
+	acks := 1
+	for _, oid := range owners {
+		if oid == coord.id {
+			continue
+		}
+		j, ok := c.index[oid]
+		if !ok {
+			continue
+		}
+		target := c.nodes[j]
+		if target.down || coord.view.State(oid) == membership.Dead {
+			cp, ok := coord.replica.ForkCopy(key)
+			if !ok {
+				continue
+			}
+			if err := coord.hints.Add(hints.Hint{
+				Target: oid, Key: key, Value: cp.Value, Deleted: cp.Deleted, Stamp: cp.Stamp,
+			}); err != nil {
+				return acks, err
+			}
+			continue
+		}
+		if _, err := kvstore.SyncKey(coord.replica, target.replica, key, c.resolve); err == nil {
+			acks++
+		}
+	}
+	if acks < c.writeQuorum {
+		return acks, fmt.Errorf("%w: %d of %d acks", ErrQuorum, acks, c.writeQuorum)
+	}
+	return acks, nil
+}
+
+// Read performs a quorum read: it gathers the key's copies from the live
+// owners of its stripe, and when the stamps show divergence (or some owner
+// lacks the key) it read-repairs by converging the owners pairwise before
+// answering — the stamps prove which copies are obsolete, so repair moves
+// only stale ones. ok=false means the key is absent (or tombstoned) at the
+// quorum. ErrQuorum means fewer than ReadQuorum owners are up.
+func (c *Cluster) Read(key string) (value []byte, ok bool, err error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.replication == 0 {
+		return nil, false, fmt.Errorf("antientropy: quorum reads need a ring cluster")
+	}
+	stripe := kvstore.ShardIndex(key, c.stripes)
+	owners := c.ownersLocked(stripe)
+	var live []*node
+	for _, oid := range owners {
+		if j, ok := c.index[oid]; ok && !c.nodes[j].down {
+			live = append(live, c.nodes[j])
+		}
+	}
+	if len(live) < c.readQuorum {
+		return nil, false, fmt.Errorf("%w: %d of %d owners up", ErrQuorum, len(live), c.readQuorum)
+	}
+
+	copies := make([]kvstore.Versioned, len(live))
+	present := make([]bool, len(live))
+	anyPresent, divergent := false, false
+	for i, nd := range live {
+		copies[i], present[i] = nd.replica.Version(key)
+		anyPresent = anyPresent || present[i]
+	}
+	if !anyPresent {
+		return nil, false, nil
+	}
+	for i := 1; i < len(live); i++ {
+		if present[i] != present[0] {
+			divergent = true
+			break
+		}
+		if present[i] && core.Compare(copies[0].Stamp, copies[i].Stamp) != core.Equal {
+			divergent = true
+			break
+		}
+	}
+	if divergent {
+		for _, other := range live[1:] {
+			if _, err := kvstore.SyncKey(live[0].replica, other.replica, key, c.resolve); err != nil {
+				return nil, false, err
+			}
+		}
+	}
+	v, ok := live[0].replica.Get(key)
+	return v, ok, nil
+}
+
+// Kill takes node i down: its server and pooled sessions close, and a
+// durable node's replica abandons its WAL without checkpointing — crash
+// semantics, so Revive replays the log exactly as a process restart would.
+// In-memory nodes keep their state (pause semantics; only durable nodes
+// can lose and recover memory). The node's heartbeat counter freezes, so
+// peers will suspect and then declare it dead.
+func (c *Cluster) Kill(i int) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if i < 0 || i >= len(c.nodes) {
+		return fmt.Errorf("antientropy: node %d out of range", i)
+	}
+	nd := c.nodes[i]
+	if nd.down {
+		return nil
+	}
+	if c.replication == 0 {
+		return fmt.Errorf("antientropy: kill/revive needs a ring cluster")
+	}
+	nd.down = true
+	_ = nd.pool.Close()
+	err := nd.server.Close()
+	if nd.dataDir != "" {
+		if aerr := nd.replica.Abandon(); aerr != nil && err == nil {
+			err = aerr
+		}
+		if herr := nd.hints.Close(); herr != nil && err == nil {
+			err = herr
+		}
+		nd.hints = nil
+	}
+	return err
+}
+
+// Revive brings a killed node back: a durable node reopens its WAL
+// (checkpoint plus log tail — the crash-restart path) and its hint queue,
+// and every revived node gets a fresh listener and pool. Its membership
+// view resumes with a grace refresh, and its resumed heartbeat counter
+// re-alives it at the peers within a few rounds — at which point their
+// queued hints drain to it.
+func (c *Cluster) Revive(i int) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if i < 0 || i >= len(c.nodes) {
+		return fmt.Errorf("antientropy: node %d out of range", i)
+	}
+	nd := c.nodes[i]
+	if !nd.down {
+		return nil
+	}
+	if nd.dataDir != "" {
+		r, err := kvstore.Open(nd.dataDir, kvstore.Options{Label: nd.id, Shards: c.stripes})
+		if err != nil {
+			return err
+		}
+		nd.replica = r
+		q, err := c.openHints(nd)
+		if err != nil {
+			_ = r.Abandon()
+			return err
+		}
+		nd.hints = q
+	}
+	if err := c.startNode(nd); err != nil {
+		return err
+	}
+	nd.view.Refresh()
+	nd.down = false
+	return nil
+}
+
+// AddNode grows the ring: a new node joins with the current member roster
+// as its bootstrap view, and its ID spreads to the existing members by
+// membership gossip, after which every view's member set has grown and
+// every ring deterministically rebuilds to give the newcomer its stripes.
+// Anti-entropy then populates them from the surviving co-owners (a single
+// addition shifts at most one owner per stripe, so every stripe keeps R-1
+// owners holding its data). Returns the new node's index.
+func (c *Cluster) AddNode() (int, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.replication == 0 {
+		return 0, fmt.Errorf("antientropy: AddNode needs a ring cluster")
+	}
+	id := fmt.Sprintf("node-%d", len(c.nodes))
+	if _, taken := c.index[id]; taken {
+		return 0, fmt.Errorf("antientropy: node ID %s already exists", id)
+	}
+	// Bootstrap roster: the joining node contacts the current membership.
+	roster := []string{id}
+	for _, nd := range c.nodes {
+		roster = append(roster, nd.id)
+	}
+	nd, err := c.newRingNode(id, roster)
+	if err != nil {
+		return 0, err
+	}
+	i := len(c.nodes)
+	c.nodes = append(c.nodes, nd)
+	c.index[id] = i
+	c.group = append(c.group, 0)
+	c.wire = append(c.wire, 0)
+	return i, nil
+}
+
+// HintsPending returns the total hinted writes queued across all up nodes.
+func (c *Cluster) HintsPending() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	total := 0
+	for _, nd := range c.nodes {
+		if !nd.down && nd.hints != nil {
+			total += nd.hints.Len()
+		}
+	}
+	return total
+}
+
+// MemberStatus is one row of a node's membership opinion.
+type MemberStatus struct {
+	ID    string
+	State string
+}
+
+// NodeStatus is a point-in-time report of one node — the ring-status
+// surface behind `panasync serve -join` and examples/cluster.
+type NodeStatus struct {
+	ID           string
+	Addr         string
+	Down         bool
+	OwnedStripes []int
+	HintsPending int
+	Members      []MemberStatus
+}
+
+// Status reports node i's identity, liveness, owned stripes, queued hints
+// and membership opinion.
+func (c *Cluster) Status(i int) (NodeStatus, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if i < 0 || i >= len(c.nodes) {
+		return NodeStatus{}, fmt.Errorf("antientropy: node %d out of range", i)
+	}
+	nd := c.nodes[i]
+	st := NodeStatus{ID: nd.id, Addr: nd.addr, Down: nd.down}
+	if nd.ring != nil {
+		st.OwnedStripes = nd.ring.StripesOwnedBy(nd.id)
+	}
+	if nd.hints != nil {
+		st.HintsPending = nd.hints.Len()
+	}
+	if nd.view != nil {
+		for _, id := range nd.view.Members() {
+			st.Members = append(st.Members, MemberStatus{ID: id, State: nd.view.State(id).String()})
+		}
+	}
+	return st, nil
+}
+
+// ringConvergedLocked reports ring-mode convergence: all up nodes agree on
+// the ring, every stripe's up owners (same partition group) agree on the
+// stripe's live contents, and no hints remain addressed to up targets.
+// Caller holds mu.
+func (c *Cluster) ringConvergedLocked() bool {
+	var base *node
+	for _, nd := range c.nodes {
+		if !nd.down {
+			base = nd
+			break
+		}
+	}
+	if base == nil {
+		return true
+	}
+	baseNodes := base.ring.Nodes()
+	for _, nd := range c.nodes {
+		if nd.down {
+			continue
+		}
+		nodes := nd.ring.Nodes()
+		if len(nodes) != len(baseNodes) {
+			return false
+		}
+		for i := range nodes {
+			if nodes[i] != baseNodes[i] {
+				return false
+			}
+		}
+		for _, target := range nd.hints.Targets() {
+			if j, ok := c.index[target]; ok && !c.nodes[j].down {
+				return false
+			}
+		}
+	}
+	// Per-stripe owner agreement on live contents.
+	byStripe := make(map[*node]map[int]map[string]string)
+	snapshot := func(nd *node) map[int]map[string]string {
+		if m, ok := byStripe[nd]; ok {
+			return m
+		}
+		m := make(map[int]map[string]string)
+		for _, k := range nd.replica.Keys() {
+			s := kvstore.ShardIndex(k, c.stripes)
+			if m[s] == nil {
+				m[s] = make(map[string]string)
+			}
+			v, _ := nd.replica.Get(k)
+			m[s][k] = string(v)
+		}
+		byStripe[nd] = m
+		return m
+	}
+	for s := 0; s < c.stripes; s++ {
+		owners, err := base.ring.Owners(s)
+		if err != nil {
+			return false
+		}
+		var live []*node
+		for _, oid := range owners {
+			if j, ok := c.index[oid]; ok && !c.nodes[j].down {
+				live = append(live, c.nodes[j])
+			}
+		}
+		for x := 0; x < len(live); x++ {
+			for y := x + 1; y < len(live); y++ {
+				if c.group[c.index[live[x].id]] != c.group[c.index[live[y].id]] {
+					continue
+				}
+				if !stripeEqual(snapshot(live[x])[s], snapshot(live[y])[s]) {
+					return false
+				}
+			}
+		}
+	}
+	return true
+}
+
+func stripeEqual(a, b map[string]string) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for k, v := range a {
+		if bv, ok := b[k]; !ok || bv != v {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,585 @@
+package antientropy
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"versionstamp/internal/kvstore"
+	"versionstamp/internal/membership"
+)
+
+func newRingCluster(t *testing.T, cfg RingConfig) *Cluster {
+	t.Helper()
+	if cfg.Resolver == nil {
+		cfg.Resolver = kvstore.KeepBoth([]byte("|"))
+	}
+	c, err := NewRingCluster(cfg)
+	if err != nil {
+		t.Fatalf("NewRingCluster: %v", err)
+	}
+	t.Cleanup(func() { _ = c.Close() })
+	return c
+}
+
+func TestRingConfigValidation(t *testing.T) {
+	bad := []RingConfig{
+		{Nodes: 0, Replication: 1},
+		{Nodes: -3, Replication: 1},
+		{Nodes: 3, Replication: 0},
+		{Nodes: 3, Replication: 4},
+		{Nodes: 3, Replication: 3, Stripes: -1},
+		{Nodes: 3, Replication: 3, WriteQuorum: 4},
+		{Nodes: 3, Replication: 3, ReadQuorum: -1},
+	}
+	for i, cfg := range bad {
+		if _, err := NewRingCluster(cfg); err == nil {
+			t.Errorf("config %d accepted: %+v", i, cfg)
+		}
+	}
+}
+
+// Legacy constructor and fanout validation (the satellite bugfix).
+func TestClusterArgValidation(t *testing.T) {
+	if _, err := NewCluster(0, nil, 1); err == nil {
+		t.Error("NewCluster(0) accepted")
+	}
+	if _, err := NewCluster(-2, nil, 1); err == nil {
+		t.Error("NewCluster(-2) accepted")
+	}
+	c := newCluster(t, 2)
+	if err := c.SetFanout(0); err == nil {
+		t.Error("SetFanout(0) accepted")
+	}
+	if err := c.SetFanout(-1); err == nil {
+		t.Error("SetFanout(-1) accepted")
+	}
+	if err := c.SetFanout(3); err != nil {
+		t.Errorf("SetFanout(3): %v", err)
+	}
+	if _, err := c.GossipRound(0); err == nil {
+		t.Error("GossipRound(0) accepted")
+	}
+	if _, err := c.GossipRound(-1); err == nil {
+		t.Error("GossipRound(-1) accepted")
+	}
+}
+
+// Partition/Heal racing GossipRound must be safe (run with -race).
+func TestPartitionHealConcurrentWithGossip(t *testing.T) {
+	c := newCluster(t, 4)
+	for i := 0; i < 4; i++ {
+		r, _ := c.Replica(i)
+		r.Put(fmt.Sprintf("k%d", i), []byte("v"))
+	}
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for n := 0; n < 20; n++ {
+			_ = c.Partition([]int{0, 0, 1, 1})
+			c.Heal()
+		}
+	}()
+	for n := 0; n < 10; n++ {
+		if _, err := c.GossipRound(2); err != nil {
+			t.Errorf("round %d: %v", n, err)
+		}
+	}
+	<-done
+	c.Heal()
+	if _, err := c.GossipUntilConverged(60); err != nil {
+		t.Fatalf("convergence after churn: %v", err)
+	}
+}
+
+func TestRingQuorumWriteRead(t *testing.T) {
+	c := newRingCluster(t, RingConfig{Nodes: 5, Replication: 3, Stripes: 16, Seed: 1})
+	acks, err := c.Write("alpha", []byte("1"))
+	if err != nil {
+		t.Fatalf("Write: %v", err)
+	}
+	if acks != 3 {
+		t.Errorf("acks = %d, want 3 (all owners up)", acks)
+	}
+	v, ok, err := c.Read("alpha")
+	if err != nil || !ok || string(v) != "1" {
+		t.Fatalf("Read = %q, %v, %v", v, ok, err)
+	}
+	// Absent key.
+	if _, ok, err := c.Read("ghost"); err != nil || ok {
+		t.Fatalf("Read(ghost) = %v, %v", ok, err)
+	}
+	// Quorum delete leaves the key quorum-absent.
+	if _, err := c.Delete("alpha"); err != nil {
+		t.Fatalf("Delete: %v", err)
+	}
+	if _, ok, _ := c.Read("alpha"); ok {
+		t.Error("deleted key still quorum-readable")
+	}
+	// Writes land only on the stripe's owners: count copies across nodes.
+	holders := 0
+	for i := 0; i < 5; i++ {
+		r, _ := c.Replica(i)
+		if _, ok := r.Version("alpha"); ok {
+			holders++
+		}
+	}
+	if holders != 3 {
+		t.Errorf("key held by %d nodes, want exactly the 3 owners", holders)
+	}
+}
+
+// Read must repair divergence among owners before answering: after a write
+// reaches only part of the quorum, a read still returns the newest value
+// and leaves the owners stamp-converged on that key.
+func TestRingReadRepair(t *testing.T) {
+	c := newRingCluster(t, RingConfig{Nodes: 5, Replication: 3, Stripes: 8, Seed: 3})
+	if _, err := c.Write("k", []byte("v1")); err != nil {
+		t.Fatal(err)
+	}
+	// Behind the quorum's back, advance the key at exactly one owner.
+	stripe := kvstore.ShardIndex("k", 8)
+	c.mu.Lock()
+	owners := c.ownersLocked(stripe)
+	first := c.nodes[c.index[owners[0]]]
+	first.replica.Put("k", []byte("v2"))
+	c.mu.Unlock()
+
+	v, ok, err := c.Read("k")
+	if err != nil || !ok || string(v) != "v2" {
+		t.Fatalf("Read = %q, %v, %v", v, ok, err)
+	}
+	// The read repaired: every owner now returns v2 directly.
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	for _, oid := range owners {
+		r := c.nodes[c.index[oid]].replica
+		if got, _ := r.Get("k"); string(got) != "v2" {
+			t.Errorf("owner %s has %q after read-repair", oid, got)
+		}
+	}
+}
+
+// Randomized property: a ring cluster driven by quorum writes (with random
+// key churn) converges under owner-scoped gossip to exactly the state the
+// writes describe — every key quorum-reads its last written value, the
+// owners of each stripe agree, and non-owners hold none of its keys.
+func TestRingQuorumConvergesLikeFullSync(t *testing.T) {
+	const (
+		nodes   = 7
+		stripes = 32
+		keys    = 60
+	)
+	c := newRingCluster(t, RingConfig{Nodes: nodes, Replication: 3, Stripes: stripes, Seed: 11})
+	rng := rand.New(rand.NewSource(23))
+	model := make(map[string]string)
+	for op := 0; op < 300; op++ {
+		k := fmt.Sprintf("key-%d", rng.Intn(keys))
+		if rng.Float64() < 0.15 {
+			if _, err := c.Delete(k); err != nil {
+				t.Fatalf("op %d Delete(%s): %v", op, k, err)
+			}
+			delete(model, k)
+			continue
+		}
+		v := fmt.Sprintf("v%d", op)
+		if _, err := c.Write(k, []byte(v)); err != nil {
+			t.Fatalf("op %d Write(%s): %v", op, k, err)
+		}
+		model[k] = v
+	}
+	if _, err := c.GossipUntilConverged(80); err != nil {
+		t.Fatalf("convergence: %v", err)
+	}
+	for k, want := range model {
+		v, ok, err := c.Read(k)
+		if err != nil || !ok || string(v) != want {
+			t.Fatalf("Read(%s) = %q, %v, %v; want %q", k, v, ok, err, want)
+		}
+	}
+	// Placement invariant: each key lives at its stripe's owners and
+	// nowhere else.
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	for i, nd := range c.nodes {
+		for _, k := range nd.replica.Keys() {
+			s := kvstore.ShardIndex(k, stripes)
+			if !nd.ring.Owns(nd.id, s) {
+				t.Errorf("node %d holds %q of stripe %d it does not own", i, k, s)
+			}
+		}
+	}
+}
+
+// ringChurnConfig is shared by the churn test and the acceptance test.
+func tickUntilDead(t *testing.T, c *Cluster, rounds int) {
+	t.Helper()
+	for i := 0; i < rounds; i++ {
+		if _, err := c.GossipRound(2); err != nil {
+			t.Fatalf("churn round %d: %v", i, err)
+		}
+	}
+}
+
+// Membership churn with durable nodes: an owner dies, writes to its
+// stripes hint to it; on revival it replays its WAL, hints drain, and the
+// cluster converges with the revived node holding the missed writes.
+func TestRingChurnHintedHandoff(t *testing.T) {
+	c := newRingCluster(t, RingConfig{
+		Nodes: 9, Replication: 3, Stripes: 64, Seed: 42,
+		DataDir:      t.TempDir(),
+		SuspectAfter: 1, DeadAfter: 2,
+	})
+	// Seed data and converge.
+	for i := 0; i < 40; i++ {
+		if _, err := c.Write(fmt.Sprintf("seed-%d", i), []byte("s")); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, err := c.GossipUntilConverged(80); err != nil {
+		t.Fatalf("initial convergence: %v", err)
+	}
+
+	// Kill a node and write keys it owns: quorum must still be reached
+	// (the two surviving owners ack) and a hint queued for the dead one.
+	const victim = 4
+	if err := c.Kill(victim); err != nil {
+		t.Fatalf("Kill: %v", err)
+	}
+	victimID := fmt.Sprintf("node-%d", victim)
+	st, err := c.Status(victim)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !st.Down {
+		t.Fatal("victim not reported down")
+	}
+	var hinted []string
+	for i := 0; i < 400 && len(hinted) < 6; i++ {
+		k := fmt.Sprintf("churn-%d", i)
+		s := kvstore.ShardIndex(k, 64)
+		c.mu.Lock()
+		owned := false
+		for _, oid := range c.ownersLocked(s) {
+			if oid == victimID {
+				owned = true
+			}
+		}
+		c.mu.Unlock()
+		if !owned {
+			continue
+		}
+		acks, err := c.Write(k, []byte("missed"))
+		if err != nil {
+			t.Fatalf("Write(%s) with dead owner: %v", k, err)
+		}
+		if acks != 2 {
+			t.Errorf("Write(%s) acks = %d, want 2 (dead owner hinted, not acked)", k, acks)
+		}
+		hinted = append(hinted, k)
+	}
+	if len(hinted) < 6 {
+		t.Fatalf("only %d keys landed on the victim's stripes", len(hinted))
+	}
+	if got := c.HintsPending(); got < len(hinted) {
+		t.Errorf("HintsPending = %d, want >= %d", got, len(hinted))
+	}
+	// Reads of hinted keys succeed from the surviving owners.
+	for _, k := range hinted {
+		if v, ok, err := c.Read(k); err != nil || !ok || string(v) != "missed" {
+			t.Fatalf("Read(%s) with dead owner = %q, %v, %v", k, v, ok, err)
+		}
+	}
+	// Let the peers declare the victim dead (hints must not drain early).
+	tickUntilDead(t, c, 4)
+	if got := c.HintsPending(); got < len(hinted) {
+		t.Errorf("hints drained to a dead node: pending = %d", got)
+	}
+
+	// Revive: WAL replay restores the pre-kill state, membership re-alives
+	// it, hints drain, and convergence completes.
+	if err := c.Revive(victim); err != nil {
+		t.Fatalf("Revive: %v", err)
+	}
+	r, err := c.Replica(victim)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := r.Get("seed-0"); len(r.Keys()) == 0 && !ok {
+		t.Error("revived replica lost its durable state")
+	}
+	if _, err := c.GossipUntilConverged(120); err != nil {
+		t.Fatalf("post-revival convergence: %v", err)
+	}
+	if got := c.HintsPending(); got != 0 {
+		t.Errorf("HintsPending = %d after convergence", got)
+	}
+	r, _ = c.Replica(victim)
+	for _, k := range hinted {
+		if v, ok := r.Get(k); !ok || string(v) != "missed" {
+			t.Errorf("revived node missing hinted key %s (= %q, %v)", k, v, ok)
+		}
+	}
+}
+
+// The stale-heat bugfix: divergence entries involving a peer survive only
+// while some view still counts it alive; once declared dead they are
+// dropped, so a departed node's last-known heat cannot attract picks.
+func TestDeadPeerDivergenceCleared(t *testing.T) {
+	c := newRingCluster(t, RingConfig{
+		Nodes: 4, Replication: 2, Stripes: 8, Seed: 5,
+		SuspectAfter: 1, DeadAfter: 2,
+	})
+	c.mu.Lock()
+	c.markDiv(0, 1, 3, true)
+	c.markDiv(1, 2, 5, true)
+	c.mu.Unlock()
+	if err := c.Kill(1); err != nil {
+		t.Fatal(err)
+	}
+	tickUntilDead(t, c, 4)
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	for k := range c.div {
+		if k.a == "node-1" || k.b == "node-1" {
+			t.Errorf("divergence entry %+v survived the peer's death", k)
+		}
+	}
+}
+
+// AddNode: the newcomer spreads through membership gossip, every ring
+// rebuilds deterministically to include it, and anti-entropy populates its
+// stripes from the surviving co-owners.
+func TestAddNodeJoinsRing(t *testing.T) {
+	c := newRingCluster(t, RingConfig{Nodes: 4, Replication: 2, Stripes: 32, Seed: 9})
+	for i := 0; i < 30; i++ {
+		if _, err := c.Write(fmt.Sprintf("k-%d", i), []byte("v")); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, err := c.GossipUntilConverged(60); err != nil {
+		t.Fatalf("pre-join convergence: %v", err)
+	}
+	idx, err := c.AddNode()
+	if err != nil {
+		t.Fatalf("AddNode: %v", err)
+	}
+	if c.Size() != 5 {
+		t.Fatalf("Size = %d", c.Size())
+	}
+	if _, err := c.GossipUntilConverged(120); err != nil {
+		t.Fatalf("post-join convergence: %v", err)
+	}
+	st, err := c.Status(idx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(st.OwnedStripes) == 0 {
+		t.Fatal("newcomer owns no stripes")
+	}
+	// Everyone agrees on a 5-node ring.
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	for i, nd := range c.nodes {
+		if got := len(nd.ring.Nodes()); got != 5 {
+			t.Errorf("node %d ring has %d members", i, got)
+		}
+	}
+	// The newcomer's replica holds every key of every stripe it owns.
+	newbie := c.nodes[idx]
+	owned := make(map[int]bool)
+	for _, s := range st.OwnedStripes {
+		owned[s] = true
+	}
+	for i, nd := range c.nodes {
+		if i == idx {
+			continue
+		}
+		for _, k := range nd.replica.Keys() {
+			if owned[kvstore.ShardIndex(k, 32)] {
+				if _, ok := newbie.replica.Get(k); !ok {
+					t.Errorf("newcomer missing %q of an owned stripe", k)
+				}
+			}
+		}
+	}
+}
+
+// The quorum surface rejects calls on a full-replication cluster, and
+// ErrQuorum surfaces when too few owners are up.
+func TestQuorumErrors(t *testing.T) {
+	legacy := newCluster(t, 2)
+	if _, err := legacy.Write("k", nil); err == nil {
+		t.Error("Write on full-replication cluster accepted")
+	}
+	if _, _, err := legacy.Read("k"); err == nil {
+		t.Error("Read on full-replication cluster accepted")
+	}
+	if _, err := legacy.AddNode(); err == nil {
+		t.Error("AddNode on full-replication cluster accepted")
+	}
+	if err := legacy.Kill(0); err == nil {
+		t.Error("Kill on full-replication cluster accepted")
+	}
+
+	c := newRingCluster(t, RingConfig{Nodes: 3, Replication: 3, Stripes: 4, Seed: 2})
+	if err := c.Kill(99); err == nil {
+		t.Error("Kill out of range accepted")
+	}
+	if err := c.Revive(99); err == nil {
+		t.Error("Revive out of range accepted")
+	}
+	// Kill two of three owners: writes and reads lose quorum (W=R=2 default).
+	if err := c.Kill(1); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Kill(2); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Write("k", []byte("v")); !errors.Is(err, ErrQuorum) {
+		t.Errorf("Write with 1/3 owners up: %v", err)
+	}
+	if _, _, err := c.Read("k"); !errors.Is(err, ErrQuorum) {
+		t.Errorf("Read with 1/3 owners up: %v", err)
+	}
+	// Revive one: quorum of 2 is reachable again.
+	if err := c.Revive(1); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Write("k", []byte("v")); err != nil {
+		t.Errorf("Write with 2/3 owners up: %v", err)
+	}
+}
+
+func TestStatusReportsMembership(t *testing.T) {
+	c := newRingCluster(t, RingConfig{Nodes: 3, Replication: 2, Stripes: 8, Seed: 4,
+		SuspectAfter: 1, DeadAfter: 2})
+	if _, err := c.Status(99); err == nil {
+		t.Error("Status out of range accepted")
+	}
+	st, err := c.Status(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.ID != "node-0" || st.Addr == "" || st.Down {
+		t.Errorf("Status(0) = %+v", st)
+	}
+	if len(st.Members) != 3 {
+		t.Fatalf("Members = %v", st.Members)
+	}
+	for _, m := range st.Members {
+		if m.State != membership.Alive.String() {
+			t.Errorf("member %s state %s at start", m.ID, m.State)
+		}
+	}
+	if err := c.Kill(2); err != nil {
+		t.Fatal(err)
+	}
+	tickUntilDead(t, c, 4)
+	st, _ = c.Status(0)
+	for _, m := range st.Members {
+		if m.ID == "node-2" && m.State != membership.Dead.String() {
+			t.Errorf("dead peer reported %s", m.State)
+		}
+	}
+}
+
+// Acceptance: a deterministic 9-node R=3 ring over 64 stripes survives an
+// owner being killed and revived — quorum-readable throughout for keys with
+// 2 live owners, hinted handoff drains on revival — and a converged round's
+// per-node wire cost is O(owned stripes): at least 3x below what one v1
+// full-snapshot exchange of the same keyspace costs a node.
+func TestRingAcceptance9Nodes(t *testing.T) {
+	const (
+		nodes   = 9
+		stripes = 64
+		keyN    = 500
+	)
+	c := newRingCluster(t, RingConfig{
+		Nodes: nodes, Replication: 3, Stripes: stripes, Seed: 1,
+		DataDir:      t.TempDir(),
+		SuspectAfter: 1, DeadAfter: 2,
+	})
+	val := func(i int) []byte {
+		return []byte(fmt.Sprintf("value-%d-%032d", i, i))
+	}
+	for i := 0; i < keyN; i++ {
+		if _, err := c.Write(fmt.Sprintf("key-%d", i), val(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, err := c.GossipUntilConverged(100); err != nil {
+		t.Fatalf("initial convergence: %v", err)
+	}
+
+	// Kill an owner, keep writing, revive, reconverge.
+	const victim = 2
+	if err := c.Kill(victim); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 60; i++ {
+		k := fmt.Sprintf("down-%d", i)
+		if _, err := c.Write(k, []byte("while-down")); err != nil {
+			t.Fatalf("Write(%s) during outage: %v", k, err)
+		}
+		if v, ok, err := c.Read(k); err != nil || !ok || string(v) != "while-down" {
+			t.Fatalf("Read(%s) during outage = %q %v %v", k, v, ok, err)
+		}
+	}
+	tickUntilDead(t, c, 4)
+	if err := c.Revive(victim); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.GossipUntilConverged(150); err != nil {
+		t.Fatalf("post-revival convergence: %v", err)
+	}
+	if n := c.HintsPending(); n != 0 {
+		t.Fatalf("%d hints still pending after convergence", n)
+	}
+	for i := 0; i < keyN; i++ {
+		k := fmt.Sprintf("key-%d", i)
+		if v, ok, err := c.Read(k); err != nil || !ok || string(v) != string(val(i)) {
+			t.Fatalf("Read(%s) after churn = %q %v %v", k, v, ok, err)
+		}
+	}
+
+	// Converged idle round: per-node bytes must be O(owned stripes).
+	idle, err := c.GossipRoundStats(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var idleMax int64
+	for _, b := range idle.BytesPerNode {
+		if b > idleMax {
+			idleMax = b
+		}
+	}
+	if idleMax == 0 {
+		t.Fatal("idle round recorded no wire bytes")
+	}
+
+	// Baseline: one v1 whole-snapshot exchange of the same keyspace — what
+	// full-replica gossip costs a node per round regardless of convergence.
+	full := kvstore.NewReplicaShards("full-a", stripes)
+	peer := kvstore.NewReplicaShards("full-b", stripes)
+	for i := 0; i < keyN; i++ {
+		full.Put(fmt.Sprintf("key-%d", i), val(i))
+	}
+	srv := NewServer(full, nil)
+	addr, err := srv.Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	base, err := SyncWith(addr, peer)
+	if err != nil {
+		t.Fatal(err)
+	}
+	baseline := base.BytesSent + base.BytesReceived
+	t.Logf("idle ring round max per-node bytes = %d; v1 snapshot exchange = %d (%.1fx)",
+		idleMax, baseline, float64(baseline)/float64(idleMax))
+	if idleMax*3 > baseline {
+		t.Fatalf("converged-round bytes %d not 3x below full-replica baseline %d", idleMax, baseline)
+	}
+}

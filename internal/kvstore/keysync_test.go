@@ -1,0 +1,280 @@
+package kvstore
+
+import (
+	"bytes"
+	"testing"
+
+	"versionstamp/internal/core"
+)
+
+func TestSyncKeyTransferAndReconcile(t *testing.T) {
+	a := NewReplica("a")
+	b := NewReplica("b")
+	a.Put("k", []byte("v1"))
+
+	res, err := SyncKey(a, b, "k", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Transferred != 1 {
+		t.Fatalf("Transferred = %d, want 1", res.Transferred)
+	}
+	if v, ok := b.Get("k"); !ok || string(v) != "v1" {
+		t.Fatalf("b has %q, %v", v, ok)
+	}
+
+	// Dominating update at a propagates.
+	a.Put("k", []byte("v2"))
+	res, err = SyncKey(a, b, "k", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Reconciled != 1 {
+		t.Fatalf("Reconciled = %d, want 1", res.Reconciled)
+	}
+	if v, _ := b.Get("k"); string(v) != "v2" {
+		t.Fatalf("b has %q", v)
+	}
+
+	// Untouched keys are untouched: SyncKey of an absent key is a no-op.
+	res, err = SyncKey(a, b, "nope", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Transferred+res.Reconciled+res.Merged+res.Pruned+len(res.Conflicts) != 0 {
+		t.Fatalf("absent key produced %+v", res)
+	}
+}
+
+func TestSyncKeyConflict(t *testing.T) {
+	a := NewReplica("a")
+	b := NewReplica("b")
+	a.Put("k", []byte("base"))
+	if _, err := SyncKey(a, b, "k", nil); err != nil {
+		t.Fatal(err)
+	}
+	a.Put("k", []byte("at-a"))
+	b.Put("k", []byte("at-b"))
+
+	res, err := SyncKey(a, b, "k", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Conflicts) != 1 || res.Conflicts[0] != "k" {
+		t.Fatalf("Conflicts = %v", res.Conflicts)
+	}
+
+	res, err = SyncKey(a, b, "k", KeepBoth([]byte("|")))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Merged != 1 {
+		t.Fatalf("Merged = %d, want 1", res.Merged)
+	}
+	va, _ := a.Get("k")
+	vb, _ := b.Get("k")
+	if !bytes.Equal(va, vb) {
+		t.Fatalf("copies differ after merge: %q vs %q", va, vb)
+	}
+}
+
+func TestSyncKeySelf(t *testing.T) {
+	a := NewReplica("a")
+	if _, err := SyncKey(a, a, "k", nil); err == nil {
+		t.Fatal("self-sync should error")
+	}
+}
+
+func TestForkCopyKeepsFrontier(t *testing.T) {
+	r := NewReplica("r")
+	if _, ok := r.ForkCopy("missing"); ok {
+		t.Fatal("ForkCopy of a missing key should report ok=false")
+	}
+	r.Put("k", []byte("v"))
+	before, _ := r.Version("k")
+	cp, ok := r.ForkCopy("k")
+	if !ok {
+		t.Fatal("ForkCopy failed")
+	}
+	after, _ := r.Version("k")
+	if string(cp.Value) != "v" || cp.Deleted {
+		t.Fatalf("copy = %+v", cp)
+	}
+	// The detached copy and the retained copy are forked siblings: equal
+	// update knowledge, disjoint ids (joinable).
+	if core.Compare(cp.Stamp, after.Stamp) != core.Equal {
+		t.Fatalf("fork siblings compare %v, want Equal", core.Compare(cp.Stamp, after.Stamp))
+	}
+	if _, err := core.Join(cp.Stamp, after.Stamp); err != nil {
+		t.Fatalf("fork siblings must be joinable: %v", err)
+	}
+	// The retained copy still carries the same update knowledge.
+	if core.Compare(before.Stamp, after.Stamp) != core.Equal {
+		t.Fatal("fork must not change update knowledge")
+	}
+	// Mutating the copy's value must not alias the stored one.
+	cp.Value[0] = 'X'
+	if v, _ := r.Get("k"); string(v) != "v" {
+		t.Fatalf("stored value aliased: %q", v)
+	}
+}
+
+func TestMergeVersionedInstallsWhenAbsent(t *testing.T) {
+	src := NewReplica("src")
+	dst := NewReplica("dst")
+	src.Put("k", []byte("v"))
+	cp, _ := src.ForkCopy("k")
+
+	res, err := dst.MergeVersioned("k", cp, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Transferred != 1 {
+		t.Fatalf("Transferred = %d", res.Transferred)
+	}
+	if v, ok := dst.Get("k"); !ok || string(v) != "v" {
+		t.Fatalf("dst has %q, %v", v, ok)
+	}
+	// The installed copy and the source are now ordinary fork siblings: a
+	// later Sync treats them as equivalent, not conflicting.
+	sv, _ := src.Version("k")
+	dv, _ := dst.Version("k")
+	if core.Compare(sv.Stamp, dv.Stamp) != core.Equal {
+		t.Fatalf("compare = %v, want Equal", core.Compare(sv.Stamp, dv.Stamp))
+	}
+}
+
+func TestMergeVersionedDominatesAndAbsorbs(t *testing.T) {
+	src := NewReplica("src")
+	dst := NewReplica("dst")
+	src.Put("k", []byte("old"))
+	if _, err := SyncKey(src, dst, "k", nil); err != nil {
+		t.Fatal(err)
+	}
+
+	// Incoming dominates: hint carries a newer write.
+	src.Put("k", []byte("new"))
+	cp, _ := src.ForkCopy("k")
+	res, err := dst.MergeVersioned("k", cp, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Reconciled != 1 {
+		t.Fatalf("Reconciled = %d (%+v)", res.Reconciled, res)
+	}
+	if v, _ := dst.Get("k"); string(v) != "new" {
+		t.Fatalf("dst = %q", v)
+	}
+
+	// Incoming obsolete: local wrote past it meanwhile. Local value stays;
+	// the stale copy's id is still absorbed (Pruned).
+	cp2, _ := src.ForkCopy("k")
+	dst.Put("k", []byte("newer"))
+	res, err = dst.MergeVersioned("k", cp2, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Pruned != 1 {
+		t.Fatalf("Pruned = %d (%+v)", res.Pruned, res)
+	}
+	if v, _ := dst.Get("k"); string(v) != "newer" {
+		t.Fatalf("dst = %q", v)
+	}
+}
+
+func TestMergeVersionedConflict(t *testing.T) {
+	src := NewReplica("src")
+	dst := NewReplica("dst")
+	src.Put("k", []byte("base"))
+	if _, err := SyncKey(src, dst, "k", nil); err != nil {
+		t.Fatal(err)
+	}
+	src.Put("k", []byte("from-src"))
+	dst.Put("k", []byte("at-dst"))
+	cp, _ := src.ForkCopy("k")
+
+	// Nil resolver: conflict reported, nothing consumed or changed.
+	res, err := dst.MergeVersioned("k", cp, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Conflicts) != 1 {
+		t.Fatalf("Conflicts = %v", res.Conflicts)
+	}
+	if v, _ := dst.Get("k"); string(v) != "at-dst" {
+		t.Fatalf("dst mutated on reported conflict: %q", v)
+	}
+
+	// With a resolver the same copy merges and dominates both inputs.
+	res, err = dst.MergeVersioned("k", cp, KeepBoth([]byte("|")))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Merged != 1 {
+		t.Fatalf("Merged = %d", res.Merged)
+	}
+	dv, _ := dst.Version("k")
+	if core.Compare(dv.Stamp, cp.Stamp) != core.After {
+		t.Fatalf("merged stamp should dominate the input, got %v", core.Compare(dv.Stamp, cp.Stamp))
+	}
+}
+
+func TestMergeVersionedIndependentCopies(t *testing.T) {
+	dst := NewReplica("dst")
+	dst.Put("k", []byte("same"))
+	in := Versioned{Value: []byte("same"), Stamp: core.Seed().Update()}
+
+	res, err := dst.MergeVersioned("k", in, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Reconciled != 1 {
+		t.Fatalf("equal independent copies: %+v", res)
+	}
+
+	dst2 := NewReplica("dst2")
+	dst2.Put("k", []byte("left"))
+	in2 := Versioned{Value: []byte("right"), Stamp: core.Seed().Update()}
+	res, err = dst2.MergeVersioned("k", in2, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Conflicts) != 1 {
+		t.Fatalf("independent differing copies without resolver: %+v", res)
+	}
+	res, err = dst2.MergeVersioned("k", in2, KeepBoth([]byte("|")))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Merged != 1 {
+		t.Fatalf("independent differing copies with resolver: %+v", res)
+	}
+	if v, _ := dst2.Get("k"); string(v) != "left|right" {
+		t.Fatalf("merged value = %q", v)
+	}
+}
+
+// Drain symmetry: ForkCopy then MergeVersioned at another replica leaves
+// the pair in the same relation a direct SyncKey would have produced —
+// stamps Equal, values equal, and a follow-up sync moves nothing.
+func TestForkCopyMergeEquivalentToSync(t *testing.T) {
+	a := NewReplica("a")
+	b := NewReplica("b")
+	a.Put("k", []byte("v"))
+	cp, _ := a.ForkCopy("k")
+	if _, err := b.MergeVersioned("k", cp, nil); err != nil {
+		t.Fatal(err)
+	}
+	res, err := SyncKey(a, b, "k", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Transferred+res.Reconciled+res.Merged != 0 {
+		t.Fatalf("follow-up sync moved data: %+v", res)
+	}
+	va, _ := a.Version("k")
+	vb, _ := b.Version("k")
+	if core.Compare(va.Stamp, vb.Stamp) != core.Equal {
+		t.Fatalf("stamps compare %v", core.Compare(va.Stamp, vb.Stamp))
+	}
+}

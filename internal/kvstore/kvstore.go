@@ -749,6 +749,11 @@ func syncKey(k string, da, db map[string]Versioned, resolve Resolver) (SyncResul
 	va, hasA := da[k]
 	vb, hasB := db[k]
 	switch {
+	case !hasA && !hasB:
+		// Neither side holds the key (a caller named it explicitly, e.g. a
+		// quorum write propagating a delete of a never-written key): nothing
+		// to converge. Falling through would install zero-stamp entries on
+		// both sides — copies no real write could ever dominate.
 	case hasA && !hasB:
 		mine, theirs := va.Stamp.Fork()
 		va.Stamp = mine

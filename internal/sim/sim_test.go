@@ -52,6 +52,7 @@ func TestGeneratorsProduceValidTraces(t *testing.T) {
 		"fixedN":             func(s int64) Trace { return FixedN(s, 5, 40) },
 		"star":               func(s int64) Trace { return StarSync(s, 4, 40) },
 		"partitioned":        func(s int64) Trace { return PartitionedEpochs(s, 6, 30, 16) },
+		"ring-gossip":        func(s int64) Trace { return RingGossip(s, 9, 3, 40) },
 	}
 	for label, gen := range gens {
 		for seed := int64(0); seed < 10; seed++ {

@@ -237,6 +237,47 @@ func StarSync(seed int64, spokes, rounds int) Trace {
 	return tr
 }
 
+// RingGossip generates the partitioned-cluster scenario: n replicas where
+// data movement is owner-scoped — every synchronization happens inside a
+// window of r adjacent slots (one stripe's owner group on a consistent-hash
+// ring, where the R owners are ring successors and hence neighbours), never
+// across the whole replica set. Each round picks a window, updates a random
+// member (a quorum write landing at a coordinator) and syncs a random pair
+// of members (one stripe-scoped anti-entropy exchange). Slot tracking is
+// approximate, as in PartitionedEpochs: SyncRound re-forks to the last
+// slot, so group membership drifts — the scenario only needs locality, a
+// bounded sync neighbourhood instead of FixedN's all-pairs mixing.
+// Deterministic in seed; width stays n throughout.
+func RingGossip(seed int64, n, r, rounds int) Trace {
+	if n < 2 {
+		n = 2
+	}
+	if r < 2 {
+		r = 2
+	}
+	if r > n {
+		r = n
+	}
+	rng := rand.New(rand.NewSource(seed))
+	var tr Trace
+	for width := 1; width < n; width++ {
+		tr = append(tr, Op{Kind: OpFork, A: rng.Intn(width)})
+	}
+	for round := 0; round < rounds; round++ {
+		// A stripe's owner window, wrapping like ring successors do.
+		start := rng.Intn(n)
+		slot := func() int { return (start + rng.Intn(r)) % n }
+		tr = append(tr, Op{Kind: OpUpdate, A: slot()})
+		a := slot()
+		b := a
+		for b == a {
+			b = slot()
+		}
+		tr = SyncRound(tr, a, b)
+	}
+	return tr
+}
+
 // PartitionedEpochs generates the paper's motivating mobile scenario: the
 // replica set splits into isolated groups; within an epoch only members of
 // the same group exchange data (sync) or spawn new replicas (fork); at epoch

@@ -104,6 +104,40 @@
 //     trades throughput for power-loss durability. Checkpoints always
 //     fsync-and-rename regardless.
 //
+// # Cluster model
+//
+// The partitioned cluster (internal/antientropy's ring mode, built on
+// internal/ring and internal/membership) replaces "every node holds every
+// key" with Dynamo-style ownership: keys hash to virtual stripes, stripes
+// hash onto a consistent-hash ring of node identities, and the R distinct
+// ring successors of a stripe's position own it. The decisions that shape
+// the design:
+//
+//   - Anti-entropy is owner-scoped. A gossip round exchanges each stripe
+//     only among its R owners, as stripe-scoped hierarchical (v3) rounds,
+//     so a converged round costs a node wire bytes proportional to the
+//     stripes it owns — not to the keyspace and not to the cluster size.
+//     Divergence bias is tracked per (peer, stripe) and survives churn.
+//   - Membership is gossiped heartbeats with alive/suspect/dead states.
+//     Ring ownership changes only when the member set grows; a dead node
+//     KEEPS its stripes, because handing them elsewhere would make every
+//     transient outage a data migration. Writes that miss a dead or
+//     unreachable owner queue a durable hint (the write's value and stamp,
+//     on the same storage backend as the WAL) at the coordinator, and
+//     hints drain when the target is seen alive again.
+//   - Reads and writes are quorum operations: a write coordinator applies
+//     locally and pushes the key to the other live owners, acknowledging
+//     at W of R; a read gathers the live owners' copies and lets the
+//     stamps arbitrate — divergent copies trigger read-repair, where the
+//     stamps prove exactly which copies are obsolete. Hints are promises,
+//     not acks, so a sloppy write reports its true durability.
+//   - Exchanges touching the same stripe are serialized. Two concurrent
+//     reconciliations consuming the same copy of a key would fork the same
+//     id space twice, and the paper's model has no sound way to keep both
+//     results — overlapping ids would force a reseed that discards
+//     causality. Per-stripe serialization is a stamp-soundness
+//     requirement, not a tuning choice.
+//
 // The implementation lives in internal packages (core, name, trie, bitstr);
 // this package is the stable public API. Interval tree clocks — the
 // successor design by the same authors — are available in the same style via
