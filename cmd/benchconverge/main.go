@@ -1,0 +1,115 @@
+// Command benchconverge is the convergence CI gate of the chaos lab: it
+// runs every predefined fault scenario (internal/sim.Suite) — partition and
+// heal, lossy links under quorum writes, crash and WAL restart, membership
+// churn, and the 1000-node full-monte — over a seeded chaosnet fabric, and
+// emits the per-scenario convergence metrics as machine-readable JSON (the
+// BENCH_convergence.json artifact CI tracks across PRs).
+//
+// The command exits non-zero when a gate fails:
+//
+//   - every scenario must converge within its round budget (and within
+//     -rounds, when set tighter);
+//
+//   - every scenario must be deterministic: run twice with the same seed,
+//     it must produce byte-identical metrics — logical time and seeded
+//     faults leave no room for luck;
+//
+//   - stamps must not blow up: no scenario may end with a max compact
+//     stamp above -stampcap bytes (the paper's core cost metric).
+//
+//     benchconverge -seed 7 -out BENCH_convergence.json
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"versionstamp/internal/sim"
+)
+
+// Report is the whole emitted document.
+type Report struct {
+	Seed      int64                  `json:"seed"`
+	RoundGate int                    `json:"roundGate"` // 0 = per-scenario budget only
+	StampCap  int                    `json:"stampCapBytes"`
+	Scenarios []*sim.ScenarioMetrics `json:"scenarios"`
+}
+
+func main() {
+	seed := flag.Int64("seed", 1, "scenario seed (faults, peer selection, write stream)")
+	rounds := flag.Int("rounds", 0, "extra round gate on top of each scenario's budget (0 = off)")
+	stampcap := flag.Int("stampcap", 4096, "max allowed compact stamp size in bytes")
+	short := flag.Bool("short", false, "reserved: trim the suite for smoke runs")
+	out := flag.String("out", "BENCH_convergence.json", `output path ("-" = stdout)`)
+	flag.Parse()
+	if err := run(*seed, *rounds, *stampcap, *short, *out, os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "benchconverge:", err)
+		os.Exit(1)
+	}
+}
+
+func run(seed int64, rounds, stampcap int, short bool, out string, log io.Writer) error {
+	dataDir, err := os.MkdirTemp("", "benchconverge-*")
+	if err != nil {
+		return err
+	}
+	defer os.RemoveAll(dataDir)
+
+	report := Report{Seed: seed, RoundGate: rounds, StampCap: stampcap}
+	for _, s := range sim.Suite(seed, dataDir, short) {
+		fmt.Fprintf(log, "benchconverge: %-16s n=%-5d ...", s.Name, s.Nodes)
+		m, err := s.Run()
+		if err != nil {
+			fmt.Fprintln(log)
+			return err
+		}
+		fmt.Fprintf(log, " rounds=%d writes=%d (err %d) hints drained=%d dropped=%d wire=%dB stamp max=%dB\n",
+			m.Rounds, m.Writes, m.WriteErrors, m.HintsDrained, m.HintsDropped, m.WireBytes, m.StampBytesMax)
+
+		// Determinism gate: same scenario, same seed, fresh fabric and
+		// (for durable scenarios) fresh directories — byte-identical
+		// metrics or the lab has a hidden source of nondeterminism.
+		s2 := s
+		if s.DataDir != "" {
+			if s2.DataDir, err = os.MkdirTemp("", "benchconverge-rerun-*"); err != nil {
+				return err
+			}
+			defer os.RemoveAll(s2.DataDir)
+		}
+		m2, err := s2.Run()
+		if err != nil {
+			return fmt.Errorf("%s: rerun: %w", s.Name, err)
+		}
+		ja, _ := json.Marshal(m)
+		jb, _ := json.Marshal(m2)
+		if string(ja) != string(jb) {
+			return fmt.Errorf("gate: %s is nondeterministic:\n  %s\n  %s", s.Name, ja, jb)
+		}
+
+		// Convergence gates.
+		if !m.Converged {
+			return fmt.Errorf("gate: %s did not converge within %d rounds", m.Name, m.RoundBudget)
+		}
+		if rounds > 0 && m.Rounds > rounds {
+			return fmt.Errorf("gate: %s took %d rounds, gate is %d", m.Name, m.Rounds, rounds)
+		}
+		if m.StampBytesMax > stampcap {
+			return fmt.Errorf("gate: %s grew a %d-byte stamp, cap is %d", m.Name, m.StampBytesMax, stampcap)
+		}
+		report.Scenarios = append(report.Scenarios, m)
+	}
+
+	data, err := json.MarshalIndent(report, "", "  ")
+	if err != nil {
+		return err
+	}
+	data = append(data, '\n')
+	if out == "-" {
+		_, err = os.Stdout.Write(data)
+		return err
+	}
+	return os.WriteFile(out, data, 0o644)
+}

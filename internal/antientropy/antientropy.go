@@ -215,7 +215,16 @@ func NewServer(replica *kvstore.Replica, resolve kvstore.Resolver) *Server {
 // returns the bound address. Serve loops run in background goroutines until
 // Close.
 func (s *Server) Listen(addr string) (string, error) {
-	ln, err := net.Listen("tcp", addr)
+	return s.ListenTransport(TCP, addr)
+}
+
+// ListenTransport is Listen over an explicit transport — TCP in production,
+// a fault-injecting fabric in the chaos lab. A nil transport means TCP.
+func (s *Server) ListenTransport(tr Transport, addr string) (string, error) {
+	if tr == nil {
+		tr = TCP
+	}
+	ln, err := tr.Listen(addr)
 	if err != nil {
 		return "", fmt.Errorf("antientropy: %w", err)
 	}

@@ -6,6 +6,7 @@ import (
 	"math/rand"
 	"runtime"
 	"sync"
+	"time"
 
 	"versionstamp/internal/hints"
 	"versionstamp/internal/kvstore"
@@ -100,6 +101,9 @@ type Cluster struct {
 	// per round.
 	peerScratch []int
 	taskScratch []gossipTask
+	// workers caps the gossip worker pool; 0 means GOMAXPROCS. Scenario
+	// runs set 1 so a round's exchange order is deterministic.
+	workers int
 
 	// Ring mode configuration (replication 0 = full-replication mode).
 	replication int
@@ -108,6 +112,25 @@ type Cluster struct {
 	stripes     int
 	memberCfg   membership.Config
 	dataDir     string
+	ringCache   map[string]*ring.Ring // member-set key -> shared immutable ring
+
+	// Transport and pool configuration, shared by both topologies.
+	transport    TransportProvider
+	roundTimeout time.Duration
+	poolIdle     time.Duration
+	backoff      BackoffPolicy
+	hintCap      int
+	durableCount int
+}
+
+// transportFor resolves the transport node id dials and listens through.
+func (c *Cluster) transportFor(id string) Transport {
+	if c.transport != nil {
+		if tr := c.transport(id); tr != nil {
+			return tr
+		}
+	}
+	return TCP
 }
 
 // NewCluster starts n full-replication nodes with servers on loopback
@@ -273,6 +296,26 @@ func (c *Cluster) task(i, j, stripe int) gossipTask {
 	}
 }
 
+// RoundError is one failed (or skipped) exchange of a gossip round: which
+// peer, which stripe, what happened. Operators and the chaos lab both need
+// the breakdown — a round that "mostly worked" is the normal case under
+// faults, and a bare success count hides who is struggling.
+type RoundError struct {
+	From   string // initiating node ID
+	To     string // peer node ID
+	Stripe int    // stripe the exchange was scoped to; -1 = whole replica
+	Err    string // error text
+	// Retried reports that the pool transparently retried the exchange on
+	// a fresh dial before giving up.
+	Retried bool
+	// Backoff marks an exchange skipped by the peer's backoff window — no
+	// traffic happened, the peer was temporarily excused.
+	Backoff bool
+	// PeerDown marks a failure against a peer the cluster already knows is
+	// down — expected churn, not an anomaly.
+	PeerDown bool
+}
+
 // RoundStats reports one gossip round's work.
 type RoundStats struct {
 	// Exchanges counts sync rounds that completed.
@@ -288,6 +331,11 @@ type RoundStats struct {
 	// BytesPerNode is this round's wire bytes per node (both endpoints of
 	// an exchange are charged its full sent+received payload).
 	BytesPerNode []int64
+	// Errors lists every exchange that failed or was skipped this round,
+	// one entry per (peer, stripe) attempt. The round itself still returns
+	// a nil error unless a failure is unexpected (peer not known dead, not
+	// a backoff skip).
+	Errors []RoundError
 }
 
 // GossipRound performs one fan-out round and returns how many exchanges
@@ -441,7 +489,12 @@ func (c *Cluster) runGossip(tasks []gossipTask, stats *RoundStats) error {
 		}
 		chains[ci] = append(chains[ci], t)
 	}
-	workers := runtime.GOMAXPROCS(0)
+	c.mu.Lock()
+	workers := c.workers
+	c.mu.Unlock()
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
 	if workers > len(chains) {
 		workers = len(chains)
 	}
@@ -476,18 +529,25 @@ func (c *Cluster) runChain(chain []gossipTask, stats *RoundStats, mu *sync.Mutex
 		// path, or scoped to one stripe so only that stripe's summary
 		// travels.
 		var res kvstore.SyncResult
+		var info RoundInfo
 		var err error
 		if t.stripe >= 0 {
-			res, err = t.pool.SyncStripes(t.addr, t.rep, []int{t.stripe})
+			res, info, err = t.pool.SyncStripesInfo(t.addr, t.rep, []int{t.stripe})
 		} else {
-			res, err = t.pool.SyncWith(t.addr, t.rep)
+			res, info, err = t.pool.SyncWithInfo(t.addr, t.rep)
 		}
 		mu.Lock()
 		if err != nil {
-			// A peer that died mid-round is expected churn, not a round
-			// failure: membership will notice and future rounds will route
-			// around it.
-			if *firstErr == nil && !c.nodeDown(t.j) {
+			down := c.nodeDown(t.j)
+			stats.Errors = append(stats.Errors, RoundError{
+				From: c.nodeID(t.i), To: c.nodeID(t.j), Stripe: t.stripe,
+				Err: err.Error(), Retried: info.Retried,
+				Backoff: info.Backoff, PeerDown: down,
+			})
+			// A peer that died mid-round is expected churn, and a backoff
+			// skip is the pool doing its job — neither fails the round:
+			// membership notices the death, and the backoff window expires.
+			if *firstErr == nil && !down && !info.Backoff {
 				*firstErr = fmt.Errorf("antientropy: gossip %d->%d: %w", t.i, t.j, err)
 			}
 		} else {
@@ -516,6 +576,16 @@ func (c *Cluster) nodeDown(j int) bool {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	return j >= 0 && j < len(c.nodes) && c.nodes[j].down
+}
+
+// nodeID returns node j's stable ID.
+func (c *Cluster) nodeID(j int) string {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if j >= 0 && j < len(c.nodes) {
+		return c.nodes[j].id
+	}
+	return fmt.Sprintf("node-%d?", j)
 }
 
 // ErrNotConverged is returned by GossipUntilConverged when the budget runs
@@ -547,6 +617,13 @@ func (c *Cluster) Fanout() int {
 	defer c.mu.Unlock()
 	return c.fanout
 }
+
+// Converged reports whether the cluster currently satisfies its
+// convergence condition without running a round — the check
+// GossipUntilConverged applies after each round, exported for scenario
+// drivers that manage their own round loop (and must keep looping through
+// rounds that partially fail, which GossipUntilConverged treats as fatal).
+func (c *Cluster) Converged() bool { return c.converged() }
 
 // converged dispatches on topology.
 func (c *Cluster) converged() bool {

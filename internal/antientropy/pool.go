@@ -28,8 +28,10 @@ const defaultPoolIdle = 90 * time.Second
 //
 // Pool is safe for concurrent use. Close it to release the connections.
 type Pool struct {
-	idle    time.Duration
-	timeout time.Duration
+	idle      time.Duration
+	timeout   time.Duration
+	transport Transport
+	backoff   BackoffPolicy
 
 	mu     sync.Mutex
 	conns  map[string]*poolConn
@@ -45,16 +47,105 @@ type poolConn struct {
 	br       *bufio.Reader
 	lastUsed time.Time
 	rounds   int // rounds completed on the current connection
+	fails    int // consecutive failed rounds (armed backoff)
+	skip     int // rounds left to skip before trying this peer again
 }
 
-// NewPool creates an empty pool with the default idle and per-round
-// timeouts.
-func NewPool() *Pool {
-	return &Pool{
-		idle:    defaultPoolIdle,
-		timeout: defaultTimeout,
-		conns:   make(map[string]*poolConn),
+// BackoffPolicy skips rounds to a repeatedly-failing peer, so one dead or
+// partitioned address does not stall every gossip round on a full dial
+// timeout. It counts round attempts, not wall-clock time — deterministic
+// under logical-time transports and exactly as effective over TCP, where
+// each gossip round is one attempt.
+//
+// After the n-th consecutive failure the pool skips min(Base<<(n-1), Max)
+// subsequent rounds to that peer, plus a jitter in [0, Base] seeded by
+// (Seed, peer address, n) so a cohort of nodes that lost the same peer at
+// the same time does not retry in lockstep. Skipped rounds fail fast with
+// ErrPeerBackoff. A successful round resets the counter. The zero policy
+// (Base == 0) disables backoff.
+type BackoffPolicy struct {
+	Base int   // rounds skipped after the first failure; 0 disables
+	Max  int   // cap on skipped rounds; 0 means Base<<6
+	Seed int64 // jitter seed
+}
+
+// skipAfter returns how many rounds to skip after the fails-th consecutive
+// failure of addr.
+func (b BackoffPolicy) skipAfter(addr string, fails int) int {
+	if b.Base <= 0 || fails <= 0 {
+		return 0
 	}
+	max := b.Max
+	if max <= 0 {
+		max = b.Base << 6
+	}
+	n := b.Base
+	for i := 1; i < fails && n < max; i++ {
+		n <<= 1
+	}
+	if n > max {
+		n = max
+	}
+	// Seeded jitter: fold the seed, peer and failure count through a
+	// splitmix64 finalizer.
+	h := uint64(b.Seed) ^ uint64(fails)*0x9e3779b97f4a7c15
+	for i := 0; i < len(addr); i++ {
+		h = (h ^ uint64(addr[i])) * 0x100000001b3
+	}
+	h += 0x9e3779b97f4a7c15
+	h = (h ^ (h >> 30)) * 0xbf58476d1ce4e5b9
+	h = (h ^ (h >> 27)) * 0x94d049bb133111eb
+	h ^= h >> 31
+	return n + int(h%uint64(b.Base+1))
+}
+
+// ErrPeerBackoff marks a round skipped because the peer's backoff window is
+// open: the peer failed recently and the pool is not ready to retry it yet.
+// No network traffic happened; callers treat it as "peer temporarily
+// excused", not as a new failure.
+var ErrPeerBackoff = errors.New("antientropy: peer in backoff")
+
+// PoolOptions configures a Pool. The zero value of every field selects the
+// default, so callers set only what they need.
+type PoolOptions struct {
+	// Transport carries the pool's connections; nil means TCP.
+	Transport Transport
+	// Timeout bounds each round and each dial; 0 means the 10s default.
+	Timeout time.Duration
+	// Idle retires sessions unused for this long; 0 means the 90s default,
+	// negative disables idle expiry (for logical-time transports, whose
+	// sessions should never age by wall clock).
+	Idle time.Duration
+	// Backoff skips rounds to repeatedly-failing peers; the zero policy
+	// disables it.
+	Backoff BackoffPolicy
+}
+
+// NewPool creates an empty pool with the default transport (TCP), idle and
+// per-round timeouts, and no backoff.
+func NewPool() *Pool {
+	return NewPoolOptions(PoolOptions{})
+}
+
+// NewPoolOptions creates an empty pool with explicit options.
+func NewPoolOptions(opts PoolOptions) *Pool {
+	p := &Pool{
+		idle:      opts.Idle,
+		timeout:   opts.Timeout,
+		transport: opts.Transport,
+		backoff:   opts.Backoff,
+		conns:     make(map[string]*poolConn),
+	}
+	if p.idle == 0 {
+		p.idle = defaultPoolIdle
+	}
+	if p.timeout == 0 {
+		p.timeout = defaultTimeout
+	}
+	if p.transport == nil {
+		p.transport = TCP
+	}
+	return p
 }
 
 // Dials reports how many TCP connections the pool has opened since creation
@@ -103,13 +194,13 @@ func (p *Pool) entry(addr string) (*poolConn, error) {
 // byte) when there is none or the current one idled out. It reports whether
 // the session is freshly dialed. pc.mu must be held.
 func (p *Pool) ensure(pc *poolConn, addr string) (fresh bool, err error) {
-	if pc.conn != nil && time.Since(pc.lastUsed) > p.idle {
+	if pc.conn != nil && p.idle >= 0 && time.Since(pc.lastUsed) > p.idle {
 		p.drop(pc)
 	}
 	if pc.conn != nil {
 		return false, nil
 	}
-	raw, err := net.DialTimeout("tcp", addr, p.timeout)
+	raw, err := p.transport.Dial(addr, p.timeout)
 	if err != nil {
 		return false, fmt.Errorf("antientropy: dial %s: %w", addr, err)
 	}
@@ -163,19 +254,36 @@ func retriable(err error, fresh bool, rounds int) bool {
 		!errors.Is(err, ErrRetryUnsafe)
 }
 
+// RoundInfo describes how a pooled round went, beyond its SyncResult — the
+// raw material of structured round reports.
+type RoundInfo struct {
+	Attempts   int  // protocol attempts made (0 when skipped by backoff)
+	FreshDials int  // attempts that required a fresh dial
+	Retried    bool // a failed attempt was transparently retried
+	Backoff    bool // the round was skipped by the peer's backoff window
+}
+
 // round runs fn over addr's pooled session, redialing transparently: a
 // round that fails on a session that had already served rounds (the server
 // restarted, or idled the session out under our idle threshold) is retried
 // exactly once on a fresh dial, unless retrying could double-apply the
-// round's entries (see retriable).
+// round's entries (see retriable). With a backoff policy configured,
+// repeated failures make subsequent rounds to the same peer fail fast with
+// ErrPeerBackoff instead of re-paying the dial timeout.
 func (p *Pool) round(addr string,
-	fn func(conn net.Conn, br *bufio.Reader) (kvstore.SyncResult, error)) (kvstore.SyncResult, error) {
+	fn func(conn net.Conn, br *bufio.Reader) (kvstore.SyncResult, error)) (kvstore.SyncResult, RoundInfo, error) {
+	var info RoundInfo
 	pc, err := p.entry(addr)
 	if err != nil {
-		return kvstore.SyncResult{}, err
+		return kvstore.SyncResult{}, info, err
 	}
 	pc.mu.Lock()
 	defer pc.mu.Unlock()
+	if pc.skip > 0 {
+		pc.skip--
+		info.Backoff = true
+		return kvstore.SyncResult{}, info, fmt.Errorf("%w: %s (%d rounds left)", ErrPeerBackoff, addr, pc.skip)
+	}
 	for {
 		// Re-checked under pc.mu on every attempt: once Close has set
 		// closed it only remains to sweep the sessions, and it cannot pass
@@ -185,11 +293,16 @@ func (p *Pool) round(addr string,
 		closed := p.closed
 		p.mu.Unlock()
 		if closed {
-			return kvstore.SyncResult{}, errors.New("antientropy: pool closed")
+			return kvstore.SyncResult{}, info, errors.New("antientropy: pool closed")
 		}
 		fresh, err := p.ensure(pc, addr)
 		if err != nil {
-			return kvstore.SyncResult{}, err
+			p.armBackoff(pc, addr)
+			return kvstore.SyncResult{}, info, err
+		}
+		info.Attempts++
+		if fresh {
+			info.FreshDials++
 		}
 		_ = pc.conn.SetDeadline(time.Now().Add(p.timeout))
 		startSent, startRecv := pc.conn.sent.Load(), pc.conn.recv.Load()
@@ -199,14 +312,24 @@ func (p *Pool) round(addr string,
 			res.BytesReceived = pc.conn.recv.Load() - startRecv
 			pc.rounds++
 			pc.lastUsed = time.Now()
-			return res, nil
+			pc.fails, pc.skip = 0, 0
+			return res, info, nil
 		}
 		retry := retriable(err, fresh, pc.rounds)
 		p.drop(pc)
 		if !retry {
-			return kvstore.SyncResult{}, err
+			p.armBackoff(pc, addr)
+			return kvstore.SyncResult{}, info, err
 		}
+		info.Retried = true
 	}
+}
+
+// armBackoff records a failed round against addr and opens its skip window
+// per the pool's backoff policy. pc.mu must be held.
+func (p *Pool) armBackoff(pc *poolConn, addr string) {
+	pc.fails++
+	pc.skip = p.backoff.skipAfter(addr, pc.fails)
 }
 
 // SyncWith performs one hierarchical (v3) round between the local replica
@@ -214,6 +337,13 @@ func (p *Pool) round(addr string,
 // only for divergent stripes, copies only where stamps require them. The
 // byte counters in the result cover exactly this round's frames.
 func (p *Pool) SyncWith(addr string, local *kvstore.Replica) (kvstore.SyncResult, error) {
+	res, _, err := p.SyncWithInfo(addr, local)
+	return res, err
+}
+
+// SyncWithInfo is SyncWith plus the round's RoundInfo (attempts, fresh
+// dials, retry and backoff verdicts).
+func (p *Pool) SyncWithInfo(addr string, local *kvstore.Replica) (kvstore.SyncResult, RoundInfo, error) {
 	return p.round(addr, func(conn net.Conn, br *bufio.Reader) (kvstore.SyncResult, error) {
 		return hierClientRound(conn, br, local, nil)
 	})
@@ -223,14 +353,20 @@ func (p *Pool) SyncWith(addr string, local *kvstore.Replica) (kvstore.SyncResult
 // the pooled, multiplexed replacement for dialing one connection per
 // stripe: all scoped exchanges ride the same session.
 func (p *Pool) SyncStripes(addr string, local *kvstore.Replica, stripes []int) (kvstore.SyncResult, error) {
+	res, _, err := p.SyncStripesInfo(addr, local, stripes)
+	return res, err
+}
+
+// SyncStripesInfo is SyncStripes plus the round's RoundInfo.
+func (p *Pool) SyncStripesInfo(addr string, local *kvstore.Replica, stripes []int) (kvstore.SyncResult, RoundInfo, error) {
 	seen := make(map[int]bool, len(stripes))
 	for _, idx := range stripes {
 		if idx < 0 || idx >= local.Shards() {
-			return kvstore.SyncResult{}, fmt.Errorf("antientropy: stripe %d out of range of %d",
+			return kvstore.SyncResult{}, RoundInfo{}, fmt.Errorf("antientropy: stripe %d out of range of %d",
 				idx, local.Shards())
 		}
 		if seen[idx] {
-			return kvstore.SyncResult{}, fmt.Errorf("antientropy: duplicate stripe %d", idx)
+			return kvstore.SyncResult{}, RoundInfo{}, fmt.Errorf("antientropy: duplicate stripe %d", idx)
 		}
 		seen[idx] = true
 	}

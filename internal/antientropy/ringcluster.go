@@ -5,6 +5,8 @@ import (
 	"fmt"
 	"math/rand"
 	"path/filepath"
+	"strings"
+	"time"
 
 	"versionstamp/internal/core"
 	"versionstamp/internal/hints"
@@ -58,14 +60,39 @@ type RingConfig struct {
 	Seed int64
 	// Resolver merges conflicting copies cluster-wide.
 	Resolver kvstore.Resolver
-	// DataDir, when set, makes every node durable: node i's replica WAL
-	// lives in DataDir/node-i and its hint queue in DataDir/node-i/hints.
-	// Empty means in-memory (hint queues still run the storage.Backend
-	// code path, over memory).
+	// DataDir, when set, makes nodes durable: node i's replica WAL lives
+	// in DataDir/node-i and its hint queue in DataDir/node-i/hints. Empty
+	// means in-memory (hint queues still run the storage.Backend code
+	// path, over memory).
 	DataDir string
+	// DurableCount limits durability to the first N nodes when DataDir is
+	// set (0 = all nodes durable). Large simulated clusters use it to keep
+	// crash-restart coverage without opening thousands of WAL directories.
+	DurableCount int
 	// SuspectAfter/DeadAfter are the membership staleness thresholds in
 	// rounds (defaults 3 and 6).
 	SuspectAfter, DeadAfter int
+	// Transport supplies each node's network; nil means TCP on loopback.
+	// The chaos lab passes a chaosnet fabric here, so the identical
+	// server/pool/protocol code paths run under injected faults.
+	Transport TransportProvider
+	// RoundTimeout bounds each node's network rounds and dials (0 = the
+	// 10s default).
+	RoundTimeout time.Duration
+	// PoolIdle is the pooled-session idle expiry (0 = the 90s default,
+	// negative = never expire — for logical-time transports).
+	PoolIdle time.Duration
+	// Backoff makes every node's pool skip rounds to repeatedly-failing
+	// peers; the zero policy disables it.
+	Backoff BackoffPolicy
+	// GossipWorkers caps the per-round exchange worker pool (0 =
+	// GOMAXPROCS). Deterministic scenarios set 1: exchange order then
+	// follows schedule order exactly.
+	GossipWorkers int
+	// HintCap bounds each node's hint queue per dead target, dropping the
+	// oldest hints on overflow (anti-entropy later converges what the
+	// dropped hints promised). 0 = unbounded.
+	HintCap int
 }
 
 // ErrQuorum is returned by Write and Read when too few owners acknowledged.
@@ -99,26 +126,34 @@ func NewRingCluster(cfg RingConfig) (*Cluster, error) {
 		return nil, fmt.Errorf("antientropy: read quorum %d outside [1, %d]", cfg.ReadQuorum, cfg.Replication)
 	}
 	c := &Cluster{
-		resolve:     cfg.Resolver,
-		index:       make(map[string]int, cfg.Nodes),
-		group:       make([]int, cfg.Nodes),
-		fanout:      DefaultFanout,
-		rng:         rand.New(rand.NewSource(cfg.Seed)),
-		div:         make(map[divKey]bool),
-		wire:        make([]int64, cfg.Nodes),
-		replication: cfg.Replication,
-		writeQuorum: cfg.WriteQuorum,
-		readQuorum:  cfg.ReadQuorum,
-		stripes:     cfg.Stripes,
-		memberCfg:   membership.Config{SuspectAfter: cfg.SuspectAfter, DeadAfter: cfg.DeadAfter},
-		dataDir:     cfg.DataDir,
+		resolve:      cfg.Resolver,
+		index:        make(map[string]int, cfg.Nodes),
+		group:        make([]int, cfg.Nodes),
+		fanout:       DefaultFanout,
+		rng:          rand.New(rand.NewSource(cfg.Seed)),
+		div:          make(map[divKey]bool),
+		wire:         make([]int64, cfg.Nodes),
+		workers:      cfg.GossipWorkers,
+		replication:  cfg.Replication,
+		writeQuorum:  cfg.WriteQuorum,
+		readQuorum:   cfg.ReadQuorum,
+		stripes:      cfg.Stripes,
+		memberCfg:    membership.Config{SuspectAfter: cfg.SuspectAfter, DeadAfter: cfg.DeadAfter},
+		dataDir:      cfg.DataDir,
+		ringCache:    make(map[string]*ring.Ring),
+		transport:    cfg.Transport,
+		roundTimeout: cfg.RoundTimeout,
+		poolIdle:     cfg.PoolIdle,
+		backoff:      cfg.Backoff,
+		hintCap:      cfg.HintCap,
+		durableCount: cfg.DurableCount,
 	}
 	roster := make([]string, cfg.Nodes)
 	for i := range roster {
 		roster[i] = fmt.Sprintf("node-%d", i)
 	}
 	for i := 0; i < cfg.Nodes; i++ {
-		nd, err := c.newRingNode(roster[i], roster)
+		nd, err := c.newRingNode(roster[i], roster, c.durableLocked(i))
 		if err != nil {
 			_ = c.Close()
 			return nil, err
@@ -129,12 +164,20 @@ func NewRingCluster(cfg RingConfig) (*Cluster, error) {
 	return c, nil
 }
 
-// newRingNode builds one ring-mode node: replica (durable when DataDir is
-// set), server, pool, hint queue, membership view seeded with roster, and
-// the ring over that roster.
-func (c *Cluster) newRingNode(id string, roster []string) (*node, error) {
+// durableLocked reports whether node index i gets a WAL-backed replica.
+func (c *Cluster) durableLocked(i int) bool {
+	if c.dataDir == "" {
+		return false
+	}
+	return c.durableCount == 0 || i < c.durableCount
+}
+
+// newRingNode builds one ring-mode node: replica (WAL-backed when durable),
+// server, pool, hint queue, membership view seeded with roster, and the
+// ring over that roster.
+func (c *Cluster) newRingNode(id string, roster []string, durable bool) (*node, error) {
 	nd := &node{id: id}
-	if c.dataDir != "" {
+	if durable {
 		nd.dataDir = filepath.Join(c.dataDir, id)
 		r, err := kvstore.Open(nd.dataDir, kvstore.Options{Label: id, Shards: c.stripes})
 		if err != nil {
@@ -156,7 +199,7 @@ func (c *Cluster) newRingNode(id string, roster []string) (*node, error) {
 		return nil, err
 	}
 	nd.view = view
-	rg, err := ring.New(view.Members(), c.stripes, c.replication)
+	rg, err := c.ringFor(view.Members())
 	if err != nil {
 		_ = c.releaseNode(nd)
 		return nil, err
@@ -170,8 +213,30 @@ func (c *Cluster) newRingNode(id string, roster []string) (*node, error) {
 	return nd, nil
 }
 
+// ringFor returns the shared immutable ring over the given member set,
+// building it once per distinct set. Ring construction sorts
+// members × virtual-points hash points, which at 1k nodes is 64k points —
+// paying that once per member set instead of once per node is what makes
+// 1k-node scenarios tractable. Rings are immutable and concurrency-safe,
+// so sharing one across nodes is sound.
+func (c *Cluster) ringFor(members []string) (*ring.Ring, error) {
+	key := strings.Join(members, "\x00")
+	if rg, ok := c.ringCache[key]; ok {
+		return rg, nil
+	}
+	rg, err := ring.New(members, c.stripes, c.replication)
+	if err != nil {
+		return nil, err
+	}
+	if c.ringCache == nil {
+		c.ringCache = make(map[string]*ring.Ring)
+	}
+	c.ringCache[key] = rg
+	return rg, nil
+}
+
 // openHints opens the node's hint queue over its durable directory, or over
-// a fresh in-process backend.
+// a fresh in-process backend, applying the cluster's per-target cap.
 func (c *Cluster) openHints(nd *node) (*hints.Queue, error) {
 	var be storage.Backend
 	if nd.dataDir != "" {
@@ -183,18 +248,25 @@ func (c *Cluster) openHints(nd *node) (*hints.Queue, error) {
 	} else {
 		be = storage.NewMemory()
 	}
-	return hints.Open(be)
+	return hints.OpenOptions(be, hints.Options{CapPerTarget: c.hintCap})
 }
 
-// startNode gives the node a fresh server, listener and pool.
+// startNode gives the node a fresh server, listener and pool, over the
+// node's transport.
 func (c *Cluster) startNode(nd *node) error {
+	tr := c.transportFor(nd.id)
 	nd.server = NewServer(nd.replica, c.resolve)
-	addr, err := nd.server.Listen("127.0.0.1:0")
+	addr, err := nd.server.ListenTransport(tr, "127.0.0.1:0")
 	if err != nil {
 		return err
 	}
 	nd.addr = addr
-	nd.pool = NewPool()
+	nd.pool = NewPoolOptions(PoolOptions{
+		Transport: tr,
+		Timeout:   c.roundTimeout,
+		Idle:      c.poolIdle,
+		Backoff:   c.backoff,
+	})
 	return nil
 }
 
@@ -257,10 +329,12 @@ func (c *Cluster) ringRound(k int) (RoundStats, error) {
 			peers = peers[:k]
 		}
 		for _, j := range peers {
+			// Both directions of the heartbeat swap, as direct view-to-view
+			// merges (counters only move forward, so the asymmetry of the
+			// second merge seeing the first's result is harmless).
 			peer := c.nodes[j]
-			table := nd.view.Gossip()
-			nd.view.Merge(peer.view.Gossip())
-			peer.view.Merge(table)
+			nd.view.MergeFrom(peer.view)
+			peer.view.MergeFrom(nd.view)
 		}
 		c.peerScratch = peers
 	}
@@ -275,7 +349,7 @@ func (c *Cluster) ringRound(k int) (RoundStats, error) {
 			continue
 		}
 		if v := nd.view.MemberVersion(); v != nd.ringVer {
-			rg, err := nd.ring.WithNodes(nd.view.Members())
+			rg, err := c.ringFor(nd.view.Members())
 			if err != nil {
 				if firstErr == nil {
 					firstErr = err
@@ -444,9 +518,11 @@ func (c *Cluster) write(key string, value []byte, del bool) (int, error) {
 	stripe := kvstore.ShardIndex(key, c.stripes)
 	owners := c.ownersLocked(stripe)
 	var coord *node
+	coordGroup := 0
 	for _, oid := range owners {
 		if j, ok := c.index[oid]; ok && !c.nodes[j].down {
 			coord = c.nodes[j]
+			coordGroup = c.group[j]
 			break
 		}
 	}
@@ -468,7 +544,11 @@ func (c *Cluster) write(key string, value []byte, del bool) (int, error) {
 			continue
 		}
 		target := c.nodes[j]
-		if target.down || coord.view.State(oid) == membership.Dead {
+		// An owner the coordinator cannot reach — crashed, judged dead, or
+		// across a network partition — gets a durable hint instead of a
+		// push. A hint is a promise, not an ack, so a partition that cuts
+		// the coordinator off from a quorum of owners fails the write.
+		if target.down || c.group[j] != coordGroup || coord.view.State(oid) == membership.Dead {
 			cp, ok := coord.replica.ForkCopy(key)
 			if !ok {
 				continue
@@ -504,9 +584,19 @@ func (c *Cluster) Read(key string) (value []byte, ok bool, err error) {
 	}
 	stripe := kvstore.ShardIndex(key, c.stripes)
 	owners := c.ownersLocked(stripe)
+	// The first up owner coordinates; owners across a partition are
+	// unreachable from it and cannot serve the quorum.
 	var live []*node
+	coordGroup, haveCoord := 0, false
 	for _, oid := range owners {
-		if j, ok := c.index[oid]; ok && !c.nodes[j].down {
+		j, ok := c.index[oid]
+		if !ok || c.nodes[j].down {
+			continue
+		}
+		if !haveCoord {
+			coordGroup, haveCoord = c.group[j], true
+		}
+		if c.group[j] == coordGroup {
 			live = append(live, c.nodes[j])
 		}
 	}
@@ -638,7 +728,7 @@ func (c *Cluster) AddNode() (int, error) {
 	for _, nd := range c.nodes {
 		roster = append(roster, nd.id)
 	}
-	nd, err := c.newRingNode(id, roster)
+	nd, err := c.newRingNode(id, roster, c.durableLocked(len(c.nodes)))
 	if err != nil {
 		return 0, err
 	}
@@ -658,6 +748,20 @@ func (c *Cluster) HintsPending() int {
 	for _, nd := range c.nodes {
 		if !nd.down && nd.hints != nil {
 			total += nd.hints.Len()
+		}
+	}
+	return total
+}
+
+// HintsDropped returns the total hints discarded by per-target caps across
+// all nodes since the cluster started (0 without a HintCap).
+func (c *Cluster) HintsDropped() int64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	var total int64
+	for _, nd := range c.nodes {
+		if nd.hints != nil {
+			total += nd.hints.Dropped()
 		}
 	}
 	return total

@@ -51,12 +51,31 @@ type Queue struct {
 	be      storage.Backend
 	pending map[string][]Hint // target -> hints in Add order
 	count   int
+	cap     int   // per-target bound; 0 = unbounded
+	dropped int64 // hints discarded by the cap since Open
+}
+
+// Options configures a Queue.
+type Options struct {
+	// CapPerTarget bounds the hints queued per target; when an Add would
+	// exceed it, the oldest hint for that target is dropped. A dropped
+	// hint is a lost promise, not lost data: the write it carried is still
+	// on the coordinator's replica, and anti-entropy converges it to the
+	// target after revival — the cap trades a bounded amount of handoff
+	// latency for a bounded queue. 0 = unbounded.
+	CapPerTarget int
 }
 
 // Open loads a queue from its backend (replaying checkpoint and log) and
 // takes ownership of it: Close closes the backend.
 func Open(be storage.Backend) (*Queue, error) {
-	q := &Queue{be: be, pending: make(map[string][]Hint)}
+	return OpenOptions(be, Options{})
+}
+
+// OpenOptions is Open with explicit options. A cap applies to replayed
+// hints too, so reopening an over-full queue under a (new) cap trims it.
+func OpenOptions(be storage.Backend, opts Options) (*Queue, error) {
+	q := &Queue{be: be, pending: make(map[string][]Hint), cap: opts.CapPerTarget}
 	err := be.ReplayShard(hintSlot,
 		func(snapshot []byte) error { return q.loadSnapshot(snapshot) },
 		func(rec storage.Record) error {
@@ -78,11 +97,28 @@ func Open(be storage.Backend) (*Queue, error) {
 	return q, nil
 }
 
-// push appends h in memory. Caller holds mu (or is still single-threaded in
-// Open).
+// push appends h in memory, enforcing the per-target cap by dropping the
+// oldest hint of the same target. Caller holds mu (or is still
+// single-threaded in Open).
 func (q *Queue) push(h Hint) {
-	q.pending[h.Target] = append(q.pending[h.Target], h)
+	hs := append(q.pending[h.Target], h)
 	q.count++
+	if q.cap > 0 && len(hs) > q.cap {
+		over := len(hs) - q.cap
+		hs = append(hs[:0], hs[over:]...)
+		q.count -= over
+		q.dropped += int64(over)
+	}
+	q.pending[h.Target] = hs
+}
+
+// Dropped reports how many hints the per-target cap has discarded since
+// Open. Each was an oldest-first eviction; anti-entropy is the backstop
+// that still converges the data they promised.
+func (q *Queue) Dropped() int64 {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	return q.dropped
 }
 
 // Add durably queues one hint.

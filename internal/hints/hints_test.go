@@ -137,3 +137,76 @@ func TestDurableAcrossReopen(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+func TestCapDropsOldest(t *testing.T) {
+	q, err := OpenOptions(storage.NewMemory(), Options{CapPerTarget: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 10; i++ {
+		if err := q.Add(mkHint("b", string(rune('a'+i)), "v")); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if q.Pending("b") != 3 || q.Len() != 3 {
+		t.Fatalf("Pending(b)=%d Len=%d, want 3", q.Pending("b"), q.Len())
+	}
+	if q.Dropped() != 7 {
+		t.Fatalf("Dropped=%d, want 7", q.Dropped())
+	}
+	hs, err := q.Take("b")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The newest 3 survive, in Add order.
+	if len(hs) != 3 || hs[0].Key != "h" || hs[1].Key != "i" || hs[2].Key != "j" {
+		t.Fatalf("Take(b) = %+v", hs)
+	}
+	// Other targets are unaffected by b's overflow.
+	if err := q.Add(mkHint("c", "x", "v")); err != nil {
+		t.Fatal(err)
+	}
+	if q.Pending("c") != 1 {
+		t.Fatalf("Pending(c)=%d", q.Pending("c"))
+	}
+}
+
+func TestCapAppliesOnReplay(t *testing.T) {
+	dir := filepath.Join(t.TempDir(), "hints")
+	w, err := wal.Open(dir, wal.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	q, err := Open(w) // unbounded writer
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 10; i++ {
+		if err := q.Add(mkHint("b", string(rune('a'+i)), "v")); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := q.Close(); err != nil {
+		t.Fatal(err)
+	}
+	// Reopen capped: replay must trim to the newest 4.
+	w, err = wal.Open(dir, wal.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	q, err = OpenOptions(w, Options{CapPerTarget: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer q.Close()
+	if q.Pending("b") != 4 {
+		t.Fatalf("Pending(b)=%d after capped replay, want 4", q.Pending("b"))
+	}
+	hs, err := q.Take("b")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if hs[0].Key != "g" || hs[3].Key != "j" {
+		t.Fatalf("capped replay kept %+v", hs)
+	}
+}

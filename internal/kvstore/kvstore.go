@@ -830,11 +830,27 @@ func reconcileKey(key string, va, vb *Versioned, resolve Resolver) (reconcileOut
 		// data flow.
 		return outcomeNoop, nil
 	case core.Before:
-		value, deleted = vb.Value, vb.Deleted
-		outcome = outcomeReconciled
+		// vb's version is strictly newer: va becomes a copy of it. The
+		// winner forks its stamp and hands the loser one half — the same
+		// detached-copy move as ForkCopy — rather than joining both stamps
+		// and re-forking. Join-and-refork looks tidier (it collects the
+		// loser's id for reduction) but under rotating sync partners (a
+		// quorum write pushing to R-1 followers in turn) the interleaved
+		// forks leave ids no reduction can collapse, compounding ~3x per
+		// write — the paper's growth weakness in its worst shape. Forking
+		// the winner abandons the loser's id instead: sound, because the
+		// winner's history strictly contains the loser's, so the forked
+		// half dominates everything the abandoned stamp proved; and linear,
+		// one fork per actual data transfer.
+		keep, give := vb.Stamp.Fork()
+		vb.Stamp = keep
+		*va = Versioned{Value: append([]byte(nil), vb.Value...), Deleted: vb.Deleted, Stamp: give}
+		return outcomeReconciled, nil
 	case core.After:
-		value, deleted = va.Value, va.Deleted
-		outcome = outcomeReconciled
+		keep, give := va.Stamp.Fork()
+		va.Stamp = keep
+		*vb = Versioned{Value: append([]byte(nil), va.Value...), Deleted: va.Deleted, Stamp: give}
+		return outcomeReconciled, nil
 	case core.Concurrent:
 		if resolve == nil {
 			return outcomeConflictSkipped, nil
@@ -847,14 +863,14 @@ func reconcileKey(key string, va, vb *Versioned, resolve Resolver) (reconcileOut
 		outcome = outcomeMerged
 	}
 
+	// Concurrent merge: the join is semantically required (the merged copy
+	// must dominate both inputs), and the resolver's verdict is a new
+	// update on the joined stamp.
 	joined, err := core.Join(va.Stamp, vb.Stamp)
 	if err != nil {
 		return 0, fmt.Errorf("kvstore: join stamps for %q: %w", key, err)
 	}
-	if outcome == outcomeMerged {
-		// The merge is a new update dominating both inputs.
-		joined = joined.Update()
-	}
+	joined = joined.Update()
 	sa, sb := joined.Fork()
 	*va = Versioned{Value: append([]byte(nil), value...), Deleted: deleted, Stamp: sa}
 	*vb = Versioned{Value: append([]byte(nil), value...), Deleted: deleted, Stamp: sb}

@@ -202,6 +202,44 @@ func (v *View) Merge(table []Heartbeat) {
 	}
 }
 
+// MergeFrom folds another in-process view's table directly into v — the
+// allocation-light equivalent of v.Merge(o.Gossip()) for harnesses where
+// both views live in one process. At 1k simulated nodes the sorted-table
+// round trip (two 1000-row copies per exchange) dominates membership cost;
+// the direct map walk removes it. Locks are taken in self-ID order so two
+// concurrent MergeFrom calls on crossing pairs cannot deadlock.
+func (v *View) MergeFrom(o *View) {
+	if v == o {
+		return
+	}
+	if v.self < o.self {
+		v.mu.Lock()
+		o.mu.Lock()
+	} else {
+		o.mu.Lock()
+		v.mu.Lock()
+	}
+	defer v.mu.Unlock()
+	defer o.mu.Unlock()
+	for id, om := range o.peers {
+		m, ok := v.peers[id]
+		if !ok {
+			v.peers[id] = &member{counter: om.counter, seenAt: v.tick, state: Alive}
+			v.memberVersion++
+			v.stateVersion++
+			continue
+		}
+		if om.counter > m.counter {
+			m.counter = om.counter
+			m.seenAt = v.tick
+			if m.state != Alive && id != v.self {
+				m.state = Alive
+				v.stateVersion++
+			}
+		}
+	}
+}
+
 // Refresh marks every member as freshly seen, granting a full staleness
 // window before anyone can be suspected. A node calls it when resuming
 // after a crash: its frozen view would otherwise instantly suspect peers

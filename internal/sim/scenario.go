@@ -1,0 +1,322 @@
+package sim
+
+import (
+	"fmt"
+	"math/rand"
+
+	"versionstamp/internal/antientropy"
+	"versionstamp/internal/chaosnet"
+	"versionstamp/internal/encoding"
+)
+
+// This file is the cluster half of the simulator: where runner.go replays
+// fork/join traces on individual stamp trackers, a Scenario replays a
+// scripted fault schedule on a full ring cluster wired over a chaosnet
+// fabric — partitions, crashes, churn, lossy links, skewed write traffic —
+// and measures how the anti-entropy protocol converges under it.
+//
+// Everything is deterministic: the fabric's faults are seeded hash
+// decisions, the cluster runs with one gossip worker so exchanges follow
+// schedule order, the write workload is a seeded Zipf stream, and time is
+// logical (rounds and fabric ticks, no wall clock). The same Scenario with
+// the same Seed therefore produces byte-identical ScenarioMetrics, which
+// cmd/benchconverge turns into a CI gate.
+
+// ActionKind enumerates the fault-schedule verbs.
+type ActionKind int
+
+// Scenario script verbs.
+const (
+	// ActWrite issues Count Zipf-distributed quorum writes. Writes reaching
+	// unreachable owners hint or lose acks — errors are counted, not fatal.
+	ActWrite ActionKind = iota + 1
+	// ActKill crashes node Node (durable nodes drop memory; WAL survives).
+	ActKill
+	// ActRevive restarts node Node (durable nodes replay their WAL).
+	ActRevive
+	// ActPartition splits cluster and fabric into Groups (one group index
+	// per node, length = current cluster size).
+	ActPartition
+	// ActHeal removes all partitions, in the cluster and the fabric.
+	ActHeal
+	// ActAddNode joins a fresh node, triggering membership growth and a
+	// deterministic ring rebuild everywhere.
+	ActAddNode
+	// ActFaults replaces the fabric's default link faults with Faults.
+	ActFaults
+)
+
+// Action is one scripted event, applied before the round it names runs.
+type Action struct {
+	Round  int
+	Kind   ActionKind
+	Node   int             // ActKill / ActRevive target index
+	Count  int             // ActWrite: number of writes
+	Groups []int           // ActPartition: group per node index
+	Faults chaosnet.Faults // ActFaults: new default link faults
+}
+
+// Scenario is one deterministic chaos experiment over a ring cluster.
+type Scenario struct {
+	Name string
+	// Seed drives the fabric's fault schedule, the cluster's peer
+	// selection, and the Zipf write stream.
+	Seed int64
+
+	// Cluster shape (see antientropy.RingConfig).
+	Nodes        int
+	Replication  int
+	Stripes      int
+	Fanout       int // gossip fan-out per round (default 1)
+	HintCap      int
+	DataDir      string // non-empty enables WAL-backed nodes
+	DurableCount int    // limits durability to the first N nodes
+	SuspectAfter int
+	DeadAfter    int
+	Backoff      antientropy.BackoffPolicy
+
+	// Faults are the fabric's initial default link faults.
+	Faults chaosnet.Faults
+
+	// Write workload: keys are drawn Zipf(s=ZipfS) from a KeySpace-sized
+	// keyspace, so a few hot keys are written many times (stamp reuse) and
+	// a long tail once (stamp churn).
+	KeySpace int     // default 256
+	ZipfS    float64 // default 1.2 (must be > 1)
+
+	// Script is the fault schedule. Rounds past the last scripted action
+	// are quiescence: the run ends once the cluster reports convergence
+	// (and empty hint queues) for QuiesceRounds consecutive rounds.
+	Script        []Action
+	RoundBudget   int // hard round cap (default 64)
+	QuiesceRounds int // consecutive converged rounds required (default 2)
+}
+
+func (s Scenario) withDefaults() Scenario {
+	if s.Fanout <= 0 {
+		s.Fanout = 1
+	}
+	if s.KeySpace <= 0 {
+		s.KeySpace = 256
+	}
+	if s.ZipfS <= 1 {
+		s.ZipfS = 1.2
+	}
+	if s.RoundBudget <= 0 {
+		s.RoundBudget = 64
+	}
+	if s.QuiesceRounds <= 0 {
+		s.QuiesceRounds = 2
+	}
+	return s
+}
+
+// ScenarioMetrics is a run's complete, deterministic result — every field
+// is a pure function of (Scenario, Seed), which is what the determinism
+// gate in cmd/benchconverge checks by running each scenario twice.
+type ScenarioMetrics struct {
+	Name        string `json:"name"`
+	Seed        int64  `json:"seed"`
+	Nodes       int    `json:"nodes"` // final cluster size
+	RoundBudget int    `json:"round_budget"`
+
+	// Converged reports that the cluster reached (and held) convergence
+	// with drained hint queues inside the budget; Rounds is how many
+	// rounds that took (or the budget, when it never did).
+	Converged bool `json:"converged"`
+	Rounds    int  `json:"rounds"`
+
+	Writes      int `json:"writes"`
+	WriteErrors int `json:"write_errors"` // quorum shortfalls during faults
+
+	Exchanges      int   `json:"exchanges"`
+	ExchangeErrors int   `json:"exchange_errors"` // failed or skipped exchanges
+	BackoffSkips   int   `json:"backoff_skips"`
+	KeysMoved      int   `json:"keys_moved"`
+	WireBytes      int64 `json:"wire_bytes"`
+
+	HintsDrained int   `json:"hints_drained"`
+	HintsDropped int64 `json:"hints_dropped"` // evicted by the per-target cap
+	HintsPeak    int   `json:"hints_peak"`    // max queued cluster-wide
+
+	// Stamp growth over every up replica at the end of the run, measured
+	// on the compact wire encoding.
+	KeysTotal      int     `json:"keys_total"`
+	StampBytesMax  int     `json:"stamp_bytes_max"`
+	StampBytesMean float64 `json:"stamp_bytes_mean"`
+
+	// Net is the fabric's fault ledger: what the chaos actually did.
+	Net chaosnet.Stats `json:"net"`
+}
+
+// Run executes the scenario and returns its metrics. Fault-induced write
+// and exchange failures are counted, not returned; an error means the
+// harness itself broke (bad script, cluster construction failure).
+func (s Scenario) Run() (*ScenarioMetrics, error) {
+	s = s.withDefaults()
+	fab := chaosnet.New(s.Seed)
+	defer fab.Close()
+	var zero chaosnet.Faults
+	if s.Faults != zero {
+		fab.SetDefaultFaults(s.Faults)
+	}
+
+	c, err := antientropy.NewRingCluster(antientropy.RingConfig{
+		Nodes:         s.Nodes,
+		Replication:   s.Replication,
+		Stripes:       s.Stripes,
+		Seed:          s.Seed,
+		HintCap:       s.HintCap,
+		DataDir:       s.DataDir,
+		DurableCount:  s.DurableCount,
+		SuspectAfter:  s.SuspectAfter,
+		DeadAfter:     s.DeadAfter,
+		Backoff:       s.Backoff,
+		Transport:     func(id string) antientropy.Transport { return fab.Node(id) },
+		PoolIdle:      -1, // logical time: pooled sessions never expire
+		GossipWorkers: 1,  // serial exchanges — schedule order is run order
+	})
+	if err != nil {
+		return nil, fmt.Errorf("sim: scenario %q: %w", s.Name, err)
+	}
+	defer c.Close()
+	if err := c.SetFanout(s.Fanout); err != nil {
+		return nil, err
+	}
+
+	// The write stream: seeded Zipf over a fixed keyspace. Derived from
+	// Seed but decoupled from the cluster's own rng.
+	wrng := rand.New(rand.NewSource(s.Seed ^ 0x5eed5eed))
+	zipf := rand.NewZipf(wrng, s.ZipfS, 1, uint64(s.KeySpace-1))
+	writeSeq := 0
+
+	byRound := make(map[int][]Action)
+	lastScripted := -1
+	for _, a := range s.Script {
+		byRound[a.Round] = append(byRound[a.Round], a)
+		if a.Round > lastScripted {
+			lastScripted = a.Round
+		}
+	}
+
+	m := &ScenarioMetrics{Name: s.Name, Seed: s.Seed, RoundBudget: s.RoundBudget}
+	quiet := 0
+	for round := 0; round < s.RoundBudget; round++ {
+		for _, a := range byRound[round] {
+			if err := s.apply(a, c, fab, zipf, &writeSeq, m); err != nil {
+				return nil, fmt.Errorf("sim: scenario %q round %d: %w", s.Name, round, err)
+			}
+		}
+		// Fault-induced round errors (resets on links, unreachable peers)
+		// are the experiment, not a failure: they land in stats.Errors and
+		// the error return is ignored.
+		stats, _ := c.GossipRoundStats(s.Fanout)
+		m.Rounds = round + 1
+		m.Exchanges += stats.Exchanges
+		m.KeysMoved += stats.Moved
+		m.HintsDrained += stats.HintsDrained
+		for _, re := range stats.Errors {
+			m.ExchangeErrors++
+			if re.Backoff {
+				m.BackoffSkips++
+			}
+		}
+		if p := c.HintsPending(); p > m.HintsPeak {
+			m.HintsPeak = p
+		}
+		if round > lastScripted && c.Converged() && c.HintsPending() == 0 {
+			quiet++
+			if quiet >= s.QuiesceRounds {
+				m.Converged = true
+				break
+			}
+		} else {
+			quiet = 0
+		}
+	}
+
+	m.Nodes = c.Size()
+	m.HintsDropped = c.HintsDropped()
+	for _, b := range c.WireBytes() {
+		m.WireBytes += b
+	}
+	s.measureStamps(c, m)
+	m.Net = fab.Stats()
+	return m, nil
+}
+
+// apply executes one scripted action.
+func (s Scenario) apply(a Action, c *antientropy.Cluster, fab *chaosnet.Fabric,
+	zipf *rand.Zipf, writeSeq *int, m *ScenarioMetrics) error {
+	switch a.Kind {
+	case ActWrite:
+		for n := 0; n < a.Count; n++ {
+			key := fmt.Sprintf("key-%05d", zipf.Uint64())
+			val := fmt.Sprintf("v-%d", *writeSeq)
+			*writeSeq++
+			m.Writes++
+			if _, err := c.Write(key, []byte(val)); err != nil {
+				m.WriteErrors++
+			}
+		}
+		return nil
+	case ActKill:
+		return c.Kill(a.Node)
+	case ActRevive:
+		return c.Revive(a.Node)
+	case ActPartition:
+		if len(a.Groups) != c.Size() {
+			return fmt.Errorf("partition groups %d != cluster size %d", len(a.Groups), c.Size())
+		}
+		groups := make(map[string]int, len(a.Groups))
+		for i, g := range a.Groups {
+			groups[fmt.Sprintf("node-%d", i)] = g
+		}
+		fab.Partition(groups)
+		return c.Partition(a.Groups)
+	case ActHeal:
+		fab.Heal()
+		c.Heal()
+		return nil
+	case ActAddNode:
+		_, err := c.AddNode()
+		return err
+	case ActFaults:
+		fab.SetDefaultFaults(a.Faults)
+		return nil
+	default:
+		return fmt.Errorf("unknown action kind %d", a.Kind)
+	}
+}
+
+// measureStamps sizes every stamp on every up replica with the compact
+// wire encoding — the paper's core cost metric: version stamps must stay
+// small even after fault-heavy histories.
+func (s Scenario) measureStamps(c *antientropy.Cluster, m *ScenarioMetrics) {
+	var total int64
+	for i := 0; i < c.Size(); i++ {
+		st, err := c.Status(i)
+		if err != nil || st.Down {
+			continue
+		}
+		rep, err := c.Replica(i)
+		if err != nil {
+			continue
+		}
+		for _, key := range rep.Keys() {
+			v, ok := rep.Version(key)
+			if !ok {
+				continue
+			}
+			n := len(encoding.MarshalCompact(v.Stamp))
+			m.KeysTotal++
+			total += int64(n)
+			if n > m.StampBytesMax {
+				m.StampBytesMax = n
+			}
+		}
+	}
+	if m.KeysTotal > 0 {
+		m.StampBytesMean = float64(total) / float64(m.KeysTotal)
+	}
+}

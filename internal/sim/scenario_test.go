@@ -1,0 +1,113 @@
+package sim
+
+import (
+	"encoding/json"
+	"testing"
+)
+
+func runScenario(t *testing.T, s Scenario) *ScenarioMetrics {
+	t.Helper()
+	m, err := s.Run()
+	if err != nil {
+		t.Fatalf("%s: %v", s.Name, err)
+	}
+	if !m.Converged {
+		t.Fatalf("%s: did not converge within %d rounds: %+v", s.Name, m.RoundBudget, m)
+	}
+	if m.Writes == 0 || m.Exchanges == 0 {
+		t.Fatalf("%s: scenario did no work: %+v", s.Name, m)
+	}
+	if m.StampBytesMax == 0 || m.KeysTotal == 0 {
+		t.Fatalf("%s: stamp measurement empty: %+v", s.Name, m)
+	}
+	return m
+}
+
+func TestPartitionHealScenario(t *testing.T) {
+	m := runScenario(t, PartitionHeal(1))
+	if m.WriteErrors == 0 {
+		t.Fatalf("no quorum shortfalls during the partition: %+v", m)
+	}
+	if m.HintsDrained == 0 {
+		t.Fatalf("cross-partition writes queued no hints: %+v", m)
+	}
+	if m.Net.Resets == 0 {
+		t.Fatalf("the fabric partition cut no pooled sessions: %+v", m.Net)
+	}
+}
+
+func TestLossyQuorumScenario(t *testing.T) {
+	m := runScenario(t, LossyQuorum(2))
+	if m.Net.Drops == 0 || m.Net.Dups == 0 || m.Net.Reorders == 0 {
+		t.Fatalf("fault injection did not fire: %+v", m.Net)
+	}
+}
+
+func TestCrashRestartScenario(t *testing.T) {
+	m := runScenario(t, CrashRestart(3, t.TempDir()))
+	if m.HintsDrained == 0 {
+		t.Fatalf("no hinted handoff happened: %+v", m)
+	}
+	if m.HintsPeak == 0 {
+		t.Fatalf("hint queues never filled: %+v", m)
+	}
+}
+
+func TestChurnScenario(t *testing.T) {
+	m := runScenario(t, Churn(4))
+	if m.Nodes != 10 {
+		t.Fatalf("churn ended with %d nodes, want 10", m.Nodes)
+	}
+}
+
+// TestThousandNodeScenario is the headline acceptance run: a seeded
+// 1000-node ring through partition, crashes (one WAL-backed), churn and
+// Zipf writes must converge within the round budget — twice, with
+// byte-identical metrics, because logical time leaves nothing to luck.
+func TestThousandNodeScenario(t *testing.T) {
+	s := ThousandNode(5, t.TempDir())
+	m := runScenario(t, s)
+	if m.Nodes != 1001 {
+		t.Fatalf("ended with %d nodes, want 1001", m.Nodes)
+	}
+	if m.WriteErrors == 0 {
+		t.Fatalf("partition+kill produced no quorum shortfalls: %+v", m)
+	}
+	// Rerun in a fresh directory — reusing the first run's WALs would be a
+	// different (resumed) experiment, not a replay.
+	m2, err := ThousandNode(5, t.TempDir()).Run()
+	if err != nil {
+		t.Fatalf("rerun: %v", err)
+	}
+	ja, _ := json.Marshal(m)
+	jb, _ := json.Marshal(m2)
+	if string(ja) != string(jb) {
+		t.Fatalf("two 1k-node runs with one seed diverged:\n%s\n%s", ja, jb)
+	}
+}
+
+// TestScenarioDeterminism is the property the CI gate stands on: the same
+// scenario with the same seed yields byte-identical metrics — every
+// counter, down to the fabric's fault ledger.
+func TestScenarioDeterminism(t *testing.T) {
+	scenarios := []Scenario{
+		PartitionHeal(42),
+		LossyQuorum(42),
+		Churn(42),
+	}
+	for _, s := range scenarios {
+		a, err := s.Run()
+		if err != nil {
+			t.Fatalf("%s: %v", s.Name, err)
+		}
+		b, err := s.Run()
+		if err != nil {
+			t.Fatalf("%s rerun: %v", s.Name, err)
+		}
+		ja, _ := json.Marshal(a)
+		jb, _ := json.Marshal(b)
+		if string(ja) != string(jb) {
+			t.Fatalf("%s: two runs with one seed diverged:\n%s\n%s", s.Name, ja, jb)
+		}
+	}
+}

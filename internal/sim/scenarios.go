@@ -1,0 +1,146 @@
+package sim
+
+import (
+	"versionstamp/internal/antientropy"
+	"versionstamp/internal/chaosnet"
+)
+
+// The predefined scenario catalog: the fault schedules cmd/benchconverge
+// gates in CI. Each is a small, fully scripted story — inject a fault
+// class, keep writing through it, repair, and demand convergence within a
+// bounded number of gossip rounds.
+
+// PartitionHeal splits a 12-node ring in half, writes on both sides of the
+// split, then heals and requires the halves to reconcile.
+func PartitionHeal(seed int64) Scenario {
+	return Scenario{
+		Name: "partition-heal", Seed: seed,
+		Nodes: 12, Replication: 3, Stripes: 32,
+		Backoff: antientropy.BackoffPolicy{Base: 1, Max: 4, Seed: seed},
+		Script: []Action{
+			{Round: 0, Kind: ActWrite, Count: 120},
+			{Round: 3, Kind: ActPartition, Groups: []int{0, 0, 0, 0, 0, 0, 1, 1, 1, 1, 1, 1}},
+			{Round: 4, Kind: ActWrite, Count: 80},
+			{Round: 8, Kind: ActHeal},
+			{Round: 9, Kind: ActWrite, Count: 40},
+		},
+		RoundBudget: 48,
+	}
+}
+
+// LossyQuorum runs quorum writes over links that drop, duplicate, reorder
+// and delay — the protocol's framing and the pool's retry discipline must
+// still converge every stripe.
+func LossyQuorum(seed int64) Scenario {
+	return Scenario{
+		Name: "lossy-quorum", Seed: seed,
+		Nodes: 9, Replication: 3, Stripes: 32,
+		Faults: chaosnet.Faults{
+			DelayTicks: 1, JitterTicks: 2,
+			DropProb: 0.05, DupProb: 0.05, ReorderProb: 0.1,
+		},
+		Backoff: antientropy.BackoffPolicy{Base: 1, Max: 4, Seed: seed},
+		Script: []Action{
+			{Round: 0, Kind: ActWrite, Count: 100},
+			{Round: 3, Kind: ActWrite, Count: 100},
+			{Round: 6, Kind: ActWrite, Count: 60},
+			// The tail of the run is clean so retransmission storms die out
+			// and the quiescence check measures protocol rounds, not luck.
+			{Round: 10, Kind: ActFaults, Faults: chaosnet.Faults{}},
+		},
+		RoundBudget: 64,
+	}
+}
+
+// CrashRestart kills WAL-backed nodes mid-traffic and revives them: the
+// crash-restart replay path plus hinted handoff must restore everything.
+// dataDir must be a fresh writable directory (the caller's temp dir).
+func CrashRestart(seed int64, dataDir string) Scenario {
+	return Scenario{
+		Name: "crash-restart", Seed: seed,
+		Nodes: 8, Replication: 3, Stripes: 32,
+		DataDir: dataDir, HintCap: 32,
+		Backoff: antientropy.BackoffPolicy{Base: 1, Max: 4, Seed: seed},
+		Script: []Action{
+			{Round: 0, Kind: ActWrite, Count: 100},
+			{Round: 3, Kind: ActKill, Node: 2},
+			{Round: 4, Kind: ActKill, Node: 5},
+			// Writes while two owners are dead: quorums shrink, hints queue.
+			{Round: 5, Kind: ActWrite, Count: 120},
+			{Round: 12, Kind: ActRevive, Node: 2},
+			{Round: 13, Kind: ActRevive, Node: 5},
+			{Round: 14, Kind: ActWrite, Count: 40},
+		},
+		RoundBudget: 64,
+	}
+}
+
+// Churn grows the ring mid-traffic: joins trigger membership growth and
+// deterministic ring rebuilds, re-homing stripes while writes continue.
+func Churn(seed int64) Scenario {
+	return Scenario{
+		Name: "churn", Seed: seed,
+		Nodes: 8, Replication: 3, Stripes: 32,
+		Backoff: antientropy.BackoffPolicy{Base: 1, Max: 4, Seed: seed},
+		Script: []Action{
+			{Round: 0, Kind: ActWrite, Count: 120},
+			{Round: 3, Kind: ActAddNode},
+			{Round: 4, Kind: ActWrite, Count: 60},
+			{Round: 6, Kind: ActAddNode},
+			{Round: 7, Kind: ActWrite, Count: 60},
+			{Round: 9, Kind: ActKill, Node: 1},
+			{Round: 10, Kind: ActWrite, Count: 40},
+			{Round: 14, Kind: ActRevive, Node: 1},
+		},
+		RoundBudget: 64,
+	}
+}
+
+// ThousandNode is the full monte at scale: a 1000-node ring takes a
+// partition, node crashes (including a WAL-backed one), churn and skewed
+// Zipf writes, then must converge within the budget. dataDir may be empty
+// (all in-memory) — when set, only the first DurableCount nodes open WALs
+// so the scenario does not hold a thousand directories.
+func ThousandNode(seed int64, dataDir string) Scenario {
+	groups := make([]int, 1000)
+	for i := 500; i < 1000; i++ {
+		groups[i] = 1
+	}
+	return Scenario{
+		Name: "thousand-node", Seed: seed,
+		Nodes: 1000, Replication: 3, Stripes: 128,
+		DataDir: dataDir, DurableCount: 8,
+		HintCap: 64, KeySpace: 512,
+		Backoff: antientropy.BackoffPolicy{Base: 1, Max: 4, Seed: seed},
+		Script: []Action{
+			{Round: 0, Kind: ActWrite, Count: 300},
+			{Round: 2, Kind: ActPartition, Groups: groups},
+			{Round: 3, Kind: ActWrite, Count: 150},
+			{Round: 4, Kind: ActKill, Node: 7},   // durable: WAL crash path
+			{Round: 4, Kind: ActKill, Node: 613}, // in-memory pause
+			{Round: 5, Kind: ActWrite, Count: 150},
+			{Round: 6, Kind: ActHeal},
+			{Round: 7, Kind: ActWrite, Count: 100},
+			{Round: 9, Kind: ActRevive, Node: 7},
+			{Round: 9, Kind: ActRevive, Node: 613},
+			{Round: 11, Kind: ActAddNode},
+			{Round: 12, Kind: ActWrite, Count: 100},
+		},
+		RoundBudget:   48,
+		QuiesceRounds: 2,
+	}
+}
+
+// Suite returns the scenario set benchconverge runs. short drops nothing —
+// the whole point of logical time is that even the 1000-node story fits a
+// -short CI budget — but it is kept as a hook for heavier future entries.
+func Suite(seed int64, dataDir string, short bool) []Scenario {
+	_ = short
+	return []Scenario{
+		PartitionHeal(seed),
+		LossyQuorum(seed),
+		CrashRestart(seed, dataDir),
+		Churn(seed),
+		ThousandNode(seed, ""),
+	}
+}

@@ -138,6 +138,54 @@
 //     causality. Per-stripe serialization is a stamp-soundness
 //     requirement, not a tuning choice.
 //
+// # Failure model
+//
+// What the cluster promises under faults, and what it deliberately does
+// not — each promise backed by a deterministic chaos scenario (the
+// internal/sim scenario runner over the internal/chaosnet fabric, gated in
+// CI by cmd/benchconverge):
+//
+//   - Lossy, duplicating, reordering, delaying links. The anti-entropy
+//     protocol runs over a stream transport; chaosnet injects faults at
+//     its segment layer, so frames arrive intact or the connection dies —
+//     there are no torn frames to mis-parse. A connection reset mid-round
+//     loses that round only: the pool redials and retries when the failure
+//     provably preceded any state transfer (first-frame rule), and
+//     otherwise surfaces the error and lets the next gossip round repair,
+//     because a v3 exchange applies deltas per stripe and every applied
+//     delta is a sound join even if its round dies halfway.
+//   - Crash and restart. A durable node that crashes loses memory, not
+//     promises: its replica WAL replays checkpoint plus log tail, its hint
+//     queue reopens, and its membership view resumes with a grace refresh
+//     while the resumed heartbeat counter re-alives it at the peers. A
+//     torn WAL tail (crash mid-append) truncates at the last valid record.
+//   - Partitions, including asymmetric ones. Quorum writes that cannot
+//     reach a quorum of owners on the coordinator's side fail loudly
+//     (ErrQuorum) while still hinting the unreachable owners; after heal,
+//     hint drains and owner-scoped anti-entropy reconverge both sides, the
+//     stamps proving per key which copies are obsolete and which conflict.
+//   - Failing peers back off. A pool that repeatedly fails to reach a peer
+//     skips it for exponentially growing (seeded-jittered) round windows —
+//     ErrPeerBackoff rounds cost zero traffic — and one success resets the
+//     ledger. Round outcomes are reported per exchange (RoundStats.Errors)
+//     with the failure's class: retried, backoff-skipped, or known-dead.
+//   - Bounded hint queues. Hints are capped per target, dropping oldest
+//     first; a dropped hint is a lost promise, not lost data, because the
+//     write's value and stamp remain on the coordinator's replica and
+//     anti-entropy converges them to the revived owner anyway — the cap
+//     trades bounded handoff latency for a bounded queue.
+//
+// Convergence under all of the above is measured, not hoped for:
+// cmd/benchconverge emits BENCH_convergence.json — one sim.ScenarioMetrics
+// document per scenario: rounds to convergence against the round budget,
+// quorum writes attempted and failed, exchange and backoff counts, wire
+// bytes, hint-queue peak/drain/drop counts, compact stamp size max and
+// mean, and the fabric's fault ledger (delivered, dropped, duplicated,
+// reordered, cut, reset) — and CI fails unless every scenario converges
+// within budget and replays to byte-identical metrics, which only holds
+// because faults are seeded hash decisions over logical ticks — same seed,
+// same chaos, same outcome.
+//
 // The implementation lives in internal packages (core, name, trie, bitstr);
 // this package is the stable public API. Interval tree clocks — the
 // successor design by the same authors — are available in the same style via
