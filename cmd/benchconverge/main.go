@@ -1,9 +1,11 @@
 // Command benchconverge is the convergence CI gate of the chaos lab: it
 // runs every predefined fault scenario (internal/sim.Suite) — partition and
 // heal, lossy links under quorum writes, crash and WAL restart, membership
-// churn, and the 1000-node full-monte — over a seeded chaosnet fabric, and
-// emits the per-scenario convergence metrics as machine-readable JSON (the
-// BENCH_convergence.json artifact CI tracks across PRs).
+// churn, the 1000-node full-monte, at-rest disk corruption with scrub and
+// ring repair, and the correlated failure of a stripe's whole owner set —
+// over a seeded chaosnet fabric, and emits the per-scenario convergence
+// metrics as machine-readable JSON (the BENCH_convergence.json artifact CI
+// tracks across PRs).
 //
 // The command exits non-zero when a gate fails:
 //
@@ -15,7 +17,10 @@
 //     faults leave no room for luck;
 //
 //   - stamps must not blow up: no scenario may end with a max compact
-//     stamp above -stampcap bytes (the paper's core cost metric).
+//     stamp above -stampcap bytes (the paper's core cost metric);
+//
+//   - every scenario must end fully self-healed: zero quarantined stripes
+//     and zero standing persistence errors at the finish line.
 //
 //     benchconverge -seed 7 -out BENCH_convergence.json
 package main
@@ -98,6 +103,13 @@ func run(seed int64, rounds, stampcap int, short bool, out string, log io.Writer
 		}
 		if m.StampBytesMax > stampcap {
 			return fmt.Errorf("gate: %s grew a %d-byte stamp, cap is %d", m.Name, m.StampBytesMax, stampcap)
+		}
+		// Self-healing gate: a run may quarantine stripes mid-flight (that
+		// is the experiment), but it must end fully repaired — converging
+		// around standing disk damage is not convergence.
+		if m.QuarantinedEnd != 0 || m.PersistErrsEnd != 0 {
+			return fmt.Errorf("gate: %s ended with %d quarantined stripes, %d nodes degraded",
+				m.Name, m.QuarantinedEnd, m.PersistErrsEnd)
 		}
 		report.Scenarios = append(report.Scenarios, m)
 	}

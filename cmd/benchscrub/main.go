@@ -1,0 +1,236 @@
+// Command benchscrub measures the self-healing storage path and emits the
+// numbers as machine-readable JSON (the BENCH_scrub.json artifact CI tracks
+// across PRs). Two phases:
+//
+//   - Scrub throughput: a WAL-backed store is filled with -keys keys (half
+//     checkpointed, half left in the logs — the scrub verifies both), and a
+//     full background-scrub pass (one VerifyShard per stripe: frame CRCs
+//     plus checkpoint checksums) is timed against the store's on-disk
+//     footprint, yielding MB/s.
+//
+//   - Repair rounds: a 9-node R=3 ring is loaded with the same keyspace,
+//     one node crashes, one byte of its busiest stripe's log is flipped at
+//     rest, and the node revives. The phase counts the gossip rounds until
+//     the quarantined stripe is rebuilt from its co-owners and cleared.
+//
+// The run doubles as a correctness gate (exit 1 on failure): the scrub of a
+// healthy store must find nothing, the revival must quarantine exactly one
+// stripe, the repair must complete within the round budget, and the cluster
+// must converge with no standing quarantine or persistence error.
+//
+//	benchscrub -keys 100000 -out BENCH_scrub.json
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"io/fs"
+	"os"
+	"path/filepath"
+	"time"
+
+	"versionstamp/internal/antientropy"
+	"versionstamp/internal/kvstore"
+	"versionstamp/internal/storage/faultfs"
+)
+
+// Report is the whole emitted document.
+type Report struct {
+	Keys       int `json:"keys"`
+	ValueBytes int `json:"valueBytes"`
+	Stripes    int `json:"stripes"`
+
+	// Scrub throughput over a healthy store.
+	ScrubBytes  int64   `json:"scrubBytes"`  // on-disk footprint verified
+	ScrubMs     float64 `json:"scrubMs"`     // full pass, all stripes
+	ScrubMBPerS float64 `json:"scrubMBPerS"` // ScrubBytes / ScrubMs
+
+	// One-stripe rebuild from ring peers after at-rest corruption.
+	RepairStripe  int `json:"repairStripe"`  // the corrupted stripe
+	RepairRounds  int `json:"repairRounds"`  // gossip rounds until cleared
+	RepairedTotal int `json:"repairedTotal"` // stripes repaired (gate: 1)
+}
+
+func main() {
+	keys := flag.Int("keys", 100000, "keys to load before scrubbing and repairing")
+	valueBytes := flag.Int("value-bytes", 64, "payload size per key")
+	stripes := flag.Int("stripes", 32, "stripe count of every store")
+	seed := flag.Int64("seed", 1, "corruption target seed")
+	out := flag.String("out", "BENCH_scrub.json", `output path ("-" = stdout)`)
+	flag.Parse()
+	if err := run(*keys, *valueBytes, *stripes, *seed, *out, os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "benchscrub:", err)
+		os.Exit(1)
+	}
+}
+
+func run(keys, valueBytes, stripes int, seed int64, out string, log io.Writer) error {
+	if keys < 100 || valueBytes < 1 || stripes < 1 {
+		return fmt.Errorf("need keys >= 100 (%d), value-bytes >= 1 (%d), stripes >= 1 (%d)",
+			keys, valueBytes, stripes)
+	}
+	report := Report{Keys: keys, ValueBytes: valueBytes, Stripes: stripes}
+	value := make([]byte, valueBytes)
+	for i := range value {
+		value[i] = byte('a' + i%26)
+	}
+
+	if err := scrubPhase(keys, stripes, value, &report, log); err != nil {
+		return err
+	}
+	if err := repairPhase(keys, stripes, seed, value, &report, log); err != nil {
+		return err
+	}
+
+	data, err := json.MarshalIndent(report, "", "  ")
+	if err != nil {
+		return err
+	}
+	data = append(data, '\n')
+	if out == "-" {
+		_, err = os.Stdout.Write(data)
+		return err
+	}
+	return os.WriteFile(out, data, 0o644)
+}
+
+// scrubPhase times a full verification pass over a loaded healthy store.
+func scrubPhase(keys, stripes int, value []byte, report *Report, log io.Writer) error {
+	dir, err := os.MkdirTemp("", "benchscrub-*")
+	if err != nil {
+		return err
+	}
+	defer os.RemoveAll(dir)
+	r, err := kvstore.Open(dir, kvstore.Options{Label: "scrub", Shards: stripes})
+	if err != nil {
+		return err
+	}
+	defer r.Abandon()
+	// Half the keys end up in checkpoints, half stay as log frames, so the
+	// timed pass exercises both verification paths.
+	for i := 0; i < keys/2; i++ {
+		r.Put(fmt.Sprintf("key-%07d", i), value)
+	}
+	if err := r.Checkpoint(); err != nil {
+		return err
+	}
+	for i := keys / 2; i < keys; i++ {
+		r.Put(fmt.Sprintf("key-%07d", i), value)
+	}
+	if err := r.PersistErr(); err != nil {
+		return err
+	}
+	report.ScrubBytes = diskBytes(dir)
+
+	start := time.Now()
+	for i := 0; i < stripes; i++ {
+		s, err := r.ScrubNext()
+		if err != nil {
+			return fmt.Errorf("gate: scrub of a healthy store found damage at stripe %d: %w", s, err)
+		}
+	}
+	elapsed := time.Since(start)
+	report.ScrubMs = float64(elapsed.Nanoseconds()) / 1e6
+	if sec := elapsed.Seconds(); sec > 0 {
+		report.ScrubMBPerS = float64(report.ScrubBytes) / 1e6 / sec
+	}
+	fmt.Fprintf(log, "benchscrub: scrub  %d keys, %d bytes in %.1fms = %.0f MB/s\n",
+		keys, report.ScrubBytes, report.ScrubMs, report.ScrubMBPerS)
+	return nil
+}
+
+// repairPhase counts gossip rounds to rebuild one corrupted stripe from its
+// ring co-owners.
+func repairPhase(keys, stripes int, seed int64, value []byte, report *Report, log io.Writer) error {
+	dataDir, err := os.MkdirTemp("", "benchscrub-ring-*")
+	if err != nil {
+		return err
+	}
+	defer os.RemoveAll(dataDir)
+	c, err := antientropy.NewRingCluster(antientropy.RingConfig{
+		Nodes: 9, Replication: 3, Stripes: stripes, Seed: seed,
+		DataDir:  dataDir,
+		Resolver: kvstore.KeepBoth([]byte("|")),
+	})
+	if err != nil {
+		return err
+	}
+	defer c.Close()
+	for i := 0; i < keys; i++ {
+		if _, err := c.Write(fmt.Sprintf("key-%07d", i), value); err != nil {
+			return err
+		}
+	}
+	if _, err := c.GossipUntilConverged(64); err != nil {
+		return fmt.Errorf("pre-corruption convergence: %w", err)
+	}
+
+	const victim = 2
+	if err := c.Kill(victim); err != nil {
+		return err
+	}
+	ndir := filepath.Join(dataDir, fmt.Sprintf("node-%d", victim))
+	stripe, ok := faultfs.BusiestShard(ndir, stripes)
+	if !ok {
+		return fmt.Errorf("victim has no WAL logs under %s", ndir)
+	}
+	if _, err := faultfs.FlipLogByte(ndir, stripe, seed); err != nil {
+		return err
+	}
+	if err := c.Revive(victim); err != nil {
+		return err
+	}
+	report.RepairStripe = stripe
+	r, err := c.Replica(victim)
+	if err != nil {
+		return err
+	}
+	if !r.StripeQuarantined(stripe) {
+		return fmt.Errorf("gate: revival did not quarantine corrupted stripe %d", stripe)
+	}
+
+	const budget = 16
+	for round := 1; round <= budget; round++ {
+		stats, err := c.GossipRoundStats(2)
+		if err != nil {
+			return err
+		}
+		report.RepairedTotal += stats.StripesRepaired
+		if len(r.Quarantined()) == 0 {
+			report.RepairRounds = round
+			break
+		}
+	}
+	if report.RepairRounds == 0 {
+		return fmt.Errorf("gate: stripe %d not repaired within %d rounds", stripe, budget)
+	}
+	if report.RepairedTotal != 1 {
+		return fmt.Errorf("gate: %d stripes repaired, want exactly 1", report.RepairedTotal)
+	}
+	if err := r.PersistErr(); err != nil {
+		return fmt.Errorf("gate: PersistErr standing after repair: %w", err)
+	}
+	if _, err := c.GossipUntilConverged(64); err != nil {
+		return fmt.Errorf("post-repair convergence: %w", err)
+	}
+	fmt.Fprintf(log, "benchscrub: repair stripe %d rebuilt from peers in %d round(s)\n",
+		stripe, report.RepairRounds)
+	return nil
+}
+
+// diskBytes sums the regular files under dir.
+func diskBytes(dir string) int64 {
+	var total int64
+	_ = filepath.WalkDir(dir, func(_ string, d fs.DirEntry, err error) error {
+		if err != nil || d.IsDir() {
+			return err
+		}
+		if fi, err := d.Info(); err == nil {
+			total += fi.Size()
+		}
+		return nil
+	})
+	return total
+}

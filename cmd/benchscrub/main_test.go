@@ -1,0 +1,40 @@
+package main
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestRunEmitsValidJSON(t *testing.T) {
+	out := filepath.Join(t.TempDir(), "BENCH_scrub.json")
+	var progress strings.Builder
+	if err := run(2000, 32, 16, 1, out, &progress); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	raw, err := os.ReadFile(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var report Report
+	if err := json.Unmarshal(raw, &report); err != nil {
+		t.Fatalf("output is not valid JSON: %v", err)
+	}
+	if report.Keys != 2000 || report.Stripes != 16 {
+		t.Fatalf("report shape = %d keys over %d stripes", report.Keys, report.Stripes)
+	}
+	if report.ScrubBytes == 0 || report.ScrubMBPerS <= 0 {
+		t.Fatalf("scrub phase measured nothing: %+v", report)
+	}
+	if report.RepairRounds < 1 || report.RepairedTotal != 1 {
+		t.Fatalf("repair phase did not rebuild exactly one stripe: %+v", report)
+	}
+}
+
+func TestRunRejectsBadShape(t *testing.T) {
+	if err := run(10, 32, 16, 1, "-", &strings.Builder{}); err == nil {
+		t.Fatal("tiny key count accepted")
+	}
+}

@@ -238,6 +238,17 @@ func serve(ws *panasync.Workspace, out io.Writer, listen string, linger time.Dur
 	}
 	fmt.Fprintf(out, "serving workspace on %s (%d files, %d shards)\n",
 		addr, replica.Len(), replica.Shards())
+	// Storage health: a damaged -data-dir no longer refuses to serve — the
+	// corrupt stripe is quarantined and everything else loads — but the
+	// operator must see the degradation and that a peer sync repairs it.
+	if dataDir != "" {
+		if q := replica.Quarantined(); len(q) > 0 {
+			fmt.Fprintf(out, "storage: quarantined stripe(s) %v — serving the intact remainder; peer rounds re-fill their contents\n", q)
+		}
+		if perr := replica.PersistErr(); perr != nil {
+			fmt.Fprintf(out, "storage: durability degraded: %v\n", perr)
+		}
+	}
 	if ringR > 0 {
 		if err := ringReport(out, replica, nodeID, join, ringR); err != nil {
 			_ = srv.Close()

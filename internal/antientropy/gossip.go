@@ -328,6 +328,22 @@ type RoundStats struct {
 	// HintsDrained counts hinted writes delivered to revived owners this
 	// round (ring mode).
 	HintsDrained int
+	// StripesSkipped counts stripe-scoped exchanges that completed
+	// summary-only — the converged fast path, where one summary frame
+	// proved nothing needed to move. A healthy idle ring round is all
+	// skips; a freshly repaired stripe shows up here the round after its
+	// rebuild.
+	StripesSkipped int
+	// StripesScrubbed counts background scrub verifications run this round
+	// (ring mode: one stripe per durable up node per round).
+	StripesScrubbed int
+	// StripesQuarantined is the total quarantined stripes across up nodes
+	// at the end of the round (ring mode) — the cluster's damage level,
+	// not a per-round delta.
+	StripesQuarantined int
+	// StripesRepaired counts quarantined stripes rebuilt from their
+	// co-owners and re-checkpointed this round (ring mode).
+	StripesRepaired int
 	// BytesPerNode is this round's wire bytes per node (both endpoints of
 	// an exchange are charged its full sent+received payload).
 	BytesPerNode []int64
@@ -381,7 +397,7 @@ func (c *Cluster) GossipRoundStats(k int) (RoundStats, error) {
 	c.taskScratch = tasks
 	c.mu.Unlock()
 	stats := RoundStats{BytesPerNode: make([]int64, len(c.nodes))}
-	err := c.runGossip(tasks, &stats)
+	err := c.runGossip(tasks, &stats, nil)
 	return stats, err
 }
 
@@ -457,8 +473,24 @@ func (c *Cluster) clearDivFor(id string) {
 	}
 }
 
+// exKey identifies one node's exchanges for one stripe within a round —
+// the unit the ring repair pass judges: a quarantined stripe clears only
+// when every exchange its holder scheduled for it succeeded.
+type exKey struct {
+	node   int
+	stripe int
+}
+
+// exTally accumulates one (node, stripe)'s exchange outcomes for a round.
+type exTally struct {
+	ok, failed int
+}
+
 // runGossip executes exchanges through a worker pool bounded by GOMAXPROCS,
-// accumulating into stats (which must have BytesPerNode sized).
+// accumulating into stats (which must have BytesPerNode sized). When track
+// is non-nil, outcomes of initiator exchanges whose (node, stripe) has an
+// entry are tallied into it under the stats mutex — the ring repair pass
+// seeds entries for quarantined stripes before the round.
 //
 // Exchanges scoped to the same stripe are chained onto one worker and run
 // sequentially; only distinct stripes proceed in parallel. This is a
@@ -471,7 +503,7 @@ func (c *Cluster) clearDivFor(id string) {
 // R owners per stripe every pair of same-stripe exchanges shares a node, so
 // per-stripe serialization is exactly the needed exclusion, while different
 // stripes touch disjoint keys and parallelize freely.
-func (c *Cluster) runGossip(tasks []gossipTask, stats *RoundStats) error {
+func (c *Cluster) runGossip(tasks []gossipTask, stats *RoundStats, track map[exKey]*exTally) error {
 	// Whole-replica tasks (stripe -1) each form their own chain, preserving
 	// full-replication mode's round concurrency.
 	chains := make([][]gossipTask, 0, len(tasks))
@@ -509,7 +541,7 @@ func (c *Cluster) runGossip(tasks []gossipTask, stats *RoundStats) error {
 		go func() {
 			defer wg.Done()
 			for chain := range ch {
-				c.runChain(chain, stats, &mu, &firstErr)
+				c.runChain(chain, stats, &mu, &firstErr, track)
 			}
 		}()
 	}
@@ -522,7 +554,7 @@ func (c *Cluster) runGossip(tasks []gossipTask, stats *RoundStats) error {
 }
 
 // runChain executes one chain's tasks in order, recording results.
-func (c *Cluster) runChain(chain []gossipTask, stats *RoundStats, mu *sync.Mutex, firstErr *error) {
+func (c *Cluster) runChain(chain []gossipTask, stats *RoundStats, mu *sync.Mutex, firstErr *error, track map[exKey]*exTally) {
 	for _, t := range chain {
 		// Every exchange is a hierarchical (v3) round over the initiator's
 		// pooled session to the peer — whole-replica with a root-hash fast
@@ -550,11 +582,20 @@ func (c *Cluster) runChain(chain []gossipTask, stats *RoundStats, mu *sync.Mutex
 			if *firstErr == nil && !down && !info.Backoff {
 				*firstErr = fmt.Errorf("antientropy: gossip %d->%d: %w", t.i, t.j, err)
 			}
+			if tl := track[exKey{t.i, t.stripe}]; tl != nil {
+				tl.failed++
+			}
 		} else {
 			moved := res.Transferred + res.Reconciled + res.Merged
 			stats.Exchanges++
 			stats.Moved += moved
 			stats.Conflicts += len(res.Conflicts)
+			if t.stripe >= 0 && moved == 0 && len(res.Conflicts) == 0 {
+				stats.StripesSkipped++
+			}
+			if tl := track[exKey{t.i, t.stripe}]; tl != nil {
+				tl.ok++
+			}
 			bytes := res.BytesSent + res.BytesReceived
 			stats.BytesPerNode[t.i] += bytes
 			stats.BytesPerNode[t.j] += bytes

@@ -200,7 +200,7 @@ func TestGossipRecordsDivergence(t *testing.T) {
 	round := func() {
 		t.Helper()
 		stats := RoundStats{BytesPerNode: make([]int64, 2)}
-		if err := c.runGossip([]gossipTask{c.task(0, 1, -1)}, &stats); err != nil {
+		if err := c.runGossip([]gossipTask{c.task(0, 1, -1)}, &stats, nil); err != nil {
 			t.Fatal(err)
 		}
 	}

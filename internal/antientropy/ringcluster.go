@@ -32,16 +32,29 @@ import (
 //  3. Handoff: hints queued for targets whose heartbeats resumed drain by
 //     MergeVersioned — the stamps decide on delivery whether each hinted
 //     write is news, already obsolete, or a conflict.
-//  4. Anti-entropy: each node runs stripe-scoped v3 rounds with co-owners
+//  4. Scrub: each durable up node re-verifies one stripe's at-rest bytes
+//     (frame CRCs, checkpoint checksum) per round, quarantining a live
+//     stripe the moment rot is found instead of at the next restart.
+//  5. Anti-entropy: each node runs stripe-scoped v3 rounds with co-owners
 //     of the stripes it owns. A converged stripe costs one summary frame,
 //     so a node's idle wire cost is O(stripes it owns), independent of the
-//     keyspace and of cluster size.
+//     keyspace and of cluster size. A quarantined stripe is treated as
+//     maximally divergent: its holder exchanges with every live co-owner
+//     (the fan-out cap does not apply) so the rebuild finishes in as few
+//     rounds as possible.
+//  6. Repair: a quarantined stripe whose holder completed every exchange
+//     it scheduled for it this round has been rebuilt in memory from the
+//     other owners — the stamps arbitrated every key on the way in, so
+//     the merge is exact, not a guess. The holder re-checkpoints the
+//     stripe (replacing the damaged log wholesale) and lifts the
+//     quarantine; when the last one clears, PersistErr clears with it.
 //
 // Dead owners keep their ring ownership (membership drives rebuilds only
 // when the member set grows, e.g. AddNode): a transient failure is bridged
 // by hints addressed to the same owner, Dynamo-style, not by re-homing the
 // stripe. Ownership moves only when the member set changes, and then
-// deterministically.
+// deterministically. Disk damage is likewise bridged in place: the stripe
+// stays owned while quarantined, and repair restores it on the same node.
 
 // RingConfig parameterizes NewRingCluster.
 type RingConfig struct {
@@ -371,11 +384,35 @@ func (c *Cluster) ringRound(k int) (RoundStats, error) {
 		firstErr = err
 	}
 
-	// Phase 4: schedule stripe-scoped exchanges. For each stripe a node
+	// Phase 4: scrub. Every durable up node re-verifies one stripe's
+	// at-rest bytes; damage quarantines the stripe (inside ScrubNext) and
+	// the repair pass below takes it from there. A corruption finding is
+	// the scrub working, not a round failure; any other verify error is.
+	for _, nd := range c.nodes {
+		if nd.down || nd.dataDir == "" {
+			continue
+		}
+		s, err := nd.replica.ScrubNext()
+		if s >= 0 {
+			stats.StripesScrubbed++
+		}
+		if err != nil {
+			var ce *storage.CorruptError
+			if !errors.As(err, &ce) && firstErr == nil {
+				firstErr = fmt.Errorf("antientropy: scrub %s stripe %d: %w", nd.id, s, err)
+			}
+		}
+	}
+
+	// Phase 5: schedule stripe-scoped exchanges. For each stripe a node
 	// owns, it contacts up to k co-owners, divergence-hot ones first on
 	// hotBias of the draws (same ε-greedy contract as full-replication
-	// selection, per (pair, stripe) instead of per pair).
+	// selection, per (pair, stripe) instead of per pair). A quarantined
+	// stripe bypasses the cap: its holder contacts every live co-owner,
+	// marks each pairing divergence-hot, and the repair pass watches the
+	// outcomes.
 	tasks := c.taskScratch[:0]
+	track := make(map[exKey]*exTally)
 	for i, nd := range c.nodes {
 		if nd.down {
 			continue
@@ -385,6 +422,7 @@ func (c *Cluster) ringRound(k int) (RoundStats, error) {
 			if err != nil {
 				continue
 			}
+			quar := nd.replica.StripeQuarantined(s)
 			cand := c.peerScratch[:0]
 			for _, oid := range owners {
 				j, ok := c.index[oid]
@@ -398,7 +436,7 @@ func (c *Cluster) ringRound(k int) (RoundStats, error) {
 				cand = append(cand, j)
 			}
 			c.rng.Shuffle(len(cand), func(a, b int) { cand[a], cand[b] = cand[b], cand[a] })
-			if len(cand) > k {
+			if len(cand) > k && !quar {
 				if c.rng.Float64() < hotBias {
 					front := 0
 					for x := 0; x < len(cand); x++ {
@@ -410,6 +448,12 @@ func (c *Cluster) ringRound(k int) (RoundStats, error) {
 				}
 				cand = cand[:k]
 			}
+			if quar {
+				track[exKey{i, s}] = &exTally{}
+				for _, j := range cand {
+					c.markDiv(i, j, s, true)
+				}
+			}
 			for _, j := range cand {
 				tasks = append(tasks, c.task(i, j, s))
 			}
@@ -419,9 +463,35 @@ func (c *Cluster) ringRound(k int) (RoundStats, error) {
 	c.taskScratch = tasks
 	c.mu.Unlock()
 
-	if err := c.runGossip(tasks, &stats); err != nil && firstErr == nil {
+	if err := c.runGossip(tasks, &stats, track); err != nil && firstErr == nil {
 		firstErr = err
 	}
+
+	// Phase 6: repair. A quarantined stripe whose holder reached every live
+	// co-owner it scheduled (at least one, none failed) has been rebuilt in
+	// memory by the stamp-arbitrated exchanges; re-checkpoint it and lift
+	// the quarantine. Anything still quarantined is reported in the stats.
+	c.mu.Lock()
+	for i, nd := range c.nodes {
+		if nd.down {
+			continue
+		}
+		for _, s := range nd.replica.Quarantined() {
+			tl := track[exKey{i, s}]
+			if tl == nil || tl.ok == 0 || tl.failed > 0 {
+				continue
+			}
+			if err := nd.replica.RepairStripe(s); err != nil {
+				if firstErr == nil {
+					firstErr = fmt.Errorf("antientropy: repair %s stripe %d: %w", nd.id, s, err)
+				}
+				continue
+			}
+			stats.StripesRepaired++
+		}
+		stats.StripesQuarantined += len(nd.replica.Quarantined())
+	}
+	c.mu.Unlock()
 	return stats, firstErr
 }
 
@@ -452,6 +522,13 @@ func (c *Cluster) drainHintsLocked(stats *RoundStats) error {
 			}
 			var requeue []hints.Hint
 			for _, h := range hs {
+				// A hint for a quarantined stripe waits: the target's copy of
+				// the stripe is incomplete and mid-rebuild, and the hint's
+				// promise is durability the stripe cannot offer yet.
+				if tn.replica.StripeQuarantined(kvstore.ShardIndex(h.Key, c.stripes)) {
+					requeue = append(requeue, h)
+					continue
+				}
 				res, err := tn.replica.MergeVersioned(h.Key, kvstore.Versioned{
 					Value: h.Value, Deleted: h.Deleted, Stamp: h.Stamp,
 				}, c.resolve)
@@ -520,7 +597,10 @@ func (c *Cluster) write(key string, value []byte, del bool) (int, error) {
 	var coord *node
 	coordGroup := 0
 	for _, oid := range owners {
-		if j, ok := c.index[oid]; ok && !c.nodes[j].down {
+		// An owner whose copy of this stripe is quarantined cannot
+		// coordinate: its stripe contents are incomplete until repair.
+		if j, ok := c.index[oid]; ok && !c.nodes[j].down &&
+			!c.nodes[j].replica.StripeQuarantined(stripe) {
 			coord = c.nodes[j]
 			coordGroup = c.group[j]
 			break
@@ -546,9 +626,13 @@ func (c *Cluster) write(key string, value []byte, del bool) (int, error) {
 		target := c.nodes[j]
 		// An owner the coordinator cannot reach — crashed, judged dead, or
 		// across a network partition — gets a durable hint instead of a
-		// push. A hint is a promise, not an ack, so a partition that cuts
-		// the coordinator off from a quorum of owners fails the write.
-		if target.down || c.group[j] != coordGroup || coord.view.State(oid) == membership.Dead {
+		// push. So does an owner whose copy of the stripe is quarantined:
+		// it would take the write in memory but cannot persist it, and an
+		// ack is a durability promise. A hint is a promise, not an ack, so
+		// a partition that cuts the coordinator off from a quorum of owners
+		// fails the write.
+		if target.down || c.group[j] != coordGroup || coord.view.State(oid) == membership.Dead ||
+			target.replica.StripeQuarantined(stripe) {
 			cp, ok := coord.replica.ForkCopy(key)
 			if !ok {
 				continue
@@ -591,6 +675,11 @@ func (c *Cluster) Read(key string) (value []byte, ok bool, err error) {
 	for _, oid := range owners {
 		j, ok := c.index[oid]
 		if !ok || c.nodes[j].down {
+			continue
+		}
+		// A quarantined owner's stripe contents are incomplete — it cannot
+		// vouch for the key's presence or absence until repair.
+		if c.nodes[j].replica.StripeQuarantined(stripe) {
 			continue
 		}
 		if !haveCoord {
@@ -781,11 +870,17 @@ type NodeStatus struct {
 	Down         bool
 	OwnedStripes []int
 	HintsPending int
-	Members      []MemberStatus
+	// Quarantined lists the node's stripes whose durable bytes are damaged
+	// and awaiting repair from ring peers; empty on a healthy node.
+	Quarantined []int
+	// PersistErr is the node's standing durability degradation report
+	// (quarantine, ENOSPC, fsync failure...), empty when durability holds.
+	PersistErr string
+	Members    []MemberStatus
 }
 
-// Status reports node i's identity, liveness, owned stripes, queued hints
-// and membership opinion.
+// Status reports node i's identity, liveness, owned stripes, queued hints,
+// storage health and membership opinion.
 func (c *Cluster) Status(i int) (NodeStatus, error) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
@@ -799,6 +894,12 @@ func (c *Cluster) Status(i int) (NodeStatus, error) {
 	}
 	if nd.hints != nil {
 		st.HintsPending = nd.hints.Len()
+	}
+	if nd.replica != nil {
+		st.Quarantined = nd.replica.Quarantined()
+		if pe := nd.replica.PersistErr(); pe != nil {
+			st.PersistErr = pe.Error()
+		}
 	}
 	if nd.view != nil {
 		for _, id := range nd.view.Members() {
@@ -827,6 +928,12 @@ func (c *Cluster) ringConvergedLocked() bool {
 	for _, nd := range c.nodes {
 		if nd.down {
 			continue
+		}
+		// A quarantined stripe is unfinished business: its in-memory copy
+		// is incomplete and its durable copy is damaged. The cluster is not
+		// converged until repair clears it.
+		if len(nd.replica.Quarantined()) > 0 {
+			return false
 		}
 		nodes := nd.ring.Nodes()
 		if len(nodes) != len(baseNodes) {

@@ -7,6 +7,7 @@ import (
 	"io/fs"
 	"os"
 	"path/filepath"
+	"sort"
 
 	"versionstamp/internal/encoding"
 	"versionstamp/internal/storage"
@@ -116,9 +117,18 @@ func loadOrInitMeta(dir string, opts Options) (metaDoc, error) {
 // checkpoint is loaded and its log replayed in order, then the backend
 // starts receiving every new mutation. The backend must not be shared
 // between replicas.
+//
+// A stripe whose durable bytes are corrupt (the backend reports a
+// *storage.CorruptError) does not fail the open: the intact prefix the
+// backend streamed stays loaded, the stripe is quarantined — reads serve
+// what replayed, durable appends are refused, PersistErr reports the damage
+// — and peer repair (RepairStripe after an anti-entropy rebuild) restores
+// it. Only corruption is tolerated this way; replay I/O failures still fail
+// the whole open.
 func OpenBackend(be storage.Backend, label string, shards int) (*Replica, error) {
 	r := NewReplicaShards(label, shards)
 	n := len(r.shards) // NewReplicaShards clamps to >= 1
+	damaged := make(map[int]error)
 	for i := 0; i < n; i++ {
 		sh := &r.shards[i]
 		err := be.ReplayShard(i,
@@ -137,10 +147,17 @@ func OpenBackend(be storage.Backend, label string, shards int) (*Replica, error)
 				return nil
 			})
 		if err != nil {
-			return nil, err
+			var ce *storage.CorruptError
+			if !errors.As(err, &ce) {
+				return nil, err
+			}
+			damaged[i] = err
 		}
 	}
 	r.backend = be
+	for i, err := range damaged {
+		r.QuarantineStripe(i, err)
+	}
 	return r, nil
 }
 
@@ -153,11 +170,16 @@ func (r *Replica) loadShardCheckpoint(i int, snap []byte) error {
 		return nil
 	}
 	if snap[0] != binarySnapshotVersion {
-		return fmt.Errorf("kvstore: shard %d checkpoint: not a binary snapshot", i)
+		// A checkpoint that is not a snapshot at all is at-rest damage the
+		// backend's checksum did not cover (legacy headerless files): scope
+		// it to the stripe like any other corruption.
+		return &storage.CorruptError{Shard: i,
+			Err: fmt.Errorf("kvstore: shard %d checkpoint: not a binary snapshot", i)}
 	}
 	_, _, entries, err := decodeBinarySnapshot(snap)
 	if err != nil {
-		return fmt.Errorf("kvstore: shard %d checkpoint: %w", i, err)
+		return &storage.CorruptError{Shard: i,
+			Err: fmt.Errorf("kvstore: shard %d checkpoint: %w", i, err)}
 	}
 	for _, e := range entries {
 		if ShardIndex(e.Key, len(r.shards)) != i {
@@ -178,6 +200,10 @@ func (r *Replica) loadShardCheckpoint(i int, snap []byte) error {
 // every stripe also heals an earlier append failure: the writes the failed
 // appends covered are now in the checkpoints, and PersistErr resets —
 // unless a new failure arrived during the pass, which stays reported.
+// Quarantined stripes are skipped: checkpointing one would overwrite the
+// damaged log with only the intact prefix that replayed, silently blessing
+// the data loss. They heal through RepairStripe after a peer rebuild, and
+// while any remain PersistErr stays set.
 func (r *Replica) Checkpoint() error {
 	if r.backend == nil {
 		return nil
@@ -185,10 +211,18 @@ func (r *Replica) Checkpoint() error {
 	r.persistMu.Lock()
 	seq := r.persistSeq
 	r.persistMu.Unlock()
+	skipped := false
 	for i := range r.shards {
+		if r.StripeQuarantined(i) {
+			skipped = true
+			continue
+		}
 		if err := r.checkpointShard(i); err != nil {
 			return err
 		}
+	}
+	if skipped {
+		return nil // healthy stripes are checkpointed; the damage report stands
 	}
 	r.persistMu.Lock()
 	defer r.persistMu.Unlock()
@@ -236,6 +270,9 @@ func (r *Replica) Compact() error {
 		return nil
 	}
 	for i := range r.shards {
+		if r.StripeQuarantined(i) {
+			continue // the backend would refuse; repair goes through RepairStripe
+		}
 		if err := r.backend.Compact(i); err != nil {
 			return fmt.Errorf("kvstore: compact shard %d: %w", i, err)
 		}
@@ -255,6 +292,125 @@ func (r *Replica) Abandon() error {
 		return nil
 	}
 	return r.backend.Close()
+}
+
+// QuarantineStripe marks stripe i's durable bytes as damaged: reads keep
+// serving whatever is in memory, durable appends to the stripe are silently
+// skipped (the log is latched anyway), and PersistErr reports the damage so
+// durable deployments see the degradation. Idempotent per stripe — the
+// first damage report wins. Quarantine clears only through RepairStripe,
+// after the stripe's true state has been rebuilt (normally from ring peers
+// via anti-entropy; the stamps make that safe, see the package comment).
+func (r *Replica) QuarantineStripe(i int, err error) {
+	if i < 0 || i >= len(r.shards) {
+		return
+	}
+	r.quarMu.Lock()
+	if r.quar == nil {
+		r.quar = make(map[int]error)
+	}
+	if _, dup := r.quar[i]; dup {
+		r.quarMu.Unlock()
+		return
+	}
+	if err == nil {
+		err = &storage.CorruptError{Shard: i, Err: fmt.Errorf("quarantined")}
+	}
+	r.quar[i] = err
+	r.quarMu.Unlock()
+	r.shards[i].quar.Store(true)
+	r.notePersistErr(fmt.Errorf("kvstore: stripe %d quarantined: %w", i, err))
+}
+
+// StripeQuarantined reports whether stripe i is quarantined.
+func (r *Replica) StripeQuarantined(i int) bool {
+	return i >= 0 && i < len(r.shards) && r.shards[i].quar.Load()
+}
+
+// Quarantined returns the quarantined stripe indices, sorted.
+func (r *Replica) Quarantined() []int {
+	r.quarMu.Lock()
+	defer r.quarMu.Unlock()
+	out := make([]int, 0, len(r.quar))
+	for i := range r.quar {
+		out = append(out, i)
+	}
+	sort.Ints(out)
+	return out
+}
+
+// QuarantineErr returns stripe i's damage report, or nil when healthy.
+func (r *Replica) QuarantineErr(i int) error {
+	r.quarMu.Lock()
+	defer r.quarMu.Unlock()
+	return r.quar[i]
+}
+
+// RepairStripe re-establishes stripe i's durability after its in-memory
+// state has been rebuilt (anti-entropy from the other owners, or any other
+// trusted source): it checkpoints the stripe — the backend replaces the
+// damaged log wholesale, clearing its own latch — and lifts the quarantine.
+// When the last quarantined stripe repairs, a full checkpoint pass runs so
+// PersistErr can clear honestly. Calling it on a healthy stripe is just a
+// checkpoint.
+func (r *Replica) RepairStripe(i int) error {
+	if i < 0 || i >= len(r.shards) {
+		return fmt.Errorf("kvstore: repair stripe %d out of range of %d", i, len(r.shards))
+	}
+	if r.backend != nil {
+		sh := &r.shards[i]
+		sh.mu.Lock()
+		err := r.checkpointShardLocked(i)
+		if err == nil {
+			// Clear the fast-path flag under the stripe lock, so no logSet
+			// can observe "quarantined" after the fresh checkpoint exists.
+			sh.quar.Store(false)
+		}
+		sh.mu.Unlock()
+		if err != nil {
+			return fmt.Errorf("kvstore: repair stripe %d: %w", i, err)
+		}
+	} else {
+		r.shards[i].quar.Store(false)
+	}
+	r.quarMu.Lock()
+	delete(r.quar, i)
+	left := len(r.quar)
+	r.quarMu.Unlock()
+	if left == 0 && r.backend != nil {
+		return r.Checkpoint()
+	}
+	return nil
+}
+
+// ScrubNext advances the background scrubber by one stripe: it re-verifies
+// the next stripe's durable bytes (frame CRCs, checkpoint checksum) against
+// the backend's storage.Verifier and quarantines the stripe if damage is
+// found — demoting a live stripe the moment a sector rots, instead of at
+// the next restart. Returns the stripe verified and its damage report (nil
+// when healthy). Backends without verification (Memory, nil) return (-1,
+// nil); a full pass is Shards() calls. Already-quarantined stripes are
+// skipped — their damage is known.
+func (r *Replica) ScrubNext() (int, error) {
+	v, ok := r.backend.(storage.Verifier)
+	if !ok {
+		return -1, nil
+	}
+	r.quarMu.Lock()
+	i := r.scrubCursor % len(r.shards)
+	r.scrubCursor++
+	r.quarMu.Unlock()
+	if r.StripeQuarantined(i) {
+		return i, nil
+	}
+	if err := v.VerifyShard(i); err != nil {
+		var ce *storage.CorruptError
+		if errors.As(err, &ce) {
+			r.QuarantineStripe(i, err)
+		}
+		return i, err
+	}
+	return i, nil
 }
 
 // Close checkpoints every stripe and releases the backend — the graceful

@@ -1,6 +1,7 @@
 package kvstore
 
 import (
+	"errors"
 	"fmt"
 	"math/rand"
 	"os"
@@ -8,6 +9,7 @@ import (
 	"testing"
 
 	"versionstamp/internal/storage"
+	"versionstamp/internal/storage/faultfs"
 )
 
 // stateOf fingerprints a replica's full stored state — every key including
@@ -447,4 +449,135 @@ func TestMemoryBackendMatchesWAL(t *testing.T) {
 		t.Fatal(err)
 	}
 	requireEqualStamps(t, r, reopened)
+}
+
+// TestQuarantineAndRepair corrupts one stripe's WAL at rest and walks the
+// self-healing contract end to end: reopen loads the healthy stripes and
+// quarantines the damaged one, PersistErr reports it, writes to the stripe
+// stay in memory without touching the latched log, and RepairStripe
+// (standing in for the anti-entropy rebuild) re-checkpoints, clears the
+// quarantine and PersistErr, and the next reopen is clean.
+func TestQuarantineAndRepair(t *testing.T) {
+	dir := t.TempDir()
+	r, err := Open(dir, Options{Label: "n", Shards: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Find keys for two distinct stripes.
+	var hot, other string
+	for i := 0; hot == "" || other == ""; i++ {
+		k := fmt.Sprintf("key-%d", i)
+		switch ShardIndex(k, 4) {
+		case 1:
+			if hot == "" {
+				hot = k
+			}
+		case 2:
+			if other == "" {
+				other = k
+			}
+		}
+	}
+	for i := 0; i < 5; i++ {
+		r.Put(hot, []byte(fmt.Sprintf("v%d", i)))
+	}
+	r.Put(other, []byte("safe"))
+	if err := r.Abandon(); err != nil { // crash: logs stay, no checkpoint
+		t.Fatal(err)
+	}
+
+	if _, err := faultfs.FlipLogByte(dir, 1, 77); err != nil {
+		t.Fatal(err)
+	}
+
+	r2, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatalf("open with corrupt stripe: %v", err)
+	}
+	if q := r2.Quarantined(); len(q) != 1 || q[0] != 1 {
+		t.Fatalf("Quarantined = %v, want [1]", q)
+	}
+	if r2.PersistErr() == nil {
+		t.Fatal("PersistErr must report the quarantine")
+	}
+	var ce *storage.CorruptError
+	if err := r2.QuarantineErr(1); !errors.As(err, &ce) {
+		t.Fatalf("QuarantineErr(1) = %v, want *storage.CorruptError", err)
+	}
+	// The healthy stripe is intact and writable.
+	if v, ok := r2.Get(other); !ok || string(v) != "safe" {
+		t.Fatalf("healthy stripe lost data: %q %v", v, ok)
+	}
+	// Checkpoint skips the quarantined stripe and keeps the report.
+	if err := r2.Checkpoint(); err != nil {
+		t.Fatal(err)
+	}
+	if len(r2.Quarantined()) != 1 || r2.PersistErr() == nil {
+		t.Fatal("Checkpoint must not clear a quarantine")
+	}
+	// Rebuild the stripe state (a peer sync would do this) and repair.
+	r2.Put(hot, []byte("rebuilt"))
+	if err := r2.RepairStripe(1); err != nil {
+		t.Fatal(err)
+	}
+	if len(r2.Quarantined()) != 0 {
+		t.Fatal("quarantine did not clear after repair")
+	}
+	if err := r2.PersistErr(); err != nil {
+		t.Fatalf("PersistErr after repair = %v", err)
+	}
+	if err := r2.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	r3, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatalf("reopen after repair: %v", err)
+	}
+	defer r3.Close()
+	if v, ok := r3.Get(hot); !ok || string(v) != "rebuilt" {
+		t.Fatalf("repaired stripe = %q %v, want rebuilt", v, ok)
+	}
+	if len(r3.Quarantined()) != 0 {
+		t.Fatal("quarantine resurrected after reopen")
+	}
+}
+
+// TestScrubDemotesLiveStripe damages a live replica's checkpoint behind its
+// back and asserts the incremental scrubber quarantines the stripe.
+func TestScrubDemotesLiveStripe(t *testing.T) {
+	dir := t.TempDir()
+	r, err := Open(dir, Options{Label: "n", Shards: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r.Close()
+	for i := 0; i < 20; i++ {
+		r.Put(fmt.Sprintf("key-%d", i), []byte("v"))
+	}
+	if err := r.Checkpoint(); err != nil {
+		t.Fatal(err)
+	}
+	// A clean scrub pass finds nothing.
+	for i := 0; i < 4; i++ {
+		if si, err := r.ScrubNext(); err != nil {
+			t.Fatalf("clean scrub stripe %d: %v", si, err)
+		}
+	}
+	// Rot a checkpoint at rest, then scrub until the cursor comes around.
+	if _, err := faultfs.CorruptCheckpoint(dir, 2, 9); err != nil {
+		t.Fatal(err)
+	}
+	var caught error
+	for i := 0; i < 4; i++ {
+		if si, err := r.ScrubNext(); err != nil && si == 2 {
+			caught = err
+		}
+	}
+	if caught == nil {
+		t.Fatal("scrub missed the rotted checkpoint")
+	}
+	if !r.StripeQuarantined(2) {
+		t.Fatal("scrub did not quarantine the damaged stripe")
+	}
 }

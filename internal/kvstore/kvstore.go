@@ -117,6 +117,11 @@ type shard struct {
 	cacheEpoch  uint64
 	summary     uint64
 	digestCache []encoding.Digest
+
+	// quar mirrors the replica's quarantine set for this stripe as a lock-
+	// free flag, so the per-write logSet check costs one atomic load. The
+	// authoritative record (with the damage report) is Replica.quar.
+	quar atomic.Bool
 }
 
 // lockMut write-locks the stripe for a mutation and advances its epoch so
@@ -148,6 +153,14 @@ type Replica struct {
 	persistMu  sync.Mutex
 	persistErr error
 	persistSeq uint64
+
+	// quarMu guards the quarantine record (stripe index -> damage report)
+	// and the incremental scrubber's cursor. A quarantined stripe serves
+	// reads from whatever replayed, refuses durable appends, and waits for
+	// peer repair (see QuarantineStripe/RepairStripe in durable.go).
+	quarMu      sync.Mutex
+	quar        map[int]error
+	scrubCursor int
 }
 
 // NewReplica creates an empty replica with a cosmetic label and
@@ -201,6 +214,13 @@ func (r *Replica) logSet(si int, key string, v Versioned) {
 	if r.backend == nil {
 		return
 	}
+	if r.shards[si].quar.Load() {
+		// Quarantined: the durable log is damaged and latched; nothing may
+		// land after the bad bytes. The in-memory write stands (repair will
+		// checkpoint the full stripe state), and PersistErr already reports
+		// the quarantine.
+		return
+	}
 	err := r.backend.Append(si, storage.Record{Entry: encoding.Entry{
 		Key: key, Value: v.Value, Deleted: v.Deleted, Stamp: v.Stamp,
 	}})
@@ -216,6 +236,12 @@ func (r *Replica) logSet(si int, key string, v Versioned) {
 // round. Stripe write lock held, so no append interleaves.
 func (r *Replica) logAdopt(si int) {
 	if r.backend == nil {
+		return
+	}
+	if r.shards[si].quar.Load() {
+		// Repair syncs adopt state into a quarantined stripe before
+		// RepairStripe re-checkpoints it; persisting here would clear the
+		// backend's quarantine behind the replica's back.
 		return
 	}
 	if err := r.checkpointShardLocked(si); err != nil {

@@ -3,10 +3,12 @@ package sim
 import (
 	"fmt"
 	"math/rand"
+	"path/filepath"
 
 	"versionstamp/internal/antientropy"
 	"versionstamp/internal/chaosnet"
 	"versionstamp/internal/encoding"
+	"versionstamp/internal/storage/faultfs"
 )
 
 // This file is the cluster half of the simulator: where runner.go replays
@@ -44,14 +46,20 @@ const (
 	ActAddNode
 	// ActFaults replaces the fabric's default link faults with Faults.
 	ActFaults
+	// ActCorrupt flips one byte of a WAL frame in node Node's stripe Stripe
+	// at rest (Stripe < 0 targets the node's busiest stripe). The node must
+	// be durable; script it between a kill and a revive — the revival then
+	// quarantines exactly that stripe and ring repair rebuilds it.
+	ActCorrupt
 )
 
 // Action is one scripted event, applied before the round it names runs.
 type Action struct {
 	Round  int
 	Kind   ActionKind
-	Node   int             // ActKill / ActRevive target index
+	Node   int             // ActKill / ActRevive / ActCorrupt target index
 	Count  int             // ActWrite: number of writes
+	Stripe int             // ActCorrupt: stripe to damage (< 0 = busiest)
 	Groups []int           // ActPartition: group per node index
 	Faults chaosnet.Faults // ActFaults: new default link faults
 }
@@ -139,6 +147,17 @@ type ScenarioMetrics struct {
 	HintsDropped int64 `json:"hints_dropped"` // evicted by the per-target cap
 	HintsPeak    int   `json:"hints_peak"`    // max queued cluster-wide
 
+	// Self-healing ledger: scrub verifications run, quarantined stripes
+	// rebuilt from peers, the worst per-round quarantine level, and what
+	// remained damaged (or degraded) when the run ended. A healthy gate
+	// demands the End fields be zero — convergence with standing damage is
+	// not convergence.
+	Scrubbed        int `json:"scrubbed"`
+	Repaired        int `json:"repaired"`
+	QuarantinedPeak int `json:"quarantined_peak"`
+	QuarantinedEnd  int `json:"quarantined_end"`
+	PersistErrsEnd  int `json:"persist_errs_end"`
+
 	// Stamp growth over every up replica at the end of the run, measured
 	// on the compact wire encoding.
 	KeysTotal      int     `json:"keys_total"`
@@ -215,6 +234,14 @@ func (s Scenario) Run() (*ScenarioMetrics, error) {
 		m.Exchanges += stats.Exchanges
 		m.KeysMoved += stats.Moved
 		m.HintsDrained += stats.HintsDrained
+		m.Scrubbed += stats.StripesScrubbed
+		m.Repaired += stats.StripesRepaired
+		// Peak damage observed this round: what is still quarantined plus
+		// what was repaired within the round (a same-round repair would
+		// otherwise hide the damage entirely).
+		if q := stats.StripesQuarantined + stats.StripesRepaired; q > m.QuarantinedPeak {
+			m.QuarantinedPeak = q
+		}
 		for _, re := range stats.Errors {
 			m.ExchangeErrors++
 			if re.Backoff {
@@ -237,6 +264,16 @@ func (s Scenario) Run() (*ScenarioMetrics, error) {
 
 	m.Nodes = c.Size()
 	m.HintsDropped = c.HintsDropped()
+	for i := 0; i < c.Size(); i++ {
+		st, err := c.Status(i)
+		if err != nil || st.Down {
+			continue
+		}
+		m.QuarantinedEnd += len(st.Quarantined)
+		if st.PersistErr != "" {
+			m.PersistErrsEnd++
+		}
+	}
 	for _, b := range c.WireBytes() {
 		m.WireBytes += b
 	}
@@ -283,6 +320,22 @@ func (s Scenario) apply(a Action, c *antientropy.Cluster, fab *chaosnet.Fabric,
 		return err
 	case ActFaults:
 		fab.SetDefaultFaults(a.Faults)
+		return nil
+	case ActCorrupt:
+		if s.DataDir == "" {
+			return fmt.Errorf("ActCorrupt needs a durable scenario (DataDir)")
+		}
+		dir := filepath.Join(s.DataDir, fmt.Sprintf("node-%d", a.Node))
+		stripe := a.Stripe
+		if stripe < 0 {
+			var ok bool
+			if stripe, ok = faultfs.BusiestShard(dir, s.Stripes); !ok {
+				return fmt.Errorf("ActCorrupt: node %d has no WAL logs under %s", a.Node, dir)
+			}
+		}
+		if _, err := faultfs.FlipLogByte(dir, stripe, s.Seed); err != nil {
+			return fmt.Errorf("ActCorrupt node %d stripe %d: %w", a.Node, stripe, err)
+		}
 		return nil
 	default:
 		return fmt.Errorf("unknown action kind %d", a.Kind)

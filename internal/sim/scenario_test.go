@@ -111,3 +111,29 @@ func TestScenarioDeterminism(t *testing.T) {
 		}
 	}
 }
+
+func TestDiskCorruptScenario(t *testing.T) {
+	m := runScenario(t, DiskCorrupt(6, t.TempDir()))
+	if m.Repaired == 0 {
+		t.Fatalf("the corrupted stripe was never repaired from peers: %+v", m)
+	}
+	if m.QuarantinedPeak == 0 {
+		t.Fatalf("the at-rest corruption never quarantined a stripe: %+v", m)
+	}
+	if m.QuarantinedEnd != 0 || m.PersistErrsEnd != 0 {
+		t.Fatalf("run ended damaged: %d quarantined, %d degraded", m.QuarantinedEnd, m.PersistErrsEnd)
+	}
+	if m.Scrubbed == 0 {
+		t.Fatalf("the scrub phase never ran on a durable cluster: %+v", m)
+	}
+}
+
+func TestOwnerSetFailureScenario(t *testing.T) {
+	m := runScenario(t, OwnerSetFailure(8, t.TempDir()))
+	if m.WriteErrors == 0 {
+		t.Fatalf("killing a stripe's whole owner set caused no quorum failures: %+v", m)
+	}
+	if m.QuarantinedEnd != 0 || m.PersistErrsEnd != 0 {
+		t.Fatalf("run ended damaged: %d quarantined, %d degraded", m.QuarantinedEnd, m.PersistErrsEnd)
+	}
+}

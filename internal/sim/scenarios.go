@@ -1,8 +1,11 @@
 package sim
 
 import (
+	"fmt"
+
 	"versionstamp/internal/antientropy"
 	"versionstamp/internal/chaosnet"
+	"versionstamp/internal/ring"
 )
 
 // The predefined scenario catalog: the fault schedules cmd/benchconverge
@@ -131,9 +134,85 @@ func ThousandNode(seed int64, dataDir string) Scenario {
 	}
 }
 
+// DiskCorrupt is the self-healing story: a durable node crashes, one of its
+// WAL stripes rots while it is down (a flipped byte in the busiest stripe's
+// log), and the revival must scope the damage to that stripe — quarantine
+// it, keep serving everything else, rebuild it from the other owners by
+// anti-entropy, re-checkpoint, and clear the quarantine. The gate demands
+// QuarantinedEnd and PersistErrsEnd of zero: converging while still damaged
+// does not count. dataDir must be a fresh writable directory.
+func DiskCorrupt(seed int64, dataDir string) Scenario {
+	return Scenario{
+		Name: "disk-corrupt", Seed: seed,
+		Nodes: 9, Replication: 3, Stripes: 32,
+		DataDir: dataDir, HintCap: 32,
+		Backoff: antientropy.BackoffPolicy{Base: 1, Max: 4, Seed: seed},
+		Script: []Action{
+			{Round: 0, Kind: ActWrite, Count: 150},
+			{Round: 3, Kind: ActKill, Node: 2},
+			{Round: 4, Kind: ActCorrupt, Node: 2, Stripe: -1},
+			// Writes while the node is down and its disk is rotting: the
+			// usual hinted-handoff story layered on top of the damage.
+			{Round: 4, Kind: ActWrite, Count: 60},
+			{Round: 8, Kind: ActRevive, Node: 2},
+			{Round: 9, Kind: ActWrite, Count: 40},
+		},
+		RoundBudget: 64,
+	}
+}
+
+// OwnerSetFailure is the correlated-failure story the roadmap asked for:
+// every owner of one stripe crashes at once (same rack, same batch of bad
+// disks), writes to that stripe fail their quorums outright while writes
+// elsewhere continue, and when the owner set revives, their WALs plus
+// anti-entropy must restore the stripe with no lost acknowledged write.
+// dataDir must be a fresh writable directory — the scenario is only
+// meaningful with durable nodes.
+func OwnerSetFailure(seed int64, dataDir string) Scenario {
+	// The owner set of stripe 0 is deterministic for the initial roster:
+	// precompute it so the script kills exactly the correlated group.
+	members := make([]string, 9)
+	for i := range members {
+		members[i] = fmt.Sprintf("node-%d", i)
+	}
+	victims := []int{0, 1, 2} // fallback; overwritten below
+	if rg, err := ring.New(members, 32, 3); err == nil {
+		if owners, err := rg.Owners(0); err == nil {
+			victims = victims[:0]
+			for _, id := range owners {
+				var i int
+				fmt.Sscanf(id, "node-%d", &i)
+				victims = append(victims, i)
+			}
+		}
+	}
+	script := []Action{{Round: 0, Kind: ActWrite, Count: 120}}
+	for _, v := range victims {
+		script = append(script, Action{Round: 3, Kind: ActKill, Node: v})
+	}
+	script = append(script,
+		// Writes through the outage: stripe 0's quorums fail (counted, not
+		// fatal), every other stripe keeps its quorum.
+		Action{Round: 4, Kind: ActWrite, Count: 80},
+		Action{Round: 10, Kind: ActRevive, Node: victims[0]},
+		Action{Round: 11, Kind: ActRevive, Node: victims[1]},
+		Action{Round: 12, Kind: ActRevive, Node: victims[2]},
+		Action{Round: 13, Kind: ActWrite, Count: 40},
+	)
+	return Scenario{
+		Name: "owner-set-failure", Seed: seed,
+		Nodes: 9, Replication: 3, Stripes: 32,
+		DataDir: dataDir, HintCap: 32,
+		Backoff: antientropy.BackoffPolicy{Base: 1, Max: 4, Seed: seed},
+		Script:  script, RoundBudget: 64,
+	}
+}
+
 // Suite returns the scenario set benchconverge runs. short drops nothing —
 // the whole point of logical time is that even the 1000-node story fits a
 // -short CI budget — but it is kept as a hook for heavier future entries.
+// The durable scenarios each get their own subdirectory of dataDir so their
+// WAL trees never collide.
 func Suite(seed int64, dataDir string, short bool) []Scenario {
 	_ = short
 	return []Scenario{
@@ -142,5 +221,7 @@ func Suite(seed int64, dataDir string, short bool) []Scenario {
 		CrashRestart(seed, dataDir),
 		Churn(seed),
 		ThousandNode(seed, ""),
+		DiskCorrupt(seed, dataDir+"-corrupt"),
+		OwnerSetFailure(seed, dataDir+"-ownerset"),
 	}
 }

@@ -14,10 +14,49 @@
 package storage
 
 import (
+	"fmt"
 	"sync"
 
 	"versionstamp/internal/encoding"
 )
+
+// CorruptError reports durable damage scoped to one shard: the backend found
+// bytes that are provably not a torn tail write (a flipped bit mid-log, a
+// checkpoint that fails its checksum). It names the damaged file and the
+// offset where the damage starts, so operators and tests can point at the
+// exact bytes. Backends return it from ReplayShard *after* streaming the
+// intact prefix, so a caller can keep what is readable, quarantine the shard
+// and repair it from peers — whole-replica death is never the right scope
+// for one bad sector.
+type CorruptError struct {
+	// Shard is the damaged stripe.
+	Shard int
+	// Path is the damaged file (empty when the backend has no files).
+	Path string
+	// Offset is where the damage starts within Path (-1 = unknown).
+	Offset int64
+	// Err is the underlying corruption report (wraps the backend's
+	// corruption sentinel, e.g. wal.ErrCorrupt).
+	Err error
+}
+
+func (e *CorruptError) Error() string {
+	if e.Path != "" {
+		return fmt.Sprintf("storage: shard %d corrupt at %s+%d: %v", e.Shard, e.Path, e.Offset, e.Err)
+	}
+	return fmt.Sprintf("storage: shard %d corrupt: %v", e.Shard, e.Err)
+}
+
+func (e *CorruptError) Unwrap() error { return e.Err }
+
+// Verifier is the optional scrub surface of a Backend: VerifyShard re-reads
+// the shard's durable bytes — log frames against their CRCs, the checkpoint
+// against its checksum — without mutating anything, returning a
+// *CorruptError on damage. Backends without durable bytes (Memory) simply
+// do not implement it; the scrubber skips them.
+type Verifier interface {
+	VerifyShard(shard int) error
+}
 
 // Record is one durable mutation of a stripe. The zero kind is a Set: the
 // key named in Entry now holds exactly that state (value, tombstone flag and

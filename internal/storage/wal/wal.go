@@ -27,7 +27,32 @@
 // crashes, not power loss); Options.Fsync syncs every append for full
 // durability at a large throughput cost. Checkpoints always fsync and
 // rename, whatever the option, so a half-written checkpoint can never
-// replace a good one.
+// replace a good one. Checkpoints written by this version carry a
+// checksummed header (ckptMagic + CRC32-Castagnoli over the payload), so
+// at-rest checkpoint damage is detected exactly like frame damage; files
+// from before the header load unchecked.
+//
+// # Quarantine
+//
+// Corruption — damage that is provably not a torn tail — is scoped to the
+// shard it lives in, never to the directory. Open records the damage (a
+// *storage.CorruptError naming the file and byte offset) and keeps going:
+// healthy shards recover and serve normally, while the damaged shard
+// latches — appends and Compact return the corruption, and ReplayShard
+// streams the intact prefix before reporting it, so a caller keeps every
+// readable record. Checkpoint is the repair path: a fresh checkpoint holds
+// the shard's full state, so it truncates the damaged log and clears the
+// latch. VerifyShard is the scrub path: it re-reads a live shard's frames
+// and checkpoint against their checksums and latches on damage, demoting
+// bad sectors found long after Open.
+//
+// # Fault injection
+//
+// Options.Fault accepts a FaultInjector consulted before every physical
+// write, rollback truncation, fsync and checkpoint. internal/storage/faultfs
+// implements it with seeded, deterministic decisions — the disk-side
+// counterpart of the chaosnet network fabric — so crash-and-corruption
+// schedules replay exactly.
 package wal
 
 import (
@@ -35,9 +60,12 @@ import (
 	"errors"
 	"fmt"
 	"hash/crc32"
+	"io"
 	"io/fs"
 	"os"
 	"path/filepath"
+	"strconv"
+	"strings"
 	"sync"
 
 	"versionstamp/internal/encoding"
@@ -59,9 +87,42 @@ const maxRecordLen = 1 << 30
 var crcTable = crc32.MakeTable(crc32.Castagnoli)
 
 // ErrCorrupt reports log damage that cannot be a torn tail write — a bad
-// frame with intact frames after it, or a checksummed payload that does not
-// decode. Torn tails are repaired silently; corruption never is.
+// frame with intact frames after it, a checksummed payload that does not
+// decode, or a checkpoint failing its checksum. Torn tails are repaired
+// silently; corruption never is — it is scoped to its shard (see the
+// package comment on quarantine) and reported as a *storage.CorruptError
+// wrapping this sentinel.
 var ErrCorrupt = errors.New("wal: corrupt log")
+
+// ckptMagic heads checksummed checkpoint files: the magic, a big-endian
+// CRC32-Castagnoli of the payload, then the payload. Chosen to collide with
+// neither JSON ('{') nor the kvstore binary snapshot version byte, so
+// legacy headerless checkpoints sniff apart cleanly.
+const ckptMagic = "WCK1"
+
+// FaultInjector intercepts the WAL's physical operations, letting
+// internal/storage/faultfs inject deterministic disk faults under tests and
+// chaos scenarios. Every method is called with the shard's mutex held, so
+// per-shard call order is exactly operation order. Nil (the default) is a
+// healthy disk.
+type FaultInjector interface {
+	// Append is consulted before a frame write. Return (len(frame), nil) to
+	// let the whole frame land; (n, err) with 0 <= n < len(frame) lands only
+	// frame[:n] — a short write, ENOSPC mid-frame — and fails the append
+	// with err after the partial frame is on disk, exercising the rollback
+	// path. (0, err) is a clean failure with nothing written.
+	Append(shard int, frame []byte) (int, error)
+	// Truncate is consulted before the rollback truncation that removes a
+	// partial frame; an error simulates a rollback that cannot complete, so
+	// the shard latches read-only until a checkpoint or compact heals it.
+	Truncate(shard int) error
+	// Sync is consulted before an fsync; an error fails the append after its
+	// bytes landed (durability in doubt, frames intact).
+	Sync(shard int) error
+	// Checkpoint is consulted before a checkpoint write; an error fails the
+	// checkpoint before anything on disk is replaced.
+	Checkpoint(shard int, snapshot []byte) error
+}
 
 // Options configures a WAL.
 type Options struct {
@@ -69,6 +130,9 @@ type Options struct {
 	// then survive process crashes (the OS holds the bytes) but not power
 	// loss.
 	Fsync bool
+	// Fault, when non-nil, intercepts physical operations for deterministic
+	// fault injection (see FaultInjector and internal/storage/faultfs).
+	Fault FaultInjector
 }
 
 // WAL is the file-per-stripe backend. Safe for concurrent use; operations
@@ -76,7 +140,8 @@ type Options struct {
 type WAL struct {
 	dir   string
 	fsync bool
-	lock  *os.File // advisory directory lock, released by Close (or process death)
+	fault FaultInjector // nil = healthy disk
+	lock  *os.File      // advisory directory lock, released by Close (or process death)
 
 	mu     sync.Mutex
 	shards map[int]*walShard
@@ -88,14 +153,21 @@ type walShard struct {
 	f      *os.File // append handle, opened lazily
 	size   int64    // current log length, maintained so a partial write can be undone
 	failed error    // set when a partial frame could not be rolled back: shard read-only
+	// quar records proven corruption scoped to this shard: appends and
+	// Compact refuse with it, ReplayShard streams the intact prefix then
+	// reports it, and Checkpoint (whose snapshot supersedes the damaged
+	// bytes) clears it.
+	quar *storage.CorruptError
 }
 
 // Open prepares dir (creating it if needed), takes the directory's
 // advisory lock — two live processes appending to the same logs would
 // destroy each other's acknowledged writes — and recovers every existing
 // shard log: torn tail frames are truncated away here, once, so appends
-// can never land after garbage. The lock dies with the process; a crashed
-// owner never blocks the next Open.
+// can never land after garbage. Mid-log corruption does not fail the open:
+// the damaged shard is quarantined (file and byte offset recorded) and
+// every other shard recovers normally. The lock dies with the process; a
+// crashed owner never blocks the next Open.
 func Open(dir string, opts Options) (*WAL, error) {
 	if err := os.MkdirAll(dir, 0o755); err != nil {
 		return nil, fmt.Errorf("wal: %w", err)
@@ -104,19 +176,40 @@ func Open(dir string, opts Options) (*WAL, error) {
 	if err != nil {
 		return nil, err
 	}
-	w := &WAL{dir: dir, fsync: opts.Fsync, lock: lock, shards: make(map[int]*walShard)}
+	w := &WAL{dir: dir, fsync: opts.Fsync, fault: opts.Fault, lock: lock, shards: make(map[int]*walShard)}
 	logs, err := filepath.Glob(filepath.Join(dir, "shard-*.wal"))
 	if err != nil {
 		_ = w.unlock()
 		return nil, fmt.Errorf("wal: %w", err)
 	}
 	for _, path := range logs {
-		if err := recoverLog(path); err != nil {
+		off, err := recoverLog(path)
+		if err == nil {
+			continue
+		}
+		shard, ok := shardFromPath(path)
+		if !ok || !errors.Is(err, ErrCorrupt) {
+			// An unparsable name or a plain I/O failure is not shard-scoped
+			// damage; refuse the directory as before.
 			_ = w.unlock()
 			return nil, err
 		}
+		w.shards[shard] = &walShard{quar: &storage.CorruptError{
+			Shard: shard, Path: path, Offset: off, Err: err,
+		}}
 	}
 	return w, nil
+}
+
+// shardFromPath parses the shard index out of a shard-NNNN.wal path.
+func shardFromPath(path string) (int, bool) {
+	base := strings.TrimSuffix(filepath.Base(path), ".wal")
+	base = strings.TrimPrefix(base, "shard-")
+	n, err := strconv.Atoi(base)
+	if err != nil || n < 0 {
+		return 0, false
+	}
+	return n, true
 }
 
 func (w *WAL) unlock() error {
@@ -128,12 +221,57 @@ func (w *WAL) unlock() error {
 	return err
 }
 
-func (w *WAL) logPath(shard int) string {
-	return filepath.Join(w.dir, fmt.Sprintf("shard-%04d.wal", shard))
+// LogPath returns the shard's log file path under dir. Exported for fault
+// injectors and tools that damage or inspect logs from outside the WAL.
+func LogPath(dir string, shard int) string {
+	return filepath.Join(dir, fmt.Sprintf("shard-%04d.wal", shard))
 }
 
-func (w *WAL) ckptPath(shard int) string {
-	return filepath.Join(w.dir, fmt.Sprintf("shard-%04d.ckpt", shard))
+// CheckpointPath returns the shard's checkpoint file path under dir.
+func CheckpointPath(dir string, shard int) string {
+	return filepath.Join(dir, fmt.Sprintf("shard-%04d.ckpt", shard))
+}
+
+func (w *WAL) logPath(shard int) string  { return LogPath(w.dir, shard) }
+func (w *WAL) ckptPath(shard int) string { return CheckpointPath(w.dir, shard) }
+
+// corrupt quarantines sh with a damage report and returns it. Callers hold
+// sh.mu.
+func corrupt(sh *walShard, shard int, path string, off int64, err error) *storage.CorruptError {
+	var ce *storage.CorruptError
+	if errors.As(err, &ce) {
+		sh.quar = ce
+		return ce
+	}
+	ce = &storage.CorruptError{Shard: shard, Path: path, Offset: off, Err: err}
+	sh.quar = ce
+	return ce
+}
+
+// wrapCheckpoint prefixes payload with the checksummed checkpoint header.
+func wrapCheckpoint(payload []byte) []byte {
+	out := make([]byte, 0, len(ckptMagic)+4+len(payload))
+	out = append(out, ckptMagic...)
+	out = binary.BigEndian.AppendUint32(out, crc32.Checksum(payload, crcTable))
+	return append(out, payload...)
+}
+
+// unwrapCheckpoint strips and verifies the checkpoint header. Files without
+// the magic predate the header and load unchecked (their payload is still
+// sanity-checked by the snapshot decoder above).
+func unwrapCheckpoint(data []byte) ([]byte, error) {
+	if len(data) < len(ckptMagic) || string(data[:len(ckptMagic)]) != ckptMagic {
+		return data, nil
+	}
+	if len(data) < len(ckptMagic)+4 {
+		return nil, fmt.Errorf("%w: truncated checkpoint header", ErrCorrupt)
+	}
+	crc := binary.BigEndian.Uint32(data[len(ckptMagic):])
+	payload := data[len(ckptMagic)+4:]
+	if crc32.Checksum(payload, crcTable) != crc {
+		return nil, fmt.Errorf("%w: checkpoint checksum mismatch", ErrCorrupt)
+	}
+	return payload, nil
 }
 
 // shard returns (creating if needed) the per-shard state, with its mutex
@@ -194,12 +332,12 @@ func decodePayload(payload []byte) (storage.Record, error) {
 	}
 }
 
-// scanLog walks the frames of data, calling fn (when non-nil) for each
-// intact record, and returns the offset of the first byte that is not part
-// of an intact frame — len(data) for a clean log. A damaged frame that runs
-// to the end of data is a torn tail (valid stops before it); a damaged
-// frame with bytes after it is corruption.
-func scanLog(data []byte, fn func(storage.Record) error) (valid int, err error) {
+// scanLog walks the frames of data, calling fn (when non-nil) with each
+// intact record and its frame's byte offset, and returns the offset of the
+// first byte that is not part of an intact frame — len(data) for a clean
+// log. A damaged frame that runs to the end of data is a torn tail (valid
+// stops before it); a damaged frame with bytes after it is corruption.
+func scanLog(data []byte, fn func(off int, rec storage.Record) error) (valid int, err error) {
 	off := 0
 	for off < len(data) {
 		n, used := binary.Uvarint(data[off:])
@@ -231,7 +369,7 @@ func scanLog(data []byte, fn func(storage.Record) error) (valid int, err error) 
 			return off, fmt.Errorf("%w (offset %d)", err, off)
 		}
 		if fn != nil {
-			if err := fn(rec); err != nil {
+			if err := fn(off, rec); err != nil {
 				return off, err
 			}
 		}
@@ -241,38 +379,43 @@ func scanLog(data []byte, fn func(storage.Record) error) (valid int, err error) 
 }
 
 // recoverLog truncates path back to its last intact frame. Corruption
-// (damage that is provably not a torn tail) is returned, not repaired.
-func recoverLog(path string) error {
+// (damage that is provably not a torn tail) is returned, not repaired; the
+// returned offset is where the damage starts.
+func recoverLog(path string) (int64, error) {
 	data, err := os.ReadFile(path)
 	if err != nil {
 		if errors.Is(err, fs.ErrNotExist) {
-			return nil
+			return 0, nil
 		}
-		return fmt.Errorf("wal: %w", err)
+		return 0, fmt.Errorf("wal: %w", err)
 	}
 	valid, err := scanLog(data, nil)
 	if err != nil {
-		return err
+		return int64(valid), err
 	}
 	if valid < len(data) {
 		if err := os.Truncate(path, int64(valid)); err != nil {
-			return fmt.Errorf("wal: truncate torn tail: %w", err)
+			return int64(valid), fmt.Errorf("wal: truncate torn tail: %w", err)
 		}
 	}
-	return nil
+	return int64(valid), nil
 }
 
-// Append logs one record for the shard. A failed write is rolled back by
-// truncating the log to its pre-append length: without that, the partial
-// frame would sit between intact frames once later appends succeed, and
-// the next open would refuse the whole shard as corrupt instead of
-// recovering a torn tail.
+// Append logs one record for the shard. A failed or short write is rolled
+// back by truncating the log to its pre-append length: without that, the
+// partial frame would sit between intact frames once later appends succeed,
+// and the next open would refuse the shard as corrupt instead of recovering
+// a torn tail. A quarantined shard refuses appends outright — nothing may
+// land after damaged bytes.
 func (w *WAL) Append(shard int, rec storage.Record) error {
 	sh, err := w.shard(shard)
 	if err != nil {
 		return err
 	}
 	defer sh.mu.Unlock()
+	if sh.quar != nil {
+		return sh.quar
+	}
 	if sh.failed != nil {
 		return sh.failed
 	}
@@ -289,20 +432,57 @@ func (w *WAL) Append(shard int, rec storage.Record) error {
 		sh.f, sh.size = f, fi.Size()
 	}
 	frame := appendFrame(make([]byte, 0, 64), rec)
-	if _, err := sh.f.Write(frame); err != nil {
-		if terr := sh.f.Truncate(sh.size); terr != nil {
+	allow, injected := len(frame), error(nil)
+	if w.fault != nil {
+		allow, injected = w.fault.Append(shard, frame)
+		if allow < 0 {
+			allow = 0
+		}
+		if allow > len(frame) {
+			allow = len(frame)
+		}
+	}
+	var n int
+	var werr error
+	if allow > 0 {
+		n, werr = sh.f.Write(frame[:allow])
+	}
+	if werr == nil {
+		werr = injected
+	}
+	if werr != nil || n < len(frame) {
+		if werr == nil {
+			werr = io.ErrShortWrite
+		}
+		if n == 0 {
+			// Nothing landed; the log is exactly as it was.
+			return fmt.Errorf("wal: append shard %d: %w", shard, werr)
+		}
+		terr := error(nil)
+		if w.fault != nil {
+			terr = w.fault.Truncate(shard)
+		}
+		if terr == nil {
+			terr = sh.f.Truncate(sh.size)
+		}
+		if terr != nil {
 			// The partial frame cannot be removed, and appending after it
 			// would read as mid-log corruption on the next open. Latch the
 			// shard read-only; the next open recovers the torn tail.
-			sh.failed = fmt.Errorf("wal: shard %d latched after unremovable partial frame: %w", shard, err)
+			sh.failed = fmt.Errorf("wal: shard %d latched after unremovable partial frame: %w", shard, werr)
 			_ = sh.f.Close()
 			sh.f = nil
 			return sh.failed
 		}
-		return fmt.Errorf("wal: append shard %d: %w", shard, err)
+		return fmt.Errorf("wal: append shard %d: %w", shard, werr)
 	}
 	sh.size += int64(len(frame))
 	if w.fsync {
+		if w.fault != nil {
+			if err := w.fault.Sync(shard); err != nil {
+				return fmt.Errorf("wal: sync shard %d: %w", shard, err)
+			}
+		}
 		if err := sh.f.Sync(); err != nil {
 			return fmt.Errorf("wal: sync shard %d: %w", shard, err)
 		}
@@ -310,41 +490,68 @@ func (w *WAL) Append(shard int, rec storage.Record) error {
 	return nil
 }
 
-// ReplayShard streams the shard's checkpoint, then its log records.
+// ReplayShard streams the shard's checkpoint, then its log records. On a
+// damaged shard it still streams everything intact — the checkpoint if its
+// checksum holds, then every log frame before the damage — and only then
+// returns the *storage.CorruptError, so a caller keeps the readable prefix
+// and can quarantine the shard instead of losing it.
 func (w *WAL) ReplayShard(shard int, ckpt func([]byte) error, rec func(storage.Record) error) error {
 	sh, err := w.shard(shard)
 	if err != nil {
 		return err
 	}
 	defer sh.mu.Unlock()
-	if ckpt != nil {
-		snap, err := os.ReadFile(w.ckptPath(shard))
-		switch {
-		case err == nil:
-			if err := ckpt(snap); err != nil {
+	damage := sh.quar
+	snap, err := os.ReadFile(w.ckptPath(shard))
+	switch {
+	case err == nil:
+		payload, cerr := unwrapCheckpoint(snap)
+		if cerr != nil {
+			if damage == nil {
+				damage = corrupt(sh, shard, w.ckptPath(shard), 0, cerr)
+			}
+		} else if ckpt != nil {
+			if err := ckpt(payload); err != nil {
 				return err
 			}
-		case !errors.Is(err, fs.ErrNotExist):
-			return fmt.Errorf("wal: %w", err)
 		}
+	case !errors.Is(err, fs.ErrNotExist):
+		return fmt.Errorf("wal: %w", err)
 	}
 	data, err := os.ReadFile(w.logPath(shard))
 	if err != nil {
 		if errors.Is(err, fs.ErrNotExist) {
+			if damage != nil {
+				return damage
+			}
 			return nil
 		}
 		return fmt.Errorf("wal: %w", err)
 	}
-	valid, err := scanLog(data, rec)
+	valid, err := scanLog(data, func(_ int, r storage.Record) error {
+		if rec == nil {
+			return nil
+		}
+		return rec(r)
+	})
 	if err != nil {
-		return err
+		if !errors.Is(err, ErrCorrupt) {
+			return err // a rec callback error, not log damage
+		}
+		if damage == nil {
+			damage = corrupt(sh, shard, w.logPath(shard), int64(valid), err)
+		}
+		return damage
 	}
-	if valid < len(data) {
+	if valid < len(data) && sh.quar == nil {
 		// A torn tail can only appear here if the file was damaged after
 		// Open's recovery pass; repair it the same way.
 		if err := os.Truncate(w.logPath(shard), int64(valid)); err != nil {
 			return fmt.Errorf("wal: truncate torn tail: %w", err)
 		}
+	}
+	if damage != nil {
+		return damage
 	}
 	return nil
 }
@@ -352,15 +559,22 @@ func (w *WAL) ReplayShard(shard int, ckpt func([]byte) error, rec func(storage.R
 // Checkpoint atomically replaces the shard's checkpoint and truncates its
 // log. The snapshot lands via write-to-temp, fsync, rename, so a crash
 // leaves either the old checkpoint or the new one, never a torn file; the
-// log is truncated only after the rename is durable.
+// log is truncated only after the rename is durable. Checkpoint is also the
+// repair path: the snapshot supersedes whatever the damaged log held, so a
+// quarantined or latched shard comes back healthy.
 func (w *WAL) Checkpoint(shard int, snapshot []byte) error {
 	sh, err := w.shard(shard)
 	if err != nil {
 		return err
 	}
 	defer sh.mu.Unlock()
+	if w.fault != nil {
+		if err := w.fault.Checkpoint(shard, snapshot); err != nil {
+			return fmt.Errorf("wal: checkpoint shard %d: %w", shard, err)
+		}
+	}
 	path := w.ckptPath(shard)
-	if err := WriteFileAtomic(path, snapshot); err != nil {
+	if err := WriteFileAtomic(path, wrapCheckpoint(snapshot)); err != nil {
 		return err
 	}
 	if sh.f != nil {
@@ -371,19 +585,24 @@ func (w *WAL) Checkpoint(shard int, snapshot []byte) error {
 		return fmt.Errorf("wal: truncate log %d: %w", shard, err)
 	}
 	// The checkpoint holds everything the log did (and more): the log is
-	// empty again and a previously latched shard is healthy.
-	sh.size, sh.failed = 0, nil
+	// empty again and a previously latched or quarantined shard is healthy.
+	sh.size, sh.failed, sh.quar = 0, nil, nil
 	return nil
 }
 
 // Compact rewrites the shard's log keeping only the records replay still
-// needs (storage.CompactRecords), atomically via temp file and rename.
+// needs (storage.CompactRecords), atomically via temp file and rename. A
+// quarantined shard refuses — compaction would silently discard the damage
+// report; repair goes through Checkpoint.
 func (w *WAL) Compact(shard int) error {
 	sh, err := w.shard(shard)
 	if err != nil {
 		return err
 	}
 	defer sh.mu.Unlock()
+	if sh.quar != nil {
+		return sh.quar
+	}
 	data, err := os.ReadFile(w.logPath(shard))
 	if err != nil {
 		if errors.Is(err, fs.ErrNotExist) {
@@ -392,11 +611,11 @@ func (w *WAL) Compact(shard int) error {
 		return fmt.Errorf("wal: %w", err)
 	}
 	var records []storage.Record
-	if _, err := scanLog(data, func(r storage.Record) error {
+	if valid, err := scanLog(data, func(_ int, r storage.Record) error {
 		records = append(records, r)
 		return nil
 	}); err != nil {
-		return err
+		return corrupt(sh, shard, w.logPath(shard), int64(valid), err)
 	}
 	var out []byte
 	for _, r := range storage.CompactRecords(records) {
@@ -417,6 +636,77 @@ func (w *WAL) Compact(shard int) error {
 		}
 	}
 	return nil
+}
+
+// VerifyShard is the scrub path (storage.Verifier): it re-reads the shard's
+// checkpoint against its checksum and every log frame against its CRC,
+// without mutating anything. Damage quarantines the shard — a live stripe
+// demotes the moment a bad sector is found, not at the next restart — and
+// returns the *storage.CorruptError. A torn log tail is not damage (Open
+// and ReplayShard repair those silently); neither is a missing file.
+func (w *WAL) VerifyShard(shard int) error {
+	sh, err := w.shard(shard)
+	if err != nil {
+		return err
+	}
+	defer sh.mu.Unlock()
+	if sh.quar != nil {
+		return sh.quar
+	}
+	snap, err := os.ReadFile(w.ckptPath(shard))
+	switch {
+	case err == nil:
+		if _, cerr := unwrapCheckpoint(snap); cerr != nil {
+			return corrupt(sh, shard, w.ckptPath(shard), 0, cerr)
+		}
+	case !errors.Is(err, fs.ErrNotExist):
+		return fmt.Errorf("wal: %w", err)
+	}
+	data, err := os.ReadFile(w.logPath(shard))
+	if err != nil {
+		if errors.Is(err, fs.ErrNotExist) {
+			return nil
+		}
+		return fmt.Errorf("wal: %w", err)
+	}
+	if valid, err := scanLog(data, nil); err != nil {
+		return corrupt(sh, shard, w.logPath(shard), int64(valid), err)
+	}
+	return nil
+}
+
+// Quarantined returns the damage report of every quarantined shard, keyed
+// by shard index. Shards quarantine at Open (mid-log corruption), replay
+// (checkpoint damage) or scrub (VerifyShard on a live stripe).
+func (w *WAL) Quarantined() map[int]*storage.CorruptError {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	out := make(map[int]*storage.CorruptError)
+	for i, sh := range w.shards {
+		sh.mu.Lock()
+		if sh.quar != nil {
+			out[i] = sh.quar
+		}
+		sh.mu.Unlock()
+	}
+	return out
+}
+
+// FrameOffsets scans path's log and returns the byte offset of every intact
+// frame, oldest first — the targeting map for fault injectors that flip
+// bits in a chosen frame. Damage and torn tails are not errors here; only
+// the intact prefix's frames return.
+func FrameOffsets(path string) ([]int64, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var offs []int64
+	_, _ = scanLog(data, func(off int, _ storage.Record) error {
+		offs = append(offs, int64(off))
+		return nil
+	})
+	return offs, nil
 }
 
 // Close releases every append handle. It does not checkpoint.

@@ -175,6 +175,45 @@
 //     anti-entropy converges them to the revived owner anyway — the cap
 //     trades bounded handoff latency for a bounded queue.
 //
+// # Self-healing model
+//
+// Disk faults get the same treatment as network faults: injected
+// deterministically, contained narrowly, and repaired from redundancy the
+// stamps make safe. internal/storage/faultfs is the disk-side chaosnet —
+// every append failure, short write (ENOSPC mid-frame), failed rollback
+// truncation, fsync error, checkpoint failure, and at-rest bit flip is a
+// pure hash of (seed, stripe, operation, sequence), so a fault schedule
+// replays exactly. On top of that injection surface:
+//
+//   - Damage is scoped to the stripe, never the node. A WAL that finds
+//     mid-log corruption or a bad checkpoint checksum at open loads every
+//     healthy stripe and quarantines the damaged one, reporting the file
+//     and byte offset. A quarantined stripe keeps serving its (possibly
+//     incomplete) in-memory copy, refuses durable appends, is excluded
+//     from read quorums and write acknowledgments (it gets hints instead
+//     — a quarantined stripe cannot promise durability), and surfaces
+//     through PersistErr and the cluster's node status.
+//   - Rot is found while running, not at the next restart. Each ring
+//     round, every durable node re-verifies one stripe's at-rest bytes —
+//     frame CRCs and checkpoint checksums — and a failed verification
+//     demotes the live stripe to quarantine on the spot. A full sweep
+//     costs one stripe per round, so scrubbing is steady background load.
+//   - Repair is anti-entropy, because the stamps make it sound. A
+//     quarantined stripe is treated as maximally divergent: its holder
+//     exchanges with every live co-owner (the fan-out cap does not
+//     apply), and the stamp-arbitrated merges rebuild exactly the records
+//     the damage lost — dominance proves which copies are news, so
+//     rebuilding from R-1 peers cannot resurrect obsolete data or drop
+//     concurrent edits. When every exchange for the stripe succeeds, the
+//     holder re-checkpoints it (replacing the damaged log wholesale) and
+//     lifts the quarantine; the last repair clears PersistErr.
+//
+// The cycle is gated in CI twice over: cmd/benchscrub measures scrub
+// throughput and the round count of a one-stripe rebuild (BENCH_scrub.json)
+// and fails on any standing quarantine, and the disk-corrupt chaos scenario
+// (kill, flip a byte in a stripe's log, revive, repair from peers) must
+// converge deterministically with zero quarantined stripes at the end.
+//
 // Convergence under all of the above is measured, not hoped for:
 // cmd/benchconverge emits BENCH_convergence.json — one sim.ScenarioMetrics
 // document per scenario: rounds to convergence against the round budget,
