@@ -20,7 +20,13 @@
 //     stamp above -stampcap bytes (the paper's core cost metric);
 //
 //   - every scenario must end fully self-healed: zero quarantined stripes
-//     and zero standing persistence errors at the finish line.
+//     and zero standing persistence errors at the finish line;
+//
+//   - deletes must complete their lifecycle: every scenario must end with
+//     zero live tombstones (the GC proved propagation and discarded them),
+//     zero resurrections (no deleted key reads as present after the healed
+//     cluster converged), and — when the scenario issued deletes at all —
+//     a nonzero discard count, so the GC demonstrably ran.
 //
 //     benchconverge -seed 7 -out BENCH_convergence.json
 package main
@@ -110,6 +116,18 @@ func run(seed int64, rounds, stampcap int, short bool, out string, log io.Writer
 		if m.QuarantinedEnd != 0 || m.PersistErrsEnd != 0 {
 			return fmt.Errorf("gate: %s ended with %d quarantined stripes, %d nodes degraded",
 				m.Name, m.QuarantinedEnd, m.PersistErrsEnd)
+		}
+		// Tombstone lifecycle gate: a converged, healed run must have drained
+		// its tombstone ledger (the GC proved every delete replicated and
+		// discarded it) without resurrecting a single deleted key — and a
+		// scenario that deletes must actually have exercised the GC.
+		if m.TombstonesEnd != 0 || m.Resurrections != 0 {
+			return fmt.Errorf("gate: %s ended with %d live tombstones, %d resurrections",
+				m.Name, m.TombstonesEnd, m.Resurrections)
+		}
+		if m.Deletes > 0 && m.TombstonesDiscarded == 0 {
+			return fmt.Errorf("gate: %s issued %d deletes but the tombstone GC never discarded",
+				m.Name, m.Deletes)
 		}
 		report.Scenarios = append(report.Scenarios, m)
 	}

@@ -1,0 +1,253 @@
+// Command benchmem measures the memory footprint of a million-key durable
+// replica with value paging against a load-everything baseline in the SAME
+// process run, and emits the numbers as machine-readable JSON
+// (BENCH_mem.json) — the artifact CI tracks so memory regressions show up
+// as a diff rather than an OOM three PRs later.
+//
+// Two stores are built back to back from identical data: first a paged one
+// (per-key metadata resident, value bytes faulted through a sized cache),
+// then a conventional one holding every value on the heap. After each
+// store's closing checkpoint the live heap is sampled (GC'd HeapAlloc — an
+// RSS proxy that ignores the other store's freed garbage), and a Zipf hot
+// read loop measures the paging toll on read latency.
+//
+// The run doubles as a gate: it exits non-zero unless the paged heap stays
+// under 40% of the resident baseline and the hot-read p50 stays within 2x
+// of all-in-RAM reads.
+//
+//	benchmem -keys 1000000 -out BENCH_mem.json
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"math/rand"
+	"os"
+	"runtime"
+	"sort"
+	"sync"
+	"time"
+
+	"versionstamp/internal/kvstore"
+)
+
+// Report is the whole emitted document.
+type Report struct {
+	Keys       int   `json:"keys"`
+	ValueBytes int   `json:"valueBytes"`
+	CacheBytes int64 `json:"cacheBytes"`
+	Reads      int   `json:"reads"`
+
+	// Heap samples: GC'd HeapAlloc deltas over the process baseline.
+	PagedHeapBytes      uint64  `json:"pagedHeapBytes"`      // paged store, post-checkpoint
+	PagedHeapAfterReads uint64  `json:"pagedHeapAfterReads"` // same, after the hot-read loop warmed the cache
+	ResidentHeapBytes   uint64  `json:"residentHeapBytes"`   // load-everything baseline
+	HeapRatio           float64 `json:"heapRatio"`           // paged-after-reads / resident
+
+	// Hot Zipf read latency medians.
+	PagedReadP50Ns    int64   `json:"pagedReadP50Ns"`
+	ResidentReadP50Ns int64   `json:"residentReadP50Ns"`
+	ReadP50Ratio      float64 `json:"readP50Ratio"`
+
+	CacheHits   int64 `json:"cacheHits"`
+	CacheMisses int64 `json:"cacheMisses"`
+
+	GatesPassed bool `json:"gatesPassed"`
+}
+
+func main() {
+	keys := flag.Int("keys", 1_000_000, "distinct keys to load")
+	valueBytes := flag.Int("value-bytes", 64, "payload size per key")
+	cacheBytes := flag.Int64("cache-bytes", kvstore.DefaultCacheBytes, "paged read cache budget")
+	reads := flag.Int("reads", 200_000, "timed Zipf reads per store")
+	gate := flag.Bool("gate", true, "exit non-zero when a bound is missed")
+	out := flag.String("out", "BENCH_mem.json", `output path ("-" = stdout)`)
+	flag.Parse()
+	if err := run(*keys, *valueBytes, *cacheBytes, *reads, *gate, *out, os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "benchmem:", err)
+		os.Exit(1)
+	}
+}
+
+func run(keys, valueBytes int, cacheBytes int64, reads int, gate bool, out string, progress io.Writer) error {
+	if keys < 1 || valueBytes < 1 || reads < 1 {
+		return fmt.Errorf("need positive -keys, -value-bytes, -reads")
+	}
+	report := Report{Keys: keys, ValueBytes: valueBytes, CacheBytes: cacheBytes, Reads: reads}
+
+	// One Zipf read schedule, replayed against both stores so they serve
+	// byte-identical request streams.
+	schedule := make([]int, reads)
+	z := rand.NewZipf(rand.New(rand.NewSource(1)), 1.3, 4, uint64(keys-1))
+	for i := range schedule {
+		schedule[i] = int(z.Uint64())
+	}
+
+	base := heapBytes()
+
+	// Phase 1: the paged store. Load, checkpoint (hot values migrate to the
+	// cold index and leave the heap), sample, then read hot.
+	pagedDir, err := os.MkdirTemp("", "benchmem-paged-*")
+	if err != nil {
+		return err
+	}
+	defer os.RemoveAll(pagedDir)
+	paged, err := kvstore.Open(pagedDir, kvstore.Options{
+		Label: "paged", GroupCommit: true, Paged: true, CacheBytes: cacheBytes,
+	})
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(progress, "loading %d keys into the paged store...\n", keys)
+	if err := load(paged, keys, valueBytes); err != nil {
+		return err
+	}
+	if err := paged.Checkpoint(); err != nil {
+		return err
+	}
+	report.PagedHeapBytes = delta(heapBytes(), base)
+	if err := spotCheck(paged, keys, valueBytes); err != nil {
+		return fmt.Errorf("paged store diverges: %w", err)
+	}
+	report.PagedReadP50Ns = readP50(paged, schedule)
+	report.PagedHeapAfterReads = delta(heapBytes(), base)
+	st := paged.CacheStats()
+	report.CacheHits, report.CacheMisses = st.Hits, st.Misses
+	if err := paged.Close(); err != nil {
+		return err
+	}
+	paged = nil
+
+	// Phase 2: the load-everything baseline, same data, values resident.
+	base = heapBytes()
+	resDir, err := os.MkdirTemp("", "benchmem-resident-*")
+	if err != nil {
+		return err
+	}
+	defer os.RemoveAll(resDir)
+	resident, err := kvstore.Open(resDir, kvstore.Options{Label: "resident", GroupCommit: true})
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(progress, "loading %d keys into the resident baseline...\n", keys)
+	if err := load(resident, keys, valueBytes); err != nil {
+		return err
+	}
+	if err := resident.Checkpoint(); err != nil {
+		return err
+	}
+	report.ResidentHeapBytes = delta(heapBytes(), base)
+	report.ResidentReadP50Ns = readP50(resident, schedule)
+	if err := resident.Close(); err != nil {
+		return err
+	}
+
+	if report.ResidentHeapBytes > 0 {
+		report.HeapRatio = float64(report.PagedHeapAfterReads) / float64(report.ResidentHeapBytes)
+	}
+	if report.ResidentReadP50Ns > 0 {
+		report.ReadP50Ratio = float64(report.PagedReadP50Ns) / float64(report.ResidentReadP50Ns)
+	}
+	report.GatesPassed = report.HeapRatio < 0.40 && report.ReadP50Ratio <= 2.0
+
+	doc, err := json.MarshalIndent(report, "", "  ")
+	if err != nil {
+		return err
+	}
+	doc = append(doc, '\n')
+	if out == "-" {
+		if _, err := progress.Write(doc); err != nil {
+			return err
+		}
+	} else {
+		if err := os.WriteFile(out, doc, 0o644); err != nil {
+			return err
+		}
+		fmt.Fprintf(progress, "wrote %s (heap ratio %.2f, read p50 ratio %.2f)\n",
+			out, report.HeapRatio, report.ReadP50Ratio)
+	}
+	if gate && !report.GatesPassed {
+		return fmt.Errorf("gate: heap ratio %.2f (want < 0.40), read p50 ratio %.2f (want <= 2.0)",
+			report.HeapRatio, report.ReadP50Ratio)
+	}
+	return nil
+}
+
+func keyOf(i int) string { return fmt.Sprintf("key-%08d", i) }
+
+func valueOf(i, valueBytes int) []byte {
+	v := make([]byte, valueBytes)
+	for j := range v {
+		v[j] = byte('a' + (i+j)%26)
+	}
+	return v
+}
+
+// load writes the keyspace with 32 concurrent writers so group-commit
+// windows amortize over many appends — a single sequential writer would pay
+// one full commit window per Put.
+func load(r *kvstore.Replica, keys, valueBytes int) error {
+	const writers = 32
+	var wg sync.WaitGroup
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := w; i < keys; i += writers {
+				r.Put(keyOf(i), valueOf(i, valueBytes))
+			}
+		}(w)
+	}
+	wg.Wait()
+	return r.PersistErr()
+}
+
+// spotCheck faults a pseudo-random sample back in and compares payloads —
+// a paged store that pages in the wrong bytes must never produce a
+// benchmark number.
+func spotCheck(r *kvstore.Replica, keys, valueBytes int) error {
+	rng := rand.New(rand.NewSource(2))
+	for n := 0; n < 1000; n++ {
+		i := rng.Intn(keys)
+		got, ok := r.Get(keyOf(i))
+		if !ok || !bytes.Equal(got, valueOf(i, valueBytes)) {
+			return fmt.Errorf("key %s: got %d bytes, ok=%v", keyOf(i), len(got), ok)
+		}
+	}
+	return nil
+}
+
+// readP50 replays the Zipf schedule twice — once to warm, once timed — and
+// returns the median per-read latency of the timed pass.
+func readP50(r *kvstore.Replica, schedule []int) int64 {
+	for _, i := range schedule {
+		r.Get(keyOf(i))
+	}
+	lat := make([]int64, len(schedule))
+	for n, i := range schedule {
+		start := time.Now()
+		r.Get(keyOf(i))
+		lat[n] = time.Since(start).Nanoseconds()
+	}
+	sort.Slice(lat, func(a, b int) bool { return lat[a] < lat[b] })
+	return lat[len(lat)/2]
+}
+
+// heapBytes returns the live heap after a settling GC pass.
+func heapBytes() uint64 {
+	runtime.GC()
+	runtime.GC()
+	var ms runtime.MemStats
+	runtime.ReadMemStats(&ms)
+	return ms.HeapAlloc
+}
+
+func delta(now, base uint64) uint64 {
+	if now <= base {
+		return 0
+	}
+	return now - base
+}

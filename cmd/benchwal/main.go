@@ -19,9 +19,14 @@ import (
 	"io"
 	"os"
 	"path/filepath"
+	"sync"
 	"time"
 
+	"versionstamp/internal/core"
+	"versionstamp/internal/encoding"
 	"versionstamp/internal/kvstore"
+	"versionstamp/internal/storage"
+	"versionstamp/internal/storage/wal"
 )
 
 // Measurement is one phase's data point.
@@ -41,6 +46,10 @@ type Report struct {
 	Fsync      bool          `json:"fsync"`
 	Shards     int           `json:"shards"`
 	Results    []Measurement `json:"results"`
+
+	// GroupCommitSpeedup is acked appends/sec under group commit divided by
+	// appends/sec with a per-append fsync, both at 32 concurrent writers.
+	GroupCommitSpeedup float64 `json:"groupCommitSpeedup"`
 }
 
 func main() {
@@ -144,6 +153,45 @@ func run(ops, keys, valueBytes int, fsync bool, out string, progress io.Writer) 
 		TotalMs: float64(elapsed.Microseconds()) / 1000,
 	})
 
+	// Phase 5: group commit vs per-append fsync, 32 concurrent writers each
+	// blocking until their append is durable. Group commit's one-fsync-per-
+	// window must amortize to at least 5x the per-append-fsync rate; the
+	// "nothing acked before its window's fsync" half of the contract is
+	// enforced by the wal package's group-commit crash tests.
+	const writers = 32
+	perWriter := ops / writers
+	if perWriter < 1 {
+		perWriter = 1
+	}
+	if perWriter > 64 {
+		perWriter = 64 // per-append fsync at full -ops would take minutes
+	}
+	fsyncNs, err := concurrentAppends(wal.Options{Fsync: true}, writers, perWriter)
+	if err != nil {
+		return err
+	}
+	report.Results = append(report.Results, Measurement{
+		Op: "append-fsync-32w", Ops: writers * perWriter,
+		NsPerOp: fsyncNs,
+		TotalMs: fsyncNs * float64(writers*perWriter) / 1e6,
+	})
+	groupNs, err := concurrentAppends(wal.Options{GroupCommit: true}, writers, perWriter)
+	if err != nil {
+		return err
+	}
+	report.Results = append(report.Results, Measurement{
+		Op: "append-group-32w", Ops: writers * perWriter,
+		NsPerOp: groupNs,
+		TotalMs: groupNs * float64(writers*perWriter) / 1e6,
+	})
+	if groupNs > 0 {
+		report.GroupCommitSpeedup = fsyncNs / groupNs
+	}
+	if report.GroupCommitSpeedup < 5 {
+		return fmt.Errorf("gate: group commit speedup %.2fx at %d writers, want >= 5x",
+			report.GroupCommitSpeedup, writers)
+	}
+
 	doc, err := json.MarshalIndent(report, "", "  ")
 	if err != nil {
 		return err
@@ -156,8 +204,73 @@ func run(ops, keys, valueBytes int, fsync bool, out string, progress io.Writer) 
 	if err := os.WriteFile(out, doc, 0o644); err != nil {
 		return err
 	}
-	fmt.Fprintf(progress, "wrote %s (%d measurements)\n", out, len(report.Results))
+	fmt.Fprintf(progress, "wrote %s (%d measurements, group-commit speedup %.1fx)\n",
+		out, len(report.Results), report.GroupCommitSpeedup)
 	return nil
+}
+
+// concurrentAppends times `writers` goroutines each making `perWriter`
+// durable appends to a fresh WAL under opts, returning wall nanoseconds per
+// acked append. The reopened WAL is checked record for record: an append
+// that was acked but not recovered fails the measurement.
+func concurrentAppends(opts wal.Options, writers, perWriter int) (float64, error) {
+	dir, err := os.MkdirTemp("", "benchwal-gc-*")
+	if err != nil {
+		return 0, err
+	}
+	defer os.RemoveAll(dir)
+	w, err := wal.Open(dir, opts)
+	if err != nil {
+		return 0, err
+	}
+	stamp := core.Seed().Update()
+	var wg sync.WaitGroup
+	errs := make([]error, writers)
+	start := time.Now()
+	for i := 0; i < writers; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			shard := i % kvstore.DefaultShards
+			for j := 0; j < perWriter; j++ {
+				rec := storage.Record{Entry: encoding.Entry{
+					Key: fmt.Sprintf("w%02d-%04d", i, j), Value: []byte("x"), Stamp: stamp,
+				}}
+				if err := w.Append(shard, rec); err != nil {
+					errs[i] = err
+					return
+				}
+			}
+		}(i)
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+	for _, err := range errs {
+		if err != nil {
+			_ = w.Close()
+			return 0, err
+		}
+	}
+	if err := w.Close(); err != nil {
+		return 0, err
+	}
+	reopened, err := wal.Open(dir, opts)
+	if err != nil {
+		return 0, err
+	}
+	defer reopened.Close()
+	got := 0
+	for shard := 0; shard < kvstore.DefaultShards; shard++ {
+		err := reopened.ReplayShard(shard, func([]byte) error { return nil },
+			func(storage.Record) error { got++; return nil })
+		if err != nil {
+			return 0, err
+		}
+	}
+	if want := writers * perWriter; got != want {
+		return 0, fmt.Errorf("acked appends lost: recovered %d of %d", got, want)
+	}
+	return float64(elapsed.Nanoseconds()) / float64(writers*perWriter), nil
 }
 
 // verify compares two replicas key by key, stamps included — the gate that

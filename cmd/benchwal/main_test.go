@@ -25,7 +25,10 @@ func TestRunEmitsValidJSON(t *testing.T) {
 	if report.Ops != 2000 || report.Keys != 500 {
 		t.Fatalf("report = %d ops over %d keys", report.Ops, report.Keys)
 	}
-	want := map[string]bool{"append": false, "replay": false, "checkpoint": false, "restore": false}
+	want := map[string]bool{
+		"append": false, "replay": false, "checkpoint": false, "restore": false,
+		"append-fsync-32w": false, "append-group-32w": false,
+	}
 	for _, m := range report.Results {
 		if _, known := want[m.Op]; !known {
 			t.Errorf("unexpected measurement %q", m.Op)

@@ -36,6 +36,11 @@ type node struct {
 	hints   *hints.Queue
 	dataDir string
 	down    bool
+	// frozenHints is the node's queued-hint count sampled at Kill: a down
+	// node's queue is closed (durable) or unreadable-by-contract, but the
+	// hints it holds are still promised deliveries, so the tombstone GC must
+	// keep counting them. Reset on Revive (the reopened queue counts again).
+	frozenHints int
 }
 
 // divKey identifies one unit of divergence-bias state: an unordered node
@@ -96,6 +101,15 @@ type Cluster struct {
 	// wire accumulates per-node wire bytes (sent+received, both ends of
 	// every exchange) since the cluster started; WireBytes snapshots it.
 	wire []int64
+	// conf is the tombstone GC's propagation evidence: conf[{j, s, p}] = e
+	// records that owner j's stripe-s state as of j's stripe epoch e has
+	// been converged with co-owner p (a completed, conflict-free exchange
+	// between them, with e sampled before the exchange started). A tombstone
+	// whose ledger epoch is <= min over co-owners of this evidence is proven
+	// propagated ring-wide. Entries involving a node are cleared on its Kill
+	// and Revive (its epochs restart / its state may predate the evidence),
+	// and the whole map clears when any ring rebuilds (ownership moved).
+	conf map[confKey]uint64
 	// peerScratch and taskScratch are reused across GossipRound calls so a
 	// steady gossip loop does not allocate fresh selection slices per node
 	// per round.
@@ -273,26 +287,70 @@ func (c *Cluster) WireBytes() []int64 {
 	return append([]int64(nil), c.wire...)
 }
 
+// confKey identifies one unit of tombstone-GC evidence: what owner `node`
+// has proven propagated to co-owner `peer` for one stripe.
+type confKey struct {
+	node   int
+	stripe int
+	peer   int
+}
+
 // gossipTask is one scheduled exchange: node i initiates a round against
 // node j's server, whole-replica (stripe -1) or scoped to one stripe. The
 // endpoint fields are captured at scheduling time under the cluster lock,
-// so a concurrent Kill/Revive cannot race the worker's reads.
+// so a concurrent Kill/Revive cannot race the worker's reads. epochI/epochJ
+// are the two stripes' mutation epochs at scheduling time: if the exchange
+// completes without conflicts, each side's state as of its sampled epoch is
+// proven propagated to the other (sampling before the exchange makes the
+// claim conservative — later writes have later epochs).
 type gossipTask struct {
-	i, j   int
-	stripe int
-	rep    *kvstore.Replica
-	pool   *Pool
-	addr   string
+	i, j           int
+	stripe         int
+	rep            *kvstore.Replica
+	pool           *Pool
+	addr           string
+	epochI, epochJ uint64
 }
 
 // task builds a gossipTask from current node state. Caller holds mu (or is
 // a single-threaded test).
 func (c *Cluster) task(i, j, stripe int) gossipTask {
-	return gossipTask{
+	t := gossipTask{
 		i: i, j: j, stripe: stripe,
 		rep:  c.nodes[i].replica,
 		pool: c.nodes[i].pool,
 		addr: c.nodes[j].addr,
+	}
+	if stripe >= 0 {
+		t.epochI = c.nodes[i].replica.StripeEpoch(stripe)
+		t.epochJ = c.nodes[j].replica.StripeEpoch(stripe)
+	}
+	return t
+}
+
+// confRecord folds a completed conflict-free stripe exchange into the
+// tombstone GC's evidence map. Caller holds mu.
+func (c *Cluster) confRecord(i, j, stripe int, epochI, epochJ uint64) {
+	if c.conf == nil {
+		c.conf = make(map[confKey]uint64)
+	}
+	if k := (confKey{i, stripe, j}); c.conf[k] < epochI {
+		c.conf[k] = epochI
+	}
+	if k := (confKey{j, stripe, i}); c.conf[k] < epochJ {
+		c.conf[k] = epochJ
+	}
+}
+
+// confClearFor drops every evidence entry involving node index n — called
+// on Kill and Revive: a restarted replica's epochs restart, and a revived
+// node may hold state older than any recorded evidence about it. Caller
+// holds mu.
+func (c *Cluster) confClearFor(n int) {
+	for k := range c.conf {
+		if k.node == n || k.peer == n {
+			delete(c.conf, k)
+		}
 	}
 }
 
@@ -344,6 +402,14 @@ type RoundStats struct {
 	// StripesRepaired counts quarantined stripes rebuilt from their
 	// co-owners and re-checkpointed this round (ring mode).
 	StripesRepaired int
+	// TombstonesDiscarded counts tombstones the GC phase dropped this round
+	// across all owners — each one a delete whose propagation to every
+	// owner of its stripe was proven before its memory was reclaimed.
+	TombstonesDiscarded int
+	// TombstonesLive is the total tombstones still held across up nodes at
+	// the end of the round (ring mode) — a gauge, not a delta; it should
+	// fall to zero once deletes have propagated and the GC has caught up.
+	TombstonesLive int
 	// BytesPerNode is this round's wire bytes per node (both endpoints of
 	// an exchange are charged its full sent+received payload).
 	BytesPerNode []int64
@@ -604,6 +670,12 @@ func (c *Cluster) runChain(chain []gossipTask, stats *RoundStats, mu *sync.Mutex
 			// symmetric: a round reconciles both sides.
 			c.mu.Lock()
 			c.markDiv(t.i, t.j, t.stripe, moved+len(res.Conflicts) > 0)
+			if t.stripe >= 0 && len(res.Conflicts) == 0 {
+				// The two owners now agree on the stripe (no conflict was
+				// left standing), so each side's pre-exchange state is
+				// proven propagated to the other — tombstone GC evidence.
+				c.confRecord(t.i, t.j, t.stripe, t.epochI, t.epochJ)
+			}
 			c.wire[t.i] += bytes
 			c.wire[t.j] += bytes
 			c.mu.Unlock()

@@ -369,6 +369,12 @@ func (c *Cluster) ringRound(k int) (RoundStats, error) {
 				}
 				continue
 			}
+			if rg != nd.ring {
+				// Ownership moved: every piece of tombstone-GC evidence was
+				// gathered under the old placement, so none of it proves
+				// propagation to the stripes' new owner sets.
+				c.conf = nil
+			}
 			nd.ring = rg
 			nd.ringVer = v
 		}
@@ -491,8 +497,151 @@ func (c *Cluster) ringRound(k int) (RoundStats, error) {
 		}
 		stats.StripesQuarantined += len(nd.replica.Quarantined())
 	}
+
+	// Phase 7: tombstone GC. Discard tombstones whose propagation to every
+	// owner of their stripe the confirmation ledger has proven, so a
+	// discarded delete can never resurrect its key.
+	c.gcTombstonesLocked(&stats)
+	for _, nd := range c.nodes {
+		if !nd.down {
+			stats.TombstonesLive += nd.replica.TombstonesLive()
+		}
+	}
 	c.mu.Unlock()
 	return stats, firstErr
+}
+
+// gcTombstonesLocked is the ring round's tombstone GC phase. A tombstone
+// is memory that exists only to stop a slower copy of the key from
+// resurrecting it, so it may be reclaimed exactly when no slower copy can
+// exist — this phase discards a tombstone only once that is proven:
+//
+//   - No hints are queued anywhere (including the frozen counts of down
+//     nodes): a hint is a detached pre-delete copy that would reinstall the
+//     key at an owner whose tombstone is gone.
+//   - All up nodes agree on the ring (pointer equality — rings are shared
+//     via ringFor), so "the owners of stripe s" is well-defined.
+//   - Every owner of the stripe is up, un-quarantined, and in one partition
+//     group: a down or unreachable owner may hold a pre-delete copy of the
+//     key (in-memory nodes keep state across Kill), and a quarantined
+//     stripe's contents are incomplete mid-rebuild.
+//   - The key is currently a tombstone at every owner, and each owner's
+//     tombstone epoch is covered by that owner's confirmed-propagation
+//     evidence against every co-owner (see confRecord). Single-owner
+//     stripes (R == 1) need no evidence — there is no other copy to wait
+//     for, which is also what finally reclaims tombstones of keys deleted
+//     before ever replicating.
+//
+// Qualifying tombstones are discarded at every owner in the same locked
+// phase; DiscardTombstones re-checks each key's epoch so a racing re-delete
+// or revive is left alone. Known limitation: evidence resets wholesale on
+// ring growth (c.conf = nil above), so GC pauses until exchanges under the
+// new placement re-prove propagation — correct, just conservative.
+func (c *Cluster) gcTombstonesLocked(stats *RoundStats) {
+	if c.replication < 1 {
+		return
+	}
+	var base *node
+	for _, nd := range c.nodes {
+		if nd.down {
+			if nd.frozenHints > 0 {
+				return
+			}
+			continue
+		}
+		if nd.hints != nil && nd.hints.Len() > 0 {
+			return
+		}
+		if base == nil {
+			base = nd
+		} else if nd.ring != base.ring {
+			return
+		}
+	}
+	if base == nil {
+		return
+	}
+	for s := 0; s < c.stripes; s++ {
+		owners, err := base.ring.Owners(s)
+		if err != nil {
+			continue
+		}
+		idxs := make([]int, 0, len(owners))
+		ok := true
+		for _, oid := range owners {
+			j, known := c.index[oid]
+			if !known || c.nodes[j].down || c.nodes[j].replica.StripeQuarantined(s) ||
+				c.group[j] != c.group[c.index[owners[0]]] {
+				ok = false
+				break
+			}
+			idxs = append(idxs, j)
+		}
+		if !ok {
+			continue
+		}
+		// Each owner's tombstone ledger and the epoch up to which its state
+		// is proven propagated to every co-owner (~uint64(0) = no co-owners).
+		tombs := make([]map[string]uint64, len(idxs))
+		minConf := make([]uint64, len(idxs))
+		for x, j := range idxs {
+			tombs[x] = c.nodes[j].replica.Tombstones(s)
+			minConf[x] = ^uint64(0)
+			for _, p := range idxs {
+				if p == j {
+					continue
+				}
+				e, have := c.conf[confKey{j, s, p}]
+				if !have {
+					minConf[x] = 0
+					ok = false // no evidence at all: nothing here can qualify
+					break
+				}
+				if e < minConf[x] {
+					minConf[x] = e
+				}
+			}
+			if len(tombs[x]) == 0 {
+				ok = false // intersection is empty; skip the stripe cheaply
+			}
+		}
+		if !ok {
+			continue
+		}
+		// Candidates: tombstoned at every owner, each owner's tombstone
+		// epoch within that owner's proven-propagation horizon.
+		expect := make([]map[string]uint64, len(idxs))
+		any := false
+		for k, e0 := range tombs[0] {
+			if e0 > minConf[0] {
+				continue
+			}
+			qualifies := true
+			for x := 1; x < len(idxs); x++ {
+				e, held := tombs[x][k]
+				if !held || e > minConf[x] {
+					qualifies = false
+					break
+				}
+			}
+			if !qualifies {
+				continue
+			}
+			for x := range idxs {
+				if expect[x] == nil {
+					expect[x] = make(map[string]uint64)
+				}
+				expect[x][k] = tombs[x][k]
+			}
+			any = true
+		}
+		if !any {
+			continue
+		}
+		for x, j := range idxs {
+			stats.TombstonesDiscarded += c.nodes[j].replica.DiscardTombstones(s, expect[x])
+		}
+	}
 }
 
 // drainHintsLocked delivers queued hints whose target is up and judged
@@ -744,6 +893,13 @@ func (c *Cluster) Kill(i int) error {
 		return fmt.Errorf("antientropy: kill/revive needs a ring cluster")
 	}
 	nd.down = true
+	// Freeze the queued-hint count (the GC gate keeps counting a down
+	// node's undelivered hints) and drop propagation evidence involving
+	// the node — its post-revive state must be re-proven.
+	if nd.hints != nil {
+		nd.frozenHints = nd.hints.Len()
+	}
+	c.confClearFor(i)
 	_ = nd.pool.Close()
 	err := nd.server.Close()
 	if nd.dataDir != "" {
@@ -792,6 +948,8 @@ func (c *Cluster) Revive(i int) error {
 	}
 	nd.view.Refresh()
 	nd.down = false
+	nd.frozenHints = 0
+	c.confClearFor(i)
 	return nil
 }
 
@@ -876,7 +1034,11 @@ type NodeStatus struct {
 	// PersistErr is the node's standing durability degradation report
 	// (quarantine, ENOSPC, fsync failure...), empty when durability holds.
 	PersistErr string
-	Members    []MemberStatus
+	// TombstonesLive is the number of delete tombstones the node still
+	// holds — retained until the gossip rounds' GC phase proves each one
+	// propagated to every owner of its stripe.
+	TombstonesLive int
+	Members        []MemberStatus
 }
 
 // Status reports node i's identity, liveness, owned stripes, queued hints,
@@ -900,6 +1062,7 @@ func (c *Cluster) Status(i int) (NodeStatus, error) {
 		if pe := nd.replica.PersistErr(); pe != nil {
 			st.PersistErr = pe.Error()
 		}
+		st.TombstonesLive = nd.replica.TombstonesLive()
 	}
 	if nd.view != nil {
 		for _, id := range nd.view.Members() {

@@ -77,6 +77,67 @@ func AppendEntry(dst []byte, e Entry) []byte {
 	return AppendCompact(dst, e.Stamp)
 }
 
+// EntryValueOffset returns the byte offset of e's value bytes within the
+// encoding AppendEntry produces: past the uvarint key prefix, the key, the
+// flags byte and the uvarint value length. Meaningless for tombstones,
+// which encode no value field.
+func EntryValueOffset(e Entry) int {
+	return uvarintLen(uint64(len(e.Key))) + len(e.Key) + 1 + uvarintLen(uint64(len(e.Value)))
+}
+
+// uvarintLen is the encoded size of v as a uvarint.
+func uvarintLen(v uint64) int {
+	n := 1
+	for v >= 0x80 {
+		v >>= 7
+		n++
+	}
+	return n
+}
+
+// DecodeEntryMeta parses one entry from the front of data like DecodeEntry,
+// but does not copy the value bytes: the returned entry has a nil Value, and
+// valOff/valLen locate the value field within data (valOff = -1 for
+// tombstones, which encode none). This is the decoder of paged restarts —
+// the caller keeps keys, stamps and value locations resident and leaves the
+// bytes where they are.
+func DecodeEntryMeta(data []byte) (e Entry, valOff, valLen, used int, err error) {
+	key, off, err := decodeKey(data)
+	if err != nil {
+		return Entry{}, 0, 0, 0, fmt.Errorf("encoding: entry: %w", err)
+	}
+	if off >= len(data) {
+		return Entry{}, 0, 0, 0, fmt.Errorf("encoding: entry %q: truncated flags", key)
+	}
+	flags := data[off]
+	off++
+	e = Entry{Key: key}
+	valOff = -1
+	switch flags {
+	case entryFlagDeleted:
+		e.Deleted = true
+	case 0:
+		n, u := binary.Uvarint(data[off:])
+		if u <= 0 || n > maxValueLen {
+			return Entry{}, 0, 0, 0, fmt.Errorf("encoding: entry %q: bad value length", key)
+		}
+		off += u
+		if uint64(len(data)-off) < n {
+			return Entry{}, 0, 0, 0, fmt.Errorf("encoding: entry %q: truncated value", key)
+		}
+		valOff, valLen = off, int(n)
+		off += int(n)
+	default:
+		return Entry{}, 0, 0, 0, fmt.Errorf("encoding: entry %q: unknown flags 0x%02x", key, flags)
+	}
+	s, u, err := UnmarshalCompact(data[off:])
+	if err != nil {
+		return Entry{}, 0, 0, 0, fmt.Errorf("encoding: entry %q: %w", key, err)
+	}
+	e.Stamp = s
+	return e, valOff, valLen, off + u, nil
+}
+
 // DecodeEntry parses one entry from the front of data, returning the bytes
 // consumed.
 func DecodeEntry(data []byte) (Entry, int, error) {

@@ -6,6 +6,7 @@ import (
 	"fmt"
 	"sort"
 
+	"versionstamp/internal/core"
 	"versionstamp/internal/encoding"
 )
 
@@ -35,7 +36,7 @@ const maxSnapshotShards = 1 << 16
 // it back (sniffing the leading byte). It carries exactly the state of
 // Snapshot at a fraction of the bytes.
 func (r *Replica) SnapshotBinary() ([]byte, error) {
-	return r.snapshotBinary(-1), nil
+	return r.snapshotBinary(-1)
 }
 
 // SnapshotShardBinary serializes only stripe idx in the binary format.
@@ -43,10 +44,10 @@ func (r *Replica) SnapshotShardBinary(idx int) ([]byte, error) {
 	if idx < 0 || idx >= len(r.shards) {
 		return nil, fmt.Errorf("kvstore: shard %d out of range of %d", idx, len(r.shards))
 	}
-	return r.snapshotBinary(idx), nil
+	return r.snapshotBinary(idx)
 }
 
-func (r *Replica) snapshotBinary(idx int) []byte {
+func (r *Replica) snapshotBinary(idx int) ([]byte, error) {
 	var entries []encoding.Entry
 	for i := range r.shards {
 		if idx >= 0 && i != idx {
@@ -59,9 +60,30 @@ func (r *Replica) snapshotBinary(idx int) []byte {
 				Key: k, Value: v.Value, Deleted: v.Deleted, Stamp: v.Stamp,
 			})
 		}
+		if cs := sh.cold; cs != nil {
+			for x := 0; x < cs.count(); x++ {
+				if cs.dropped[x] {
+					continue
+				}
+				k := cs.key(x)
+				if _, shadowed := sh.data[k]; shadowed {
+					continue
+				}
+				e := encoding.Entry{Key: k, Deleted: cs.deleted[x], Stamp: cs.stamps[x]}
+				if !e.Deleted {
+					buf, err := r.coldValue(i, cs, x, k)
+					if err != nil {
+						sh.mu.RUnlock()
+						return nil, fmt.Errorf("kvstore: snapshot shard %d: %w", i, err)
+					}
+					e.Value = buf
+				}
+				entries = append(entries, e)
+			}
+		}
 		sh.mu.RUnlock()
 	}
-	return encodeBinarySnapshot(r.label, len(r.shards), entries)
+	return encodeBinarySnapshot(r.label, len(r.shards), entries), nil
 }
 
 // encodeBinarySnapshot builds the binary snapshot document from already
@@ -150,6 +172,62 @@ func decodeBinarySnapshot(data []byte) (label string, shards int, entries []enco
 	return label, int(shards64), entries, nil
 }
 
+// coldEntryMeta is one entry of a binary snapshot as the paged loader sees
+// it: metadata plus the value's location within the snapshot bytes (valOff
+// -1 for tombstones), never the value itself.
+type coldEntryMeta struct {
+	key     string
+	deleted bool
+	stamp   core.Stamp
+	valOff  int // offset of the value bytes within the snapshot, -1 if none
+	valLen  int
+}
+
+// decodeBinarySnapshotMeta walks a binary snapshot (data starts at the
+// already-verified version byte) calling fn per entry without copying any
+// value bytes — the decoder behind cold stripe indexes. Layout checks mirror
+// decodeBinarySnapshot.
+func decodeBinarySnapshotMeta(data []byte, fn func(coldEntryMeta) error) error {
+	off := 1
+	n, used := binary.Uvarint(data[off:])
+	if used <= 0 || n > 1<<16 {
+		return fmt.Errorf("kvstore: restore: bad label length")
+	}
+	off += used
+	if uint64(len(data)-off) < n {
+		return fmt.Errorf("kvstore: restore: truncated label")
+	}
+	off += int(n)
+	shards64, used := binary.Uvarint(data[off:])
+	if used <= 0 || shards64 > maxSnapshotShards {
+		return fmt.Errorf("kvstore: restore: bad shard count")
+	}
+	off += used
+	count, used := binary.Uvarint(data[off:])
+	if used <= 0 || count > maxSnapshotEntries {
+		return fmt.Errorf("kvstore: restore: bad entry count")
+	}
+	off += used
+	for i := uint64(0); i < count; i++ {
+		e, valOff, valLen, used, err := encoding.DecodeEntryMeta(data[off:])
+		if err != nil {
+			return fmt.Errorf("kvstore: restore entry %d: %w", i, err)
+		}
+		m := coldEntryMeta{key: e.Key, deleted: e.Deleted, stamp: e.Stamp, valOff: -1}
+		if valOff >= 0 {
+			m.valOff, m.valLen = off+valOff, valLen
+		}
+		off += used
+		if err := fn(m); err != nil {
+			return err
+		}
+	}
+	if off != len(data) {
+		return fmt.Errorf("kvstore: restore: %d trailing bytes", len(data)-off)
+	}
+	return nil
+}
+
 // capEntries bounds a wire-supplied entry count by the bytes present (every
 // encoded entry consumes at least one byte), so a hostile count prefix
 // cannot force a huge preallocation.
@@ -171,7 +249,11 @@ func restoreBinary(data []byte) (*Replica, error) {
 	}
 	r := NewReplicaShards(label, shards)
 	for _, e := range entries {
-		r.shardFor(e.Key).data[e.Key] = Versioned{Value: e.Value, Deleted: e.Deleted, Stamp: e.Stamp}
+		sh := r.shardFor(e.Key)
+		sh.data[e.Key] = Versioned{Value: e.Value, Deleted: e.Deleted, Stamp: e.Stamp}
+		if e.Deleted {
+			sh.tombs[e.Key] = 0
+		}
 	}
 	return r, nil
 }

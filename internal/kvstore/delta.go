@@ -167,18 +167,18 @@ func (r *Replica) DiffAgainst(peer []encoding.Digest, idx, of int) (Diff, error)
 		sh.mu.RLock()
 		switch {
 		case of == 0 || scoped:
-			localInScope += len(sh.data)
+			localInScope += sh.countLocked()
 		default:
 			// Foreign layout: in-scope local keys may live anywhere.
-			for k := range sh.data {
+			sh.eachMetaLocked(func(k string, _ bool, _ core.Stamp) {
 				if ShardIndex(k, of) == idx {
 					localInScope++
 				}
-			}
+			})
 		}
 		for _, pi := range group {
 			pd := &peer[pi]
-			v, ok := sh.data[pd.Key]
+			v, ok := sh.metaLocked(pd.Key)
 			if !ok {
 				d.Need = append(d.Need, pd.Key) // unknown here: the copy must travel
 				continue
@@ -259,6 +259,9 @@ func (r *Replica) ApplyDelta(peerDigest []encoding.Digest, peerEntries []encodin
 		stampOf[pd.Key] = pd.Stamp
 	}
 
+	// Registered before the locks so it runs after they release: group-commit
+	// barriers must never be awaited under stripe locks.
+	defer r.awaitDurable()
 	r.lockScope(idx, of)
 	defer r.unlockScope(idx, of)
 
@@ -273,20 +276,21 @@ func (r *Replica) ApplyDelta(peerDigest []encoding.Digest, peerEntries []encodin
 		if of > 0 && len(r.shards) == of && i != idx {
 			continue
 		}
-		for k := range r.shards[i].data {
+		r.shards[i].eachMetaLocked(func(k string, _ bool, _ core.Stamp) {
 			if of > 0 && ShardIndex(k, of) != idx {
-				continue
+				return
 			}
 			keys[k] = struct{}{}
-		}
+		})
 	}
 
 	var res SyncResult
 	var reply []encoding.Entry
 	var cmp core.Comparer // batch memo: digest stamps recur across keys
 	for _, k := range sortedKeys(keys) {
-		da := r.shardFor(k).data
-		local, hasLocal := da[k]
+		si := ShardIndex(k, len(r.shards))
+		sh := &r.shards[si]
+		local, hasLocal := sh.metaLocked(k)
 		pv, hasFull := full[k]
 		ps, hasDigest := stampOf[k]
 
@@ -322,8 +326,17 @@ func (r *Replica) ApplyDelta(peerDigest []encoding.Digest, peerEntries []encodin
 		default:
 			// Local-only key: syncKey transfers it, forking our stamp.
 		}
-		part, err := syncKey(k, da, db, resolve)
+		// The stamps could not prove equivalence, so syncKey needs the local
+		// copy resident (its value may transfer to the peer or feed the
+		// resolver). Converged keys never reach this line — paged rounds
+		// fault nothing while quiet.
+		if err := r.promoteLocked(si, k); err != nil {
+			sort.Strings(res.Conflicts)
+			return reply, res, err
+		}
+		part, err := syncKey(k, sh.data, db, resolve)
 		if part.Transferred+part.Reconciled+part.Merged > 0 {
+			sh.noteTombLocked(k)
 			r.logKey(k) // the local copy moved; persist before the locks drop
 		}
 		res.add(part)
@@ -370,7 +383,7 @@ func (r *Replica) ApplyDeltaReply(entries []encoding.Entry, sent map[string]core
 		si := ShardIndex(e.Key, len(r.shards))
 		sh := &r.shards[si]
 		sh.lockMut()
-		cur, has := sh.data[e.Key]
+		cur, has := sh.metaLocked(e.Key)
 		want, wasSent := sent[e.Key]
 		ok := (wasSent && has && cur.Stamp.Equal(want)) || (!wasSent && !has)
 		if ok {
@@ -380,11 +393,13 @@ func (r *Replica) ApplyDeltaReply(entries []encoding.Entry, sent map[string]core
 				Stamp:   e.Stamp,
 			}
 			sh.data[e.Key] = v
+			sh.noteTombLocked(e.Key)
 			r.logSet(si, e.Key, v)
 			applied++
 		}
 		sh.mu.Unlock()
 	}
+	r.awaitDurable()
 	return applied, nil
 }
 

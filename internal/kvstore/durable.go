@@ -8,8 +8,10 @@ import (
 	"os"
 	"path/filepath"
 	"sort"
+	"strings"
 
 	"versionstamp/internal/encoding"
+	"versionstamp/internal/pagecache"
 	"versionstamp/internal/storage"
 	"versionstamp/internal/storage/wal"
 )
@@ -33,6 +35,19 @@ type Options struct {
 	// Fsync syncs the log after every append. Off by default: writes then
 	// survive process crashes but not power loss.
 	Fsync bool
+	// GroupCommit coalesces fsyncs: appends stage their frames and block on
+	// a shared commit barrier, so many concurrent writers amortize one sync.
+	// Durability semantics are unchanged — no mutator returns before its
+	// window's fsync — only the fsync count drops. Implies Fsync-grade
+	// durability regardless of the Fsync flag.
+	GroupCommit bool
+	// Paged keeps only per-key metadata (stamp, tombstone flag, value
+	// location) resident for checkpointed entries; value bytes stay in the
+	// checkpoint files and fault in through a sized cache. Requires a
+	// backend implementing storage.Pager. See paged.go.
+	Paged bool
+	// CacheBytes bounds the paged read cache (0 = DefaultCacheBytes).
+	CacheBytes int64
 }
 
 // metaFile records the immutable facts of a data directory.
@@ -57,11 +72,11 @@ func Open(dir string, opts Options) (*Replica, error) {
 	if err != nil {
 		return nil, err
 	}
-	be, err := wal.Open(dir, wal.Options{Fsync: opts.Fsync})
+	be, err := wal.Open(dir, wal.Options{Fsync: opts.Fsync, GroupCommit: opts.GroupCommit})
 	if err != nil {
 		return nil, fmt.Errorf("kvstore: open %s: %w", dir, err)
 	}
-	r, err := OpenBackend(be, meta.Label, meta.Shards)
+	r, err := openBackend(be, meta.Label, meta.Shards, opts.Paged, opts.CacheBytes)
 	if err != nil {
 		_ = be.Close()
 		return nil, err
@@ -126,16 +141,44 @@ func loadOrInitMeta(dir string, opts Options) (metaDoc, error) {
 // it. Only corruption is tolerated this way; replay I/O failures still fail
 // the whole open.
 func OpenBackend(be storage.Backend, label string, shards int) (*Replica, error) {
+	return openBackend(be, label, shards, false, 0)
+}
+
+// OpenBackendPaged is OpenBackend with value paging enabled: the backend
+// must implement storage.Pager. Checkpointed entries keep only metadata
+// resident; see Options.Paged.
+func OpenBackendPaged(be storage.Backend, label string, shards int, cacheBytes int64) (*Replica, error) {
+	return openBackend(be, label, shards, true, cacheBytes)
+}
+
+func openBackend(be storage.Backend, label string, shards int, paged bool, cacheBytes int64) (*Replica, error) {
 	r := NewReplicaShards(label, shards)
+	if paged {
+		pager, ok := be.(storage.Pager)
+		if !ok {
+			return nil, fmt.Errorf("kvstore: paged replica needs a backend implementing storage.Pager, got %T", be)
+		}
+		if cacheBytes <= 0 {
+			cacheBytes = DefaultCacheBytes
+		}
+		r.paged, r.pager, r.cache = true, pager, pagecache.New(cacheBytes)
+	}
 	n := len(r.shards) // NewReplicaShards clamps to >= 1
 	damaged := make(map[int]error)
 	for i := 0; i < n; i++ {
 		sh := &r.shards[i]
 		err := be.ReplayShard(i,
-			func(snap []byte) error { return r.loadShardCheckpoint(i, snap) },
+			func(snap []byte) error {
+				if r.paged {
+					return r.loadShardCheckpointPaged(i, snap)
+				}
+				return r.loadShardCheckpoint(i, snap)
+			},
 			func(rec storage.Record) error {
 				if rec.Reset {
 					sh.data = make(map[string]Versioned)
+					sh.cold = nil
+					sh.tombs = make(map[string]uint64)
 					return nil
 				}
 				e := rec.Entry
@@ -144,6 +187,11 @@ func OpenBackend(be storage.Backend, label string, shards int) (*Replica, error)
 						i, e.Key, ShardIndex(e.Key, n))
 				}
 				sh.data[e.Key] = Versioned{Value: e.Value, Deleted: e.Deleted, Stamp: e.Stamp}
+				if e.Deleted {
+					sh.tombs[e.Key] = 0
+				} else {
+					delete(sh.tombs, e.Key)
+				}
 				return nil
 			})
 		if err != nil {
@@ -153,8 +201,23 @@ func OpenBackend(be storage.Backend, label string, shards int) (*Replica, error)
 			}
 			damaged[i] = err
 		}
+		if r.paged && sh.cold != nil {
+			// The checkpoint callback stored payload-relative value offsets
+			// (the region isn't known mid-replay); anchor them now.
+			gen, base := r.pager.CheckpointRegion(i)
+			cs := sh.cold
+			cs.gen, cs.base = gen, base
+			for x := range cs.offs {
+				if cs.lens[x] > 0 {
+					cs.offs[x] += base
+				}
+			}
+		}
 	}
 	r.backend = be
+	if ab, ok := be.(storage.AsyncBackend); ok {
+		r.asyncBE = ab
+	}
 	for i, err := range damaged {
 		r.QuarantineStripe(i, err)
 	}
@@ -187,6 +250,37 @@ func (r *Replica) loadShardCheckpoint(i int, snap []byte) error {
 				i, e.Key, ShardIndex(e.Key, len(r.shards)))
 		}
 		r.shards[i].data[e.Key] = Versioned{Value: e.Value, Deleted: e.Deleted, Stamp: e.Stamp}
+		if e.Deleted {
+			r.shards[i].tombs[e.Key] = 0
+		}
+	}
+	return nil
+}
+
+// loadShardCheckpointPaged installs a per-shard snapshot as a cold index:
+// keys, stamps, tombstone flags and value locations become resident, the
+// value bytes stay in the checkpoint file. Offsets are payload-relative
+// here; openBackend anchors them against the checkpoint region once the
+// replay returns.
+func (r *Replica) loadShardCheckpointPaged(i int, snap []byte) error {
+	if len(snap) == 0 {
+		return nil
+	}
+	if snap[0] != binarySnapshotVersion {
+		return &storage.CorruptError{Shard: i,
+			Err: fmt.Errorf("kvstore: shard %d checkpoint: not a binary snapshot", i)}
+	}
+	cs, err := buildColdStripe(i, len(r.shards), snap, 0, 0)
+	if err != nil {
+		return &storage.CorruptError{Shard: i,
+			Err: fmt.Errorf("kvstore: shard %d checkpoint: %w", i, err)}
+	}
+	sh := &r.shards[i]
+	sh.cold = cs
+	for x := 0; x < cs.count(); x++ {
+		if cs.deleted[x] {
+			sh.tombs[strings.Clone(cs.key(x))] = 0
+		}
 	}
 	return nil
 }
@@ -208,6 +302,9 @@ func (r *Replica) Checkpoint() error {
 	if r.backend == nil {
 		return nil
 	}
+	// Settle in-flight group-commit acks first, so a failed async append is
+	// reflected in the persistSeq sampled below rather than racing past it.
+	r.awaitDurable()
 	r.persistMu.Lock()
 	seq := r.persistSeq
 	r.persistMu.Unlock()
@@ -253,6 +350,9 @@ func (r *Replica) checkpointShard(i int) error {
 // identical checkpoint documents.
 func (r *Replica) checkpointShardLocked(i int) error {
 	sh := &r.shards[i]
+	if r.paged {
+		return r.checkpointShardPagedLocked(i)
+	}
 	entries := make([]encoding.Entry, 0, len(sh.data))
 	for k, v := range sh.data {
 		entries = append(entries, encoding.Entry{
@@ -260,6 +360,71 @@ func (r *Replica) checkpointShardLocked(i int) error {
 		})
 	}
 	return r.backend.Checkpoint(i, encodeBinarySnapshot(r.label, len(r.shards), entries))
+}
+
+// checkpointShardPagedLocked is the paged checkpoint: cold values are bulk
+// re-read from the current checkpoint payload (one read, not one fault per
+// key), merged with the hot overlay, and the stripe's memory drops to the
+// fresh cold index — after a checkpoint every value byte is pageable again.
+// A stripe whose hot map is empty and whose cold index is clean still
+// matches its on-disk checkpoint, so the rewrite is skipped entirely.
+func (r *Replica) checkpointShardPagedLocked(i int) error {
+	sh := &r.shards[i]
+	cs := sh.cold
+	if len(sh.data) == 0 && cs != nil && !cs.dirty {
+		if gen, _ := r.pager.CheckpointRegion(i); gen == cs.gen {
+			return nil
+		}
+	}
+	entries := make([]encoding.Entry, 0, sh.countLocked())
+	for k, v := range sh.data {
+		entries = append(entries, encoding.Entry{
+			Key: k, Value: v.Value, Deleted: v.Deleted, Stamp: v.Stamp,
+		})
+	}
+	if cs != nil {
+		var payload []byte
+		for x := 0; x < cs.count(); x++ {
+			if cs.dropped[x] {
+				continue
+			}
+			k := cs.key(x)
+			if _, shadowed := sh.data[k]; shadowed {
+				continue
+			}
+			e := encoding.Entry{Key: k, Deleted: cs.deleted[x], Stamp: cs.stamps[x]}
+			if !e.Deleted && cs.lens[x] > 0 {
+				if payload == nil {
+					var err error
+					payload, err = r.pager.CheckpointPayload(i, cs.gen)
+					if err != nil {
+						return err
+					}
+				}
+				off := cs.offs[x] - cs.base
+				end := off + int64(cs.lens[x])
+				if off < 0 || end > int64(len(payload)) {
+					return fmt.Errorf("value of %q at [%d,%d) outside checkpoint payload of %d bytes",
+						k, off, end, len(payload))
+				}
+				e.Value = payload[off:end]
+			}
+			entries = append(entries, e)
+		}
+	}
+	snap := encodeBinarySnapshot(r.label, len(r.shards), entries)
+	gen, base, err := r.pager.CheckpointLocate(i, snap)
+	if err != nil {
+		return err
+	}
+	ncs, err := buildColdStripe(i, len(r.shards), snap, gen, base)
+	if err != nil {
+		return err
+	}
+	sh.cold = ncs
+	sh.data = make(map[string]Versioned)
+	r.cache.InvalidateShard(i)
+	return nil
 }
 
 // Compact asks the backend to drop log records superseded within each

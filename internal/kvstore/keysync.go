@@ -31,13 +31,14 @@ func SyncKey(a, b *Replica, key string, resolve Resolver) (SyncResult, error) {
 	if !replicaBefore(a, b) {
 		first, second = sb, sa
 	}
+	// Registered first so the barrier drain runs after the locks release.
+	defer a.awaitDurable()
+	defer b.awaitDurable()
 	first.lockMut()
 	second.lockMut()
 	defer second.mu.Unlock()
 	defer first.mu.Unlock()
-	res, err := syncKey(key, sa.data, sb.data, resolve)
-	logSyncMutation(a, b, key, res)
-	return res, err
+	return syncKeyPromoted(a, b, key, resolve)
 }
 
 // ForkCopy forks the key's stamp and returns a detached copy carrying the
@@ -49,8 +50,13 @@ func SyncKey(a, b *Replica, key string, resolve Resolver) (SyncResult, error) {
 func (r *Replica) ForkCopy(key string) (Versioned, bool) {
 	si := ShardIndex(key, len(r.shards))
 	sh := &r.shards[si]
+	defer r.awaitDurable()
 	sh.lockMut()
 	defer sh.mu.Unlock()
+	if err := r.promoteLocked(si, key); err != nil {
+		r.notePersistErr(err)
+		return Versioned{}, false
+	}
 	v, ok := sh.data[key]
 	if !ok {
 		return Versioned{}, false
@@ -81,10 +87,14 @@ func (r *Replica) ForkCopy(key string) (Versioned, bool) {
 func (r *Replica) MergeVersioned(key string, in Versioned, resolve Resolver) (SyncResult, error) {
 	si := ShardIndex(key, len(r.shards))
 	sh := &r.shards[si]
+	defer r.awaitDurable()
 	sh.lockMut()
 	defer sh.mu.Unlock()
 	var res SyncResult
 
+	if err := r.promoteLocked(si, key); err != nil {
+		return res, err
+	}
 	local, ok := sh.data[key]
 	if !ok {
 		nv := Versioned{
@@ -93,6 +103,7 @@ func (r *Replica) MergeVersioned(key string, in Versioned, resolve Resolver) (Sy
 			Stamp:   in.Stamp,
 		}
 		sh.data[key] = nv
+		sh.noteTombLocked(key)
 		r.logSet(si, key, nv)
 		res.Transferred++
 		return res, nil
@@ -128,6 +139,7 @@ func (r *Replica) MergeVersioned(key string, in Versioned, resolve Resolver) (Sy
 			Stamp:   core.Seed().Update(),
 		}
 		sh.data[key] = nv
+		sh.noteTombLocked(key)
 		r.logSet(si, key, nv)
 		return res, nil
 	}
@@ -168,6 +180,7 @@ func (r *Replica) MergeVersioned(key string, in Versioned, resolve Resolver) (Sy
 		res.Merged++
 	}
 	sh.data[key] = nv
+	sh.noteTombLocked(key)
 	r.logSet(si, key, nv)
 	return res, nil
 }

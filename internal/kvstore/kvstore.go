@@ -49,6 +49,7 @@ import (
 
 	"versionstamp/internal/core"
 	"versionstamp/internal/encoding"
+	"versionstamp/internal/pagecache"
 	"versionstamp/internal/storage"
 )
 
@@ -101,6 +102,18 @@ func KeepBoth(sep []byte) Resolver {
 type shard struct {
 	mu   sync.RWMutex
 	data map[string]Versioned
+
+	// cold is the checkpoint-resident index of a paged stripe (nil
+	// otherwise): per-key metadata whose value bytes live in the checkpoint
+	// file, faulted in on demand. See paged.go. Keys in data shadow cold.
+	cold *coldStripe
+
+	// tombs maps every currently tombstoned key to the stripe epoch its
+	// tombstone was last (re-)established at — the ledger the stamp-safe
+	// tombstone GC reads. Maintained eagerly by every mutation path so
+	// paged stripes never need a scan to answer "which tombstones, since
+	// when".
+	tombs map[string]uint64
 
 	// epoch advances on every write-lock acquisition (conservatively: a
 	// locked stripe may have mutated). The summary cache below is keyed by
@@ -161,6 +174,20 @@ type Replica struct {
 	quarMu      sync.Mutex
 	quar        map[int]error
 	scrubCursor int
+
+	// Paged residency (see paged.go): pager re-reads value bytes the
+	// stripes dropped, cache bounds how many faulted values stay resident.
+	// All nil/false for ordinary replicas.
+	paged bool
+	pager storage.Pager
+	cache *pagecache.Cache
+
+	// asyncBE is the backend's group-commit surface when it has one; logSet
+	// stages appends through it and parks the durability barriers in
+	// pending, drained by awaitDurable after the stripe locks release.
+	asyncBE storage.AsyncBackend
+	pendMu  sync.Mutex
+	pending []func() error
 }
 
 // NewReplica creates an empty replica with a cosmetic label and
@@ -179,6 +206,7 @@ func NewReplicaShards(label string, n int) *Replica {
 	r := &Replica{label: label, shards: make([]shard, n)}
 	for i := range r.shards {
 		r.shards[i].data = make(map[string]Versioned)
+		r.shards[i].tombs = make(map[string]uint64)
 	}
 	return r
 }
@@ -221,10 +249,25 @@ func (r *Replica) logSet(si int, key string, v Versioned) {
 		// the quarantine.
 		return
 	}
-	err := r.backend.Append(si, storage.Record{Entry: encoding.Entry{
+	rec := storage.Record{Entry: encoding.Entry{
 		Key: key, Value: v.Value, Deleted: v.Deleted, Stamp: v.Stamp,
-	}})
-	if err != nil {
+	}}
+	if r.asyncBE != nil {
+		// Group commit: stage the append under the stripe lock (preserving
+		// log order) and park the durability barrier; the public mutator
+		// drains it after the lock releases, so many writers' appends share
+		// one fsync. Nothing is acknowledged before the barrier resolves.
+		wait, err := r.asyncBE.AppendAsync(si, rec)
+		if err != nil {
+			r.notePersistErr(err)
+			return
+		}
+		if wait != nil {
+			r.enqueueWait(wait)
+		}
+		return
+	}
+	if err := r.backend.Append(si, rec); err != nil {
 		r.notePersistErr(err)
 	}
 }
@@ -268,6 +311,8 @@ func logSyncMutation(a, b *Replica, key string, part SyncResult) {
 	if part.Transferred+part.Reconciled+part.Merged == 0 {
 		return
 	}
+	a.shardFor(key).noteTombLocked(key)
+	b.shardFor(key).noteTombLocked(key)
 	a.logKey(key)
 	b.logKey(key)
 }
@@ -300,6 +345,13 @@ func (r *Replica) Clone(label string) *Replica {
 	for i := range r.shards {
 		sh := &r.shards[i]
 		sh.lockMut()
+		// Forking mutates every key's stamp, so a paged stripe is promoted
+		// wholesale: after a Clone the source stripe is fully hot until its
+		// next checkpoint.
+		if err := r.promoteStripeLocked(i); err != nil {
+			r.notePersistErr(err)
+		}
+		ce := clone.shards[i].epoch.Load()
 		for k, v := range sh.data {
 			mine, theirs := v.Stamp.Fork()
 			v.Stamp = mine
@@ -309,22 +361,58 @@ func (r *Replica) Clone(label string) *Replica {
 			cv.Stamp = theirs
 			cv.Value = append([]byte(nil), v.Value...)
 			clone.shards[i].data[k] = cv
+			if cv.Deleted {
+				clone.shards[i].tombs[k] = ce
+			}
 		}
 		sh.mu.Unlock()
 	}
+	r.awaitDurable()
 	return clone
 }
 
 // Get returns the value of key. Tombstoned and missing keys report ok=false.
+//
+// The returned slice is immutable by contract and must not be modified: hot
+// reads hand out the stored buffer itself and paged reads hand out the page
+// cache's buffer, so a Get is zero-copy. Every mutation path installs a
+// freshly allocated value, so a buffer obtained here never changes under the
+// caller.
 func (r *Replica) Get(key string) (value []byte, ok bool) {
-	sh := r.shardFor(key)
+	si := ShardIndex(key, len(r.shards))
+	sh := &r.shards[si]
 	sh.mu.RLock()
-	defer sh.mu.RUnlock()
-	v, found := sh.data[key]
-	if !found || v.Deleted {
+	if v, found := sh.data[key]; found {
+		sh.mu.RUnlock()
+		if v.Deleted {
+			return nil, false
+		}
+		return v.Value, true
+	}
+	cs := sh.cold
+	if cs == nil {
+		sh.mu.RUnlock()
 		return nil, false
 	}
-	return append([]byte(nil), v.Value...), true
+	// Cache probe before the index: a hot key that is already faulted in
+	// skips the binary search entirely (see coldValue for why a name hit is
+	// always a current live value).
+	if buf, hit := r.cache.Lookup(pagecache.Key{Shard: si, Gen: cs.gen, Ckpt: true, Name: key}); hit {
+		sh.mu.RUnlock()
+		return buf, true
+	}
+	x := cs.find(key)
+	if x < 0 || cs.dropped[x] || cs.deleted[x] {
+		sh.mu.RUnlock()
+		return nil, false
+	}
+	buf, err := r.coldValue(si, cs, x, key)
+	sh.mu.RUnlock()
+	if err != nil {
+		r.notePersistErr(fmt.Errorf("kvstore: get %q (shard %d): %w", key, si, err))
+		return nil, false
+	}
+	return buf, true
 }
 
 // Put writes a value, recording an update on the key's stamp (seeding the
@@ -333,19 +421,32 @@ func (r *Replica) Put(key string, value []byte) {
 	si := ShardIndex(key, len(r.shards))
 	sh := &r.shards[si]
 	sh.lockMut()
-	defer sh.mu.Unlock()
-	r.logSet(si, key, putLocked(sh.data, key, value))
+	r.logSet(si, key, r.putLocked(si, key, value))
+	sh.mu.Unlock()
+	r.awaitDurable()
 }
 
-func putLocked(data map[string]Versioned, key string, value []byte) Versioned {
-	v, found := data[key]
+// putLocked applies one write to stripe si. The prior stamp is taken from
+// the hot map or, for paged stripes, the cold index — overwriting a paged
+// key never faults its old value in. Stripe write lock held.
+func (r *Replica) putLocked(si int, key string, value []byte) Versioned {
+	sh := &r.shards[si]
+	v, found := sh.data[key]
+	if !found {
+		if cs := sh.cold; cs != nil {
+			if x := cs.find(key); x >= 0 && !cs.dropped[x] {
+				v, found = Versioned{Deleted: cs.deleted[x], Stamp: cs.stamps[x]}, true
+			}
+		}
+	}
 	if !found {
 		v = Versioned{Stamp: core.Seed()}
 	}
 	v.Value = append([]byte(nil), value...)
 	v.Deleted = false
 	v.Stamp = v.Stamp.Update()
-	data[key] = v
+	sh.data[key] = v
+	delete(sh.tombs, key)
 	return v
 }
 
@@ -357,10 +458,12 @@ func (r *Replica) PutVersion(key string, v Versioned) {
 	si := ShardIndex(key, len(r.shards))
 	sh := &r.shards[si]
 	sh.lockMut()
-	defer sh.mu.Unlock()
 	v.Value = append([]byte(nil), v.Value...)
 	sh.data[key] = v
+	sh.noteTombLocked(key)
 	r.logSet(si, key, v)
+	sh.mu.Unlock()
+	r.awaitDurable()
 }
 
 // Delete tombstones a key. Deleting a key never seen at this replica is a
@@ -369,23 +472,37 @@ func (r *Replica) Delete(key string) bool {
 	si := ShardIndex(key, len(r.shards))
 	sh := &r.shards[si]
 	sh.lockMut()
-	defer sh.mu.Unlock()
-	v, ok := deleteLocked(sh.data, key)
+	v, ok := r.deleteLocked(si, key)
 	if ok {
 		r.logSet(si, key, v)
 	}
+	sh.mu.Unlock()
+	r.awaitDurable()
 	return ok
 }
 
-func deleteLocked(data map[string]Versioned, key string) (Versioned, bool) {
-	v, found := data[key]
+// deleteLocked tombstones key in stripe si, recording the delete in the
+// tombstone ledger at the current epoch. Like putLocked, the prior stamp may
+// come from the cold index without faulting the old value. Stripe write lock
+// held (epoch bumped by lockMut).
+func (r *Replica) deleteLocked(si int, key string) (Versioned, bool) {
+	sh := &r.shards[si]
+	v, found := sh.data[key]
+	if !found {
+		if cs := sh.cold; cs != nil {
+			if x := cs.find(key); x >= 0 && !cs.dropped[x] {
+				v, found = Versioned{Deleted: cs.deleted[x], Stamp: cs.stamps[x]}, true
+			}
+		}
+	}
 	if !found || v.Deleted {
 		return Versioned{}, false
 	}
 	v.Value = nil
 	v.Deleted = true
 	v.Stamp = v.Stamp.Update()
-	data[key] = v
+	sh.data[key] = v
+	sh.tombs[key] = sh.epoch.Load()
 	return v, true
 }
 
@@ -399,24 +516,44 @@ func (r *Replica) PutBatch(entries map[string][]byte) {
 		sh := &r.shards[group.shard]
 		sh.lockMut()
 		for _, k := range group.keys {
-			r.logSet(group.shard, k, putLocked(sh.data, k, entries[k]))
+			r.logSet(group.shard, k, r.putLocked(group.shard, k, entries[k]))
 		}
 		sh.mu.Unlock()
 	}
+	r.awaitDurable()
 }
 
 // GetBatch returns the live values of the given keys (missing and
 // tombstoned keys are absent from the result), taking each involved shard
-// lock exactly once.
+// lock exactly once. Like Get, the returned buffers are immutable by
+// contract — hot reads are zero-copy and paged reads share the page cache's
+// buffers.
 func (r *Replica) GetBatch(keys []string) map[string][]byte {
 	out := make(map[string][]byte, len(keys))
 	for _, group := range r.groupKeys(keys) {
 		sh := &r.shards[group.shard]
 		sh.mu.RLock()
 		for _, k := range group.keys {
-			if v, found := sh.data[k]; found && !v.Deleted {
-				out[k] = append([]byte(nil), v.Value...)
+			if v, found := sh.data[k]; found {
+				if !v.Deleted {
+					out[k] = v.Value
+				}
+				continue
 			}
+			cs := sh.cold
+			if cs == nil {
+				continue
+			}
+			x := cs.find(k)
+			if x < 0 || cs.dropped[x] || cs.deleted[x] {
+				continue
+			}
+			buf, err := r.coldValue(group.shard, cs, x, k)
+			if err != nil {
+				r.notePersistErr(fmt.Errorf("kvstore: get %q (shard %d): %w", k, group.shard, err))
+				continue
+			}
+			out[k] = buf
 		}
 		sh.mu.RUnlock()
 	}
@@ -431,13 +568,14 @@ func (r *Replica) DeleteBatch(keys []string) int {
 		sh := &r.shards[group.shard]
 		sh.lockMut()
 		for _, k := range group.keys {
-			if v, ok := deleteLocked(sh.data, k); ok {
+			if v, ok := r.deleteLocked(group.shard, k); ok {
 				r.logSet(group.shard, k, v)
 				n++
 			}
 		}
 		sh.mu.Unlock()
 	}
+	r.awaitDurable()
 	return n
 }
 
@@ -473,16 +611,33 @@ func keysOf(m map[string][]byte) []string {
 }
 
 // Version returns the stored copy of a key including its stamp and
-// tombstone state.
+// tombstone state. Unlike Get, the returned value is the caller's own copy.
 func (r *Replica) Version(key string) (Versioned, bool) {
-	sh := r.shardFor(key)
+	si := ShardIndex(key, len(r.shards))
+	sh := &r.shards[si]
 	sh.mu.RLock()
 	defer sh.mu.RUnlock()
-	v, found := sh.data[key]
-	if !found {
+	if v, found := sh.data[key]; found {
+		v.Value = append([]byte(nil), v.Value...)
+		return v, true
+	}
+	cs := sh.cold
+	if cs == nil {
 		return Versioned{}, false
 	}
-	v.Value = append([]byte(nil), v.Value...)
+	x := cs.find(key)
+	if x < 0 || cs.dropped[x] {
+		return Versioned{}, false
+	}
+	v := Versioned{Deleted: cs.deleted[x], Stamp: cs.stamps[x]}
+	if !v.Deleted {
+		buf, err := r.coldValue(si, cs, x, key)
+		if err != nil {
+			r.notePersistErr(fmt.Errorf("kvstore: version %q (shard %d): %w", key, si, err))
+			return Versioned{}, false
+		}
+		v.Value = append([]byte(nil), buf...)
+	}
 	return v, true
 }
 
@@ -492,9 +647,9 @@ func (r *Replica) Keys() []string {
 	for i := range r.shards {
 		sh := &r.shards[i]
 		sh.mu.RLock()
-		for k := range sh.data {
+		sh.eachMetaLocked(func(k string, _ bool, _ core.Stamp) {
 			out = append(out, k)
-		}
+		})
 		sh.mu.RUnlock()
 	}
 	sort.Strings(out)
@@ -507,11 +662,11 @@ func (r *Replica) Len() int {
 	for i := range r.shards {
 		sh := &r.shards[i]
 		sh.mu.RLock()
-		for _, v := range sh.data {
-			if !v.Deleted {
+		sh.eachMetaLocked(func(_ string, deleted bool, _ core.Stamp) {
+			if !deleted {
 				n++
 			}
-		}
+		})
 		sh.mu.RUnlock()
 	}
 	return n
@@ -538,6 +693,10 @@ type SyncResult struct {
 	// anti-entropy layer fills them in.
 	BytesSent     int64 `json:"BytesSent,omitempty"`
 	BytesReceived int64 `json:"BytesReceived,omitempty"`
+	// TombstonesLive counts keys that remained tombstones after convergence
+	// — the deletes still waiting on the tombstone GC. Informational, like
+	// Pruned; only full in-process sync paths count it.
+	TombstonesLive int `json:"TombstonesLive,omitempty"`
 	// Conflicts lists conflicting keys left untouched (nil resolver),
 	// sorted.
 	Conflicts []string
@@ -552,6 +711,7 @@ func (r *SyncResult) add(o SyncResult) {
 	r.StripesSkipped += o.StripesSkipped
 	r.BytesSent += o.BytesSent
 	r.BytesReceived += o.BytesReceived
+	r.TombstonesLive += o.TombstonesLive
 	r.Conflicts = append(r.Conflicts, o.Conflicts...)
 }
 
@@ -590,6 +750,8 @@ func Sync(a, b *Replica, resolve Resolver) (SyncResult, error) {
 	} else {
 		res, err = syncGlobal(a, b, resolve)
 	}
+	a.awaitDurable()
+	b.awaitDurable()
 	sort.Strings(res.Conflicts)
 	return res, err
 }
@@ -662,14 +824,13 @@ func syncGlobal(a, b *Replica, resolve Resolver) (SyncResult, error) {
 	keys := map[string]struct{}{}
 	for _, r := range []*Replica{a, b} {
 		for i := range r.shards {
-			for k := range r.shards[i].data {
+			r.shards[i].eachMetaLocked(func(k string, _ bool, _ core.Stamp) {
 				keys[k] = struct{}{}
-			}
+			})
 		}
 	}
 	for _, k := range sortedKeys(keys) {
-		part, err := syncKey(k, a.shardFor(k).data, b.shardFor(k).data, resolve)
-		logSyncMutation(a, b, k, part)
+		part, err := syncKeyPromoted(a, b, k, resolve)
 		res.add(part)
 		if err != nil {
 			return res, err
@@ -686,6 +847,13 @@ func syncGlobal(a, b *Replica, resolve Resolver) (SyncResult, error) {
 // locked; otherwise all its stripes are (the matching keys may live
 // anywhere).
 func SyncShard(a, b *Replica, resolve Resolver, idx, of int) (SyncResult, error) {
+	res, err := syncShard(a, b, resolve, idx, of)
+	a.awaitDurable()
+	b.awaitDurable()
+	return res, err
+}
+
+func syncShard(a, b *Replica, resolve Resolver, idx, of int) (SyncResult, error) {
 	if a == b {
 		return SyncResult{}, fmt.Errorf("kvstore: sync of a replica with itself")
 	}
@@ -714,18 +882,17 @@ func SyncShard(a, b *Replica, resolve Resolver, idx, of int) (SyncResult, error)
 			if len(r.shards) == of && i != idx {
 				continue
 			}
-			for k := range r.shards[i].data {
+			r.shards[i].eachMetaLocked(func(k string, _ bool, _ core.Stamp) {
 				if ShardIndex(k, of) == idx {
 					keys[k] = struct{}{}
 				}
-			}
+			})
 		}
 	}
 	var err error
 	for _, k := range sortedKeys(keys) {
 		var part SyncResult
-		part, err = syncKey(k, a.shardFor(k).data, b.shardFor(k).data, resolve)
-		logSyncMutation(a, b, k, part)
+		part, err = syncKeyPromoted(a, b, k, resolve)
 		res.add(part)
 		if err != nil {
 			break
@@ -747,24 +914,59 @@ func sortedKeys(set map[string]struct{}) []string {
 // syncStripePair reconciles the union of stripe i of two same-layout
 // replicas. Both stripes' write locks must be held.
 func syncStripePair(a, b *Replica, i int, resolve Resolver) (SyncResult, error) {
-	da, db := a.shards[i].data, b.shards[i].data
-	keys := make(map[string]struct{}, len(da)+len(db))
-	for k := range da {
-		keys[k] = struct{}{}
-	}
-	for k := range db {
-		keys[k] = struct{}{}
-	}
+	sa, sb := &a.shards[i], &b.shards[i]
+	keys := make(map[string]struct{}, sa.countLocked()+sb.countLocked())
+	collect := func(k string, _ bool, _ core.Stamp) { keys[k] = struct{}{} }
+	sa.eachMetaLocked(collect)
+	sb.eachMetaLocked(collect)
 	var res SyncResult
 	for _, k := range sortedKeys(keys) {
-		part, err := syncKey(k, da, db, resolve)
-		logSyncMutation(a, b, k, part)
+		part, err := syncKeyPromoted(a, b, k, resolve)
 		res.add(part)
 		if err != nil {
 			return res, err
 		}
 	}
 	return res, nil
+}
+
+// syncKeyPromoted converges one key between two replicas whose relevant
+// stripe write locks are held: the shared front door of every in-process
+// sync path. Copies whose metadata already proves them equivalent are left
+// alone without faulting any paged value; otherwise both sides promote the
+// key into their hot maps (faulting cold values in) and the raw-map syncKey
+// runs as it always has.
+func syncKeyPromoted(a, b *Replica, key string, resolve Resolver) (SyncResult, error) {
+	sia, sib := ShardIndex(key, len(a.shards)), ShardIndex(key, len(b.shards))
+	sa, sb := &a.shards[sia], &b.shards[sib]
+	va, okA := sa.metaLocked(key)
+	vb, okB := sb.metaLocked(key)
+	if !okA && !okB {
+		return SyncResult{}, nil
+	}
+	// Converged fast path: both copies exist, their ids are disjoint (a
+	// genuine forked pair — overlapping ids mean independent origins, which
+	// need the full reconcile below) and the stamps are causally equal.
+	// reconcileKey would return outcomeNoop without touching either value,
+	// so neither side needs its value promoted out of the cold index.
+	if okA && okB && va.Deleted == vb.Deleted &&
+		va.Stamp.IDName().IncomparableTo(vb.Stamp.IDName()) &&
+		core.Compare(va.Stamp, vb.Stamp) == core.Equal {
+		var res SyncResult
+		if va.Deleted {
+			res.TombstonesLive++
+		}
+		return res, nil
+	}
+	if err := a.promoteLocked(sia, key); err != nil {
+		return SyncResult{}, err
+	}
+	if err := b.promoteLocked(sib, key); err != nil {
+		return SyncResult{}, err
+	}
+	res, err := syncKey(key, sa.data, sb.data, resolve)
+	logSyncMutation(a, b, key, res)
+	return res, err
 }
 
 // syncKey converges one key across two raw shard maps (locks held). The
@@ -817,6 +1019,9 @@ func syncKey(k string, da, db map[string]Versioned, resolve Resolver) (SyncResul
 		}
 		da[k] = va
 		db[k] = vb
+	}
+	if v, ok := da[k]; ok && v.Deleted {
+		res.TombstonesLive++
 	}
 	return res, nil
 }
@@ -965,7 +1170,10 @@ type snapshotDoc struct {
 // Together they support crash/restart testing. Each stripe is read
 // atomically; the snapshot is a per-key-consistent view.
 func (r *Replica) Snapshot() ([]byte, error) {
-	entries := r.collectEntries(-1)
+	entries, err := r.collectEntries(-1)
+	if err != nil {
+		return nil, err
+	}
 	return json.Marshal(snapshotDoc{Label: r.label, Shards: len(r.shards), Entries: entries})
 }
 
@@ -975,13 +1183,18 @@ func (r *Replica) SnapshotShard(idx int) ([]byte, error) {
 	if idx < 0 || idx >= len(r.shards) {
 		return nil, fmt.Errorf("kvstore: shard %d out of range of %d", idx, len(r.shards))
 	}
-	entries := r.collectEntries(idx)
+	entries, err := r.collectEntries(idx)
+	if err != nil {
+		return nil, err
+	}
 	return json.Marshal(snapshotDoc{Label: r.label, Shards: len(r.shards), Entries: entries})
 }
 
 // collectEntries gathers sorted entries from stripe idx, or from all
-// stripes when idx is negative.
-func (r *Replica) collectEntries(idx int) []snapshotEntry {
+// stripes when idx is negative. Paged stripes fault their cold values in
+// (through the cache, without promoting them) — a snapshot is a full copy
+// by definition.
+func (r *Replica) collectEntries(idx int) ([]snapshotEntry, error) {
 	var entries []snapshotEntry
 	for i := range r.shards {
 		if idx >= 0 && i != idx {
@@ -994,10 +1207,31 @@ func (r *Replica) collectEntries(idx int) []snapshotEntry {
 				Key: k, Value: v.Value, Deleted: v.Deleted, Stamp: v.Stamp.String(),
 			})
 		}
+		if cs := sh.cold; cs != nil {
+			for x := 0; x < cs.count(); x++ {
+				if cs.dropped[x] {
+					continue
+				}
+				k := cs.key(x)
+				if _, shadowed := sh.data[k]; shadowed {
+					continue
+				}
+				e := snapshotEntry{Key: k, Deleted: cs.deleted[x], Stamp: cs.stamps[x].String()}
+				if !e.Deleted {
+					buf, err := r.coldValue(i, cs, x, k)
+					if err != nil {
+						sh.mu.RUnlock()
+						return nil, fmt.Errorf("kvstore: snapshot shard %d: %w", i, err)
+					}
+					e.Value = buf
+				}
+				entries = append(entries, e)
+			}
+		}
 		sh.mu.RUnlock()
 	}
 	sort.Slice(entries, func(a, b int) bool { return entries[a].Key < entries[b].Key })
-	return entries
+	return entries, nil
 }
 
 // Adopt replaces this replica's entire contents with the snapshot's,
@@ -1015,6 +1249,7 @@ func (r *Replica) Adopt(snapshot []byte) error {
 	}
 	for i := range r.shards {
 		r.shards[i].data = make(map[string]Versioned)
+		r.shards[i].cold = nil // wholesale replacement: the old checkpoint index dies
 	}
 	for i := range restored.shards {
 		for k, v := range restored.shards[i].data {
@@ -1022,6 +1257,10 @@ func (r *Replica) Adopt(snapshot []byte) error {
 		}
 	}
 	for i := range r.shards {
+		r.shards[i].rebuildTombsLocked()
+		if r.cache != nil {
+			r.cache.InvalidateShard(i)
+		}
 		r.logAdopt(i)
 	}
 	return nil
@@ -1064,6 +1303,11 @@ func (r *Replica) AdoptShard(idx int, snapshot []byte) error {
 	sh.lockMut()
 	defer sh.mu.Unlock()
 	sh.data = data
+	sh.cold = nil
+	sh.rebuildTombsLocked()
+	if r.cache != nil {
+		r.cache.InvalidateShard(idx)
+	}
 	r.logAdopt(idx)
 	return nil
 }
@@ -1094,7 +1338,11 @@ func Restore(data []byte) (*Replica, error) {
 		if err != nil {
 			return nil, fmt.Errorf("kvstore: restore %q: %w", e.Key, err)
 		}
-		r.shardFor(e.Key).data[e.Key] = Versioned{Value: e.Value, Deleted: e.Deleted, Stamp: st}
+		sh := r.shardFor(e.Key)
+		sh.data[e.Key] = Versioned{Value: e.Value, Deleted: e.Deleted, Stamp: st}
+		if e.Deleted {
+			sh.tombs[e.Key] = 0
+		}
 	}
 	return r, nil
 }

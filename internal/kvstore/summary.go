@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"sort"
 
+	"versionstamp/internal/core"
 	"versionstamp/internal/encoding"
 )
 
@@ -34,10 +35,10 @@ func (r *Replica) stripeCache(i int) (uint64, []encoding.Digest) {
 		sh.mu.RUnlock()
 		return sum, ds
 	}
-	ds := make([]encoding.Digest, 0, len(sh.data))
-	for k, v := range sh.data {
-		ds = append(ds, encoding.Digest{Key: k, Stamp: v.Stamp})
-	}
+	ds := make([]encoding.Digest, 0, sh.countLocked())
+	sh.eachMetaLocked(func(k string, _ bool, st core.Stamp) {
+		ds = append(ds, encoding.Digest{Key: k, Stamp: st})
+	})
 	sh.mu.RUnlock()
 	// Sorting and hashing happen outside the stripe lock: the snapshot is
 	// already taken, and a writer that sneaks in meanwhile bumped the epoch

@@ -1,0 +1,276 @@
+// Package pagecache is the admission cache between the replica's read path
+// and the WAL's point reads. A paged replica keeps only key → (stamp,
+// location) resident; the value bytes live in the shard's log or checkpoint
+// file and are faulted in on demand. This cache bounds how many of those
+// faulted values stay in RAM: a sharded LRU with a byte budget, singleflight
+// fills so a hot key being faulted by many readers costs one disk read, and
+// hit/miss/byte counters the memory benchmark reports.
+//
+// Buffers handed out by Get are immutable by contract: the cache retains
+// them and returns the same slice to every hit, so callers must not write
+// into them. That is what makes a cache hit a zero-copy read — the replica
+// returns the cached buffer directly instead of copying per call.
+package pagecache
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+// Key identifies one cached value by (store shard, generation, region,
+// user-visible key). Keying by name rather than file offset lets the read
+// path probe the cache BEFORE resolving the key to a location — a hit skips
+// the cold index's binary search entirely. Generations advance when a
+// checkpoint or compaction rewrites a file, so entries cached against a
+// superseded layout can never be returned — they simply stop being looked
+// up and age out of the LRU.
+type Key struct {
+	Shard int
+	Gen   uint32
+	Ckpt  bool
+	Name  string
+}
+
+// Stats is a snapshot of the cache's counters.
+type Stats struct {
+	Hits      int64 // Get calls served from cache
+	Misses    int64 // Get calls that ran the fill
+	Evictions int64 // entries dropped to stay under the byte budget
+	Bytes     int64 // value bytes currently cached
+	Entries   int64 // entries currently cached
+}
+
+const numShards = 16
+
+// Cache is a sized, sharded LRU over faulted value buffers. The byte budget
+// is global; each cache shard enforces an equal slice of it so eviction
+// needs no cross-shard coordination. Safe for concurrent use.
+type Cache struct {
+	shardBudget int64
+	shards      [numShards]cacheShard
+
+	hits      atomic.Int64
+	misses    atomic.Int64
+	evictions atomic.Int64
+	bytes     atomic.Int64
+	entries   atomic.Int64
+}
+
+type cacheShard struct {
+	mu       sync.Mutex
+	entries  map[Key]*node
+	head     *node // most recently used
+	tail     *node // least recently used
+	bytes    int64
+	inflight map[Key]*call
+}
+
+type node struct {
+	key        Key
+	buf        []byte
+	prev, next *node
+}
+
+// call is one in-progress fill other readers of the same key wait on.
+type call struct {
+	done chan struct{}
+	buf  []byte
+	err  error
+}
+
+// New returns a cache holding at most budgetBytes of value bytes. A budget
+// of zero or less still works — every fill is admitted and immediately
+// evicted on the next, so the cache degrades to singleflight-only.
+func New(budgetBytes int64) *Cache {
+	c := &Cache{shardBudget: budgetBytes / numShards}
+	for i := range c.shards {
+		c.shards[i].entries = make(map[Key]*node)
+		c.shards[i].inflight = make(map[Key]*call)
+	}
+	return c
+}
+
+// Get returns the buffer cached under key, running fill to produce it on a
+// miss. Concurrent misses on the same key share one fill. The returned
+// buffer is owned by the cache and MUST NOT be modified.
+func (c *Cache) Get(key Key, fill func() ([]byte, error)) ([]byte, error) {
+	sh := &c.shards[shardOf(key)]
+
+	sh.mu.Lock()
+	if n, ok := sh.entries[key]; ok {
+		sh.moveToFront(n)
+		sh.mu.Unlock()
+		c.hits.Add(1)
+		return n.buf, nil
+	}
+	if cl, ok := sh.inflight[key]; ok {
+		sh.mu.Unlock()
+		<-cl.done
+		if cl.err != nil {
+			return nil, cl.err
+		}
+		c.hits.Add(1)
+		return cl.buf, nil
+	}
+	cl := &call{done: make(chan struct{})}
+	sh.inflight[key] = cl
+	sh.mu.Unlock()
+
+	c.misses.Add(1)
+	buf, err := fill()
+	cl.buf, cl.err = buf, err
+	close(cl.done)
+
+	sh.mu.Lock()
+	delete(sh.inflight, key)
+	if err == nil {
+		c.admit(sh, key, buf)
+	}
+	sh.mu.Unlock()
+	return buf, err
+}
+
+// Lookup returns the buffer cached under key without filling on a miss —
+// the read path's fast probe. A hit counts and refreshes recency; a miss
+// counts nothing (the caller falls through to Get, which records it).
+func (c *Cache) Lookup(key Key) ([]byte, bool) {
+	sh := &c.shards[shardOf(key)]
+	sh.mu.Lock()
+	n, ok := sh.entries[key]
+	if !ok {
+		sh.mu.Unlock()
+		return nil, false
+	}
+	sh.moveToFront(n)
+	sh.mu.Unlock()
+	c.hits.Add(1)
+	return n.buf, true
+}
+
+// Peek returns the cached buffer without filling on a miss. The hit/miss
+// counters are untouched: Peek is for tests and introspection.
+func (c *Cache) Peek(key Key) ([]byte, bool) {
+	sh := &c.shards[shardOf(key)]
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	n, ok := sh.entries[key]
+	if !ok {
+		return nil, false
+	}
+	return n.buf, true
+}
+
+// InvalidateShard drops every cached entry for the given store shard. Called
+// after a checkpoint or compaction rewrites the shard's files: the
+// generation in the key already prevents stale hits, so this only releases
+// budget the rewritten locations can no longer earn back.
+func (c *Cache) InvalidateShard(shard int) {
+	for i := range c.shards {
+		sh := &c.shards[i]
+		sh.mu.Lock()
+		for k, n := range sh.entries {
+			if k.Shard == shard {
+				sh.unlink(n)
+				delete(sh.entries, k)
+				sh.bytes -= int64(len(n.buf))
+				c.bytes.Add(-int64(len(n.buf)))
+				c.entries.Add(-1)
+			}
+		}
+		sh.mu.Unlock()
+	}
+}
+
+// Stats returns a snapshot of the cache's counters.
+func (c *Cache) Stats() Stats {
+	return Stats{
+		Hits:      c.hits.Load(),
+		Misses:    c.misses.Load(),
+		Evictions: c.evictions.Load(),
+		Bytes:     c.bytes.Load(),
+		Entries:   c.entries.Load(),
+	}
+}
+
+// admit inserts buf under key, evicting from the cold end until the shard
+// fits its budget slice. Buffers larger than the whole slice are not
+// admitted at all — caching one would evict everything else for a buffer
+// unlikely to be re-read before its own eviction. Caller holds sh.mu.
+func (c *Cache) admit(sh *cacheShard, key Key, buf []byte) {
+	if n, ok := sh.entries[key]; ok {
+		// A racing fill already admitted this key; refresh recency only.
+		sh.moveToFront(n)
+		return
+	}
+	if int64(len(buf)) > c.shardBudget {
+		return
+	}
+	for sh.bytes+int64(len(buf)) > c.shardBudget && sh.tail != nil {
+		old := sh.tail
+		sh.unlink(old)
+		delete(sh.entries, old.key)
+		sh.bytes -= int64(len(old.buf))
+		c.bytes.Add(-int64(len(old.buf)))
+		c.entries.Add(-1)
+		c.evictions.Add(1)
+	}
+	n := &node{key: key, buf: buf}
+	sh.entries[key] = n
+	sh.pushFront(n)
+	sh.bytes += int64(len(buf))
+	c.bytes.Add(int64(len(buf)))
+	c.entries.Add(1)
+}
+
+func (sh *cacheShard) pushFront(n *node) {
+	n.prev = nil
+	n.next = sh.head
+	if sh.head != nil {
+		sh.head.prev = n
+	}
+	sh.head = n
+	if sh.tail == nil {
+		sh.tail = n
+	}
+}
+
+func (sh *cacheShard) unlink(n *node) {
+	if n.prev != nil {
+		n.prev.next = n.next
+	} else {
+		sh.head = n.next
+	}
+	if n.next != nil {
+		n.next.prev = n.prev
+	} else {
+		sh.tail = n.prev
+	}
+	n.prev, n.next = nil, nil
+}
+
+func (sh *cacheShard) moveToFront(n *node) {
+	if sh.head == n {
+		return
+	}
+	sh.unlink(n)
+	sh.pushFront(n)
+}
+
+// shardOf hashes a key to its cache shard (FNV-1a over the name, mixed
+// with the location fields through a splitmix64 finalizer).
+func shardOf(k Key) int {
+	h := uint64(14695981039346656037)
+	for i := 0; i < len(k.Name); i++ {
+		h ^= uint64(k.Name[i])
+		h *= 1099511628211
+	}
+	x := h ^ uint64(k.Shard)<<40 ^ uint64(k.Gen)<<32
+	if k.Ckpt {
+		x ^= 1 << 63
+	}
+	x += 0x9e3779b97f4a7c15
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+	x ^= x >> 31
+	return int(x % numShards)
+}

@@ -1,0 +1,244 @@
+package pagecache
+
+import (
+	"errors"
+	"fmt"
+	"strconv"
+	"sync"
+	"sync/atomic"
+	"testing"
+)
+
+func key(shard int, off int64) Key { return Key{Shard: shard, Name: strconv.FormatInt(off, 10)} }
+
+func TestGetFillsOnceThenHits(t *testing.T) {
+	c := New(1 << 20)
+	fills := 0
+	fill := func() ([]byte, error) { fills++; return []byte("value"), nil }
+	for i := 0; i < 3; i++ {
+		buf, err := c.Get(key(0, 42), fill)
+		if err != nil {
+			t.Fatalf("get: %v", err)
+		}
+		if string(buf) != "value" {
+			t.Fatalf("got %q", buf)
+		}
+	}
+	if fills != 1 {
+		t.Fatalf("fill ran %d times, want 1", fills)
+	}
+	st := c.Stats()
+	if st.Hits != 2 || st.Misses != 1 {
+		t.Fatalf("stats = %+v, want 2 hits / 1 miss", st)
+	}
+	if st.Bytes != 5 || st.Entries != 1 {
+		t.Fatalf("stats = %+v, want 5 bytes / 1 entry", st)
+	}
+}
+
+func TestLookupProbesWithoutFill(t *testing.T) {
+	c := New(1 << 20)
+	if _, ok := c.Lookup(key(0, 1)); ok {
+		t.Fatal("hit on an empty cache")
+	}
+	if st := c.Stats(); st.Misses != 0 || st.Hits != 0 {
+		t.Fatalf("lookup miss touched the counters: %+v", st)
+	}
+	c.Get(key(0, 1), func() ([]byte, error) { return []byte("v"), nil })
+	buf, ok := c.Lookup(key(0, 1))
+	if !ok || string(buf) != "v" {
+		t.Fatalf("lookup = %q, %v", buf, ok)
+	}
+	if st := c.Stats(); st.Hits != 1 || st.Misses != 1 {
+		t.Fatalf("stats = %+v, want 1 hit / 1 miss", st)
+	}
+}
+
+func TestFillErrorNotCached(t *testing.T) {
+	c := New(1 << 20)
+	boom := errors.New("boom")
+	if _, err := c.Get(key(0, 1), func() ([]byte, error) { return nil, boom }); !errors.Is(err, boom) {
+		t.Fatalf("err = %v, want boom", err)
+	}
+	// The failed fill must not poison the key: the next Get refills.
+	buf, err := c.Get(key(0, 1), func() ([]byte, error) { return []byte("ok"), nil })
+	if err != nil || string(buf) != "ok" {
+		t.Fatalf("refill = %q, %v", buf, err)
+	}
+}
+
+func TestEvictionUnderBudget(t *testing.T) {
+	// Budget of numShards*8 gives each cache shard 8 bytes: two 4-byte
+	// entries fit, the third evicts the coldest.
+	c := New(numShards * 8)
+	// All keys with the same hash shard: find three that collide.
+	var ks []Key
+	for off := int64(0); len(ks) < 3; off++ {
+		k := key(0, off)
+		if shardOf(k) == shardOf(key(0, 0)) {
+			ks = append(ks, k)
+		}
+	}
+	for _, k := range ks {
+		c.Get(k, func() ([]byte, error) { return []byte("abcd"), nil })
+	}
+	st := c.Stats()
+	if st.Evictions != 1 {
+		t.Fatalf("evictions = %d, want 1", st.Evictions)
+	}
+	// Coldest (first) key is gone; the two recent ones remain.
+	if _, ok := c.Peek(ks[0]); ok {
+		t.Fatal("coldest entry survived eviction")
+	}
+	if _, ok := c.Peek(ks[2]); !ok {
+		t.Fatal("hottest entry evicted")
+	}
+}
+
+func TestLRURecencyOrder(t *testing.T) {
+	c := New(numShards * 8)
+	var ks []Key
+	for off := int64(0); len(ks) < 3; off++ {
+		k := key(0, off)
+		if shardOf(k) == shardOf(key(0, 0)) {
+			ks = append(ks, k)
+		}
+	}
+	fill := func(s string) func() ([]byte, error) {
+		return func() ([]byte, error) { return []byte(s), nil }
+	}
+	c.Get(ks[0], fill("aaaa"))
+	c.Get(ks[1], fill("bbbb"))
+	c.Get(ks[0], fill("aaaa")) // touch ks[0]: ks[1] is now coldest
+	c.Get(ks[2], fill("cccc")) // evicts ks[1]
+	if _, ok := c.Peek(ks[1]); ok {
+		t.Fatal("expected ks[1] evicted (coldest after touch)")
+	}
+	if _, ok := c.Peek(ks[0]); !ok {
+		t.Fatal("touched entry was evicted")
+	}
+}
+
+func TestOversizeBufferNotAdmitted(t *testing.T) {
+	c := New(numShards * 8)
+	big := make([]byte, 64)
+	buf, err := c.Get(key(0, 9), func() ([]byte, error) { return big, nil })
+	if err != nil || len(buf) != 64 {
+		t.Fatalf("get = %d bytes, %v", len(buf), err)
+	}
+	if st := c.Stats(); st.Entries != 0 || st.Bytes != 0 {
+		t.Fatalf("oversize buffer admitted: %+v", st)
+	}
+}
+
+func TestSingleflightConcurrentFills(t *testing.T) {
+	c := New(1 << 20)
+	var fills atomic.Int64
+	release := make(chan struct{})
+	const readers = 16
+	var wg sync.WaitGroup
+	bufs := make([][]byte, readers)
+	for i := 0; i < readers; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			buf, err := c.Get(key(3, 7), func() ([]byte, error) {
+				fills.Add(1)
+				<-release
+				return []byte("shared"), nil
+			})
+			if err != nil {
+				t.Errorf("get: %v", err)
+			}
+			bufs[i] = buf
+		}(i)
+	}
+	close(release)
+	wg.Wait()
+	if n := fills.Load(); n != 1 {
+		// Readers that arrive after the fill completes may still miss the
+		// inflight entry and hit the cache instead; more than one actual
+		// fill means singleflight failed.
+		t.Fatalf("fill ran %d times, want 1", n)
+	}
+	for i, buf := range bufs {
+		if string(buf) != "shared" {
+			t.Fatalf("reader %d got %q", i, buf)
+		}
+	}
+}
+
+func TestInvalidateShard(t *testing.T) {
+	c := New(1 << 20)
+	for off := int64(0); off < 10; off++ {
+		for shard := 0; shard < 2; shard++ {
+			k := key(shard, off)
+			c.Get(k, func() ([]byte, error) { return []byte(fmt.Sprintf("%d/%d", shard, off)), nil })
+		}
+	}
+	before := c.Stats()
+	if before.Entries != 20 {
+		t.Fatalf("entries = %d, want 20", before.Entries)
+	}
+	c.InvalidateShard(0)
+	after := c.Stats()
+	if after.Entries != 10 {
+		t.Fatalf("entries after invalidate = %d, want 10", after.Entries)
+	}
+	for off := int64(0); off < 10; off++ {
+		if _, ok := c.Peek(key(0, off)); ok {
+			t.Fatalf("shard 0 off %d survived invalidation", off)
+		}
+		if _, ok := c.Peek(key(1, off)); !ok {
+			t.Fatalf("shard 1 off %d dropped by invalidation", off)
+		}
+	}
+	if after.Bytes <= 0 || after.Bytes >= before.Bytes {
+		t.Fatalf("bytes accounting off: before %d after %d", before.Bytes, after.Bytes)
+	}
+}
+
+func TestGenDistinguishesKeys(t *testing.T) {
+	c := New(1 << 20)
+	old := Key{Shard: 0, Gen: 1, Name: "5"}
+	neu := Key{Shard: 0, Gen: 2, Name: "5"}
+	c.Get(old, func() ([]byte, error) { return []byte("old"), nil })
+	buf, err := c.Get(neu, func() ([]byte, error) { return []byte("new"), nil })
+	if err != nil || string(buf) != "new" {
+		t.Fatalf("new gen read = %q, %v", buf, err)
+	}
+}
+
+func TestConcurrentMixedWorkload(t *testing.T) {
+	c := New(4 << 10)
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 500; i++ {
+				k := key(w%4, int64(i%50))
+				buf, err := c.Get(k, func() ([]byte, error) {
+					return []byte(fmt.Sprintf("%d:%s", k.Shard, k.Name)), nil
+				})
+				if err != nil {
+					t.Errorf("get: %v", err)
+					return
+				}
+				want := fmt.Sprintf("%d:%s", k.Shard, k.Name)
+				if string(buf) != want {
+					t.Errorf("got %q want %q", buf, want)
+					return
+				}
+				if i%100 == 0 {
+					c.InvalidateShard(w % 4)
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	st := c.Stats()
+	if st.Bytes < 0 || st.Entries < 0 {
+		t.Fatalf("negative accounting: %+v", st)
+	}
+}

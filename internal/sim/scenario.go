@@ -4,12 +4,27 @@ import (
 	"fmt"
 	"math/rand"
 	"path/filepath"
+	"sort"
 
 	"versionstamp/internal/antientropy"
 	"versionstamp/internal/chaosnet"
 	"versionstamp/internal/encoding"
+	"versionstamp/internal/kvstore"
 	"versionstamp/internal/storage/faultfs"
 )
+
+// deleteWins resolves concurrent copies in favor of deletion, making a
+// delete that raced a write stick. The merged value for two concurrent live
+// copies is their deterministic concatenation.
+func deleteWins(_ string, a, b kvstore.Versioned) ([]byte, bool, error) {
+	if a.Deleted || b.Deleted {
+		return nil, true, nil
+	}
+	if string(a.Value) < string(b.Value) {
+		return append(append([]byte(nil), a.Value...), b.Value...), false, nil
+	}
+	return append(append([]byte(nil), b.Value...), a.Value...), false, nil
+}
 
 // This file is the cluster half of the simulator: where runner.go replays
 // fork/join traces on individual stamp trackers, a Scenario replays a
@@ -51,6 +66,10 @@ const (
 	// be durable; script it between a kill and a revive — the revival then
 	// quarantines exactly that stripe and ring repair rebuilds it.
 	ActCorrupt
+	// ActDelete issues Count Zipf-distributed quorum deletes over the same
+	// keyspace as ActWrite. Tombstones propagate by anti-entropy and are
+	// eventually discarded by the tombstone GC once proven replicated.
+	ActDelete
 )
 
 // Action is one scripted event, applied before the round it names runs.
@@ -91,6 +110,12 @@ type Scenario struct {
 	// a long tail once (stamp churn).
 	KeySpace int     // default 256
 	ZipfS    float64 // default 1.2 (must be > 1)
+
+	// DeleteWins resolves conflicting copies in favor of deletion instead
+	// of the default keep-both merge. It is what makes "a deleted key stays
+	// deleted until rewritten" a sound invariant, so the resurrection gate
+	// (ScenarioMetrics.Resurrections) only runs for DeleteWins scenarios.
+	DeleteWins bool
 
 	// Script is the fault schedule. Rounds past the last scripted action
 	// are quiescence: the run ends once the cluster reports convergence
@@ -137,6 +162,17 @@ type ScenarioMetrics struct {
 	Writes      int `json:"writes"`
 	WriteErrors int `json:"write_errors"` // quorum shortfalls during faults
 
+	// Tombstone ledger: deletes issued, tombstones the GC discarded after
+	// proving propagation, tombstones still live at the end (a healed,
+	// quiesced cluster must drain to zero), and deleted-last keys that
+	// read as present after convergence (must be zero — a nonzero count
+	// means the GC discarded a tombstone its owners had not all seen).
+	Deletes             int `json:"deletes,omitempty"`
+	DeleteErrors        int `json:"delete_errors,omitempty"`
+	TombstonesDiscarded int `json:"tombstones_discarded,omitempty"`
+	TombstonesEnd       int `json:"tombstones_end"`
+	Resurrections       int `json:"resurrections"`
+
 	Exchanges      int   `json:"exchanges"`
 	ExchangeErrors int   `json:"exchange_errors"` // failed or skipped exchanges
 	BackoffSkips   int   `json:"backoff_skips"`
@@ -180,7 +216,12 @@ func (s Scenario) Run() (*ScenarioMetrics, error) {
 		fab.SetDefaultFaults(s.Faults)
 	}
 
+	var resolver kvstore.Resolver
+	if s.DeleteWins {
+		resolver = deleteWins
+	}
 	c, err := antientropy.NewRingCluster(antientropy.RingConfig{
+		Resolver:      resolver,
 		Nodes:         s.Nodes,
 		Replication:   s.Replication,
 		Stripes:       s.Stripes,
@@ -219,10 +260,11 @@ func (s Scenario) Run() (*ScenarioMetrics, error) {
 	}
 
 	m := &ScenarioMetrics{Name: s.Name, Seed: s.Seed, RoundBudget: s.RoundBudget}
+	deleted := make(map[string]bool) // keys whose last applied op was a delete
 	quiet := 0
 	for round := 0; round < s.RoundBudget; round++ {
 		for _, a := range byRound[round] {
-			if err := s.apply(a, c, fab, zipf, &writeSeq, m); err != nil {
+			if err := s.apply(a, c, fab, zipf, &writeSeq, deleted, m); err != nil {
 				return nil, fmt.Errorf("sim: scenario %q round %d: %w", s.Name, round, err)
 			}
 		}
@@ -234,6 +276,7 @@ func (s Scenario) Run() (*ScenarioMetrics, error) {
 		m.Exchanges += stats.Exchanges
 		m.KeysMoved += stats.Moved
 		m.HintsDrained += stats.HintsDrained
+		m.TombstonesDiscarded += stats.TombstonesDiscarded
 		m.Scrubbed += stats.StripesScrubbed
 		m.Repaired += stats.StripesRepaired
 		// Peak damage observed this round: what is still quarantined plus
@@ -251,7 +294,11 @@ func (s Scenario) Run() (*ScenarioMetrics, error) {
 		if p := c.HintsPending(); p > m.HintsPeak {
 			m.HintsPeak = p
 		}
-		if round > lastScripted && c.Converged() && c.HintsPending() == 0 {
+		// Quiescence also demands a drained tombstone ledger: converging
+		// while deletes still await their GC evidence is not done yet.
+		// Vacuously true for scenarios that never delete.
+		if round > lastScripted && c.Converged() && c.HintsPending() == 0 &&
+			stats.TombstonesLive == 0 {
 			quiet++
 			if quiet >= s.QuiesceRounds {
 				m.Converged = true
@@ -270,8 +317,24 @@ func (s Scenario) Run() (*ScenarioMetrics, error) {
 			continue
 		}
 		m.QuarantinedEnd += len(st.Quarantined)
+		m.TombstonesEnd += st.TombstonesLive
 		if st.PersistErr != "" {
 			m.PersistErrsEnd++
+		}
+	}
+	// Resurrection sweep: with delete-wins resolution, a converged healthy
+	// cluster must read every deleted-last key as absent — if one comes
+	// back, a tombstone was discarded before every owner had seen it.
+	if s.DeleteWins && m.Converged {
+		keys := make([]string, 0, len(deleted))
+		for key := range deleted {
+			keys = append(keys, key)
+		}
+		sort.Strings(keys)
+		for _, key := range keys {
+			if _, ok, err := c.Read(key); err == nil && ok {
+				m.Resurrections++
+			}
 		}
 	}
 	for _, b := range c.WireBytes() {
@@ -282,9 +345,12 @@ func (s Scenario) Run() (*ScenarioMetrics, error) {
 	return m, nil
 }
 
-// apply executes one scripted action.
+// apply executes one scripted action. An operation counts as applied for
+// the resurrection model once it reached any coordinator (acks >= 1): a
+// quorum-failed op is still installed where it landed and propagates from
+// there.
 func (s Scenario) apply(a Action, c *antientropy.Cluster, fab *chaosnet.Fabric,
-	zipf *rand.Zipf, writeSeq *int, m *ScenarioMetrics) error {
+	zipf *rand.Zipf, writeSeq *int, deleted map[string]bool, m *ScenarioMetrics) error {
 	switch a.Kind {
 	case ActWrite:
 		for n := 0; n < a.Count; n++ {
@@ -292,8 +358,25 @@ func (s Scenario) apply(a Action, c *antientropy.Cluster, fab *chaosnet.Fabric,
 			val := fmt.Sprintf("v-%d", *writeSeq)
 			*writeSeq++
 			m.Writes++
-			if _, err := c.Write(key, []byte(val)); err != nil {
+			acks, err := c.Write(key, []byte(val))
+			if err != nil {
 				m.WriteErrors++
+			}
+			if acks >= 1 {
+				delete(deleted, key)
+			}
+		}
+		return nil
+	case ActDelete:
+		for n := 0; n < a.Count; n++ {
+			key := fmt.Sprintf("key-%05d", zipf.Uint64())
+			m.Deletes++
+			acks, err := c.Delete(key)
+			if err != nil {
+				m.DeleteErrors++
+			}
+			if acks >= 1 {
+				deleted[key] = true
 			}
 		}
 		return nil

@@ -208,6 +208,38 @@ func OwnerSetFailure(seed int64, dataDir string) Scenario {
 	}
 }
 
+// TombstoneGC is the deletion lifecycle story: quorum deletes land while a
+// replica owner is down and a partition splits the ring, so their
+// tombstones must survive as tombstones until the anti-entropy layer has
+// proven every owner saw them — only then may the GC discard. The scenario
+// runs delete-wins resolution, which makes resurrection checkable: after
+// the healed cluster converges and drains its tombstone ledger to zero,
+// every key whose last applied operation was a delete must still read as
+// absent. One discarded-too-early tombstone shows up as a resurrection.
+func TombstoneGC(seed int64) Scenario {
+	return Scenario{
+		Name: "tombstone-gc", Seed: seed,
+		Nodes: 9, Replication: 3, Stripes: 16,
+		KeySpace: 64, DeleteWins: true,
+		Backoff: antientropy.BackoffPolicy{Base: 1, Max: 4, Seed: seed},
+		Script: []Action{
+			{Round: 0, Kind: ActWrite, Count: 150},
+			// Deletes while an owner is down: those tombstones cannot be
+			// discarded until node 3 revives and proves it has them.
+			{Round: 3, Kind: ActKill, Node: 3},
+			{Round: 4, Kind: ActDelete, Count: 40},
+			{Round: 6, Kind: ActPartition, Groups: []int{0, 0, 0, 0, 0, 1, 1, 1, 1}},
+			{Round: 7, Kind: ActDelete, Count: 20},
+			{Round: 7, Kind: ActWrite, Count: 30},
+			{Round: 10, Kind: ActHeal},
+			{Round: 11, Kind: ActRevive, Node: 3},
+			{Round: 12, Kind: ActWrite, Count: 20},
+			{Round: 12, Kind: ActDelete, Count: 10},
+		},
+		RoundBudget: 96,
+	}
+}
+
 // Suite returns the scenario set benchconverge runs. short drops nothing —
 // the whole point of logical time is that even the 1000-node story fits a
 // -short CI budget — but it is kept as a hook for heavier future entries.
@@ -223,5 +255,6 @@ func Suite(seed int64, dataDir string, short bool) []Scenario {
 		ThousandNode(seed, ""),
 		DiskCorrupt(seed, dataDir+"-corrupt"),
 		OwnerSetFailure(seed, dataDir+"-ownerset"),
+		TombstoneGC(seed),
 	}
 }

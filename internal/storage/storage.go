@@ -14,11 +14,19 @@
 package storage
 
 import (
+	"errors"
 	"fmt"
 	"sync"
 
 	"versionstamp/internal/encoding"
 )
+
+// ErrStaleLoc reports a ValueLoc whose generation no longer matches the
+// shard's durable layout: the log was truncated or rewritten (checkpoint,
+// compact) since the location was handed out. Callers holding stale
+// locations re-derive them — the value itself is never lost, only its
+// address.
+var ErrStaleLoc = errors.New("storage: stale value location")
 
 // CorruptError reports durable damage scoped to one shard: the backend found
 // bytes that are provably not a torn tail write (a flipped bit mid-log, a
@@ -108,6 +116,72 @@ type Backend interface {
 	Close() error
 }
 
+// ValueLoc addresses one value's bytes inside a shard's durable state, so a
+// store can drop the in-memory copy and page it back on demand. A location
+// is valid only while its generation matches the shard's current log or
+// checkpoint generation; operations that move bytes (Checkpoint, Compact)
+// bump the generation, and reads through a stale location return
+// ErrStaleLoc instead of garbage.
+type ValueLoc struct {
+	// Off is the byte offset of the value within the shard's log file
+	// (Ckpt false) or checkpoint file (Ckpt true).
+	Off int64
+	// Len is the value's length in bytes.
+	Len uint32
+	// Gen is the generation of the region Off addresses.
+	Gen uint32
+	// Ckpt selects the region: the checkpoint file rather than the log.
+	Ckpt bool
+}
+
+// Pager is the optional value-paging surface of a Backend: a backend that
+// can address and re-read the value bytes of its records lets the store
+// keep only stamps and locations resident. The wal backend implements it
+// with pread on the log and checkpoint files; Memory implements it over its
+// heap copies so paged stores are testable without disk.
+type Pager interface {
+	// AppendLocate is Append plus the location of the record's value bytes
+	// within the shard's log. ok is false when the record has no pageable
+	// value (tombstones, resets) — the append still happened. wait, when
+	// non-nil, blocks until the record's commit window is durable (group
+	// commit); callers must invoke it outside the stripe lock, and must not
+	// acknowledge the write before it returns nil.
+	AppendLocate(shard int, rec Record) (loc ValueLoc, ok bool, wait func() error, err error)
+
+	// ReadValueAt reads back the value bytes a prior AppendLocate or
+	// checkpoint layout addressed. Returns ErrStaleLoc when the location's
+	// generation no longer matches. The returned slice is freshly allocated
+	// and owned by the caller.
+	ReadValueAt(shard int, loc ValueLoc) ([]byte, error)
+
+	// CheckpointLocate is Checkpoint plus the new checkpoint region: the
+	// generation locations against it must carry, and the byte offset
+	// within the checkpoint file where the snapshot payload starts (value
+	// offsets inside the payload are the caller's, from its own encoding).
+	CheckpointLocate(shard int, snapshot []byte) (gen uint32, base int64, err error)
+
+	// CheckpointRegion reports the shard's current checkpoint generation
+	// and payload base — what CheckpointLocate last returned, or the values
+	// for the checkpoint ReplayShard just streamed.
+	CheckpointRegion(shard int) (gen uint32, base int64)
+
+	// CheckpointPayload re-reads the shard's whole checkpoint payload (the
+	// bytes ReplayShard would stream as ckpt). Returns ErrStaleLoc when gen
+	// no longer matches — the checkpoint was replaced.
+	CheckpointPayload(shard int, gen uint32) ([]byte, error)
+}
+
+// AsyncBackend is the optional group-commit surface of a Backend: an append
+// whose durability barrier is detached from the call, so many writers'
+// appends can share one fsync. AppendAsync stages the record (under the
+// caller's stripe lock, preserving log order) and returns a wait function;
+// the caller invokes wait after releasing the stripe lock and must not
+// acknowledge the write before it returns nil. A nil wait means the append
+// is already as durable as Append would have made it.
+type AsyncBackend interface {
+	AppendAsync(shard int, rec Record) (wait func() error, err error)
+}
+
 // Memory is an in-process Backend: logs and checkpoints live on the heap
 // and vanish with the process, reproducing the engine's historical
 // non-durable behaviour while exercising the same code paths as a real
@@ -120,6 +194,11 @@ type Memory struct {
 type memShard struct {
 	ckpt []byte
 	log  []Record
+	// Paging generations: log locations address indices into log and die on
+	// Checkpoint/Compact; checkpoint locations address bytes of ckpt and
+	// die when it is replaced.
+	logGen  uint32
+	ckptGen uint32
 }
 
 // NewMemory creates an empty in-process backend.
@@ -174,6 +253,8 @@ func (m *Memory) Checkpoint(shard int, snapshot []byte) error {
 	sh := m.shard(shard)
 	sh.ckpt = append([]byte(nil), snapshot...)
 	sh.log = nil
+	sh.logGen++
+	sh.ckptGen++
 	return nil
 }
 
@@ -183,7 +264,80 @@ func (m *Memory) Compact(shard int) error {
 	defer m.mu.Unlock()
 	sh := m.shard(shard)
 	sh.log = CompactRecords(sh.log)
+	sh.logGen++ // record indices moved; outstanding log locations are stale
 	return nil
+}
+
+// AppendLocate implements Pager: the "location" of an in-memory value is
+// its record's index in the shard log, valid until Checkpoint or Compact.
+func (m *Memory) AppendLocate(shard int, rec Record) (ValueLoc, bool, func() error, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	sh := m.shard(shard)
+	sh.log = append(sh.log, rec)
+	if rec.Reset || rec.Entry.Deleted {
+		return ValueLoc{}, false, nil, nil
+	}
+	loc := ValueLoc{
+		Off: int64(len(sh.log) - 1),
+		Len: uint32(len(rec.Entry.Value)),
+		Gen: sh.logGen,
+	}
+	return loc, true, nil, nil
+}
+
+// ReadValueAt implements Pager over the heap copies.
+func (m *Memory) ReadValueAt(shard int, loc ValueLoc) ([]byte, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	sh := m.shard(shard)
+	if loc.Ckpt {
+		if loc.Gen != sh.ckptGen {
+			return nil, ErrStaleLoc
+		}
+		end := loc.Off + int64(loc.Len)
+		if loc.Off < 0 || end > int64(len(sh.ckpt)) {
+			return nil, ErrStaleLoc
+		}
+		return append([]byte(nil), sh.ckpt[loc.Off:end]...), nil
+	}
+	if loc.Gen != sh.logGen || loc.Off < 0 || loc.Off >= int64(len(sh.log)) {
+		return nil, ErrStaleLoc
+	}
+	v := sh.log[loc.Off].Entry.Value
+	if uint32(len(v)) != loc.Len {
+		return nil, ErrStaleLoc
+	}
+	return append([]byte(nil), v...), nil
+}
+
+// CheckpointLocate implements Pager: Checkpoint plus the new region. The
+// in-memory checkpoint has no file header, so the payload base is 0.
+func (m *Memory) CheckpointLocate(shard int, snapshot []byte) (uint32, int64, error) {
+	if err := m.Checkpoint(shard, snapshot); err != nil {
+		return 0, 0, err
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.shard(shard).ckptGen, 0, nil
+}
+
+// CheckpointRegion implements Pager.
+func (m *Memory) CheckpointRegion(shard int) (uint32, int64) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.shard(shard).ckptGen, 0
+}
+
+// CheckpointPayload implements Pager.
+func (m *Memory) CheckpointPayload(shard int, gen uint32) ([]byte, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	sh := m.shard(shard)
+	if gen != sh.ckptGen {
+		return nil, ErrStaleLoc
+	}
+	return append([]byte(nil), sh.ckpt...), nil
 }
 
 // Close is a no-op for the in-process backend.
