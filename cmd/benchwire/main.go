@@ -1,10 +1,17 @@
 // Command benchwire measures the wire cost and latency of one anti-entropy
-// round under the v2 (delta) and v3 (hierarchical) protocols at several
-// divergence levels, and emits the comparison as machine-readable JSON —
-// the artifact CI tracks across PRs so protocol regressions show up as a
-// diff in BENCH_antientropy.json rather than a buried log line.
+// round under the v2 (delta), v3 (hierarchical) and v4 (digest tree)
+// protocols at several divergence levels, and emits the comparison as
+// machine-readable JSON — the artifact CI tracks across PRs so protocol
+// regressions show up as a diff in BENCH_antientropy.json rather than a
+// buried log line.
 //
-//	benchwire -keys 1000 -out BENCH_antientropy.json
+// The optional hot-key case is the v4 acceptance gate: a large converged
+// keyspace with exactly one edited key, where the v3 round must ship a
+// whole stripe's digest list but the v4 round descends the digest tree in
+// O(log n) frames. With -hotkey-gate set, the run exits non-zero unless
+// the v4 round is at least that factor cheaper than v3.
+//
+//	benchwire -keys 1000 -hotkey-keys 1000000 -hotkey-gate 20 -out BENCH_antientropy.json
 package main
 
 import (
@@ -21,13 +28,28 @@ import (
 
 // Measurement is one protocol × divergence data point.
 type Measurement struct {
-	Protocol       string `json:"protocol"`       // "v2-delta" or "v3-hier"
-	DivergencePct  int    `json:"divergencePct"`  // diverged keys / keys × 100
-	DivergedKeys   int    `json:"divergedKeys"`   // keys rewritten before the round
-	WireBytes      int64  `json:"wireBytes"`      // sent + received, client view
-	NsPerOp        int64  `json:"nsPerOp"`        // wall time of the measured round
-	Dials          int64  `json:"dials"`          // TCP dials the measured round paid
-	StripesSkipped int    `json:"stripesSkipped"` // v3 only: summary-matched stripes
+	Protocol       string `json:"protocol"`             // "v2-delta", "v3-hier" or "v4-tree"
+	DivergencePct  int    `json:"divergencePct"`        // diverged keys / keys × 100
+	DivergedKeys   int    `json:"divergedKeys"`         // keys rewritten before the round
+	WireBytes      int64  `json:"wireBytes"`            // sent + received, client view
+	NsPerOp        int64  `json:"nsPerOp"`              // wall time of the measured round
+	Dials          int64  `json:"dials"`                // TCP dials the measured round paid
+	StripesSkipped int    `json:"stripesSkipped"`       // v3/v4: summary-matched stripes
+	TreeFanout     int    `json:"treeFanout,omitempty"` // v4 only: digest tree fan-out
+	TreeDepth      int    `json:"treeDepth,omitempty"`  // v4 only: digest tree depth
+}
+
+// HotKey is the single-hot-key wire-cost comparison at large scale.
+type HotKey struct {
+	Keys        int     `json:"keys"`        // keyspace size (1M in CI)
+	V3WireBytes int64   `json:"v3WireBytes"` // v3 round cost for the 1-key edit
+	V4WireBytes int64   `json:"v4WireBytes"` // v4 round cost for the same edit
+	V3NsPerOp   int64   `json:"v3NsPerOp"`
+	V4NsPerOp   int64   `json:"v4NsPerOp"`
+	Ratio       float64 `json:"ratio"`      // v3 bytes / v4 bytes
+	MinRatio    float64 `json:"minRatio"`   // gate: run fails when Ratio < MinRatio
+	TreeFanout  int     `json:"treeFanout"` // shape the v4 round descended
+	TreeDepth   int     `json:"treeDepth"`
 }
 
 // Report is the whole emitted document.
@@ -35,13 +57,16 @@ type Report struct {
 	Keys    int           `json:"keys"`
 	Shards  int           `json:"shards"`
 	Results []Measurement `json:"results"`
+	HotKey  *HotKey       `json:"hotKey,omitempty"`
 }
 
 func main() {
 	keys := flag.Int("keys", 1000, "keyspace size")
+	hotKeys := flag.Int("hotkey-keys", 0, "keyspace size for the single-hot-key case (0 = skip)")
+	hotGate := flag.Float64("hotkey-gate", 0, "fail unless the hot-key v4 round is this factor cheaper than v3 (0 = no gate)")
 	out := flag.String("out", "BENCH_antientropy.json", `output path ("-" = stdout)`)
 	flag.Parse()
-	if err := run(*keys, *out, os.Stdout); err != nil {
+	if err := run(*keys, *hotKeys, *hotGate, *out, os.Stdout); err != nil {
 		fmt.Fprintln(os.Stderr, "benchwire:", err)
 		os.Exit(1)
 	}
@@ -97,11 +122,59 @@ func measure(keys, diverged int, protocol string,
 	}, nil
 }
 
-func run(keys int, out string, progress io.Writer) error {
+// hotKeyCase builds a converged pair of n keys, edits exactly one key, and
+// measures the round that reconciles it — once over v3, once over v4. The
+// v3 round must ship the hot stripe's entire digest list; the v4 round
+// descends the digest tree, so its cost is logarithmic in the stripe size.
+func hotKeyCase(n int, gate float64) (*HotKey, error) {
+	_, client, addr, done, err := pair(n)
+	if err != nil {
+		return nil, err
+	}
+	defer done()
+	hk := &HotKey{Keys: n, MinRatio: gate}
+
+	oneKeyRound := func(protocol int, edit string) (int64, int64, error) {
+		pool := antientropy.NewPoolOptions(antientropy.PoolOptions{Protocol: protocol})
+		defer pool.Close()
+		if _, err := pool.SyncWith(addr, client); err != nil {
+			return 0, 0, fmt.Errorf("hot-key warm-up: %w", err)
+		}
+		client.Put("key-00000", []byte(edit))
+		start := time.Now()
+		res, err := pool.SyncWith(addr, client)
+		if err != nil {
+			return 0, 0, fmt.Errorf("hot-key round: %w", err)
+		}
+		if res.Transferred+res.Reconciled != 1 {
+			return 0, 0, fmt.Errorf("hot-key round moved %d keys, want 1",
+				res.Transferred+res.Reconciled)
+		}
+		return res.BytesSent + res.BytesReceived, time.Since(start).Nanoseconds(), nil
+	}
+
+	if hk.V3WireBytes, hk.V3NsPerOp, err = oneKeyRound(antientropy.ProtocolHier, "hot-edit-v3"); err != nil {
+		return nil, fmt.Errorf("v3: %w", err)
+	}
+	// The v3 round converged the pair again, so the v4 lane starts equal.
+	if hk.V4WireBytes, hk.V4NsPerOp, err = oneKeyRound(antientropy.ProtocolTree, "hot-edit-v4"); err != nil {
+		return nil, fmt.Errorf("v4: %w", err)
+	}
+	hk.Ratio = float64(hk.V3WireBytes) / float64(hk.V4WireBytes)
+	hk.TreeFanout, hk.TreeDepth = kvstore.TreeShape((n + kvstore.DefaultShards - 1) / kvstore.DefaultShards)
+	if gate > 0 && hk.Ratio < gate {
+		return hk, fmt.Errorf("hot-key gate: v4 round %dB is only %.1fx below v3 %dB, want >= %.0fx",
+			hk.V4WireBytes, hk.Ratio, hk.V3WireBytes, gate)
+	}
+	return hk, nil
+}
+
+func run(keys, hotKeys int, hotGate float64, out string, progress io.Writer) error {
 	if keys < 100 {
 		return fmt.Errorf("need at least 100 keys, got %d", keys)
 	}
 	report := Report{Keys: keys, Shards: kvstore.DefaultShards}
+	treeFanout, treeDepth := kvstore.TreeShape((keys + kvstore.DefaultShards - 1) / kvstore.DefaultShards)
 	for _, diverged := range []int{0, keys / 100, keys / 2} {
 		var v2dials int64 // v2 dials once per round, by construction
 		m, err := measure(keys, diverged, "v2-delta",
@@ -115,16 +188,43 @@ func run(keys int, out string, progress io.Writer) error {
 		}
 		report.Results = append(report.Results, m)
 
-		pool := antientropy.NewPool()
+		hier := antientropy.NewPoolOptions(antientropy.PoolOptions{Protocol: antientropy.ProtocolHier})
 		m, err = measure(keys, diverged, "v3-hier",
 			func(addr string, r *kvstore.Replica) (kvstore.SyncResult, error) {
-				return pool.SyncWith(addr, r)
-			}, pool.Dials)
-		_ = pool.Close()
+				return hier.SyncWith(addr, r)
+			}, hier.Dials)
+		_ = hier.Close()
 		if err != nil {
 			return err
 		}
 		report.Results = append(report.Results, m)
+
+		tree := antientropy.NewPoolOptions(antientropy.PoolOptions{Protocol: antientropy.ProtocolTree})
+		m, err = measure(keys, diverged, "v4-tree",
+			func(addr string, r *kvstore.Replica) (kvstore.SyncResult, error) {
+				return tree.SyncWith(addr, r)
+			}, tree.Dials)
+		_ = tree.Close()
+		if err != nil {
+			return err
+		}
+		m.TreeFanout, m.TreeDepth = treeFanout, treeDepth
+		report.Results = append(report.Results, m)
+	}
+
+	if hotKeys > 0 {
+		hk, err := hotKeyCase(hotKeys, hotGate)
+		report.HotKey = hk
+		if err != nil {
+			// Emit the report before failing so the artifact shows the
+			// numbers the gate rejected.
+			if hk != nil {
+				if doc, jerr := json.MarshalIndent(report, "", "  "); jerr == nil && out != "-" {
+					_ = os.WriteFile(out, append(doc, '\n'), 0o644)
+				}
+			}
+			return err
+		}
 	}
 
 	doc, err := json.MarshalIndent(report, "", "  ")

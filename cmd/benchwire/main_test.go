@@ -11,7 +11,7 @@ import (
 func TestRunEmitsValidJSON(t *testing.T) {
 	out := filepath.Join(t.TempDir(), "BENCH_antientropy.json")
 	var progress strings.Builder
-	if err := run(200, out, &progress); err != nil {
+	if err := run(200, 0, 0, out, &progress); err != nil {
 		t.Fatalf("run: %v", err)
 	}
 	raw, err := os.ReadFile(out)
@@ -22,32 +22,30 @@ func TestRunEmitsValidJSON(t *testing.T) {
 	if err := json.Unmarshal(raw, &report); err != nil {
 		t.Fatalf("output is not valid JSON: %v", err)
 	}
-	if report.Keys != 200 || len(report.Results) != 6 {
-		t.Fatalf("report = keys %d, %d results; want 200 keys, 6 results",
+	if report.Keys != 200 || len(report.Results) != 9 {
+		t.Fatalf("report = keys %d, %d results; want 200 keys, 9 results",
 			report.Keys, len(report.Results))
 	}
-	byKey := map[string]Measurement{}
 	for _, m := range report.Results {
 		if m.WireBytes <= 0 || m.NsPerOp <= 0 {
 			t.Errorf("%s@%d%%: empty measurement %+v", m.Protocol, m.DivergencePct, m)
 		}
-		byKey[m.Protocol+"@"+string(rune('0'+m.DivergencePct/25))] = m
+		if m.Protocol == "v4-tree" && (m.TreeFanout == 0 || m.TreeDepth == 0) {
+			t.Errorf("v4-tree@%d%%: missing tree shape %+v", m.DivergencePct, m)
+		}
 	}
-	// The converged v3 round must beat the converged v2 round on the wire —
-	// the whole point of the summary phase.
-	var v2conv, v3conv *Measurement
+	// The converged v3 and v4 rounds must beat the converged v2 round on the
+	// wire — the whole point of the summary/tree phases — and the pipelined
+	// v4 probe must keep the converged round near the v3 root-match cost.
+	conv := map[string]*Measurement{}
 	for i := range report.Results {
 		m := &report.Results[i]
 		if m.DivergedKeys == 0 {
-			switch m.Protocol {
-			case "v2-delta":
-				v2conv = m
-			case "v3-hier":
-				v3conv = m
-			}
+			conv[m.Protocol] = m
 		}
 	}
-	if v2conv == nil || v3conv == nil {
+	v2conv, v3conv, v4conv := conv["v2-delta"], conv["v3-hier"], conv["v4-tree"]
+	if v2conv == nil || v3conv == nil || v4conv == nil {
 		t.Fatal("missing converged measurements")
 	}
 	if v3conv.WireBytes >= v2conv.WireBytes {
@@ -56,10 +54,41 @@ func TestRunEmitsValidJSON(t *testing.T) {
 	if v3conv.StripesSkipped == 0 {
 		t.Error("converged v3 round skipped no stripes")
 	}
+	if v4conv.WireBytes >= v2conv.WireBytes {
+		t.Errorf("converged v4 %dB >= v2 %dB", v4conv.WireBytes, v2conv.WireBytes)
+	}
+	if v4conv.WireBytes >= 32 {
+		t.Errorf("converged v4 round cost %dB, want the ~14B probe-pipelined round", v4conv.WireBytes)
+	}
+	if v4conv.StripesSkipped == 0 {
+		t.Error("converged v4 round skipped no stripes")
+	}
+}
+
+func TestHotKeyCase(t *testing.T) {
+	// The CI gate runs at 1M keys and demands 20x; this keeps the same path
+	// honest at a scale a unit test can afford, where the tree advantage is
+	// smaller but must still exist.
+	keys, gate := 20000, 4.0
+	if testing.Short() {
+		keys, gate = 4000, 1.5
+	}
+	hk, err := hotKeyCase(keys, gate)
+	if err != nil {
+		t.Fatalf("hotKeyCase: %v", err)
+	}
+	if hk.Ratio < gate {
+		t.Fatalf("ratio %.1f below gate %.1f", hk.Ratio, gate)
+	}
+	if hk.TreeDepth == 0 || hk.TreeFanout == 0 {
+		t.Fatalf("missing tree shape: %+v", hk)
+	}
+	t.Logf("hot key at %d keys: v3 %dB, v4 %dB (%.1fx), tree %d^%d",
+		keys, hk.V3WireBytes, hk.V4WireBytes, hk.Ratio, hk.TreeFanout, hk.TreeDepth)
 }
 
 func TestRunRejectsTinyKeyspace(t *testing.T) {
-	if err := run(10, "-", &strings.Builder{}); err == nil {
+	if err := run(10, 0, 0, "-", &strings.Builder{}); err == nil {
 		t.Error("run(10) succeeded")
 	}
 }

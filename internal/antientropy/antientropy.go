@@ -42,11 +42,15 @@
 //	'{'  v1: one JSON whole-snapshot round, newline-delimited
 //	0x02 v2: one binary two-phase delta round (digests, then entries)
 //	0x03 v3: a persistent session of hierarchical summary-first rounds
+//	0x04 v4: a persistent session of adaptive digest-tree rounds
 //
-// v1 and v2 clients therefore interoperate with newer servers unchanged;
-// newer clients need a server of at least their vintage (an older server
+// v1–v3 clients therefore interoperate with newer servers unchanged; newer
+// clients need a server of at least their vintage (an older server
 // JSON-decodes the version byte and fails the round with an error; SyncWith
-// is the portable fallback against old peers).
+// is the portable fallback against old peers). v4 is special: its server
+// acks the version byte, so a pooled v4 client detects a v3-era server from
+// the first reply byte and transparently redials that peer as v3 —
+// ProtocolAuto pools interoperate in both directions.
 //
 // # Delta protocol (v2)
 //
@@ -122,6 +126,50 @@
 // peer serialize, and a round that fails on a previously working session
 // is retried once on a fresh dial — transparent recovery from server
 // restarts and idle drops. Cluster gossip holds one pool per node.
+//
+// # Tree protocol (v4)
+//
+// v3's weak spot is a *barely* divergent stripe: one hot key forces the
+// stripe's entire digest list onto the wire. Protocol v4 replaces the
+// two-level summary hierarchy with an adaptive k-ary digest tree per stripe
+// (kvstore.DigestTree): keys hash to 64-bit positions, leaves cover equal
+// position ranges, internal nodes hash their children, and the tree's
+// (fanout, depth) adapts to the stripe's live key count
+// (kvstore.TreeShape). A round descends from the root toward the handful of
+// leaves that actually differ:
+//
+//	client -> server  kindRoot          (0x08): of, 8-byte root (fold of
+//	                  the stripe tree roots; whole-replica rounds only)
+//	server -> client  kindRootMatch     (0x09): 1 = converged, round over
+//	client -> server  kindStripeRoots   (0x0A): of, fanout, count,
+//	                  count×(stripe, depth, 8-byte tree root)
+//	server -> client  kindStripeRootDiff(0x0B): count, count×stripe
+//	— repeated, one level at a time, for the divergent stripes —
+//	client -> server  kindTreeNodes     (0x0C): fanout, count, count×(stripe,
+//	                  depth, level, path, child bitmap, child hashes)
+//	server -> client  kindTreeDiff      (0x0D): per node: differ bitmap +
+//	                  server child bitmap
+//	— at the bottom (or where either side's subtree is empty) —
+//	client -> server  kindLeafDigests   (0x0E): count, count×(stripe, depth,
+//	                  level, path, digest run)
+//	server -> client  kindNeed, then kindEntries / kindResult as in v2/v3
+//
+// The tree shape on the wire is the client's choice; the server evaluates
+// its own stripes under that shape (cached when it matches its own policy,
+// which converged replicas' shapes do). Isolating one divergent key among
+// n therefore costs O(log n) fixed-size frames instead of one O(n) digest
+// list.
+//
+// A v4 server acks the session's version byte with one 0x04 byte; the
+// client pipelines its first round behind the opening and reads the ack
+// before the first reply frame, so negotiation is free against a v4 server
+// and detects an older one from its first reply byte (see Protocol
+// negotiation). On pooled whole-replica sessions each completed round also
+// pipelines a root probe for the *next* round (kindRootProbe 0x0F: of,
+// 8-byte root — answered with kindRootMatch, outside any round), so a
+// steady-state converged round writes its probe and reads the previous
+// answer without ever waiting on the wire: ~14 bytes and zero blocking
+// round trips per converged exchange.
 package antientropy
 
 import (
@@ -314,6 +362,9 @@ func (s *Server) handle(conn net.Conn) {
 			return
 		case hierProtocolVersion:
 			s.handleHier(conn, br)
+			return
+		case treeProtocolVersion:
+			s.handleTree(conn, br)
 			return
 		}
 	}

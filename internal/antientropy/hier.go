@@ -502,7 +502,20 @@ func hierClientRound(conn net.Conn, br *bufio.Reader, local *kvstore.Replica,
 // differ, full copies only where the stamps cannot prove equivalence. For
 // session reuse across rounds — the intended steady state — use a Pool.
 func SyncWithHier(addr string, local *kvstore.Replica) (kvstore.SyncResult, error) {
-	p := NewPool()
+	p := NewPoolOptions(PoolOptions{Protocol: ProtocolHier})
+	defer p.Close()
+	return p.SyncWith(addr, local)
+}
+
+// SyncWithTree performs one v4 tree anti-entropy round between the local
+// replica and the server at addr over a throwaway connection: the replica
+// root travels first, then the per-stripe tree roots, then only the
+// diverging tree nodes level by level, digest runs only for leaf ranges
+// that still differ, full copies only where the stamps cannot prove
+// equivalence. For session reuse across rounds — the intended steady state
+// — use a Pool.
+func SyncWithTree(addr string, local *kvstore.Replica) (kvstore.SyncResult, error) {
+	p := NewPoolOptions(PoolOptions{Protocol: ProtocolTree})
 	defer p.Close()
 	return p.SyncWith(addr, local)
 }

@@ -18,10 +18,23 @@ import (
 // server does.
 const defaultPoolIdle = 90 * time.Second
 
-// Pool maintains persistent v3 sessions keyed by peer address, so a gossip
-// loop dials each peer once instead of once per round. Rounds to the same
-// peer are serialized over that peer's single connection (they are
-// multiplexed in time, framed back to back); rounds to different peers run
+// Protocol selections for PoolOptions.Protocol.
+const (
+	// ProtocolAuto opens v4 tree sessions and transparently falls back to a
+	// v3 session per peer whose server does not ack the v4 version byte.
+	ProtocolAuto = 0
+	// ProtocolHier forces v3 hierarchical sessions.
+	ProtocolHier = 3
+	// ProtocolTree forces v4 tree sessions; a peer that cannot speak v4
+	// fails the round instead of falling back.
+	ProtocolTree = 4
+)
+
+// Pool maintains persistent sessions (v4 tree rounds, falling back to v3
+// per peer that cannot speak v4) keyed by peer address, so a gossip loop
+// dials each peer once instead of once per round. Rounds to the same peer
+// are serialized over that peer's single connection (they are multiplexed
+// in time, framed back to back); rounds to different peers run
 // concurrently. A round that fails on a previously working connection is
 // transparently retried once on a fresh dial, which covers server restarts
 // and idle-timeout closes without surfacing an error to the caller.
@@ -32,6 +45,7 @@ type Pool struct {
 	timeout   time.Duration
 	transport Transport
 	backoff   BackoffPolicy
+	protocol  int
 
 	mu     sync.Mutex
 	conns  map[string]*poolConn
@@ -49,6 +63,18 @@ type poolConn struct {
 	rounds   int // rounds completed on the current connection
 	fails    int // consecutive failed rounds (armed backoff)
 	skip     int // rounds left to skip before trying this peer again
+
+	// v4 session state. proto is the live session's protocol version;
+	// nextProto forces the next dial's version (how the v4→v3 fallback
+	// sticks for a peer) and is consumed by ensure. ackPending means the
+	// server's one-byte session ack has not been read yet; probePending
+	// means a kindRootProbe for probedRoot is in flight and its answer is
+	// the next frame on the wire.
+	proto        int
+	nextProto    int
+	ackPending   bool
+	probePending bool
+	probedRoot   uint64
 }
 
 // BackoffPolicy skips rounds to a repeatedly-failing peer, so one dead or
@@ -119,6 +145,9 @@ type PoolOptions struct {
 	// Backoff skips rounds to repeatedly-failing peers; the zero policy
 	// disables it.
 	Backoff BackoffPolicy
+	// Protocol selects the session protocol: ProtocolAuto (v4 with
+	// per-peer v3 fallback, the default), ProtocolHier, or ProtocolTree.
+	Protocol int
 }
 
 // NewPool creates an empty pool with the default transport (TCP), idle and
@@ -134,6 +163,7 @@ func NewPoolOptions(opts PoolOptions) *Pool {
 		timeout:   opts.Timeout,
 		transport: opts.Transport,
 		backoff:   opts.Backoff,
+		protocol:  opts.Protocol,
 		conns:     make(map[string]*poolConn),
 	}
 	if p.idle == 0 {
@@ -190,15 +220,31 @@ func (p *Pool) entry(addr string) (*poolConn, error) {
 	return pc, nil
 }
 
-// ensure makes pc hold a live session, dialing (and sending the v3 version
-// byte) when there is none or the current one idled out. It reports whether
-// the session is freshly dialed. pc.mu must be held.
+// ensure makes pc hold a live session, dialing (and sending the session's
+// version byte) when there is none or the current one idled out. It reports
+// whether the session is freshly dialed. pc.mu must be held.
 func (p *Pool) ensure(pc *poolConn, addr string) (fresh bool, err error) {
 	if pc.conn != nil && p.idle >= 0 && time.Since(pc.lastUsed) > p.idle {
 		p.drop(pc)
 	}
 	if pc.conn != nil {
 		return false, nil
+	}
+	// Pick the session protocol: the pool's forced option wins, then a
+	// one-shot per-peer override (the v4→v3 fallback for this dial), else
+	// v4. The override is consumed here so a later redial re-probes v4 —
+	// the address may be served by an upgraded server by then.
+	proto := p.protocol
+	if proto == ProtocolAuto {
+		proto = ProtocolTree
+		if pc.nextProto != 0 {
+			proto = pc.nextProto
+			pc.nextProto = 0
+		}
+	}
+	ver := byte(hierProtocolVersion)
+	if proto == ProtocolTree {
+		ver = treeProtocolVersion
 	}
 	raw, err := p.transport.Dial(addr, p.timeout)
 	if err != nil {
@@ -207,13 +253,16 @@ func (p *Pool) ensure(pc *poolConn, addr string) (fresh bool, err error) {
 	p.dials.Add(1)
 	conn := &countingConn{Conn: raw}
 	_ = conn.SetDeadline(time.Now().Add(p.timeout))
-	if _, err := conn.Write([]byte{hierProtocolVersion}); err != nil {
+	if _, err := conn.Write([]byte{ver}); err != nil {
 		_ = conn.Close()
 		return false, fmt.Errorf("antientropy: open session %s: %w", addr, err)
 	}
 	pc.conn = conn
 	pc.br = bufio.NewReader(conn)
 	pc.rounds = 0
+	pc.proto = proto
+	pc.ackPending = proto == ProtocolTree
+	pc.probePending = false
 	return true, nil
 }
 
@@ -224,6 +273,8 @@ func (p *Pool) drop(pc *poolConn) {
 		pc.conn = nil
 		pc.br = nil
 	}
+	pc.ackPending = false
+	pc.probePending = false
 }
 
 // ErrRetryUnsafe marks a round failure that happened after the round's
@@ -271,7 +322,7 @@ type RoundInfo struct {
 // repeated failures make subsequent rounds to the same peer fail fast with
 // ErrPeerBackoff instead of re-paying the dial timeout.
 func (p *Pool) round(addr string,
-	fn func(conn net.Conn, br *bufio.Reader) (kvstore.SyncResult, error)) (kvstore.SyncResult, RoundInfo, error) {
+	fn func(pc *poolConn, conn net.Conn, br *bufio.Reader) (kvstore.SyncResult, error)) (kvstore.SyncResult, RoundInfo, error) {
 	var info RoundInfo
 	pc, err := p.entry(addr)
 	if err != nil {
@@ -306,7 +357,7 @@ func (p *Pool) round(addr string,
 		}
 		_ = pc.conn.SetDeadline(time.Now().Add(p.timeout))
 		startSent, startRecv := pc.conn.sent.Load(), pc.conn.recv.Load()
-		res, err := fn(pc.conn, pc.br)
+		res, err := fn(pc, pc.conn, pc.br)
 		if err == nil {
 			res.BytesSent = pc.conn.sent.Load() - startSent
 			res.BytesReceived = pc.conn.recv.Load() - startRecv
@@ -314,6 +365,14 @@ func (p *Pool) round(addr string,
 			pc.lastUsed = time.Now()
 			pc.fails, pc.skip = 0, 0
 			return res, info, nil
+		}
+		if errors.Is(err, errV4Unsupported) && p.protocol == ProtocolAuto {
+			// The peer answered the v4 opening with something else: an
+			// older server. Redial the session as v3 — not a failure, so no
+			// backoff and no retriable() involvement.
+			p.drop(pc)
+			pc.nextProto = ProtocolHier
+			continue
 		}
 		retry := retriable(err, fresh, pc.rounds)
 		p.drop(pc)
@@ -332,9 +391,10 @@ func (p *Pool) armBackoff(pc *poolConn, addr string) {
 	pc.skip = p.backoff.skipAfter(addr, pc.fails)
 }
 
-// SyncWith performs one hierarchical (v3) round between the local replica
-// and the server at addr over the pooled session: summaries first, digests
-// only for divergent stripes, copies only where stamps require them. The
+// SyncWith performs one anti-entropy round between the local replica and
+// the server at addr over the pooled session — a v4 tree round (roots, then
+// diverging tree nodes, then leaf digest runs, copies only where stamps
+// require them), or a v3 hierarchical round on sessions that fell back. The
 // byte counters in the result cover exactly this round's frames.
 func (p *Pool) SyncWith(addr string, local *kvstore.Replica) (kvstore.SyncResult, error) {
 	res, _, err := p.SyncWithInfo(addr, local)
@@ -344,12 +404,15 @@ func (p *Pool) SyncWith(addr string, local *kvstore.Replica) (kvstore.SyncResult
 // SyncWithInfo is SyncWith plus the round's RoundInfo (attempts, fresh
 // dials, retry and backoff verdicts).
 func (p *Pool) SyncWithInfo(addr string, local *kvstore.Replica) (kvstore.SyncResult, RoundInfo, error) {
-	return p.round(addr, func(conn net.Conn, br *bufio.Reader) (kvstore.SyncResult, error) {
+	return p.round(addr, func(pc *poolConn, conn net.Conn, br *bufio.Reader) (kvstore.SyncResult, error) {
+		if pc.proto == ProtocolTree {
+			return treeClientRound(pc, conn, br, local, nil)
+		}
 		return hierClientRound(conn, br, local, nil)
 	})
 }
 
-// SyncStripes performs one v3 round scoped to the given local stripes —
+// SyncStripes performs one round scoped to the given local stripes —
 // the pooled, multiplexed replacement for dialing one connection per
 // stripe: all scoped exchanges ride the same session.
 func (p *Pool) SyncStripes(addr string, local *kvstore.Replica, stripes []int) (kvstore.SyncResult, error) {
@@ -371,7 +434,10 @@ func (p *Pool) SyncStripesInfo(addr string, local *kvstore.Replica, stripes []in
 		seen[idx] = true
 	}
 	scoped := append([]int(nil), stripes...)
-	return p.round(addr, func(conn net.Conn, br *bufio.Reader) (kvstore.SyncResult, error) {
+	return p.round(addr, func(pc *poolConn, conn net.Conn, br *bufio.Reader) (kvstore.SyncResult, error) {
+		if pc.proto == ProtocolTree {
+			return treeClientRound(pc, conn, br, local, scoped)
+		}
 		return hierClientRound(conn, br, local, scoped)
 	})
 }

@@ -1,0 +1,496 @@
+package antientropy
+
+import (
+	"fmt"
+	"io"
+	"net"
+	"sync"
+	"testing"
+
+	"versionstamp/internal/kvstore"
+)
+
+func TestSyncWithTreeConverges(t *testing.T) {
+	server, client := clonedPair(32)
+	server.Put("key-0000", []byte("newer-on-server"))
+	client.Put("key-0001", []byte("newer-on-client"))
+	server.Put("key-0002", []byte("conc-server"))
+	client.Put("key-0002", []byte("conc-client"))
+	client.Put("client-only", []byte("x"))
+	server.Put("server-only", []byte("y"))
+	client.Delete("key-0003")
+
+	_, addr := startServer(t, server, kvstore.KeepBoth([]byte("|")))
+	res, err := SyncWithTree(addr, client)
+	if err != nil {
+		t.Fatalf("SyncWithTree: %v", err)
+	}
+	if res.Transferred != 2 || res.Reconciled != 3 || res.Merged != 1 {
+		t.Errorf("result = %+v", res)
+	}
+	if res.StripesSkipped == 0 {
+		t.Errorf("no stripes skipped by tree roots: %+v", res)
+	}
+	if res.BytesSent == 0 || res.BytesReceived == 0 {
+		t.Errorf("wire counters empty: %+v", res)
+	}
+	requireConverged(t, server, client)
+	if _, ok := server.Get("key-0003"); ok {
+		t.Error("tombstone did not reach the server")
+	}
+	if v, _ := server.Get("key-0002"); string(v) != "conc-server|conc-client" {
+		t.Errorf("merged value = %q", v)
+	}
+
+	// The now-converged pair's next round matches at the root.
+	res, err = SyncWithTree(addr, client)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Transferred+res.Reconciled+res.Merged+res.Pruned != 0 {
+		t.Errorf("converged round moved data: %+v", res)
+	}
+	if res.StripesSkipped != client.Shards() {
+		t.Errorf("StripesSkipped = %d, want %d", res.StripesSkipped, client.Shards())
+	}
+}
+
+// TestTreeHotKeyWireSavings is the tentpole's acceptance property at test
+// scale: with one divergent key in an otherwise converged keyspace, a v4
+// round must move far fewer bytes than a v3 round, because the tree descent
+// ships O(log n) fixed-size frames where v3 ships the stripe's whole digest
+// list. (cmd/benchwire gates the 1M-key version of this at ≥20x.)
+func TestTreeHotKeyWireSavings(t *testing.T) {
+	keys, minRatio := 20000, int64(4)
+	if testing.Short() {
+		keys, minRatio = 4000, 2
+	}
+	server, client := clonedPair(keys)
+	_, addr := startServer(t, server, nil)
+
+	hierPool := NewPoolOptions(PoolOptions{Protocol: ProtocolHier})
+	defer hierPool.Close()
+	treePool := NewPoolOptions(PoolOptions{Protocol: ProtocolTree})
+	defer treePool.Close()
+
+	measure := func(p *Pool, key string) int64 {
+		t.Helper()
+		client.Put(key, []byte("hot"))
+		res, err := p.SyncWith(addr, client)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Transferred+res.Reconciled != 1 {
+			t.Fatalf("hot-key round: %+v", res)
+		}
+		return res.BytesSent + res.BytesReceived
+	}
+	// Warm both sessions (and converge) before measuring.
+	if _, err := hierPool.SyncWith(addr, client); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := treePool.SyncWith(addr, client); err != nil {
+		t.Fatal(err)
+	}
+	hierBytes := measure(hierPool, "hot-key-hier")
+	treeBytes := measure(treePool, "hot-key-tree")
+	if treeBytes*minRatio > hierBytes {
+		t.Errorf("hot key at %d keys: v4 %dB vs v3 %dB — less than %dx savings",
+			keys, treeBytes, hierBytes, minRatio)
+	}
+	t.Logf("hot key at %d keys: v3 %dB, v4 %dB (%.1fx)",
+		keys, hierBytes, treeBytes, float64(hierBytes)/float64(treeBytes))
+}
+
+// TestTreeProbePipelining: on a pooled session, converged round N+1 rides
+// the probe sent at the end of round N — steady-state converged rounds stay
+// within a handful of bytes and never redial.
+func TestTreeProbePipelining(t *testing.T) {
+	server, client := clonedPair(1000)
+	_, addr := startServer(t, server, nil)
+	p := NewPoolOptions(PoolOptions{Protocol: ProtocolTree})
+	defer p.Close()
+
+	if _, err := p.SyncWith(addr, client); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 5; i++ {
+		res, err := p.SyncWith(addr, client)
+		if err != nil {
+			t.Fatalf("steady round %d: %v", i, err)
+		}
+		if res.StripesSkipped != client.Shards() {
+			t.Fatalf("steady round %d: %+v", i, res)
+		}
+		bytes := res.BytesSent + res.BytesReceived
+		if bytes >= 20 {
+			t.Errorf("steady converged round %d moved %dB, want < 20", i, bytes)
+		}
+	}
+	if p.Dials() != 1 {
+		t.Errorf("Dials = %d, want 1", p.Dials())
+	}
+
+	// Divergence after an armed probe must still be found: the probe answer
+	// reports the stale root, and the round proceeds normally.
+	client.Put("late-edit", []byte("x"))
+	res, err := p.SyncWith(addr, client)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Transferred+res.Reconciled != 1 {
+		t.Fatalf("post-probe divergent round: %+v", res)
+	}
+	requireConverged(t, server, client)
+}
+
+// v3OnlyProxy fronts a real server but answers any v4 session opening the
+// way a pre-v4 server would: the 0x04 byte JSON-decodes as garbage, so the
+// "server" replies with a JSON error object and closes. Everything else is
+// piped through to the real server untouched.
+func v3OnlyProxy(t *testing.T, backend string) string {
+	t.Helper()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { ln.Close() })
+	go func() {
+		for {
+			conn, err := ln.Accept()
+			if err != nil {
+				return
+			}
+			go func(conn net.Conn) {
+				defer conn.Close()
+				first := make([]byte, 1)
+				if _, err := io.ReadFull(conn, first); err != nil {
+					return
+				}
+				if first[0] == treeProtocolVersion {
+					_, _ = conn.Write([]byte(`{"v":1,"error":"bad request: invalid character"}` + "\n"))
+					return
+				}
+				up, err := net.Dial("tcp", backend)
+				if err != nil {
+					return
+				}
+				defer up.Close()
+				if _, err := up.Write(first); err != nil {
+					return
+				}
+				done := make(chan struct{})
+				go func() { _, _ = io.Copy(up, conn); _ = up.(*net.TCPConn).CloseWrite(); close(done) }()
+				_, _ = io.Copy(conn, up)
+				<-done
+			}(conn)
+		}
+	}()
+	return ln.Addr().String()
+}
+
+// TestTreeFallsBackToHier: an auto-protocol pool meeting a v3-only server
+// redials the session as v3 transparently — same round, no error, and the
+// fallback sticks for the session.
+func TestTreeFallsBackToHier(t *testing.T) {
+	server, client := clonedPair(64)
+	client.Put("key-0000", []byte("edit"))
+	_, addr := startServer(t, server, nil)
+	proxy := v3OnlyProxy(t, addr)
+
+	p := NewPool() // ProtocolAuto
+	defer p.Close()
+	res, err := p.SyncWith(proxy, client)
+	if err != nil {
+		t.Fatalf("fallback round: %v", err)
+	}
+	if res.Reconciled != 1 {
+		t.Errorf("fallback round result: %+v", res)
+	}
+	requireConverged(t, server, client)
+	if p.Dials() != 2 {
+		t.Errorf("Dials = %d, want 2 (v4 attempt + v3 fallback)", p.Dials())
+	}
+	// The v3 session persists: further rounds reuse it without redialing.
+	if _, err := p.SyncWith(proxy, client); err != nil {
+		t.Fatal(err)
+	}
+	if p.Dials() != 2 {
+		t.Errorf("Dials = %d after reuse, want 2", p.Dials())
+	}
+
+	// A forced-v4 pool must surface the incompatibility instead.
+	forced := NewPoolOptions(PoolOptions{Protocol: ProtocolTree})
+	defer forced.Close()
+	if _, err := forced.SyncWith(proxy, client); err == nil {
+		t.Error("forced v4 against a v3-only server did not fail")
+	}
+}
+
+// TestTreeScopedStripes mirrors the v3 scoped-round test on v4, and checks
+// that scoped rounds drain a pending whole-replica probe correctly.
+func TestTreeScopedStripes(t *testing.T) {
+	server, client := clonedPair(64)
+	_, addr := startServer(t, server, nil)
+	p := NewPoolOptions(PoolOptions{Protocol: ProtocolTree})
+	defer p.Close()
+
+	// Arm a probe with a whole-replica round first.
+	if _, err := p.SyncWith(addr, client); err != nil {
+		t.Fatal(err)
+	}
+
+	client.Put("key-0000", []byte("edit-0"))
+	client.Put("key-0001", []byte("edit-1"))
+	in := kvstore.ShardIndex("key-0000", client.Shards())
+	out := kvstore.ShardIndex("key-0001", client.Shards())
+	if in == out {
+		t.Fatalf("test keys landed in one stripe; pick different keys")
+	}
+	res, err := p.SyncStripes(addr, client, []int{in})
+	if err != nil {
+		t.Fatalf("SyncStripes: %v", err)
+	}
+	if res.Reconciled != 1 {
+		t.Errorf("result = %+v", res)
+	}
+	if v, _ := server.Get("key-0000"); string(v) != "edit-0" {
+		t.Errorf("scoped stripe did not sync: %q", v)
+	}
+	if v, _ := server.Get("key-0001"); string(v) == "edit-1" {
+		t.Error("out-of-scope stripe synced")
+	}
+
+	if _, err := p.SyncWith(addr, client); err != nil {
+		t.Fatal(err)
+	}
+	requireConverged(t, server, client)
+	if p.Dials() != 1 {
+		t.Errorf("Dials = %d, want 1 (probe, scoped and full rounds share the session)", p.Dials())
+	}
+}
+
+// TestTreeLayoutMismatch syncs replicas with different stripe counts over
+// v4: the server regroups its keys and evaluates trees under the client's
+// layout and shape.
+func TestTreeLayoutMismatch(t *testing.T) {
+	server, client8 := clonedPair(100)
+	snap, err := client8.Snapshot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	client := kvstore.NewReplicaShards("client8", 8)
+	if err := client.Adopt(snap); err != nil {
+		t.Fatal(err)
+	}
+	client.Put("key-0000", []byte("edited"))
+	server.Put("extra", []byte("server-side"))
+
+	_, addr := startServer(t, server, nil)
+	res, err := SyncWithTree(addr, client)
+	if err != nil {
+		t.Fatalf("SyncWithTree across layouts: %v", err)
+	}
+	if res.Transferred != 1 || res.Reconciled != 1 {
+		t.Errorf("result = %+v", res)
+	}
+	requireConverged(t, server, client)
+
+	res, err = SyncWithTree(addr, client)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.StripesSkipped != 8 || res.Transferred+res.Reconciled+res.Merged != 0 {
+		t.Errorf("converged cross-layout round: %+v", res)
+	}
+}
+
+// TestTreeConflictReportedOverWire mirrors the v2/v3 conflict test on v4.
+func TestTreeConflictReportedOverWire(t *testing.T) {
+	server, client := clonedPair(4)
+	server.Put("key-0000", []byte("conc-s"))
+	client.Put("key-0000", []byte("conc-c"))
+	_, addr := startServer(t, server, nil)
+	res, err := SyncWithTree(addr, client)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Conflicts) != 1 || res.Conflicts[0] != "key-0000" {
+		t.Errorf("Conflicts = %v", res.Conflicts)
+	}
+	if v, _ := client.Get("key-0000"); string(v) != "conc-c" {
+		t.Errorf("conflicting copy changed: %q", v)
+	}
+}
+
+// TestTreeDifferentialProperty: across randomized divergence patterns, a v4
+// round leaves both replicas exactly where v3 and v1 (full snapshot) rounds
+// leave identically diverged pairs — including across a mid-test rebalance,
+// where the key count crossing a TreeShape threshold changes the tree depth
+// between rounds.
+func TestTreeDifferentialProperty(t *testing.T) {
+	seeds := 6
+	if testing.Short() {
+		seeds = 3
+	}
+	for seed := 0; seed < seeds; seed++ {
+		// Few stripes so the per-stripe key count crosses the depth-1→2
+		// threshold (512 keys) within an affordable test.
+		build := func(label string) (*kvstore.Replica, *kvstore.Replica) {
+			server := kvstore.NewReplicaShards(label, 2)
+			for i := 0; i < 400; i++ {
+				server.Put(fmt.Sprintf("key-%04d", i), []byte(fmt.Sprintf("value-%d", i)))
+			}
+			client := server.Clone(label + "-client")
+			rng := seed + 1
+			next := func(n int) int { rng = (rng*1103515245 + 12345) & 0x7fffffff; return rng % n }
+			for i := 0; i < 400; i++ {
+				k := fmt.Sprintf("key-%04d", i)
+				switch next(7) {
+				case 0:
+					server.Put(k, []byte(fmt.Sprintf("s%d", next(100))))
+				case 1:
+					client.Put(k, []byte(fmt.Sprintf("c%d", next(100))))
+				case 2:
+					server.Put(k, []byte(fmt.Sprintf("s%d", next(100))))
+					client.Put(k, []byte(fmt.Sprintf("c%d", next(100))))
+				case 3:
+					server.Delete(k)
+				case 4:
+					client.Delete(k)
+				}
+			}
+			client.Put(fmt.Sprintf("fresh-%d", seed), []byte("new"))
+			return server, client
+		}
+		grow := func(r *kvstore.Replica, from, to int) {
+			for i := from; i < to; i++ {
+				r.Put(fmt.Sprintf("grown-%05d", i), []byte("g"))
+			}
+		}
+
+		type lane struct {
+			name           string
+			server, client *kvstore.Replica
+			round          func(addr string, client *kvstore.Replica) error
+		}
+		treePool := NewPoolOptions(PoolOptions{Protocol: ProtocolTree})
+		defer treePool.Close()
+		hierPool := NewPoolOptions(PoolOptions{Protocol: ProtocolHier})
+		defer hierPool.Close()
+		lanes := []*lane{
+			{name: "tree", round: func(addr string, c *kvstore.Replica) error {
+				_, err := treePool.SyncWith(addr, c)
+				return err
+			}},
+			{name: "hier", round: func(addr string, c *kvstore.Replica) error {
+				_, err := hierPool.SyncWith(addr, c)
+				return err
+			}},
+			{name: "full", round: func(addr string, c *kvstore.Replica) error {
+				_, err := SyncWith(addr, c)
+				return err
+			}},
+		}
+		for _, l := range lanes {
+			l.server, l.client = build(l.name)
+			_, addr := startServer(t, l.server, kvstore.KeepBoth([]byte("|")))
+			if err := l.round(addr, l.client); err != nil {
+				t.Fatalf("seed %d %s: first round: %v", seed, l.name, err)
+			}
+			// Grow both sides identically across the depth threshold, then
+			// sync again: the rebalanced trees must still converge the pair.
+			grow(l.server, 0, 700)
+			grow(l.client, 700, 1400)
+			if err := l.round(addr, l.client); err != nil {
+				t.Fatalf("seed %d %s: post-rebalance round: %v", seed, l.name, err)
+			}
+			requireConverged(t, l.server, l.client)
+		}
+		// All three protocols land every pair in the same state.
+		requireConverged(t, lanes[0].server, lanes[1].server)
+		requireConverged(t, lanes[0].server, lanes[2].server)
+		requireConverged(t, lanes[0].client, lanes[1].client)
+	}
+}
+
+// TestTreeConcurrentWritersNeverMaskDivergence mirrors the v3 race test on
+// v4: writers keep mutating the client while tree rounds run; no divergent
+// key may ever hide behind a stale cached tree or a pipelined probe. Run
+// with -race.
+func TestTreeConcurrentWritersNeverMaskDivergence(t *testing.T) {
+	server, client := clonedPair(64)
+	_, addr := startServer(t, server, kvstore.KeepBoth([]byte("|")))
+	p := NewPoolOptions(PoolOptions{Protocol: ProtocolTree})
+	defer p.Close()
+
+	const writers = 4
+	var writerWg sync.WaitGroup
+	stop := make(chan struct{})
+	for w := 0; w < writers; w++ {
+		writerWg.Add(1)
+		go func(w int) {
+			defer writerWg.Done()
+			i := 0
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				k := fmt.Sprintf("key-%04d", (w*16+i)%64)
+				client.Put(k, []byte(fmt.Sprintf("w%d-%d", w, i)))
+				i++
+			}
+		}(w)
+	}
+	rounds := 20
+	if testing.Short() {
+		rounds = 6
+	}
+	for round := 0; round < rounds; round++ {
+		if _, err := p.SyncWith(addr, client); err != nil {
+			close(stop)
+			writerWg.Wait()
+			t.Fatalf("round %d: %v", round, err)
+		}
+	}
+	close(stop)
+	writerWg.Wait()
+
+	for i := 0; i < 2; i++ {
+		if _, err := p.SyncWith(addr, client); err != nil {
+			t.Fatal(err)
+		}
+	}
+	requireConverged(t, server, client)
+}
+
+// TestAllProtocolsCoexistWithTree drives v1–v4 rounds at one server port.
+func TestAllProtocolsCoexistWithTree(t *testing.T) {
+	server, client := clonedPair(8)
+	_, addr := startServer(t, server, nil)
+
+	client.Put("via-json", []byte("1"))
+	if _, err := SyncWith(addr, client); err != nil {
+		t.Fatalf("v1 round: %v", err)
+	}
+	client.Put("via-delta", []byte("2"))
+	if _, err := SyncWithDelta(addr, client); err != nil {
+		t.Fatalf("v2 round: %v", err)
+	}
+	client.Put("via-hier", []byte("3"))
+	if _, err := SyncWithHier(addr, client); err != nil {
+		t.Fatalf("v3 round: %v", err)
+	}
+	client.Put("via-tree", []byte("4"))
+	if _, err := SyncWithTree(addr, client); err != nil {
+		t.Fatalf("v4 round: %v", err)
+	}
+	requireConverged(t, server, client)
+	for _, k := range []string{"via-json", "via-delta", "via-hier", "via-tree"} {
+		if _, ok := server.Get(k); !ok {
+			t.Errorf("server missing %q", k)
+		}
+	}
+}

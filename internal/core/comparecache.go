@@ -13,10 +13,11 @@ import "sync/atomic"
 //   - Comparer, a per-batch memo for single-threaded loops (DiffAgainst,
 //     ApplyDelta) that skips even the atomic traffic.
 //
-// Cache keys pack the two handle ids (bounded well under 2^31 by
-// trie.maxInterned) into 62 bits, leaving 2 bits for the outcome. Id 0
-// marks ∅ or an uninterned overflow handle; those pairs are computed
-// directly.
+// Cache keys pack the two handle ids (issued monotonically and capped
+// under 2^31 by trie's id-issuance bound; never reused even when the
+// intern table rotates a record out) into 62 bits, leaving 2 bits for the
+// outcome. Id 0 marks ∅ or an uninterned overflow handle; those pairs are
+// computed directly.
 
 // cmpCacheBits sizes the direct-mapped cache: 4096 slots × 8 bytes = 32 KiB,
 // comfortably cache-resident while covering far more distinct update pairs

@@ -1,0 +1,193 @@
+package encoding
+
+import (
+	"bytes"
+	"testing"
+
+	"versionstamp/internal/core"
+)
+
+func TestValidTreeShape(t *testing.T) {
+	valid := [][2]int{{2, 1}, {16, 1}, {16, 8}, {64, 10}, {2, 12}, {16, 12}}
+	for _, s := range valid {
+		if !ValidTreeShape(s[0], s[1]) {
+			t.Errorf("ValidTreeShape(%d, %d) = false, want true", s[0], s[1])
+		}
+	}
+	invalid := [][2]int{
+		{0, 1}, {1, 1}, {3, 2}, {128, 1}, {16, 0}, {16, -1}, {16, 13},
+		{64, 11}, // 11×6 = 66 position bits > 64
+		{-16, 2},
+	}
+	for _, s := range invalid {
+		if ValidTreeShape(s[0], s[1]) {
+			t.Errorf("ValidTreeShape(%d, %d) = true, want false", s[0], s[1])
+		}
+	}
+}
+
+func TestBitmapHelpers(t *testing.T) {
+	for _, fanout := range []int{2, 8, 16, 64} {
+		bm := make([]byte, TreeBitmapLen(fanout))
+		for c := 0; c < fanout; c += 3 {
+			BitmapSet(bm, c)
+		}
+		for c := 0; c < fanout; c++ {
+			if got, want := BitmapGet(bm, c), c%3 == 0; got != want {
+				t.Fatalf("fanout %d bit %d = %v, want %v", fanout, c, got, want)
+			}
+		}
+	}
+}
+
+func testStamp(t *testing.T) core.Stamp {
+	t.Helper()
+	return core.Seed().Update()
+}
+
+func TestTreeNodeRoundtrip(t *testing.T) {
+	const fanout = 16
+	bm := make([]byte, TreeBitmapLen(fanout))
+	BitmapSet(bm, 0)
+	BitmapSet(bm, 7)
+	BitmapSet(bm, 15)
+	node := TreeNode{
+		Stripe: 3, Depth: 4, Level: 2, Path: 0x47,
+		Bitmap: bm, Hashes: []uint64{1, 1 << 40, ^uint64(0)},
+	}
+	buf := AppendTreeNode(nil, node)
+	got, used, err := DecodeTreeNode(buf, fanout, 32)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if used != len(buf) {
+		t.Fatalf("used %d of %d bytes", used, len(buf))
+	}
+	if got.Stripe != node.Stripe || got.Depth != node.Depth ||
+		got.Level != node.Level || got.Path != node.Path {
+		t.Fatalf("coords: got %+v, want %+v", got, node)
+	}
+	if !bytes.Equal(got.Bitmap, node.Bitmap) {
+		t.Fatalf("bitmap: got %x, want %x", got.Bitmap, node.Bitmap)
+	}
+	if len(got.Hashes) != 3 || got.Hashes[0] != 1 || got.Hashes[2] != ^uint64(0) {
+		t.Fatalf("hashes: got %v", got.Hashes)
+	}
+}
+
+func TestDecodeTreeNodeRejects(t *testing.T) {
+	const fanout = 16
+	good := AppendTreeNode(nil, TreeNode{
+		Stripe: 1, Depth: 3, Level: 1, Path: 5,
+		Bitmap: make([]byte, TreeBitmapLen(fanout)),
+	})
+	cases := map[string][]byte{
+		"empty":      nil,
+		"truncated":  good[:len(good)-1],
+		"bad stripe": AppendTreeNode(nil, TreeNode{Stripe: 99, Depth: 3, Level: 1, Bitmap: make([]byte, 2)}),
+		"level at depth": AppendTreeNode(nil, TreeNode{
+			Stripe: 1, Depth: 3, Level: 3, Bitmap: make([]byte, 2)}),
+		"path beyond level": AppendTreeNode(nil, TreeNode{
+			Stripe: 1, Depth: 3, Level: 1, Path: 16, Bitmap: make([]byte, 2)}),
+	}
+	for name, buf := range cases {
+		if _, _, err := DecodeTreeNode(buf, fanout, 32); err == nil {
+			t.Errorf("%s: decoded without error", name)
+		}
+	}
+	// Padding bits beyond the fan-out must be zero (fanout 2: 6 spare bits).
+	pad := AppendTreeNode(nil, TreeNode{Stripe: 1, Depth: 3, Level: 1, Path: 1,
+		Bitmap: []byte{0x80}})
+	if _, _, err := DecodeTreeNode(pad, 2, 32); err == nil {
+		t.Error("padding bits set: decoded without error")
+	}
+}
+
+func TestLeafRunRoundtrip(t *testing.T) {
+	st := testStamp(t)
+	run := LeafRun{
+		Stripe: 7, Depth: 3, Level: 3, Path: 0x123,
+		Digests: []Digest{{Key: "a", Stamp: st}, {Key: "bb", Stamp: st}},
+	}
+	buf := AppendLeafRun(nil, run)
+	got, used, err := DecodeLeafRun(buf, 16, 32)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if used != len(buf) {
+		t.Fatalf("used %d of %d bytes", used, len(buf))
+	}
+	if got.Stripe != run.Stripe || got.Depth != run.Depth ||
+		got.Level != run.Level || got.Path != run.Path {
+		t.Fatalf("coords: got %+v", got)
+	}
+	if len(got.Digests) != 2 || got.Digests[0].Key != "a" || got.Digests[1].Key != "bb" {
+		t.Fatalf("digests: got %v", got.Digests)
+	}
+	for _, d := range got.Digests {
+		if !d.Stamp.Leq(st) || !st.Leq(d.Stamp) {
+			t.Fatalf("digest %q stamp did not round-trip", d.Key)
+		}
+	}
+}
+
+func TestTreePosDeterministic(t *testing.T) {
+	if TreePos("hello") != TreePos("hello") {
+		t.Fatal("TreePos not deterministic")
+	}
+	if TreePos("a") == TreePos("b") {
+		t.Fatal("TreePos(a) == TreePos(b): suspicious for FNV-64a")
+	}
+}
+
+// FuzzDecodeTreeNode feeds hostile bytes to the tree-node decoder: it must
+// error or return a structurally valid node, never panic or allocate
+// unbounded memory (hash counts are pinned to the bitmap's population).
+func FuzzDecodeTreeNode(f *testing.F) {
+	bm := make([]byte, TreeBitmapLen(16))
+	BitmapSet(bm, 3)
+	f.Add(AppendTreeNode(nil, TreeNode{Stripe: 1, Depth: 3, Level: 1, Path: 2,
+		Bitmap: bm, Hashes: []uint64{42}}), 16, 32)
+	f.Add([]byte{0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0x01}, 64, 65536)
+	f.Add([]byte{0}, 2, 1)
+	f.Fuzz(func(t *testing.T, data []byte, fanout, maxStripe int) {
+		node, used, err := DecodeTreeNode(data, fanout, maxStripe)
+		if err != nil {
+			return
+		}
+		if used <= 0 || used > len(data) {
+			t.Fatalf("used %d of %d bytes", used, len(data))
+		}
+		if len(node.Bitmap) != TreeBitmapLen(fanout) {
+			t.Fatalf("bitmap length %d for fanout %d", len(node.Bitmap), fanout)
+		}
+		pop := 0
+		for c := 0; c < fanout; c++ {
+			if BitmapGet(node.Bitmap, c) {
+				pop++
+			}
+		}
+		if len(node.Hashes) != pop {
+			t.Fatalf("%d hashes for %d set bits", len(node.Hashes), pop)
+		}
+	})
+}
+
+// FuzzDecodeLeafRun feeds hostile bytes to the leaf-run decoder: declared
+// digest counts must never make it allocate past the input's own size.
+func FuzzDecodeLeafRun(f *testing.F) {
+	f.Add([]byte{1, 3, 3, 0, 0}, 16, 32)
+	f.Add([]byte{0xff, 0xff, 0xff, 0xff, 0xff, 0x0f, 0, 0, 0}, 2, 4)
+	f.Fuzz(func(t *testing.T, data []byte, fanout, maxStripe int) {
+		run, used, err := DecodeLeafRun(data, fanout, maxStripe)
+		if err != nil {
+			return
+		}
+		if used <= 0 || used > len(data) {
+			t.Fatalf("used %d of %d bytes", used, len(data))
+		}
+		if len(run.Digests) > len(data) {
+			t.Fatalf("%d digests out of %d input bytes", len(run.Digests), len(data))
+		}
+	})
+}

@@ -112,6 +112,19 @@ func (sc *diffScratch) grow(npeer, nshards int) {
 // interned update handles, so the common outcome is a pointer comparison.
 // A converged pass allocates nothing beyond pool warm-up.
 func (r *Replica) DiffAgainst(peer []encoding.Digest, idx, of int) (Diff, error) {
+	return r.diffRanges(peer, idx, of, nil)
+}
+
+// DiffRanges is DiffAgainst additionally scoped to the given tree-position
+// ranges (tree.go): only peer digests and local keys whose encoding.TreePos
+// falls inside a range take part — the leaf phase of a v4 round, where the
+// tree descent has already narrowed divergence to a few position intervals.
+// A nil ranges slice means unscoped (exactly DiffAgainst).
+func (r *Replica) DiffRanges(peer []encoding.Digest, idx, of int, ranges []TreeRange) (Diff, error) {
+	return r.diffRanges(peer, idx, of, ranges)
+}
+
+func (r *Replica) diffRanges(peer []encoding.Digest, idx, of int, ranges []TreeRange) (Diff, error) {
 	if err := checkScope(idx, of); err != nil {
 		return Diff{}, err
 	}
@@ -119,6 +132,10 @@ func (r *Replica) DiffAgainst(peer []encoding.Digest, idx, of int) (Diff, error)
 		if of > 0 && ShardIndex(pd.Key, of) != idx {
 			return Diff{}, fmt.Errorf("kvstore: diff shard %d/%d: key %q belongs to shard %d",
 				idx, of, pd.Key, ShardIndex(pd.Key, of))
+		}
+		if !RangesContain(ranges, encoding.TreePos(pd.Key)) {
+			return Diff{}, fmt.Errorf("kvstore: diff shard %d/%d: key %q outside the scoped ranges",
+				idx, of, pd.Key)
 		}
 	}
 	nShards := len(r.shards)
@@ -166,14 +183,19 @@ func (r *Replica) DiffAgainst(peer []encoding.Digest, idx, of int) (Diff, error)
 		sh := &r.shards[si]
 		sh.mu.RLock()
 		switch {
-		case of == 0 || scoped:
+		case ranges == nil && (of == 0 || scoped):
 			localInScope += sh.countLocked()
 		default:
-			// Foreign layout: in-scope local keys may live anywhere.
+			// Foreign layout (in-scope keys may live anywhere) or a
+			// range-scoped round (only positions inside the ranges count).
 			sh.eachMetaLocked(func(k string, _ bool, _ core.Stamp) {
-				if ShardIndex(k, of) == idx {
-					localInScope++
+				if of > 0 && !scoped && ShardIndex(k, of) != idx {
+					return
 				}
+				if !RangesContain(ranges, encoding.TreePos(k)) {
+					return
+				}
+				localInScope++
 			})
 		}
 		for _, pi := range group {
@@ -239,6 +261,22 @@ func compactSorted(ss []string) []string {
 // digest exchange reconciles them.
 func (r *Replica) ApplyDelta(peerDigest []encoding.Digest, peerEntries []encoding.Entry,
 	resolve Resolver, idx, of int) ([]encoding.Entry, SyncResult, error) {
+	return r.applyDeltaRanges(peerDigest, peerEntries, resolve, idx, of, nil)
+}
+
+// ApplyDeltaRanges is ApplyDelta additionally scoped to the given
+// tree-position ranges: peer digests and entries must fall inside them, and
+// only in-range local keys are enumerated as local-only — so a v4 leaf
+// phase transfers the local keys of the divergent subtrees without treating
+// every unmentioned in-stripe key as missing on the peer. A nil ranges
+// slice means unscoped (exactly ApplyDelta).
+func (r *Replica) ApplyDeltaRanges(peerDigest []encoding.Digest, peerEntries []encoding.Entry,
+	resolve Resolver, idx, of int, ranges []TreeRange) ([]encoding.Entry, SyncResult, error) {
+	return r.applyDeltaRanges(peerDigest, peerEntries, resolve, idx, of, ranges)
+}
+
+func (r *Replica) applyDeltaRanges(peerDigest []encoding.Digest, peerEntries []encoding.Entry,
+	resolve Resolver, idx, of int, ranges []TreeRange) ([]encoding.Entry, SyncResult, error) {
 	if err := checkScope(idx, of); err != nil {
 		return nil, SyncResult{}, err
 	}
@@ -248,6 +286,10 @@ func (r *Replica) ApplyDelta(peerDigest []encoding.Digest, peerEntries []encodin
 			return nil, SyncResult{}, fmt.Errorf("kvstore: delta shard %d/%d: key %q belongs to shard %d",
 				idx, of, e.Key, ShardIndex(e.Key, of))
 		}
+		if !RangesContain(ranges, encoding.TreePos(e.Key)) {
+			return nil, SyncResult{}, fmt.Errorf("kvstore: delta shard %d/%d: key %q outside the scoped ranges",
+				idx, of, e.Key)
+		}
 		full[e.Key] = Versioned{Value: e.Value, Deleted: e.Deleted, Stamp: e.Stamp}
 	}
 	stampOf := make(map[string]core.Stamp, len(peerDigest))
@@ -255,6 +297,10 @@ func (r *Replica) ApplyDelta(peerDigest []encoding.Digest, peerEntries []encodin
 		if of > 0 && ShardIndex(pd.Key, of) != idx {
 			return nil, SyncResult{}, fmt.Errorf("kvstore: delta shard %d/%d: key %q belongs to shard %d",
 				idx, of, pd.Key, ShardIndex(pd.Key, of))
+		}
+		if !RangesContain(ranges, encoding.TreePos(pd.Key)) {
+			return nil, SyncResult{}, fmt.Errorf("kvstore: delta shard %d/%d: key %q outside the scoped ranges",
+				idx, of, pd.Key)
 		}
 		stampOf[pd.Key] = pd.Stamp
 	}
@@ -278,6 +324,9 @@ func (r *Replica) ApplyDelta(peerDigest []encoding.Digest, peerEntries []encodin
 		}
 		r.shards[i].eachMetaLocked(func(k string, _ bool, _ core.Stamp) {
 			if of > 0 && ShardIndex(k, of) != idx {
+				return
+			}
+			if !RangesContain(ranges, encoding.TreePos(k)) {
 				return
 			}
 			keys[k] = struct{}{}

@@ -131,6 +131,14 @@ type shard struct {
 	summary     uint64
 	digestCache []encoding.Digest
 
+	// tree caches the stripe's adaptive digest tree (tree.go) at the shape
+	// the replica itself chooses for the stripe's key count, valid for
+	// epoch treeEpoch only. Shares cacheMu with the digest cache above;
+	// foreign-shape requests build throwaway trees and never touch it.
+	treeValid bool
+	treeEpoch uint64
+	tree      *DigestTree
+
 	// quar mirrors the replica's quarantine set for this stripe as a lock-
 	// free flag, so the per-write logSet check costs one atomic load. The
 	// authoritative record (with the damage report) is Replica.quar.

@@ -28,6 +28,14 @@ func (r *Replica) stripeCache(i int) (uint64, []encoding.Digest) {
 	sh := &r.shards[i]
 	sh.cacheMu.Lock()
 	defer sh.cacheMu.Unlock()
+	return r.stripeCacheLocked(i)
+}
+
+// stripeCacheLocked is stripeCache's core for callers already holding the
+// stripe's cacheMu (the digest-tree cache shares the lock and the digest
+// snapshot — see tree.go).
+func (r *Replica) stripeCacheLocked(i int) (uint64, []encoding.Digest) {
+	sh := &r.shards[i]
 	sh.mu.RLock()
 	e := sh.epoch.Load()
 	if sh.cacheValid && sh.cacheEpoch == e {

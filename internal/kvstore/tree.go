@@ -1,0 +1,336 @@
+package kvstore
+
+import (
+	"fmt"
+	"math/bits"
+	"sort"
+
+	"versionstamp/internal/encoding"
+)
+
+// Adaptive digest trees: the store half of the v4 anti-entropy protocol.
+// The v3 hierarchy is frozen at two levels (root hash -> stripe summaries ->
+// full per-stripe digest lists), so at millions of keys one divergent key
+// re-ships a whole stripe's digest list every round. Here each stripe's
+// digests are arranged into a k-ary hash tree over their 64-bit tree
+// positions (encoding.TreePos): every node hashes its subtree, the leaf
+// width and depth are derived from the stripe's live key count (TreeShape),
+// and a divergent key is located by descending only the differing children
+// — O(log n) fixed-size frames instead of O(stripe) digests.
+//
+// The tree is served from a per-stripe cache keyed by the same epoch counter
+// as the summary cache, so converged stripes answer in O(1) without touching
+// a key. When a stripe's key count crosses a width threshold the next
+// rebuild simply picks the deeper (or shallower) shape — an online rebalance
+// that needs no coordination, because the wire protocol always descends at
+// the *client's* declared shape: a server whose own shape differs evaluates
+// its data under the client's (fanout, depth) on demand, exactly as
+// SummariesScoped regroups digests under a foreign stripe layout. Converged
+// replicas hold equal per-stripe key counts, so their shapes agree and both
+// sides run fully cached.
+
+const (
+	// treeFanout is the fan-out of locally built trees: 4 position bits per
+	// level. The wire codec accepts any power of two in [2, 64]; a constant
+	// local fan-out keeps converged peers' shapes equal whenever their key
+	// counts are.
+	treeFanout = 16
+
+	// treeLeafTarget is the key count a leaf aims to hold: small enough
+	// that a leaf's digest run is a cheap frame, large enough that the tree
+	// stays shallow.
+	treeLeafTarget = 32
+
+	// maxOwnTreeDepth caps locally chosen depth well under the codec's
+	// MaxTreeDepth; 16^8 leaves outruns any keyspace this store can hold.
+	maxOwnTreeDepth = 8
+)
+
+// TreeShape returns the (fanout, depth) this replica builds a digest tree
+// with for a stripe of n keys: the shallowest depth whose leaf count keeps
+// leaves near treeLeafTarget keys. Deterministic in n, so converged
+// replicas (equal counts) always agree on shape, and a stripe crossing a
+// count threshold rebalances to the new depth on its next rebuild.
+func TreeShape(n int) (fanout, depth int) {
+	fanout = treeFanout
+	leaves := (n + treeLeafTarget - 1) / treeLeafTarget
+	depth = 1
+	for span := fanout; span < leaves && depth < maxOwnTreeDepth; span *= fanout {
+		depth++
+	}
+	return fanout, depth
+}
+
+// TreeRange is a half-open interval [Lo, Hi) of tree positions; Hi == 0
+// means "to the end of the 64-bit position space" — the natural overflow of
+// (path+1)<<shift for the topmost path. The zero TreeRange covers the whole
+// space.
+type TreeRange struct{ Lo, Hi uint64 }
+
+// Contains reports whether position p falls inside the range.
+func (rg TreeRange) Contains(p uint64) bool {
+	return p >= rg.Lo && (rg.Hi == 0 || p < rg.Hi)
+}
+
+// RangesContain reports whether any range contains p. A nil slice means
+// "unscoped" and contains everything — the whole-stripe semantics of the
+// pre-tree protocols.
+func RangesContain(ranges []TreeRange, p uint64) bool {
+	if ranges == nil {
+		return true
+	}
+	for _, rg := range ranges {
+		if rg.Contains(p) {
+			return true
+		}
+	}
+	return false
+}
+
+// NodeRange returns the position interval covered by the node at (level,
+// path) in a tree of the given fanout. Level 0 path 0 is the whole space.
+func NodeRange(fanout, level int, path uint64) TreeRange {
+	shift := uint(64 - level*bits.TrailingZeros(uint(fanout)))
+	if shift >= 64 {
+		return TreeRange{}
+	}
+	return TreeRange{Lo: path << shift, Hi: (path + 1) << shift}
+}
+
+// treeNode is one materialized node: its path at its level, the digest run
+// it spans (tree order), and its subtree hash.
+type treeNode struct {
+	path       uint64
+	start, end int32
+	hash       uint64
+}
+
+// DigestTree is an immutable k-ary hash tree over one stripe's digests,
+// ordered by (TreePos, key). Leaf nodes (level == depth) hash their digest
+// run with encoding.SummarizeDigests; internal nodes fold each non-empty
+// child's (index, hash) pair, so the root pins the whole stripe — and
+// depends on the declared shape, which is why the wire always compares trees
+// at one agreed shape. Safe for concurrent use once built.
+type DigestTree struct {
+	fanout, depth, fbits int
+	pos                  []uint64          // TreePos per digest, tree order
+	digests              []encoding.Digest // sorted by (pos, key)
+	levels               [][]treeNode      // levels[l]: non-empty nodes, ascending path
+}
+
+// treeSorter sorts pos and digests together by (pos, key).
+type treeSorter struct {
+	pos []uint64
+	ds  []encoding.Digest
+}
+
+func (s *treeSorter) Len() int { return len(s.pos) }
+func (s *treeSorter) Less(a, b int) bool {
+	if s.pos[a] != s.pos[b] {
+		return s.pos[a] < s.pos[b]
+	}
+	return s.ds[a].Key < s.ds[b].Key
+}
+func (s *treeSorter) Swap(a, b int) {
+	s.pos[a], s.pos[b] = s.pos[b], s.pos[a]
+	s.ds[a], s.ds[b] = s.ds[b], s.ds[a]
+}
+
+// buildDigestTree arranges ds (any order; not aliased afterwards) into a
+// tree of the given shape. The shape must satisfy encoding.ValidTreeShape.
+func buildDigestTree(ds []encoding.Digest, fanout, depth int) *DigestTree {
+	t := &DigestTree{
+		fanout: fanout, depth: depth,
+		fbits:   bits.TrailingZeros(uint(fanout)),
+		pos:     make([]uint64, len(ds)),
+		digests: make([]encoding.Digest, len(ds)),
+	}
+	copy(t.digests, ds)
+	for i := range t.digests {
+		t.pos[i] = encoding.TreePos(t.digests[i].Key)
+	}
+	sort.Sort(&treeSorter{pos: t.pos, ds: t.digests})
+
+	t.levels = make([][]treeNode, depth+1)
+	// Leaves: group the ordered digests by their top depth×fbits position
+	// bits and hash each run.
+	shift := uint(64 - depth*t.fbits)
+	var leaves []treeNode
+	for i := 0; i < len(t.digests); {
+		p := t.pos[i] >> shift
+		j := i
+		for j < len(t.digests) && t.pos[j]>>shift == p {
+			j++
+		}
+		leaves = append(leaves, treeNode{
+			path: p, start: int32(i), end: int32(j),
+			hash: encoding.SummarizeDigests(t.digests[i:j]),
+		})
+		i = j
+	}
+	t.levels[depth] = leaves
+	// Internal levels: fold each run of children sharing a parent path.
+	for l := depth - 1; l >= 0; l-- {
+		child := t.levels[l+1]
+		var cur []treeNode
+		for i := 0; i < len(child); {
+			p := child[i].path >> t.fbits
+			h := encoding.RootSummarySeed
+			start, end := child[i].start, child[i].end
+			j := i
+			for j < len(child) && child[j].path>>t.fbits == p {
+				h = encoding.FoldSummary(h, child[j].path&uint64(fanout-1))
+				h = encoding.FoldSummary(h, child[j].hash)
+				end = child[j].end
+				j++
+			}
+			cur = append(cur, treeNode{path: p, start: start, end: end, hash: h})
+			i = j
+		}
+		t.levels[l] = cur
+	}
+	return t
+}
+
+// Fanout returns the tree's fan-out.
+func (t *DigestTree) Fanout() int { return t.fanout }
+
+// Depth returns the tree's leaf level.
+func (t *DigestTree) Depth() int { return t.depth }
+
+// Len returns the number of digests the tree spans.
+func (t *DigestTree) Len() int { return len(t.digests) }
+
+// Root returns the tree's root hash; an empty stripe roots at
+// encoding.EmptySummary regardless of shape.
+func (t *DigestTree) Root() uint64 {
+	if len(t.levels[0]) == 0 {
+		return encoding.EmptySummary
+	}
+	return t.levels[0][0].hash
+}
+
+// Children snapshots the children of the node at (level, path): bit c of
+// the bitmap is set iff child c is non-empty, with one hash per set bit in
+// child order. An absent or bottom-level node yields an all-zero bitmap.
+func (t *DigestTree) Children(level int, path uint64) (bitmap []byte, hashes []uint64) {
+	bitmap = make([]byte, encoding.TreeBitmapLen(t.fanout))
+	if level < 0 || level >= t.depth {
+		return bitmap, nil
+	}
+	lo := path << uint(t.fbits)
+	hi := lo + uint64(t.fanout)
+	lvl := t.levels[level+1]
+	i := sort.Search(len(lvl), func(i int) bool { return lvl[i].path >= lo })
+	for ; i < len(lvl) && lvl[i].path < hi; i++ {
+		c := int(lvl[i].path & uint64(t.fanout-1))
+		encoding.BitmapSet(bitmap, c)
+		hashes = append(hashes, lvl[i].hash)
+	}
+	return bitmap, hashes
+}
+
+// Run returns the digest run (tree order) under the node at (level, path).
+// The slice aliases the tree; callers must treat it as read-only.
+func (t *DigestTree) Run(level int, path uint64) []encoding.Digest {
+	return t.RunRange(NodeRange(t.fanout, level, path))
+}
+
+// RunRange returns the digests whose positions fall inside rg (tree order).
+// The slice aliases the tree; callers must treat it as read-only.
+func (t *DigestTree) RunRange(rg TreeRange) []encoding.Digest {
+	lo := sort.Search(len(t.pos), func(i int) bool { return t.pos[i] >= rg.Lo })
+	hi := len(t.pos)
+	if rg.Hi != 0 {
+		hi = sort.Search(len(t.pos), func(i int) bool { return t.pos[i] >= rg.Hi })
+	}
+	return t.digests[lo:hi]
+}
+
+// stripeTreeShaped returns stripe i's digest tree. fanout == 0 selects the
+// replica's own shape (TreeShape of the live count). The tree is cached per
+// stripe epoch when the requested shape is the stripe's own shape — the
+// converged steady state, where peers' counts (hence shapes) agree — and
+// built as a throwaway snapshot otherwise, so one foreign-shaped peer
+// cannot thrash the cache.
+func (r *Replica) stripeTreeShaped(i, fanout, depth int) *DigestTree {
+	sh := &r.shards[i]
+	sh.cacheMu.Lock()
+	defer sh.cacheMu.Unlock()
+	_, ds := r.stripeCacheLocked(i)
+	e := sh.cacheEpoch
+	ownF, ownD := TreeShape(len(ds))
+	if fanout == 0 {
+		fanout, depth = ownF, ownD
+	}
+	if sh.treeValid && sh.treeEpoch == e && sh.tree.fanout == fanout && sh.tree.depth == depth {
+		return sh.tree
+	}
+	t := buildDigestTree(ds, fanout, depth)
+	if fanout == ownF && depth == ownD {
+		sh.tree, sh.treeEpoch, sh.treeValid = t, e, true
+	}
+	return t
+}
+
+// StripeTree returns stripe idx's digest tree at the replica's own shape,
+// lazily recomputed only when the stripe mutated.
+func (r *Replica) StripeTree(idx int) (*DigestTree, error) {
+	if idx < 0 || idx >= len(r.shards) {
+		return nil, fmt.Errorf("kvstore: shard %d out of range of %d", idx, len(r.shards))
+	}
+	return r.stripeTreeShaped(idx, 0, 0), nil
+}
+
+// TreeScoped returns the digest tree a peer with `of` stripes sees for its
+// stripe idx, evaluated at the peer-declared (fanout, depth). When the
+// layouts agree this is the cached fast path (or a one-off build at the
+// foreign shape); otherwise every digest is regrouped under the foreign
+// layout first — correct for any pair of layouts, exactly like
+// SummariesScoped, just not O(1) on a quiet store.
+func (r *Replica) TreeScoped(idx, of, fanout, depth int) (*DigestTree, error) {
+	if of < 1 || idx < 0 || idx >= of {
+		return nil, fmt.Errorf("kvstore: shard %d out of range of %d", idx, of)
+	}
+	if !encoding.ValidTreeShape(fanout, depth) {
+		return nil, fmt.Errorf("kvstore: bad tree shape fanout=%d depth=%d", fanout, depth)
+	}
+	if of == len(r.shards) {
+		return r.stripeTreeShaped(idx, fanout, depth), nil
+	}
+	var group []encoding.Digest
+	for _, d := range r.Digest() {
+		if ShardIndex(d.Key, of) == idx {
+			group = append(group, d)
+		}
+	}
+	return buildDigestTree(group, fanout, depth), nil
+}
+
+// TreeRootsScoped returns one digest-tree root per stripe of a peer layout
+// with `of` stripes, each at the shape this replica's own count policy
+// picks for that stripe — the v4 root-phase payload. Converged peers hold
+// equal per-stripe counts, so their shape choices (and therefore roots)
+// agree.
+func (r *Replica) TreeRootsScoped(of int) ([]uint64, error) {
+	if of < 1 {
+		return nil, fmt.Errorf("kvstore: tree layout of %d stripes", of)
+	}
+	out := make([]uint64, of)
+	if of == len(r.shards) {
+		for i := range r.shards {
+			out[i] = r.stripeTreeShaped(i, 0, 0).Root()
+		}
+		return out, nil
+	}
+	groups := make([][]encoding.Digest, of)
+	for _, d := range r.Digest() {
+		i := ShardIndex(d.Key, of)
+		groups[i] = append(groups[i], d)
+	}
+	for i, g := range groups {
+		f, dep := TreeShape(len(g))
+		out[i] = buildDigestTree(g, f, dep).Root()
+	}
+	return out, nil
+}

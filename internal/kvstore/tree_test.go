@@ -1,0 +1,293 @@
+package kvstore
+
+import (
+	"fmt"
+	"testing"
+
+	"versionstamp/internal/encoding"
+)
+
+func TestTreeShape(t *testing.T) {
+	cases := []struct{ n, depth int }{
+		{0, 1}, {1, 1}, {32, 1}, {512, 1}, // ≤ 16 leaves of ≤ 32 keys
+		{513, 2}, {8192, 2}, // up to 256 leaves
+		{8193, 3}, {31250, 3}, // a 1M-key store's per-stripe count
+		{1 << 30, 7},
+	}
+	for _, c := range cases {
+		fanout, depth := TreeShape(c.n)
+		if fanout != treeFanout {
+			t.Errorf("TreeShape(%d) fanout = %d, want %d", c.n, fanout, treeFanout)
+		}
+		if depth != c.depth {
+			t.Errorf("TreeShape(%d) depth = %d, want %d", c.n, depth, c.depth)
+		}
+		if !encoding.ValidTreeShape(fanout, depth) {
+			t.Errorf("TreeShape(%d) = (%d, %d): invalid on the wire", c.n, fanout, depth)
+		}
+	}
+}
+
+func TestNodeRange(t *testing.T) {
+	if rg := NodeRange(16, 0, 0); rg.Lo != 0 || rg.Hi != 0 {
+		t.Fatalf("level-0 range = %+v, want the whole space", rg)
+	}
+	// A level's node ranges must partition the space: each position falls in
+	// exactly the range of its own path.
+	for _, p := range []uint64{0, 1, 1 << 60, ^uint64(0)} {
+		for level := 1; level <= 3; level++ {
+			path := p >> (64 - 4*level)
+			for cand := uint64(0); cand < 1<<(4*level); cand += 7 {
+				in := NodeRange(16, level, cand).Contains(p)
+				if in != (cand == path) {
+					t.Fatalf("pos %x level %d path %x: Contains = %v", p, level, cand, in)
+				}
+			}
+		}
+	}
+}
+
+func TestRangesContain(t *testing.T) {
+	if !RangesContain(nil, 42) {
+		t.Fatal("nil ranges must contain everything")
+	}
+	rs := []TreeRange{{Lo: 10, Hi: 20}, {Lo: 100, Hi: 0}}
+	for p, want := range map[uint64]bool{9: false, 10: true, 19: true, 20: false,
+		99: false, 100: true, ^uint64(0): true} {
+		if RangesContain(rs, p) != want {
+			t.Fatalf("RangesContain(%d) != %v", p, want)
+		}
+	}
+	if RangesContain([]TreeRange{}, 5) {
+		t.Fatal("empty (non-nil) ranges must contain nothing")
+	}
+}
+
+// treeDigests builds n distinct digests for tree tests.
+func treeDigests(t *testing.T, n int) []encoding.Digest {
+	t.Helper()
+	r := NewReplica("t")
+	for i := 0; i < n; i++ {
+		r.Put(fmt.Sprintf("key-%d", i), []byte("v"))
+	}
+	return r.Digest()
+}
+
+func TestDigestTreeStructure(t *testing.T) {
+	ds := treeDigests(t, 500)
+	tr := buildDigestTree(ds, 16, 2)
+
+	if tr.Len() != 500 || tr.Fanout() != 16 || tr.Depth() != 2 {
+		t.Fatalf("shape: len=%d fanout=%d depth=%d", tr.Len(), tr.Fanout(), tr.Depth())
+	}
+	if tr.Root() == encoding.EmptySummary {
+		t.Fatal("non-empty tree roots at EmptySummary")
+	}
+	// Descending every child from the root must reach all digests exactly
+	// once, each inside its node's position range, and every leaf hash must
+	// equal the summary of its run — the invariant the wire descent relies
+	// on to stop at matching subtrees.
+	total := 0
+	bm, _ := tr.Children(0, 0)
+	for c := 0; c < 16; c++ {
+		if !encoding.BitmapGet(bm, c) {
+			continue
+		}
+		run := tr.Run(1, uint64(c))
+		total += len(run)
+		for _, d := range run {
+			if !NodeRange(16, 1, uint64(c)).Contains(encoding.TreePos(d.Key)) {
+				t.Fatalf("digest %q leaked outside child %d", d.Key, c)
+			}
+		}
+		lbm, lhashes := tr.Children(1, uint64(c))
+		li := 0
+		for l := 0; l < 16; l++ {
+			if !encoding.BitmapGet(lbm, l) {
+				continue
+			}
+			leafPath := uint64(c)<<4 | uint64(l)
+			leafRun := tr.Run(2, leafPath)
+			if len(leafRun) == 0 {
+				t.Fatalf("leaf %x flagged non-empty with an empty run", leafPath)
+			}
+			if lhashes[li] != encoding.SummarizeDigests(leafRun) {
+				t.Fatalf("leaf %x hash != summary of its run", leafPath)
+			}
+			li++
+		}
+	}
+	if total != 500 {
+		t.Fatalf("children partition %d of 500 digests", total)
+	}
+	// Equal digest sets, any input order, build identical trees.
+	rev := make([]encoding.Digest, len(ds))
+	for i, d := range ds {
+		rev[len(ds)-1-i] = d
+	}
+	if got := buildDigestTree(rev, 16, 2).Root(); got != tr.Root() {
+		t.Fatal("input order changed the root")
+	}
+	// A different digest set roots differently.
+	ds2 := append(append([]encoding.Digest(nil), ds[:499]...), encoding.Digest{
+		Key: "other", Stamp: ds[0].Stamp})
+	if buildDigestTree(ds2, 16, 2).Root() == tr.Root() {
+		t.Fatal("different digest sets share a root")
+	}
+	// The same set at a different shape roots differently too — shape is
+	// part of the hash domain, which is why the wire pins one shape.
+	if buildDigestTree(ds, 16, 3).Root() == tr.Root() {
+		t.Fatal("depth 2 and depth 3 trees share a root")
+	}
+}
+
+func TestDigestTreeEmpty(t *testing.T) {
+	tr := buildDigestTree(nil, 16, 2)
+	if tr.Root() != encoding.EmptySummary {
+		t.Fatal("empty tree must root at EmptySummary")
+	}
+	bm, hashes := tr.Children(0, 0)
+	for _, b := range bm {
+		if b != 0 {
+			t.Fatal("empty tree has children")
+		}
+	}
+	if len(hashes) != 0 {
+		t.Fatal("empty tree has child hashes")
+	}
+	if len(tr.Run(2, 0)) != 0 {
+		t.Fatal("empty tree has a digest run")
+	}
+}
+
+func TestStripeTreeCacheAndInvalidation(t *testing.T) {
+	r := NewReplicaShards("a", 2)
+	for i := 0; i < 100; i++ {
+		r.Put(fmt.Sprintf("k%d", i), []byte("v"))
+	}
+	t1, err := r.StripeTree(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t2, _ := r.StripeTree(0)
+	if t1 != t2 {
+		t.Fatal("quiet stripe rebuilt its tree")
+	}
+	// Insert a key into stripe 0: the cache must refresh and the root move.
+	for i := 100; ; i++ {
+		k := fmt.Sprintf("k%d", i)
+		if ShardIndex(k, 2) == 0 {
+			r.Put(k, []byte("v"))
+			break
+		}
+	}
+	t3, _ := r.StripeTree(0)
+	if t3 == t1 {
+		t.Fatal("mutated stripe served the stale tree")
+	}
+	if t3.Root() == t1.Root() {
+		t.Fatal("insert left the root unchanged")
+	}
+}
+
+func TestStripeTreeRebalance(t *testing.T) {
+	r := NewReplicaShards("a", 1)
+	for i := 0; i < 100; i++ {
+		r.Put(fmt.Sprintf("k%d", i), []byte("v"))
+	}
+	t1, _ := r.StripeTree(0)
+	if t1.Depth() != 1 {
+		t.Fatalf("100 keys: depth %d, want 1", t1.Depth())
+	}
+	for i := 100; i < 1000; i++ {
+		r.Put(fmt.Sprintf("k%d", i), []byte("v"))
+	}
+	t2, _ := r.StripeTree(0)
+	if t2.Depth() != 2 {
+		t.Fatalf("1000 keys: depth %d, want 2 (rebalanced)", t2.Depth())
+	}
+	if t2.Len() != 1000 {
+		t.Fatalf("rebalanced tree spans %d keys", t2.Len())
+	}
+	// Converged replicas with equal counts agree on shape and root across
+	// the rebalance threshold.
+	o := NewReplicaShards("b", 1)
+	for i := 0; i < 1000; i++ {
+		o.Put(fmt.Sprintf("k%d", i), []byte("v"))
+	}
+	// Different stamps, same keys: roots differ (stamps are hashed) but the
+	// shapes agree.
+	t3, _ := o.StripeTree(0)
+	if t3.Depth() != t2.Depth() || t3.Fanout() != t2.Fanout() {
+		t.Fatal("equal counts picked different shapes")
+	}
+}
+
+func TestTreeScopedForeignLayout(t *testing.T) {
+	r := NewReplicaShards("a", 4)
+	for i := 0; i < 200; i++ {
+		r.Put(fmt.Sprintf("k%d", i), []byte("v"))
+	}
+	// Under a foreign 2-stripe layout, stripe 0 must cover exactly the keys
+	// hashing to 0 of 2.
+	tr, err := r.TreeScoped(0, 2, 16, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := 0
+	for _, d := range r.Digest() {
+		if ShardIndex(d.Key, 2) == 0 {
+			want++
+		}
+	}
+	if tr.Len() != want {
+		t.Fatalf("foreign stripe tree spans %d keys, want %d", tr.Len(), want)
+	}
+	if _, err := r.TreeScoped(0, 2, 3, 1); err == nil {
+		t.Fatal("invalid fanout accepted")
+	}
+	if _, err := r.TreeScoped(5, 2, 16, 1); err == nil {
+		t.Fatal("out-of-range stripe accepted")
+	}
+
+	// TreeRootsScoped under the replica's own layout must agree with the
+	// per-stripe trees.
+	roots, err := r.TreeRootsScoped(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, root := range roots {
+		st, _ := r.StripeTree(i)
+		if st.Root() != root {
+			t.Fatalf("stripe %d root mismatch", i)
+		}
+	}
+	// And under a foreign layout it must agree with what a replica actually
+	// sharded that way computes.
+	o := NewReplicaShards("a", 2)
+	if err := o.Adopt(mustSnapshot(t, r)); err != nil {
+		t.Fatal(err)
+	}
+	fRoots, err := r.TreeRootsScoped(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	oRoots, err := o.TreeRootsScoped(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range fRoots {
+		if fRoots[i] != oRoots[i] {
+			t.Fatalf("foreign-layout root %d disagrees with a natively %d-striped replica", i, 2)
+		}
+	}
+}
+
+func mustSnapshot(t *testing.T, r *Replica) []byte {
+	t.Helper()
+	snap, err := r.SnapshotBinary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return snap
+}

@@ -31,22 +31,42 @@ import (
 // near perfect. The nil *Interned is the empty name ∅, mirroring the nil
 // *Node convention.
 //
-// Records are immutable once published and the table only ever adds entries
-// (up to maxInterned records of at most maxInternedEncoding bytes each;
-// names beyond either bound are returned uninterned with id 0 — still
-// correct, just not shared). Records are never evicted: the table is a
-// cache of canonical forms, and a dangling handle must never compare
-// unequal to a re-interned copy of the same name.
+// Records are immutable once published. The table holds at most maxInterned
+// resident records (of at most maxInternedEncoding bytes each) using a
+// two-generation rotation per shard: when a shard's current generation
+// fills its budget, it becomes the old generation and a fresh one starts;
+// records still in use get promoted back on their next lookup (same
+// pointer, so handle identity survives promotion), and records nobody asks
+// for again age out with the generation after next. A fork/join storm of
+// transient names therefore cannot grow the table without bound, while the
+// steady-state working set — the paper's frontier names, a tiny recurring
+// set — stays permanently hot. Eviction is safe because equality falls back
+// to canonical-encoding comparison (Equal/Leq check enc, not just
+// pointers), and ids are issued monotonically and never reused, so a
+// dangling handle still compares correctly against a re-interned copy of
+// the same name and stale comparison-cache entries can never alias.
 
 // internShards is the stripe count of the intern table; interning from many
 // goroutines (32 kvstore shards, gossip workers) contends on a shard each,
 // not on one lock.
 const internShards = 64
 
-// maxInterned bounds the total number of table-resident records. Beyond the
-// cap, Intern still returns correct handles — they just carry id 0 and skip
-// the table, so comparison caches ignore them.
+// maxInterned bounds the total number of table-resident records across both
+// generations of every shard. Each shard rotates generations when its
+// current one reaches maxInterned/(2*internShards) records, so residency
+// can never exceed the bound — new names keep interning forever, old unused
+// ones age out instead of the table refusing service.
 const maxInterned = 1 << 18
+
+// internShardBudget is one generation's record budget in one shard.
+const internShardBudget = maxInterned / (2 * internShards)
+
+// maxInternedID caps id issuance. Ids are monotonic and never reused (so
+// comparison-cache entries for evicted records cannot alias); a process
+// that somehow interns a billion distinct names falls back to id-0 handles,
+// which stay correct but skip the comparison caches. The cap keeps packed
+// (id, id) cache keys under 62 bits — see core's comparison cache.
+const maxInternedID = 1 << 30
 
 // maxInternedEncoding bounds the encoded size of a table-resident record.
 // The table is fed by wire decoding (InternEncoded) and never evicts, so
@@ -76,16 +96,16 @@ type Interned struct {
 }
 
 type internShard struct {
-	mu sync.RWMutex
-	m  map[string]*Interned
+	mu  sync.RWMutex
+	m   map[string]*Interned // current generation
+	old map[string]*Interned // previous generation; hits promote back to m
 }
 
 var (
 	internTable [internShards]internShard
-	// internCount counts table-resident records; a new record's id is the
-	// count after its own insertion, which is unique and maxInterned-bounded
-	// (the pre-insert cap check races across shards by at most a few
-	// records, never enough to threaten the comparison-cache key packing).
+	// internCount counts ids ever issued; a new record's id is the count
+	// after its own insertion, which is unique for the process lifetime —
+	// rotation evicts records but never frees their ids for reuse.
 	internCount atomic.Int64
 )
 
@@ -93,6 +113,45 @@ func init() {
 	for i := range internTable {
 		internTable[i].m = make(map[string]*Interned)
 	}
+}
+
+// lookup probes both generations for enc, promoting an old-generation hit
+// back into the current one (same pointer, so handle identity is stable).
+func (sh *internShard) lookup(enc string) *Interned {
+	sh.mu.RLock()
+	rec := sh.m[enc]
+	if rec == nil && sh.old != nil {
+		rec = sh.old[enc]
+	}
+	sh.mu.RUnlock()
+	if rec == nil {
+		return nil
+	}
+	sh.mu.Lock()
+	// Re-probe under the lock: a concurrent rotation may have moved things.
+	if cur := sh.m[enc]; cur != nil {
+		sh.mu.Unlock()
+		return cur
+	}
+	if sh.old != nil {
+		if or := sh.old[enc]; or != nil {
+			rec = or
+			delete(sh.old, enc)
+		}
+	}
+	sh.insertLocked(enc, rec)
+	sh.mu.Unlock()
+	return rec
+}
+
+// insertLocked publishes rec in the current generation, rotating first when
+// the generation is at budget. sh.mu must be held.
+func (sh *internShard) insertLocked(enc string, rec *Interned) {
+	if len(sh.m) >= internShardBudget {
+		sh.old = sh.m
+		sh.m = make(map[string]*Interned, internShardBudget/4)
+	}
+	sh.m[enc] = rec
 }
 
 // emptyEncoding is the canonical encoding of the empty trie (one 0 bit):
@@ -115,10 +174,7 @@ func internShardFor(enc string) *internShard {
 // two table-resident records.
 func lookupOrInsert(enc string, build func() name.Name) *Interned {
 	sh := internShardFor(enc)
-	sh.mu.RLock()
-	rec := sh.m[enc]
-	sh.mu.RUnlock()
-	if rec != nil {
+	if rec := sh.lookup(enc); rec != nil {
 		return rec
 	}
 	cand := &Interned{enc: enc, name: build()}
@@ -130,11 +186,19 @@ func lookupOrInsert(enc string, build func() name.Name) *Interned {
 	if rec := sh.m[enc]; rec != nil {
 		return rec
 	}
-	if internCount.Load() >= maxInterned {
-		return cand // overflow: correct but unshared, id 0
+	if sh.old != nil {
+		if rec := sh.old[enc]; rec != nil {
+			delete(sh.old, enc)
+			sh.insertLocked(enc, rec)
+			return rec
+		}
 	}
-	cand.id = uint32(internCount.Add(1))
-	sh.m[enc] = cand
+	if internCount.Load() < maxInternedID {
+		// Beyond the id cap, records still intern and dedup — they just
+		// carry id 0 and skip the comparison caches.
+		cand.id = uint32(internCount.Add(1))
+	}
+	sh.insertLocked(enc, cand)
 	return cand
 }
 
@@ -163,8 +227,18 @@ func InternEncoded(src []byte) (*Interned, int, error) {
 	sh := internShardFor(string(raw))
 	sh.mu.RLock()
 	rec := sh.m[string(raw)] // compiler-recognized no-alloc map lookup
+	inOld := false
+	if rec == nil && sh.old != nil {
+		rec = sh.old[string(raw)]
+		inOld = rec != nil
+	}
 	sh.mu.RUnlock()
 	if rec != nil {
+		if inOld {
+			// Old-generation hit: promote so the record survives the next
+			// rotation. The allocation is paid at most once per generation.
+			sh.lookup(string(raw))
+		}
 		return rec, n, nil
 	}
 	root, used, err := Decode(src)
@@ -207,9 +281,24 @@ func encodedLen(src []byte) (int, int) {
 	return 0, -1
 }
 
-// InternedCount reports how many records the table currently holds; used by
-// tests and capacity diagnostics.
+// InternedCount reports how many table ids have ever been issued — a
+// monotone counter over the process lifetime (rotation evicts records but
+// never reuses ids). For the current table footprint see InternedResident.
 func InternedCount() int64 { return internCount.Load() }
+
+// InternedResident reports how many records the table currently holds
+// across both generations of every shard — bounded by maxInterned no matter
+// how many distinct names the process has interned.
+func InternedResident() int {
+	total := 0
+	for i := range internTable {
+		sh := &internTable[i]
+		sh.mu.RLock()
+		total += len(sh.m) + len(sh.old)
+		sh.mu.RUnlock()
+	}
+	return total
+}
 
 // Name returns the sorted-slice representation. The nil handle is ∅.
 func (t *Interned) Name() name.Name {
@@ -219,9 +308,10 @@ func (t *Interned) Name() name.Name {
 	return t.name
 }
 
-// ID returns the record's table id: nonzero and unique for table-resident
-// records, 0 for nil (∅) and overflow records. Ids never exceed maxInterned,
-// so they pack into comparison-cache keys.
+// ID returns the record's table id: nonzero and unique for the process
+// lifetime (never reused after eviction), 0 for nil (∅) and overflow
+// records. Ids never exceed maxInternedID (2^30), so they pack into
+// comparison-cache keys.
 func (t *Interned) ID() uint32 {
 	if t == nil {
 		return 0

@@ -310,3 +310,74 @@ func TestInternOversizedNamesNotPinned(t *testing.T) {
 		t.Errorf("InternEncoded of oversized name: %v id=%d err=%v", got, got.ID(), err)
 	}
 }
+
+// TestInternRotationBoundsResidency is the fork-storm regression test for
+// the two-generation intern table: a storm of distinct transient names must
+// not grow the resident table past maxInterned, rotation must actually
+// evict, and handles that were rotated out must keep comparing exactly like
+// their naive name counterparts — including against freshly re-interned
+// copies of themselves.
+func TestInternRotationBoundsResidency(t *testing.T) {
+	// Enough distinct names to force second rotations (the evicting kind) in
+	// most shards: eviction needs more than maxInterned names issued.
+	const steps = 340000
+	base := Intern(mustName(t, "0"))
+	rng := rand.New(rand.NewSource(42))
+	type sample struct {
+		h *Interned
+		n name.Name
+	}
+	var samples []sample
+	h := base
+	for i := 0; i < steps; i++ {
+		// Random walks deep enough that nearly every step mints a distinct
+		// name, shallow enough that each append stays cheap.
+		if h.EncodedLen() > 64 {
+			h = base
+		}
+		if rng.Intn(2) == 0 {
+			h = h.Append0()
+		} else {
+			h = h.Append1()
+		}
+		if i%2500 == 0 {
+			samples = append(samples, sample{h: h, n: h.Name()})
+		}
+	}
+
+	resident := InternedResident()
+	issued := InternedCount()
+	if resident > maxInterned {
+		t.Fatalf("resident table %d records, bound is %d", resident, maxInterned)
+	}
+	if int64(resident) >= issued {
+		t.Fatalf("no eviction: %d resident of %d issued — rotation never fired", resident, issued)
+	}
+	t.Logf("storm of %d forks: %d ids issued, %d resident (bound %d)",
+		steps, issued, resident, maxInterned)
+
+	// Every sampled handle — most long since rotated out — must agree with
+	// the naive name-level comparison against every other sample, and must
+	// compare Equal to a fresh re-intern of its own name even when that
+	// re-intern is a different record.
+	for i, a := range samples {
+		re := Intern(a.n)
+		if !re.Equal(a.h) || !a.h.Equal(re) {
+			t.Fatalf("sample %d: re-interned copy not Equal to the original handle", i)
+		}
+		if !a.h.Leq(re) || !re.Leq(a.h) {
+			t.Fatalf("sample %d: re-interned copy not Leq-equivalent", i)
+		}
+		for j, b := range samples {
+			if got, want := a.h.Leq(b.h), a.n.Leq(b.n); got != want {
+				t.Fatalf("samples %d vs %d: interned Leq = %v, naive = %v", i, j, got, want)
+			}
+			if got, want := a.h.Equal(b.h), a.n.Equal(b.n); got != want {
+				t.Fatalf("samples %d vs %d: interned Equal = %v, naive = %v", i, j, got, want)
+			}
+			if got, want := a.h.IncomparableTo(b.h), a.n.IncomparableTo(b.n); got != want {
+				t.Fatalf("samples %d vs %d: interned IncomparableTo = %v, naive = %v", i, j, got, want)
+			}
+		}
+	}
+}

@@ -75,6 +75,42 @@
 // in hot loops, and bulk comparison over converged data (anti-entropy
 // digest phases) runs allocation-free end to end.
 //
+// # Sync model
+//
+// Anti-entropy (internal/antientropy) converges replicas by shipping only
+// what the stamps cannot prove equivalent. Four wire protocols coexist on
+// one port, selected by the session's first byte, each a refinement of the
+// last: v1 exchanges full snapshots, v2 exchanges per-key digests first,
+// v3 fronts the digests with per-stripe summary hashes under one 8-byte
+// root, and v4 — the default — replaces each stripe's flat digest list
+// with an adaptive k-ary digest tree. The v4 cost model:
+//
+//   - Tree shape follows the data. Each stripe hashes its keys to 64-bit
+//     positions and summarizes them under a fan-out-16 tree whose depth is
+//     the shallowest that bounds expected leaf runs to ~32 keys, so the
+//     tree deepens (and rebalances, epoch-cached, on the next round that
+//     looks) as the stripe grows. Shape is part of the hash domain; a
+//     session pins the client's shape, and a peer with a different live
+//     shape or stripe count evaluates the client's layout on the fly.
+//   - A converged round costs O(1) bytes, not O(stripes). Pooled sessions
+//     pipeline the next round's root probe behind the current round's
+//     result, so the steady-state round reads the answer that is already
+//     in flight, matches the root, and sends the next probe: ~14 bytes,
+//     zero blocking round trips, one TCP dial amortized over the session.
+//   - A localized edit costs O(log n) frames. One hot key in a converged
+//     million-key store descends root → stripe roots → one divergent
+//     child per level → one ~32-digest leaf run, a few hundred bytes
+//     where v3 re-ships the stripe's whole ~31k-digest list (the CI gate
+//     in cmd/benchwire demands ≥20x; measured ~500x). Wide divergence
+//     degrades gracefully to v3-like digest exchange, because diverging
+//     subtrees are enumerated breadth-first and leaf runs carry the same
+//     digests v3 would have sent.
+//   - Downgrade is per peer, not per process. A v4 opening answered by
+//     anything but the v4 ack marks that session's peer as v3 and redials
+//     without a failed round; mixed fleets converge during rolling
+//     upgrades, and the scoped (ring), scrub-repair, and tombstone-GC
+//     paths ride whichever protocol the session negotiated.
+//
 // # Durability model
 //
 // The sharded store (internal/kvstore) optionally persists through a
